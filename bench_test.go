@@ -1,0 +1,514 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§IV-V), plus the ablation studies from DESIGN.md §7 and
+// micro-benchmarks of the core algorithms.
+//
+// Each experiment benchmark reports its headline quantities via
+// b.ReportMetric so that `go test -bench=.` doubles as the reproduction
+// log: e.g. BenchmarkTable2TopMetrics reports per-workload SPIRE/TMA
+// agreement, BenchmarkSamplingOverhead the mean/max overhead fractions.
+//
+// The expensive part — simulating all 27 workloads and training the
+// ensemble — runs once per process (shared session, reduced scale) and is
+// excluded from the timed region.
+package spire_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spire/internal/analysis"
+	"spire/internal/core"
+	"spire/internal/experiments"
+	"spire/internal/geom"
+	"spire/internal/isa"
+	"spire/internal/pmu"
+	"spire/internal/sim"
+	"spire/internal/trace"
+	"spire/internal/uarch"
+	"spire/internal/workloads"
+)
+
+var (
+	benchOnce sync.Once
+	benchSess *experiments.Session
+)
+
+// benchSession builds (once) the shared reduced-scale pipeline: all 27
+// workloads simulated, sampled, and the ensemble trained.
+func benchSession(b *testing.B) *experiments.Session {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSess = experiments.NewSession(experiments.QuickConfig())
+	})
+	// Force the memoized state so no benchmark times the warmup.
+	if _, err := benchSess.Ensemble(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := benchSess.TestRuns(); err != nil {
+		b.Fatal(err)
+	}
+	return benchSess
+}
+
+// BenchmarkTable1Workloads regenerates Table I: the TMA classification of
+// all 27 workloads. Reports how many match their engineered bottleneck.
+func BenchmarkTable1Workloads(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var match, total int
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		match, total = 0, 0
+		for _, r := range rows {
+			if r.Expected == pmu.AreaRetiring {
+				continue
+			}
+			total++
+			if r.Main == r.Expected {
+				match++
+			}
+		}
+	}
+	b.ReportMetric(float64(match), "matched")
+	b.ReportMetric(float64(total), "classified")
+}
+
+// BenchmarkTable2TopMetrics regenerates Table II: SPIRE's top-10 metrics
+// for the four test workloads. Reports the mean fraction of top metrics
+// sharing TMA's main bottleneck area and the mean estimate/measured IPC
+// ratio.
+func BenchmarkTable2TopMetrics(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var agree, ratio float64
+	for i := 0; i < b.N; i++ {
+		cols, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		agree, ratio = 0, 0
+		for _, c := range cols {
+			agree += c.FracMatchingTMA
+			if c.MeasuredIPC > 0 {
+				ratio += c.SpireEstimate / c.MeasuredIPC
+			}
+		}
+		agree /= float64(len(cols))
+		ratio /= float64(len(cols))
+	}
+	b.ReportMetric(agree, "tma-agreement")
+	b.ReportMetric(ratio, "est/measured")
+}
+
+// BenchmarkFig2Roofline regenerates the classic-roofline figure and
+// reports the two apps' operational intensities.
+func BenchmarkFig2Roofline(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var memI, compI float64
+	for i := 0; i < b.N; i++ {
+		fig, err := s.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, a := range fig.Apps {
+			if a.Name == "onnx" {
+				memI = a.Intensity
+			} else {
+				compI = a.Intensity
+			}
+		}
+	}
+	b.ReportMetric(memI, "onnx-I")
+	b.ReportMetric(compI, "blas-I")
+}
+
+// BenchmarkFig5LeftFit regenerates the left-region fitting walkthrough.
+func BenchmarkFig5LeftFit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Roofline.Left) == 0 {
+			b.Fatal("empty fit")
+		}
+	}
+}
+
+// BenchmarkFig6RightFit regenerates the right-region fitting walkthrough
+// and reports the optimal fit's total squared error.
+func BenchmarkFig6RightFit(b *testing.B) {
+	var sq float64
+	for i := 0; i < b.N; i++ {
+		d, err := experiments.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sq = d.TotalSquaredError
+	}
+	b.ReportMetric(sq, "sq-error")
+}
+
+// BenchmarkFig7LearnedRooflines regenerates the learned-roofline plots
+// for BP.1 and DB.2 and reports their peak bounds.
+func BenchmarkFig7LearnedRooflines(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var bp1Peak, db2Peak float64
+	for i := 0; i < b.N; i++ {
+		figs, err := s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bp1Peak = figs[0].Roofline.Peak().Y
+		db2Peak = figs[1].Roofline.Peak().Y
+	}
+	b.ReportMetric(bp1Peak, "bp1-peak-ipc")
+	b.ReportMetric(db2Peak, "db2-peak-ipc")
+}
+
+// BenchmarkSamplingOverhead regenerates the §IV overhead numbers (paper:
+// 1.6% average, 4.6% max).
+func BenchmarkSamplingOverhead(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var mean, max float64
+	for i := 0; i < b.N; i++ {
+		oh, err := s.Overhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean, max = oh.Mean, oh.Max
+	}
+	b.ReportMetric(100*mean, "mean-%")
+	b.ReportMetric(100*max, "max-%")
+}
+
+// --- ablations (DESIGN.md §7) ------------------------------------------
+
+// BenchmarkAblationTWA compares time-weighted vs unweighted merging.
+func BenchmarkAblationTWA(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var overlap float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationTWA()
+		if err != nil {
+			b.Fatal(err)
+		}
+		overlap = 0
+		for _, r := range res {
+			overlap += r.OverlapTop10
+		}
+		overlap /= float64(len(res))
+	}
+	b.ReportMetric(overlap, "top10-overlap")
+}
+
+// BenchmarkAblationEnsembleReduction compares min vs mean reduction.
+func BenchmarkAblationEnsembleReduction(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var minR, meanR float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationEnsembleReduction()
+		if err != nil {
+			b.Fatal(err)
+		}
+		minR, meanR = 0, 0
+		for _, r := range res {
+			minR += r.MinRatio
+			meanR += r.MeanRatio
+		}
+		minR /= float64(len(res))
+		meanR /= float64(len(res))
+	}
+	b.ReportMetric(minR, "min/measured")
+	b.ReportMetric(meanR, "mean/measured")
+}
+
+// BenchmarkAblationMultiplex compares multiplexed vs oracle sampling.
+func BenchmarkAblationMultiplex(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var overlap float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationMultiplex()
+		if err != nil {
+			b.Fatal(err)
+		}
+		overlap = 0
+		for _, r := range res {
+			overlap += r.OverlapTop10
+		}
+		overlap /= float64(len(res))
+	}
+	b.ReportMetric(overlap, "top10-overlap")
+}
+
+// BenchmarkAblationTrainingSize sweeps the training-set size.
+func BenchmarkAblationTrainingSize(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var small, full float64
+	for i := 0; i < b.N; i++ {
+		pts, err := s.AblationTrainingSize([]int{4, 23})
+		if err != nil {
+			b.Fatal(err)
+		}
+		small, full = pts[0].MeanOverlapTop10, pts[1].MeanOverlapTop10
+	}
+	b.ReportMetric(small, "overlap@4")
+	b.ReportMetric(full, "overlap@23")
+}
+
+// BenchmarkAblationRightFitGreedy compares the Dijkstra right fit's
+// squared error against the greedy alternative on random fronts.
+func BenchmarkAblationRightFitGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	fronts := make([][]geom.Point, 50)
+	for i := range fronts {
+		n := 4 + rng.Intn(12)
+		front := make([]geom.Point, n)
+		x, y := 1.0, 100.0
+		for j := 0; j < n; j++ {
+			x += 0.5 + rng.Float64()*3
+			y *= 0.4 + rng.Float64()*0.55
+			front[j] = geom.Point{X: x, Y: y}
+		}
+		fronts[i] = front
+	}
+	b.ResetTimer()
+	var dijkstraWins int
+	for i := 0; i < b.N; i++ {
+		dijkstraWins = 0
+		for _, front := range fronts {
+			var samples []core.Sample
+			for _, p := range front {
+				samples = append(samples, core.Sample{Metric: "m", T: 1, W: p.Y, M: p.Y / p.X})
+			}
+			r, err := core.FitRoofline("m", samples)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if experiments.RightFitError(r, front) < experiments.GreedyRightFit(front)-1e-9 {
+				dijkstraWins++
+			}
+		}
+	}
+	b.ReportMetric(float64(dijkstraWins), "strict-wins/50")
+}
+
+// --- micro-benchmarks ---------------------------------------------------
+
+// BenchmarkFitRoofline times fitting one metric roofline on 3k samples
+// (the paper's per-metric training volume).
+func BenchmarkFitRoofline(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]core.Sample, 3000)
+	for i := range samples {
+		iX := math1p(rng.ExpFloat64() * 20)
+		p := 4 * iX / (iX + 10) * (0.7 + 0.3*rng.Float64())
+		w := p * 1000
+		samples[i] = core.Sample{Metric: "m", T: 1000, W: w, M: w / iX}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FitRoofline("m", samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func math1p(x float64) float64 { return 1 + x }
+
+// BenchmarkEnsembleEstimate times a full workload estimation against the
+// trained ensemble.
+func BenchmarkEnsembleEstimate(b *testing.B) {
+	s := benchSession(b)
+	ens, err := s.Ensemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs, err := s.TestRuns()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := runs[0].Data
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ens.Estimate(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures raw simulation speed in cycles/op on a
+// mixed workload.
+func BenchmarkSimulator(b *testing.B) {
+	spec, err := workloads.ByName("fftw")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		s, err := sim.New(uarch.Default(), spec.Build(0.05), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := s.Run(50_000_000)
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/float64(b.N), "cycles/run")
+}
+
+// BenchmarkAblationMicrobenchTraining compares application-trained and
+// microbenchmark-trained models (the paper's two training regimes).
+func BenchmarkAblationMicrobenchTraining(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var overlap float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationMicrobenchTraining()
+		if err != nil {
+			b.Fatal(err)
+		}
+		overlap = 0
+		for _, r := range res {
+			overlap += r.OverlapTop10
+		}
+		overlap /= float64(len(res))
+	}
+	b.ReportMetric(overlap, "top10-overlap")
+}
+
+// BenchmarkAblationPrefetcher measures the stride prefetcher's effect on
+// streaming vs pointer-chasing workloads.
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var stream, chase float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationPrefetcher()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			switch r.Workload {
+			case "remhos":
+				stream = r.Speedup
+			case "faiss-sift1m":
+				chase = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(stream, "stream-speedup")
+	b.ReportMetric(chase, "chase-speedup")
+}
+
+// BenchmarkCrossValidation runs the leave-one-out generalization check
+// and reports the violation rate and median bound tightness.
+func BenchmarkCrossValidation(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var viol, median float64
+	for i := 0; i < b.N; i++ {
+		cv, err := s.CrossValidate(0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		viol, median = cv.ViolationRate, cv.MedianRatio
+	}
+	b.ReportMetric(100*viol, "violations-%")
+	b.ReportMetric(median, "median-ratio")
+}
+
+// BenchmarkAblationInterval sweeps the sampling interval and reports
+// ranking stability at half and double the default.
+func BenchmarkAblationInterval(b *testing.B) {
+	s := benchSession(b)
+	base := s.Cfg.IntervalCycles
+	b.ResetTimer()
+	var half, double float64
+	for i := 0; i < b.N; i++ {
+		pts, err := s.AblationInterval([]uint64{base / 2, base * 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		half, double = pts[0].MeanOverlapTop10, pts[1].MeanOverlapTop10
+	}
+	b.ReportMetric(half, "overlap@half")
+	b.ReportMetric(double, "overlap@double")
+}
+
+// BenchmarkTraceCodec measures trace encode+decode throughput.
+func BenchmarkTraceCodec(b *testing.B) {
+	spec, err := workloads.ByName("numenta-nab")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := spec.Build(0.1)
+	p.Reset(1)
+	insts := isa.Collect(p, 40000)
+	b.ResetTimer()
+	var bytesPerInst float64
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, insts); err != nil {
+			b.Fatal(err)
+		}
+		encoded := buf.Len() // Read drains the buffer; measure first
+		got, err := trace.Read(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(insts) {
+			b.Fatal("length mismatch")
+		}
+		bytesPerInst = float64(encoded) / float64(len(insts))
+	}
+	b.ReportMetric(bytesPerInst, "bytes/inst")
+}
+
+// BenchmarkCorrelations measures the confounding detector over a full
+// test-workload dataset.
+func BenchmarkCorrelations(b *testing.B) {
+	s := benchSession(b)
+	runs, err := s.TestRuns()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := runs[0].Data
+	b.ResetTimer()
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		pairs = len(analysis.Correlations(data, 5, 0.95))
+	}
+	b.ReportMetric(float64(pairs), "pairs>=0.95")
+}
+
+// BenchmarkAblationSeeds measures ranking stability across random seeds.
+func BenchmarkAblationSeeds(b *testing.B) {
+	s := benchSession(b)
+	b.ResetTimer()
+	var stability float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.AblationSeeds([]int64{1, 2, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stability = 0
+		for _, r := range res {
+			stability += r.MeanOverlapTop10
+		}
+		stability /= float64(len(res))
+	}
+	b.ReportMetric(stability, "seed-stability")
+}

@@ -1,0 +1,182 @@
+// Command perfstat runs a suite workload on the simulated CPU core and
+// collects performance counter samples the way `perf stat` does on real
+// hardware: fixed counters for time and work, multiplexed programmable
+// counters for the metric events. The sample dataset is written as JSON
+// for spire train / spire analyze.
+//
+// Usage:
+//
+//	perfstat -list
+//	perfstat -workload onnx -o onnx.json
+//	perfstat -workload tnn -scale 0.5 -interval 25000 -oracle -o tnn.json
+//	perfstat -workload fftw -record-trace fftw.trc
+//	perfstat -trace fftw.trc -o fftw.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spire/internal/calibrate"
+	"spire/internal/core"
+	"spire/internal/isa"
+	"spire/internal/perfstat"
+	"spire/internal/sim"
+	"spire/internal/tma"
+	"spire/internal/trace"
+	"spire/internal/uarch"
+	"spire/internal/workloads"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		workload = flag.String("workload", "", "workload name (see -list)")
+		scale    = flag.Float64("scale", 1.0, "dynamic instruction count multiplier")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		interval = flag.Uint64("interval", 50_000, "sampling interval in cycles")
+		maxCy    = flag.Uint64("max-cycles", 4_000_000, "simulation cycle cap")
+		oracle   = flag.Bool("oracle", false, "disable counter multiplexing (count everything always)")
+		out      = flag.String("o", "", "output file for the sample dataset (default stdout)")
+		traceOut = flag.String("record-trace", "", "record the workload's instruction trace to this file and exit")
+		traceIn  = flag.String("trace", "", "run a recorded trace file instead of a named workload")
+		coreName = flag.String("core", "default", "microarchitecture: default, little, or a JSON config file")
+		kernelIn = flag.String("kernel", "", "run a custom kernel definition (JSON, see workloads.Kernel) instead of a named workload")
+		showTMA  = flag.Bool("tma", false, "print the Top-Down Analysis drill-down after the run")
+		calProbe = flag.Bool("calibrate", false, "characterize the selected core with probe kernels and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available workloads (training + testing):")
+		for _, spec := range workloads.All() {
+			set := "train"
+			if spec.Testing {
+				set = "test"
+			}
+			fmt.Printf("  %-18s %-6s expected bottleneck: %s\n", spec.Name, set, spec.Expected)
+		}
+		return
+	}
+	if *calProbe {
+		cfg, err := uarch.ByName(*coreName)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := calibrate.Discover(cfg, calibrate.Options{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("machine characterization (%s):\n%s", cfg.Name, m.Report(cfg))
+		return
+	}
+	if *workload == "" && *traceIn == "" && *kernelIn == "" {
+		fmt.Fprintln(os.Stderr, "perfstat: -workload, -trace or -kernel is required (or -list)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var prog isa.Program
+	name := *workload
+	if *kernelIn != "" {
+		f, err := os.Open(*kernelIn)
+		if err != nil {
+			fatal(err)
+		}
+		k, err := workloads.ReadKernel(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		k.TotalInsts = int(float64(k.TotalInsts) * *scale)
+		if k.TotalInsts < 2000 {
+			k.TotalInsts = 2000
+		}
+		prog = k
+		name = k.KName
+	} else if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err = trace.Load(f, *traceIn)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		name = prog.Name()
+	} else {
+		spec, err := workloads.ByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		prog = spec.Build(*scale)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := trace.Record(f, prog, *seed, 1<<24)
+		if err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "perfstat: recorded %d instructions to %s\n", n, *traceOut)
+		return
+	}
+	cfg, err := uarch.ByName(*coreName)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := sim.New(cfg, prog, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	data, rep, err := perfstat.Collect(s, name, perfstat.Options{
+		IntervalCycles: *interval,
+		MaxCycles:      *maxCy,
+		Multiplex:      !*oracle,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := core.WriteDataset(w, data); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"perfstat: %s ran %d instructions in %d cycles (IPC %.2f); %d samples over %d intervals, %.1f%% sampling overhead\n",
+		rep.Workload, rep.Instructions, rep.Cycles, rep.IPC, rep.Samples, rep.Intervals, 100*rep.OverheadFraction)
+
+	if *showTMA {
+		tree, err := tma.Tree(s.PMU().Snapshot(), cfg.IssueWidth)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "\nTop-Down Analysis (%s):\n", name)
+		if err := tree.Render(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfstat:", err)
+	os.Exit(1)
+}

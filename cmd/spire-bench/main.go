@@ -1,0 +1,355 @@
+// Command spire-bench regenerates every table and figure from the paper's
+// evaluation (§IV-V) plus the ablation studies called out in DESIGN.md.
+//
+// Usage:
+//
+//	spire-bench -all
+//	spire-bench -table2 -scale 0.5
+//	spire-bench -fig7 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"spire/internal/experiments"
+	"spire/internal/htmlreport"
+	"spire/internal/report"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		table1   = flag.Bool("table1", false, "Table I: workload TMA classification")
+		table2   = flag.Bool("table2", false, "Table II: SPIRE top metrics per test workload")
+		table3   = flag.Bool("table3", false, "Table III: metric abbreviation registry")
+		fig2     = flag.Bool("fig2", false, "Fig 2: classic roofline with two apps")
+		fig5     = flag.Bool("fig5", false, "Fig 5: left-region fitting walkthrough")
+		fig6     = flag.Bool("fig6", false, "Fig 6: right-region fitting walkthrough")
+		fig7     = flag.Bool("fig7", false, "Fig 7: learned rooflines (BP.1, DB.2)")
+		overhead = flag.Bool("overhead", false, "sampling overhead experiment")
+		ablate   = flag.Bool("ablations", false, "design-choice ablations")
+		scale    = flag.Float64("scale", 1.0, "workload length multiplier")
+		seed     = flag.Int64("seed", 42, "experiment seed")
+		parallel = flag.Int("parallel", 4, "concurrent workload simulations")
+		csvDir   = flag.String("csv", "", "directory to write figure CSV series into")
+		htmlOut  = flag.String("html", "", "write a self-contained HTML dashboard of the evaluation to this file")
+	)
+	flag.Parse()
+
+	if !(*all || *table1 || *table2 || *table3 || *fig2 || *fig5 || *fig6 || *fig7 || *overhead || *ablate || *htmlOut != "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.Parallel = *parallel
+	sess := experiments.NewSession(cfg)
+
+	start := time.Now()
+	run := func(name string, enabled bool, f func() error) {
+		if !enabled && !*all {
+			return
+		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "spire-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table1", *table1, func() error {
+		rows, err := sess.Table1()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderTable1(os.Stdout, rows)
+	})
+	run("table2", *table2, func() error {
+		cols, err := sess.Table2()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderTable2(os.Stdout, cols)
+	})
+	run("table3", *table3, func() error {
+		return experiments.RenderTable3(os.Stdout)
+	})
+	run("fig2", *fig2, func() error {
+		fig, err := sess.Fig2()
+		if err != nil {
+			return err
+		}
+		apps := report.Series{Name: "apps"}
+		for _, a := range fig.Apps {
+			apps.X = append(apps.X, a.Intensity)
+			apps.Y = append(apps.Y, a.Throughput)
+		}
+		fmt.Println("Fig 2: classic roofline (IPC vs instructions/DRAM-byte)")
+		for _, a := range fig.Apps {
+			fmt.Printf("  %s: I=%.3g, P=%.2f -> %s\n", a.Name, a.Intensity, a.Throughput, fig.Bounds[a.Name])
+		}
+		if err := report.AsciiPlot(os.Stdout, 72, 18, fig.Roof, apps, fig.DRAM, fig.Scalar); err != nil {
+			return err
+		}
+		return writeCSV(*csvDir, "fig2.csv", fig.Roof, fig.DRAM, fig.Scalar, apps)
+	})
+	run("fig5", *fig5, func() error {
+		d, err := experiments.Fig5()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig 5: left-region convex-hull fit")
+		printDemo(d)
+		return writeCSV(*csvDir, "fig5.csv", d.Curve, d.Points)
+	})
+	run("fig6", *fig6, func() error {
+		d, err := experiments.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig 6: right-region Pareto + shortest-path fit")
+		printDemo(d)
+		fmt.Printf("  total squared overestimation: %.2f\n", d.TotalSquaredError)
+		return writeCSV(*csvDir, "fig6.csv", d.Curve, d.Points)
+	})
+	run("fig7", *fig7, func() error {
+		figs, err := sess.Fig7()
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			fmt.Printf("Fig 7 (%s = %s): %d training samples, peak (%.3g, %.3g), tail %.3g\n",
+				f.Abbr, f.Metric, len(f.Samples.X), f.Roofline.Peak().X, f.Roofline.Peak().Y, f.Roofline.TailY)
+			if err := report.AsciiPlot(os.Stdout, 72, 16, f.Curve, f.Samples); err != nil {
+				return err
+			}
+			if err := writeCSV(*csvDir, "fig7-"+f.Abbr+".csv", f.Curve, f.Samples); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	run("overhead", *overhead, func() error {
+		oh, err := sess.Overhead()
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(oh.PerWorkload))
+		for n := range oh.PerWorkload {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t := report.Table{
+			Title:   "Sampling overhead per workload (paper: 1.6% avg, 4.6% max)",
+			Headers: []string{"Workload", "Overhead"},
+		}
+		for _, n := range names {
+			t.AddRow(n, fmt.Sprintf("%.2f%%", 100*oh.PerWorkload[n]))
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Printf("mean %.2f%%, max %.2f%%\n", 100*oh.Mean, 100*oh.Max)
+		return nil
+	})
+	run("ablations", *ablate, func() error {
+		return runAblations(sess)
+	})
+
+	if *htmlOut != "" {
+		t0 := time.Now()
+		page, err := htmlreport.ExperimentsPage(sess)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spire-bench: html: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "spire-bench: html: %v\n", err)
+			os.Exit(1)
+		}
+		if err := page.Render(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "spire-bench: html: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "spire-bench: html: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[html dashboard written to %s in %v]\n", *htmlOut, time.Since(t0).Round(time.Millisecond))
+	}
+
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func printDemo(d *experiments.FitDemo) {
+	fmt.Printf("  samples: %v\n", d.Samples)
+	fmt.Printf("  left breakpoints:  %v\n", d.Roofline.Left)
+	fmt.Printf("  right breakpoints: %v (tail %.3g)\n", d.Roofline.Right, d.Roofline.TailY)
+	report.AsciiPlot(os.Stdout, 72, 14, d.Curve, d.Points)
+}
+
+func writeCSV(dir, name string, series ...report.Series) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.WriteCSV(f, series...); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", filepath.Join(dir, name))
+	return f.Close()
+}
+
+func runAblations(sess *experiments.Session) error {
+	twa, err := sess.AblationTWA()
+	if err != nil {
+		return err
+	}
+	t := report.Table{
+		Title:   "Ablation: time-weighted average (Eq. 1) vs unweighted mean",
+		Headers: []string{"Workload", "Spearman rho", "Top-10 overlap", "|min shift|"},
+	}
+	for _, r := range twa {
+		t.AddRow(r.Workload, fmt.Sprintf("%.3f", r.SpearmanRho),
+			fmt.Sprintf("%.2f", r.OverlapTop10), fmt.Sprintf("%.4f", r.MinShiftAbs))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	red, err := sess.AblationEnsembleReduction()
+	if err != nil {
+		return err
+	}
+	t = report.Table{
+		Title:   "Ablation: min-reduction vs mean-reduction of per-metric estimates",
+		Headers: []string{"Workload", "Measured", "Min est.", "Mean est.", "Min/meas", "Mean/meas"},
+	}
+	for _, r := range red {
+		t.AddRow(r.Workload, fmt.Sprintf("%.2f", r.Measured),
+			fmt.Sprintf("%.2f", r.MinEst), fmt.Sprintf("%.2f", r.MeanEst),
+			fmt.Sprintf("%.2f", r.MinRatio), fmt.Sprintf("%.2f", r.MeanRatio))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	mux, err := sess.AblationMultiplex()
+	if err != nil {
+		return err
+	}
+	t = report.Table{
+		Title:   "Ablation: multiplexed sampling vs oracle PMU",
+		Headers: []string{"Workload", "Spearman rho", "Top-10 overlap"},
+	}
+	for _, r := range mux {
+		t.AddRow(r.Workload, fmt.Sprintf("%.3f", r.SpearmanRho), fmt.Sprintf("%.2f", r.OverlapTop10))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	sizes, err := sess.AblationTrainingSize([]int{4, 8, 16, 23})
+	if err != nil {
+		return err
+	}
+	t = report.Table{
+		Title:   "Ablation: training-set size vs ranking stability",
+		Headers: []string{"Training workloads", "Mean top-10 overlap with full model"},
+	}
+	for _, p := range sizes {
+		t.AddRow(fmt.Sprintf("%d", p.Workloads), fmt.Sprintf("%.2f", p.MeanOverlapTop10))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	mb, err := sess.AblationMicrobenchTraining()
+	if err != nil {
+		return err
+	}
+	t = report.Table{
+		Title:   "Ablation: application-trained vs microbenchmark-trained model (paper's 'ideal' regime)",
+		Headers: []string{"Workload", "App top-1", "Microbench top-1", "Top-10 overlap", "Estimate ratio"},
+	}
+	for _, r := range mb {
+		t.AddRow(r.Workload, r.WorkloadTrainedTop1, r.MicrobenchTrainedTop1,
+			fmt.Sprintf("%.2f", r.OverlapTop10), fmt.Sprintf("%.2f", r.EstimateRatio))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	pf, err := sess.AblationPrefetcher()
+	if err != nil {
+		return err
+	}
+	t = report.Table{
+		Title:   "Ablation: L2 stride prefetcher (simulator extension)",
+		Headers: []string{"Workload", "Base IPC", "Prefetch IPC", "Speedup"},
+	}
+	for _, r := range pf {
+		t.AddRow(r.Workload, fmt.Sprintf("%.3f", r.BaseIPC),
+			fmt.Sprintf("%.3f", r.PrefetchIPC), fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	seeds, err := sess.AblationSeeds([]int64{sess.Cfg.Seed, sess.Cfg.Seed + 1, sess.Cfg.Seed + 2})
+	if err != nil {
+		return err
+	}
+	t = report.Table{
+		Title:   "Ablation: ranking stability across seeds",
+		Headers: []string{"Workload", "Mean pairwise top-10 overlap"},
+	}
+	for _, r := range seeds {
+		t.AddRow(r.Workload, fmt.Sprintf("%.2f", r.MeanOverlapTop10))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	cv, err := sess.CrossValidate(0.10)
+	if err != nil {
+		return err
+	}
+	t = report.Table{
+		Title:   "Leave-one-out cross-validation: does the bound hold for unseen workloads?",
+		Headers: []string{"Held-out workload", "Measured", "Bound", "Bound/measured"},
+	}
+	for _, p := range cv.Points {
+		t.AddRow(p.Workload, fmt.Sprintf("%.3f", p.Measured),
+			fmt.Sprintf("%.3f", p.Estimate), fmt.Sprintf("%.2f", p.Ratio))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("violations (ratio < %.2f): %.0f%%; median ratio %.2f, worst %.2f\n",
+		1-cv.Tolerance, 100*cv.ViolationRate, cv.MedianRatio, cv.WorstRatio)
+	return nil
+}

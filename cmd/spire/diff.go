@@ -1,0 +1,97 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spire/internal/core"
+	"spire/internal/pmu"
+	"spire/internal/report"
+)
+
+// cmdDiff compares two analyses of (presumably) the same workload before
+// and after a change: throughput movement, bound movement, and how the
+// bottleneck ranking shifted. This is the workflow the paper motivates —
+// relieve the top metric, re-measure, see what binds next.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "trained model file")
+	top := fs.Int("top", 10, "number of ranked metrics to compare")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff needs exactly two dataset files (before, after)")
+	}
+	ens, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	before, err := readDatasets(fs.Args()[:1])
+	if err != nil {
+		return err
+	}
+	after, err := readDatasets(fs.Args()[1:])
+	if err != nil {
+		return err
+	}
+	estB, err := ens.Estimate(before)
+	if err != nil {
+		return fmt.Errorf("before: %w", err)
+	}
+	estA, err := ens.Estimate(after)
+	if err != nil {
+		return fmt.Errorf("after: %w", err)
+	}
+
+	speedup := 0.0
+	if estB.MeasuredThroughput > 0 {
+		speedup = estA.MeasuredThroughput / estB.MeasuredThroughput
+	}
+	fmt.Printf("measured: %.3f -> %.3f (%.2fx)\n", estB.MeasuredThroughput, estA.MeasuredThroughput, speedup)
+	fmt.Printf("SPIRE bound: %.3f -> %.3f\n\n", estB.MaxThroughput, estA.MaxThroughput)
+
+	t := report.Table{
+		Title:   fmt.Sprintf("Ranking movement (top %d of the 'after' run)", *top),
+		Headers: []string{"After rank", "Before rank", "Abbr", "Metric", "Bound before", "Bound after"},
+	}
+	beforeBy := make(map[string]core.MetricEstimate, len(estB.PerMetric))
+	for _, m := range estB.PerMetric {
+		beforeBy[m.Metric] = m
+	}
+	for i, m := range estA.TopMetrics(*top) {
+		abbr := m.Metric
+		if ev, ok := pmu.Lookup(m.Metric); ok {
+			abbr = ev.Abbr
+		}
+		beforeRank := "-"
+		beforeBound := "-"
+		if r := estB.Rank(m.Metric); r > 0 {
+			beforeRank = fmt.Sprintf("%d", r)
+			beforeBound = fmt.Sprintf("%.3f", beforeBy[m.Metric].MeanEstimate)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", i+1),
+			beforeRank,
+			abbr,
+			m.Metric,
+			beforeBound,
+			fmt.Sprintf("%.3f", m.MeanEstimate),
+		)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Call out the binding-metric change explicitly.
+	if len(estB.PerMetric) > 0 && len(estA.PerMetric) > 0 {
+		b0, a0 := estB.PerMetric[0].Metric, estA.PerMetric[0].Metric
+		if b0 == a0 {
+			fmt.Printf("\nbinding metric unchanged: %s — the change did not relieve the bottleneck\n", b0)
+		} else {
+			fmt.Printf("\nbinding metric moved: %s -> %s — the original bottleneck was relieved\n", b0, a0)
+		}
+	}
+	return nil
+}

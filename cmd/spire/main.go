@@ -1,0 +1,235 @@
+// Command spire trains and applies SPIRE models from the command line.
+//
+// Usage:
+//
+//	spire train -o model.json sample1.json sample2.json ...
+//	spire analyze -model model.json -top 10 workload.json
+//	spire info -model model.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spire/internal/analysis"
+	"spire/internal/core"
+	"spire/internal/htmlreport"
+	"spire/internal/pmu"
+	"spire/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "spire: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spire:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `spire - statistical piecewise linear roofline ensemble
+
+commands:
+  train    -o model.json [-min-samples N] dataset.json...
+  analyze  -model model.json [-top K] [-interpret] [-timeline] [-html out.html] dataset.json...
+  diff     -model model.json [-top K] before.json after.json
+  info     -model model.json`)
+}
+
+func readDatasets(paths []string) (core.Dataset, error) {
+	var all core.Dataset
+	if len(paths) == 0 {
+		return all, fmt.Errorf("no dataset files given")
+	}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return all, err
+		}
+		d, err := core.ReadDataset(f)
+		f.Close()
+		if err != nil {
+			return all, fmt.Errorf("%s: %w", p, err)
+		}
+		all.Merge(d)
+	}
+	return all, nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	out := fs.String("o", "model.json", "output model file")
+	minSamples := fs.Int("min-samples", 0, "drop metrics with fewer training samples")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := readDatasets(fs.Args())
+	if err != nil {
+		return err
+	}
+	ens, err := core.Train(data, core.TrainOptions{
+		WorkUnit:   "instructions",
+		TimeUnit:   "cycles",
+		MinSamples: *minSamples,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := ens.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("trained %d rooflines from %d samples -> %s\n", len(ens.Rooflines), data.Len(), *out)
+	return f.Close()
+}
+
+func loadModel(path string) (*core.Ensemble, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.LoadEnsemble(f)
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "trained model file")
+	top := fs.Int("top", 10, "number of candidate bottleneck metrics to print")
+	interpret := fs.Bool("interpret", false, "print the interpreted bottleneck-pool report")
+	timeline := fs.Bool("timeline", false, "print the per-window bottleneck timeline")
+	htmlOut := fs.String("html", "", "write a self-contained HTML report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ens, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	data, err := readDatasets(fs.Args())
+	if err != nil {
+		return err
+	}
+	est, err := ens.Estimate(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured throughput: %.3f %s/%s\n", est.MeasuredThroughput, ens.WorkUnit, ens.TimeUnit)
+	fmt.Printf("SPIRE max-throughput estimate: %.3f (min over %d metrics)\n\n",
+		est.MaxThroughput, len(est.PerMetric))
+	t := report.Table{
+		Title:   fmt.Sprintf("Top %d candidate bottleneck metrics (lowest estimates first)", *top),
+		Headers: []string{"Rank", "Mean est.", "Abbr", "Metric", "Closest TMA area", "Samples"},
+	}
+	for i, m := range est.TopMetrics(*top) {
+		abbr, area := "?", "?"
+		if ev, ok := pmu.Lookup(m.Metric); ok {
+			abbr, area = ev.Abbr, ev.Area.String()
+		}
+		t.AddRow(fmt.Sprintf("%d", i+1), fmt.Sprintf("%.3f", m.MeanEstimate),
+			abbr, m.Metric, area, fmt.Sprintf("%d", m.Samples))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		return err
+	}
+	if *interpret {
+		rep, err := analysis.Analyze(est, analysis.Options{MaxPool: *top, Model: ens})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := rep.Render(os.Stdout); err != nil {
+			return err
+		}
+		if best, ok := analysis.BestSingleRelief(est); ok {
+			fmt.Printf("\nwhat-if: relieving %s alone would raise the bound to %.3f (%+.0f%%)\n",
+				best.Metric, best.NewBound, 100*best.Uplift)
+		} else {
+			fmt.Println("\nwhat-if: no single-metric relief raises the bound (several metrics tie at the bound)")
+		}
+	}
+	if *timeline {
+		tl, err := analysis.Timeline(ens, data)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := analysis.RenderTimeline(os.Stdout, tl); err != nil {
+			return err
+		}
+	}
+	if *htmlOut != "" {
+		page, err := htmlreport.AnalysisPage("SPIRE analysis", ens, data, *top)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		if err := page.Render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote HTML report to %s\n", *htmlOut)
+	}
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	modelPath := fs.String("model", "model.json", "trained model file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ens, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SPIRE ensemble: %d rooflines, throughput unit %s/%s\n",
+		len(ens.Rooflines), ens.WorkUnit, ens.TimeUnit)
+	t := report.Table{
+		Headers: []string{"Metric", "Train samples", "Peak I", "Peak P", "Left pts", "Right pts", "Tail"},
+	}
+	for _, name := range ens.Metrics() {
+		r := ens.Rooflines[name]
+		peak := r.Peak()
+		t.AddRow(name,
+			fmt.Sprintf("%d", r.TrainingSamples),
+			fmt.Sprintf("%.3g", peak.X),
+			fmt.Sprintf("%.3g", peak.Y),
+			fmt.Sprintf("%d", len(r.Left)),
+			fmt.Sprintf("%d", len(r.Right)),
+			fmt.Sprintf("%.3g", r.TailY),
+		)
+	}
+	return t.Render(os.Stdout)
+}

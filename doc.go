@@ -1,0 +1,33 @@
+// Package spire is a from-scratch Go reproduction of "SPIRE: Inferring
+// Hardware Bottlenecks from Performance Counter Data" (Wendt, Ketkar,
+// Bertacco — DATE 2025).
+//
+// SPIRE (Statistical Piecewise Linear Roofline Ensemble) estimates the
+// maximum throughput a workload can attain on a processor from hardware
+// performance counter samples, and ranks the counters by how strongly
+// they bound the workload: the lowest-bounding metrics are the likely
+// microarchitectural bottlenecks.
+//
+// The repository contains both the model and everything the paper's
+// evaluation depends on, rebuilt as simulation substrates:
+//
+//   - internal/core — the SPIRE model: samples, per-metric piecewise
+//     linear rooflines (convex-hull left fit, Pareto + Dijkstra right
+//     fit), the min-of-time-weighted-means ensemble, and analysis.
+//   - internal/sim, internal/mem, internal/uarch, internal/pmu — a
+//     cycle-approximate out-of-order CPU core with a Skylake-SP-like
+//     configuration, a three-level cache hierarchy with DRAM bandwidth
+//     limits, and a perf-style event architecture.
+//   - internal/perfstat — perf-stat-style interval sampling with counter
+//     multiplexing and scaling.
+//   - internal/workloads — 27 synthetic kernels standing in for the
+//     paper's Phoronix HPC suite (Table I).
+//   - internal/tma — Top-Down Microarchitecture Analysis, the VTune
+//     baseline the paper validates against.
+//   - internal/roofline — the classic roofline model SPIRE generalizes.
+//   - internal/experiments — orchestration that regenerates every table
+//     and figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package spire

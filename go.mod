@@ -1,0 +1,3 @@
+module spire
+
+go 1.22

@@ -1,0 +1,261 @@
+// Package analysis turns a raw SPIRE estimation into an interpreted
+// bottleneck report, implementing the paper's §III-C guidance:
+// "we suggest considering a range of low-valued metrics to all be
+// potential bottlenecks. Factors such as measurement noise and imperfect
+// modeling may cause some uncertainty in these values. Further,
+// associations between metrics, such as causal and confounded
+// relationships, can complicate subsequent testing and analyses."
+//
+// Concretely: it selects a pool of near-minimum metrics rather than a
+// single winner, aggregates the pool by microarchitecture area, flags
+// clusters of metrics with indistinguishable estimates (likely measuring
+// one underlying cause), and reports the throughput headroom implied by
+// the ensemble bound.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"spire/internal/core"
+	"spire/internal/pmu"
+	"spire/internal/report"
+)
+
+// Options tunes pool selection.
+type Options struct {
+	// PoolTolerance admits metrics whose estimate is within this
+	// relative distance of the minimum (default 0.15, i.e. +15%).
+	PoolTolerance float64
+	// MaxPool caps the pool size (default 10, the paper's table width).
+	MaxPool int
+	// ClusterTolerance groups pool metrics whose estimates differ by
+	// less than this relative amount into one confounded cluster
+	// (default 0.02).
+	ClusterTolerance float64
+	// Model, when set, lets the analysis classify each pool metric's
+	// operating region against its learned roofline, yielding an
+	// improvement direction per finding.
+	Model *core.Ensemble
+}
+
+func (o *Options) setDefaults() {
+	if o.PoolTolerance <= 0 {
+		o.PoolTolerance = 0.15
+	}
+	if o.MaxPool <= 0 {
+		o.MaxPool = 10
+	}
+	if o.ClusterTolerance <= 0 {
+		o.ClusterTolerance = 0.02
+	}
+}
+
+// Finding is one pool member.
+type Finding struct {
+	Metric   string
+	Abbr     string
+	Area     pmu.Area
+	Estimate float64
+	// Slack is estimate/minEstimate - 1: zero for the binding metric,
+	// growing with distance from the front of the ranking.
+	Slack float64
+	// Cluster indexes the confounded group this finding belongs to
+	// (findings in the same cluster have statistically
+	// indistinguishable estimates).
+	Cluster int
+	// Region is where the workload operates on this metric's roofline
+	// (only set when Options.Model was provided): left of the peak
+	// means the event behaves as harmful here — reducing its rate
+	// should raise the bound.
+	Region core.Region
+	// HasRegion reports whether Region is meaningful.
+	HasRegion bool
+}
+
+// Report is the interpreted analysis.
+type Report struct {
+	// Measured and Estimate are the workload's observed throughput and
+	// SPIRE's attainable bound.
+	Measured float64
+	Estimate float64
+	// Headroom is Estimate/Measured - 1 (negative when the workload
+	// already exceeds the learned bound — a sign the model's training
+	// did not cover this regime).
+	Headroom float64
+	// Pool is the candidate-bottleneck pool, ascending by estimate.
+	Pool []Finding
+	// Clusters is the number of distinct confounded groups in the pool:
+	// a rough count of independent bottleneck hypotheses to test.
+	Clusters int
+	// AreaShares is the fraction of pool members per TMA area.
+	AreaShares map[pmu.Area]float64
+	// PrimaryArea is the area with the largest share (ties resolve to
+	// the area of the lowest-estimate finding).
+	PrimaryArea pmu.Area
+}
+
+// ErrEmptyEstimation is returned for estimations with no metrics.
+var ErrEmptyEstimation = errors.New("analysis: estimation has no metrics")
+
+// Analyze interprets an estimation.
+func Analyze(est *core.Estimation, opts Options) (*Report, error) {
+	opts.setDefaults()
+	if est == nil || len(est.PerMetric) == 0 {
+		return nil, ErrEmptyEstimation
+	}
+	minEst := est.PerMetric[0].MeanEstimate
+	r := &Report{
+		Measured:   est.MeasuredThroughput,
+		Estimate:   est.MaxThroughput,
+		AreaShares: make(map[pmu.Area]float64),
+	}
+	if r.Measured > 0 && !math.IsNaN(r.Measured) {
+		r.Headroom = r.Estimate/r.Measured - 1
+	} else {
+		r.Headroom = math.NaN()
+	}
+
+	for _, m := range est.PerMetric {
+		if len(r.Pool) >= opts.MaxPool {
+			break
+		}
+		slack := 0.0
+		if minEst > 0 {
+			slack = m.MeanEstimate/minEst - 1
+		} else {
+			slack = m.MeanEstimate - minEst
+		}
+		if slack > opts.PoolTolerance && len(r.Pool) > 0 {
+			break
+		}
+		f := Finding{
+			Metric:   m.Metric,
+			Estimate: m.MeanEstimate,
+			Slack:    slack,
+			Abbr:     m.Metric,
+			Area:     pmu.AreaNone,
+		}
+		if ev, ok := pmu.Lookup(m.Metric); ok {
+			f.Abbr = ev.Abbr
+			f.Area = ev.Area
+		}
+		if opts.Model != nil {
+			if rl := opts.Model.Rooflines[m.Metric]; rl != nil {
+				f.Region = rl.Region(m.MeanIntensity)
+				f.HasRegion = true
+			}
+		}
+		r.Pool = append(r.Pool, f)
+	}
+
+	// Cluster pool members whose estimates are indistinguishable: walk
+	// the ascending list and break a cluster when the relative gap to
+	// the previous member exceeds the tolerance.
+	cluster := 0
+	for i := range r.Pool {
+		if i > 0 {
+			prev := r.Pool[i-1].Estimate
+			gap := 0.0
+			if prev > 0 {
+				gap = r.Pool[i].Estimate/prev - 1
+			} else {
+				gap = r.Pool[i].Estimate - prev
+			}
+			if gap > opts.ClusterTolerance {
+				cluster++
+			}
+		}
+		r.Pool[i].Cluster = cluster
+	}
+	r.Clusters = cluster + 1
+
+	for _, f := range r.Pool {
+		r.AreaShares[f.Area] += 1 / float64(len(r.Pool))
+	}
+	best := r.Pool[0].Area
+	bestShare := r.AreaShares[best]
+	for area, share := range r.AreaShares {
+		if share > bestShare {
+			best, bestShare = area, share
+		}
+	}
+	r.PrimaryArea = best
+	return r, nil
+}
+
+// Render writes a human-readable summary.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "measured throughput %.3f; SPIRE attainable bound %.3f", r.Measured, r.Estimate); err != nil {
+		return err
+	}
+	if !math.IsNaN(r.Headroom) {
+		if _, err := fmt.Fprintf(w, " (headroom %+.0f%%)", 100*r.Headroom); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\nprimary bottleneck area: %s; %d candidate metrics in %d independent clusters\n\n",
+		r.PrimaryArea, len(r.Pool), r.Clusters); err != nil {
+		return err
+	}
+	t := report.Table{
+		Title:   "Candidate bottleneck pool (ascending bound; same cluster = likely one cause)",
+		Headers: []string{"Cluster", "Abbr", "Metric", "Bound", "Slack", "Area", "Direction"},
+	}
+	for _, f := range r.Pool {
+		dir := ""
+		if f.HasRegion {
+			switch f.Region {
+			case core.RegionLeft:
+				dir = "reduce event rate"
+			case core.RegionRight:
+				dir = "event accompanies speed"
+			default:
+				dir = "at model peak"
+			}
+		}
+		t.AddRow(
+			fmt.Sprintf("#%d", f.Cluster+1),
+			f.Abbr,
+			f.Metric,
+			fmt.Sprintf("%.3f", f.Estimate),
+			fmt.Sprintf("%+.1f%%", 100*f.Slack),
+			f.Area.String(),
+			dir,
+		)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	if math.IsNaN(r.Headroom) {
+		return nil
+	}
+	var advice string
+	switch {
+	case r.Headroom < -0.05:
+		advice = "the workload exceeds the learned bound: the training set likely under-covers this regime — retrain with more representative samples"
+	case r.Headroom < 0.10:
+		advice = "the workload runs at its learned bound: improving it requires relieving the pooled metrics above"
+	default:
+		advice = "the workload runs below its learned bound: profile for phases or inputs the samples under-represent"
+	}
+	_, err := fmt.Fprintf(w, "\n%s\n", advice)
+	return err
+}
+
+// SortPoolByArea returns the pool grouped by area then ascending
+// estimate, a convenient order for follow-up investigation.
+func (r *Report) SortPoolByArea() []Finding {
+	out := make([]Finding, len(r.Pool))
+	copy(out, r.Pool)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Area != out[j].Area {
+			return out[i].Area < out[j].Area
+		}
+		return out[i].Estimate < out[j].Estimate
+	})
+	return out
+}

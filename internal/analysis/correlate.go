@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"spire/internal/core"
+)
+
+// MetricCorrelation is one metric pair's association across collection
+// windows: the Pearson correlation of their per-cycle rates. Highly
+// correlated metrics are measuring the same underlying behaviour — the
+// "causal and confounded relationships" the paper warns complicate
+// follow-up analysis (§III-C). Checking a candidate pool against these
+// correlations tells the user which pool members are redundant.
+type MetricCorrelation struct {
+	A, B string
+	// Rho is the Pearson correlation of the two metrics' per-cycle
+	// rates over their shared windows.
+	Rho float64
+	// Windows is the number of shared windows the estimate used.
+	Windows int
+}
+
+// Correlations computes pairwise rate correlations over a windowed
+// dataset. Pairs sharing fewer than minWindows windows are skipped, as
+// are pairs with |rho| below threshold. Results are sorted by descending
+// |rho|, ties broken lexically.
+func Correlations(d core.Dataset, minWindows int, threshold float64) []MetricCorrelation {
+	if minWindows < 3 {
+		minWindows = 3
+	}
+	// Collect each metric's per-window rate.
+	rates := make(map[string]map[int]float64)
+	for _, s := range d.Samples {
+		if !s.Valid() || s.Window == 0 {
+			continue
+		}
+		m := rates[s.Metric]
+		if m == nil {
+			m = make(map[int]float64)
+			rates[s.Metric] = m
+		}
+		m[s.Window] = s.M / s.T
+	}
+	metrics := make([]string, 0, len(rates))
+	for m := range rates {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+
+	var out []MetricCorrelation
+	for i := 0; i < len(metrics); i++ {
+		for j := i + 1; j < len(metrics); j++ {
+			a, b := rates[metrics[i]], rates[metrics[j]]
+			rho, n := pearsonShared(a, b)
+			if n < minWindows || math.IsNaN(rho) || math.Abs(rho) < threshold {
+				continue
+			}
+			out = append(out, MetricCorrelation{A: metrics[i], B: metrics[j], Rho: rho, Windows: n})
+		}
+	}
+	sort.Slice(out, func(x, y int) bool {
+		ax, ay := math.Abs(out[x].Rho), math.Abs(out[y].Rho)
+		if ax != ay {
+			return ax > ay
+		}
+		if out[x].A != out[y].A {
+			return out[x].A < out[y].A
+		}
+		return out[x].B < out[y].B
+	})
+	return out
+}
+
+// pearsonShared computes the Pearson correlation over the keys common to
+// both maps.
+func pearsonShared(a, b map[int]float64) (float64, int) {
+	var xs, ys []float64
+	for w, va := range a {
+		if vb, ok := b[w]; ok {
+			xs = append(xs, va)
+			ys = append(ys, vb)
+		}
+	}
+	n := len(xs)
+	if n < 2 {
+		return math.NaN(), n
+	}
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var num, dx, dy float64
+	for i := range xs {
+		a := xs[i] - mx
+		b := ys[i] - my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return math.NaN(), n
+	}
+	return num / math.Sqrt(dx*dy), n
+}
+
+// RedundantWith returns the metrics from the correlation list that are
+// strongly associated with the given metric (|rho| >= threshold).
+func RedundantWith(corrs []MetricCorrelation, metric string, threshold float64) []string {
+	var out []string
+	for _, c := range corrs {
+		if math.Abs(c.Rho) < threshold {
+			continue
+		}
+		switch metric {
+		case c.A:
+			out = append(out, c.B)
+		case c.B:
+			out = append(out, c.A)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

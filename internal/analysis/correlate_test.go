@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spire/internal/core"
+	"spire/internal/perfstat"
+	"spire/internal/sim"
+	"spire/internal/uarch"
+	"spire/internal/workloads"
+)
+
+// correlatedDataset builds windows where metric "a" and "b" move
+// together, "c" moves opposite to "a", and "noise" is independent.
+func correlatedDataset(windows int) core.Dataset {
+	rng := rand.New(rand.NewSource(8))
+	var d core.Dataset
+	for w := 1; w <= windows; w++ {
+		base := rng.Float64()*100 + 10
+		T := 1000.0
+		d.Add(
+			core.Sample{Metric: "a", T: T, W: 500, M: base * 10, Window: w},
+			core.Sample{Metric: "b", T: T, W: 500, M: base*10 + rng.Float64(), Window: w},
+			core.Sample{Metric: "c", T: T, W: 500, M: 2000 - base*10, Window: w},
+			core.Sample{Metric: "noise", T: T, W: 500, M: rng.Float64() * 1000, Window: w},
+		)
+	}
+	return d
+}
+
+func TestCorrelationsFindPairs(t *testing.T) {
+	d := correlatedDataset(40)
+	corrs := Correlations(d, 5, 0.9)
+	find := func(a, b string) (MetricCorrelation, bool) {
+		for _, c := range corrs {
+			if (c.A == a && c.B == b) || (c.A == b && c.B == a) {
+				return c, true
+			}
+		}
+		return MetricCorrelation{}, false
+	}
+	ab, ok := find("a", "b")
+	if !ok || ab.Rho < 0.99 {
+		t.Errorf("a-b correlation missing or weak: %+v ok=%v", ab, ok)
+	}
+	ac, ok := find("a", "c")
+	if !ok || ac.Rho > -0.99 {
+		t.Errorf("a-c anticorrelation missing or weak: %+v ok=%v", ac, ok)
+	}
+	if _, ok := find("a", "noise"); ok {
+		t.Error("noise should not correlate with a at 0.9 threshold")
+	}
+	// Sorted by |rho| descending.
+	for i := 1; i < len(corrs); i++ {
+		if math.Abs(corrs[i].Rho) > math.Abs(corrs[i-1].Rho)+1e-12 {
+			t.Fatal("correlations not sorted by |rho|")
+		}
+	}
+}
+
+func TestCorrelationsMinWindows(t *testing.T) {
+	d := correlatedDataset(4)
+	if got := Correlations(d, 10, 0.5); len(got) != 0 {
+		t.Errorf("pairs with too few windows should be skipped, got %d", len(got))
+	}
+}
+
+func TestCorrelationsIgnoresUntaggedAndInvalid(t *testing.T) {
+	var d core.Dataset
+	d.Add(
+		core.Sample{Metric: "a", T: 1000, W: 1, M: 1, Window: 0}, // untagged
+		core.Sample{Metric: "b", T: 0, W: 1, M: 1, Window: 1},    // invalid
+	)
+	if got := Correlations(d, 3, 0); len(got) != 0 {
+		t.Errorf("expected no correlations, got %v", got)
+	}
+}
+
+func TestConstantRateSkipped(t *testing.T) {
+	var d core.Dataset
+	for w := 1; w <= 10; w++ {
+		d.Add(
+			core.Sample{Metric: "const", T: 1000, W: 1, M: 42, Window: w},
+			core.Sample{Metric: "vary", T: 1000, W: 1, M: float64(w), Window: w},
+		)
+	}
+	// A (near-)constant rate must never read as a strong correlation
+	// (exact zero variance yields NaN and is skipped; float dust may
+	// leave an epsilon-sized rho).
+	if got := Correlations(d, 3, 0.5); len(got) != 0 {
+		t.Errorf("constant-rate metric should not correlate strongly, got %v", got)
+	}
+}
+
+func TestRedundantWith(t *testing.T) {
+	corrs := []MetricCorrelation{
+		{A: "a", B: "b", Rho: 0.99},
+		{A: "a", B: "c", Rho: -0.95},
+		{A: "b", B: "noise", Rho: 0.3},
+	}
+	got := RedundantWith(corrs, "a", 0.9)
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("RedundantWith(a) = %v, want [b c]", got)
+	}
+	if got := RedundantWith(corrs, "noise", 0.9); len(got) != 0 {
+		t.Errorf("RedundantWith(noise) = %v, want empty", got)
+	}
+}
+
+// TestCorrelationsOnRealPipelineData sanity-checks the detector on real
+// sampler output: the nested delivery counters (DQ.1 ⊆ DQ.2 ⊆ DQ.3) must
+// correlate strongly.
+func TestCorrelationsOnRealPipelineData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline data skipped in -short mode")
+	}
+	d := pipelineDataset(t)
+	corrs := Correlations(d, 5, 0.95)
+	found := false
+	for _, c := range corrs {
+		if (c.A == "idq_uops_not_delivered.cycles_le_1_uop_deliv.core" &&
+			c.B == "idq_uops_not_delivered.cycles_le_2_uop_deliv.core") ||
+			(c.B == "idq_uops_not_delivered.cycles_le_1_uop_deliv.core" &&
+				c.A == "idq_uops_not_delivered.cycles_le_2_uop_deliv.core") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("nested DQ counters should correlate above 0.95")
+	}
+}
+
+// pipelineDataset samples one front-end-bound workload on the simulator.
+func pipelineDataset(t *testing.T) core.Dataset {
+	t.Helper()
+	spec, err := workloads.ByName("scikit-featexp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(uarch.Default(), spec.Build(0.2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := perfstat.Collect(s, spec.Name, perfstat.Options{
+		IntervalCycles: 25_000,
+		MaxCycles:      2_000_000,
+		Multiplex:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spire/internal/core"
+)
+
+// trainModel builds a two-metric ensemble: "stall" bounds throughput
+// rising with I, "miss" likewise but with a different scale.
+func trainModel(t *testing.T) *core.Ensemble {
+	t.Helper()
+	var d core.Dataset
+	for i := 1.0; i <= 64; i *= 2 {
+		d.Add(
+			core.Sample{Metric: "stall", T: 100, W: 100 * 3 * i / (i + 8), M: 100 * 3 / (i + 8)},
+			core.Sample{Metric: "miss", T: 100, W: 100 * 2 * i / (i + 2), M: 100 * 2 / (i + 2)},
+		)
+	}
+	ens, err := core.Train(d, core.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ens
+}
+
+// windowed creates one window's samples with chosen intensities.
+func windowed(window int, iStall, iMiss float64) []core.Sample {
+	const T, W = 100.0, 150.0
+	return []core.Sample{
+		{Metric: "stall", T: T, W: W, M: W / iStall, Window: window},
+		{Metric: "miss", T: T, W: W, M: W / iMiss, Window: window},
+	}
+}
+
+func TestTimelineDetectsPhases(t *testing.T) {
+	ens := trainModel(t)
+	var d core.Dataset
+	// Phase 1 (windows 1-2): stall-bound (low stall intensity).
+	d.Add(windowed(1, 2, 50)...)
+	d.Add(windowed(2, 2, 50)...)
+	// Phase 2 (windows 3-4): miss-bound.
+	d.Add(windowed(3, 50, 1)...)
+	d.Add(windowed(4, 50, 1)...)
+
+	tl, err := Timeline(ens, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != 4 {
+		t.Fatalf("timeline = %d points, want 4", len(tl))
+	}
+	if tl[0].TopMetric != "stall" || tl[1].TopMetric != "stall" {
+		t.Errorf("phase 1 should be stall-bound: %q %q", tl[0].TopMetric, tl[1].TopMetric)
+	}
+	if tl[2].TopMetric != "miss" || tl[3].TopMetric != "miss" {
+		t.Errorf("phase 2 should be miss-bound: %q %q", tl[2].TopMetric, tl[3].TopMetric)
+	}
+	changes := PhaseChanges(tl)
+	if len(changes) != 1 || changes[0] != 3 {
+		t.Errorf("phase changes = %v, want [3]", changes)
+	}
+}
+
+func TestTimelineOrdering(t *testing.T) {
+	ens := trainModel(t)
+	var d core.Dataset
+	// Insert windows out of order.
+	d.Add(windowed(7, 2, 50)...)
+	d.Add(windowed(3, 2, 50)...)
+	d.Add(windowed(5, 2, 50)...)
+	tl, err := Timeline(ens, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != 3 || tl[0].Window != 3 || tl[1].Window != 5 || tl[2].Window != 7 {
+		t.Errorf("windows not ascending: %+v", tl)
+	}
+}
+
+func TestTimelineNoWindows(t *testing.T) {
+	ens := trainModel(t)
+	var d core.Dataset
+	d.Add(core.Sample{Metric: "stall", T: 100, W: 100, M: 50}) // Window 0
+	if _, err := Timeline(ens, d); err != ErrNoWindows {
+		t.Errorf("err = %v, want ErrNoWindows", err)
+	}
+}
+
+func TestTimelineUnknownMetricsSkipped(t *testing.T) {
+	ens := trainModel(t)
+	var d core.Dataset
+	d.Add(core.Sample{Metric: "mystery", T: 100, W: 100, M: 50, Window: 1})
+	d.Add(windowed(2, 2, 50)...)
+	tl, err := Timeline(ens, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl) != 1 || tl[0].Window != 2 {
+		t.Errorf("timeline = %+v, want just window 2", tl)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	ens := trainModel(t)
+	var d core.Dataset
+	d.Add(windowed(1, 2, 50)...)
+	d.Add(windowed(2, 50, 1)...)
+	tl, err := Timeline(ens, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"timeline", "phase changes at windows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Single-phase rendering.
+	buf.Reset()
+	if err := RenderTimeline(&buf, tl[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "single-phase") {
+		t.Errorf("expected single-phase notice:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"sort"
+
+	"spire/internal/core"
+)
+
+// WhatIf is one counterfactual: the ensemble bound if a single metric's
+// constraint were fully relieved (its roofline no longer binds).
+type WhatIf struct {
+	Metric string
+	// NewBound is the ensemble estimate without this metric: the
+	// minimum over all other per-metric means.
+	NewBound float64
+	// Uplift is NewBound/CurrentBound - 1: how much headroom relieving
+	// only this metric exposes. Zero means another metric binds at the
+	// same level, so fixing this one alone buys nothing — the paper's
+	// point about proceeding with a pool of low-valued metrics.
+	Uplift float64
+}
+
+// WhatIfAnalysis ranks single-metric reliefs by their exposed uplift.
+// Only pool-adjacent metrics are worth relieving: by construction, the
+// k-th entry's NewBound equals the (k+1)-th lowest per-metric mean, so
+// the list is computed for the lowest maxMetrics metrics.
+func WhatIfAnalysis(est *core.Estimation, maxMetrics int) []WhatIf {
+	if est == nil || len(est.PerMetric) == 0 {
+		return nil
+	}
+	if maxMetrics <= 0 || maxMetrics > len(est.PerMetric) {
+		maxMetrics = len(est.PerMetric)
+	}
+	cur := est.MaxThroughput
+	var out []WhatIf
+	for i := 0; i < maxMetrics; i++ {
+		m := est.PerMetric[i]
+		// The bound without metric i is the minimum of the others;
+		// with an ascending list that is PerMetric[0] unless i == 0.
+		newBound := est.PerMetric[0].MeanEstimate
+		if i == 0 {
+			if len(est.PerMetric) > 1 {
+				newBound = est.PerMetric[1].MeanEstimate
+			} else {
+				// The only metric: the model gives no other constraint.
+				newBound = m.MeanEstimate
+			}
+		}
+		w := WhatIf{Metric: m.Metric, NewBound: newBound}
+		if cur > 0 {
+			w.Uplift = newBound/cur - 1
+		}
+		out = append(out, w)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Uplift > out[b].Uplift })
+	return out
+}
+
+// BestSingleRelief returns the metric whose relief exposes the most
+// headroom, with ok=false when no relief helps (a multi-metric tie at
+// the bound).
+func BestSingleRelief(est *core.Estimation) (WhatIf, bool) {
+	ws := WhatIfAnalysis(est, 3)
+	if len(ws) == 0 || ws[0].Uplift <= 0 {
+		return WhatIf{}, false
+	}
+	return ws[0], true
+}

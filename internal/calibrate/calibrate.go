@@ -1,0 +1,300 @@
+// Package calibrate discovers a machine's roofline parameters by running
+// probe kernels and reading only elapsed time and work — the empirical
+// machine characterization that classic roofline practice performs with
+// STREAM- and pointer-chase-style microbenchmarks. Nothing here inspects
+// the simulator's configuration: the discovered numbers can be compared
+// against the configured ones to validate both the probes and the model
+// (and on a real machine, the same probes would calibrate a real
+// roofline).
+package calibrate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spire/internal/isa"
+	"spire/internal/sim"
+	"spire/internal/uarch"
+)
+
+// Machine is the discovered characterization.
+type Machine struct {
+	// PeakIPC is the best sustained instructions-per-cycle observed on
+	// independent single-cycle work.
+	PeakIPC float64
+	// LoadUseLatency maps working-set sizes to measured dependent-load
+	// latency (cycles), ascending by size.
+	LoadUseLatency []LatencyPoint
+	// CacheSizes are the detected capacity knees (bytes), smallest
+	// first — typically L1D, L2, L3.
+	CacheSizes []uint64
+	// DRAMLatency is the dependent-load latency at the largest probed
+	// working set.
+	DRAMLatency float64
+	// DRAMBandwidth is the best sustained single-stream bandwidth in
+	// bytes per cycle. Without a prefetcher this is typically the
+	// MSHR-limited wall (outstanding misses x line size / latency), not
+	// the channel rate — the same gap real single-core STREAM runs show.
+	DRAMBandwidth float64
+	// BranchMispredictPenalty is the measured per-mispredict cost in
+	// cycles.
+	BranchMispredictPenalty float64
+}
+
+// LatencyPoint is one working-set size's measured load-use latency.
+type LatencyPoint struct {
+	WorkingSet uint64
+	Cycles     float64
+}
+
+// Options bounds probe effort.
+type Options struct {
+	// Insts is the dynamic instruction budget per probe (default 60k).
+	Insts int
+	// MaxWorkingSet caps the latency sweep (default 64 MiB).
+	MaxWorkingSet uint64
+	// Seed drives probe randomness.
+	Seed int64
+}
+
+func (o *Options) setDefaults() {
+	if o.Insts <= 0 {
+		o.Insts = 60_000
+	}
+	if o.MaxWorkingSet == 0 {
+		o.MaxWorkingSet = 64 << 20
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+}
+
+// Discover characterizes the core.
+func Discover(cfg *uarch.Config, opts Options) (*Machine, error) {
+	opts.setDefaults()
+	m := &Machine{}
+
+	run := func(p isa.Program, maxCycles uint64) (sim.Result, error) {
+		s, err := sim.New(cfg, p, opts.Seed)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		res := s.Run(maxCycles)
+		if !res.Drained {
+			return res, fmt.Errorf("calibrate: probe %s did not finish in %d cycles", p.Name(), maxCycles)
+		}
+		return res, nil
+	}
+
+	// Peak IPC: independent ALU work in a tiny loop.
+	res, err := run(&aluProbe{n: opts.Insts}, 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	m.PeakIPC = res.IPC
+
+	// Load-use latency sweep: a dependent load chain over a random
+	// permutation footprint; latency = cycles per load.
+	sizes := []uint64{8 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+	for _, ws := range sizes {
+		if ws > opts.MaxWorkingSet {
+			break
+		}
+		loads := opts.Insts / 8
+		p := &chaseProbe{loads: loads, ws: ws}
+		res, err := run(p, 1<<32)
+		if err != nil {
+			return nil, err
+		}
+		lat := float64(res.Cycles) / float64(loads)
+		m.LoadUseLatency = append(m.LoadUseLatency, LatencyPoint{WorkingSet: ws, Cycles: lat})
+	}
+	if n := len(m.LoadUseLatency); n > 0 {
+		m.DRAMLatency = m.LoadUseLatency[n-1].Cycles
+	}
+	m.CacheSizes = detectKnees(m.LoadUseLatency)
+
+	// Streaming bandwidth: dense independent loads over a DRAM-sized
+	// buffer; bandwidth = touched bytes / cycles (one line per load).
+	{
+		loads := opts.Insts / 2
+		p := &streamProbe{loads: loads, ws: 256 << 20}
+		res, err := run(p, 1<<32)
+		if err != nil {
+			return nil, err
+		}
+		m.DRAMBandwidth = float64(loads) * 64 / float64(res.Cycles)
+	}
+
+	// Branch mispredict penalty: difference between a random-branch loop
+	// and a never-taken-branch loop, divided by mispredict count.
+	{
+		n := opts.Insts
+		rnd, err := run(&branchProbe{n: n, random: true}, 1<<31)
+		if err != nil {
+			return nil, err
+		}
+		pred, err := run(&branchProbe{n: n, random: false}, 1<<31)
+		if err != nil {
+			return nil, err
+		}
+		extra := float64(rnd.Cycles) - float64(pred.Cycles)
+		// Roughly half the random branches mispredict.
+		misp := float64(n) / 2 * 0.5
+		if misp > 0 && extra > 0 {
+			m.BranchMispredictPenalty = extra / misp
+		}
+	}
+	return m, nil
+}
+
+// detectKnees finds working-set sizes where latency jumps by more than
+// 60% over the previous point — the classic capacity-knee detector. It
+// returns the last size *before* each jump. Note that on cores with a
+// small TLB one knee is the TLB reach, not a cache capacity; both are
+// real capacity effects a roofline practitioner needs to know about.
+func detectKnees(pts []LatencyPoint) []uint64 {
+	var knees []uint64
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cycles > pts[i-1].Cycles*1.6 {
+			knees = append(knees, pts[i-1].WorkingSet)
+		}
+	}
+	sort.Slice(knees, func(i, j int) bool { return knees[i] < knees[j] })
+	return knees
+}
+
+// --- probes -----------------------------------------------------------
+
+type aluProbe struct{ n, pos int }
+
+func (p *aluProbe) Name() string     { return "cal-alu" }
+func (p *aluProbe) Reset(seed int64) { p.pos = 0 }
+func (p *aluProbe) Next() (isa.Inst, bool) {
+	if p.pos >= p.n {
+		return isa.Inst{}, false
+	}
+	i := p.pos
+	p.pos++
+	return isa.Inst{PC: 0x1000 + uint64(i%16)*4, Op: isa.OpIntALU, Dst: isa.Reg(1 + i%8)}, true
+}
+
+// chaseProbe issues serially dependent loads over a pseudo-random walk of
+// the working set (each load's address register feeds the next).
+type chaseProbe struct {
+	loads int
+	ws    uint64
+	pos   int
+	state uint64
+}
+
+func (p *chaseProbe) Name() string     { return fmt.Sprintf("cal-chase-%d", p.ws) }
+func (p *chaseProbe) Reset(seed int64) { p.pos = 0; p.state = uint64(seed)*2654435761 + 1 }
+func (p *chaseProbe) Next() (isa.Inst, bool) {
+	if p.pos >= p.loads {
+		return isa.Inst{}, false
+	}
+	p.pos++
+	p.state ^= p.state << 13
+	p.state ^= p.state >> 7
+	p.state ^= p.state << 17
+	addr := 0x10000000 + (p.state%(p.ws/64))*64
+	return isa.Inst{PC: 0x2000, Op: isa.OpLoad, Dst: 9, Src1: 9, Size: 8, Addr: addr}, true
+}
+
+// streamProbe issues independent sequential line-stride loads.
+type streamProbe struct {
+	loads int
+	ws    uint64
+	pos   int
+}
+
+func (p *streamProbe) Name() string     { return "cal-stream" }
+func (p *streamProbe) Reset(seed int64) { p.pos = 0 }
+func (p *streamProbe) Next() (isa.Inst, bool) {
+	if p.pos >= p.loads {
+		return isa.Inst{}, false
+	}
+	i := p.pos
+	p.pos++
+	addr := 0x20000000 + (uint64(i)*64)%p.ws
+	return isa.Inst{PC: 0x3000, Op: isa.OpLoad, Dst: isa.Reg(1 + i%4), Size: 8, Addr: addr}, true
+}
+
+// branchProbe alternates ALU work with a branch whose outcome is either
+// random or constant.
+type branchProbe struct {
+	n      int
+	random bool
+	pos    int
+	state  uint64
+}
+
+func (p *branchProbe) Name() string {
+	if p.random {
+		return "cal-br-random"
+	}
+	return "cal-br-predictable"
+}
+func (p *branchProbe) Reset(seed int64) { p.pos = 0; p.state = uint64(seed) | 1 }
+func (p *branchProbe) Next() (isa.Inst, bool) {
+	if p.pos >= p.n {
+		return isa.Inst{}, false
+	}
+	i := p.pos
+	p.pos++
+	if i%2 == 1 {
+		taken := false
+		if p.random {
+			p.state ^= p.state << 13
+			p.state ^= p.state >> 7
+			p.state ^= p.state << 17
+			taken = p.state&1 == 1
+		}
+		return isa.Inst{PC: 0x4000, Op: isa.OpBranch, Taken: taken, Target: 0x4100}, true
+	}
+	return isa.Inst{PC: 0x4004, Op: isa.OpIntALU, Dst: 2}, true
+}
+
+// Report renders the characterization alongside the configured truth for
+// validation.
+func (m *Machine) Report(cfg *uarch.Config) string {
+	out := fmt.Sprintf("peak IPC:        measured %.2f (issue width %d)\n", m.PeakIPC, cfg.IssueWidth)
+	out += "load-use latency by working set:\n"
+	for _, p := range m.LoadUseLatency {
+		out += fmt.Sprintf("  %8d KiB: %6.1f cycles\n", p.WorkingSet>>10, p.Cycles)
+	}
+	out += fmt.Sprintf("capacity knees:  %v (configured L1D %d, L2 %d, L3 %d)\n",
+		m.CacheSizes, cfg.Mem.L1D.SizeBytes, cfg.Mem.L2.SizeBytes, cfg.Mem.L3.SizeBytes)
+	out += fmt.Sprintf("DRAM latency:    measured %.0f cycles (configured %d + cache levels)\n",
+		m.DRAMLatency, cfg.Mem.DRAM.LatencyCycles)
+	out += fmt.Sprintf("DRAM bandwidth:  measured %.1f B/cy sustained single-stream (channel %.1f; MSHR wall ~%.1f)\n",
+		m.DRAMBandwidth, cfg.Mem.DRAM.BytesPerCycle, float64(cfg.MSHRs)*64/math.Max(m.DRAMLatency, 1))
+	out += fmt.Sprintf("mispredict cost: measured %.1f cycles (configured %d)\n",
+		m.BranchMispredictPenalty, cfg.BranchMispredictPenalty)
+	return out
+}
+
+// Validate does a coarse consistency check of the discovery against a
+// configuration, returning the first gross mismatch. Tolerances are wide:
+// probes measure effective behaviour, not datasheet numbers.
+func (m *Machine) Validate(cfg *uarch.Config) error {
+	if m.PeakIPC < float64(cfg.IssueWidth)*0.5 || m.PeakIPC > float64(cfg.IssueWidth)+0.01 {
+		return fmt.Errorf("calibrate: peak IPC %.2f inconsistent with issue width %d", m.PeakIPC, cfg.IssueWidth)
+	}
+	if m.DRAMLatency < float64(cfg.Mem.DRAM.LatencyCycles) {
+		return fmt.Errorf("calibrate: DRAM latency %.0f below configured %d", m.DRAMLatency, cfg.Mem.DRAM.LatencyCycles)
+	}
+	if m.DRAMBandwidth > cfg.Mem.DRAM.BytesPerCycle*1.05 {
+		return fmt.Errorf("calibrate: bandwidth %.1f exceeds configured %.1f", m.DRAMBandwidth, cfg.Mem.DRAM.BytesPerCycle)
+	}
+	if len(m.LoadUseLatency) >= 2 {
+		first := m.LoadUseLatency[0].Cycles
+		last := m.LoadUseLatency[len(m.LoadUseLatency)-1].Cycles
+		if !(last > first) || math.IsNaN(first) {
+			return fmt.Errorf("calibrate: latency sweep not increasing (%.1f .. %.1f)", first, last)
+		}
+	}
+	return nil
+}

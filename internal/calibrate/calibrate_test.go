@@ -1,0 +1,129 @@
+package calibrate
+
+import (
+	"strings"
+	"testing"
+
+	"spire/internal/uarch"
+)
+
+func discover(t *testing.T, cfg *uarch.Config) *Machine {
+	t.Helper()
+	m, err := Discover(cfg, Options{Insts: 40_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDiscoverDefaultCore(t *testing.T) {
+	cfg := uarch.Default()
+	m := discover(t, cfg)
+	if err := m.Validate(cfg); err != nil {
+		t.Fatalf("%v\n%s", err, m.Report(cfg))
+	}
+	// Peak IPC approaches the 4-wide issue limit.
+	if m.PeakIPC < 3.2 {
+		t.Errorf("peak IPC = %.2f, want near 4", m.PeakIPC)
+	}
+	// The latency sweep spans L1-hit latency up to DRAM latency.
+	first := m.LoadUseLatency[0].Cycles
+	if first > 10 {
+		t.Errorf("L1-resident latency = %.1f cycles, want small", first)
+	}
+	if m.DRAMLatency < 150 {
+		t.Errorf("DRAM latency = %.1f cycles, want > 150", m.DRAMLatency)
+	}
+	// Capacity knees: at least the L1 (32K) and one outer-level knee.
+	if len(m.CacheSizes) < 2 {
+		t.Fatalf("detected knees = %v, want >= 2\n%s", m.CacheSizes, m.Report(cfg))
+	}
+	if m.CacheSizes[0] > 64<<10 {
+		t.Errorf("first knee at %d, want near the 32 KiB L1", m.CacheSizes[0])
+	}
+	// Sustained single-stream bandwidth sits well below the channel
+	// rate — the classic MSHR-limited single-core wall (MSHRs x line /
+	// load-to-use latency) — but must be a meaningful fraction of it
+	// and never exceed it.
+	if m.DRAMBandwidth < 0.2*cfg.Mem.DRAM.BytesPerCycle {
+		t.Errorf("bandwidth = %.1f B/cy, want >= 20%% of %.1f",
+			m.DRAMBandwidth, cfg.Mem.DRAM.BytesPerCycle)
+	}
+	if m.DRAMBandwidth > cfg.Mem.DRAM.BytesPerCycle {
+		t.Errorf("bandwidth = %.1f B/cy exceeds the %.1f channel",
+			m.DRAMBandwidth, cfg.Mem.DRAM.BytesPerCycle)
+	}
+	wall := float64(cfg.MSHRs) * 64 / m.DRAMLatency
+	if m.DRAMBandwidth > wall*1.3 {
+		t.Errorf("bandwidth %.1f B/cy exceeds the MSHR wall %.1f", m.DRAMBandwidth, wall)
+	}
+	// Mispredict penalty in the right ballpark of the configured 16.
+	if m.BranchMispredictPenalty < 5 || m.BranchMispredictPenalty > 80 {
+		t.Errorf("mispredict penalty = %.1f, configured %d",
+			m.BranchMispredictPenalty, cfg.BranchMispredictPenalty)
+	}
+}
+
+func TestDiscoverLittleCore(t *testing.T) {
+	cfg := uarch.LittleCore()
+	m := discover(t, cfg)
+	if err := m.Validate(cfg); err != nil {
+		t.Fatalf("%v\n%s", err, m.Report(cfg))
+	}
+	if m.PeakIPC > 2.01 {
+		t.Errorf("little-core peak IPC = %.2f, cannot exceed 2", m.PeakIPC)
+	}
+	// The little core's probes must clearly differ from the big core's.
+	big := discover(t, uarch.Default())
+	if m.PeakIPC >= big.PeakIPC {
+		t.Errorf("little peak %.2f should trail big %.2f", m.PeakIPC, big.PeakIPC)
+	}
+	if m.DRAMBandwidth >= big.DRAMBandwidth {
+		t.Errorf("little bandwidth %.1f should trail big %.1f", m.DRAMBandwidth, big.DRAMBandwidth)
+	}
+}
+
+func TestReportMentionsEverything(t *testing.T) {
+	cfg := uarch.Default()
+	m := discover(t, cfg)
+	rep := m.Report(cfg)
+	for _, want := range []string{"peak IPC", "capacity knees", "DRAM latency", "DRAM bandwidth", "mispredict cost"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestDetectKnees(t *testing.T) {
+	pts := []LatencyPoint{
+		{WorkingSet: 8 << 10, Cycles: 5},
+		{WorkingSet: 16 << 10, Cycles: 5.5}, // +10%: no knee
+		{WorkingSet: 64 << 10, Cycles: 14},  // knee after 16K
+		{WorkingSet: 256 << 10, Cycles: 15},
+		{WorkingSet: 1 << 20, Cycles: 15.5},
+		{WorkingSet: 4 << 20, Cycles: 40}, // knee after 1M
+	}
+	knees := detectKnees(pts)
+	if len(knees) != 2 || knees[0] != 16<<10 || knees[1] != 1<<20 {
+		t.Errorf("knees = %v, want [16K 1M]", knees)
+	}
+	if got := detectKnees(nil); got != nil {
+		t.Errorf("empty input knees = %v", got)
+	}
+}
+
+func TestValidateCatchesNonsense(t *testing.T) {
+	cfg := uarch.Default()
+	bad := &Machine{PeakIPC: 9, DRAMLatency: 500, DRAMBandwidth: 1}
+	if err := bad.Validate(cfg); err == nil {
+		t.Error("impossible peak IPC should fail validation")
+	}
+	bad2 := &Machine{PeakIPC: 3.8, DRAMLatency: 10, DRAMBandwidth: 1}
+	if err := bad2.Validate(cfg); err == nil {
+		t.Error("too-low DRAM latency should fail validation")
+	}
+	bad3 := &Machine{PeakIPC: 3.8, DRAMLatency: 300, DRAMBandwidth: 99}
+	if err := bad3.Validate(cfg); err == nil {
+		t.Error("impossible bandwidth should fail validation")
+	}
+}

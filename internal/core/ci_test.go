@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// noisyWorkload builds a workload whose "noisy" metric has high-variance
+// intensities and whose "steady" metric is constant.
+func noisyWorkload(n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	var d Dataset
+	for i := 0; i < n; i++ {
+		iNoisy := 1 + rng.Float64()*30
+		d.Add(
+			Sample{Metric: "noisy", T: 100, W: 100, M: 100 / iNoisy},
+			Sample{Metric: "steady", T: 100, W: 100, M: 100 / 8.0},
+		)
+	}
+	return d
+}
+
+func trainCIEnsemble(t *testing.T) *Ensemble {
+	t.Helper()
+	var train Dataset
+	for i := 1.0; i <= 64; i *= 2 {
+		w := 100 * 3 * i / (i + 8)
+		train.Add(
+			Sample{Metric: "noisy", T: 100, W: w, M: w / i},
+			Sample{Metric: "steady", T: 100, W: w, M: w / i},
+		)
+	}
+	ens, err := Train(train, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ens
+}
+
+func TestEstimateWithCIBasics(t *testing.T) {
+	ens := trainCIEnsemble(t)
+	est, err := ens.EstimateWithCI(noisyWorkload(60, 2), CIOptions{Resamples: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.PerMetric) != 2 {
+		t.Fatalf("metrics = %d", len(est.PerMetric))
+	}
+	for _, m := range est.PerMetric {
+		if m.Lo > m.MeanEstimate+1e-9 || m.Hi < m.MeanEstimate-1e-9 {
+			t.Errorf("%s: point estimate %.4f outside CI [%.4f, %.4f]",
+				m.Metric, m.MeanEstimate, m.Lo, m.Hi)
+		}
+		if m.Lo > m.Hi {
+			t.Errorf("%s: inverted interval", m.Metric)
+		}
+	}
+}
+
+func TestCIWidthReflectsNoise(t *testing.T) {
+	ens := trainCIEnsemble(t)
+	est, err := ens.EstimateWithCI(noisyWorkload(60, 3), CIOptions{Resamples: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := map[string]float64{}
+	for _, m := range est.PerMetric {
+		width[m.Metric] = m.Hi - m.Lo
+	}
+	if width["noisy"] <= width["steady"] {
+		t.Errorf("noisy metric CI width %.4f should exceed steady %.4f",
+			width["noisy"], width["steady"])
+	}
+	// A constant-input metric has (almost) no bootstrap variance.
+	if width["steady"] > 1e-9 {
+		t.Errorf("steady metric CI width %.6f, want ~0", width["steady"])
+	}
+}
+
+func TestCIDeterministicForSeed(t *testing.T) {
+	ens := trainCIEnsemble(t)
+	w := noisyWorkload(40, 4)
+	a, err := ens.EstimateWithCI(w, CIOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ens.EstimateWithCI(w, CIOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerMetric {
+		if a.PerMetric[i].Lo != b.PerMetric[i].Lo || a.PerMetric[i].Hi != b.PerMetric[i].Hi {
+			t.Fatal("same seed must reproduce identical intervals")
+		}
+	}
+}
+
+func TestCISingleSampleDegenerate(t *testing.T) {
+	ens := trainCIEnsemble(t)
+	var w Dataset
+	w.Add(Sample{Metric: "noisy", T: 1, W: 5, M: 1})
+	est, err := ens.EstimateWithCI(w, CIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := est.PerMetric[0]
+	if m.Lo != m.MeanEstimate || m.Hi != m.MeanEstimate {
+		t.Errorf("single sample should collapse the interval: %+v", m)
+	}
+}
+
+func TestBindingPool(t *testing.T) {
+	ens := trainCIEnsemble(t)
+	est, err := ens.EstimateWithCI(noisyWorkload(60, 5), CIOptions{Resamples: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := est.BindingPool()
+	if len(pool) == 0 {
+		t.Fatal("pool must include the binding metric")
+	}
+	if pool[0].Metric != est.PerMetric[0].Metric {
+		t.Error("pool must start with the binding metric")
+	}
+	// Every pool member's interval overlaps the binding interval.
+	binding := est.PerMetric[0]
+	for _, m := range pool {
+		if m.Lo > binding.Hi {
+			t.Errorf("%s in pool without overlap", m.Metric)
+		}
+	}
+	empty := &EstimationCI{}
+	if empty.BindingPool() != nil {
+		t.Error("empty estimation should yield nil pool")
+	}
+}
+
+func TestEstimateWithCIErrors(t *testing.T) {
+	ens := trainCIEnsemble(t)
+	if _, err := ens.EstimateWithCI(Dataset{}, CIOptions{}); err == nil {
+		t.Error("expected error for empty workload")
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := quantileSorted(xs, 0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := quantileSorted(xs, 1); got != 4 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := quantileSorted(xs, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("q0.5 = %g", got)
+	}
+	if got := quantileSorted([]float64{7}, 0.3); got != 7 {
+		t.Errorf("single = %g", got)
+	}
+}

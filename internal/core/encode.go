@@ -1,0 +1,65 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelEnvelope wraps an ensemble with a format version so that saved
+// models can be rejected cleanly if the format ever changes.
+type modelEnvelope struct {
+	Format  string    `json:"format"`
+	Version int       `json:"version"`
+	Model   *Ensemble `json:"model"`
+}
+
+const (
+	modelFormat  = "spire-ensemble"
+	modelVersion = 1
+)
+
+// Save writes the trained ensemble as versioned JSON.
+func (e *Ensemble) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(modelEnvelope{Format: modelFormat, Version: modelVersion, Model: e})
+}
+
+// LoadEnsemble reads an ensemble previously written with Save.
+func LoadEnsemble(r io.Reader) (*Ensemble, error) {
+	var env modelEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if env.Format != modelFormat {
+		return nil, fmt.Errorf("core: unexpected model format %q", env.Format)
+	}
+	if env.Version != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d", env.Version)
+	}
+	if env.Model == nil || len(env.Model.Rooflines) == 0 {
+		return nil, fmt.Errorf("core: model contains no rooflines")
+	}
+	for name, r := range env.Model.Rooflines {
+		if r == nil || len(r.Left) == 0 {
+			return nil, fmt.Errorf("core: roofline %q is empty", name)
+		}
+	}
+	return env.Model, nil
+}
+
+// WriteDataset writes a dataset as JSON.
+func WriteDataset(w io.Writer, d Dataset) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(d)
+}
+
+// ReadDataset reads a dataset previously written with WriteDataset.
+func ReadDataset(r io.Reader) (Dataset, error) {
+	var d Dataset
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return Dataset{}, fmt.Errorf("core: decoding dataset: %w", err)
+	}
+	return d, nil
+}

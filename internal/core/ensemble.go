@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spire/internal/stats"
+)
+
+// Ensemble is a trained SPIRE model: one roofline per performance metric
+// (paper §III-C, Fig. 3).
+type Ensemble struct {
+	// Rooflines maps metric name to its fitted roofline.
+	Rooflines map[string]*Roofline `json:"rooflines"`
+	// WorkUnit and TimeUnit document the throughput units the model was
+	// trained with (e.g. "instructions" / "cycles" for IPC). They are
+	// informational; SPIRE itself is unit-agnostic as long as training
+	// and estimation agree.
+	WorkUnit string `json:"workUnit"`
+	TimeUnit string `json:"timeUnit"`
+}
+
+// TrainOptions configures ensemble training.
+type TrainOptions struct {
+	// WorkUnit and TimeUnit label the throughput definition.
+	WorkUnit string
+	TimeUnit string
+	// MinSamples drops metrics with fewer valid training samples than
+	// this; zero means keep all metrics with at least one sample.
+	MinSamples int
+}
+
+// Train fits one roofline per metric found in the dataset (paper Fig. 3).
+// Metrics whose samples are all invalid are skipped. ErrNoSamples is
+// returned when nothing could be fitted.
+func Train(data Dataset, opts TrainOptions) (*Ensemble, error) {
+	groups := data.ByMetric()
+	e := &Ensemble{
+		Rooflines: make(map[string]*Roofline, len(groups)),
+		WorkUnit:  opts.WorkUnit,
+		TimeUnit:  opts.TimeUnit,
+	}
+	for metric, samples := range groups {
+		if opts.MinSamples > 0 && len(samples) < opts.MinSamples {
+			continue
+		}
+		r, err := FitRoofline(metric, samples)
+		if err != nil {
+			continue
+		}
+		e.Rooflines[metric] = r
+	}
+	if len(e.Rooflines) == 0 {
+		return nil, ErrNoSamples
+	}
+	return e, nil
+}
+
+// Metrics returns the sorted metric names the ensemble models.
+func (e *Ensemble) Metrics() []string {
+	names := make([]string, 0, len(e.Rooflines))
+	for n := range e.Rooflines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MetricEstimate is a per-metric aggregate over a workload's samples: the
+// time-weighted average of the per-sample roofline estimations (paper
+// Eq. 1), plus bookkeeping for analysis output.
+type MetricEstimate struct {
+	Metric string `json:"metric"`
+	// MeanEstimate is P̄_x: the time-weighted average max-throughput
+	// estimate for this metric.
+	MeanEstimate float64 `json:"meanEstimate"`
+	// Samples is the number of workload samples that contributed.
+	Samples int `json:"samples"`
+	// MeanIntensity is the time-weighted average operational intensity
+	// of the contributing samples (+Inf allowed), useful when
+	// interpreting the ranking.
+	MeanIntensity float64 `json:"meanIntensity"`
+}
+
+// Estimation is the result of running a workload's dataset through a
+// trained ensemble (paper Fig. 4).
+type Estimation struct {
+	// PerMetric holds one entry per metric that had both a roofline and
+	// at least one valid workload sample, sorted ascending by
+	// MeanEstimate — the paper's bottleneck ranking order.
+	PerMetric []MetricEstimate `json:"perMetric"`
+	// MaxThroughput is the ensemble-wide estimate: the minimum of the
+	// per-metric means.
+	MaxThroughput float64 `json:"maxThroughput"`
+	// MeasuredThroughput is the workload's actual time-weighted
+	// throughput over all samples (e.g. its measured IPC).
+	MeasuredThroughput float64 `json:"measuredThroughput"`
+}
+
+// Estimate runs the ensemble-level estimation process of paper Fig. 4:
+// group the workload's samples by metric, estimate each sample with its
+// metric's roofline, merge per metric with a time-weighted average, and
+// take the minimum across metrics. ErrNoSamples is returned when no sample
+// matches a modeled metric.
+func (e *Ensemble) Estimate(workload Dataset) (*Estimation, error) {
+	groups := workload.ByMetric()
+	est := &Estimation{MaxThroughput: math.Inf(1)}
+
+	var totT, totW float64
+	seenMeasured := make(map[measureKey]bool)
+	for metric, samples := range groups {
+		r, ok := e.Rooflines[metric]
+		if !ok {
+			continue
+		}
+		var ws []stats.Weighted
+		var intensityNum, intensityDen float64
+		infIntensity := false
+		for _, s := range samples {
+			p := r.Eval(s.Intensity())
+			if math.IsNaN(p) {
+				continue
+			}
+			ws = append(ws, stats.Weighted{Value: p, Weight: s.T})
+			if math.IsInf(s.Intensity(), 1) {
+				infIntensity = true
+			} else {
+				intensityNum += s.T * s.Intensity()
+				intensityDen += s.T
+			}
+			// When multiple metrics share one period's T and W (the
+			// common collection setup), count that period once in the
+			// measured-throughput aggregate. Dedupe by window when the
+			// collector tagged one, else by (T, W) value.
+			k := measureKey{t: s.T, w: s.W, window: s.Window}
+			if !seenMeasured[k] {
+				seenMeasured[k] = true
+				totT += s.T
+				totW += s.W
+			}
+		}
+		if len(ws) == 0 {
+			continue
+		}
+		mean, err := stats.WeightedMean(ws)
+		if err != nil {
+			continue
+		}
+		me := MetricEstimate{
+			Metric:       metric,
+			MeanEstimate: mean,
+			Samples:      len(ws),
+		}
+		switch {
+		case intensityDen > 0:
+			me.MeanIntensity = intensityNum / intensityDen
+		case infIntensity:
+			me.MeanIntensity = math.Inf(1)
+		default:
+			me.MeanIntensity = math.NaN()
+		}
+		est.PerMetric = append(est.PerMetric, me)
+		if mean < est.MaxThroughput {
+			est.MaxThroughput = mean
+		}
+	}
+	if len(est.PerMetric) == 0 {
+		return nil, ErrNoSamples
+	}
+	sort.Slice(est.PerMetric, func(i, j int) bool {
+		a, b := est.PerMetric[i], est.PerMetric[j]
+		if a.MeanEstimate != b.MeanEstimate {
+			return a.MeanEstimate < b.MeanEstimate
+		}
+		return a.Metric < b.Metric
+	})
+	if totT > 0 {
+		est.MeasuredThroughput = totW / totT
+	} else {
+		est.MeasuredThroughput = math.NaN()
+	}
+	return est, nil
+}
+
+type measureKey struct {
+	t, w   float64
+	window int
+}
+
+// TopMetrics returns the k lowest-estimate metrics — the paper's candidate
+// bottleneck pool (§III-C, "Performance analysis"). Fewer than k entries
+// are returned when the estimation covers fewer metrics.
+func (est *Estimation) TopMetrics(k int) []MetricEstimate {
+	if k > len(est.PerMetric) {
+		k = len(est.PerMetric)
+	}
+	out := make([]MetricEstimate, k)
+	copy(out, est.PerMetric[:k])
+	return out
+}
+
+// Rank returns the 1-based rank of the metric in the ascending estimate
+// ordering, or 0 when the metric is absent.
+func (est *Estimation) Rank(metric string) int {
+	for i, m := range est.PerMetric {
+		if m.Metric == metric {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Estimate1 estimates a single metric's bound for one intensity value; a
+// convenience for exploratory use and plotting.
+func (e *Ensemble) Estimate1(metric string, intensity float64) (float64, error) {
+	r, ok := e.Rooflines[metric]
+	if !ok {
+		return 0, fmt.Errorf("core: no roofline for metric %q", metric)
+	}
+	return r.Eval(intensity), nil
+}

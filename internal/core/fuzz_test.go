@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzFitRoofline: arbitrary (T, W, M) triples must never panic the
+// fitter, and any fit produced must satisfy the structural invariants and
+// bound its own training samples.
+func FuzzFitRoofline(f *testing.F) {
+	f.Add([]byte{1, 10, 2, 1, 20, 1, 1, 5, 0})
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var samples []Sample
+		for i := 0; i+2 < len(raw); i += 3 {
+			samples = append(samples, Sample{
+				Metric: "m",
+				T:      float64(raw[i]), // zero T possible -> invalid sample
+				W:      float64(raw[i+1]) * 1.5,
+				M:      float64(raw[i+2]) / 3,
+			})
+		}
+		r, err := FitRoofline("m", samples)
+		if err != nil {
+			if err != ErrNoSamples {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			return
+		}
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range samples {
+			if !s.Valid() {
+				continue
+			}
+			p := s.Point()
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			if r.Eval(p.X) < p.Y-1e-9*(1+p.Y) {
+				t.Fatalf("fit undercuts sample %v", s)
+			}
+		}
+	})
+}
+
+// FuzzLoadEnsemble: arbitrary JSON must never panic the loader, and a
+// loaded model must evaluate without panicking.
+func FuzzLoadEnsemble(f *testing.F) {
+	// Seed with a genuine model.
+	var d Dataset
+	for i := 1.0; i <= 8; i *= 2 {
+		d.Add(Sample{Metric: "m", T: 1, W: i, M: 1})
+	}
+	ens, err := Train(d, TrainOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ens.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("{}")
+	f.Add(`{"format":"spire-ensemble","version":1,"model":{"rooflines":{"m":{"metric":"m","left":[{"X":1,"Y":1}],"tailY":"NaN"}}}}`)
+	f.Add(strings.Replace(buf.String(), "1", "-1", 5))
+
+	f.Fuzz(func(t *testing.T, payload string) {
+		got, err := LoadEnsemble(strings.NewReader(payload))
+		if err != nil {
+			return
+		}
+		for _, r := range got.Rooflines {
+			_ = r.Eval(0)
+			_ = r.Eval(1)
+			_ = r.Eval(math.Inf(1))
+		}
+	})
+}

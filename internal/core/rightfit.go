@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+
+	"spire/internal/geom"
+	"spire/internal/graphalg"
+)
+
+// fitRight implements the right-region fitting algorithm (paper §III-D,
+// Fig. 6). It receives the finite samples at or beyond the peak intensity
+// (the peak included) and, optionally, the best sample at I = +Inf, and
+// returns the chosen breakpoints (ascending, finite) plus the tail level
+// that bounds intensities beyond the last breakpoint.
+//
+// The algorithm:
+//  1. Extract the Pareto front maximizing intensity and throughput; other
+//     samples cannot be touched by a valid decreasing concave-up fit.
+//  2. Build a graph whose vertices are ordered front pairs (J, I) — "the
+//     segment from J down-right of I" — with edges (J,I) -> (I,H) when the
+//     I->H segment is steeper (keeping the fit concave-up), weighted by the
+//     squared overestimation error of the I->H segment over skipped front
+//     members. Start feeds the rightmost node (the I=+Inf sample, or the
+//     rightmost finite front member standing in for the paper's "dummy S");
+//     every vertex has an edge to End, representing the special horizontal
+//     segment at the peak level that reaches the leftmost front member E —
+//     the paper's "minor exception to the concave-up rule".
+//  3. Dijkstra's shortest path from Start to End selects the minimum
+//     total-squared-error fit.
+func fitRight(right []geom.Point, inf *geom.Point) (chain []geom.Point, tail float64) {
+	front := geom.ParetoFront(right)
+	if len(front) == 0 {
+		if inf != nil {
+			return nil, inf.Y
+		}
+		return nil, math.NaN()
+	}
+	peakY := front[0].Y
+	if inf != nil && inf.Y >= peakY {
+		// The best sample overall never fired the metric: the bound
+		// beyond the peak is that sample's throughput.
+		return nil, inf.Y
+	}
+	if inf != nil {
+		// Front members dominated by the I=+Inf sample are unreachable
+		// by a decreasing fit that must also stay above it.
+		kept := front[:0]
+		for _, p := range front {
+			if p.Y > inf.Y {
+				kept = append(kept, p)
+			}
+		}
+		front = kept
+		if len(front) == 0 {
+			return nil, inf.Y
+		}
+	}
+	if len(front) == 1 && inf == nil {
+		return nil, front[0].Y
+	}
+
+	m := len(front) // finite front members, ascending X
+	nNodes := m     // node ids 0..m-1 are front members
+	infNode := -1   // id of the +Inf node, when present
+	if inf != nil {
+		infNode = m
+		nNodes = m + 1
+	}
+	rightmost := nNodes - 1
+
+	// Precompute per-ordered-pair (j > i) chord validity, error, and
+	// slope. A chord from the +Inf node is horizontal at the finite
+	// endpoint's level.
+	type chordInfo struct {
+		valid bool
+		err   float64
+		slope float64
+	}
+	tol := 1e-9 * (1 + math.Abs(peakY))
+	chords := make([][]chordInfo, nNodes)
+	for j := 1; j < nNodes; j++ {
+		chords[j] = make([]chordInfo, j)
+		for i := 0; i < j; i++ {
+			ci := &chords[j][i]
+			if j == infNode {
+				// Horizontal segment at front[i].Y covering
+				// [front[i].X, +Inf). Always on or above the
+				// descending front; error counts skipped members
+				// plus the +Inf sample itself.
+				ci.valid = true
+				ci.slope = 0
+				for k := i + 1; k < m; k++ {
+					d := front[i].Y - front[k].Y
+					ci.err += d * d
+				}
+				d := front[i].Y - inf.Y
+				ci.err += d * d
+				continue
+			}
+			a, b := front[i], front[j]
+			slope := geom.Slope(a, b)
+			valid := true
+			var errSum float64
+			for k := i + 1; k < j; k++ {
+				lineY := a.Y + slope*(front[k].X-a.X)
+				d := lineY - front[k].Y
+				if d < -tol {
+					valid = false
+					break
+				}
+				errSum += d * d
+			}
+			ci.valid = valid
+			ci.err = errSum
+			ci.slope = slope
+		}
+	}
+
+	// Horizontal "End" segment error: the peak-level horizontal line
+	// from E = front[0] to front[i] overestimates the skipped members and
+	// the sample it drops down to; counting the latter makes ties resolve
+	// toward continuous fits that actually reach E with a segment.
+	endErr := func(i int) float64 {
+		var e float64
+		for k := 1; k <= i; k++ {
+			d := peakY - front[k].Y
+			e += d * d
+		}
+		return e
+	}
+
+	// Vertex layout: id(j,i) = j*nNodes + i for j > i, plus Start/End.
+	start := nNodes * nNodes
+	end := start + 1
+	g := graphalg.NewGraph(end + 1)
+	vid := func(j, i int) int { return j*nNodes + i }
+
+	for i := 0; i < rightmost; i++ {
+		if chords[rightmost][i].valid {
+			g.AddEdge(start, vid(rightmost, i), chords[rightmost][i].err)
+		}
+	}
+	for j := 1; j < nNodes; j++ {
+		for i := 0; i < j; i++ {
+			if !chords[j][i].valid {
+				continue
+			}
+			v := vid(j, i)
+			// Continue leftward with a steeper (or equal) segment.
+			for h := 0; h < i; h++ {
+				if chords[i][h].valid && chords[i][h].slope <= chords[j][i].slope+tol {
+					g.AddEdge(v, vid(i, h), chords[i][h].err)
+				}
+			}
+			// Finish via the horizontal peak segment (free if the
+			// path already reached E).
+			if i == 0 {
+				g.AddEdge(v, end, 0)
+			} else {
+				g.AddEdge(v, end, endErr(i))
+			}
+		}
+	}
+
+	path, _, err := g.ShortestPath(start, end)
+	if err != nil {
+		// Unreachable only if the rightmost node has no valid chord,
+		// which cannot happen (adjacent chords are always valid), but
+		// fall back to a flat bound defensively.
+		if inf != nil {
+			return nil, front[m-1].Y
+		}
+		return nil, peakY
+	}
+
+	// path = [Start, (rightmost,i1), (i1,i2), ..., (ik-1,ik), End].
+	// Chosen nodes descending: rightmost, i1, ..., ik.
+	var nodes []int
+	for idx, v := range path {
+		if v == start || v == end {
+			continue
+		}
+		j, i := v/nNodes, v%nNodes
+		if idx == 1 {
+			nodes = append(nodes, j)
+		}
+		nodes = append(nodes, i)
+	}
+	// Convert to ascending finite breakpoints.
+	for k := len(nodes) - 1; k >= 0; k-- {
+		if nodes[k] == infNode {
+			continue
+		}
+		chain = append(chain, front[nodes[k]])
+	}
+	if len(chain) == 0 {
+		if inf != nil {
+			return nil, inf.Y
+		}
+		return nil, peakY
+	}
+	return chain, chain[len(chain)-1].Y
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"spire/internal/geom"
+)
+
+// Roofline is one metric's piecewise-linear throughput upper bound
+// (paper §III-B). It is split at the highest-throughput training sample
+// ("the peak"): to the left the bound is increasing and concave-down (the
+// metric behaves as negatively associated with performance), to the right
+// it is decreasing and concave-up (positively associated), except for the
+// special horizontal segment at the peak allowed by the right-fitting
+// algorithm.
+type Roofline struct {
+	// Metric names the performance counter event this roofline bounds.
+	Metric string `json:"metric"`
+
+	// Left holds the left-region breakpoints, ascending in intensity,
+	// ending at the peak. The bound is evaluated from the origin (0,0)
+	// through these points. Always non-empty for a fitted model.
+	Left []geom.Point `json:"left"`
+
+	// Right holds the right-region breakpoints chosen by the Pareto +
+	// shortest-path fit, ascending in intensity, all finite. It may be
+	// empty (no samples beyond the peak), and its first point may be the
+	// peak itself (fully continuous fit) or lie beyond it, in which case
+	// the bound is the horizontal peak level until the first right
+	// breakpoint is reached (the paper's "special horizontal segment").
+	Right []geom.Point `json:"right"`
+
+	// TailY is the bound for intensities beyond the last right
+	// breakpoint, including I = +Inf. It equals the last right
+	// breakpoint's throughput, or the peak throughput when Right is
+	// empty.
+	TailY float64 `json:"tailY"`
+
+	// TrainingSamples is the number of valid samples the model was
+	// fitted on.
+	TrainingSamples int `json:"trainingSamples"`
+}
+
+// Peak returns the split point: the highest-throughput training sample.
+func (r *Roofline) Peak() geom.Point {
+	if len(r.Left) == 0 {
+		return geom.Point{}
+	}
+	return r.Left[len(r.Left)-1]
+}
+
+// Eval returns the maximum-throughput estimate for operational intensity
+// i. NaN inputs yield NaN. Negative intensities are clamped to zero.
+func (r *Roofline) Eval(i float64) float64 {
+	if math.IsNaN(i) {
+		return math.NaN()
+	}
+	if len(r.Left) == 0 {
+		return math.NaN()
+	}
+	if i < 0 {
+		i = 0
+	}
+	peak := r.Peak()
+	if i <= peak.X {
+		return evalChainFromOrigin(r.Left, i)
+	}
+	if len(r.Right) == 0 {
+		return r.TailY
+	}
+	first := r.Right[0]
+	if i < first.X {
+		// Horizontal segment at peak level up to the first chosen
+		// right-region sample (right-continuous step at first.X).
+		return peak.Y
+	}
+	last := r.Right[len(r.Right)-1]
+	if i >= last.X {
+		return r.TailY
+	}
+	// Interpolate within the right chain.
+	lo, hi := 0, len(r.Right)-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if r.Right[mid].X <= i {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := r.Right[lo], r.Right[hi]
+	t := (i - a.X) / (b.X - a.X)
+	return a.Y + t*(b.Y-a.Y)
+}
+
+// evalChainFromOrigin interpolates the left chain with an implicit (0,0)
+// origin breakpoint.
+func evalChainFromOrigin(chain []geom.Point, i float64) float64 {
+	prev := geom.Point{X: 0, Y: 0}
+	for _, p := range chain {
+		if i <= p.X {
+			if p.X == prev.X {
+				return p.Y
+			}
+			t := (i - prev.X) / (p.X - prev.X)
+			return prev.Y + t*(p.Y-prev.Y)
+		}
+		prev = p
+	}
+	return prev.Y
+}
+
+// FitRoofline trains a roofline for one metric from its samples (paper
+// §III-D). Invalid samples are dropped. ErrNoSamples is returned when no
+// valid sample remains.
+func FitRoofline(metric string, samples []Sample) (*Roofline, error) {
+	var finite []geom.Point
+	infY := math.Inf(-1) // best throughput among I = +Inf samples
+	hasInf := false
+	n := 0
+	for _, s := range samples {
+		if !s.Valid() {
+			continue
+		}
+		p := s.Point()
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			continue
+		}
+		n++
+		if math.IsInf(p.X, 1) {
+			hasInf = true
+			if p.Y > infY {
+				infY = p.Y
+			}
+			continue
+		}
+		finite = append(finite, p)
+	}
+	if n == 0 {
+		return nil, ErrNoSamples
+	}
+	r := &Roofline{Metric: metric, TrainingSamples: n}
+	if len(finite) == 0 {
+		// All samples had M = 0: the metric never fired. The bound is
+		// the constant best observed throughput.
+		r.Left = []geom.Point{{X: 0, Y: infY}}
+		r.TailY = infY
+		return r, nil
+	}
+
+	// Split at the highest-throughput finite sample.
+	peak := finite[geom.MaxY(finite)]
+
+	// Left region: convex-hull fit from the origin (paper Fig. 5).
+	r.Left = geom.UpperHullFromOrigin(finite)
+
+	// Right region: Pareto + shortest-path fit (paper Fig. 6) over the
+	// samples at or beyond the peak, plus any I = +Inf samples.
+	var right []geom.Point
+	for _, p := range finite {
+		if p.X >= peak.X {
+			right = append(right, p)
+		}
+	}
+	var inf *geom.Point
+	if hasInf {
+		inf = &geom.Point{X: math.Inf(1), Y: infY}
+	}
+	chain, tail := fitRight(right, inf)
+	r.Right = chain
+	r.TailY = tail
+	return r, nil
+}
+
+// CheckInvariants verifies the structural properties the paper requires of
+// a fitted roofline and returns a descriptive error on the first
+// violation. Used heavily by tests.
+func (r *Roofline) CheckInvariants() error {
+	if len(r.Left) == 0 {
+		return fmt.Errorf("roofline %s: empty left chain", r.Metric)
+	}
+	prev := geom.Point{X: 0, Y: 0}
+	prevSlope := math.Inf(1)
+	for i, p := range r.Left {
+		if p.X < prev.X || (p.X == prev.X && i > 0) {
+			return fmt.Errorf("roofline %s: left chain not ascending at %d", r.Metric, i)
+		}
+		if p.Y < prev.Y {
+			return fmt.Errorf("roofline %s: left chain decreasing at %d", r.Metric, i)
+		}
+		if p.X > prev.X {
+			s := geom.Slope(prev, p)
+			if s > prevSlope+1e-9*(1+math.Abs(prevSlope)) {
+				return fmt.Errorf("roofline %s: left chain not concave-down at %d (slope %g after %g)", r.Metric, i, s, prevSlope)
+			}
+			prevSlope = s
+		}
+		prev = p
+	}
+	peak := r.Peak()
+	if len(r.Right) > 0 {
+		if r.Right[0].X < peak.X {
+			return fmt.Errorf("roofline %s: right chain starts before peak", r.Metric)
+		}
+		if r.Right[0].Y > peak.Y+1e-9*(1+peak.Y) {
+			return fmt.Errorf("roofline %s: right chain starts above peak", r.Metric)
+		}
+		prev = r.Right[0]
+		prevSlope = math.Inf(-1)
+		for i, p := range r.Right[1:] {
+			if p.X <= prev.X {
+				return fmt.Errorf("roofline %s: right chain not ascending at %d", r.Metric, i+1)
+			}
+			if p.Y > prev.Y+1e-9*(1+math.Abs(prev.Y)) {
+				return fmt.Errorf("roofline %s: right chain increasing at %d", r.Metric, i+1)
+			}
+			s := geom.Slope(prev, p)
+			if s < prevSlope-1e-9*(1+math.Abs(prevSlope)) {
+				return fmt.Errorf("roofline %s: right chain not concave-up at %d (slope %g after %g)", r.Metric, i+1, s, prevSlope)
+			}
+			prevSlope = s
+			prev = p
+		}
+		if math.Abs(r.TailY-r.Right[len(r.Right)-1].Y) > 1e-9*(1+math.Abs(r.TailY)) {
+			return fmt.Errorf("roofline %s: tail %g does not match last right breakpoint %g", r.Metric, r.TailY, r.Right[len(r.Right)-1].Y)
+		}
+	}
+	return nil
+}
+
+// Region identifies where an operational intensity falls relative to a
+// roofline's peak, which determines how the metric relates to
+// performance there (paper §III-B's qualitative trends).
+type Region uint8
+
+const (
+	// RegionLeft: below the peak intensity — the metric behaves as
+	// negatively associated with performance (more work per event
+	// raises the bound), so reducing the event's rate should help.
+	RegionLeft Region = iota
+	// RegionPeak: at (or very near) the peak.
+	RegionPeak
+	// RegionRight: beyond the peak — the metric behaves as positively
+	// associated with performance (the event accompanies fast
+	// execution); the event becoming rarer accompanies lower bounds.
+	RegionRight
+)
+
+// String names the region.
+func (r Region) String() string {
+	switch r {
+	case RegionLeft:
+		return "left"
+	case RegionPeak:
+		return "peak"
+	case RegionRight:
+		return "right"
+	}
+	return "?"
+}
+
+// Region classifies an operational intensity against the fitted peak,
+// with a 2% relative band counted as "at the peak". NaN maps to the
+// peak (no information).
+func (r *Roofline) Region(i float64) Region {
+	if len(r.Left) == 0 || math.IsNaN(i) {
+		return RegionPeak
+	}
+	peak := r.Peak()
+	lo := peak.X * 0.98
+	hi := peak.X * 1.02
+	switch {
+	case i < lo:
+		return RegionLeft
+	case i > hi:
+		return RegionRight
+	default:
+		return RegionPeak
+	}
+}

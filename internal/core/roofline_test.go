@@ -1,0 +1,324 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spire/internal/geom"
+)
+
+// mkSamples converts (I, P) pairs into samples with T = 1, W = P, M = W/I.
+func mkSamples(metric string, pts []geom.Point) []Sample {
+	out := make([]Sample, 0, len(pts))
+	for _, p := range pts {
+		s := Sample{Metric: metric, T: 1, W: p.Y}
+		if math.IsInf(p.X, 1) {
+			s.M = 0
+		} else if p.X == 0 {
+			// I = 0 requires W = 0 with M > 0.
+			s.W = 0
+			s.M = 1
+		} else {
+			s.M = p.Y / p.X
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestSampleDerivedValues(t *testing.T) {
+	s := Sample{Metric: "stalls", T: 4, W: 8, M: 2}
+	if got := s.Throughput(); got != 2 {
+		t.Errorf("Throughput = %g, want 2", got)
+	}
+	if got := s.Intensity(); got != 4 {
+		t.Errorf("Intensity = %g, want 4", got)
+	}
+	zeroM := Sample{Metric: "stalls", T: 1, W: 5, M: 0}
+	if got := zeroM.Intensity(); !math.IsInf(got, 1) {
+		t.Errorf("Intensity with M=0 = %g, want +Inf", got)
+	}
+	zeroBoth := Sample{Metric: "stalls", T: 1, W: 0, M: 0}
+	if got := zeroBoth.Intensity(); !math.IsNaN(got) {
+		t.Errorf("Intensity with W=M=0 = %g, want NaN", got)
+	}
+	if (Sample{Metric: "x", T: 0, W: 1, M: 1}).Valid() {
+		t.Error("T=0 sample should be invalid")
+	}
+	if (Sample{Metric: "", T: 1, W: 1, M: 1}).Valid() {
+		t.Error("unnamed sample should be invalid")
+	}
+	if (Sample{Metric: "x", T: 1, W: -1, M: 1}).Valid() {
+		t.Error("negative work should be invalid")
+	}
+	if (Sample{Metric: "x", T: 1, W: math.NaN(), M: 1}).Valid() {
+		t.Error("NaN work should be invalid")
+	}
+}
+
+func TestFitRooflineNoSamples(t *testing.T) {
+	if _, err := FitRoofline("m", nil); err != ErrNoSamples {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+	invalid := []Sample{{Metric: "m", T: 0, W: 1, M: 1}}
+	if _, err := FitRoofline("m", invalid); err != ErrNoSamples {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestFitRooflineSingleSample(t *testing.T) {
+	r, err := FitRoofline("m", mkSamples("m", []geom.Point{{X: 2, Y: 3}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Left of the sample: the line from the origin through it.
+	if got := r.Eval(1); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Eval(1) = %g, want 1.5", got)
+	}
+	// At and right of the sample: flat.
+	for _, i := range []float64{2, 5, math.Inf(1)} {
+		if got := r.Eval(i); math.Abs(got-3) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want 3", i, got)
+		}
+	}
+}
+
+func TestFitRooflineLeftIncreasingConcave(t *testing.T) {
+	// Negative metric behaviour (paper Fig 5): throughput rises with I.
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 1.6}, {X: 4, Y: 2.2}, {X: 8, Y: 2.5}, {X: 3, Y: 1.0}}
+	r, err := FitRoofline("stalls", mkSamples("stalls", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peak(); got != (geom.Point{X: 8, Y: 2.5}) {
+		t.Errorf("peak = %v, want (8, 2.5)", got)
+	}
+	// Monotone non-decreasing over the left region.
+	prev := -1.0
+	for i := 0.0; i <= 8.0; i += 0.25 {
+		v := r.Eval(i)
+		if v < prev-1e-12 {
+			t.Fatalf("left region decreasing at I=%g: %g < %g", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFitRooflineRightChoosesZeroErrorPath(t *testing.T) {
+	// Constructed so that the concave-up rule forbids following all
+	// Pareto samples without the special horizontal segment: best fit is
+	// horizontal at the peak until (2,7.9), then through (3,4), (4,1).
+	pts := []geom.Point{{X: 1, Y: 8}, {X: 2, Y: 7.9}, {X: 3, Y: 4}, {X: 4, Y: 1}}
+	r, err := FitRoofline("m", mkSamples("m", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	want := []geom.Point{{X: 2, Y: 7.9}, {X: 3, Y: 4}, {X: 4, Y: 1}}
+	if len(r.Right) != len(want) {
+		t.Fatalf("right chain = %v, want %v", r.Right, want)
+	}
+	for i := range want {
+		if math.Abs(r.Right[i].X-want[i].X) > 1e-12 || math.Abs(r.Right[i].Y-want[i].Y) > 1e-12 {
+			t.Fatalf("right chain = %v, want %v", r.Right, want)
+		}
+	}
+	// The horizontal peak segment spans (1, 2).
+	if got := r.Eval(1.5); got != 8 {
+		t.Errorf("Eval(1.5) = %g, want 8 (horizontal peak segment)", got)
+	}
+	if got := r.Eval(2); math.Abs(got-7.9) > 1e-12 {
+		t.Errorf("Eval(2) = %g, want 7.9", got)
+	}
+	if got := r.Eval(3.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Eval(3.5) = %g, want 2.5", got)
+	}
+	if got := r.Eval(100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Eval(100) = %g, want tail 1", got)
+	}
+}
+
+func TestFitRooflineRightAllAdjacent(t *testing.T) {
+	// Slopes steepen leftward, so following every Pareto sample is valid
+	// and has zero error: the fit must touch every sample.
+	pts := []geom.Point{{X: 1, Y: 8}, {X: 2, Y: 4}, {X: 3, Y: 2}, {X: 4, Y: 1.9}}
+	r, err := FitRoofline("m", mkSamples("m", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Right) != 4 {
+		t.Fatalf("right chain = %v, want all 4 samples", r.Right)
+	}
+	for _, p := range pts {
+		if got := r.Eval(p.X); math.Abs(got-p.Y) > 1e-9 {
+			t.Errorf("Eval(%g) = %g, want %g", p.X, got, p.Y)
+		}
+	}
+}
+
+func TestFitRooflineInfinitySample(t *testing.T) {
+	// A sample with M = 0 (I = +Inf) anchors the tail.
+	pts := []geom.Point{{X: 1, Y: 8}, {X: 4, Y: 4}, {X: math.Inf(1), Y: 1}}
+	r, err := FitRoofline("m", mkSamples("m", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Eval(math.Inf(1)); got < 1 {
+		t.Errorf("Eval(+Inf) = %g must bound the I=Inf sample (P=1)", got)
+	}
+	if got := r.Eval(4); got < 4-1e-9 {
+		t.Errorf("Eval(4) = %g undercuts sample", got)
+	}
+}
+
+func TestFitRooflineInfinitySampleIsBest(t *testing.T) {
+	// The best-throughput sample never fires the metric: the bound right
+	// of the peak jumps to that sample's throughput.
+	pts := []geom.Point{{X: 1, Y: 2}, {X: math.Inf(1), Y: 5}}
+	r, err := FitRoofline("m", mkSamples("m", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Eval(math.Inf(1)); got != 5 {
+		t.Errorf("Eval(+Inf) = %g, want 5", got)
+	}
+	if got := r.Eval(0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Eval(0.5) = %g, want 1 (left chord)", got)
+	}
+}
+
+func TestFitRooflineAllInfinity(t *testing.T) {
+	pts := []geom.Point{{X: math.Inf(1), Y: 2}, {X: math.Inf(1), Y: 5}}
+	r, err := FitRoofline("m", mkSamples("m", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []float64{0, 1, math.Inf(1)} {
+		if got := r.Eval(i); got != 5 {
+			t.Errorf("Eval(%g) = %g, want constant 5", i, got)
+		}
+	}
+}
+
+func TestRooflineEvalEdgeCases(t *testing.T) {
+	r, err := FitRoofline("m", mkSamples("m", []geom.Point{{X: 2, Y: 3}, {X: 4, Y: 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Eval(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Eval(NaN) = %g, want NaN", got)
+	}
+	if got := r.Eval(-5); got != 0 {
+		t.Errorf("Eval(-5) = %g, want 0 (clamped to origin)", got)
+	}
+	var empty Roofline
+	if got := empty.Eval(1); !math.IsNaN(got) {
+		t.Errorf("empty roofline Eval = %g, want NaN", got)
+	}
+}
+
+// TestFitRooflineUpperBoundProperty is the central invariant from the
+// paper: the fitted function lies on or above every training sample.
+func TestFitRooflineUpperBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(60)
+		samples := make([]Sample, n)
+		for i := range samples {
+			T := 1 + rng.Float64()*9
+			W := rng.Float64() * 100
+			var M float64
+			switch rng.Intn(4) {
+			case 0:
+				M = 0 // I = +Inf
+			default:
+				M = rng.Float64() * 50
+			}
+			samples[i] = Sample{Metric: "m", T: T, W: W, M: M}
+		}
+		r, err := FitRoofline("m", samples)
+		if err != nil {
+			// Only possible if every sample was invalid; with T>0 and
+			// W,M >= 0 the only degenerate case is all W=M=0.
+			continue
+		}
+		if err := r.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, s := range samples {
+			p := s.Point()
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			got := r.Eval(p.X)
+			if got < p.Y-1e-9*(1+p.Y) {
+				t.Fatalf("trial %d: fit undercuts sample %v: Eval(%g)=%g < %g\nleft=%v\nright=%v tail=%g",
+					trial, s, p.X, got, p.Y, r.Left, r.Right, r.TailY)
+			}
+		}
+	}
+}
+
+// TestFitRooflineDroopBehaviour documents the paper's observed BP.1
+// defect: sparse high-intensity samples with lower throughput pull the
+// right region down even when the metric is genuinely "negative".
+func TestFitRooflineDroopBehaviour(t *testing.T) {
+	pts := []geom.Point{
+		{X: 1, Y: 0.5}, {X: 10, Y: 1.5}, {X: 100, Y: 2.8},
+		{X: 1000, Y: 3.0}, // peak
+		{X: 5000, Y: 1.2}, // sparse high-I sample with poor throughput
+	}
+	r, err := FitRoofline("bp1", mkSamples("bp1", pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Eval(20000); got > 1.2+1e-9 {
+		t.Errorf("expected the right fit to droop to 1.2 beyond the last sample, got %g", got)
+	}
+	if got := r.Eval(100); got < 2.8-1e-9 {
+		t.Errorf("left region must still bound the training samples, got %g at I=100", got)
+	}
+}
+
+func TestRooflineRegion(t *testing.T) {
+	r, err := FitRoofline("m", mkSamples("m", []geom.Point{
+		{X: 1, Y: 1}, {X: 10, Y: 3}, {X: 100, Y: 1},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Region(1); got != RegionLeft {
+		t.Errorf("Region(1) = %v, want left", got)
+	}
+	if got := r.Region(10); got != RegionPeak {
+		t.Errorf("Region(10) = %v, want peak", got)
+	}
+	if got := r.Region(50); got != RegionRight {
+		t.Errorf("Region(50) = %v, want right", got)
+	}
+	if got := r.Region(math.Inf(1)); got != RegionRight {
+		t.Errorf("Region(+Inf) = %v, want right", got)
+	}
+	if got := r.Region(math.NaN()); got != RegionPeak {
+		t.Errorf("Region(NaN) = %v, want peak fallback", got)
+	}
+	var empty Roofline
+	if got := empty.Region(1); got != RegionPeak {
+		t.Errorf("empty Region = %v, want peak fallback", got)
+	}
+	if RegionLeft.String() != "left" || RegionRight.String() != "right" || RegionPeak.String() != "peak" || Region(9).String() != "?" {
+		t.Error("region names wrong")
+	}
+}

@@ -1,0 +1,147 @@
+// Package core implements the SPIRE performance model (paper §III): samples
+// collected from hardware performance counters, per-metric piecewise-linear
+// roofline models with the left (convex hull) and right (Pareto + Dijkstra)
+// fitting algorithms, and the ensemble that combines them to estimate a
+// workload's maximum attainable throughput and rank likely bottlenecks.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"spire/internal/geom"
+)
+
+// Sample is one measurement period for one performance metric (paper
+// §III-A). T and W must use consistent units across all samples (e.g.
+// cycles and instructions so that throughput is IPC); M's unit is specific
+// to the metric.
+type Sample struct {
+	// Metric names the performance counter event this sample measured.
+	Metric string `json:"metric"`
+	// T is the length of the measurement period (e.g. core cycles).
+	T float64 `json:"t"`
+	// W is the work completed during the period (e.g. retired
+	// instructions).
+	W float64 `json:"w"`
+	// M is the increase of the metric during the period.
+	M float64 `json:"m"`
+	// Window optionally identifies the collection interval the sample
+	// came from; samples sharing a window were measured over the same
+	// period. Zero when the collector does not track windows.
+	Window int `json:"window,omitempty"`
+}
+
+// Throughput returns P = W/T. It returns NaN when T is zero or negative.
+func (s Sample) Throughput() float64 {
+	if s.T <= 0 {
+		return math.NaN()
+	}
+	return s.W / s.T
+}
+
+// Intensity returns the metric-specific operational intensity I = W/M.
+// When the metric never fired (M == 0) the intensity is +Inf, matching the
+// paper's treatment of samples with M_x = 0; when both W and M are zero it
+// returns NaN (no information).
+func (s Sample) Intensity() float64 {
+	if s.M == 0 {
+		if s.W == 0 {
+			return math.NaN()
+		}
+		return math.Inf(1)
+	}
+	return s.W / s.M
+}
+
+// Valid reports whether the sample can participate in fitting or
+// estimation: positive period, non-negative work and metric count, and no
+// NaNs.
+func (s Sample) Valid() bool {
+	if s.Metric == "" {
+		return false
+	}
+	if math.IsNaN(s.T) || math.IsNaN(s.W) || math.IsNaN(s.M) {
+		return false
+	}
+	if math.IsInf(s.T, 0) || math.IsInf(s.W, 0) || math.IsInf(s.M, 0) {
+		return false
+	}
+	return s.T > 0 && s.W >= 0 && s.M >= 0
+}
+
+// Point converts the sample to the (intensity, throughput) plane used by
+// roofline fitting.
+func (s Sample) Point() geom.Point {
+	return geom.Point{X: s.Intensity(), Y: s.Throughput()}
+}
+
+// String renders the sample with its derived values for diagnostics.
+func (s Sample) String() string {
+	return fmt.Sprintf("%s{T=%g W=%g M=%g P=%g I=%g}",
+		s.Metric, s.T, s.W, s.M, s.Throughput(), s.Intensity())
+}
+
+// Dataset is a collection of samples, typically gathered by a perf-stat
+// style sampler over one or more workload executions.
+type Dataset struct {
+	Samples []Sample `json:"samples"`
+}
+
+// Add appends samples to the dataset.
+func (d *Dataset) Add(samples ...Sample) {
+	d.Samples = append(d.Samples, samples...)
+}
+
+// Merge appends all samples from other.
+func (d *Dataset) Merge(other Dataset) {
+	d.Samples = append(d.Samples, other.Samples...)
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// Metrics returns the sorted set of metric names present in the dataset.
+func (d *Dataset) Metrics() []string {
+	set := make(map[string]bool)
+	for _, s := range d.Samples {
+		set[s.Metric] = true
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByMetric groups samples by metric name (paper Fig. 3, middle). Invalid
+// samples are dropped; the per-metric order follows the dataset order.
+func (d *Dataset) ByMetric() map[string][]Sample {
+	groups := make(map[string][]Sample)
+	for _, s := range d.Samples {
+		if !s.Valid() {
+			continue
+		}
+		groups[s.Metric] = append(groups[s.Metric], s)
+	}
+	return groups
+}
+
+// Filter returns a new dataset containing the samples for which keep
+// returns true.
+func (d *Dataset) Filter(keep func(Sample) bool) Dataset {
+	var out Dataset
+	for _, s := range d.Samples {
+		if keep(s) {
+			out.Add(s)
+		}
+	}
+	return out
+}
+
+// ErrNoSamples is returned when fitting or estimating with no usable
+// samples.
+var ErrNoSamples = errors.New("core: no usable samples")

@@ -1,0 +1,596 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"spire/internal/core"
+	"spire/internal/geom"
+	"spire/internal/mem"
+	"spire/internal/perfstat"
+	"spire/internal/sim"
+	"spire/internal/stats"
+	"spire/internal/workloads"
+)
+
+// rankingVector extracts per-metric mean estimates over the union of
+// metric names (missing metrics get +Inf so they sort last).
+func rankingVector(est *core.Estimation, metrics []string) []float64 {
+	byName := make(map[string]float64, len(est.PerMetric))
+	for _, m := range est.PerMetric {
+		byName[m.Metric] = m.MeanEstimate
+	}
+	out := make([]float64, len(metrics))
+	for i, m := range metrics {
+		if v, ok := byName[m]; ok {
+			out[i] = v
+		} else {
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+func sharedMetrics(a, b *core.Estimation) []string {
+	inA := make(map[string]bool)
+	for _, m := range a.PerMetric {
+		inA[m.Metric] = true
+	}
+	var out []string
+	for _, m := range b.PerMetric {
+		if inA[m.Metric] {
+			out = append(out, m.Metric)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// unweight transforms samples so a time-weighted average degenerates to an
+// unweighted mean while preserving each sample's throughput and intensity:
+// (T, W, M) -> (1, W/T, M/T).
+func unweight(d core.Dataset) core.Dataset {
+	var out core.Dataset
+	for _, s := range d.Samples {
+		if s.T <= 0 {
+			continue
+		}
+		out.Add(core.Sample{Metric: s.Metric, T: 1, W: s.W / s.T, M: s.M / s.T})
+	}
+	return out
+}
+
+// AblationTWAResult compares Eq. 1's time-weighted merging against an
+// unweighted mean on each test workload.
+type AblationTWAResult struct {
+	Workload string
+	// SpearmanRho is the rank correlation between the two metric
+	// rankings; OverlapTop10 is the top-10 pool overlap.
+	SpearmanRho  float64
+	OverlapTop10 float64
+	// MinShiftAbs is |min estimate TWA - min estimate unweighted|.
+	MinShiftAbs float64
+}
+
+// AblationTWA quantifies the effect of the time-weighted average.
+func (s *Session) AblationTWA() ([]AblationTWAResult, error) {
+	ens, err := s.Ensemble()
+	if err != nil {
+		return nil, err
+	}
+	runs, err := s.TestRuns()
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationTWAResult
+	for _, r := range runs {
+		weighted, err := ens.Estimate(r.Data)
+		if err != nil {
+			return nil, err
+		}
+		unweighted, err := ens.Estimate(unweight(r.Data))
+		if err != nil {
+			return nil, err
+		}
+		metrics := sharedMetrics(weighted, unweighted)
+		va := rankingVector(weighted, metrics)
+		vb := rankingVector(unweighted, metrics)
+		rho, err := stats.SpearmanRho(va, vb)
+		if err != nil {
+			rho = math.NaN()
+		}
+		k := 10
+		if k > len(metrics) {
+			k = len(metrics)
+		}
+		ov, err := stats.OverlapAtK(va, vb, k)
+		if err != nil {
+			ov = math.NaN()
+		}
+		out = append(out, AblationTWAResult{
+			Workload:     r.Spec.Name,
+			SpearmanRho:  rho,
+			OverlapTop10: ov,
+			MinShiftAbs:  math.Abs(weighted.MaxThroughput - unweighted.MaxThroughput),
+		})
+	}
+	return out, nil
+}
+
+// AblationEnsembleResult compares the paper's min-reduction against a mean
+// reduction of per-metric estimates.
+type AblationEnsembleResult struct {
+	Workload string
+	Measured float64
+	MinEst   float64
+	MeanEst  float64
+	// MinRatio and MeanRatio are estimate/measured; an upper-bound
+	// estimator should sit near or above 1, and the mean reduction is
+	// expected to overshoot badly.
+	MinRatio  float64
+	MeanRatio float64
+}
+
+// AblationEnsembleReduction quantifies why SPIRE takes the minimum across
+// metrics rather than an average.
+func (s *Session) AblationEnsembleReduction() ([]AblationEnsembleResult, error) {
+	ens, err := s.Ensemble()
+	if err != nil {
+		return nil, err
+	}
+	runs, err := s.TestRuns()
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationEnsembleResult
+	for _, r := range runs {
+		est, err := ens.Estimate(r.Data)
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for _, m := range est.PerMetric {
+			sum += m.MeanEstimate
+		}
+		mean := sum / float64(len(est.PerMetric))
+		res := AblationEnsembleResult{
+			Workload: r.Spec.Name,
+			Measured: r.Report.IPC,
+			MinEst:   est.MaxThroughput,
+			MeanEst:  mean,
+		}
+		if res.Measured > 0 {
+			res.MinRatio = res.MinEst / res.Measured
+			res.MeanRatio = res.MeanEst / res.Measured
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationMultiplexResult compares rankings from multiplexed sampling
+// against an oracle PMU that counts every event continuously.
+type AblationMultiplexResult struct {
+	Workload     string
+	SpearmanRho  float64
+	OverlapTop10 float64
+}
+
+// AblationMultiplex measures how much ranking fidelity counter
+// multiplexing costs.
+func (s *Session) AblationMultiplex() ([]AblationMultiplexResult, error) {
+	ens, err := s.Ensemble()
+	if err != nil {
+		return nil, err
+	}
+	runs, err := s.TestRuns()
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationMultiplexResult
+	for _, r := range runs {
+		// Re-run the workload with an oracle sampler.
+		prog := r.Spec.Build(s.Cfg.Scale)
+		sm, err := sim.New(s.Cfg.core(), prog, s.Cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		oracleData, _, err := perfstat.Collect(sm, r.Spec.Name, perfstat.Options{
+			IntervalCycles: s.Cfg.IntervalCycles,
+			MaxCycles:      s.Cfg.MaxCyclesPerWorkload,
+			Multiplex:      false,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mux, err := ens.Estimate(r.Data)
+		if err != nil {
+			return nil, err
+		}
+		oracle, err := ens.Estimate(oracleData)
+		if err != nil {
+			return nil, err
+		}
+		metrics := sharedMetrics(mux, oracle)
+		va := rankingVector(mux, metrics)
+		vb := rankingVector(oracle, metrics)
+		rho, err := stats.SpearmanRho(va, vb)
+		if err != nil {
+			rho = math.NaN()
+		}
+		k := 10
+		if k > len(metrics) {
+			k = len(metrics)
+		}
+		ov, err := stats.OverlapAtK(va, vb, k)
+		if err != nil {
+			ov = math.NaN()
+		}
+		out = append(out, AblationMultiplexResult{Workload: r.Spec.Name, SpearmanRho: rho, OverlapTop10: ov})
+	}
+	return out, nil
+}
+
+// TrainingSizePoint is one point of the training-set size sweep.
+type TrainingSizePoint struct {
+	Workloads int
+	// MeanOverlapTop10 is the average top-10 overlap with the
+	// full-training ranking over the test workloads.
+	MeanOverlapTop10 float64
+}
+
+// AblationTrainingSize trains on growing prefixes of the training suite
+// and measures how quickly the test-workload rankings stabilize — the
+// paper notes its right-fit defect "can be fixed with more training
+// data".
+func (s *Session) AblationTrainingSize(sizes []int) ([]TrainingSizePoint, error) {
+	full, err := s.Ensemble()
+	if err != nil {
+		return nil, err
+	}
+	trainRuns, err := s.TrainingRuns()
+	if err != nil {
+		return nil, err
+	}
+	testRuns, err := s.TestRuns()
+	if err != nil {
+		return nil, err
+	}
+	fullEsts := make([]*core.Estimation, len(testRuns))
+	for i, r := range testRuns {
+		est, err := full.Estimate(r.Data)
+		if err != nil {
+			return nil, err
+		}
+		fullEsts[i] = est
+	}
+	var out []TrainingSizePoint
+	for _, n := range sizes {
+		if n <= 0 || n > len(trainRuns) {
+			return nil, fmt.Errorf("experiments: training size %d out of range", n)
+		}
+		var data core.Dataset
+		for _, r := range trainRuns[:n] {
+			data.Merge(r.Data)
+		}
+		ens, err := core.Train(data, core.TrainOptions{})
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		cnt := 0
+		for i, r := range testRuns {
+			est, err := ens.Estimate(r.Data)
+			if err != nil {
+				continue
+			}
+			metrics := sharedMetrics(est, fullEsts[i])
+			if len(metrics) < 2 {
+				continue
+			}
+			k := 10
+			if k > len(metrics) {
+				k = len(metrics)
+			}
+			ov, err := stats.OverlapAtK(rankingVector(est, metrics), rankingVector(fullEsts[i], metrics), k)
+			if err != nil {
+				continue
+			}
+			sum += ov
+			cnt++
+		}
+		p := TrainingSizePoint{Workloads: n}
+		if cnt > 0 {
+			p.MeanOverlapTop10 = sum / float64(cnt)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// GreedyRightFit is the naive alternative to the paper's shortest-path
+// right fit: walk the Pareto front left to right, keeping each sample
+// whose chord maintains validity and concavity, else skipping it. Returns
+// the fit's total squared overestimation over the front.
+func GreedyRightFit(front []geom.Point) float64 {
+	if len(front) < 2 {
+		return 0
+	}
+	chain := []geom.Point{front[0]}
+	for i := 1; i < len(front); i++ {
+		prev := chain[len(chain)-1]
+		cand := front[i]
+		slope := geom.Slope(prev, cand)
+		ok := true
+		// Concavity against the previous chord.
+		if len(chain) >= 2 {
+			prevSlope := geom.Slope(chain[len(chain)-2], prev)
+			if slope < prevSlope {
+				ok = false
+			}
+		}
+		// Validity over skipped members.
+		if ok {
+			for _, q := range front {
+				if q.X > prev.X && q.X < cand.X {
+					lineY := prev.Y + slope*(q.X-prev.X)
+					if lineY < q.Y-1e-9 {
+						ok = false
+						break
+					}
+				}
+			}
+		}
+		if ok {
+			chain = append(chain, cand)
+		}
+	}
+	// Total squared overestimation of the greedy chain over the front.
+	evalChain := func(x float64) float64 {
+		if x <= chain[0].X {
+			return chain[0].Y
+		}
+		for i := 1; i < len(chain); i++ {
+			if x <= chain[i].X {
+				a, b := chain[i-1], chain[i]
+				t := (x - a.X) / (b.X - a.X)
+				return a.Y + t*(b.Y-a.Y)
+			}
+		}
+		return chain[len(chain)-1].Y
+	}
+	var sq float64
+	for _, q := range front {
+		d := evalChain(q.X) - q.Y
+		if d > 0 {
+			sq += d * d
+		}
+	}
+	return sq
+}
+
+// RightFitError evaluates a fitted roofline's total squared
+// overestimation over a point set (the objective the Dijkstra fit
+// minimizes over the Pareto front).
+func RightFitError(r *core.Roofline, pts []geom.Point) float64 {
+	var sq float64
+	for _, p := range pts {
+		d := r.Eval(p.X) - p.Y
+		if d > 0 {
+			sq += d * d
+		}
+	}
+	return sq
+}
+
+// WorkloadSuiteNames re-exports the suite roster for tooling.
+func WorkloadSuiteNames() []string { return workloads.Names() }
+
+// overlapOrNaN wraps stats.OverlapAtK for callers that tolerate failure.
+func overlapOrNaN(a, b []float64, k int) (float64, error) {
+	return stats.OverlapAtK(a, b, k)
+}
+
+// PrefetchAblation compares a workload's throughput with and without the
+// optional L2 stride prefetcher — the simulator-side extension ablation:
+// streaming memory-bound workloads should speed up, dependent pointer
+// chases should not.
+type PrefetchAblation struct {
+	Workload    string
+	BaseIPC     float64
+	PrefetchIPC float64
+	// Speedup is PrefetchIPC / BaseIPC.
+	Speedup float64
+}
+
+// AblationPrefetcher measures the prefetcher's effect on a representative
+// workload subset (two streamers, one pointer chase, one compute kernel).
+func (s *Session) AblationPrefetcher() ([]PrefetchAblation, error) {
+	names := []string{"remhos", "onnx", "faiss-sift1m", "qmcpack"}
+	var out []PrefetchAblation
+	for _, name := range names {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		run := func(enable bool) (float64, error) {
+			cfg := *s.Cfg.core()
+			cfg.Mem.Prefetch = mem.PrefetchConfig{Enable: enable, Degree: 4, MinConfidence: 2}
+			sm, err := sim.New(&cfg, spec.Build(s.Cfg.Scale), s.Cfg.Seed)
+			if err != nil {
+				return 0, err
+			}
+			res := sm.Run(s.Cfg.MaxCyclesPerWorkload)
+			return res.IPC, nil
+		}
+		base, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		pf, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		a := PrefetchAblation{Workload: name, BaseIPC: base, PrefetchIPC: pf}
+		if base > 0 {
+			a.Speedup = pf / base
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// IntervalPoint is one sampling-interval setting's agreement with the
+// default-interval ranking.
+type IntervalPoint struct {
+	IntervalCycles   uint64
+	MeanOverlapTop10 float64
+}
+
+// AblationInterval re-collects the test workloads at several sampling
+// interval lengths and measures how stable the bottleneck rankings are —
+// the analogue of the paper's choice of a 2-second sampling period.
+func (s *Session) AblationInterval(intervals []uint64) ([]IntervalPoint, error) {
+	ens, err := s.Ensemble()
+	if err != nil {
+		return nil, err
+	}
+	runs, err := s.TestRuns()
+	if err != nil {
+		return nil, err
+	}
+	baseEsts := make([]*core.Estimation, len(runs))
+	for i, r := range runs {
+		est, err := ens.Estimate(r.Data)
+		if err != nil {
+			return nil, err
+		}
+		baseEsts[i] = est
+	}
+	var out []IntervalPoint
+	for _, iv := range intervals {
+		if iv == 0 {
+			return nil, fmt.Errorf("experiments: zero sampling interval")
+		}
+		var sum float64
+		cnt := 0
+		for i, r := range runs {
+			sm, err := sim.New(s.Cfg.core(), r.Spec.Build(s.Cfg.Scale), s.Cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			data, _, err := perfstat.Collect(sm, r.Spec.Name, perfstat.Options{
+				IntervalCycles: iv,
+				MaxCycles:      s.Cfg.MaxCyclesPerWorkload,
+				GroupSize:      s.Cfg.GroupSize,
+				Multiplex:      true,
+				PerturbLines:   s.Cfg.PerturbLines,
+			})
+			if err != nil {
+				continue
+			}
+			est, err := ens.Estimate(data)
+			if err != nil {
+				continue
+			}
+			metrics := sharedMetrics(est, baseEsts[i])
+			if len(metrics) < 2 {
+				continue
+			}
+			k := 10
+			if k > len(metrics) {
+				k = len(metrics)
+			}
+			ov, err := stats.OverlapAtK(rankingVector(est, metrics), rankingVector(baseEsts[i], metrics), k)
+			if err != nil {
+				continue
+			}
+			sum += ov
+			cnt++
+		}
+		p := IntervalPoint{IntervalCycles: iv}
+		if cnt > 0 {
+			p.MeanOverlapTop10 = sum / float64(cnt)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SeedStability is one workload's ranking robustness across seeds: the
+// mean pairwise top-10 overlap between rankings produced from runs that
+// differ only in their random streams (addresses, branch outcomes,
+// multiplexing phase).
+type SeedStability struct {
+	Workload         string
+	MeanOverlapTop10 float64
+	Pairs            int
+}
+
+// AblationSeeds measures how much of the bottleneck ranking survives a
+// change of random seed — rankings that flip with the seed would be
+// sampling-noise artifacts, not bottlenecks.
+func (s *Session) AblationSeeds(seeds []int64) ([]SeedStability, error) {
+	if len(seeds) < 2 {
+		return nil, fmt.Errorf("experiments: need at least 2 seeds")
+	}
+	ens, err := s.Ensemble()
+	if err != nil {
+		return nil, err
+	}
+	runs, err := s.TestRuns()
+	if err != nil {
+		return nil, err
+	}
+	var out []SeedStability
+	for _, r := range runs {
+		ests := make([]*core.Estimation, 0, len(seeds))
+		for _, seed := range seeds {
+			sm, err := sim.New(s.Cfg.core(), r.Spec.Build(s.Cfg.Scale), seed)
+			if err != nil {
+				return nil, err
+			}
+			data, _, err := perfstat.Collect(sm, r.Spec.Name, perfstat.Options{
+				IntervalCycles: s.Cfg.IntervalCycles,
+				MaxCycles:      s.Cfg.MaxCyclesPerWorkload,
+				GroupSize:      s.Cfg.GroupSize,
+				Multiplex:      true,
+				PerturbLines:   s.Cfg.PerturbLines,
+			})
+			if err != nil {
+				continue
+			}
+			est, err := ens.Estimate(data)
+			if err != nil {
+				continue
+			}
+			ests = append(ests, est)
+		}
+		st := SeedStability{Workload: r.Spec.Name}
+		var sum float64
+		for i := 0; i < len(ests); i++ {
+			for j := i + 1; j < len(ests); j++ {
+				metrics := sharedMetrics(ests[i], ests[j])
+				if len(metrics) < 2 {
+					continue
+				}
+				k := 10
+				if k > len(metrics) {
+					k = len(metrics)
+				}
+				ov, err := stats.OverlapAtK(rankingVector(ests[i], metrics), rankingVector(ests[j], metrics), k)
+				if err != nil {
+					continue
+				}
+				sum += ov
+				st.Pairs++
+			}
+		}
+		if st.Pairs > 0 {
+			st.MeanOverlapTop10 = sum / float64(st.Pairs)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"math"
+	"sort"
+
+	"spire/internal/core"
+)
+
+// CrossValPoint is one fold of the leave-one-out cross-validation: the
+// held-out workload's measured throughput against the bound predicted by
+// a model trained on the other 22 workloads.
+type CrossValPoint struct {
+	Workload string
+	Measured float64
+	Estimate float64
+	// Ratio is Estimate/Measured. SPIRE predicts an upper bound, so
+	// ratios >= 1 mean the bound held; ratios < 1 are violations
+	// (the held-out workload exceeded what the model thought possible —
+	// evidence of training under-coverage).
+	Ratio float64
+}
+
+// CrossValSummary aggregates the folds.
+type CrossValSummary struct {
+	Points []CrossValPoint
+	// ViolationRate is the fraction of folds with Ratio < 1 - Tolerance.
+	ViolationRate float64
+	// MedianRatio and WorstRatio summarize bound tightness.
+	MedianRatio float64
+	WorstRatio  float64
+	// Tolerance used for the violation count.
+	Tolerance float64
+}
+
+// CrossValidate runs leave-one-out cross-validation over the training
+// suite: each workload is held out, the model is retrained on the rest,
+// and the held-out workload's measured IPC is compared with its predicted
+// bound. This quantifies how well SPIRE generalizes to unseen workloads —
+// the property the paper's 23-train/4-test split spot-checks.
+func (s *Session) CrossValidate(tolerance float64) (*CrossValSummary, error) {
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	runs, err := s.TrainingRuns()
+	if err != nil {
+		return nil, err
+	}
+	sum := &CrossValSummary{Tolerance: tolerance}
+	violations := 0
+	var ratios []float64
+	for hold := range runs {
+		var data core.Dataset
+		for i, r := range runs {
+			if i != hold {
+				data.Merge(r.Data)
+			}
+		}
+		ens, err := core.Train(data, core.TrainOptions{})
+		if err != nil {
+			return nil, err
+		}
+		est, err := ens.Estimate(runs[hold].Data)
+		if err != nil {
+			// The held-out workload shares no metrics with the rest —
+			// cannot happen with a common PMU, but skip defensively.
+			continue
+		}
+		p := CrossValPoint{
+			Workload: runs[hold].Spec.Name,
+			Measured: runs[hold].Report.IPC,
+			Estimate: est.MaxThroughput,
+		}
+		if p.Measured > 0 {
+			p.Ratio = p.Estimate / p.Measured
+		} else {
+			p.Ratio = math.NaN()
+		}
+		sum.Points = append(sum.Points, p)
+		if !math.IsNaN(p.Ratio) {
+			ratios = append(ratios, p.Ratio)
+			if p.Ratio < 1-tolerance {
+				violations++
+			}
+		}
+	}
+	if len(ratios) == 0 {
+		return nil, core.ErrNoSamples
+	}
+	sum.ViolationRate = float64(violations) / float64(len(ratios))
+	sort.Float64s(ratios)
+	sum.MedianRatio = ratios[len(ratios)/2]
+	sum.WorstRatio = ratios[0]
+	return sum, nil
+}

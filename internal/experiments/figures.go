@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"spire/internal/core"
+	"spire/internal/geom"
+	"spire/internal/pmu"
+	"spire/internal/report"
+	"spire/internal/roofline"
+	"spire/internal/uarch"
+)
+
+// Fig2Result is the classic-roofline figure: the model's roof, the extra
+// ceilings, and two measured applications (one memory-bound, one
+// compute-bound), mirroring the paper's Fig. 2.
+type Fig2Result struct {
+	Model  *roofline.Model
+	Roof   report.Series
+	DRAM   report.Series
+	Scalar report.Series
+	Apps   []roofline.App
+	Bounds map[string]roofline.Bound
+}
+
+// Fig2 builds the classic instruction-roofline for the simulated core and
+// places the onnx (memory-bound) and arrayfire-blas (compute-bound) test
+// points on it. Operational intensity is instructions per byte of DRAM
+// traffic.
+func (s *Session) Fig2() (*Fig2Result, error) {
+	cfg := uarch.Default()
+	peakIPC := float64(cfg.IssueWidth)
+	// The top bandwidth roof is the L3-to-core transfer rate; DRAM is the
+	// lower diagonal ceiling as in the paper's figure.
+	l3Bytes := 2 * cfg.Mem.DRAM.BytesPerCycle
+	model, err := roofline.New(peakIPC, l3Bytes,
+		roofline.Ceiling{Name: "DRAM", Kind: roofline.Bandwidth, Value: cfg.Mem.DRAM.BytesPerCycle},
+		roofline.Ceiling{Name: "scalar", Kind: roofline.Compute, Value: 1},
+	)
+	if err != nil {
+		return nil, err
+	}
+
+	appOf := func(name string) (roofline.App, error) {
+		run, err := s.findRun(name)
+		if err != nil {
+			return roofline.App{}, err
+		}
+		bytes := float64(run.Counts.Read(pmu.EvL3Miss)) * 64
+		inst := float64(run.Counts.Read(pmu.EvInstRetired))
+		i := math.Inf(1)
+		if bytes > 0 {
+			i = inst / bytes
+		}
+		// Cap cache-resident apps at a large finite intensity so the
+		// point stays plottable, as roofline practitioners do.
+		if i > 1e4 {
+			i = 1e4
+		}
+		return roofline.App{Name: name, Intensity: i, Throughput: run.Report.IPC}, nil
+	}
+	appA, err := appOf("onnx")
+	if err != nil {
+		return nil, err
+	}
+	appB, err := appOf("arrayfire-blas")
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig2Result{
+		Model:  model,
+		Apps:   []roofline.App{appA, appB},
+		Bounds: map[string]roofline.Bound{},
+	}
+	for _, a := range res.Apps {
+		res.Bounds[a.Name] = model.Classify(a.Intensity)
+	}
+	lo, hi := 1e-2, 1e4
+	pts, err := model.Series(lo, hi, 64)
+	if err != nil {
+		return nil, err
+	}
+	res.Roof = seriesFrom("roof", pts)
+	var dram, scalar []roofline.SeriesPoint
+	ratio := math.Pow(hi/lo, 1.0/63)
+	for x := lo; x <= hi*1.0001; x *= ratio {
+		pd, err := model.AttainableUnder("DRAM", x)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := model.AttainableUnder("scalar", x)
+		if err != nil {
+			return nil, err
+		}
+		dram = append(dram, roofline.SeriesPoint{I: x, P: pd})
+		scalar = append(scalar, roofline.SeriesPoint{I: x, P: ps})
+	}
+	res.DRAM = seriesFrom("dram-ceiling", dram)
+	res.Scalar = seriesFrom("scalar-ceiling", scalar)
+	return res, nil
+}
+
+func seriesFrom(name string, pts []roofline.SeriesPoint) report.Series {
+	s := report.Series{Name: name, XLabel: "operational intensity", YLabel: "throughput"}
+	for _, p := range pts {
+		s.X = append(s.X, p.I)
+		s.Y = append(s.Y, p.P)
+	}
+	return s
+}
+
+func (s *Session) findRun(name string) (WorkloadRun, error) {
+	train, err := s.TrainingRuns()
+	if err != nil {
+		return WorkloadRun{}, err
+	}
+	test, err := s.TestRuns()
+	if err != nil {
+		return WorkloadRun{}, err
+	}
+	for _, r := range append(append([]WorkloadRun{}, train...), test...) {
+		if r.Spec.Name == name {
+			return r, nil
+		}
+	}
+	return WorkloadRun{}, fmt.Errorf("experiments: no run named %q", name)
+}
+
+// FitDemo is a worked fitting example (the paper's Figs. 5 and 6): the
+// input samples, the fitted roofline, and the curve evaluated on a grid.
+type FitDemo struct {
+	Samples  []geom.Point
+	Roofline *core.Roofline
+	Curve    report.Series
+	Points   report.Series
+	// TotalSquaredError is the sum of squared overestimation over the
+	// samples (the quantity the right-fit shortest path minimizes).
+	TotalSquaredError float64
+}
+
+func newFitDemo(metric string, pts []geom.Point) (*FitDemo, error) {
+	var samples []core.Sample
+	for _, p := range pts {
+		s := core.Sample{Metric: metric, T: 1, W: p.Y}
+		if math.IsInf(p.X, 1) {
+			s.M = 0
+		} else if p.X == 0 {
+			s.W, s.M = 0, 1
+		} else {
+			s.M = p.Y / p.X
+		}
+		samples = append(samples, s)
+	}
+	r, err := core.FitRoofline(metric, samples)
+	if err != nil {
+		return nil, err
+	}
+	d := &FitDemo{Samples: pts, Roofline: r}
+	// Evaluate on a dense grid covering the samples.
+	maxX := 0.0
+	for _, p := range pts {
+		if !math.IsInf(p.X, 1) && p.X > maxX {
+			maxX = p.X
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+	curve := report.Series{Name: metric + "-fit", XLabel: "I", YLabel: "P"}
+	for i := 0; i <= 200; i++ {
+		x := maxX * 1.2 * float64(i) / 200
+		curve.X = append(curve.X, x)
+		curve.Y = append(curve.Y, r.Eval(x))
+	}
+	d.Curve = curve
+	sc := report.Series{Name: metric + "-samples", XLabel: "I", YLabel: "P"}
+	for _, p := range pts {
+		if math.IsInf(p.X, 1) {
+			continue
+		}
+		sc.X = append(sc.X, p.X)
+		sc.Y = append(sc.Y, p.Y)
+	}
+	d.Points = sc
+	for _, p := range pts {
+		e := r.Eval(p.X) - p.Y
+		if e > 0 {
+			d.TotalSquaredError += e * e
+		}
+	}
+	return d, nil
+}
+
+// Fig5 reproduces the left-region fitting walkthrough: samples below and
+// left of the peak, fitted with the convex-hull algorithm.
+func Fig5() (*FitDemo, error) {
+	return newFitDemo("fig5.left", []geom.Point{
+		{X: 1, Y: 1}, {X: 2, Y: 1.6}, {X: 3, Y: 1.0},
+		{X: 4, Y: 2.2}, {X: 6, Y: 2.0}, {X: 8, Y: 2.5},
+	})
+}
+
+// Fig6 reproduces the right-region fitting walkthrough: Pareto samples
+// A-E beyond the peak, fitted with the shortest-path algorithm. The
+// sample set is constructed so that the concave-up rule makes sample D
+// unreachable by any zero-error chain (the bulge at C forbids it): the
+// optimal fit must pay a weighted overestimating segment that skips D,
+// exercising the same weighted-edge machinery the paper illustrates with
+// its "squared error 11" example.
+func Fig6() (*FitDemo, error) {
+	return newFitDemo("fig6.right", []geom.Point{
+		{X: 1, Y: 20}, // E: the peak
+		{X: 3, Y: 16}, // B
+		{X: 4, Y: 12}, // C: the bulge
+		{X: 5, Y: 4},  // D: skipped by the best fit
+		{X: 7, Y: 1},  // A: the rightmost Pareto sample
+		{X: 2, Y: 10}, // interior, dominated
+	})
+}
+
+// Fig7Result holds one learned-roofline plot: the trained model for a
+// metric plus its training samples (paper Fig. 7).
+type Fig7Result struct {
+	Metric   string
+	Abbr     string
+	Roofline *core.Roofline
+	Curve    report.Series
+	Samples  report.Series
+}
+
+// Fig7Metrics are the two events the paper plots: BP.1 (retired
+// mispredicted branches, a left-fit exemplar) and DB.2 (DSB uops, a
+// right-fit exemplar).
+var Fig7Metrics = []string{
+	"br_misp_retired.all_branches",
+	"idq.dsb_uops",
+}
+
+// Fig7 extracts the learned rooflines for the paper's two showcase
+// metrics from the trained ensemble.
+func (s *Session) Fig7() ([]Fig7Result, error) {
+	ens, err := s.Ensemble()
+	if err != nil {
+		return nil, err
+	}
+	data, err := s.TrainingDataset()
+	if err != nil {
+		return nil, err
+	}
+	groups := data.ByMetric()
+	var out []Fig7Result
+	for _, metric := range Fig7Metrics {
+		r, ok := ens.Rooflines[metric]
+		if !ok {
+			return nil, fmt.Errorf("experiments: ensemble has no roofline for %s", metric)
+		}
+		ev, _ := pmu.Lookup(metric)
+		res := Fig7Result{Metric: metric, Abbr: ev.Abbr, Roofline: r}
+
+		samples := groups[metric]
+		sc := report.Series{Name: ev.Abbr + "-samples", XLabel: "I", YLabel: "IPC"}
+		maxX := 0.0
+		for _, smp := range samples {
+			p := smp.Point()
+			if math.IsInf(p.X, 1) || math.IsNaN(p.X) {
+				continue
+			}
+			sc.X = append(sc.X, p.X)
+			sc.Y = append(sc.Y, p.Y)
+			if p.X > maxX {
+				maxX = p.X
+			}
+		}
+		res.Samples = sc
+		if maxX == 0 {
+			maxX = 1
+		}
+		curve := report.Series{Name: ev.Abbr + "-fit", XLabel: "I", YLabel: "IPC"}
+		// Log-spaced grid: the paper plots these on log axes.
+		lo := maxX / 1e6
+		if lo <= 0 {
+			lo = 1e-6
+		}
+		ratio := math.Pow(maxX*1.5/lo, 1.0/256)
+		for x := lo; x <= maxX*1.5; x *= ratio {
+			curve.X = append(curve.X, x)
+			curve.Y = append(curve.Y, r.Eval(x))
+		}
+		res.Curve = curve
+		out = append(out, res)
+	}
+	return out, nil
+}

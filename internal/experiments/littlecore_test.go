@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"testing"
+
+	"spire/internal/pmu"
+	"spire/internal/uarch"
+	"spire/internal/workloads"
+)
+
+// TestArchitectureIndependence exercises the paper's central generality
+// claim: the identical pipeline — same workloads, same sampler, same
+// training code, no architecture-specific parameters — must work on a
+// completely different core. We swap in the 2-wide LittleCore and verify
+// that SPIRE still learns a usable model whose analysis of the memory- and
+// bad-speculation-bound test workloads surfaces the right metric families.
+func TestArchitectureIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("little-core pipeline skipped in -short mode")
+	}
+	cfg := QuickConfig()
+	cfg.Core = uarch.LittleCore()
+	s := NewSession(cfg)
+
+	cols, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 4 {
+		t.Fatalf("columns = %d", len(cols))
+	}
+	for _, c := range cols {
+		if c.MeasuredIPC <= 0 || c.MeasuredIPC > float64(cfg.Core.IssueWidth) {
+			t.Errorf("%s: IPC %.2f outside (0, %d]", c.Workload, c.MeasuredIPC, cfg.Core.IssueWidth)
+		}
+		if len(c.Top) == 0 {
+			t.Fatalf("%s: empty ranking", c.Workload)
+		}
+	}
+	// The strongly-characterized workloads must still analyze correctly
+	// on the little core: onnx memory-bound, scikit-sparsify
+	// branch-bound.
+	for _, c := range cols {
+		var want pmu.Area
+		switch c.Workload {
+		case "onnx":
+			want = pmu.AreaMemory
+		case "scikit-sparsify":
+			want = pmu.AreaBadSpeculation
+		default:
+			continue
+		}
+		count := 0
+		for _, e := range c.Top {
+			if e.Area == want {
+				count++
+			}
+		}
+		if c.DominantArea != want && c.Top[0].Area != want && float64(count) < 0.3*float64(len(c.Top)) {
+			t.Errorf("%s on little core: %v not surfaced (dominant %v, top1 %v)",
+				c.Workload, want, c.DominantArea, c.Top[0].Area)
+		}
+	}
+}
+
+// TestLittleCoreIsSlower sanity-checks the second microarchitecture: the
+// 2-wide core must be substantially slower than the big core on a
+// compute-heavy workload.
+func TestLittleCoreIsSlower(t *testing.T) {
+	spec, err := workloads.ByName("arrayfire-blas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := QuickConfig()
+	cfg.Scale = 0.05
+	big, err := RunWorkload(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Core = uarch.LittleCore()
+	little, err := RunWorkload(spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if little.Report.IPC >= big.Report.IPC {
+		t.Errorf("little core IPC %.2f should trail big core %.2f",
+			little.Report.IPC, big.Report.IPC)
+	}
+	if little.Report.IPC > 2.0 {
+		t.Errorf("2-wide core cannot exceed IPC 2, got %.2f", little.Report.IPC)
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"spire/internal/core"
+	"spire/internal/microbench"
+	"spire/internal/perfstat"
+	"spire/internal/sim"
+)
+
+// MicrobenchInsts is the dynamic instruction budget per microbenchmark
+// point at Scale = 1.
+const MicrobenchInsts = 120_000
+
+// MicrobenchEnsemble trains a SPIRE model from the targeted
+// microbenchmark suite instead of the application workloads — the paper's
+// "ideal" training regime (§III-A: "optimized workloads specifically
+// designed to exercise each metric").
+func (s *Session) MicrobenchEnsemble() (*core.Ensemble, error) {
+	progs := microbench.Programs(int(float64(MicrobenchInsts) * s.Cfg.Scale))
+	datasets := make([]core.Dataset, len(progs))
+	errs := make([]error, len(progs))
+	sem := make(chan struct{}, s.Cfg.Parallel)
+	var wg sync.WaitGroup
+	for i := range progs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			prog := progs[i]
+			sm, err := sim.New(s.Cfg.core(), prog, s.Cfg.Seed+int64(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			d, _, err := perfstat.Collect(sm, prog.Name(), perfstat.Options{
+				IntervalCycles: s.Cfg.IntervalCycles,
+				MaxCycles:      s.Cfg.MaxCyclesPerWorkload,
+				GroupSize:      s.Cfg.GroupSize,
+				Multiplex:      true,
+				PerturbLines:   s.Cfg.PerturbLines,
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: microbench %s: %w", prog.Name(), err)
+				return
+			}
+			datasets[i] = d
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var data core.Dataset
+	for _, d := range datasets {
+		data.Merge(d)
+	}
+	return core.Train(data, core.TrainOptions{WorkUnit: "instructions", TimeUnit: "cycles"})
+}
+
+// MicrobenchComparison is the microbenchmark-vs-application training
+// ablation for one test workload.
+type MicrobenchComparison struct {
+	Workload string
+	// WorkloadTrainedTop1 and MicrobenchTrainedTop1 are the top-ranked
+	// metric under each model.
+	WorkloadTrainedTop1   string
+	MicrobenchTrainedTop1 string
+	// OverlapTop10 is the top-10 pool overlap between the two rankings.
+	OverlapTop10 float64
+	// EstimateRatio is (microbench-trained estimate) / (workload-trained
+	// estimate): how much the two regimes disagree on attainable
+	// throughput.
+	EstimateRatio float64
+}
+
+// AblationMicrobenchTraining compares the paper's two training regimes:
+// opportunistic application sampling (the evaluation's choice) versus
+// purpose-built microbenchmarks (the stated ideal).
+func (s *Session) AblationMicrobenchTraining() ([]MicrobenchComparison, error) {
+	appModel, err := s.Ensemble()
+	if err != nil {
+		return nil, err
+	}
+	ubModel, err := s.MicrobenchEnsemble()
+	if err != nil {
+		return nil, err
+	}
+	runs, err := s.TestRuns()
+	if err != nil {
+		return nil, err
+	}
+	var out []MicrobenchComparison
+	for _, r := range runs {
+		appEst, err := appModel.Estimate(r.Data)
+		if err != nil {
+			return nil, err
+		}
+		ubEst, err := ubModel.Estimate(r.Data)
+		if err != nil {
+			return nil, err
+		}
+		c := MicrobenchComparison{Workload: r.Spec.Name}
+		if len(appEst.PerMetric) > 0 {
+			c.WorkloadTrainedTop1 = appEst.PerMetric[0].Metric
+		}
+		if len(ubEst.PerMetric) > 0 {
+			c.MicrobenchTrainedTop1 = ubEst.PerMetric[0].Metric
+		}
+		metrics := sharedMetrics(appEst, ubEst)
+		if len(metrics) >= 2 {
+			k := 10
+			if k > len(metrics) {
+				k = len(metrics)
+			}
+			ov, err := overlapOrNaN(rankingVector(appEst, metrics), rankingVector(ubEst, metrics), k)
+			if err == nil {
+				c.OverlapTop10 = ov
+			}
+		}
+		if appEst.MaxThroughput > 0 {
+			c.EstimateRatio = ubEst.MaxThroughput / appEst.MaxThroughput
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+// Package experiments orchestrates the paper's evaluation (§IV-V): it runs
+// the 27-workload suite on the simulated core, collects multiplexed
+// counter samples, trains the SPIRE ensemble on the 23 training workloads,
+// analyzes the 4 test workloads, and regenerates every table and figure.
+// Both cmd/spire-bench and the repository's benchmark harness build on it.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"spire/internal/core"
+	"spire/internal/perfstat"
+	"spire/internal/pmu"
+	"spire/internal/sim"
+	"spire/internal/tma"
+	"spire/internal/uarch"
+	"spire/internal/workloads"
+)
+
+// Config scales the experiment.
+type Config struct {
+	// Scale multiplies each workload's dynamic instruction count
+	// (1.0 = the standard 400k-instruction runs).
+	Scale float64
+	// Seed drives all deterministic randomness.
+	Seed int64
+	// IntervalCycles is the sampling interval (the paper's "2 seconds").
+	IntervalCycles uint64
+	// MaxCyclesPerWorkload caps each run (the paper's "10 minutes").
+	MaxCyclesPerWorkload uint64
+	// GroupSize is the simultaneous-counter budget for multiplexing.
+	GroupSize int
+	// Core selects the simulated microarchitecture; nil means the
+	// Skylake-SP-like uarch.Default().
+	Core *uarch.Config
+	// PerturbLines is the sampling agent's per-switch cache footprint
+	// (measured overhead component).
+	PerturbLines int
+	// Parallel runs workloads on multiple goroutines (simulators are
+	// independent).
+	Parallel int
+}
+
+// DefaultConfig returns the standard experiment configuration.
+func DefaultConfig() Config {
+	return Config{
+		Scale:                1.0,
+		Seed:                 42,
+		IntervalCycles:       50_000,
+		MaxCyclesPerWorkload: 4_000_000,
+		GroupSize:            4,
+		PerturbLines:         32,
+		Parallel:             4,
+	}
+}
+
+// core resolves the selected microarchitecture.
+func (c Config) core() *uarch.Config {
+	if c.Core != nil {
+		return c.Core
+	}
+	return uarch.Default()
+}
+
+// QuickConfig returns a reduced configuration for tests and fast benches.
+func QuickConfig() Config {
+	c := DefaultConfig()
+	c.Scale = 0.12
+	c.IntervalCycles = 25_000
+	c.MaxCyclesPerWorkload = 1_200_000
+	return c
+}
+
+// WorkloadRun is one workload's full measurement: the multiplexed sample
+// stream SPIRE consumes, the oracle counter totals, and the TMA baseline
+// computed from them.
+type WorkloadRun struct {
+	Spec   workloads.Spec
+	Data   core.Dataset
+	Report perfstat.Report
+	Counts pmu.Counts
+	TMA    tma.Breakdown
+}
+
+// RunWorkload simulates one workload under cfg and measures it.
+func RunWorkload(spec workloads.Spec, cfg Config) (WorkloadRun, error) {
+	prog := spec.Build(cfg.Scale)
+	s, err := sim.New(cfg.core(), prog, cfg.Seed)
+	if err != nil {
+		return WorkloadRun{}, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+	}
+	data, rep, err := perfstat.Collect(s, spec.Name, perfstat.Options{
+		IntervalCycles: cfg.IntervalCycles,
+		MaxCycles:      cfg.MaxCyclesPerWorkload,
+		GroupSize:      cfg.GroupSize,
+		Multiplex:      true,
+		PerturbLines:   cfg.PerturbLines,
+	})
+	if err != nil {
+		return WorkloadRun{}, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+	}
+	counts := s.PMU().Snapshot()
+	bd, err := tma.Analyze(counts, cfg.core().IssueWidth)
+	if err != nil {
+		return WorkloadRun{}, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+	}
+	return WorkloadRun{Spec: spec, Data: data, Report: rep, Counts: counts, TMA: bd}, nil
+}
+
+// Session memoizes the expensive pieces (workload runs, the trained
+// ensemble) so that multiple tables/figures can share them.
+type Session struct {
+	Cfg Config
+
+	mu        sync.Mutex
+	trainRuns []WorkloadRun
+	testRuns  []WorkloadRun
+	ensemble  *core.Ensemble
+}
+
+// NewSession creates a session for cfg.
+func NewSession(cfg Config) *Session {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 1
+	}
+	return &Session{Cfg: cfg}
+}
+
+// runAll executes specs with bounded parallelism, preserving order.
+func (s *Session) runAll(specs []workloads.Spec) ([]WorkloadRun, error) {
+	runs := make([]WorkloadRun, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, s.Cfg.Parallel)
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec workloads.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runs[i], errs[i] = RunWorkload(spec, s.Cfg)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+// TrainingRuns measures the 23 training workloads (memoized).
+func (s *Session) TrainingRuns() ([]WorkloadRun, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.trainRuns == nil {
+		runs, err := s.runAll(workloads.Training())
+		if err != nil {
+			return nil, err
+		}
+		s.trainRuns = runs
+	}
+	return s.trainRuns, nil
+}
+
+// TestRuns measures the 4 test workloads (memoized).
+func (s *Session) TestRuns() ([]WorkloadRun, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.testRuns == nil {
+		runs, err := s.runAll(workloads.Testing())
+		if err != nil {
+			return nil, err
+		}
+		s.testRuns = runs
+	}
+	return s.testRuns, nil
+}
+
+// Ensemble trains the SPIRE model on all training-workload samples
+// (memoized).
+func (s *Session) Ensemble() (*core.Ensemble, error) {
+	runs, err := s.TrainingRuns()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ensemble == nil {
+		var data core.Dataset
+		for _, r := range runs {
+			data.Merge(r.Data)
+		}
+		e, err := core.Train(data, core.TrainOptions{
+			WorkUnit: "instructions",
+			TimeUnit: "cycles",
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.ensemble = e
+	}
+	return s.ensemble, nil
+}
+
+// TrainingDataset concatenates all training samples (after the runs are
+// available).
+func (s *Session) TrainingDataset() (core.Dataset, error) {
+	runs, err := s.TrainingRuns()
+	if err != nil {
+		return core.Dataset{}, err
+	}
+	var data core.Dataset
+	for _, r := range runs {
+		data.Merge(r.Data)
+	}
+	return data, nil
+}

@@ -1,0 +1,226 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{1, 2}, true},
+		{Point{0, 0}, true},
+		{Point{math.Inf(1), 3}, true},
+		{Point{math.Inf(-1), 3}, false},
+		{Point{-1, 3}, false},
+		{Point{1, -0.5}, false},
+		{Point{1, math.Inf(1)}, false},
+		{Point{math.NaN(), 1}, false},
+		{Point{1, math.NaN()}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSortByX(t *testing.T) {
+	pts := []Point{{3, 1}, {1, 2}, {1, 5}, {2, 0}}
+	SortByX(pts)
+	want := []Point{{1, 5}, {1, 2}, {2, 0}, {3, 1}}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("SortByX[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestMaxY(t *testing.T) {
+	if got := MaxY(nil); got != -1 {
+		t.Errorf("MaxY(nil) = %d, want -1", got)
+	}
+	pts := []Point{{1, 3}, {5, 7}, {2, 7}, {9, 1}}
+	if got := MaxY(pts); got != 2 {
+		t.Errorf("MaxY = %d (point %v), want 2 (lower X tie-break)", got, pts[got])
+	}
+}
+
+func TestSlope(t *testing.T) {
+	if got := Slope(Point{0, 0}, Point{2, 4}); got != 2 {
+		t.Errorf("Slope = %g, want 2", got)
+	}
+	if got := Slope(Point{1, 0}, Point{1, 4}); !math.IsInf(got, 1) {
+		t.Errorf("vertical Slope = %g, want +Inf", got)
+	}
+}
+
+func TestUpperHullFromOriginSimple(t *testing.T) {
+	// Points along y = sqrt(x)-ish: hull should pick the steep early
+	// point then the peak.
+	pts := []Point{{1, 1}, {2, 1.2}, {4, 2}, {3, 1.4}}
+	chain := UpperHullFromOrigin(pts)
+	if len(chain) == 0 {
+		t.Fatal("empty chain")
+	}
+	if chain[len(chain)-1] != (Point{4, 2}) {
+		t.Errorf("chain does not end at peak: %v", chain)
+	}
+	assertHullProperties(t, pts, chain)
+}
+
+func TestUpperHullFromOriginSinglePoint(t *testing.T) {
+	chain := UpperHullFromOrigin([]Point{{2, 3}})
+	if len(chain) != 1 || chain[0] != (Point{2, 3}) {
+		t.Fatalf("chain = %v, want [(2,3)]", chain)
+	}
+}
+
+func TestUpperHullFromOriginEmpty(t *testing.T) {
+	if chain := UpperHullFromOrigin(nil); chain != nil {
+		t.Fatalf("chain = %v, want nil", chain)
+	}
+}
+
+func TestUpperHullCollinear(t *testing.T) {
+	pts := []Point{{1, 1}, {2, 2}, {3, 3}}
+	chain := UpperHullFromOrigin(pts)
+	// All collinear through origin: highest slope ties broken by larger
+	// X, so the hull should jump straight to the peak.
+	if chain[len(chain)-1] != (Point{3, 3}) {
+		t.Fatalf("chain = %v, want end at (3,3)", chain)
+	}
+	assertHullProperties(t, pts, chain)
+}
+
+// assertHullProperties checks the paper's left-fit requirements: the chain
+// is increasing, concave-down from the origin, and lies on or above every
+// input point at or left of the peak.
+func assertHullProperties(t *testing.T, pts, chain []Point) {
+	t.Helper()
+	prev := Point{0, 0}
+	prevSlope := math.Inf(1)
+	for i, p := range chain {
+		if p.X < prev.X || p.Y < prev.Y {
+			t.Fatalf("chain not increasing at %d: %v after %v", i, p, prev)
+		}
+		if p.X > prev.X {
+			s := Slope(prev, p)
+			if s > prevSlope+1e-9 {
+				t.Fatalf("chain not concave-down at %d: slope %g after %g", i, s, prevSlope)
+			}
+			prevSlope = s
+		}
+		prev = p
+	}
+	peak := chain[len(chain)-1]
+	evalChain := func(x float64) float64 {
+		prev := Point{0, 0}
+		for _, p := range chain {
+			if x <= p.X {
+				if p.X == prev.X {
+					return p.Y
+				}
+				tt := (x - prev.X) / (p.X - prev.X)
+				return prev.Y + tt*(p.Y-prev.Y)
+			}
+			prev = p
+		}
+		return prev.Y
+	}
+	for _, p := range pts {
+		if p.X > peak.X {
+			continue
+		}
+		if got := evalChain(p.X); got < p.Y-1e-9*(1+p.Y) {
+			t.Fatalf("hull undercut point %v: eval=%g", p, got)
+		}
+	}
+}
+
+func TestUpperHullPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 100, Y: rng.Float64() * 10}
+		}
+		chain := UpperHullFromOrigin(pts)
+		assertHullProperties(t, pts, chain)
+	}
+}
+
+func TestParetoFrontBasic(t *testing.T) {
+	pts := []Point{{1, 5}, {2, 3}, {3, 4}, {4, 1}, {2.5, 0.5}}
+	front := ParetoFront(pts)
+	want := []Point{{1, 5}, {3, 4}, {4, 1}}
+	if len(front) != len(want) {
+		t.Fatalf("front = %v, want %v", front, want)
+	}
+	for i := range want {
+		if front[i] != want[i] {
+			t.Fatalf("front[%d] = %v, want %v", i, front[i], want[i])
+		}
+	}
+}
+
+func TestParetoFrontDuplicates(t *testing.T) {
+	pts := []Point{{1, 1}, {1, 1}, {1, 1}}
+	front := ParetoFront(pts)
+	if len(front) != 1 {
+		t.Fatalf("front = %v, want single point", front)
+	}
+}
+
+func TestParetoFrontWithInf(t *testing.T) {
+	pts := []Point{{1, 5}, {math.Inf(1), 2}, {3, 3}}
+	front := ParetoFront(pts)
+	if len(front) != 3 {
+		t.Fatalf("front = %v, want 3 members", front)
+	}
+	if !math.IsInf(front[2].X, 1) {
+		t.Fatalf("rightmost front member should be at +Inf: %v", front)
+	}
+}
+
+// TestParetoFrontProperty uses testing/quick: every input point must be
+// dominated by (or equal to) some front member, front is ascending in X
+// and descending in Y.
+func TestParetoFrontProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		pts := make([]Point, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			pts = append(pts, Point{X: float64(raw[i] % 100), Y: float64(raw[i+1] % 100)})
+		}
+		front := ParetoFront(pts)
+		for i := 1; i < len(front); i++ {
+			if front[i].X <= front[i-1].X || front[i].Y >= front[i-1].Y {
+				return false
+			}
+		}
+		for _, p := range pts {
+			dominated := false
+			for _, f := range front {
+				if f.X >= p.X && f.Y >= p.Y {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ErrEmptyFunction is returned when constructing a PiecewiseLinear with no
+// breakpoints.
+var ErrEmptyFunction = errors.New("geom: piecewise-linear function needs at least one breakpoint")
+
+// PiecewiseLinear is a function defined by straight segments between
+// breakpoints sorted by ascending X. Outside the breakpoint range the
+// function is extended with configurable behaviour: to the left it follows
+// the first segment (or is clamped), and to the right it is held constant
+// at the last breakpoint's Y (the "horizontal tail" used by SPIRE's right
+// region fit).
+type PiecewiseLinear struct {
+	pts []Point
+	// extendLeft, when true, extrapolates the first segment for x below
+	// the first breakpoint; otherwise the function is clamped to the
+	// first breakpoint's Y.
+	extendLeft bool
+}
+
+// NewPiecewiseLinear builds a function from breakpoints. Points are copied
+// and must already be sorted by ascending X with no duplicate X values.
+func NewPiecewiseLinear(pts []Point, extendLeft bool) (*PiecewiseLinear, error) {
+	if len(pts) == 0 {
+		return nil, ErrEmptyFunction
+	}
+	for i := 1; i < len(pts); i++ {
+		if !(pts[i].X > pts[i-1].X) {
+			return nil, fmt.Errorf("geom: breakpoints not strictly ascending at index %d (%v after %v)", i, pts[i], pts[i-1])
+		}
+	}
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	return &PiecewiseLinear{pts: cp, extendLeft: extendLeft}, nil
+}
+
+// Breakpoints returns a copy of the function's breakpoints.
+func (f *PiecewiseLinear) Breakpoints() []Point {
+	cp := make([]Point, len(f.pts))
+	copy(cp, f.pts)
+	return cp
+}
+
+// Eval returns the function value at x. For x beyond the last breakpoint
+// the last Y is returned (horizontal tail); this also covers x = +Inf.
+func (f *PiecewiseLinear) Eval(x float64) float64 {
+	n := len(f.pts)
+	if math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x >= f.pts[n-1].X || math.IsInf(x, 1) {
+		return f.pts[n-1].Y
+	}
+	if x <= f.pts[0].X {
+		if !f.extendLeft || n == 1 {
+			return f.pts[0].Y
+		}
+		return interp(f.pts[0], f.pts[1], x)
+	}
+	// Binary search for the segment containing x.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if f.pts[mid].X <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return interp(f.pts[lo], f.pts[hi], x)
+}
+
+// interp linearly interpolates between a and b at x. Infinite b.X yields
+// a horizontal extension at a.Y.
+func interp(a, b Point, x float64) float64 {
+	if math.IsInf(b.X, 1) {
+		return a.Y
+	}
+	t := (x - a.X) / (b.X - a.X)
+	return a.Y + t*(b.Y-a.Y)
+}
+
+// String renders the breakpoints, handy in test failures.
+func (f *PiecewiseLinear) String() string {
+	var b strings.Builder
+	b.WriteString("PWL[")
+	for i, p := range f.pts {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// IsNonDecreasing reports whether successive breakpoints never lose Y.
+func (f *PiecewiseLinear) IsNonDecreasing() bool {
+	for i := 1; i < len(f.pts); i++ {
+		if f.pts[i].Y < f.pts[i-1].Y {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNonIncreasing reports whether successive breakpoints never gain Y.
+func (f *PiecewiseLinear) IsNonIncreasing() bool {
+	for i := 1; i < len(f.pts); i++ {
+		if f.pts[i].Y > f.pts[i-1].Y {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConcaveDown reports whether segment slopes are non-increasing from
+// left to right.
+func (f *PiecewiseLinear) IsConcaveDown() bool {
+	prev := math.Inf(1)
+	for i := 1; i < len(f.pts); i++ {
+		s := Slope(f.pts[i-1], f.pts[i])
+		if s > prev+1e-12 {
+			return false
+		}
+		prev = s
+	}
+	return true
+}
+
+// IsConcaveUp reports whether segment slopes are non-decreasing from left
+// to right.
+func (f *PiecewiseLinear) IsConcaveUp() bool {
+	prev := math.Inf(-1)
+	for i := 1; i < len(f.pts); i++ {
+		s := Slope(f.pts[i-1], f.pts[i])
+		if s < prev-1e-12 {
+			return false
+		}
+		prev = s
+	}
+	return true
+}

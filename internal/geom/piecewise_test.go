@@ -1,0 +1,104 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func mustPWL(t *testing.T, pts []Point, extendLeft bool) *PiecewiseLinear {
+	t.Helper()
+	f, err := NewPiecewiseLinear(pts, extendLeft)
+	if err != nil {
+		t.Fatalf("NewPiecewiseLinear: %v", err)
+	}
+	return f
+}
+
+func TestPiecewiseLinearErrors(t *testing.T) {
+	if _, err := NewPiecewiseLinear(nil, false); err == nil {
+		t.Error("expected error for empty breakpoints")
+	}
+	if _, err := NewPiecewiseLinear([]Point{{2, 1}, {1, 2}}, false); err == nil {
+		t.Error("expected error for unsorted breakpoints")
+	}
+	if _, err := NewPiecewiseLinear([]Point{{1, 1}, {1, 2}}, false); err == nil {
+		t.Error("expected error for duplicate X")
+	}
+}
+
+func TestPiecewiseLinearEval(t *testing.T) {
+	f := mustPWL(t, []Point{{0, 0}, {2, 4}, {4, 5}}, false)
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 2}, {2, 4}, {3, 4.5}, {4, 5},
+		{10, 5},          // horizontal tail
+		{math.Inf(1), 5}, // +Inf uses the tail
+		{-1, 0},          // clamped left
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	if got := f.Eval(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Eval(NaN) = %g, want NaN", got)
+	}
+}
+
+func TestPiecewiseLinearExtendLeft(t *testing.T) {
+	f := mustPWL(t, []Point{{1, 2}, {2, 4}}, true)
+	if got := f.Eval(0); math.Abs(got-0) > 1e-12 {
+		t.Errorf("extended Eval(0) = %g, want 0", got)
+	}
+	g := mustPWL(t, []Point{{1, 2}, {2, 4}}, false)
+	if got := g.Eval(0); got != 2 {
+		t.Errorf("clamped Eval(0) = %g, want 2", got)
+	}
+}
+
+func TestPiecewiseLinearSingleBreakpoint(t *testing.T) {
+	f := mustPWL(t, []Point{{3, 7}}, true)
+	for _, x := range []float64{0, 3, 100, math.Inf(1)} {
+		if got := f.Eval(x); got != 7 {
+			t.Errorf("Eval(%g) = %g, want 7", x, got)
+		}
+	}
+}
+
+func TestPiecewiseLinearShapePredicates(t *testing.T) {
+	inc := mustPWL(t, []Point{{0, 0}, {1, 2}, {2, 3}}, false)
+	if !inc.IsNonDecreasing() || inc.IsNonIncreasing() {
+		t.Error("increasing function misclassified")
+	}
+	if !inc.IsConcaveDown() {
+		t.Error("slopes 2 then 1 should be concave-down")
+	}
+	dec := mustPWL(t, []Point{{0, 5}, {1, 2}, {2, 1}}, false)
+	if !dec.IsNonIncreasing() || dec.IsNonDecreasing() {
+		t.Error("decreasing function misclassified")
+	}
+	if !dec.IsConcaveUp() {
+		t.Error("slopes -3 then -1 should be concave-up")
+	}
+}
+
+func TestPiecewiseLinearBreakpointsCopy(t *testing.T) {
+	src := []Point{{0, 0}, {1, 1}}
+	f := mustPWL(t, src, false)
+	bp := f.Breakpoints()
+	bp[0].Y = 99
+	src[1].Y = 99
+	if f.Eval(0) != 0 || f.Eval(1) != 1 {
+		t.Error("function state was mutated through a shared slice")
+	}
+}
+
+func TestPiecewiseLinearInfBreakpoint(t *testing.T) {
+	f := mustPWL(t, []Point{{0, 4}, {math.Inf(1), 1}}, false)
+	// Interpolation toward an infinite X is horizontal at the previous Y.
+	if got := f.Eval(100); got != 4 {
+		t.Errorf("Eval(100) = %g, want 4", got)
+	}
+	if got := f.Eval(math.Inf(1)); got != 1 {
+		t.Errorf("Eval(+Inf) = %g, want 1 (last breakpoint)", got)
+	}
+}

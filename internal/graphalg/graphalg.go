@@ -1,0 +1,127 @@
+// Package graphalg provides the weighted directed graph and Dijkstra
+// shortest-path search used by SPIRE's right-region roofline fitting
+// (paper §III-D). It is deliberately small: dense fitting graphs have at
+// most a few thousand vertices.
+package graphalg
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// ErrNoPath is returned by ShortestPath when the target is unreachable.
+var ErrNoPath = errors.New("graphalg: no path between vertices")
+
+// edge is an outgoing arc with a non-negative weight.
+type edge struct {
+	to     int
+	weight float64
+}
+
+// Graph is a directed graph with float64 edge weights and integer vertex
+// ids in [0, N).
+type Graph struct {
+	adj [][]edge
+}
+
+// NewGraph creates a graph with n vertices and no edges.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]edge, n)}
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// AddEdge inserts a directed edge from u to v. Negative or NaN weights
+// panic: Dijkstra's correctness depends on non-negative weights, and SPIRE
+// edge weights are squared errors which are non-negative by construction,
+// so a violation is a programming error.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if w < 0 || math.IsNaN(w) {
+		panic("graphalg: edge weight must be non-negative")
+	}
+	g.adj[u] = append(g.adj[u], edge{to: v, weight: w})
+}
+
+// EdgeCount returns the total number of edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, es := range g.adj {
+		n += len(es)
+	}
+	return n
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	v    int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath runs Dijkstra's algorithm from src and returns the
+// minimum-weight path to dst as a vertex sequence (inclusive of both
+// endpoints) along with its total weight. ErrNoPath is returned when dst
+// cannot be reached.
+func (g *Graph) ShortestPath(src, dst int) ([]int, float64, error) {
+	n := g.Len()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, 0, errors.New("graphalg: vertex out of range")
+	}
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	q := &pq{{v: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		if it.v == dst {
+			break
+		}
+		for _, e := range g.adj[it.v] {
+			if done[e.to] {
+				continue
+			}
+			nd := dist[it.v] + e.weight
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = it.v
+				heap.Push(q, pqItem{v: e.to, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, 0, ErrNoPath
+	}
+	// Reconstruct.
+	var path []int
+	for v := dst; v != -1; v = prev[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[dst], nil
+}

@@ -1,0 +1,171 @@
+package graphalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestShortestPathLine(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	path, w, err := g.ShortestPath(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 {
+		t.Errorf("weight = %g, want 3", w)
+	}
+	want := []int{0, 1, 2}
+	if len(path) != 3 {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestShortestPathPrefersCheaperDetour(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 3, 10)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	path, w, err := g.ShortestPath(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 || len(path) != 4 {
+		t.Errorf("path=%v w=%g, want detour of weight 3", path, w)
+	}
+}
+
+func TestShortestPathNoPath(t *testing.T) {
+	g := NewGraph(2)
+	if _, _, err := g.ShortestPath(0, 1); err != ErrNoPath {
+		t.Errorf("err = %v, want ErrNoPath", err)
+	}
+}
+
+func TestShortestPathSelf(t *testing.T) {
+	g := NewGraph(1)
+	path, w, err := g.ShortestPath(0, 0)
+	if err != nil || w != 0 || len(path) != 1 || path[0] != 0 {
+		t.Errorf("self path = %v w=%g err=%v", path, w, err)
+	}
+}
+
+func TestShortestPathOutOfRange(t *testing.T) {
+	g := NewGraph(2)
+	if _, _, err := g.ShortestPath(-1, 1); err == nil {
+		t.Error("expected range error for src=-1")
+	}
+	if _, _, err := g.ShortestPath(0, 5); err == nil {
+		t.Error("expected range error for dst=5")
+	}
+}
+
+func TestAddEdgePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative weight")
+		}
+	}()
+	g := NewGraph(2)
+	g.AddEdge(0, 1, -1)
+}
+
+func TestZeroWeightEdges(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 0)
+	g.AddEdge(1, 2, 0)
+	_, w, err := g.ShortestPath(0, 2)
+	if err != nil || w != 0 {
+		t.Errorf("w=%g err=%v, want 0/nil", w, err)
+	}
+}
+
+// bruteForce computes the shortest path weight by DFS enumeration on small
+// DAés/graphs with a depth cap; used as the property-test oracle.
+func bruteForce(g *Graph, src, dst int) float64 {
+	best := math.Inf(1)
+	visited := make([]bool, g.Len())
+	var dfs func(v int, cost float64)
+	dfs = func(v int, cost float64) {
+		if cost >= best {
+			return
+		}
+		if v == dst {
+			best = cost
+			return
+		}
+		visited[v] = true
+		for _, e := range g.adj[v] {
+			if !visited[e.to] {
+				dfs(e.to, cost+e.weight)
+			}
+		}
+		visited[v] = false
+	}
+	dfs(src, 0)
+	return best
+}
+
+func TestShortestPathMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + rng.Intn(8)
+		g := NewGraph(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.4 {
+					g.AddEdge(u, v, float64(rng.Intn(20)))
+				}
+			}
+		}
+		want := bruteForce(g, 0, n-1)
+		path, got, err := g.ShortestPath(0, n-1)
+		if math.IsInf(want, 1) {
+			if err != ErrNoPath {
+				t.Fatalf("trial %d: expected ErrNoPath, got path %v", trial, path)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: unexpected error %v (brute force found %g)", trial, err, want)
+		}
+		if got != want {
+			t.Fatalf("trial %d: dijkstra %g != brute force %g", trial, got, want)
+		}
+		// Path weight must equal the reported distance.
+		var sum float64
+		for i := 1; i < len(path); i++ {
+			bestEdge := math.Inf(1)
+			for _, e := range g.adj[path[i-1]] {
+				if e.to == path[i] && e.weight < bestEdge {
+					bestEdge = e.weight
+				}
+			}
+			sum += bestEdge
+		}
+		if sum != got {
+			t.Fatalf("trial %d: path edges sum %g != reported %g", trial, sum, got)
+		}
+	}
+}
+
+func TestEdgeCount(t *testing.T) {
+	g := NewGraph(3)
+	if g.EdgeCount() != 0 {
+		t.Error("fresh graph should have no edges")
+	}
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 2, 1)
+	if got := g.EdgeCount(); got != 3 {
+		t.Errorf("EdgeCount = %d, want 3", got)
+	}
+}

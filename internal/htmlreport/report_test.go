@@ -1,0 +1,177 @@
+package htmlreport
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"spire/internal/core"
+	"spire/internal/experiments"
+	"spire/internal/perfstat"
+	"spire/internal/sim"
+	"spire/internal/uarch"
+	"spire/internal/workloads"
+)
+
+func TestSVGPlotBasics(t *testing.T) {
+	svg := SVGPlot(PlotOptions{Title: "T", XLabel: "x", YLabel: "y"},
+		Series{Name: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}},
+		Series{Name: "dots", X: []float64{1}, Y: []float64{2}, Scatter: true},
+	)
+	for _, want := range []string{"<svg", "</svg>", "polyline", "circle", "line", "dots", "T"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+}
+
+func TestSVGPlotLogScalesSkipNonPositive(t *testing.T) {
+	svg := SVGPlot(PlotOptions{LogX: true, LogY: true},
+		Series{Name: "s", X: []float64{0, 1, 10, 100}, Y: []float64{-1, 1, 10, 100}},
+	)
+	if !strings.Contains(svg, "polyline") {
+		t.Error("log plot should still draw the positive points")
+	}
+}
+
+func TestSVGPlotEmpty(t *testing.T) {
+	svg := SVGPlot(PlotOptions{}, Series{Name: "empty"})
+	if !strings.Contains(svg, "no plottable data") {
+		t.Errorf("empty plot should say so: %s", svg)
+	}
+}
+
+func TestSVGPlotEscapesLabels(t *testing.T) {
+	svg := SVGPlot(PlotOptions{Title: `<script>"x"&y`},
+		Series{Name: "<b>", X: []float64{1, 2}, Y: []float64{1, 2}})
+	if strings.Contains(svg, "<script>") || strings.Contains(svg, "<b>") {
+		t.Error("labels not escaped")
+	}
+}
+
+func TestHTMLTableEscapes(t *testing.T) {
+	tab := string(HTMLTable([]string{"<h>"}, [][]string{{"<td-attack>"}}))
+	if strings.Contains(tab, "<h>") || strings.Contains(tab, "<td-attack>") {
+		t.Error("cells not escaped")
+	}
+	if !strings.Contains(tab, "&lt;h&gt;") {
+		t.Error("escaped header missing")
+	}
+}
+
+func TestAnalysisPageEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline skipped in -short mode")
+	}
+	// Train a small model and analyze a workload with windows.
+	var train core.Dataset
+	for _, name := range []string{"fftw", "remhos", "graph500", "arrayfire-blas"} {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.New(uarch.Default(), spec.Build(0.05), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := perfstat.Collect(s, name, perfstat.Options{
+			IntervalCycles: 20_000, MaxCycles: 600_000, Multiplex: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		train.Merge(d)
+	}
+	ens, err := core.Train(train, core.TrainOptions{WorkUnit: "instructions", TimeUnit: "cycles"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workloads.ByName("onnx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(uarch.Default(), spec.Build(0.05), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, _, err := perfstat.Collect(s, "onnx", perfstat.Options{
+		IntervalCycles: 20_000, MaxCycles: 600_000, Multiplex: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	page, err := AnalysisPage("onnx analysis", ens, wl, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := page.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "onnx analysis", "candidate bottlenecks",
+		"<svg", "Roofline:", "90% CI", "</html>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+	// Multiple windows -> the timeline section must appear.
+	if !strings.Contains(out, "Bottleneck timeline") {
+		t.Error("timeline section missing for a windowed dataset")
+	}
+}
+
+func TestAnalysisPageErrors(t *testing.T) {
+	var d core.Dataset
+	d.Add(core.Sample{Metric: "m", T: 1, W: 1, M: 1})
+	ens, err := core.Train(d, core.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AnalysisPage("x", ens, core.Dataset{}, 5); err == nil {
+		t.Error("expected error for empty workload")
+	}
+}
+
+func TestRooflineSVGHandlesInfOperatingPoint(t *testing.T) {
+	var d core.Dataset
+	for i := 1.0; i <= 8; i *= 2 {
+		d.Add(core.Sample{Metric: "m", T: 1, W: i, M: 1})
+	}
+	ens, err := core.Train(d, core.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := rooflineSVG(ens.Rooflines["m"], math.Inf(1), 2)
+	if !strings.Contains(svg, "<svg") {
+		t.Error("svg not produced")
+	}
+}
+
+func TestExperimentsPage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline skipped in -short mode")
+	}
+	sess := experiments.NewSession(experiments.QuickConfig())
+	page, err := ExperimentsPage(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := page.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Fig 2", "Fig 7", "Sampling overhead",
+		"tnn", "onnx", "<svg",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+}

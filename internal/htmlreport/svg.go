@@ -1,0 +1,194 @@
+// Package htmlreport renders SPIRE analyses as self-contained HTML pages
+// with inline SVG plots — no external assets, suitable for attaching to a
+// bug report or opening from a build directory.
+package htmlreport
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is a named polyline or scatter for an SVG plot.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Scatter draws points instead of a line.
+	Scatter bool
+}
+
+// PlotOptions configures an SVG plot.
+type PlotOptions struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int
+	Height int
+}
+
+// palette cycles through line colours.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// SVGPlot renders the series as a standalone <svg> element.
+func SVGPlot(opts PlotOptions, series ...Series) string {
+	if opts.Width <= 0 {
+		opts.Width = 640
+	}
+	if opts.Height <= 0 {
+		opts.Height = 360
+	}
+	const mLeft, mRight, mTop, mBottom = 60, 16, 28, 44
+	pw := float64(opts.Width - mLeft - mRight)
+	ph := float64(opts.Height - mTop - mBottom)
+
+	tx := func(v float64) (float64, bool) {
+		if opts.LogX {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	ty := func(v float64) (float64, bool) {
+		if opts.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+
+	// Data ranges in transformed space.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			x, okx := tx(s.X[i])
+			y, oky := ty(s.Y[i])
+			if !okx || !oky || math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return fmt.Sprintf(`<svg width="%d" height="%d" xmlns="http://www.w3.org/2000/svg"><text x="10" y="20">no plottable data</text></svg>`,
+			opts.Width, opts.Height)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return float64(mLeft) + (x-minX)/(maxX-minX)*pw }
+	py := func(y float64) float64 { return float64(mTop) + ph - (y-minY)/(maxY-minY)*ph }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" xmlns="http://www.w3.org/2000/svg" font-family="sans-serif" font-size="11">`,
+		opts.Width, opts.Height, opts.Width, opts.Height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, opts.Width, opts.Height)
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`, mLeft, esc(opts.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#333"/>`,
+		mLeft, float64(mTop)+ph, opts.Width-mRight, float64(mTop)+ph)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="#333"/>`,
+		mLeft, mTop, mLeft, float64(mTop)+ph)
+	// Ticks: 5 per axis in transformed space.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		lx, ly := fx, fy
+		if opts.LogX {
+			lx = math.Pow(10, fx)
+		}
+		if opts.LogY {
+			ly = math.Pow(10, fy)
+		}
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc"/>`,
+			px(fx), float64(mTop), px(fx), float64(mTop)+ph)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`,
+			px(fx), float64(mTop)+ph+16, fmtTick(lx))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%g" y2="%g" stroke="#eee"/>`,
+			mLeft, py(fy), float64(opts.Width-mRight), py(fy))
+		fmt.Fprintf(&b, `<text x="%d" y="%g" text-anchor="end">%s</text>`,
+			mLeft-6, py(fy)+4, fmtTick(ly))
+	}
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%d" text-anchor="middle">%s</text>`,
+			float64(mLeft)+pw/2, opts.Height-8, esc(opts.XLabel))
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%g" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`,
+			float64(mTop)+ph/2, float64(mTop)+ph/2, esc(opts.YLabel))
+	}
+
+	// Series.
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		if s.Scatter {
+			for i := 0; i < n; i++ {
+				x, okx := tx(s.X[i])
+				y, oky := ty(s.Y[i])
+				if !okx || !oky {
+					continue
+				}
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s" fill-opacity="0.6"/>`, px(x), py(y), color)
+			}
+		} else {
+			var pts []string
+			for i := 0; i < n; i++ {
+				x, okx := tx(s.X[i])
+				y, oky := ty(s.Y[i])
+				if !okx || !oky {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(y)))
+			}
+			if len(pts) >= 2 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+					strings.Join(pts, " "), color)
+			}
+		}
+		// Legend.
+		ly := mTop + 14 + si*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`, opts.Width-mRight-130, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`, opts.Width-mRight-115, ly, esc(s.Name))
+	}
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 10000 || av < 0.01:
+		return fmt.Sprintf("%.1e", v)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

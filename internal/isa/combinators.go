@@ -1,0 +1,155 @@
+package isa
+
+import "strings"
+
+// Concat runs programs back to back: the composite stream is p1's
+// instructions, then p2's, and so on — the natural way to build phased
+// workloads from simple kernels.
+func Concat(progs ...Program) Program {
+	return &concat{progs: progs}
+}
+
+type concat struct {
+	progs []Program
+	cur   int
+	seed  int64
+}
+
+func (c *concat) Name() string {
+	names := make([]string, len(c.progs))
+	for i, p := range c.progs {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+func (c *concat) Reset(seed int64) {
+	c.cur = 0
+	c.seed = seed
+	for i, p := range c.progs {
+		p.Reset(seed + int64(i))
+	}
+}
+
+func (c *concat) Next() (Inst, bool) {
+	for c.cur < len(c.progs) {
+		if in, ok := c.progs[c.cur].Next(); ok {
+			return in, true
+		}
+		c.cur++
+	}
+	return Inst{}, false
+}
+
+// Repeat replays a program n times (re-Reset with a varying seed between
+// iterations so data-dependent behaviour differs across repeats while the
+// whole composite stays deterministic).
+func Repeat(p Program, n int) Program {
+	return &repeat{p: p, n: n}
+}
+
+type repeat struct {
+	p    Program
+	n    int
+	iter int
+	seed int64
+}
+
+func (r *repeat) Name() string { return r.p.Name() + "*n" }
+
+func (r *repeat) Reset(seed int64) {
+	r.iter = 0
+	r.seed = seed
+	r.p.Reset(seed)
+}
+
+func (r *repeat) Next() (Inst, bool) {
+	for {
+		if r.iter >= r.n {
+			return Inst{}, false
+		}
+		if in, ok := r.p.Next(); ok {
+			return in, true
+		}
+		r.iter++
+		if r.iter < r.n {
+			r.p.Reset(r.seed + int64(r.iter))
+		}
+	}
+}
+
+// Interleave alternates between programs in fixed-size chunks (chunk
+// instructions from each in turn) until all are exhausted — a model of
+// fine-grained phase mixing. Chunk must be positive; it is clamped to 1.
+func Interleave(chunk int, progs ...Program) Program {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &interleave{progs: progs, chunk: chunk, done: make([]bool, len(progs))}
+}
+
+type interleave struct {
+	progs []Program
+	chunk int
+	cur   int
+	emit  int
+	done  []bool
+}
+
+func (iv *interleave) Name() string {
+	names := make([]string, len(iv.progs))
+	for i, p := range iv.progs {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, "|")
+}
+
+func (iv *interleave) Reset(seed int64) {
+	iv.cur, iv.emit = 0, 0
+	for i, p := range iv.progs {
+		p.Reset(seed + int64(i))
+		iv.done[i] = false
+	}
+}
+
+func (iv *interleave) Next() (Inst, bool) {
+	remaining := len(iv.progs)
+	for _, d := range iv.done {
+		if d {
+			remaining--
+		}
+	}
+	if remaining == 0 {
+		return Inst{}, false
+	}
+	for tries := 0; tries < len(iv.progs); tries++ {
+		if iv.done[iv.cur] || iv.emit >= iv.chunk {
+			iv.cur = (iv.cur + 1) % len(iv.progs)
+			iv.emit = 0
+			continue
+		}
+		in, ok := iv.progs[iv.cur].Next()
+		if !ok {
+			iv.done[iv.cur] = true
+			iv.cur = (iv.cur + 1) % len(iv.progs)
+			iv.emit = 0
+			continue
+		}
+		iv.emit++
+		return in, true
+	}
+	// All programs were skipped this pass (chunk boundaries aligned);
+	// retry once after the rotation above advanced state.
+	for i := range iv.progs {
+		if iv.done[i] {
+			continue
+		}
+		if in, ok := iv.progs[i].Next(); ok {
+			iv.cur = i
+			iv.emit = 1
+			return in, true
+		}
+		iv.done[i] = true
+	}
+	return Inst{}, false
+}

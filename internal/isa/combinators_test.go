@@ -1,0 +1,120 @@
+package isa
+
+import "testing"
+
+func mkSlice(op Op, n int) *SlicePlayer {
+	insts := make([]Inst, n)
+	for i := range insts {
+		insts[i] = Inst{PC: uint64(0x1000 + 4*i), Op: op, Dst: 1}
+	}
+	return &SlicePlayer{ProgName: op.String(), Insts: insts}
+}
+
+func TestConcat(t *testing.T) {
+	p := Concat(mkSlice(OpIntALU, 3), mkSlice(OpFPAdd, 2))
+	p.Reset(1)
+	got := Collect(p, 100)
+	if len(got) != 5 {
+		t.Fatalf("length %d, want 5", len(got))
+	}
+	for i := 0; i < 3; i++ {
+		if got[i].Op != OpIntALU {
+			t.Errorf("inst %d = %v, want int_alu", i, got[i].Op)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		if got[i].Op != OpFPAdd {
+			t.Errorf("inst %d = %v, want fp_add", i, got[i].Op)
+		}
+	}
+	if p.Name() != "int_alu+fp_add" {
+		t.Errorf("name = %q", p.Name())
+	}
+	// Reset rewinds completely.
+	p.Reset(1)
+	if again := Collect(p, 100); len(again) != 5 {
+		t.Errorf("after reset: %d insts", len(again))
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	p := Concat()
+	p.Reset(0)
+	if _, ok := p.Next(); ok {
+		t.Error("empty concat should be exhausted")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	p := Repeat(mkSlice(OpIntALU, 4), 3)
+	p.Reset(9)
+	got := Collect(p, 100)
+	if len(got) != 12 {
+		t.Fatalf("length %d, want 12", len(got))
+	}
+	p.Reset(9)
+	if again := Collect(p, 100); len(again) != 12 {
+		t.Errorf("after reset: %d", len(again))
+	}
+	zero := Repeat(mkSlice(OpIntALU, 4), 0)
+	zero.Reset(1)
+	if _, ok := zero.Next(); ok {
+		t.Error("zero repeats should be empty")
+	}
+}
+
+func TestInterleave(t *testing.T) {
+	p := Interleave(2, mkSlice(OpIntALU, 4), mkSlice(OpFPAdd, 4))
+	p.Reset(1)
+	got := Collect(p, 100)
+	if len(got) != 8 {
+		t.Fatalf("length %d, want 8", len(got))
+	}
+	wantOps := []Op{OpIntALU, OpIntALU, OpFPAdd, OpFPAdd, OpIntALU, OpIntALU, OpFPAdd, OpFPAdd}
+	for i, w := range wantOps {
+		if got[i].Op != w {
+			t.Fatalf("inst %d = %v, want %v (chunked alternation)", i, got[i].Op, w)
+		}
+	}
+	if p.Name() != "int_alu|fp_add" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+func TestInterleaveUnevenLengths(t *testing.T) {
+	p := Interleave(3, mkSlice(OpIntALU, 2), mkSlice(OpFPAdd, 7))
+	p.Reset(1)
+	got := Collect(p, 100)
+	if len(got) != 9 {
+		t.Fatalf("length %d, want 9 (no instruction lost)", len(got))
+	}
+	alu, fp := 0, 0
+	for _, in := range got {
+		switch in.Op {
+		case OpIntALU:
+			alu++
+		case OpFPAdd:
+			fp++
+		}
+	}
+	if alu != 2 || fp != 7 {
+		t.Errorf("counts alu=%d fp=%d", alu, fp)
+	}
+}
+
+func TestInterleaveChunkClamp(t *testing.T) {
+	p := Interleave(0, mkSlice(OpIntALU, 2), mkSlice(OpFPAdd, 2))
+	p.Reset(1)
+	if got := Collect(p, 10); len(got) != 4 {
+		t.Errorf("length %d, want 4", len(got))
+	}
+}
+
+func TestCombinatorsCompose(t *testing.T) {
+	// Phased workload: (A then B) repeated twice.
+	p := Repeat(Concat(mkSlice(OpIntALU, 3), mkSlice(OpLoad, 0)), 2)
+	p.Reset(5)
+	if got := Collect(p, 100); len(got) != 6 {
+		t.Errorf("length %d, want 6", len(got))
+	}
+}

@@ -1,0 +1,213 @@
+// Package isa defines the dynamic-instruction representation consumed by
+// the CPU simulator. Workloads are programs that stream Inst records: the
+// executed path of a kernel, with resolved memory addresses and branch
+// outcomes, in the style of a trace-driven simulator front end.
+//
+// This substitutes for the paper's real x86 binaries: SPIRE never sees
+// instructions, only performance counter values, so a trace-level IR that
+// exercises the same microarchitectural resources is sufficient.
+package isa
+
+import "fmt"
+
+// Op is a dynamic instruction's operation class. The class determines the
+// execution ports it may use, its latency, and its decode cost.
+type Op uint8
+
+const (
+	// OpNop retires without using an execution port.
+	OpNop Op = iota
+	// OpIntALU is a single-cycle integer ALU operation.
+	OpIntALU
+	// OpIntMul is a pipelined integer multiply.
+	OpIntMul
+	// OpIntDiv is a non-pipelined integer divide.
+	OpIntDiv
+	// OpFPAdd is a pipelined floating-point add.
+	OpFPAdd
+	// OpFPMul is a pipelined floating-point multiply.
+	OpFPMul
+	// OpFPDiv is a non-pipelined floating-point divide.
+	OpFPDiv
+	// OpFMA is a fused multiply-add.
+	OpFMA
+	// OpVecALU is a SIMD integer/logic operation; width matters.
+	OpVecALU
+	// OpVecMul is a SIMD multiply; width matters.
+	OpVecMul
+	// OpVecFMA is a SIMD fused multiply-add; width matters.
+	OpVecFMA
+	// OpLoad reads memory.
+	OpLoad
+	// OpStore writes memory.
+	OpStore
+	// OpLoadLocked is an atomic read-modify-write load (LOCK prefix):
+	// it serializes the memory pipeline.
+	OpLoadLocked
+	// OpBranch is a conditional or indirect branch with a resolved
+	// outcome.
+	OpBranch
+	// OpMicrocoded is a complex instruction decoded by the microcode
+	// sequencer into UopCount micro-ops.
+	OpMicrocoded
+	opCount
+)
+
+var opNames = [...]string{
+	"nop", "int_alu", "int_mul", "int_div", "fp_add", "fp_mul", "fp_div",
+	"fma", "vec_alu", "vec_mul", "vec_fma", "load", "store", "load_locked",
+	"branch", "microcoded",
+}
+
+// String returns the op's mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether the op is a defined class.
+func (o Op) Valid() bool { return o < opCount }
+
+// IsMemory reports whether the op accesses data memory.
+func (o Op) IsMemory() bool {
+	return o == OpLoad || o == OpStore || o == OpLoadLocked
+}
+
+// IsVector reports whether the op's SIMD width is meaningful.
+func (o Op) IsVector() bool {
+	return o == OpVecALU || o == OpVecMul || o == OpVecFMA
+}
+
+// Reg identifies an architectural register. Register 0 is the "no
+// register" sentinel (reads are always ready, writes are discarded).
+type Reg uint8
+
+// NumRegs is the architectural register file size, including the
+// zero-register sentinel.
+const NumRegs = 64
+
+// Inst is one dynamic instruction. The zero value is a NOP at PC 0.
+type Inst struct {
+	// PC is the instruction's address; it drives the instruction cache,
+	// the decoded-uop cache (DSB), and branch prediction structures.
+	PC uint64
+	// Op is the operation class.
+	Op Op
+	// Dst is the destination register (0 = none).
+	Dst Reg
+	// Src1 and Src2 are source registers (0 = always ready).
+	Src1, Src2 Reg
+	// Addr is the data address for memory ops.
+	Addr uint64
+	// Size is the access size in bytes for memory ops.
+	Size uint8
+	// VecWidth is the SIMD width in bits (128, 256 or 512) for vector
+	// ops.
+	VecWidth uint16
+	// Taken is the resolved outcome for branches.
+	Taken bool
+	// Target is the resolved target PC for taken branches.
+	Target uint64
+	// UopCount is the micro-op expansion for OpMicrocoded (>= 1);
+	// ignored (treated as 1) for other ops.
+	UopCount uint8
+}
+
+// Uops returns the number of micro-ops the instruction decodes into.
+func (in Inst) Uops() int {
+	if in.Op == OpMicrocoded && in.UopCount > 1 {
+		return int(in.UopCount)
+	}
+	return 1
+}
+
+// Validate reports structural problems with the instruction; the
+// simulator rejects invalid programs early rather than mis-counting.
+func (in Inst) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("isa: invalid op %d", in.Op)
+	}
+	if in.Dst >= NumRegs || in.Src1 >= NumRegs || in.Src2 >= NumRegs {
+		return fmt.Errorf("isa: register out of range in %v", in)
+	}
+	if in.Op.IsMemory() && in.Size == 0 {
+		return fmt.Errorf("isa: memory op with zero size at pc %#x", in.PC)
+	}
+	if in.Op.IsVector() {
+		switch in.VecWidth {
+		case 128, 256, 512:
+		default:
+			return fmt.Errorf("isa: vector op with width %d at pc %#x", in.VecWidth, in.PC)
+		}
+	}
+	if in.Op == OpMicrocoded && in.UopCount == 0 {
+		return fmt.Errorf("isa: microcoded op with zero uop count at pc %#x", in.PC)
+	}
+	return nil
+}
+
+// Program is a replayable stream of dynamic instructions. Implementations
+// must be deterministic for a given seed so that experiments reproduce.
+type Program interface {
+	// Name identifies the workload, e.g. "tnn".
+	Name() string
+	// Reset rewinds the stream to the beginning with the given seed.
+	Reset(seed int64)
+	// Next returns the next instruction; ok is false at end of stream.
+	Next() (in Inst, ok bool)
+}
+
+// Collect drains up to max instructions from a program into a slice,
+// mostly for tests and debugging.
+func Collect(p Program, max int) []Inst {
+	var out []Inst
+	for len(out) < max {
+		in, ok := p.Next()
+		if !ok {
+			break
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// SlicePlayer replays a fixed instruction slice; the seed is ignored.
+// Useful for tests that need exact instruction sequences.
+type SlicePlayer struct {
+	ProgName string
+	Insts    []Inst
+	pos      int
+}
+
+// Name implements Program.
+func (s *SlicePlayer) Name() string {
+	if s.ProgName == "" {
+		return "slice"
+	}
+	return s.ProgName
+}
+
+// Reset implements Program.
+func (s *SlicePlayer) Reset(seed int64) { s.pos = 0 }
+
+// Next implements Program.
+func (s *SlicePlayer) Next() (Inst, bool) {
+	if s.pos >= len(s.Insts) {
+		return Inst{}, false
+	}
+	in := s.Insts[s.pos]
+	s.pos++
+	return in, true
+}
+
+// ParseOp resolves a mnemonic (as produced by Op.String) back to its Op.
+func ParseOp(name string) (Op, bool) {
+	for i, n := range opNames {
+		if n == name {
+			return Op(i), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,98 @@
+package isa
+
+import "testing"
+
+func TestOpString(t *testing.T) {
+	if OpIntALU.String() != "int_alu" || OpBranch.String() != "branch" {
+		t.Errorf("unexpected op names: %s %s", OpIntALU, OpBranch)
+	}
+	if Op(200).String() != "op(200)" {
+		t.Errorf("out-of-range op name = %s", Op(200))
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpLoad.IsMemory() || !OpStore.IsMemory() || !OpLoadLocked.IsMemory() {
+		t.Error("memory ops misclassified")
+	}
+	if OpIntALU.IsMemory() || OpBranch.IsMemory() {
+		t.Error("non-memory ops misclassified")
+	}
+	if !OpVecALU.IsVector() || !OpVecFMA.IsVector() || !OpVecMul.IsVector() {
+		t.Error("vector ops misclassified")
+	}
+	if OpFPAdd.IsVector() {
+		t.Error("fp_add is not a vector op")
+	}
+	if !OpIntALU.Valid() || Op(100).Valid() {
+		t.Error("validity check wrong")
+	}
+}
+
+func TestInstUops(t *testing.T) {
+	if (Inst{Op: OpIntALU}).Uops() != 1 {
+		t.Error("simple inst should be 1 uop")
+	}
+	if (Inst{Op: OpMicrocoded, UopCount: 7}).Uops() != 7 {
+		t.Error("microcoded expansion wrong")
+	}
+	if (Inst{Op: OpMicrocoded, UopCount: 1}).Uops() != 1 {
+		t.Error("single-uop microcoded wrong")
+	}
+}
+
+func TestInstValidate(t *testing.T) {
+	bad := []Inst{
+		{Op: Op(99)},
+		{Op: OpIntALU, Dst: NumRegs},
+		{Op: OpLoad, Size: 0},
+		{Op: OpVecALU, VecWidth: 100},
+		{Op: OpMicrocoded, UopCount: 0},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d should be invalid: %+v", i, in)
+		}
+	}
+	good := []Inst{
+		{Op: OpIntALU, Dst: 1, Src1: 2},
+		{Op: OpLoad, Size: 8, Addr: 0x1000},
+		{Op: OpVecFMA, VecWidth: 512},
+		{Op: OpMicrocoded, UopCount: 12},
+		{Op: OpBranch, Taken: true, Target: 0x2000},
+	}
+	for i, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("case %d should be valid: %v", i, err)
+		}
+	}
+}
+
+func TestSlicePlayer(t *testing.T) {
+	p := &SlicePlayer{Insts: []Inst{{Op: OpIntALU}, {Op: OpBranch}}}
+	if p.Name() != "slice" {
+		t.Errorf("default name = %q", p.Name())
+	}
+	p.ProgName = "custom"
+	if p.Name() != "custom" {
+		t.Errorf("custom name = %q", p.Name())
+	}
+	got := Collect(p, 10)
+	if len(got) != 2 || got[1].Op != OpBranch {
+		t.Errorf("Collect = %v", got)
+	}
+	if _, ok := p.Next(); ok {
+		t.Error("exhausted player should report not-ok")
+	}
+	p.Reset(99)
+	if in, ok := p.Next(); !ok || in.Op != OpIntALU {
+		t.Error("reset should rewind")
+	}
+}
+
+func TestCollectRespectsMax(t *testing.T) {
+	p := &SlicePlayer{Insts: make([]Inst, 100)}
+	if got := Collect(p, 10); len(got) != 10 {
+		t.Errorf("Collect clamped to %d, want 10", len(got))
+	}
+}

@@ -1,0 +1,349 @@
+// Package mem models the memory hierarchy the CPU simulator runs against:
+// set-associative write-allocate caches with LRU replacement and a DRAM
+// back end with both latency and bandwidth limits. It substitutes for the
+// paper's physical DDR4 system; what matters for SPIRE is that the model
+// produces distinct latency-bound and bandwidth-bound regimes and per-level
+// hit/miss event streams.
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Replacement selects a cache's victim policy.
+type Replacement uint8
+
+const (
+	// ReplLRU evicts the least recently used way (the default).
+	ReplLRU Replacement = iota
+	// ReplRandom evicts a pseudo-random way. Unlike LRU it degrades
+	// gracefully under cyclic thrash (a loop slightly bigger than the
+	// cache keeps a partial hit rate instead of dropping to zero),
+	// which is how decoded-uop caches behave in practice.
+	ReplRandom
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	// Name labels the level in stats (e.g. "L1D").
+	Name string
+	// SizeBytes is the total capacity; must be a multiple of
+	// LineBytes*Ways.
+	SizeBytes int
+	// LineBytes is the cache line size; must be a power of two.
+	LineBytes int
+	// Ways is the set associativity.
+	Ways int
+	// LatencyCycles is the access (hit) latency contributed by this
+	// level.
+	LatencyCycles uint64
+	// Replacement is the victim policy; zero value is LRU.
+	Replacement Replacement
+}
+
+// Validate checks the configuration for structural errors.
+func (c CacheConfig) Validate() error {
+	if c.LineBytes <= 0 || bits.OnesCount(uint(c.LineBytes)) != 1 {
+		return fmt.Errorf("mem: %s line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("mem: %s ways %d", c.Name, c.Ways)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("mem: %s size %d not divisible into %d-way sets of %d-byte lines",
+			c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if bits.OnesCount(uint(sets)) != 1 {
+		return fmt.Errorf("mem: %s set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// CacheStats counts a level's activity.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Accesses returns hits + misses.
+func (s CacheStats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// cacheLine is one way of a set.
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64 // last-touch stamp; larger = more recent
+}
+
+// Cache is a set-associative LRU cache.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLine
+	setMask  uint64
+	lineBits uint
+	stamp    uint64
+	rngState uint64
+	stats    CacheStats
+}
+
+// NewCache builds a cache from a validated config; it panics on an
+// invalid config since cache shapes are compile-time constants of the
+// simulated machine.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	sets := make([][]cacheLine, nSets)
+	lines := make([]cacheLine, nSets*cfg.Ways)
+	for i := range sets {
+		sets[i] = lines[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setMask:  uint64(nSets - 1),
+		lineBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		rngState: 0x9E3779B97F4A7C15, // fixed seed: runs stay reproducible
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Stats returns the accumulated hit/miss counters.
+func (c *Cache) Stats() CacheStats { return c.stats }
+
+// ResetStats zeroes the counters without disturbing cache contents.
+func (c *Cache) ResetStats() { c.stats = CacheStats{} }
+
+// Access looks up addr, filling the line on a miss (write-allocate), and
+// reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	lineAddr := addr >> c.lineBits
+	set := c.sets[lineAddr&c.setMask]
+	c.stamp++
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].lru = c.stamp
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	// Fill: choose an invalid way, else a victim per the policy.
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		switch c.cfg.Replacement {
+		case ReplRandom:
+			// xorshift: cheap deterministic pseudo-randomness.
+			c.rngState ^= c.rngState << 13
+			c.rngState ^= c.rngState >> 7
+			c.rngState ^= c.rngState << 17
+			victim = int(c.rngState % uint64(len(set)))
+		default:
+			victim = 0
+			for i := 1; i < len(set); i++ {
+				if set[i].lru < set[victim].lru {
+					victim = i
+				}
+			}
+		}
+	}
+	set[victim] = cacheLine{tag: lineAddr, valid: true, lru: c.stamp}
+	return false
+}
+
+// Flush invalidates all lines (stats are preserved).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = cacheLine{}
+		}
+	}
+}
+
+// DRAMConfig describes the memory back end.
+type DRAMConfig struct {
+	// LatencyCycles is the idle-system load-to-use latency.
+	LatencyCycles uint64
+	// BytesPerCycle is the sustainable bandwidth; each line transfer
+	// occupies the channel for LineBytes/BytesPerCycle cycles.
+	BytesPerCycle float64
+	// LineBytes is the transfer granularity (cache line size).
+	LineBytes int
+}
+
+// DRAM models main memory with a single busy channel: requests queue
+// behind each other for bandwidth while still paying full latency.
+type DRAM struct {
+	cfg       DRAMConfig
+	busyUntil uint64
+	serviceCy uint64
+	// Reads counts line transfers served.
+	reads uint64
+	// StallCycles accumulates time requests spent waiting for the
+	// channel (a bandwidth-boundedness signal).
+	queueCycles uint64
+}
+
+// NewDRAM builds the DRAM model; it panics on nonsensical configs.
+func NewDRAM(cfg DRAMConfig) *DRAM {
+	if cfg.LatencyCycles == 0 || cfg.BytesPerCycle <= 0 || cfg.LineBytes <= 0 {
+		panic(fmt.Sprintf("mem: invalid DRAM config %+v", cfg))
+	}
+	service := uint64(float64(cfg.LineBytes) / cfg.BytesPerCycle)
+	if service == 0 {
+		service = 1
+	}
+	return &DRAM{cfg: cfg, serviceCy: service}
+}
+
+// Access issues a line fetch at cycle now and returns the cycle the data
+// arrives.
+func (d *DRAM) Access(now uint64) uint64 {
+	start := now
+	if d.busyUntil > start {
+		d.queueCycles += d.busyUntil - start
+		start = d.busyUntil
+	}
+	d.busyUntil = start + d.serviceCy
+	d.reads++
+	return start + d.cfg.LatencyCycles
+}
+
+// Reads returns the number of line transfers served.
+func (d *DRAM) Reads() uint64 { return d.reads }
+
+// QueueCycles returns total cycles requests spent queued for bandwidth.
+func (d *DRAM) QueueCycles() uint64 { return d.queueCycles }
+
+// Level identifies where an access was satisfied.
+type Level uint8
+
+// Hierarchy levels, nearest first.
+const (
+	LevelL1 Level = iota + 1
+	LevelL2
+	LevelL3
+	LevelDRAM
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelDRAM:
+		return "DRAM"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// AccessResult describes a completed hierarchy access.
+type AccessResult struct {
+	// Level is where the access hit.
+	Level Level
+	// DoneAt is the cycle the data is available.
+	DoneAt uint64
+}
+
+// HierarchyConfig assembles a full memory system.
+type HierarchyConfig struct {
+	L1I, L1D, L2, L3 CacheConfig
+	DRAM             DRAMConfig
+	// Prefetch configures the optional L2 stride prefetcher.
+	Prefetch PrefetchConfig
+}
+
+// Hierarchy is a three-level cache hierarchy with split L1s and unified
+// L2/L3, backed by DRAM, optionally fronted by a stride prefetcher on
+// the L1D miss stream.
+type Hierarchy struct {
+	L1I, L1D, L2, L3 *Cache
+	DRAM             *DRAM
+	Prefetcher       *Prefetcher
+}
+
+// NewHierarchy builds the hierarchy; panics on invalid configs.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	return &Hierarchy{
+		L1I:        NewCache(cfg.L1I),
+		L1D:        NewCache(cfg.L1D),
+		L2:         NewCache(cfg.L2),
+		L3:         NewCache(cfg.L3),
+		DRAM:       NewDRAM(cfg.DRAM),
+		Prefetcher: NewPrefetcher(cfg.Prefetch),
+	}
+}
+
+// AccessData walks the data-side hierarchy for addr starting at cycle
+// now. Writes are treated as write-allocate fills with the same latency
+// as reads (store latency is hidden by the store buffer in the core
+// model; the traffic still occupies the hierarchy).
+func (h *Hierarchy) AccessData(addr, now uint64) AccessResult {
+	lat := h.L1D.Config().LatencyCycles
+	if h.L1D.Access(addr) {
+		return AccessResult{Level: LevelL1, DoneAt: now + lat}
+	}
+	if h.Prefetcher != nil {
+		lineBits := h.L1D.lineBits
+		for _, line := range h.Prefetcher.Observe(addr >> lineBits) {
+			h.prefetchFill(line<<lineBits, now)
+		}
+	}
+	lat += h.L2.Config().LatencyCycles
+	if h.L2.Access(addr) {
+		return AccessResult{Level: LevelL2, DoneAt: now + lat}
+	}
+	lat += h.L3.Config().LatencyCycles
+	if h.L3.Access(addr) {
+		return AccessResult{Level: LevelL3, DoneAt: now + lat}
+	}
+	done := h.DRAM.Access(now + lat)
+	return AccessResult{Level: LevelDRAM, DoneAt: done}
+}
+
+// prefetchFill pulls a line into L2/L3 ahead of demand. The fill is
+// asynchronous from the demand access's point of view but still consumes
+// DRAM bandwidth when the line is off-chip.
+func (h *Hierarchy) prefetchFill(addr, now uint64) {
+	if h.L2.Access(addr) {
+		return // already on chip close enough
+	}
+	if h.L3.Access(addr) {
+		return
+	}
+	h.DRAM.Access(now)
+}
+
+// AccessInst walks the instruction-side hierarchy for pc starting at
+// cycle now. The L1I shares L2/L3 with data.
+func (h *Hierarchy) AccessInst(pc, now uint64) AccessResult {
+	lat := h.L1I.Config().LatencyCycles
+	if h.L1I.Access(pc) {
+		return AccessResult{Level: LevelL1, DoneAt: now + lat}
+	}
+	lat += h.L2.Config().LatencyCycles
+	if h.L2.Access(pc) {
+		return AccessResult{Level: LevelL2, DoneAt: now + lat}
+	}
+	lat += h.L3.Config().LatencyCycles
+	if h.L3.Access(pc) {
+		return AccessResult{Level: LevelL3, DoneAt: now + lat}
+	}
+	done := h.DRAM.Access(now + lat)
+	return AccessResult{Level: LevelDRAM, DoneAt: done}
+}

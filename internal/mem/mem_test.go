@@ -1,0 +1,234 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallCache() *Cache {
+	return NewCache(CacheConfig{Name: "T", SizeBytes: 1024, LineBytes: 64, Ways: 2, LatencyCycles: 1})
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	bad := []CacheConfig{
+		{Name: "a", SizeBytes: 1024, LineBytes: 63, Ways: 2},       // line not pow2
+		{Name: "b", SizeBytes: 1000, LineBytes: 64, Ways: 2},       // size not divisible
+		{Name: "c", SizeBytes: 1024, LineBytes: 64, Ways: 0},       // no ways
+		{Name: "d", SizeBytes: 64 * 3 * 1, LineBytes: 64, Ways: 1}, // 3 sets not pow2
+		{Name: "e", SizeBytes: -64, LineBytes: 64, Ways: 1},        // negative
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %q should be invalid", cfg.Name)
+		}
+	}
+	good := CacheConfig{Name: "g", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 4}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestNewCachePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewCache(CacheConfig{Name: "bad", SizeBytes: 10, LineBytes: 3, Ways: 1})
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := smallCache()
+	if c.Access(0x100) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(0x100) {
+		t.Error("second access should hit")
+	}
+	if !c.Access(0x13f) {
+		t.Error("same line should hit")
+	}
+	if c.Access(0x140) {
+		t.Error("next line should miss")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 2 hits 2 misses", st)
+	}
+	if st.Accesses() != 4 {
+		t.Errorf("accesses = %d, want 4", st.Accesses())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 1024 B, 64 B lines, 2 ways -> 8 sets. Three lines mapping to set 0:
+	// 0x000, 0x200, 0x400 (stride 512).
+	c := smallCache()
+	c.Access(0x000)
+	c.Access(0x200)
+	c.Access(0x000) // touch to make 0x200 the LRU
+	c.Access(0x400) // evicts 0x200
+	if !c.Access(0x000) {
+		t.Error("0x000 should still be resident")
+	}
+	if c.Access(0x200) {
+		t.Error("0x200 should have been evicted")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := smallCache()
+	c.Access(0x80)
+	c.Flush()
+	if c.Access(0x80) {
+		t.Error("flush should invalidate lines")
+	}
+}
+
+// TestCacheStatsInvariant: hits+misses == accesses under random load, and
+// working sets that fit are all-hits after one pass.
+func TestCacheStatsInvariant(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := smallCache()
+		for _, a := range addrs {
+			c.Access(uint64(a))
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == uint64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheResidentSetAllHits(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "T", SizeBytes: 4096, LineBytes: 64, Ways: 4, LatencyCycles: 1})
+	// Touch 2 KiB (fits in 4 KiB) twice; the second pass must be all hits.
+	for pass := 0; pass < 2; pass++ {
+		c.ResetStats()
+		for a := uint64(0); a < 2048; a += 64 {
+			c.Access(a)
+		}
+		if pass == 1 {
+			st := c.Stats()
+			if st.Misses != 0 {
+				t.Errorf("resident set produced %d misses on pass 2", st.Misses)
+			}
+		}
+	}
+}
+
+func TestDRAMBandwidthQueueing(t *testing.T) {
+	d := NewDRAM(DRAMConfig{LatencyCycles: 100, BytesPerCycle: 8, LineBytes: 64})
+	// Service time = 8 cycles/line. Two simultaneous requests: the second
+	// queues behind the first.
+	t1 := d.Access(0)
+	t2 := d.Access(0)
+	if t1 != 100 {
+		t.Errorf("first access done at %d, want 100", t1)
+	}
+	if t2 != 108 {
+		t.Errorf("second access done at %d, want 108 (8 cycles of queueing)", t2)
+	}
+	if d.Reads() != 2 {
+		t.Errorf("reads = %d, want 2", d.Reads())
+	}
+	if d.QueueCycles() != 8 {
+		t.Errorf("queue cycles = %d, want 8", d.QueueCycles())
+	}
+	// After the channel drains, no queueing.
+	t3 := d.Access(1000)
+	if t3 != 1100 {
+		t.Errorf("idle access done at %d, want 1100", t3)
+	}
+}
+
+func TestNewDRAMPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDRAM(DRAMConfig{LatencyCycles: 0, BytesPerCycle: 8, LineBytes: 64})
+}
+
+func testHierarchy() *Hierarchy {
+	return NewHierarchy(HierarchyConfig{
+		L1I:  CacheConfig{Name: "L1I", SizeBytes: 1 << 12, LineBytes: 64, Ways: 2, LatencyCycles: 1},
+		L1D:  CacheConfig{Name: "L1D", SizeBytes: 1 << 12, LineBytes: 64, Ways: 2, LatencyCycles: 4},
+		L2:   CacheConfig{Name: "L2", SizeBytes: 1 << 14, LineBytes: 64, Ways: 4, LatencyCycles: 10},
+		L3:   CacheConfig{Name: "L3", SizeBytes: 1 << 16, LineBytes: 64, Ways: 8, LatencyCycles: 26},
+		DRAM: DRAMConfig{LatencyCycles: 100, BytesPerCycle: 8, LineBytes: 64},
+	})
+}
+
+func TestHierarchyLatencyAccumulates(t *testing.T) {
+	h := testHierarchy()
+	// Cold access goes all the way to DRAM: 4+10+26 cache latency plus
+	// 100 DRAM latency.
+	r := h.AccessData(0x1234, 0)
+	if r.Level != LevelDRAM {
+		t.Fatalf("cold access level = %v, want DRAM", r.Level)
+	}
+	if r.DoneAt != 4+10+26+100 {
+		t.Errorf("cold access done at %d, want 140", r.DoneAt)
+	}
+	// Now resident in L1.
+	r = h.AccessData(0x1234, 1000)
+	if r.Level != LevelL1 || r.DoneAt != 1004 {
+		t.Errorf("warm access = %+v, want L1 at 1004", r)
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := testHierarchy()
+	h.AccessData(0x40, 0) // DRAM, fills all levels
+	// Evict from L1 only: touch enough conflicting lines. L1 is 4 KiB,
+	// 2-way, 32 sets; lines with stride 2 KiB collide in set 0.
+	h.AccessData(0x40+2048, 10)
+	h.AccessData(0x40+4096, 20)
+	r := h.AccessData(0x40, 30)
+	if r.Level != LevelL2 {
+		t.Errorf("after L1 eviction, access level = %v, want L2", r.Level)
+	}
+}
+
+func TestHierarchyInstructionSide(t *testing.T) {
+	h := testHierarchy()
+	r := h.AccessInst(0x8000, 0)
+	if r.Level != LevelDRAM {
+		t.Errorf("cold fetch level = %v, want DRAM", r.Level)
+	}
+	r = h.AccessInst(0x8000, 500)
+	if r.Level != LevelL1 {
+		t.Errorf("warm fetch level = %v, want L1", r.Level)
+	}
+	// Instruction fills share L2: data access to the same line hits L2.
+	r = h.AccessData(0x8000, 600)
+	if r.Level != LevelL2 {
+		t.Errorf("data access to fetched line = %v, want L2 (shared)", r.Level)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	names := map[Level]string{LevelL1: "L1", LevelL2: "L2", LevelL3: "L3", LevelDRAM: "DRAM", Level(9): "level(9)"}
+	for l, want := range names {
+		if got := l.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", l, got, want)
+		}
+	}
+}
+
+func TestDoneAtMonotonicUnderLoad(t *testing.T) {
+	h := testHierarchy()
+	rng := rand.New(rand.NewSource(5))
+	now := uint64(0)
+	for i := 0; i < 2000; i++ {
+		r := h.AccessData(uint64(rng.Intn(1<<22))&^63, now)
+		if r.DoneAt < now {
+			t.Fatalf("access completed before it started: now=%d done=%d", now, r.DoneAt)
+		}
+		now += uint64(rng.Intn(3))
+	}
+}

@@ -1,0 +1,131 @@
+package mem
+
+// PrefetchConfig describes the optional L2 stride prefetcher. The
+// prefetcher watches the L1D miss stream: when consecutive misses follow
+// a stable stride, it fills the next Degree lines into L2 (and L3) ahead
+// of demand, hiding DRAM latency for regular streams while leaving
+// irregular (pointer-chasing) traffic untouched.
+type PrefetchConfig struct {
+	// Enable turns the prefetcher on.
+	Enable bool
+	// Streams is the number of concurrent stride streams tracked.
+	Streams int
+	// Degree is how many lines ahead each confirmed stream fetches.
+	Degree int
+	// MinConfidence is how many consecutive stride matches are needed
+	// before prefetching begins.
+	MinConfidence int
+}
+
+// stream is one tracked miss stream.
+type stream struct {
+	lastLine   uint64
+	stride     int64
+	confidence int
+	valid      bool
+	lastUse    uint64
+}
+
+// Prefetcher is a stride prefetcher in front of L2.
+type Prefetcher struct {
+	cfg     PrefetchConfig
+	streams []stream
+	clock   uint64
+
+	issued uint64 // prefetches issued
+	hits   uint64 // demand accesses that hit a prefetched line
+}
+
+// NewPrefetcher builds the prefetcher; a nil return means disabled.
+func NewPrefetcher(cfg PrefetchConfig) *Prefetcher {
+	if !cfg.Enable {
+		return nil
+	}
+	if cfg.Streams <= 0 {
+		cfg.Streams = 8
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 2
+	}
+	if cfg.MinConfidence <= 0 {
+		cfg.MinConfidence = 2
+	}
+	return &Prefetcher{cfg: cfg, streams: make([]stream, cfg.Streams)}
+}
+
+// Issued returns the number of prefetch fills issued.
+func (p *Prefetcher) Issued() uint64 { return p.issued }
+
+// Hits returns the number of observed accesses matching a prior
+// prefetch target (approximated by stride-stream continuation).
+func (p *Prefetcher) Hits() uint64 { return p.hits }
+
+// Observe records an L1D miss at lineAddr (the address divided by the
+// line size) and returns the lines to prefetch, if any.
+func (p *Prefetcher) Observe(lineAddr uint64) []uint64 {
+	p.clock++
+	// Find the stream whose last line is closest to this address.
+	best := -1
+	var bestDelta int64
+	for i := range p.streams {
+		s := &p.streams[i]
+		if !s.valid {
+			continue
+		}
+		delta := int64(lineAddr) - int64(s.lastLine)
+		if delta == 0 {
+			return nil // duplicate miss, same line
+		}
+		if best == -1 || abs64(delta) < abs64(bestDelta) {
+			best, bestDelta = i, delta
+		}
+	}
+	// A stream "matches" when the delta repeats its stride and is small
+	// enough to be a plausible stream (within 16 lines).
+	if best >= 0 && abs64(bestDelta) <= 16 {
+		s := &p.streams[best]
+		if s.stride == bestDelta {
+			s.confidence++
+			p.hits++
+		} else {
+			s.stride = bestDelta
+			s.confidence = 1
+		}
+		s.lastLine = lineAddr
+		s.lastUse = p.clock
+		if s.confidence >= p.cfg.MinConfidence {
+			out := make([]uint64, 0, p.cfg.Degree)
+			next := int64(lineAddr)
+			for d := 0; d < p.cfg.Degree; d++ {
+				next += s.stride
+				if next < 0 {
+					break
+				}
+				out = append(out, uint64(next))
+			}
+			p.issued += uint64(len(out))
+			return out
+		}
+		return nil
+	}
+	// Allocate a new stream, evicting the least recently used.
+	victim := 0
+	for i := range p.streams {
+		if !p.streams[i].valid {
+			victim = i
+			break
+		}
+		if p.streams[i].lastUse < p.streams[victim].lastUse {
+			victim = i
+		}
+	}
+	p.streams[victim] = stream{lastLine: lineAddr, valid: true, lastUse: p.clock}
+	return nil
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

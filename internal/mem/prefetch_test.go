@@ -1,0 +1,143 @@
+package mem
+
+import "testing"
+
+func TestNewPrefetcherDisabled(t *testing.T) {
+	if NewPrefetcher(PrefetchConfig{}) != nil {
+		t.Error("disabled config should return nil")
+	}
+}
+
+func TestPrefetcherDetectsUnitStride(t *testing.T) {
+	p := NewPrefetcher(PrefetchConfig{Enable: true, Degree: 2, MinConfidence: 2})
+	var issued []uint64
+	for line := uint64(100); line < 120; line++ {
+		issued = append(issued, p.Observe(line)...)
+	}
+	if len(issued) == 0 {
+		t.Fatal("unit-stride stream never triggered prefetch")
+	}
+	// Prefetches must be ahead of the miss stream.
+	last := issued[len(issued)-1]
+	if last <= 119 {
+		t.Errorf("last prefetch %d not ahead of stream", last)
+	}
+	if p.Issued() != uint64(len(issued)) {
+		t.Errorf("Issued = %d, want %d", p.Issued(), len(issued))
+	}
+}
+
+func TestPrefetcherDetectsLargeStride(t *testing.T) {
+	p := NewPrefetcher(PrefetchConfig{Enable: true, Degree: 1, MinConfidence: 2})
+	var issued []uint64
+	for i := uint64(0); i < 10; i++ {
+		issued = append(issued, p.Observe(1000+8*i)...)
+	}
+	if len(issued) == 0 {
+		t.Fatal("stride-8 stream never triggered prefetch")
+	}
+	for _, line := range issued {
+		if (line-1000)%8 != 0 {
+			t.Errorf("prefetch %d off the stride grid", line)
+		}
+	}
+}
+
+func TestPrefetcherIgnoresRandom(t *testing.T) {
+	p := NewPrefetcher(PrefetchConfig{Enable: true, Degree: 2, MinConfidence: 2})
+	// Pseudo-random lines far apart: no stable stride.
+	seq := []uint64{5000, 91, 7777, 1234567, 42, 999999, 31337, 2, 888888, 17}
+	var issued int
+	for _, line := range seq {
+		issued += len(p.Observe(line))
+	}
+	if issued != 0 {
+		t.Errorf("random stream triggered %d prefetches", issued)
+	}
+}
+
+func TestPrefetcherMultipleStreams(t *testing.T) {
+	p := NewPrefetcher(PrefetchConfig{Enable: true, Streams: 4, Degree: 1, MinConfidence: 2})
+	var issued int
+	// Two interleaved unit-stride streams far apart.
+	for i := uint64(0); i < 12; i++ {
+		issued += len(p.Observe(1_000 + i))
+		issued += len(p.Observe(1_000_000 + i))
+	}
+	if issued < 12 {
+		t.Errorf("interleaved streams produced only %d prefetches", issued)
+	}
+}
+
+func TestPrefetcherDuplicateMiss(t *testing.T) {
+	p := NewPrefetcher(PrefetchConfig{Enable: true, Degree: 1, MinConfidence: 1})
+	p.Observe(10)
+	if got := p.Observe(10); got != nil {
+		t.Errorf("duplicate line should not prefetch, got %v", got)
+	}
+}
+
+func TestHierarchyPrefetchHidesStreamLatency(t *testing.T) {
+	base := HierarchyConfig{
+		L1I:  CacheConfig{Name: "L1I", SizeBytes: 1 << 12, LineBytes: 64, Ways: 2, LatencyCycles: 1},
+		L1D:  CacheConfig{Name: "L1D", SizeBytes: 1 << 12, LineBytes: 64, Ways: 2, LatencyCycles: 4},
+		L2:   CacheConfig{Name: "L2", SizeBytes: 1 << 15, LineBytes: 64, Ways: 4, LatencyCycles: 10},
+		L3:   CacheConfig{Name: "L3", SizeBytes: 1 << 17, LineBytes: 64, Ways: 8, LatencyCycles: 26},
+		DRAM: DRAMConfig{LatencyCycles: 200, BytesPerCycle: 16, LineBytes: 64},
+	}
+	run := func(pf bool) uint64 {
+		cfg := base
+		cfg.Prefetch = PrefetchConfig{Enable: pf, Degree: 4, MinConfidence: 2}
+		h := NewHierarchy(cfg)
+		var total uint64
+		now := uint64(0)
+		for i := uint64(0); i < 4000; i++ {
+			r := h.AccessData(0x100000+i*64, now)
+			total += r.DoneAt - now
+			now = r.DoneAt
+		}
+		return total
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Errorf("prefetcher did not help a unit stream: %d vs %d cycles", with, without)
+	}
+	if float64(with) > 0.6*float64(without) {
+		t.Errorf("prefetcher benefit too small on a pure stream: %d vs %d", with, without)
+	}
+}
+
+func TestHierarchyPrefetchDoesNotHelpRandom(t *testing.T) {
+	base := HierarchyConfig{
+		L1I:  CacheConfig{Name: "L1I", SizeBytes: 1 << 12, LineBytes: 64, Ways: 2, LatencyCycles: 1},
+		L1D:  CacheConfig{Name: "L1D", SizeBytes: 1 << 12, LineBytes: 64, Ways: 2, LatencyCycles: 4},
+		L2:   CacheConfig{Name: "L2", SizeBytes: 1 << 15, LineBytes: 64, Ways: 4, LatencyCycles: 10},
+		L3:   CacheConfig{Name: "L3", SizeBytes: 1 << 17, LineBytes: 64, Ways: 8, LatencyCycles: 26},
+		DRAM: DRAMConfig{LatencyCycles: 200, BytesPerCycle: 16, LineBytes: 64},
+	}
+	run := func(pf bool) uint64 {
+		cfg := base
+		cfg.Prefetch = PrefetchConfig{Enable: pf, Degree: 4, MinConfidence: 2}
+		h := NewHierarchy(cfg)
+		var total uint64
+		now := uint64(0)
+		x := uint64(88172645463325252)
+		for i := 0; i < 3000; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			r := h.AccessData(0x100000+(x%(1<<26))&^63, now)
+			total += r.DoneAt - now
+			now = r.DoneAt
+		}
+		return total
+	}
+	without := run(false)
+	with := run(true)
+	// Random traffic: prefetching should change little (within 10%).
+	lo, hi := float64(without)*0.9, float64(without)*1.1
+	if float64(with) < lo || float64(with) > hi {
+		t.Errorf("prefetcher distorted random traffic: %d vs %d cycles", with, without)
+	}
+}

@@ -1,0 +1,320 @@
+// Package microbench generates targeted training kernels, the paper's
+// preferred way to train a SPIRE model (§III-A): "Ideally, this is done
+// using optimized workloads specifically designed to exercise each metric
+// (e.g., microbenchmarks)". Each generator sweeps one microarchitectural
+// behaviour across a wide range of operational intensities while keeping
+// everything else as fast as possible, so the per-metric rooflines see
+// high-throughput samples across their whole input range.
+//
+// The suite is organized by the knob being swept, not by event: one sweep
+// typically feeds several related metrics (e.g. the miss-rate sweep trains
+// every cache-level event at once).
+package microbench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spire/internal/isa"
+)
+
+// Sweep is one family of microbenchmarks: a generator instantiated at
+// several knob positions.
+type Sweep struct {
+	// Name identifies the sweep, e.g. "mispredict-rate".
+	Name string
+	// Points are the knob positions; each yields one program.
+	Points []Point
+}
+
+// Point is one microbenchmark instance.
+type Point struct {
+	// Label describes the knob position, e.g. "1/64".
+	Label string
+	// Build constructs the program.
+	Build func(insts int) isa.Program
+}
+
+// Programs instantiates every point of every sweep with the given dynamic
+// instruction budget per program.
+func Programs(insts int) []isa.Program {
+	var out []isa.Program
+	for _, sw := range Suite() {
+		for _, pt := range sw.Points {
+			out = append(out, pt.Build(insts))
+		}
+	}
+	return out
+}
+
+// Suite returns the standard sweep collection.
+func Suite() []Sweep {
+	return []Sweep{
+		mispredictSweep(),
+		missRateSweep(),
+		loadDensitySweep(),
+		stallSweep(),
+		dsbCoverageSweep(),
+		microcodeSweep(),
+		dividerSweep(),
+		lockSweep(),
+		bandwidthSweep(),
+		peakSweep(),
+	}
+}
+
+// --- generator plumbing --------------------------------------------------
+
+// gen is a deterministic program built from a per-index instruction
+// function.
+type gen struct {
+	name  string
+	n     int
+	pos   int
+	rng   *rand.Rand
+	make_ func(g *gen, i int) isa.Inst
+}
+
+func (g *gen) Name() string { return g.name }
+func (g *gen) Reset(seed int64) {
+	g.pos = 0
+	g.rng = rand.New(rand.NewSource(seed ^ int64(len(g.name))))
+}
+func (g *gen) Next() (isa.Inst, bool) {
+	if g.rng == nil {
+		g.Reset(1)
+	}
+	if g.pos >= g.n {
+		return isa.Inst{}, false
+	}
+	i := g.pos
+	g.pos++
+	return g.make_(g, i), true
+}
+
+func newGen(name string, n int, f func(g *gen, i int) isa.Inst) isa.Program {
+	return &gen{name: name, n: n, make_: f}
+}
+
+// alu returns an independent single-cycle op in a tiny footprint.
+func alu(i int) isa.Inst {
+	return isa.Inst{PC: 0x100000 + uint64(i%16)*4, Op: isa.OpIntALU, Dst: isa.Reg(1 + i%8)}
+}
+
+// --- sweeps ----------------------------------------------------------------
+
+// mispredictSweep varies instructions-per-mispredict: branches with
+// random outcomes every N instructions, filler ALU between. Trains BP.*
+// and BR across 5 decades of intensity.
+func mispredictSweep() Sweep {
+	sw := Sweep{Name: "mispredict-rate"}
+	for _, every := range []int{4, 16, 64, 256, 1024, 8192} {
+		every := every
+		sw.Points = append(sw.Points, Point{
+			Label: fmt.Sprintf("1/%d", every),
+			Build: func(insts int) isa.Program {
+				return newGen(fmt.Sprintf("ub-misp-%d", every), insts, func(g *gen, i int) isa.Inst {
+					if i%every == every-1 {
+						return isa.Inst{
+							PC: 0x110000, Op: isa.OpBranch,
+							Taken:  g.rng.Intn(2) == 0,
+							Target: 0x110100,
+						}
+					}
+					return alu(i)
+				})
+			},
+		})
+	}
+	return sw
+}
+
+// missRateSweep varies the working set from L1-resident to DRAM-sized
+// with streaming loads every 4th instruction. Trains the cache-level and
+// memory-activity events.
+func missRateSweep() Sweep {
+	sw := Sweep{Name: "miss-rate"}
+	for _, ws := range []uint64{16 << 10, 128 << 10, 512 << 10, 4 << 20, 64 << 20} {
+		ws := ws
+		sw.Points = append(sw.Points, Point{
+			Label: fmt.Sprintf("%dKiB", ws>>10),
+			Build: func(insts int) isa.Program {
+				return newGen(fmt.Sprintf("ub-miss-%d", ws), insts, func(g *gen, i int) isa.Inst {
+					if i%4 == 0 {
+						addr := 0x20000000 + (uint64(i/4)*64)%ws
+						return isa.Inst{PC: 0x120000, Op: isa.OpLoad, Dst: 1, Size: 8, Addr: addr}
+					}
+					return alu(i)
+				})
+			},
+		})
+	}
+	return sw
+}
+
+// loadDensitySweep varies how often an L1-resident load appears in the
+// stream, sweeping the intensity of the hit/activity metrics (LD1H, M)
+// at high throughput — the fast-and-memory-touching regime applications
+// live in.
+func loadDensitySweep() Sweep {
+	sw := Sweep{Name: "load-density"}
+	for _, every := range []int{1, 2, 4, 8, 16} {
+		every := every
+		sw.Points = append(sw.Points, Point{
+			Label: fmt.Sprintf("load 1/%d", every),
+			Build: func(insts int) isa.Program {
+				return newGen(fmt.Sprintf("ub-ldden-%d", every), insts, func(g *gen, i int) isa.Inst {
+					if i%every == 0 {
+						addr := 0x28000000 + (uint64(i)*8)%(8<<10)
+						return isa.Inst{PC: 0x125000, Op: isa.OpLoad, Dst: isa.Reg(1 + i%4), Size: 8, Addr: addr}
+					}
+					return alu(i)
+				})
+			},
+		})
+	}
+	return sw
+}
+
+// stallSweep varies dependency-chain density: a fraction of ops join a
+// serial multiply chain. Trains the stall-cycle and port-utilization
+// counters over a wide intensity range.
+func stallSweep() Sweep {
+	sw := Sweep{Name: "stall-density"}
+	for _, every := range []int{1, 2, 4, 16, 64} {
+		every := every
+		sw.Points = append(sw.Points, Point{
+			Label: fmt.Sprintf("chain 1/%d", every),
+			Build: func(insts int) isa.Program {
+				return newGen(fmt.Sprintf("ub-stall-%d", every), insts, func(g *gen, i int) isa.Inst {
+					if i%every == 0 {
+						return isa.Inst{PC: 0x130000 + uint64(i%16)*4, Op: isa.OpIntMul, Dst: 9, Src1: 9}
+					}
+					return alu(i)
+				})
+			},
+		})
+	}
+	return sw
+}
+
+// dsbCoverageSweep varies the code footprint from DSB-resident to several
+// times the uop cache. Trains DB.*, MI.*, IC and the delivery counters.
+func dsbCoverageSweep() Sweep {
+	sw := Sweep{Name: "dsb-coverage"}
+	for _, body := range []int{64, 1024, 4096, 12288, 49152} {
+		body := body
+		sw.Points = append(sw.Points, Point{
+			Label: fmt.Sprintf("%d insts", body),
+			Build: func(insts int) isa.Program {
+				return newGen(fmt.Sprintf("ub-dsb-%d", body), insts, func(g *gen, i int) isa.Inst {
+					return isa.Inst{
+						PC:  0x200000 + uint64(i%body)*4,
+						Op:  isa.OpIntALU,
+						Dst: isa.Reg(1 + i%8),
+					}
+				})
+			},
+		})
+	}
+	return sw
+}
+
+// microcodeSweep varies microcoded-instruction frequency. Trains MS.*.
+func microcodeSweep() Sweep {
+	sw := Sweep{Name: "microcode-rate"}
+	for _, every := range []int{2, 8, 32, 256} {
+		every := every
+		sw.Points = append(sw.Points, Point{
+			Label: fmt.Sprintf("1/%d", every),
+			Build: func(insts int) isa.Program {
+				return newGen(fmt.Sprintf("ub-ms-%d", every), insts, func(g *gen, i int) isa.Inst {
+					if i%every == 0 {
+						return isa.Inst{PC: 0x140000, Op: isa.OpMicrocoded, Dst: 2, UopCount: 8}
+					}
+					return alu(i)
+				})
+			},
+		})
+	}
+	return sw
+}
+
+// dividerSweep varies divide frequency. Trains DIV and the unpipelined
+// port behaviour.
+func dividerSweep() Sweep {
+	sw := Sweep{Name: "divider-rate"}
+	for _, every := range []int{2, 8, 32, 256} {
+		every := every
+		sw.Points = append(sw.Points, Point{
+			Label: fmt.Sprintf("1/%d", every),
+			Build: func(insts int) isa.Program {
+				return newGen(fmt.Sprintf("ub-div-%d", every), insts, func(g *gen, i int) isa.Inst {
+					if i%every == 0 {
+						return isa.Inst{PC: 0x150000, Op: isa.OpFPDiv, Dst: 3, Src1: 3}
+					}
+					return alu(i)
+				})
+			},
+		})
+	}
+	return sw
+}
+
+// lockSweep varies atomic-operation frequency. Trains LK.
+func lockSweep() Sweep {
+	sw := Sweep{Name: "lock-rate"}
+	for _, every := range []int{4, 32, 256} {
+		every := every
+		sw.Points = append(sw.Points, Point{
+			Label: fmt.Sprintf("1/%d", every),
+			Build: func(insts int) isa.Program {
+				return newGen(fmt.Sprintf("ub-lock-%d", every), insts, func(g *gen, i int) isa.Inst {
+					if i%every == 0 {
+						return isa.Inst{PC: 0x160000, Op: isa.OpLoadLocked, Dst: 4, Size: 8, Addr: 0x30000000}
+					}
+					return alu(i)
+				})
+			},
+		})
+	}
+	return sw
+}
+
+// bandwidthSweep saturates DRAM with independent streaming loads at
+// varying density. Trains DRQ, L3 and the bandwidth-bound regime.
+func bandwidthSweep() Sweep {
+	sw := Sweep{Name: "dram-bandwidth"}
+	for _, every := range []int{1, 2, 8} {
+		every := every
+		sw.Points = append(sw.Points, Point{
+			Label: fmt.Sprintf("load 1/%d", every),
+			Build: func(insts int) isa.Program {
+				return newGen(fmt.Sprintf("ub-bw-%d", every), insts, func(g *gen, i int) isa.Inst {
+					if i%every == 0 {
+						addr := 0x40000000 + uint64(i)*64%(256<<20)
+						return isa.Inst{PC: 0x170000, Op: isa.OpLoad, Dst: isa.Reg(1 + i%4), Size: 8, Addr: addr}
+					}
+					return alu(i)
+				})
+			},
+		})
+	}
+	return sw
+}
+
+// peakSweep is pure independent ALU work: it anchors every roofline's
+// peak-throughput samples (the machine's best case).
+func peakSweep() Sweep {
+	return Sweep{
+		Name: "peak",
+		Points: []Point{{
+			Label: "alu",
+			Build: func(insts int) isa.Program {
+				return newGen("ub-peak", insts, func(g *gen, i int) isa.Inst {
+					return alu(i)
+				})
+			},
+		}},
+	}
+}

@@ -1,0 +1,146 @@
+package microbench
+
+import (
+	"testing"
+
+	"spire/internal/isa"
+	"spire/internal/pmu"
+	"spire/internal/sim"
+	"spire/internal/uarch"
+)
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 8 {
+		t.Fatalf("suite has %d sweeps, want >= 8", len(suite))
+	}
+	names := map[string]bool{}
+	for _, sw := range suite {
+		if sw.Name == "" || len(sw.Points) == 0 {
+			t.Errorf("sweep %+v malformed", sw.Name)
+		}
+		if names[sw.Name] {
+			t.Errorf("duplicate sweep name %s", sw.Name)
+		}
+		names[sw.Name] = true
+		for _, pt := range sw.Points {
+			if pt.Label == "" || pt.Build == nil {
+				t.Errorf("%s: malformed point %q", sw.Name, pt.Label)
+			}
+		}
+	}
+}
+
+func TestProgramsValidateAndTerminate(t *testing.T) {
+	progs := Programs(3000)
+	if len(progs) < 30 {
+		t.Fatalf("only %d programs", len(progs))
+	}
+	seen := map[string]bool{}
+	for _, p := range progs {
+		if seen[p.Name()] {
+			t.Errorf("duplicate program name %s", p.Name())
+		}
+		seen[p.Name()] = true
+		if err := sim.Validate(p, 7, 10_000); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+		p.Reset(7)
+		n := 0
+		for {
+			if _, ok := p.Next(); !ok {
+				break
+			}
+			n++
+			if n > 10_000 {
+				t.Fatalf("%s did not terminate", p.Name())
+			}
+		}
+		if n != 3000 {
+			t.Errorf("%s emitted %d instructions, want 3000", p.Name(), n)
+		}
+	}
+}
+
+func TestProgramDeterminism(t *testing.T) {
+	build := Suite()[0].Points[0].Build
+	a, b := build(500), build(500)
+	a.Reset(3)
+	b.Reset(3)
+	for {
+		ia, oka := a.Next()
+		ib, okb := b.Next()
+		if oka != okb {
+			t.Fatal("lengths differ")
+		}
+		if !oka {
+			break
+		}
+		if ia != ib {
+			t.Fatalf("instructions differ: %+v vs %+v", ia, ib)
+		}
+	}
+}
+
+// TestSweepsExerciseTargetEvents runs one representative point per sweep
+// and checks the intended counter actually fires.
+func TestSweepsExerciseTargetEvents(t *testing.T) {
+	targets := map[string]pmu.EventID{
+		"mispredict-rate": pmu.EvBrMispRetired,
+		"miss-rate":       pmu.EvLoadL1Miss,
+		"load-density":    pmu.EvLoadL1Hit,
+		"stall-density":   pmu.EvStallsTotal,
+		"dsb-coverage":    pmu.EvMITEUops,
+		"microcode-rate":  pmu.EvMSUops,
+		"divider-rate":    pmu.EvDividerActive,
+		"lock-rate":       pmu.EvLockLoads,
+		"dram-bandwidth":  pmu.EvL3Miss,
+		"peak":            pmu.EvDSBUops,
+	}
+	for _, sw := range Suite() {
+		ev, ok := targets[sw.Name]
+		if !ok {
+			t.Errorf("no target event registered for sweep %s", sw.Name)
+			continue
+		}
+		// The most aggressive point is first by construction.
+		prog := sw.Points[0].Build(20_000)
+		s, err := sim.New(uarch.Default(), prog, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run(10_000_000)
+		if !res.Drained {
+			t.Fatalf("%s did not drain", prog.Name())
+		}
+		if res.Counts.Read(ev) == 0 {
+			t.Errorf("%s: target event %s never fired", sw.Name, pmu.Describe(ev).Name)
+		}
+	}
+}
+
+// TestMispredictSweepSpansIntensity: the sweep's whole point is to spread
+// the metric's operational intensity over decades.
+func TestMispredictSweepSpansIntensity(t *testing.T) {
+	sw := Suite()[0] // mispredict-rate
+	rate := func(p isa.Program) float64 {
+		s, err := sim.New(uarch.Default(), p, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run(10_000_000)
+		m := res.Counts.Read(pmu.EvBrMispRetired)
+		if m == 0 {
+			return 0
+		}
+		return float64(res.Instructions) / float64(m)
+	}
+	lo := rate(sw.Points[0].Build(20_000))
+	hi := rate(sw.Points[len(sw.Points)-1].Build(200_000))
+	if lo <= 0 || hi <= 0 {
+		t.Fatalf("sweep endpoints did not mispredict (lo=%g hi=%g)", lo, hi)
+	}
+	if hi < 20*lo {
+		t.Errorf("intensity span too narrow: %g .. %g", lo, hi)
+	}
+}

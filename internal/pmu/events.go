@@ -1,0 +1,320 @@
+// Package pmu models the hardware performance monitoring unit of the
+// simulated core: a registry of countable events (named after the Skylake
+// events in the paper's Table III), always-on architectural counters, and
+// the metadata SPIRE's analysis output needs (abbreviations and the
+// closest top-level TMA bottleneck area per event).
+//
+// The measurement-side constraint of real PMUs — only a few events can be
+// counted at once — is modeled by the perfstat package, which schedules
+// event groups onto the limited programmable counters and scales the
+// observed deltas, exactly like Linux perf's multiplexing.
+package pmu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Area is the top-level TMA category most closely associated with an
+// event (paper Table III's colour coding).
+type Area uint8
+
+// TMA areas.
+const (
+	AreaNone Area = iota
+	AreaFrontEnd
+	AreaBadSpeculation
+	AreaMemory
+	AreaCore
+	AreaRetiring
+)
+
+// String names the area as the paper does.
+func (a Area) String() string {
+	switch a {
+	case AreaFrontEnd:
+		return "Front-End"
+	case AreaBadSpeculation:
+		return "Bad Speculation"
+	case AreaMemory:
+		return "Memory"
+	case AreaCore:
+		return "Core"
+	case AreaRetiring:
+		return "Retiring"
+	}
+	return "-"
+}
+
+// EventID indexes the event registry. IDs are dense and stable within a
+// process; persist event names, not IDs.
+type EventID int
+
+// Event is one countable quantity.
+type Event struct {
+	ID EventID
+	// Name is the perf-style event name, e.g. "idq.dsb_uops".
+	Name string
+	// Abbr is the short label used in analysis tables, e.g. "DB.2".
+	Abbr string
+	// Area is the closest top-level TMA bottleneck.
+	Area Area
+	// Fixed events are always counted (architectural counters) and do
+	// not compete for programmable counter slots.
+	Fixed bool
+	// InPaperTable marks the events listed in the paper's Table III.
+	InPaperTable bool
+	// Desc is a one-line description.
+	Desc string
+}
+
+// Registry event IDs. The fixed counters come first.
+const (
+	// EvInstRetired counts retired instructions (the work measure W).
+	EvInstRetired EventID = iota
+	// EvCycles counts unhalted core cycles (the time measure T).
+	EvCycles
+	// EvUopsRetiredSlots counts retired uops (TMA retiring slots).
+	EvUopsRetiredSlots
+
+	// Front-end latency/bubble events.
+	EvFEBubbles1
+	EvFEBubbles2
+	EvFEBubbles3
+	EvICacheStall
+	EvDSB2MITESwitchCycles
+
+	// Decoded stream buffer (DSB) events.
+	EvDSBCycles
+	EvDSBUops
+	EvDSBMissRetired
+	EvAllDSBCyclesAnyUops
+	EvMITEUops
+	EvMITECycles
+
+	// Microcode sequencer (MS) events.
+	EvMSSwitches
+	EvMSDSBCycles
+	EvMSUops
+	EvMSCycles
+
+	// Uop-delivery (DQ) events.
+	EvUopsNotDeliveredLE1
+	EvUopsNotDeliveredLE2
+	EvUopsNotDeliveredLE3
+	EvUopsNotDeliveredCore
+	EvUopsNotDeliveredFEWasOK
+
+	// Branch / speculation events.
+	EvBrMispRetired
+	EvRecoveryCycles
+	EvRecoveryCyclesAny
+	EvBrInstRetired
+	EvMachineClears
+
+	// Memory events.
+	EvCyclesMemAny
+	EvStallsMemAny
+	EvCyclesL1DMiss
+	EvStallsL1DMiss
+	EvL1DPendMissCycles
+	EvL3Miss
+	EvL3Ref
+	EvLockLoads
+	EvLoadL1Hit
+	EvLoadL1Miss
+	EvLoadL2Hit
+	EvLoadL2Miss
+	EvLoadL3Hit
+	EvLoadL3Miss
+	EvStallsL2Miss
+	EvStallsL3Miss
+	EvDRAMQueueCycles
+	EvDTLBWalk
+	EvITLBWalk
+
+	// Core / execution events.
+	EvStallsTotal
+	EvUopsRetiredStallCycles
+	EvUopsIssuedStallCycles
+	EvUopsExecutedStallCycles
+	EvResourceStallsAny
+	EvResourceStallsSB
+	EvExeBound0Ports
+	EvExe1PortUtil
+	EvExe2PortUtil
+	EvUopsExecCoreCyclesGE1
+	EvUopsExecCyclesGE1
+	EvUopsExecCyclesGE2
+	EvVecWidthMismatch
+	EvDividerActive
+
+	// Per-port dispatch counters (uops_dispatched_port.port_N). Ports
+	// beyond the configured core's width simply never fire.
+	EvPort0
+	EvPort1
+	EvPort2
+	EvPort3
+	EvPort4
+	EvPort5
+	EvPort6
+	EvPort7
+
+	// Issue-side totals (TMA inputs).
+	EvUopsIssuedAny
+	EvUopsExecutedThread
+
+	// NumEvents is the registry size.
+	NumEvents
+)
+
+// registry is the ordered event table.
+var registry = [NumEvents]Event{
+	EvInstRetired:      {Name: "inst_retired.any", Abbr: "INST", Area: AreaNone, Fixed: true, Desc: "retired instructions (work W)"},
+	EvCycles:           {Name: "cpu_clk_unhalted.thread", Abbr: "CYC", Area: AreaNone, Fixed: true, Desc: "unhalted core cycles (time T)"},
+	EvUopsRetiredSlots: {Name: "uops_retired.retire_slots", Abbr: "RET", Area: AreaRetiring, Fixed: true, Desc: "retired uops (retire slots)"},
+
+	EvFEBubbles1:           {Name: "frontend_retired.latency_ge_2_bubbles_ge_1", Abbr: "FE.1", Area: AreaFrontEnd, InPaperTable: true, Desc: "retired after >=1 front-end bubble of >=2 cycles"},
+	EvFEBubbles2:           {Name: "frontend_retired.latency_ge_2_bubbles_ge_2", Abbr: "FE.2", Area: AreaFrontEnd, InPaperTable: true, Desc: "retired after >=2 front-end bubbles of >=2 cycles"},
+	EvFEBubbles3:           {Name: "frontend_retired.latency_ge_2_bubbles_ge_3", Abbr: "FE.3", Area: AreaFrontEnd, InPaperTable: true, Desc: "retired after >=3 front-end bubbles of >=2 cycles"},
+	EvICacheStall:          {Name: "icache_16b.ifdata_stall", Abbr: "IC", Area: AreaFrontEnd, Desc: "cycles fetch stalled on an L1I miss"},
+	EvDSB2MITESwitchCycles: {Name: "dsb2mite_switches.penalty_cycles", Abbr: "D2M", Area: AreaFrontEnd, Desc: "cycles lost switching DSB to legacy decode"},
+
+	EvDSBCycles:           {Name: "idq.dsb_cycles", Abbr: "DB.1", Area: AreaFrontEnd, InPaperTable: true, Desc: "cycles uops were delivered from the DSB"},
+	EvDSBUops:             {Name: "idq.dsb_uops", Abbr: "DB.2", Area: AreaFrontEnd, InPaperTable: true, Desc: "uops delivered from the DSB"},
+	EvDSBMissRetired:      {Name: "frontend_retired.dsb_miss", Abbr: "DB.3", Area: AreaFrontEnd, InPaperTable: true, Desc: "retired instructions that missed the DSB"},
+	EvAllDSBCyclesAnyUops: {Name: "idq.all_dsb_cycles_any_uops", Abbr: "DB.4", Area: AreaFrontEnd, InPaperTable: true, Desc: "cycles with any DSB uop delivered"},
+	EvMITEUops:            {Name: "idq.mite_uops", Abbr: "MI.U", Area: AreaFrontEnd, Desc: "uops delivered by the legacy decode pipeline"},
+	EvMITECycles:          {Name: "idq.mite_cycles", Abbr: "MI.C", Area: AreaFrontEnd, Desc: "cycles the legacy decode pipeline delivered uops"},
+
+	EvMSSwitches:  {Name: "idq.ms_switches", Abbr: "MS.1", Area: AreaFrontEnd, InPaperTable: true, Desc: "switches into the microcode sequencer"},
+	EvMSDSBCycles: {Name: "idq.ms_dsb_cycles", Abbr: "MS.2", Area: AreaFrontEnd, InPaperTable: true, Desc: "cycles MS uops initiated by the DSB"},
+	EvMSUops:      {Name: "idq.ms_uops", Abbr: "MS.U", Area: AreaFrontEnd, Desc: "uops delivered by the microcode sequencer"},
+	EvMSCycles:    {Name: "idq.ms_cycles", Abbr: "MS.C", Area: AreaFrontEnd, Desc: "cycles the microcode sequencer delivered uops"},
+
+	EvUopsNotDeliveredLE1:     {Name: "idq_uops_not_delivered.cycles_le_1_uop_deliv.core", Abbr: "DQ.1", Area: AreaFrontEnd, InPaperTable: true, Desc: "cycles with <=1 uop delivered while the back-end wanted more"},
+	EvUopsNotDeliveredLE2:     {Name: "idq_uops_not_delivered.cycles_le_2_uop_deliv.core", Abbr: "DQ.2", Area: AreaFrontEnd, InPaperTable: true, Desc: "cycles with <=2 uops delivered while the back-end wanted more"},
+	EvUopsNotDeliveredLE3:     {Name: "idq_uops_not_delivered.cycles_le_3_uop_deliv.core", Abbr: "DQ.3", Area: AreaFrontEnd, InPaperTable: true, Desc: "cycles with <=3 uops delivered while the back-end wanted more"},
+	EvUopsNotDeliveredCore:    {Name: "idq_uops_not_delivered.core", Abbr: "DQ.C", Area: AreaFrontEnd, InPaperTable: true, Desc: "issue slots with no uop delivered (front-end bound slots)"},
+	EvUopsNotDeliveredFEWasOK: {Name: "idq_uops_not_delivered.cycles_fe_was_ok", Abbr: "DQ.K", Area: AreaFrontEnd, InPaperTable: true, Desc: "cycles the front-end was ready but the back-end stalled issue"},
+
+	EvBrMispRetired:     {Name: "br_misp_retired.all_branches", Abbr: "BP.1", Area: AreaBadSpeculation, InPaperTable: true, Desc: "retired mispredicted branches"},
+	EvRecoveryCycles:    {Name: "int_misc.recovery_cycles", Abbr: "BP.2", Area: AreaBadSpeculation, InPaperTable: true, Desc: "cycles the allocator was stalled recovering from a clear"},
+	EvRecoveryCyclesAny: {Name: "int_misc.recovery_cycles_any", Abbr: "BP.3", Area: AreaBadSpeculation, InPaperTable: true, Desc: "recovery cycles including machine clears"},
+	EvBrInstRetired:     {Name: "br_inst_retired.all_branches", Abbr: "BR", Area: AreaBadSpeculation, Desc: "retired branches"},
+	EvMachineClears:     {Name: "machine_clears.count", Abbr: "MC", Area: AreaBadSpeculation, Desc: "machine clears (memory ordering, etc.)"},
+
+	EvCyclesMemAny:      {Name: "cycle_activity.cycles_mem_any", Abbr: "M", Area: AreaMemory, InPaperTable: true, Desc: "cycles with an outstanding memory load"},
+	EvStallsMemAny:      {Name: "cycle_activity.stalls_mem_any", Abbr: "M.S", Area: AreaMemory, Desc: "execution stall cycles with an outstanding load"},
+	EvCyclesL1DMiss:     {Name: "cycle_activity.cycles_l1d_miss", Abbr: "L1.1", Area: AreaMemory, InPaperTable: true, Desc: "cycles with an outstanding L1D miss"},
+	EvStallsL1DMiss:     {Name: "cycle_activity.stalls_l1d_miss", Abbr: "L1.2", Area: AreaMemory, InPaperTable: true, Desc: "execution stall cycles with an outstanding L1D miss"},
+	EvL1DPendMissCycles: {Name: "l1d_pend_miss.pending_cycles", Abbr: "L1.3", Area: AreaMemory, InPaperTable: true, Desc: "cycles with at least one L1D miss pending"},
+	EvL3Miss:            {Name: "longest_lat_cache.miss", Abbr: "L3", Area: AreaMemory, InPaperTable: true, Desc: "last-level cache misses"},
+	EvL3Ref:             {Name: "longest_lat_cache.reference", Abbr: "L3.R", Area: AreaMemory, Desc: "last-level cache references"},
+	EvLockLoads:         {Name: "mem_inst_retired.lock_loads", Abbr: "LK", Area: AreaMemory, InPaperTable: true, Desc: "retired locked (atomic) loads"},
+	EvLoadL1Hit:         {Name: "mem_load_retired.l1_hit", Abbr: "LD1H", Area: AreaMemory, Desc: "retired loads that hit L1D"},
+	EvLoadL1Miss:        {Name: "mem_load_retired.l1_miss", Abbr: "LD1M", Area: AreaMemory, Desc: "retired loads that missed L1D"},
+	EvLoadL2Hit:         {Name: "mem_load_retired.l2_hit", Abbr: "LD2H", Area: AreaMemory, Desc: "retired loads that hit L2"},
+	EvLoadL2Miss:        {Name: "mem_load_retired.l2_miss", Abbr: "LD2M", Area: AreaMemory, Desc: "retired loads that missed L2"},
+	EvLoadL3Hit:         {Name: "mem_load_retired.l3_hit", Abbr: "LD3H", Area: AreaMemory, Desc: "retired loads that hit L3"},
+	EvLoadL3Miss:        {Name: "mem_load_retired.l3_miss", Abbr: "LD3M", Area: AreaMemory, Desc: "retired loads that missed L3"},
+	EvStallsL2Miss:      {Name: "cycle_activity.stalls_l2_miss", Abbr: "L2.S", Area: AreaMemory, Desc: "execution stall cycles with an outstanding L2 miss"},
+	EvStallsL3Miss:      {Name: "cycle_activity.stalls_l3_miss", Abbr: "L3.S", Area: AreaMemory, Desc: "execution stall cycles with an outstanding L3 miss"},
+	EvDRAMQueueCycles:   {Name: "offcore_requests_outstanding.cycles_with_data_rd", Abbr: "DRQ", Area: AreaMemory, Desc: "cycles DRAM requests queued for bandwidth"},
+	EvDTLBWalk:          {Name: "dtlb_load_misses.miss_causes_a_walk", Abbr: "DT", Area: AreaMemory, Desc: "data TLB misses causing a page walk"},
+	EvITLBWalk:          {Name: "itlb_misses.miss_causes_a_walk", Abbr: "IT", Area: AreaFrontEnd, Desc: "instruction TLB misses causing a page walk"},
+
+	EvStallsTotal:             {Name: "cycle_activity.stalls_total", Abbr: "CS.1", Area: AreaCore, InPaperTable: true, Desc: "cycles with no uop executed"},
+	EvUopsRetiredStallCycles:  {Name: "uops_retired.stall_cycles", Abbr: "CS.2", Area: AreaCore, InPaperTable: true, Desc: "cycles with no uop retired"},
+	EvUopsIssuedStallCycles:   {Name: "uops_issued.stall_cycles", Abbr: "CS.3", Area: AreaCore, InPaperTable: true, Desc: "cycles with no uop issued"},
+	EvUopsExecutedStallCycles: {Name: "uops_executed.stall_cycles", Abbr: "CS.4", Area: AreaCore, InPaperTable: true, Desc: "cycles with no uop executed (thread)"},
+	EvResourceStallsAny:       {Name: "resource_stalls.any", Abbr: "CS.5", Area: AreaCore, InPaperTable: true, Desc: "allocation stalls from any back-end resource"},
+	EvResourceStallsSB:        {Name: "resource_stalls.sb", Abbr: "SB", Area: AreaCore, Desc: "allocation stalls from a full store buffer"},
+	EvExeBound0Ports:          {Name: "exe_activity.exe_bound_0_ports", Abbr: "CS.6", Area: AreaCore, InPaperTable: true, Desc: "cycles the back-end had work but no port executed"},
+	EvExe1PortUtil:            {Name: "exe_activity.1_ports_util", Abbr: "C1.3", Area: AreaCore, InPaperTable: true, Desc: "cycles exactly one port executed"},
+	EvExe2PortUtil:            {Name: "exe_activity.2_ports_util", Abbr: "C2", Area: AreaCore, Desc: "cycles exactly two ports executed"},
+	EvUopsExecCoreCyclesGE1:   {Name: "uops_executed.core_cycles_ge_1", Abbr: "C1.1", Area: AreaCore, InPaperTable: true, Desc: "core cycles with at least one uop executed"},
+	EvUopsExecCyclesGE1:       {Name: "uops_executed.cycles_ge_1_uop_exec", Abbr: "C1.2", Area: AreaCore, InPaperTable: true, Desc: "cycles with at least one uop executed (thread)"},
+	EvUopsExecCyclesGE2:       {Name: "uops_executed.cycles_ge_2_uop_exec", Abbr: "C2.2", Area: AreaCore, Desc: "cycles with at least two uops executed"},
+	EvVecWidthMismatch:        {Name: "uops_issued.vector_width_mismatch", Abbr: "VW", Area: AreaCore, InPaperTable: true, Desc: "uops issued after a SIMD width change"},
+	EvDividerActive:           {Name: "arith.divider_active", Abbr: "DIV", Area: AreaCore, Desc: "cycles the divider was busy"},
+
+	EvPort0: {Name: "uops_dispatched_port.port_0", Abbr: "P0", Area: AreaCore, Desc: "uops dispatched to port 0"},
+	EvPort1: {Name: "uops_dispatched_port.port_1", Abbr: "P1", Area: AreaCore, Desc: "uops dispatched to port 1"},
+	EvPort2: {Name: "uops_dispatched_port.port_2", Abbr: "P2", Area: AreaCore, Desc: "uops dispatched to port 2"},
+	EvPort3: {Name: "uops_dispatched_port.port_3", Abbr: "P3", Area: AreaCore, Desc: "uops dispatched to port 3"},
+	EvPort4: {Name: "uops_dispatched_port.port_4", Abbr: "P4", Area: AreaCore, Desc: "uops dispatched to port 4"},
+	EvPort5: {Name: "uops_dispatched_port.port_5", Abbr: "P5", Area: AreaCore, Desc: "uops dispatched to port 5"},
+	EvPort6: {Name: "uops_dispatched_port.port_6", Abbr: "P6", Area: AreaCore, Desc: "uops dispatched to port 6"},
+	EvPort7: {Name: "uops_dispatched_port.port_7", Abbr: "P7", Area: AreaCore, Desc: "uops dispatched to port 7"},
+
+	EvUopsIssuedAny:      {Name: "uops_issued.any", Abbr: "ISS", Area: AreaNone, Desc: "uops issued by the allocator"},
+	EvUopsExecutedThread: {Name: "uops_executed.thread", Abbr: "EXE", Area: AreaNone, Desc: "uops executed"},
+}
+
+var byName map[string]EventID
+
+func init() {
+	byName = make(map[string]EventID, NumEvents)
+	for id := EventID(0); id < NumEvents; id++ {
+		ev := registry[id]
+		if ev.Name == "" {
+			panic(fmt.Sprintf("pmu: event %d has no registry entry", id))
+		}
+		if _, dup := byName[ev.Name]; dup {
+			panic(fmt.Sprintf("pmu: duplicate event name %q", ev.Name))
+		}
+		registry[id].ID = id
+		byName[ev.Name] = id
+	}
+}
+
+// Lookup resolves an event name to its registry entry.
+func Lookup(name string) (Event, bool) {
+	id, ok := byName[name]
+	if !ok {
+		return Event{}, false
+	}
+	return registry[id], true
+}
+
+// Describe returns the registry entry for id; it panics on an out-of-range
+// id, which is always a programming error.
+func Describe(id EventID) Event {
+	if id < 0 || id >= NumEvents {
+		panic(fmt.Sprintf("pmu: event id %d out of range", id))
+	}
+	return registry[id]
+}
+
+// Events returns all registry entries in ID order.
+func Events() []Event {
+	out := make([]Event, NumEvents)
+	copy(out, registry[:])
+	return out
+}
+
+// MetricEvents returns the non-fixed events — the candidate SPIRE metrics
+// — in ID order.
+func MetricEvents() []Event {
+	var out []Event
+	for _, ev := range registry {
+		if !ev.Fixed {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// PaperTableEvents returns the events listed in the paper's Table III,
+// sorted by abbreviation.
+func PaperTableEvents() []Event {
+	var out []Event
+	for _, ev := range registry {
+		if ev.InPaperTable {
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Abbr < out[j].Abbr })
+	return out
+}

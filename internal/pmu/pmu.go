@@ -1,0 +1,66 @@
+package pmu
+
+import "fmt"
+
+// PMU is the core's counter block. The simulator increments events
+// unconditionally (an oracle view); measurement-side restrictions —
+// limited programmable counters and multiplexing — are applied by readers
+// that snapshot deltas only while an event is scheduled, which is exactly
+// how time-multiplexed counting behaves on real hardware.
+type PMU struct {
+	counts [NumEvents]uint64
+}
+
+// New returns a zeroed PMU.
+func New() *PMU { return &PMU{} }
+
+// Add accumulates n occurrences of ev.
+func (p *PMU) Add(ev EventID, n uint64) { p.counts[ev] += n }
+
+// Inc accumulates one occurrence of ev.
+func (p *PMU) Inc(ev EventID) { p.counts[ev]++ }
+
+// Read returns the current count of ev.
+func (p *PMU) Read(ev EventID) uint64 { return p.counts[ev] }
+
+// Snapshot copies all counters; used by samplers to compute deltas.
+func (p *PMU) Snapshot() Counts {
+	var c Counts
+	c.counts = p.counts
+	return c
+}
+
+// Reset zeroes all counters.
+func (p *PMU) Reset() { p.counts = [NumEvents]uint64{} }
+
+// Counts is an immutable copy of the counter block.
+type Counts struct {
+	counts [NumEvents]uint64
+}
+
+// Read returns the snapshot's count of ev.
+func (c Counts) Read(ev EventID) uint64 { return c.counts[ev] }
+
+// Delta returns the per-event difference now - earlier. It panics if any
+// counter went backwards, which would indicate counter corruption.
+func (c Counts) Delta(earlier Counts) Counts {
+	var d Counts
+	for i := range c.counts {
+		if c.counts[i] < earlier.counts[i] {
+			panic(fmt.Sprintf("pmu: counter %s went backwards (%d -> %d)",
+				Describe(EventID(i)).Name, earlier.counts[i], c.counts[i]))
+		}
+		d.counts[i] = c.counts[i] - earlier.counts[i]
+	}
+	return d
+}
+
+// IPC returns the snapshot's instructions-per-cycle, or 0 when no cycles
+// elapsed.
+func (c Counts) IPC() float64 {
+	cy := c.Read(EvCycles)
+	if cy == 0 {
+		return 0
+	}
+	return float64(c.Read(EvInstRetired)) / float64(cy)
+}

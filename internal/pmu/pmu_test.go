@@ -1,0 +1,159 @@
+package pmu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	seenAbbr := make(map[string]string)
+	for id := EventID(0); id < NumEvents; id++ {
+		ev := Describe(id)
+		if ev.ID != id {
+			t.Errorf("%s: ID %d != index %d", ev.Name, ev.ID, id)
+		}
+		if ev.Name == "" || ev.Abbr == "" || ev.Desc == "" {
+			t.Errorf("event %d has empty metadata: %+v", id, ev)
+		}
+		if prev, dup := seenAbbr[ev.Abbr]; dup {
+			t.Errorf("abbreviation %q used by both %s and %s", ev.Abbr, prev, ev.Name)
+		}
+		seenAbbr[ev.Abbr] = ev.Name
+		if strings.ToLower(ev.Name) != ev.Name {
+			t.Errorf("event name %q should be lowercase perf style", ev.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	ev, ok := Lookup("idq.dsb_uops")
+	if !ok || ev.Abbr != "DB.2" || ev.Area != AreaFrontEnd {
+		t.Errorf("Lookup(idq.dsb_uops) = %+v, %v", ev, ok)
+	}
+	if _, ok := Lookup("no.such.event"); ok {
+		t.Error("unknown event should not resolve")
+	}
+}
+
+func TestDescribePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Describe(NumEvents)
+}
+
+func TestFixedCounters(t *testing.T) {
+	fixed := map[EventID]bool{EvInstRetired: true, EvCycles: true, EvUopsRetiredSlots: true}
+	for id, want := range fixed {
+		if Describe(id).Fixed != want {
+			t.Errorf("%s fixed = %v, want %v", Describe(id).Name, Describe(id).Fixed, want)
+		}
+	}
+	for _, ev := range MetricEvents() {
+		if ev.Fixed {
+			t.Errorf("MetricEvents returned fixed counter %s", ev.Name)
+		}
+	}
+	if len(MetricEvents())+3 != int(NumEvents) {
+		t.Errorf("MetricEvents = %d, want %d", len(MetricEvents()), NumEvents-3)
+	}
+}
+
+func TestPaperTableEvents(t *testing.T) {
+	evs := PaperTableEvents()
+	// The paper's Table III lists 33 metrics.
+	if len(evs) != 33 {
+		t.Errorf("paper table has %d events, want 33", len(evs))
+	}
+	wantAbbrs := []string{"FE.1", "FE.2", "FE.3", "DB.1", "DB.2", "DB.3", "DB.4",
+		"MS.1", "MS.2", "DQ.1", "DQ.2", "DQ.3", "DQ.C", "DQ.K",
+		"BP.1", "BP.2", "BP.3", "M", "L1.1", "L1.2", "L1.3", "L3", "LK",
+		"CS.1", "CS.2", "CS.3", "CS.4", "CS.5", "CS.6", "C1.1", "C1.2", "C1.3", "VW"}
+	have := make(map[string]bool)
+	for _, ev := range evs {
+		have[ev.Abbr] = true
+	}
+	for _, a := range wantAbbrs {
+		if !have[a] {
+			t.Errorf("paper abbreviation %s missing from registry", a)
+		}
+	}
+}
+
+func TestAreaString(t *testing.T) {
+	cases := map[Area]string{
+		AreaFrontEnd:       "Front-End",
+		AreaBadSpeculation: "Bad Speculation",
+		AreaMemory:         "Memory",
+		AreaCore:           "Core",
+		AreaRetiring:       "Retiring",
+		AreaNone:           "-",
+	}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("Area(%d) = %q, want %q", a, got, want)
+		}
+	}
+}
+
+func TestPMUCounting(t *testing.T) {
+	p := New()
+	p.Inc(EvCycles)
+	p.Add(EvCycles, 9)
+	p.Inc(EvInstRetired)
+	if p.Read(EvCycles) != 10 || p.Read(EvInstRetired) != 1 {
+		t.Errorf("counts = %d/%d", p.Read(EvCycles), p.Read(EvInstRetired))
+	}
+	snap := p.Snapshot()
+	p.Add(EvCycles, 5)
+	if snap.Read(EvCycles) != 10 {
+		t.Error("snapshot must be immutable")
+	}
+	d := p.Snapshot().Delta(snap)
+	if d.Read(EvCycles) != 5 || d.Read(EvInstRetired) != 0 {
+		t.Errorf("delta = %d/%d, want 5/0", d.Read(EvCycles), d.Read(EvInstRetired))
+	}
+	p.Reset()
+	if p.Read(EvCycles) != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestDeltaPanicsOnBackwards(t *testing.T) {
+	p := New()
+	p.Add(EvCycles, 10)
+	later := p.Snapshot()
+	p.Reset()
+	earlier := p.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for backwards counter")
+		}
+	}()
+	earlier.Delta(later)
+}
+
+func TestCountsIPC(t *testing.T) {
+	p := New()
+	if got := p.Snapshot().IPC(); got != 0 {
+		t.Errorf("IPC with no cycles = %g, want 0", got)
+	}
+	p.Add(EvCycles, 4)
+	p.Add(EvInstRetired, 6)
+	if got := p.Snapshot().IPC(); got != 1.5 {
+		t.Errorf("IPC = %g, want 1.5", got)
+	}
+}
+
+func TestEventsCopy(t *testing.T) {
+	evs := Events()
+	if len(evs) != int(NumEvents) {
+		t.Fatalf("Events() returned %d entries", len(evs))
+	}
+	evs[0].Name = "mutated"
+	if Describe(0).Name == "mutated" {
+		t.Error("Events() must return a copy")
+	}
+}

@@ -1,0 +1,223 @@
+// Package report renders the experiment outputs: fixed-width ASCII tables
+// (the paper's Tables I-III) and CSV series for figures (the paper's
+// roofline plots). Everything writes to an io.Writer so tools and tests
+// can capture output.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with column auto-sizing.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		_, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Headers); err != nil {
+		return err
+	}
+	seps := make([]string, len(widths))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(seps); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CSV writes rows of cells as comma-separated values with minimal quoting
+// (fields containing commas or quotes are quoted).
+func CSV(w io.Writer, rows [][]string) error {
+	for _, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a named list of (x, y) points for figure export.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// WriteCSV exports one or more series sharing no x-grid: each row is
+// (series, x, y).
+func WriteCSV(w io.Writer, series ...Series) error {
+	rows := [][]string{{"series", "x", "y"}}
+	for _, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			rows = append(rows, []string{
+				s.Name,
+				fmt.Sprintf("%g", s.X[i]),
+				fmt.Sprintf("%g", s.Y[i]),
+			})
+		}
+	}
+	return CSV(w, rows)
+}
+
+// AsciiPlot renders a crude log-log scatter/line plot of the series, good
+// enough to eyeball roofline shapes in a terminal. Non-positive values
+// are skipped (log scale).
+func AsciiPlot(w io.Writer, width, height int, series ...Series) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("report: plot area %dx%d too small", width, height)
+	}
+	type pt struct {
+		x, y float64
+		mark byte
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	var pts []pt
+	minX, maxX, minY, maxY := 0.0, 0.0, 0.0, 0.0
+	first := true
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			x, y := s.X[i], s.Y[i]
+			if x <= 0 || y <= 0 {
+				continue
+			}
+			if first {
+				minX, maxX, minY, maxY = x, x, y, y
+				first = false
+			}
+			if x < minX {
+				minX = x
+			}
+			if x > maxX {
+				maxX = x
+			}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+			pts = append(pts, pt{x, y, m})
+		}
+	}
+	if first {
+		_, err := fmt.Fprintln(w, "(no positive data to plot)")
+		return err
+	}
+	if maxX == minX {
+		maxX = minX * 2
+	}
+	if maxY == minY {
+		maxY = minY * 2
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	lg := func(v float64) float64 { return log10(v) }
+	for _, p := range pts {
+		cx := int((lg(p.x) - lg(minX)) / (lg(maxX) - lg(minX)) * float64(width-1))
+		cy := int((lg(p.y) - lg(minY)) / (lg(maxY) - lg(minY)) * float64(height-1))
+		row := height - 1 - cy
+		grid[row][cx] = p.mark
+	}
+	for i, s := range series {
+		if _, err := fmt.Fprintf(w, "%c = %s  ", marks[i%len(marks)], s.Name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\ny: %.3g .. %.3g (log)\n", minY, maxY); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", string(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "x: %.3g .. %.3g (log)\n", minX, maxX)
+	return err
+}
+
+func log10(v float64) float64 { return math.Log10(v) }

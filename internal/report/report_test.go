@@ -1,0 +1,118 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tab.AddRow("alpha", "1")
+	tab.AddRow("b", "22")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "Name", "alpha", "22", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableShortRows(t *testing.T) {
+	tab := Table{Headers: []string{"A", "B", "C"}}
+	tab.AddRow("only")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only") {
+		t.Error("short row lost")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := CSV(&buf, [][]string{
+		{"a", "b"},
+		{"x,y", `He said "hi"`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "a,b\n\"x,y\",\"He said \"\"hi\"\"\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestWriteCSVSeries(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf,
+		Series{Name: "s1", X: []float64{1, 2}, Y: []float64{10, 20}},
+		Series{Name: "s2", X: []float64{3}, Y: []float64{30, 99}}, // extra Y ignored
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4 (header + 3)", len(lines))
+	}
+	if lines[0] != "series,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[3] != "s2,3,30" {
+		t.Errorf("last = %q", lines[3])
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	var buf bytes.Buffer
+	err := AsciiPlot(&buf, 40, 10,
+		Series{Name: "roof", X: []float64{0.1, 1, 10}, Y: []float64{1, 4, 4}},
+		Series{Name: "apps", X: []float64{0.5}, Y: []float64{2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "roof") || !strings.Contains(out, "apps") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("marks missing:\n%s", out)
+	}
+}
+
+func TestAsciiPlotEdgeCases(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AsciiPlot(&buf, 4, 2); err == nil {
+		t.Error("tiny plot should fail")
+	}
+	buf.Reset()
+	// Only non-positive data: log plot skips it gracefully.
+	err := AsciiPlot(&buf, 40, 8, Series{Name: "zero", X: []float64{0}, Y: []float64{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no positive data") {
+		t.Errorf("expected empty-plot notice, got %q", buf.String())
+	}
+	buf.Reset()
+	// Single point: ranges degenerate but must not panic.
+	if err := AsciiPlot(&buf, 40, 8, Series{Name: "one", X: []float64{5}, Y: []float64{5}}); err != nil {
+		t.Fatal(err)
+	}
+}

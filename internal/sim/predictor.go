@@ -1,0 +1,76 @@
+package sim
+
+import "spire/internal/uarch"
+
+// predictor is a gshare direction predictor with 2-bit saturating
+// counters plus a direct-mapped branch target buffer for taken-branch
+// targets.
+type predictor struct {
+	table   []uint8 // 2-bit counters, weakly-taken initialized
+	mask    uint64
+	history uint64
+	btb     []uint64
+	btbMask uint64
+}
+
+func newPredictor(cfg *uarch.Config) *predictor {
+	n := 1 << uint(cfg.GShareBits)
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 1 // weakly not-taken
+	}
+	btbSize := cfg.BTBEntries
+	// Round BTB size up to a power of two for cheap masking.
+	sz := 1
+	for sz < btbSize {
+		sz <<= 1
+	}
+	return &predictor{
+		table:   t,
+		mask:    uint64(n - 1),
+		btb:     make([]uint64, sz),
+		btbMask: uint64(sz - 1),
+	}
+}
+
+// predict returns the predicted direction and target for the branch at pc
+// and then updates the predictor with the actual outcome, reporting
+// whether the prediction was wrong.
+func (p *predictor) predictAndUpdate(pc uint64, taken bool, target uint64) (mispredict bool) {
+	idx := ((pc >> 2) ^ p.history) & p.mask
+	ctr := p.table[idx]
+	predTaken := ctr >= 2
+
+	predTarget := p.btb[(pc>>2)&p.btbMask]
+
+	mispredict = predTaken != taken
+	if taken && !mispredict && predTarget != target {
+		// Direction right but target wrong (indirect branch or BTB
+		// conflict): still a misprediction.
+		mispredict = true
+	}
+
+	// Update direction counter.
+	if taken {
+		if ctr < 3 {
+			p.table[idx] = ctr + 1
+		}
+	} else {
+		if ctr > 0 {
+			p.table[idx] = ctr - 1
+		}
+	}
+	// Update history and BTB.
+	p.history = ((p.history << 1) | b2u(taken)) & p.mask
+	if taken {
+		p.btb[(pc>>2)&p.btbMask] = target
+	}
+	return mispredict
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

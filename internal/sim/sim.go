@@ -1,0 +1,899 @@
+// Package sim is a cycle-approximate model of an out-of-order CPU core.
+// It executes isa.Program instruction streams against the mem hierarchy
+// and emits a detailed hardware-event stream into a pmu.PMU.
+//
+// The model substitutes for the paper's physical Xeon Gold 6126: SPIRE
+// consumes only performance counter values, so the simulator's job is to
+// reproduce the *relationships* between microarchitectural behaviour and
+// counters — front-end supply (DSB vs legacy decode vs microcode
+// sequencer), branch misprediction recovery, back-end resource and port
+// contention, the divider, SIMD width transitions, and the cache/DRAM
+// hierarchy — not absolute Xeon performance.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"spire/internal/isa"
+	"spire/internal/mem"
+	"spire/internal/pmu"
+	"spire/internal/uarch"
+)
+
+// fePath identifies which front-end pipe delivered a uop.
+type fePath uint8
+
+const (
+	pathNone fePath = iota
+	pathDSB
+	pathMITE
+	pathMS
+)
+
+// uop is a micro-op in flight. ROB slots are reused ring-buffer style.
+type uop struct {
+	op         isa.Op
+	dst        isa.Reg
+	src1, src2 isa.Reg
+	addr       uint64
+	vw         uint16
+	size       uint8
+
+	lastOfInst bool
+	chainPrev  bool // microcode expansion: depends on the previous uop
+	isBranch   bool
+	brMisp     bool
+	locked     bool
+	srcPath    fePath
+	feBubbles  uint8
+
+	seq              uint64
+	src1Seq, src2Seq uint64
+	dispatched       bool
+	doneAt           uint64
+	hitLevel         mem.Level
+}
+
+// Sim is one simulated core running one program.
+type Sim struct {
+	cfg  *uarch.Config
+	hier *mem.Hierarchy
+	ctr  *pmu.PMU
+	pred *predictor
+	prog isa.Program
+
+	cycle uint64
+
+	// Front end.
+	dsb             *mem.Cache
+	itlb            *mem.Cache
+	dtlb            *mem.Cache
+	hold            isa.Inst
+	holdValid       bool
+	progDone        bool
+	pending         []uop // decoded uops awaiting IDQ space
+	pendingHead     int
+	idq             []uop
+	idqHead         int
+	lastFetchLine   uint64
+	curWindow       uint64
+	curWindowInDSB  bool
+	fetchStallUntil uint64
+	icacheStall     bool // current fetch stall is an L1I miss (vs a switch penalty)
+	recoveryUntil   uint64
+	feBlockedBranch bool
+	mispBranchSeq   uint64
+	prevPath        fePath
+	msFromDSB       bool
+	feBubbleRun     uint64
+	pendingBubbles  uint8
+	instCount       uint64
+
+	// Back end.
+	rob               []uop
+	headSeq           uint64 // seq of oldest un-retired uop
+	tailSeq           uint64 // next seq to allocate
+	waiting           []uint64
+	regProd           [isa.NumRegs]uint64
+	portBusy          []uint64
+	portUsed          []bool
+	issueBlockedUntil uint64
+	lastVecWidth      uint16
+	memLockUntil      uint64
+	divBusyUntil      uint64
+
+	// Outstanding-memory tracking (completion cycles).
+	loadsOut      []uint64
+	l1MissOut     []uint64
+	l2MissOut     []uint64
+	l3MissOut     []uint64
+	sbOut         []uint64
+	mshrOut       []uint64
+	lastDRAMQueue uint64
+
+	// perturbIdx rotates the sampling agent's cache footprint.
+	perturbIdx int
+}
+
+// New builds a simulator for prog with the given configuration and resets
+// the program with seed.
+func New(cfg *uarch.Config, prog isa.Program, seed int64) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if prog == nil {
+		return nil, errors.New("sim: nil program")
+	}
+	prog.Reset(seed)
+	s := &Sim{
+		cfg:      cfg,
+		hier:     mem.NewHierarchy(cfg.Mem),
+		ctr:      pmu.New(),
+		pred:     newPredictor(cfg),
+		prog:     prog,
+		rob:      make([]uop, cfg.ROBSize),
+		portBusy: make([]uint64, cfg.NumPorts),
+		portUsed: make([]bool, cfg.NumPorts),
+		dsb: mem.NewCache(mem.CacheConfig{
+			Name:          "DSB",
+			SizeBytes:     cfg.DSBWindows * cfg.DSBWindowBytes,
+			LineBytes:     cfg.DSBWindowBytes,
+			Ways:          cfg.DSBWays,
+			LatencyCycles: 1,
+			// Random replacement keeps a partial hit rate for loops a
+			// bit larger than the DSB instead of LRU's cyclic-thrash
+			// cliff, matching observed decoded-uop cache behaviour.
+			Replacement: mem.ReplRandom,
+		}),
+		itlb: mem.NewCache(mem.CacheConfig{
+			Name:          "ITLB",
+			SizeBytes:     cfg.ITLBEntries * cfg.PageBytes,
+			LineBytes:     cfg.PageBytes,
+			Ways:          cfg.ITLBEntries,
+			LatencyCycles: 1,
+		}),
+		dtlb: mem.NewCache(mem.CacheConfig{
+			Name:          "DTLB",
+			SizeBytes:     cfg.DTLBEntries * cfg.PageBytes,
+			LineBytes:     cfg.PageBytes,
+			Ways:          cfg.DTLBEntries,
+			LatencyCycles: 1,
+		}),
+		headSeq:       1,
+		tailSeq:       1,
+		lastFetchLine: math.MaxUint64,
+		curWindow:     math.MaxUint64,
+	}
+	return s, nil
+}
+
+// PMU exposes the counter block for samplers.
+func (s *Sim) PMU() *pmu.PMU { return s.ctr }
+
+// Hierarchy exposes the memory system (for stats and tests).
+func (s *Sim) Hierarchy() *mem.Hierarchy { return s.hier }
+
+// Cycle returns the current cycle number.
+func (s *Sim) Cycle() uint64 { return s.cycle }
+
+// Instructions returns the number of retired instructions.
+func (s *Sim) Instructions() uint64 { return s.instCount }
+
+// Done reports whether the program has fully drained.
+func (s *Sim) Done() bool {
+	return s.progDone && !s.holdValid && s.pendingLen() == 0 &&
+		s.idqLen() == 0 && s.headSeq == s.tailSeq
+}
+
+func (s *Sim) pendingLen() int { return len(s.pending) - s.pendingHead }
+func (s *Sim) idqLen() int     { return len(s.idq) - s.idqHead }
+
+// Step advances the simulation by at most maxCycles, stopping early when
+// the program drains. It returns the number of cycles actually simulated.
+func (s *Sim) Step(maxCycles uint64) uint64 {
+	var ran uint64
+	for ran < maxCycles && !s.Done() {
+		s.tick()
+		ran++
+	}
+	return ran
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Cycles       uint64
+	Instructions uint64
+	IPC          float64
+	Counts       pmu.Counts
+	// Drained is false when the run hit the cycle limit before the
+	// program finished.
+	Drained bool
+}
+
+// Run executes the program to completion or until maxCycles, whichever
+// comes first.
+func (s *Sim) Run(maxCycles uint64) Result {
+	for s.cycle < maxCycles && !s.Done() {
+		s.tick()
+	}
+	ipc := 0.0
+	if s.cycle > 0 {
+		ipc = float64(s.instCount) / float64(s.cycle)
+	}
+	return Result{
+		Cycles:       s.cycle,
+		Instructions: s.instCount,
+		IPC:          ipc,
+		Counts:       s.ctr.Snapshot(),
+		Drained:      s.Done(),
+	}
+}
+
+// tick advances one cycle: retire -> dispatch/execute -> issue ->
+// front end -> per-cycle activity counters.
+func (s *Sim) tick() {
+	s.retire()
+	executed, portsUsed := s.dispatch()
+	s.issue()
+	s.frontEnd()
+	s.activity(executed, portsUsed)
+	s.cycle++
+}
+
+// --- retire ---------------------------------------------------------------
+
+func (s *Sim) retire() int {
+	retired := 0
+	for retired < s.cfg.RetireWidth && s.headSeq < s.tailSeq {
+		u := &s.rob[s.headSeq%uint64(len(s.rob))]
+		if !u.dispatched || u.doneAt > s.cycle {
+			break
+		}
+		s.ctr.Inc(pmu.EvUopsRetiredSlots)
+		if u.lastOfInst {
+			s.ctr.Inc(pmu.EvInstRetired)
+			s.instCount++
+			if u.srcPath == pathMITE {
+				s.ctr.Inc(pmu.EvDSBMissRetired)
+			}
+			if u.feBubbles >= 2 {
+				s.ctr.Inc(pmu.EvFEBubbles1)
+			}
+			if u.feBubbles >= 4 {
+				s.ctr.Inc(pmu.EvFEBubbles2)
+			}
+			if u.feBubbles >= 6 {
+				s.ctr.Inc(pmu.EvFEBubbles3)
+			}
+		}
+		if u.isBranch {
+			s.ctr.Inc(pmu.EvBrInstRetired)
+			if u.brMisp {
+				s.ctr.Inc(pmu.EvBrMispRetired)
+			}
+		}
+		switch u.op {
+		case isa.OpLoad, isa.OpLoadLocked:
+			if u.locked {
+				s.ctr.Inc(pmu.EvLockLoads)
+			}
+			switch u.hitLevel {
+			case mem.LevelL1:
+				s.ctr.Inc(pmu.EvLoadL1Hit)
+			case mem.LevelL2:
+				s.ctr.Inc(pmu.EvLoadL1Miss)
+				s.ctr.Inc(pmu.EvLoadL2Hit)
+			case mem.LevelL3:
+				s.ctr.Inc(pmu.EvLoadL1Miss)
+				s.ctr.Inc(pmu.EvLoadL2Miss)
+				s.ctr.Inc(pmu.EvLoadL3Hit)
+			case mem.LevelDRAM:
+				s.ctr.Inc(pmu.EvLoadL1Miss)
+				s.ctr.Inc(pmu.EvLoadL2Miss)
+				s.ctr.Inc(pmu.EvLoadL3Miss)
+			}
+		}
+		s.headSeq++
+		retired++
+	}
+	if retired == 0 {
+		s.ctr.Inc(pmu.EvUopsRetiredStallCycles)
+	}
+	return retired
+}
+
+// --- dispatch / execute ----------------------------------------------------
+
+func (s *Sim) seqReady(seq uint64) bool {
+	if seq == 0 || seq < s.headSeq {
+		return true
+	}
+	u := &s.rob[seq%uint64(len(s.rob))]
+	return u.dispatched && u.doneAt <= s.cycle
+}
+
+func (s *Sim) dispatch() (executed, portsUsed int) {
+	for p := range s.portUsed {
+		s.portUsed[p] = false
+	}
+	kept := s.waiting[:0]
+	for _, seq := range s.waiting {
+		u := &s.rob[seq%uint64(len(s.rob))]
+		if !s.tryDispatch(u) {
+			kept = append(kept, seq)
+		} else {
+			executed++
+		}
+	}
+	s.waiting = kept
+	for _, used := range s.portUsed {
+		if used {
+			portsUsed++
+		}
+	}
+	s.ctr.Add(pmu.EvUopsExecutedThread, uint64(executed))
+	return executed, portsUsed
+}
+
+func (s *Sim) tryDispatch(u *uop) bool {
+	if !s.seqReady(u.src1Seq) || !s.seqReady(u.src2Seq) {
+		return false
+	}
+	isMem := u.op.IsMemory()
+	if isMem && s.cycle < s.memLockUntil {
+		return false
+	}
+	if u.op == isa.OpLoad || u.op == isa.OpLoadLocked {
+		// A load that misses L1D needs an MSHR; with all of them busy,
+		// no further load may start (this is what bounds memory-level
+		// parallelism). Checked before the cache access because probing
+		// mutates cache state.
+		s.expire(&s.mshrOut)
+		if len(s.mshrOut) >= s.cfg.MSHRs {
+			return false
+		}
+	}
+	cls := s.cfg.Ops[u.op]
+	port := -1
+	for p := 0; p < s.cfg.NumPorts; p++ {
+		if cls.Ports.Has(p) && !s.portUsed[p] && s.portBusy[p] <= s.cycle {
+			port = p
+			break
+		}
+	}
+	if port < 0 {
+		return false
+	}
+	s.portUsed[port] = true
+	if port < 8 {
+		s.ctr.Inc(pmu.EvPort0 + pmu.EventID(port))
+	}
+	if cls.Unpipelined {
+		s.portBusy[port] = s.cycle + cls.Latency
+		if u.op == isa.OpIntDiv || u.op == isa.OpFPDiv {
+			if end := s.cycle + cls.Latency; end > s.divBusyUntil {
+				s.divBusyUntil = end
+			}
+		}
+	}
+
+	switch u.op {
+	case isa.OpLoad, isa.OpLoadLocked:
+		walk := s.dtlbWalk(u.addr)
+		res := s.hier.AccessData(u.addr, s.cycle+walk)
+		s.countHierarchy(res.Level)
+		done := res.DoneAt
+		if res.Level != mem.LevelL1 {
+			s.mshrOut = append(s.mshrOut, done)
+			s.l1MissOut = append(s.l1MissOut, done)
+			if res.Level >= mem.LevelL3 {
+				s.l2MissOut = append(s.l2MissOut, done)
+			}
+			if res.Level == mem.LevelDRAM {
+				s.l3MissOut = append(s.l3MissOut, done)
+			}
+		}
+		if u.locked {
+			done += s.cfg.LockLatency
+			s.memLockUntil = done
+		}
+		u.doneAt = done
+		u.hitLevel = res.Level
+		s.loadsOut = append(s.loadsOut, done)
+	case isa.OpStore:
+		walk := s.dtlbWalk(u.addr)
+		res := s.hier.AccessData(u.addr, s.cycle+walk)
+		s.countHierarchy(res.Level)
+		// Dependents see the store complete quickly; the store buffer
+		// entry drains when the hierarchy access finishes.
+		u.doneAt = s.cycle + cls.Latency
+		u.hitLevel = res.Level
+		s.sbOut = append(s.sbOut, res.DoneAt)
+	default:
+		u.doneAt = s.cycle + cls.Latency
+	}
+	u.dispatched = true
+	if u.brMisp && s.mispBranchSeq == u.seq {
+		// The mispredicted branch now has a resolution time: the front
+		// end restarts after the recovery penalty.
+		s.recoveryUntil = u.doneAt + s.cfg.BranchMispredictPenalty
+		s.feBlockedBranch = false
+		s.mispBranchSeq = 0
+	}
+	return true
+}
+
+// dtlbWalk translates a data address, charging a page walk on a miss.
+func (s *Sim) dtlbWalk(addr uint64) uint64 {
+	if s.dtlb.Access(addr) {
+		return 0
+	}
+	s.ctr.Inc(pmu.EvDTLBWalk)
+	return s.cfg.TLBWalkLatency
+}
+
+func (s *Sim) countHierarchy(level mem.Level) {
+	if level >= mem.LevelL3 {
+		s.ctr.Inc(pmu.EvL3Ref)
+	}
+	if level == mem.LevelDRAM {
+		s.ctr.Inc(pmu.EvL3Miss)
+	}
+}
+
+// --- issue ------------------------------------------------------------
+
+func (s *Sim) robFull() bool {
+	return s.tailSeq-s.headSeq >= uint64(len(s.rob))
+}
+
+func (s *Sim) issue() int {
+	issued := 0
+	backendBlocked := false
+	sbBlocked := false
+	vecBlocked := false
+	for issued < s.cfg.IssueWidth && s.idqLen() > 0 {
+		if s.cycle < s.issueBlockedUntil {
+			backendBlocked = true
+			vecBlocked = true
+			break
+		}
+		u := s.idq[s.idqHead]
+		if s.robFull() || len(s.waiting) >= s.cfg.SchedSize {
+			backendBlocked = true
+			break
+		}
+		if (u.op == isa.OpLoad || u.op == isa.OpLoadLocked) && len(s.loadsOut) >= s.cfg.LoadBufSize {
+			backendBlocked = true
+			break
+		}
+		if u.op == isa.OpStore && len(s.sbOut) >= s.cfg.StoreBufSize {
+			backendBlocked = true
+			sbBlocked = true
+			break
+		}
+		vecMismatch := false
+		if u.op.IsVector() {
+			if s.lastVecWidth != 0 && u.vw != s.lastVecWidth {
+				vecMismatch = true
+				s.ctr.Inc(pmu.EvVecWidthMismatch)
+			}
+			s.lastVecWidth = u.vw
+		}
+		s.idqHead++
+
+		seq := s.tailSeq
+		s.tailSeq++
+		slot := &s.rob[seq%uint64(len(s.rob))]
+		*slot = u
+		slot.seq = seq
+		slot.dispatched = false
+		if u.chainPrev {
+			slot.src1Seq = seq - 1
+		} else if u.src1 != 0 {
+			slot.src1Seq = s.regProd[u.src1]
+		}
+		if u.src2 != 0 {
+			slot.src2Seq = s.regProd[u.src2]
+		}
+		if u.dst != 0 {
+			s.regProd[u.dst] = seq
+		}
+		if u.lastOfInst && s.pendingBubbles > 0 {
+			slot.feBubbles = s.pendingBubbles
+			s.pendingBubbles = 0
+		}
+		if u.brMisp {
+			s.mispBranchSeq = seq
+		}
+		s.waiting = append(s.waiting, seq)
+		issued++
+		if vecMismatch {
+			s.issueBlockedUntil = s.cycle + s.cfg.VecWidthSwitchPenalty
+			break
+		}
+	}
+	if s.idqHead > 1024 && s.idqHead*2 >= len(s.idq) {
+		n := copy(s.idq, s.idq[s.idqHead:])
+		s.idq = s.idq[:n]
+		s.idqHead = 0
+	}
+
+	s.ctr.Add(pmu.EvUopsIssuedAny, uint64(issued))
+	if issued == 0 {
+		s.ctr.Inc(pmu.EvUopsIssuedStallCycles)
+	}
+	switch {
+	case backendBlocked && issued == 0:
+		// The front end had uops but the back end could not accept
+		// them.
+		s.ctr.Inc(pmu.EvUopsNotDeliveredFEWasOK)
+		if !vecBlocked {
+			s.ctr.Inc(pmu.EvResourceStallsAny)
+		}
+		if sbBlocked {
+			s.ctr.Inc(pmu.EvResourceStallsSB)
+		}
+	case !backendBlocked:
+		// Delivery slots lost to branch recovery belong to bad
+		// speculation (int_misc.recovery_cycles), not to the front-end
+		// bound counters — otherwise a flush-heavy workload would look
+		// front-end bound to Top-Down Analysis.
+		if s.feBlockedBranch || s.cycle < s.recoveryUntil {
+			break
+		}
+		if missed := s.cfg.IssueWidth - issued; missed > 0 {
+			s.ctr.Add(pmu.EvUopsNotDeliveredCore, uint64(missed))
+			if issued <= 1 {
+				s.ctr.Inc(pmu.EvUopsNotDeliveredLE1)
+			}
+			if issued <= 2 {
+				s.ctr.Inc(pmu.EvUopsNotDeliveredLE2)
+			}
+			if issued <= 3 {
+				s.ctr.Inc(pmu.EvUopsNotDeliveredLE3)
+			}
+		}
+		if issued == 0 {
+			s.feBubbleRun++
+		} else {
+			if s.feBubbleRun >= 2 {
+				b := s.feBubbleRun
+				if b > 250 {
+					b = 250
+				}
+				s.pendingBubbles = uint8(b)
+			}
+			s.feBubbleRun = 0
+		}
+	}
+	return issued
+}
+
+// --- front end --------------------------------------------------------
+
+func (s *Sim) peek() bool {
+	if s.holdValid {
+		return true
+	}
+	if s.progDone {
+		return false
+	}
+	in, ok := s.prog.Next()
+	if !ok {
+		s.progDone = true
+		return false
+	}
+	s.hold = in
+	s.holdValid = true
+	return true
+}
+
+func (s *Sim) pathWidth(p fePath) int {
+	switch p {
+	case pathDSB:
+		return s.cfg.DSBWidth
+	case pathMS:
+		return s.cfg.MSWidth
+	default:
+		return s.cfg.MITEWidth
+	}
+}
+
+func (s *Sim) frontEnd() {
+	if s.feBlockedBranch && s.pendingLen() == 0 {
+		// Waiting for a mispredicted branch to resolve; the recovery
+		// window proper starts once it executes. Already-decoded uops
+		// (including the branch itself) still drain into the IDQ below.
+		s.ctr.Inc(pmu.EvRecoveryCycles)
+		s.ctr.Inc(pmu.EvRecoveryCyclesAny)
+		return
+	}
+	if s.cycle < s.recoveryUntil {
+		s.ctr.Inc(pmu.EvRecoveryCycles)
+		s.ctr.Inc(pmu.EvRecoveryCyclesAny)
+		return
+	}
+	if s.cycle < s.fetchStallUntil {
+		if s.icacheStall {
+			s.ctr.Inc(pmu.EvICacheStall)
+		}
+		return
+	}
+
+	delivered := 0
+	width := 0
+	path := pathNone
+	stopAfterPending := s.feBlockedBranch
+	for {
+		if s.idqLen() >= s.cfg.IDQCapacity {
+			break
+		}
+		if s.pendingLen() > 0 {
+			if width == 0 {
+				// Resume a partially delivered instruction (e.g. a
+				// long microcode expansion) on its original path.
+				path = s.pending[s.pendingHead].srcPath
+				width = s.pathWidth(path)
+				if path == pathMS && s.prevPath == pathDSB {
+					s.msFromDSB = true
+				}
+			}
+			if delivered >= width {
+				break
+			}
+			s.idq = append(s.idq, s.pending[s.pendingHead])
+			s.pendingHead++
+			if s.pendingHead == len(s.pending) {
+				s.pending = s.pending[:0]
+				s.pendingHead = 0
+			}
+			delivered++
+			continue
+		}
+		if stopAfterPending {
+			break
+		}
+		if width != 0 && delivered >= width {
+			break
+		}
+		if !s.peek() {
+			break
+		}
+		inst := s.hold
+
+		// Instruction cache: probe on each new line.
+		line := inst.PC >> 6
+		if line != s.lastFetchLine {
+			s.lastFetchLine = line
+			fetchAt := s.cycle
+			if !s.itlb.Access(inst.PC) {
+				// Instruction page walk stalls fetch before the cache
+				// probe even begins.
+				s.ctr.Inc(pmu.EvITLBWalk)
+				fetchAt += s.cfg.TLBWalkLatency
+			}
+			res := s.hier.AccessInst(inst.PC, fetchAt)
+			if res.Level != mem.LevelL1 || fetchAt > s.cycle {
+				s.fetchStallUntil = res.DoneAt
+				s.icacheStall = true
+				break
+			}
+		}
+
+		// Choose the delivery path for this instruction. The DSB verdict
+		// is per code window: a window being decoded for the first time
+		// goes entirely through the legacy pipeline (and is installed in
+		// the DSB for its next visit).
+		p := pathMITE
+		if inst.Op == isa.OpMicrocoded {
+			p = pathMS
+		} else {
+			window := inst.PC &^ uint64(s.cfg.DSBWindowBytes-1)
+			if window != s.curWindow {
+				s.curWindow = window
+				s.curWindowInDSB = s.dsb.Access(window)
+			}
+			if s.curWindowInDSB {
+				p = pathDSB
+			}
+		}
+		if width == 0 {
+			// First instruction this cycle fixes the path; switching
+			// into MS or from DSB back to legacy decode costs bubbles.
+			if p == pathMS && s.prevPath != pathMS {
+				s.ctr.Inc(pmu.EvMSSwitches)
+				s.msFromDSB = s.prevPath == pathDSB
+				if s.cfg.MSSwitchPenalty > 0 {
+					s.fetchStallUntil = s.cycle + s.cfg.MSSwitchPenalty
+					s.icacheStall = false
+					s.prevPath = pathMS
+					s.expandInst(inst, p)
+					s.holdValid = false
+					return
+				}
+			}
+			if p == pathMITE && s.prevPath == pathDSB {
+				s.ctr.Add(pmu.EvDSB2MITESwitchCycles, 2)
+				s.fetchStallUntil = s.cycle + 2
+				s.icacheStall = false
+				s.prevPath = pathMITE
+				s.expandInst(inst, p)
+				s.holdValid = false
+				return
+			}
+			path = p
+			width = s.pathWidth(p)
+		} else if p != path {
+			// Different pipe: deliver it next cycle.
+			break
+		}
+
+		s.expandInst(inst, p)
+		s.holdValid = false
+		if inst.Op == isa.OpBranch {
+			misp := s.pred.predictAndUpdate(inst.PC, inst.Taken, inst.Target)
+			if misp {
+				s.pending[len(s.pending)-1].brMisp = true
+				s.feBlockedBranch = true
+				stopAfterPending = true
+			}
+		}
+	}
+
+	if delivered > 0 {
+		switch path {
+		case pathDSB:
+			s.ctr.Inc(pmu.EvDSBCycles)
+			s.ctr.Inc(pmu.EvAllDSBCyclesAnyUops)
+			s.ctr.Add(pmu.EvDSBUops, uint64(delivered))
+		case pathMITE:
+			s.ctr.Inc(pmu.EvMITECycles)
+			s.ctr.Add(pmu.EvMITEUops, uint64(delivered))
+		case pathMS:
+			s.ctr.Inc(pmu.EvMSCycles)
+			s.ctr.Add(pmu.EvMSUops, uint64(delivered))
+			if s.msFromDSB {
+				s.ctr.Inc(pmu.EvMSDSBCycles)
+			}
+		}
+		s.prevPath = path
+	}
+}
+
+// expandInst decodes inst into pending uops tagged with the delivery
+// path.
+func (s *Sim) expandInst(inst isa.Inst, p fePath) {
+	n := inst.Uops()
+	for i := 0; i < n; i++ {
+		u := uop{
+			op:      inst.Op,
+			srcPath: p,
+			vw:      inst.VecWidth,
+			size:    inst.Size,
+		}
+		if inst.Op == isa.OpMicrocoded {
+			u.op = isa.OpMicrocoded
+			if i > 0 {
+				u.chainPrev = true
+			} else {
+				u.src1, u.src2 = inst.Src1, inst.Src2
+			}
+			if i == n-1 {
+				u.dst = inst.Dst
+			}
+		} else {
+			u.dst = inst.Dst
+			u.src1, u.src2 = inst.Src1, inst.Src2
+			u.addr = inst.Addr
+			u.isBranch = inst.Op == isa.OpBranch
+			u.locked = inst.Op == isa.OpLoadLocked
+		}
+		u.lastOfInst = i == n-1
+		s.pending = append(s.pending, u)
+	}
+}
+
+// --- per-cycle activity ------------------------------------------------
+
+func (s *Sim) expire(list *[]uint64) {
+	l := *list
+	kept := l[:0]
+	for _, t := range l {
+		if t > s.cycle {
+			kept = append(kept, t)
+		}
+	}
+	*list = kept
+}
+
+func (s *Sim) activity(executed, portsUsed int) {
+	s.ctr.Inc(pmu.EvCycles)
+
+	s.expire(&s.loadsOut)
+	s.expire(&s.l1MissOut)
+	s.expire(&s.l2MissOut)
+	s.expire(&s.l3MissOut)
+	s.expire(&s.sbOut)
+	s.expire(&s.mshrOut)
+
+	stalled := executed == 0
+	if stalled {
+		s.ctr.Inc(pmu.EvStallsTotal)
+		s.ctr.Inc(pmu.EvUopsExecutedStallCycles)
+		if len(s.waiting) > 0 {
+			s.ctr.Inc(pmu.EvExeBound0Ports)
+		}
+	} else {
+		s.ctr.Inc(pmu.EvUopsExecCyclesGE1)
+		s.ctr.Inc(pmu.EvUopsExecCoreCyclesGE1)
+		if executed >= 2 {
+			s.ctr.Inc(pmu.EvUopsExecCyclesGE2)
+		}
+	}
+	switch portsUsed {
+	case 1:
+		s.ctr.Inc(pmu.EvExe1PortUtil)
+	case 2:
+		s.ctr.Inc(pmu.EvExe2PortUtil)
+	}
+	if len(s.loadsOut) > 0 {
+		s.ctr.Inc(pmu.EvCyclesMemAny)
+		if stalled {
+			s.ctr.Inc(pmu.EvStallsMemAny)
+		}
+	}
+	if len(s.l1MissOut) > 0 {
+		s.ctr.Inc(pmu.EvCyclesL1DMiss)
+		s.ctr.Inc(pmu.EvL1DPendMissCycles)
+		if stalled {
+			s.ctr.Inc(pmu.EvStallsL1DMiss)
+		}
+	}
+	if stalled && len(s.l2MissOut) > 0 {
+		s.ctr.Inc(pmu.EvStallsL2Miss)
+	}
+	if stalled && len(s.l3MissOut) > 0 {
+		s.ctr.Inc(pmu.EvStallsL3Miss)
+	}
+	if s.divBusyUntil > s.cycle {
+		s.ctr.Inc(pmu.EvDividerActive)
+	}
+	if q := s.hier.DRAM.QueueCycles(); q > s.lastDRAMQueue {
+		s.ctr.Add(pmu.EvDRAMQueueCycles, q-s.lastDRAMQueue)
+		s.lastDRAMQueue = q
+	}
+}
+
+// Perturb models the cache side effects of a sampling agent (perf's
+// interrupt handler and counter reprogramming) running on the core: it
+// touches n distinct cache lines in a reserved address region, evicting
+// workload data from the L1/L2 the way a real sampler's code and stack
+// do. Samplers call it at group-switch points.
+func (s *Sim) Perturb(n int) {
+	const samplerBase = 0xFFFF_0000_0000
+	for i := 0; i < n; i++ {
+		s.perturbIdx++
+		addr := samplerBase + uint64(s.perturbIdx%512)*64
+		s.hier.AccessData(addr, s.cycle)
+	}
+}
+
+// Validate checks a whole program by streaming it once; used by tests and
+// tools to fail fast on malformed generators. The program is reset with
+// the given seed and must be Reset again before simulation.
+func Validate(prog isa.Program, seed int64, maxInsts int) error {
+	prog.Reset(seed)
+	for i := 0; i < maxInsts; i++ {
+		in, ok := prog.Next()
+		if !ok {
+			return nil
+		}
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("sim: %s inst %d: %w", prog.Name(), i, err)
+		}
+	}
+	return nil
+}

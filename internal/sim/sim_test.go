@@ -1,0 +1,602 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"spire/internal/isa"
+	"spire/internal/pmu"
+	"spire/internal/uarch"
+)
+
+// loopProgram generates n copies of a fixed basic block, mimicking a tight
+// loop at a small PC footprint.
+type loopProgram struct {
+	name  string
+	block []isa.Inst
+	iters int
+	pos   int
+}
+
+func (p *loopProgram) Name() string     { return p.name }
+func (p *loopProgram) Reset(seed int64) { p.pos = 0 }
+func (p *loopProgram) Next() (isa.Inst, bool) {
+	total := len(p.block) * p.iters
+	if p.pos >= total {
+		return isa.Inst{}, false
+	}
+	in := p.block[p.pos%len(p.block)]
+	p.pos++
+	return in, true
+}
+
+// aluBlock builds a block of independent single-cycle ALU ops in a tiny
+// code footprint.
+func aluBlock(n int) []isa.Inst {
+	block := make([]isa.Inst, n)
+	for i := range block {
+		block[i] = isa.Inst{
+			PC:  uint64(0x1000 + 4*i),
+			Op:  isa.OpIntALU,
+			Dst: isa.Reg(1 + i%8),
+		}
+	}
+	return block
+}
+
+func run(t *testing.T, prog isa.Program, maxCycles uint64) Result {
+	t.Helper()
+	s, err := New(uarch.Default(), prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(maxCycles)
+	if !res.Drained {
+		t.Fatalf("%s did not drain in %d cycles (retired %d)", prog.Name(), maxCycles, res.Instructions)
+	}
+	return res
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	if _, err := New(uarch.Default(), nil, 0); err == nil {
+		t.Error("expected error for nil program")
+	}
+	bad := uarch.Default()
+	bad.IssueWidth = 0
+	if _, err := New(bad, &loopProgram{name: "x", block: aluBlock(1), iters: 1}, 0); err == nil {
+		t.Error("expected error for invalid config")
+	}
+}
+
+func TestALULoopHighIPC(t *testing.T) {
+	prog := &loopProgram{name: "alu", block: aluBlock(16), iters: 2000}
+	res := run(t, prog, 1_000_000)
+	if res.Instructions != 32000 {
+		t.Fatalf("retired %d instructions, want 32000", res.Instructions)
+	}
+	// Independent ALU ops in a DSB-resident loop should sustain close to
+	// the 4-wide issue limit.
+	if res.IPC < 3.0 {
+		t.Errorf("ALU loop IPC = %.2f, want >= 3.0", res.IPC)
+	}
+	// The loop body fits one DSB window, so after warmup the DSB supplies
+	// almost all uops.
+	dsb := res.Counts.Read(pmu.EvDSBUops)
+	mite := res.Counts.Read(pmu.EvMITEUops)
+	if dsb < 10*mite {
+		t.Errorf("DSB uops %d should dominate MITE uops %d in a tight loop", dsb, mite)
+	}
+}
+
+func TestDependencyChainLowIPC(t *testing.T) {
+	// A serial chain of multiplies: IPC limited by latency (3), so ~1/3.
+	block := make([]isa.Inst, 8)
+	for i := range block {
+		block[i] = isa.Inst{PC: uint64(0x2000 + 4*i), Op: isa.OpIntMul, Dst: 1, Src1: 1}
+	}
+	prog := &loopProgram{name: "chain", block: block, iters: 1000}
+	res := run(t, prog, 1_000_000)
+	if res.IPC > 0.5 {
+		t.Errorf("dependency chain IPC = %.2f, want <= 0.5", res.IPC)
+	}
+	indep := &loopProgram{name: "indep", block: aluBlock(8), iters: 1000}
+	resI := run(t, indep, 1_000_000)
+	if resI.IPC < 2*res.IPC {
+		t.Errorf("independent ops (%.2f) should be much faster than a chain (%.2f)", resI.IPC, res.IPC)
+	}
+}
+
+func TestDividerSerializes(t *testing.T) {
+	block := []isa.Inst{
+		{PC: 0x3000, Op: isa.OpIntDiv, Dst: 1, Src1: 1},
+	}
+	prog := &loopProgram{name: "div", block: block, iters: 500}
+	res := run(t, prog, 1_000_000)
+	// Non-pipelined 24-cycle divider with a dependency chain: at most one
+	// instruction every 24 cycles.
+	if res.IPC > 1.0/20 {
+		t.Errorf("div chain IPC = %.3f, want <= 0.05", res.IPC)
+	}
+	if res.Counts.Read(pmu.EvDividerActive) < res.Cycles/2 {
+		t.Errorf("divider active %d of %d cycles, want majority", res.Counts.Read(pmu.EvDividerActive), res.Cycles)
+	}
+}
+
+// chaseProgram emits a pointer chase over a large footprint: each load
+// feeds the next load's address register.
+type chaseProgram struct {
+	n      int
+	stride uint64
+	span   uint64
+	pos    int
+	addr   uint64
+}
+
+func (p *chaseProgram) Name() string     { return "chase" }
+func (p *chaseProgram) Reset(seed int64) { p.pos, p.addr = 0, 0 }
+func (p *chaseProgram) Next() (isa.Inst, bool) {
+	if p.pos >= p.n {
+		return isa.Inst{}, false
+	}
+	p.pos++
+	p.addr = (p.addr + p.stride) % p.span
+	return isa.Inst{
+		PC: 0x4000, Op: isa.OpLoad, Dst: 1, Src1: 1,
+		Addr: 0x10_0000 + p.addr, Size: 8,
+	}, true
+}
+
+func TestPointerChaseMemoryBound(t *testing.T) {
+	prog := &chaseProgram{n: 3000, stride: 64 * 131, span: 64 << 20}
+	res := run(t, prog, 5_000_000)
+	if res.IPC > 0.05 {
+		t.Errorf("DRAM pointer chase IPC = %.3f, want <= 0.05", res.IPC)
+	}
+	if res.Counts.Read(pmu.EvL3Miss) < 2000 {
+		t.Errorf("L3 misses = %d, want most of 3000 loads", res.Counts.Read(pmu.EvL3Miss))
+	}
+	if res.Counts.Read(pmu.EvStallsMemAny) < res.Cycles/2 {
+		t.Errorf("memory stalls %d of %d cycles, want majority", res.Counts.Read(pmu.EvStallsMemAny), res.Cycles)
+	}
+}
+
+// branchyProgram emits data-dependent unpredictable branches.
+type branchyProgram struct {
+	n   int
+	pos int
+	rng *rand.Rand
+}
+
+func (p *branchyProgram) Name() string     { return "branchy" }
+func (p *branchyProgram) Reset(seed int64) { p.pos = 0; p.rng = rand.New(rand.NewSource(seed)) }
+func (p *branchyProgram) Next() (isa.Inst, bool) {
+	if p.pos >= p.n {
+		return isa.Inst{}, false
+	}
+	p.pos++
+	if p.pos%2 == 0 {
+		taken := p.rng.Intn(2) == 0
+		return isa.Inst{PC: 0x5000, Op: isa.OpBranch, Taken: taken, Target: 0x5100}, true
+	}
+	return isa.Inst{PC: 0x5004, Op: isa.OpIntALU, Dst: 2}, true
+}
+
+func TestUnpredictableBranchesCauseRecovery(t *testing.T) {
+	prog := &branchyProgram{n: 8000}
+	res := run(t, prog, 5_000_000)
+	misp := res.Counts.Read(pmu.EvBrMispRetired)
+	branches := res.Counts.Read(pmu.EvBrInstRetired)
+	if branches != 4000 {
+		t.Fatalf("retired branches = %d, want 4000", branches)
+	}
+	if misp < branches/4 {
+		t.Errorf("mispredicts = %d of %d, want a large fraction for random outcomes", misp, branches)
+	}
+	if res.Counts.Read(pmu.EvRecoveryCycles) < misp*8 {
+		t.Errorf("recovery cycles %d too low for %d mispredicts", res.Counts.Read(pmu.EvRecoveryCycles), misp)
+	}
+	if res.IPC > 1.0 {
+		t.Errorf("branchy IPC = %.2f, want < 1.0", res.IPC)
+	}
+}
+
+func TestPredictableBranchesAreFast(t *testing.T) {
+	// Alternating never-taken branch in a tight loop: gshare learns it.
+	block := []isa.Inst{
+		{PC: 0x6000, Op: isa.OpIntALU, Dst: 1},
+		{PC: 0x6004, Op: isa.OpBranch, Taken: false},
+	}
+	prog := &loopProgram{name: "predictable", block: block, iters: 4000}
+	res := run(t, prog, 1_000_000)
+	misp := res.Counts.Read(pmu.EvBrMispRetired)
+	if misp > 100 {
+		t.Errorf("mispredicts = %d, want few for an always-not-taken branch", misp)
+	}
+	if res.IPC < 2.0 {
+		t.Errorf("predictable-branch IPC = %.2f, want >= 2.0", res.IPC)
+	}
+}
+
+// bigCodeProgram touches a large code footprint so the DSB and L1I thrash.
+type bigCodeProgram struct {
+	n     int
+	insts int
+	pos   int
+}
+
+func (p *bigCodeProgram) Name() string     { return "bigcode" }
+func (p *bigCodeProgram) Reset(seed int64) { p.pos = 0 }
+func (p *bigCodeProgram) Next() (isa.Inst, bool) {
+	if p.pos >= p.n {
+		return isa.Inst{}, false
+	}
+	pc := 0x10000 + uint64(p.pos%p.insts)*4
+	p.pos++
+	return isa.Inst{PC: pc, Op: isa.OpIntALU, Dst: isa.Reg(1 + p.pos%8)}, true
+}
+
+func TestLargeCodeFootprintHurtsFrontEnd(t *testing.T) {
+	small := &bigCodeProgram{n: 20000, insts: 64}
+	// 512 KiB of straight-line code: misses L1I (32K) every pass.
+	big := &bigCodeProgram{n: 20000, insts: 128 * 1024}
+	resSmall := run(t, small, 2_000_000)
+	resBig := run(t, big, 20_000_000)
+	if resBig.IPC >= resSmall.IPC {
+		t.Errorf("big-code IPC %.2f should be below small-code IPC %.2f", resBig.IPC, resSmall.IPC)
+	}
+	if resBig.Counts.Read(pmu.EvICacheStall) == 0 {
+		t.Error("expected I-cache stall cycles for a 512 KiB footprint")
+	}
+	// Large footprint cannot live in the DSB: MITE should dominate.
+	if resBig.Counts.Read(pmu.EvMITEUops) < resBig.Counts.Read(pmu.EvDSBUops) {
+		t.Errorf("big code should be MITE-fed: mite=%d dsb=%d",
+			resBig.Counts.Read(pmu.EvMITEUops), resBig.Counts.Read(pmu.EvDSBUops))
+	}
+}
+
+func TestMicrocodedOpsUseMS(t *testing.T) {
+	block := []isa.Inst{
+		{PC: 0x7000, Op: isa.OpMicrocoded, Dst: 1, UopCount: 12},
+		{PC: 0x7004, Op: isa.OpIntALU, Dst: 2},
+	}
+	prog := &loopProgram{name: "ms", block: block, iters: 500}
+	res := run(t, prog, 1_000_000)
+	if res.Counts.Read(pmu.EvMSSwitches) < 400 {
+		t.Errorf("MS switches = %d, want ~500 (one per microcoded inst)", res.Counts.Read(pmu.EvMSSwitches))
+	}
+	if res.Counts.Read(pmu.EvMSUops) < 500*12 {
+		t.Errorf("MS uops = %d, want >= 6000", res.Counts.Read(pmu.EvMSUops))
+	}
+	// Retired uops = 500*12 + 500*1.
+	if got := res.Counts.Read(pmu.EvUopsRetiredSlots); got != 6500 {
+		t.Errorf("retired uops = %d, want 6500", got)
+	}
+}
+
+func TestLockedLoadsSerialize(t *testing.T) {
+	mk := func(op isa.Op) *loopProgram {
+		return &loopProgram{
+			name: "lock",
+			block: []isa.Inst{
+				{PC: 0x8000, Op: op, Dst: 1, Addr: 0x9000, Size: 8},
+				{PC: 0x8004, Op: isa.OpIntALU, Dst: 2},
+			},
+			iters: 1000,
+		}
+	}
+	locked := run(t, mk(isa.OpLoadLocked), 1_000_000)
+	plain := run(t, mk(isa.OpLoad), 1_000_000)
+	if locked.IPC > plain.IPC/2 {
+		t.Errorf("locked loads IPC %.3f should be far below plain loads %.3f", locked.IPC, plain.IPC)
+	}
+	if got := locked.Counts.Read(pmu.EvLockLoads); got != 1000 {
+		t.Errorf("lock_loads = %d, want 1000", got)
+	}
+}
+
+func TestVectorWidthMixingPenalty(t *testing.T) {
+	mixed := &loopProgram{
+		name: "vwmix",
+		block: []isa.Inst{
+			{PC: 0xa000, Op: isa.OpVecFMA, Dst: 1, VecWidth: 256},
+			{PC: 0xa004, Op: isa.OpVecFMA, Dst: 2, VecWidth: 512},
+		},
+		iters: 1000,
+	}
+	uniform := &loopProgram{
+		name: "vwuni",
+		block: []isa.Inst{
+			{PC: 0xa000, Op: isa.OpVecFMA, Dst: 1, VecWidth: 512},
+			{PC: 0xa004, Op: isa.OpVecFMA, Dst: 2, VecWidth: 512},
+		},
+		iters: 1000,
+	}
+	resM := run(t, mixed, 1_000_000)
+	resU := run(t, uniform, 1_000_000)
+	if resM.Counts.Read(pmu.EvVecWidthMismatch) < 1000 {
+		t.Errorf("width mismatches = %d, want >= 1000", resM.Counts.Read(pmu.EvVecWidthMismatch))
+	}
+	if resU.Counts.Read(pmu.EvVecWidthMismatch) != 0 {
+		t.Errorf("uniform widths should not mismatch, got %d", resU.Counts.Read(pmu.EvVecWidthMismatch))
+	}
+	if resM.IPC > resU.IPC/1.5 {
+		t.Errorf("mixed-width IPC %.2f should trail uniform %.2f", resM.IPC, resU.IPC)
+	}
+}
+
+func TestCountersAreConsistent(t *testing.T) {
+	prog := &loopProgram{name: "consistency", block: aluBlock(32), iters: 500}
+	res := run(t, prog, 1_000_000)
+	c := res.Counts
+	if c.Read(pmu.EvCycles) != res.Cycles {
+		t.Errorf("cycle counter %d != simulated cycles %d", c.Read(pmu.EvCycles), res.Cycles)
+	}
+	if c.Read(pmu.EvInstRetired) != res.Instructions {
+		t.Errorf("inst counter %d != retired %d", c.Read(pmu.EvInstRetired), res.Instructions)
+	}
+	// Every issued uop retires (no wrong-path issue in this model).
+	if c.Read(pmu.EvUopsIssuedAny) != c.Read(pmu.EvUopsRetiredSlots) {
+		t.Errorf("issued %d != retired uops %d", c.Read(pmu.EvUopsIssuedAny), c.Read(pmu.EvUopsRetiredSlots))
+	}
+	if c.Read(pmu.EvUopsExecutedThread) != c.Read(pmu.EvUopsRetiredSlots) {
+		t.Errorf("executed %d != retired uops %d", c.Read(pmu.EvUopsExecutedThread), c.Read(pmu.EvUopsRetiredSlots))
+	}
+	// Front-end source uops account for every issued uop.
+	src := c.Read(pmu.EvDSBUops) + c.Read(pmu.EvMITEUops) + c.Read(pmu.EvMSUops)
+	if src != c.Read(pmu.EvUopsIssuedAny) {
+		t.Errorf("source uops %d != issued %d", src, c.Read(pmu.EvUopsIssuedAny))
+	}
+	// Nested delivery events.
+	if c.Read(pmu.EvUopsNotDeliveredLE1) > c.Read(pmu.EvUopsNotDeliveredLE2) ||
+		c.Read(pmu.EvUopsNotDeliveredLE2) > c.Read(pmu.EvUopsNotDeliveredLE3) {
+		t.Error("idq_uops_not_delivered.cycles_le_N must be nested")
+	}
+	// Stall cycles cannot exceed total cycles.
+	for _, ev := range []pmu.EventID{pmu.EvStallsTotal, pmu.EvStallsMemAny, pmu.EvStallsL1DMiss, pmu.EvRecoveryCycles} {
+		if c.Read(ev) > res.Cycles {
+			t.Errorf("%s = %d exceeds cycles %d", pmu.Describe(ev).Name, c.Read(ev), res.Cycles)
+		}
+	}
+}
+
+func TestStepResumesExactly(t *testing.T) {
+	mk := func() *loopProgram { return &loopProgram{name: "step", block: aluBlock(16), iters: 1000} }
+	s1, err := New(uarch.Default(), mk(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := s1.Run(1_000_000)
+
+	s2, err := New(uarch.Default(), mk(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !s2.Done() {
+		s2.Step(137)
+	}
+	if s2.Cycle() != full.Cycles || s2.Instructions() != full.Instructions {
+		t.Errorf("stepped run (%d cy, %d inst) != full run (%d cy, %d inst)",
+			s2.Cycle(), s2.Instructions(), full.Cycles, full.Instructions)
+	}
+	d := s2.PMU().Snapshot().Delta(pmu.Counts{})
+	for ev := pmu.EventID(0); ev < pmu.NumEvents; ev++ {
+		if d.Read(ev) != full.Counts.Read(ev) {
+			t.Errorf("event %s: stepped %d != full %d", pmu.Describe(ev).Name, d.Read(ev), full.Counts.Read(ev))
+		}
+	}
+}
+
+func TestValidateProgram(t *testing.T) {
+	bad := &isa.SlicePlayer{Insts: []isa.Inst{{Op: isa.OpLoad, Size: 0}}}
+	if err := Validate(bad, 0, 10); err == nil {
+		t.Error("expected validation error for zero-size load")
+	}
+	good := &loopProgram{name: "ok", block: aluBlock(4), iters: 2}
+	if err := Validate(good, 0, 100); err != nil {
+		t.Errorf("unexpected validation error: %v", err)
+	}
+}
+
+func TestRunRespectsCycleLimit(t *testing.T) {
+	prog := &loopProgram{name: "limit", block: aluBlock(16), iters: 1_000_000}
+	s, err := New(uarch.Default(), prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(10_000)
+	if res.Drained {
+		t.Error("run should have hit the cycle limit")
+	}
+	if res.Cycles != 10_000 {
+		t.Errorf("cycles = %d, want exactly 10000", res.Cycles)
+	}
+}
+
+func TestPortDispatchCounters(t *testing.T) {
+	// Divides bind to port 0 only; stores to port 4 only.
+	prog := &loopProgram{
+		name: "ports",
+		block: []isa.Inst{
+			{PC: 0xb000, Op: isa.OpIntDiv, Dst: 1},
+			{PC: 0xb004, Op: isa.OpStore, Addr: 0xc000, Size: 8},
+		},
+		iters: 200,
+	}
+	res := run(t, prog, 1_000_000)
+	if got := res.Counts.Read(pmu.EvPort0); got != 200 {
+		t.Errorf("port0 dispatches = %d, want 200 (all divides)", got)
+	}
+	if got := res.Counts.Read(pmu.EvPort4); got != 200 {
+		t.Errorf("port4 dispatches = %d, want 200 (all stores)", got)
+	}
+	// Total port dispatches equals executed uops.
+	var total uint64
+	for ev := pmu.EvPort0; ev <= pmu.EvPort7; ev++ {
+		total += res.Counts.Read(ev)
+	}
+	if total != res.Counts.Read(pmu.EvUopsExecutedThread) {
+		t.Errorf("port sum %d != executed %d", total, res.Counts.Read(pmu.EvUopsExecutedThread))
+	}
+}
+
+func TestMSHRLimitThrottlesMLP(t *testing.T) {
+	// Independent streaming loads to DRAM: more MSHRs means more memory
+	// parallelism and a faster run.
+	mkProg := func() isa.Program {
+		return &chaseProgram{n: 1500, stride: 64 * 131, span: 64 << 20}
+	}
+	ipc := func(mshrs int) float64 {
+		cfg := uarch.Default()
+		cfg.MSHRs = mshrs
+		prog := &independentChase{inner: mkProg().(*chaseProgram)}
+		s, err := New(cfg, prog, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run(50_000_000)
+		if !res.Drained {
+			t.Fatal("did not drain")
+		}
+		return res.IPC
+	}
+	narrow := ipc(1)
+	wide := ipc(10)
+	if wide < 2*narrow {
+		t.Errorf("10 MSHRs (%.4f IPC) should be much faster than 1 (%.4f IPC)", wide, narrow)
+	}
+}
+
+// independentChase strips the register dependence from chaseProgram so
+// loads can overlap.
+type independentChase struct{ inner *chaseProgram }
+
+func (p *independentChase) Name() string     { return "indep-chase" }
+func (p *independentChase) Reset(seed int64) { p.inner.Reset(seed) }
+func (p *independentChase) Next() (isa.Inst, bool) {
+	in, ok := p.inner.Next()
+	in.Src1 = 0
+	in.Dst = isa.Reg(1 + p.inner.pos%4)
+	return in, ok
+}
+
+func TestStoreBufferPressure(t *testing.T) {
+	// A dense store stream to DRAM backs up the store buffer and must
+	// produce resource_stalls.sb.
+	prog := &storeStorm{n: 20000}
+	res := run(t, prog, 20_000_000)
+	if got := res.Counts.Read(pmu.EvResourceStallsSB); got == 0 {
+		t.Error("expected store-buffer resource stalls")
+	}
+}
+
+type storeStorm struct{ n, pos int }
+
+func (p *storeStorm) Name() string     { return "store-storm" }
+func (p *storeStorm) Reset(seed int64) { p.pos = 0 }
+func (p *storeStorm) Next() (isa.Inst, bool) {
+	if p.pos >= p.n {
+		return isa.Inst{}, false
+	}
+	addr := 0x5000_0000 + uint64(p.pos)*64%(128<<20)
+	p.pos++
+	return isa.Inst{PC: 0xd000, Op: isa.OpStore, Addr: addr, Size: 8}, true
+}
+
+func TestPerturbSlowsCacheSensitiveWorkload(t *testing.T) {
+	// An L1-resident streaming loop; periodic perturbation evicts its
+	// lines and must cost cycles.
+	mk := func() isa.Program {
+		k := &loopProgram{name: "l1loop", block: nil, iters: 1}
+		_ = k
+		return &l1Stream{n: 60000, ws: 8 << 10}
+	}
+	runPerturbed := func(perturb bool) uint64 {
+		s, err := New(uarch.Default(), mk(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !s.Done() {
+			s.Step(500)
+			if perturb {
+				s.Perturb(512)
+			}
+		}
+		return s.Cycle()
+	}
+	base := runPerturbed(false)
+	pert := runPerturbed(true)
+	if pert <= base {
+		t.Errorf("perturbation should cost cycles: %d vs %d", pert, base)
+	}
+}
+
+type l1Stream struct {
+	n, pos int
+	ws     uint64
+}
+
+func (p *l1Stream) Name() string     { return "l1stream" }
+func (p *l1Stream) Reset(seed int64) { p.pos = 0 }
+func (p *l1Stream) Next() (isa.Inst, bool) {
+	if p.pos >= p.n {
+		return isa.Inst{}, false
+	}
+	addr := 0x6000_0000 + (uint64(p.pos)*8)%p.ws
+	p.pos++
+	return isa.Inst{PC: 0xe000, Op: isa.OpLoad, Dst: 1, Addr: addr, Size: 8}, true
+}
+
+func TestTLBWalks(t *testing.T) {
+	// A random pointer chase over 64 MiB touches ~16k pages, far beyond
+	// the 64-entry DTLB: nearly every load walks.
+	prog := &chaseProgram{n: 2000, stride: 64 * 131, span: 64 << 20}
+	res := run(t, prog, 5_000_000)
+	if walks := res.Counts.Read(pmu.EvDTLBWalk); walks < 1500 {
+		t.Errorf("DTLB walks = %d, want most of 2000 loads", walks)
+	}
+	// A small resident set stops walking after warmup.
+	small := &l1Stream{n: 20000, ws: 8 << 10}
+	resS := run(t, small, 1_000_000)
+	if walks := resS.Counts.Read(pmu.EvDTLBWalk); walks > 10 {
+		t.Errorf("resident-set DTLB walks = %d, want ~2 pages", walks)
+	}
+	// Big code footprint walks the ITLB.
+	big := &bigCodeProgram{n: 30000, insts: 256 * 1024}
+	resI := run(t, big, 50_000_000)
+	if walks := resI.Counts.Read(pmu.EvITLBWalk); walks == 0 {
+		t.Error("1 MiB code footprint should miss the ITLB")
+	}
+}
+
+func TestHugePagesReduceWalks(t *testing.T) {
+	// A no-reuse stream cold-misses every 4 KiB page regardless of TLB
+	// size; 2 MiB pages (the hugepages effect) eliminate nearly all
+	// walks and their latency.
+	mk := func() isa.Program {
+		return &independentChase{inner: &chaseProgram{n: 3000, stride: 64 * 131, span: 64 << 20}}
+	}
+	runCfg := func(pageBytes int) (uint64, uint64) {
+		cfg := uarch.Default()
+		cfg.PageBytes = pageBytes
+		s, err := New(cfg, mk(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := s.Run(50_000_000)
+		if !res.Drained {
+			t.Fatal("did not drain")
+		}
+		return res.Cycles, res.Counts.Read(pmu.EvDTLBWalk)
+	}
+	smallCy, smallWalks := runCfg(4096)
+	hugeCy, hugeWalks := runCfg(2 << 20)
+	if smallWalks < 2500 {
+		t.Errorf("4 KiB pages: walks = %d, want ~one per load", smallWalks)
+	}
+	if hugeWalks > 30 {
+		t.Errorf("2 MiB pages: walks = %d, want ~a dozen", hugeWalks)
+	}
+	if smallCy <= hugeCy {
+		t.Errorf("page walks should cost cycles: 4K pages %d cy vs 2M pages %d cy", smallCy, hugeCy)
+	}
+}

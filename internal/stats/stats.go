@@ -1,0 +1,189 @@
+// Package stats holds small statistical helpers shared across SPIRE:
+// time-weighted averages (paper Eq. 1), summary statistics, and ranking
+// utilities.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by aggregations over empty inputs.
+var ErrNoData = errors.New("stats: no data")
+
+// Weighted is a value with an associated non-negative weight. For SPIRE
+// the weight is a sample's period length T.
+type Weighted struct {
+	Value  float64
+	Weight float64
+}
+
+// WeightedMean computes sum(w_i * v_i) / sum(w_i) — SPIRE's time-weighted
+// average when weights are period lengths. Entries with zero weight
+// contribute nothing; if the total weight is zero, ErrNoData is returned.
+func WeightedMean(ws []Weighted) (float64, error) {
+	var num, den float64
+	for _, w := range ws {
+		if w.Weight < 0 || math.IsNaN(w.Weight) {
+			return 0, errors.New("stats: negative or NaN weight")
+		}
+		num += w.Weight * w.Value
+		den += w.Weight
+	}
+	if den == 0 {
+		return 0, ErrNoData
+	}
+	return num / den, nil
+}
+
+// Mean returns the arithmetic mean, or ErrNoData for empty input.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// MinMax returns the extrema of xs, or ErrNoData for empty input.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrNoData
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using linear
+// interpolation between order statistics. The input is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0], nil
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo], nil
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac, nil
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs))), nil
+}
+
+// RankAscending returns the indices of xs sorted by ascending value
+// (ties keep the lower index first). xs is not modified.
+func RankAscending(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}
+
+// SpearmanRho computes Spearman's rank correlation between two equal-length
+// series; used by ablation benches to compare metric rankings. Returns
+// ErrNoData for fewer than 2 elements.
+func SpearmanRho(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if len(a) < 2 {
+		return 0, ErrNoData
+	}
+	ra := ranks(a)
+	rb := ranks(b)
+	ma, _ := Mean(ra)
+	mb, _ := Mean(rb)
+	var num, da, db float64
+	for i := range ra {
+		x := ra[i] - ma
+		y := rb[i] - mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0, errors.New("stats: zero rank variance")
+	}
+	return num / math.Sqrt(da*db), nil
+}
+
+// ranks assigns average ranks (1-based) with tie averaging.
+func ranks(xs []float64) []float64 {
+	idx := RankAscending(xs)
+	r := make([]float64, len(xs))
+	i := 0
+	for i < len(idx) {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}
+
+// OverlapAtK returns |topK(a) ∩ topK(b)| / k where topK takes the k
+// lowest-valued indices of each series. SPIRE's analysis ranks metrics by
+// ascending estimation, so this measures agreement of bottleneck pools.
+func OverlapAtK(a, b []float64, k int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, errors.New("stats: length mismatch")
+	}
+	if k <= 0 || k > len(a) {
+		return 0, errors.New("stats: k out of range")
+	}
+	ia := RankAscending(a)[:k]
+	ib := RankAscending(b)[:k]
+	set := make(map[int]bool, k)
+	for _, i := range ia {
+		set[i] = true
+	}
+	n := 0
+	for _, i := range ib {
+		if set[i] {
+			n++
+		}
+	}
+	return float64(n) / float64(k), nil
+}

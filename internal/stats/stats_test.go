@@ -1,0 +1,202 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedMean(t *testing.T) {
+	got, err := WeightedMean([]Weighted{{Value: 2, Weight: 1}, {Value: 4, Weight: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("WeightedMean = %g, want %g", got, want)
+	}
+}
+
+func TestWeightedMeanErrors(t *testing.T) {
+	if _, err := WeightedMean(nil); err != ErrNoData {
+		t.Errorf("empty: err = %v, want ErrNoData", err)
+	}
+	if _, err := WeightedMean([]Weighted{{Value: 1, Weight: 0}}); err != ErrNoData {
+		t.Errorf("zero weight: err = %v, want ErrNoData", err)
+	}
+	if _, err := WeightedMean([]Weighted{{Value: 1, Weight: -1}}); err == nil {
+		t.Error("negative weight: expected error")
+	}
+}
+
+// TestWeightedMeanBounds is the paper-relevant TWA property: the
+// time-weighted average lies between the min and max values.
+func TestWeightedMeanBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var ws []Weighted
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i+1 < len(raw); i += 2 {
+			v := float64(raw[i])
+			w := float64(raw[i+1]%10) + 1
+			ws = append(ws, Weighted{Value: v, Weight: w})
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		m, err := WeightedMean(ws)
+		if err != nil {
+			return false
+		}
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndMinMax(t *testing.T) {
+	if _, err := Mean(nil); err != ErrNoData {
+		t.Error("Mean(nil) should return ErrNoData")
+	}
+	m, _ := Mean([]float64{1, 2, 3})
+	if m != 2 {
+		t.Errorf("Mean = %g, want 2", m)
+	}
+	lo, hi, err := MinMax([]float64{3, -1, 7})
+	if err != nil || lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %g,%g,%v", lo, hi, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrNoData {
+		t.Error("MinMax(nil) should return ErrNoData")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("expected error for q > 1")
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrNoData {
+		t.Error("expected ErrNoData")
+	}
+	one, _ := Quantile([]float64{5}, 0.9)
+	if one != 5 {
+		t.Errorf("single-element quantile = %g, want 5", one)
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 || xs[3] != 2 {
+		t.Error("Quantile modified its input")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	got, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+}
+
+func TestRankAscending(t *testing.T) {
+	idx := RankAscending([]float64{3, 1, 2})
+	want := []int{1, 2, 0}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("RankAscending = %v, want %v", idx, want)
+		}
+	}
+	// Stability on ties.
+	idx = RankAscending([]float64{1, 1, 0})
+	if idx[0] != 2 || idx[1] != 0 || idx[2] != 1 {
+		t.Errorf("tie order not stable: %v", idx)
+	}
+}
+
+func TestSpearmanRho(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	rho, err := SpearmanRho(a, b)
+	if err != nil || math.Abs(rho-1) > 1e-12 {
+		t.Errorf("perfect correlation: rho=%g err=%v", rho, err)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	rho, err = SpearmanRho(a, rev)
+	if err != nil || math.Abs(rho+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation: rho=%g err=%v", rho, err)
+	}
+	if _, err := SpearmanRho(a, a[:3]); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := SpearmanRho([]float64{1}, []float64{1}); err != ErrNoData {
+		t.Error("expected ErrNoData for single element")
+	}
+	if _, err := SpearmanRho([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("expected zero-variance error")
+	}
+}
+
+func TestSpearmanRhoRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		rho, err := SpearmanRho(a, b)
+		if err != nil {
+			continue
+		}
+		if rho < -1-1e-9 || rho > 1+1e-9 {
+			t.Fatalf("rho out of range: %g", rho)
+		}
+	}
+}
+
+func TestOverlapAtK(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1.1, 2.1, 9, 10}
+	got, err := OverlapAtK(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("OverlapAtK = %g, want 1 (both pick indices 0,1)", got)
+	}
+	c := []float64{10, 9, 1, 2}
+	got, _ = OverlapAtK(a, c, 2)
+	if got != 0 {
+		t.Errorf("disjoint top-2 overlap = %g, want 0", got)
+	}
+	if _, err := OverlapAtK(a, b, 0); err == nil {
+		t.Error("expected k range error")
+	}
+	if _, err := OverlapAtK(a, b, 5); err == nil {
+		t.Error("expected k range error")
+	}
+	if _, err := OverlapAtK(a, b[:2], 1); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}

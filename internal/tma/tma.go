@@ -1,0 +1,125 @@
+// Package tma implements Top-Down Microarchitecture Analysis (Yasin 2014)
+// over the simulated core's performance counters. It is the stand-in for
+// the paper's Intel VTune baseline: the level-1 breakdown (retiring /
+// front-end bound / bad speculation / back-end bound) plus the level-2
+// split of back-end bound into memory bound and core bound, and the
+// "main bottleneck" classification used to colour the paper's Table I.
+package tma
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"spire/internal/pmu"
+)
+
+// Breakdown is a TMA decomposition; the four level-1 fractions sum to 1
+// (after clamping), and MemoryBound + CoreBound = BackEnd.
+type Breakdown struct {
+	Retiring       float64
+	FrontEnd       float64
+	BadSpeculation float64
+	BackEnd        float64
+
+	// Level-2 split of BackEnd.
+	MemoryBound float64
+	CoreBound   float64
+}
+
+// Analyze computes the breakdown from a counter snapshot (typically
+// whole-run deltas). issueWidth is the pipeline width that defines TMA
+// slots — 4 for the default core.
+func Analyze(c pmu.Counts, issueWidth int) (Breakdown, error) {
+	if issueWidth <= 0 {
+		return Breakdown{}, errors.New("tma: issue width must be positive")
+	}
+	cycles := c.Read(pmu.EvCycles)
+	if cycles == 0 {
+		return Breakdown{}, errors.New("tma: no cycles in snapshot")
+	}
+	slots := float64(issueWidth) * float64(cycles)
+
+	retiring := float64(c.Read(pmu.EvUopsRetiredSlots)) / slots
+	frontend := float64(c.Read(pmu.EvUopsNotDeliveredCore)) / slots
+	// Bad speculation: slots wasted on wrong-path issue plus recovery
+	// bubbles. The simulator does not issue wrong-path uops, so the
+	// recovery term dominates, as it does for flush-heavy workloads on
+	// real cores.
+	wrongPath := float64(c.Read(pmu.EvUopsIssuedAny)) - float64(c.Read(pmu.EvUopsRetiredSlots))
+	if wrongPath < 0 {
+		wrongPath = 0
+	}
+	badSpec := (wrongPath + float64(issueWidth)*float64(c.Read(pmu.EvRecoveryCycles))) / slots
+
+	b := Breakdown{
+		Retiring:       clamp01(retiring),
+		FrontEnd:       clamp01(frontend),
+		BadSpeculation: clamp01(badSpec),
+	}
+	b.BackEnd = clamp01(1 - b.Retiring - b.FrontEnd - b.BadSpeculation)
+
+	// Level 2: apportion back-end boundedness between memory and core by
+	// the share of execution stalls that overlap an outstanding load.
+	stalls := float64(c.Read(pmu.EvStallsTotal))
+	memStalls := float64(c.Read(pmu.EvStallsMemAny))
+	if stalls > 0 {
+		frac := memStalls / stalls
+		if frac > 1 {
+			frac = 1
+		}
+		b.MemoryBound = b.BackEnd * frac
+		b.CoreBound = b.BackEnd - b.MemoryBound
+	} else {
+		b.CoreBound = b.BackEnd
+	}
+	return b, nil
+}
+
+// MainBottleneck returns the dominant non-retiring level-1 category,
+// which is how the paper labels each workload in Table I. For back-end
+// bound workloads the level-2 split decides between Memory and Core.
+func (b Breakdown) MainBottleneck() pmu.Area {
+	switch maxIdx(b.FrontEnd, b.BadSpeculation, b.BackEnd) {
+	case 0:
+		return pmu.AreaFrontEnd
+	case 1:
+		return pmu.AreaBadSpeculation
+	default:
+		if b.MemoryBound >= b.CoreBound {
+			return pmu.AreaMemory
+		}
+		return pmu.AreaCore
+	}
+}
+
+// String renders the breakdown in VTune-like percentages.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "retiring %.0f%%, front-end %.0f%%, bad-spec %.0f%%, back-end %.0f%%",
+		100*b.Retiring, 100*b.FrontEnd, 100*b.BadSpeculation, 100*b.BackEnd)
+	if b.BackEnd > 0 {
+		fmt.Fprintf(&sb, " (memory %.0f%%, core %.0f%%)", 100*b.MemoryBound, 100*b.CoreBound)
+	}
+	return sb.String()
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func maxIdx(xs ...float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,158 @@
+package tma
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"spire/internal/pmu"
+)
+
+// counts builds a Counts snapshot from event/value pairs.
+func counts(t *testing.T, kv map[pmu.EventID]uint64) pmu.Counts {
+	t.Helper()
+	p := pmu.New()
+	for ev, v := range kv {
+		p.Add(ev, v)
+	}
+	return p.Snapshot()
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(pmu.Counts{}, 4); err == nil {
+		t.Error("expected error for zero cycles")
+	}
+	c := counts(t, map[pmu.EventID]uint64{pmu.EvCycles: 100})
+	if _, err := Analyze(c, 0); err == nil {
+		t.Error("expected error for zero issue width")
+	}
+}
+
+func TestAnalyzeRetiringOnly(t *testing.T) {
+	// 100 cycles, 400 slots, all retired: pure retiring.
+	c := counts(t, map[pmu.EventID]uint64{
+		pmu.EvCycles:           100,
+		pmu.EvUopsRetiredSlots: 400,
+		pmu.EvUopsIssuedAny:    400,
+	})
+	b, err := Analyze(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Retiring != 1 || b.FrontEnd != 0 || b.BadSpeculation != 0 || b.BackEnd != 0 {
+		t.Errorf("breakdown = %+v, want pure retiring", b)
+	}
+}
+
+func TestAnalyzeFrontEndBound(t *testing.T) {
+	c := counts(t, map[pmu.EventID]uint64{
+		pmu.EvCycles:               100,
+		pmu.EvUopsRetiredSlots:     100,
+		pmu.EvUopsIssuedAny:        100,
+		pmu.EvUopsNotDeliveredCore: 300,
+	})
+	b, err := Analyze(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.FrontEnd-0.75) > 1e-9 {
+		t.Errorf("front-end = %g, want 0.75", b.FrontEnd)
+	}
+	if b.MainBottleneck() != pmu.AreaFrontEnd {
+		t.Errorf("main = %v, want Front-End", b.MainBottleneck())
+	}
+}
+
+func TestAnalyzeBadSpeculation(t *testing.T) {
+	c := counts(t, map[pmu.EventID]uint64{
+		pmu.EvCycles:           100,
+		pmu.EvUopsRetiredSlots: 100,
+		pmu.EvUopsIssuedAny:    100,
+		pmu.EvRecoveryCycles:   60,
+	})
+	b, err := Analyze(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.BadSpeculation-0.6) > 1e-9 {
+		t.Errorf("bad-spec = %g, want 0.6", b.BadSpeculation)
+	}
+	if b.MainBottleneck() != pmu.AreaBadSpeculation {
+		t.Errorf("main = %v", b.MainBottleneck())
+	}
+}
+
+func TestAnalyzeBackEndSplit(t *testing.T) {
+	mk := func(memStalls uint64) Breakdown {
+		c := counts(t, map[pmu.EventID]uint64{
+			pmu.EvCycles:           100,
+			pmu.EvUopsRetiredSlots: 40,
+			pmu.EvUopsIssuedAny:    40,
+			pmu.EvStallsTotal:      80,
+			pmu.EvStallsMemAny:     memStalls,
+		})
+		b, err := Analyze(c, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	memHeavy := mk(70)
+	coreHeavy := mk(10)
+	if memHeavy.MainBottleneck() != pmu.AreaMemory {
+		t.Errorf("mem-heavy main = %v", memHeavy.MainBottleneck())
+	}
+	if coreHeavy.MainBottleneck() != pmu.AreaCore {
+		t.Errorf("core-heavy main = %v", coreHeavy.MainBottleneck())
+	}
+	if math.Abs(memHeavy.MemoryBound+memHeavy.CoreBound-memHeavy.BackEnd) > 1e-9 {
+		t.Error("level-2 split must sum to back-end bound")
+	}
+}
+
+func TestAnalyzeClampsWrongPath(t *testing.T) {
+	// Retired > issued (cannot happen physically, but counters can skew):
+	// wrong-path term must clamp at zero rather than go negative.
+	c := counts(t, map[pmu.EventID]uint64{
+		pmu.EvCycles:           100,
+		pmu.EvUopsRetiredSlots: 200,
+		pmu.EvUopsIssuedAny:    100,
+	})
+	b, err := Analyze(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.BadSpeculation != 0 {
+		t.Errorf("bad-spec = %g, want 0", b.BadSpeculation)
+	}
+}
+
+func TestFractionsSumToOne(t *testing.T) {
+	c := counts(t, map[pmu.EventID]uint64{
+		pmu.EvCycles:               1000,
+		pmu.EvUopsRetiredSlots:     1200,
+		pmu.EvUopsIssuedAny:        1300,
+		pmu.EvUopsNotDeliveredCore: 800,
+		pmu.EvRecoveryCycles:       100,
+		pmu.EvStallsTotal:          400,
+		pmu.EvStallsMemAny:         100,
+	})
+	b, err := Analyze(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := b.Retiring + b.FrontEnd + b.BadSpeculation + b.BackEnd
+	if sum > 1.0+1e-9 {
+		t.Errorf("level-1 sum = %g, want <= 1", sum)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Retiring: 0.25, FrontEnd: 0.5, BadSpeculation: 0.05, BackEnd: 0.2, MemoryBound: 0.15, CoreBound: 0.05}
+	s := b.String()
+	for _, want := range []string{"retiring 25%", "front-end 50%", "memory 15%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

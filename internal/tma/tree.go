@@ -1,0 +1,210 @@
+package tma
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"spire/internal/pmu"
+)
+
+// Node is one category of the Top-Down hierarchy: a fraction of the
+// parent's share attributed to this cause, with optional sub-categories.
+// Fractions are absolute (of total slots/cycles), so a child's Value is
+// always <= its parent's.
+type Node struct {
+	Name     string
+	Value    float64
+	Children []*Node
+}
+
+// Find returns the descendant with the given name (depth first), or nil.
+func (n *Node) Find(name string) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if got := c.Find(name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// Tree computes the multi-level Top-Down hierarchy from a counter
+// snapshot. Level 1 matches Analyze; levels 2-3 apportion each category
+// to more specific causes using the same counters VTune's TMA derives its
+// sub-trees from:
+//
+//	retiring        -> light operations | microcode sequencer
+//	front-end bound -> fetch latency (icache, ms-switches) | fetch bandwidth (dsb->mite)
+//	bad speculation -> branch mispredicts | machine clears
+//	back-end bound  -> memory bound -> l1 | l2 | l3 | dram | stores
+//	                -> core bound   -> divider | ports utilization
+func Tree(c pmu.Counts, issueWidth int) (*Node, error) {
+	b, err := Analyze(c, issueWidth)
+	if err != nil {
+		return nil, err
+	}
+	// The level-1 formulas can overlap slightly (recovery cycles and
+	// delivery shortfalls are measured independently); normalize so the
+	// tree is a proper decomposition of the slot budget.
+	if total := b.Retiring + b.FrontEnd + b.BadSpeculation + b.BackEnd; total > 1 {
+		b.Retiring /= total
+		b.FrontEnd /= total
+		b.BadSpeculation /= total
+		b.BackEnd /= total
+		b.MemoryBound /= total
+		b.CoreBound /= total
+	} else if total < 1 {
+		// Attribute any unaccounted remainder to the back end's core
+		// side, the conservative default.
+		b.BackEnd += 1 - total
+		b.CoreBound += 1 - total
+	}
+
+	root := &Node{Name: "slots", Value: 1}
+
+	// --- retiring ------------------------------------------------------
+	ret := &Node{Name: "retiring", Value: b.Retiring}
+	msUops := float64(c.Read(pmu.EvMSUops))
+	retUops := float64(c.Read(pmu.EvUopsRetiredSlots))
+	heavy := 0.0
+	if retUops > 0 {
+		heavy = b.Retiring * minf(1, msUops/retUops)
+	}
+	ret.Children = []*Node{
+		{Name: "light-ops", Value: b.Retiring - heavy},
+		{Name: "microcode-sequencer", Value: heavy},
+	}
+
+	// --- front-end bound -------------------------------------------------
+	fe := &Node{Name: "front-end-bound", Value: b.FrontEnd}
+	// Latency: cycles fetch produced nothing (icache stalls, MS switch
+	// bubbles); bandwidth: cycles fetch delivered but below machine
+	// width. Apportion the level-1 share by those cycle counts.
+	icStall := float64(c.Read(pmu.EvICacheStall))
+	msSwitch := float64(c.Read(pmu.EvMSSwitches)) * 2 // penalty cycles
+	d2m := float64(c.Read(pmu.EvDSB2MITESwitchCycles))
+	le3 := float64(c.Read(pmu.EvUopsNotDeliveredLE3))
+	latencyCy := icStall + msSwitch
+	bandwidthCy := maxf(0, le3-latencyCy) + d2m
+	totalCy := latencyCy + bandwidthCy
+	if totalCy > 0 {
+		fe.Children = []*Node{
+			{Name: "fetch-latency", Value: b.FrontEnd * latencyCy / totalCy},
+			{Name: "fetch-bandwidth", Value: b.FrontEnd * bandwidthCy / totalCy},
+		}
+	}
+
+	// --- bad speculation -------------------------------------------------
+	bs := &Node{Name: "bad-speculation", Value: b.BadSpeculation}
+	misp := float64(c.Read(pmu.EvBrMispRetired))
+	clears := float64(c.Read(pmu.EvMachineClears))
+	if misp+clears > 0 {
+		bs.Children = []*Node{
+			{Name: "branch-mispredicts", Value: b.BadSpeculation * misp / (misp + clears)},
+			{Name: "machine-clears", Value: b.BadSpeculation * clears / (misp + clears)},
+		}
+	}
+
+	// --- back-end bound ---------------------------------------------------
+	be := &Node{Name: "back-end-bound", Value: b.BackEnd}
+	memN := &Node{Name: "memory-bound", Value: b.MemoryBound}
+	coreN := &Node{Name: "core-bound", Value: b.CoreBound}
+	be.Children = []*Node{memN, coreN}
+
+	// Memory level 3: split stalled-with-memory cycles by the deepest
+	// outstanding miss level, plus store-buffer pressure.
+	l1 := maxf(0, float64(c.Read(pmu.EvStallsMemAny))-float64(c.Read(pmu.EvStallsL1DMiss)))
+	l2 := maxf(0, float64(c.Read(pmu.EvStallsL1DMiss))-float64(c.Read(pmu.EvStallsL2Miss)))
+	l3 := maxf(0, float64(c.Read(pmu.EvStallsL2Miss))-float64(c.Read(pmu.EvStallsL3Miss)))
+	dram := float64(c.Read(pmu.EvStallsL3Miss))
+	sb := float64(c.Read(pmu.EvResourceStallsSB))
+	memTot := l1 + l2 + l3 + dram + sb
+	if memTot > 0 {
+		memN.Children = []*Node{
+			{Name: "l1-bound", Value: b.MemoryBound * l1 / memTot},
+			{Name: "l2-bound", Value: b.MemoryBound * l2 / memTot},
+			{Name: "l3-bound", Value: b.MemoryBound * l3 / memTot},
+			{Name: "dram-bound", Value: b.MemoryBound * dram / memTot},
+			{Name: "store-bound", Value: b.MemoryBound * sb / memTot},
+		}
+	}
+
+	// Core level 3: divider vs port under-utilization.
+	div := float64(c.Read(pmu.EvDividerActive))
+	p01 := float64(c.Read(pmu.EvExeBound0Ports)) + float64(c.Read(pmu.EvExe1PortUtil))
+	coreTot := div + p01
+	if coreTot > 0 {
+		coreN.Children = []*Node{
+			{Name: "divider", Value: b.CoreBound * div / coreTot},
+			{Name: "ports-utilization", Value: b.CoreBound * p01 / coreTot},
+		}
+	}
+
+	root.Children = []*Node{ret, fe, bs, be}
+	return root, nil
+}
+
+// CheckTree verifies the structural invariants: children sum to their
+// parent (within tolerance) wherever children exist, and all values lie
+// in [0, 1].
+func CheckTree(n *Node) error {
+	if n.Value < -1e-9 || n.Value > 1+1e-9 {
+		return fmt.Errorf("tma: node %s value %g out of [0,1]", n.Name, n.Value)
+	}
+	if len(n.Children) > 0 {
+		var sum float64
+		for _, c := range n.Children {
+			sum += c.Value
+		}
+		if diff := sum - n.Value; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("tma: node %s children sum %g != %g", n.Name, sum, n.Value)
+		}
+	}
+	for _, c := range n.Children {
+		if err := CheckTree(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render prints the tree as an indented percentage breakdown, skipping
+// negligible nodes.
+func (n *Node) Render(w io.Writer) error {
+	return n.render(w, 0, 0.005)
+}
+
+func (n *Node) render(w io.Writer, depth int, min float64) error {
+	if n.Value < min && depth > 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%s%-24s %5.1f%%\n", strings.Repeat("  ", depth), n.Name, 100*n.Value); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := c.render(w, depth+1, min); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

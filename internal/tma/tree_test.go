@@ -1,0 +1,152 @@
+package tma
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spire/internal/pmu"
+	"spire/internal/sim"
+	"spire/internal/uarch"
+	"spire/internal/workloads"
+)
+
+func runWorkload(t *testing.T, name string) pmu.Counts {
+	t.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(uarch.Default(), spec.Build(0.1), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(10_000_000)
+	if !res.Drained {
+		t.Fatalf("%s did not drain", name)
+	}
+	return res.Counts
+}
+
+func TestTreeInvariants(t *testing.T) {
+	for _, name := range []string{"fftw", "onnx", "tnn", "scikit-sparsify", "parboil-cutcp", "remhos"} {
+		c := runWorkload(t, name)
+		tree, err := Tree(c, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := CheckTree(tree); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	if _, err := Tree(pmu.Counts{}, 4); err == nil {
+		t.Error("expected error for empty counts")
+	}
+}
+
+func TestTreeDrillDownShapes(t *testing.T) {
+	// DRAM-streaming workload: memory-bound dominated by dram-bound.
+	c := runWorkload(t, "onnx")
+	tree, err := Tree(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := tree.Find("memory-bound")
+	if mem == nil || mem.Value < 0.4 {
+		t.Fatalf("onnx memory-bound = %+v", mem)
+	}
+	dram := tree.Find("dram-bound")
+	if dram == nil {
+		t.Fatal("missing dram-bound")
+	}
+	for _, other := range []string{"l1-bound", "l2-bound", "store-bound"} {
+		n := tree.Find(other)
+		if n != nil && n.Value > dram.Value {
+			t.Errorf("onnx: %s (%.3f) should not exceed dram-bound (%.3f)", other, n.Value, dram.Value)
+		}
+	}
+
+	// Divider workload: core-bound dominated by the divider node.
+	c = runWorkload(t, "qmcpack")
+	tree, err = Tree(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	div := tree.Find("divider")
+	ports := tree.Find("ports-utilization")
+	if div == nil || ports == nil {
+		t.Fatal("missing core sub-nodes")
+	}
+	if div.Value < 0.1 {
+		t.Errorf("qmcpack divider share %.3f, want substantial", div.Value)
+	}
+
+	// Branch workload: bad speculation dominated by mispredicts.
+	c = runWorkload(t, "scikit-sparsify")
+	tree, err = Tree(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm := tree.Find("branch-mispredicts")
+	if bm == nil || bm.Value < 0.5 {
+		t.Errorf("scikit-sparsify branch-mispredicts = %+v", bm)
+	}
+
+	// Front-end workload: fetch-latency and fetch-bandwidth sum to the
+	// front-end share; icache-heavy tnn should lean latency.
+	c = runWorkload(t, "tnn")
+	tree, err = Tree(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := tree.Find("fetch-latency")
+	if lat == nil || lat.Value < 0.2 {
+		t.Errorf("tnn fetch-latency = %+v", lat)
+	}
+}
+
+func TestTreeFind(t *testing.T) {
+	root := &Node{Name: "a", Children: []*Node{{Name: "b", Children: []*Node{{Name: "c"}}}}}
+	if root.Find("c") == nil || root.Find("a") == nil {
+		t.Error("Find failed")
+	}
+	if root.Find("nope") != nil {
+		t.Error("Find should return nil for unknown names")
+	}
+	var nilNode *Node
+	if nilNode.Find("x") != nil {
+		t.Error("nil receiver should return nil")
+	}
+}
+
+func TestCheckTreeCatchesViolations(t *testing.T) {
+	bad := &Node{Name: "root", Value: 1, Children: []*Node{{Name: "a", Value: 0.2}, {Name: "b", Value: 0.2}}}
+	if err := CheckTree(bad); err == nil {
+		t.Error("expected children-sum violation")
+	}
+	oob := &Node{Name: "root", Value: 1.5}
+	if err := CheckTree(oob); err == nil {
+		t.Error("expected out-of-range violation")
+	}
+}
+
+func TestTreeRender(t *testing.T) {
+	c := runWorkload(t, "onnx")
+	tree, err := Tree(c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"slots", "back-end-bound", "memory-bound", "dram-bound", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

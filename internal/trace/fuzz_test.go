@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"spire/internal/isa"
+)
+
+// FuzzRead hammers the trace decoder with arbitrary bytes: it must either
+// return a valid instruction slice or a wrapped ErrBadTrace — never panic
+// or hand back instructions that fail validation.
+func FuzzRead(f *testing.F) {
+	// Seed with a genuine trace plus adversarial variants.
+	insts := []isa.Inst{
+		{PC: 0x1000, Op: isa.OpIntALU, Dst: 1},
+		{PC: 0x1004, Op: isa.OpLoad, Dst: 2, Addr: 0x2000, Size: 8},
+		{PC: 0x1008, Op: isa.OpBranch, Taken: true, Target: 0x1000},
+		{PC: 0x100c, Op: isa.OpVecFMA, Dst: 3, VecWidth: 512},
+		{PC: 0x1010, Op: isa.OpMicrocoded, Dst: 4, UopCount: 9},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, insts); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(append(append([]byte{}, good...), 0xff, 0x00))
+	if len(good) > 4 {
+		f.Add(good[:len(good)-3])
+		mut := append([]byte{}, good...)
+		mut[len(mut)/2] ^= 0x55
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadTrace) {
+				t.Fatalf("non-ErrBadTrace failure: %v", err)
+			}
+			return
+		}
+		for i, in := range got {
+			if verr := in.Validate(); verr != nil {
+				t.Fatalf("decoder returned invalid instruction %d: %v", i, verr)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip: any instruction slice the encoder accepts must decode to
+// exactly itself.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1000), uint8(1), uint8(2), uint16(256), true)
+	f.Add(uint64(0), uint8(0), uint8(63), uint16(512), false)
+	f.Fuzz(func(t *testing.T, pc uint64, op, reg uint8, vw uint16, taken bool) {
+		in := isa.Inst{
+			PC:  pc,
+			Op:  isa.Op(op % 16),
+			Dst: isa.Reg(reg % 64),
+		}
+		switch {
+		case in.Op.IsMemory():
+			in.Size = 8
+			in.Addr = pc * 3
+		case in.Op.IsVector():
+			widths := []uint16{128, 256, 512}
+			in.VecWidth = widths[int(vw)%3]
+		case in.Op == isa.OpBranch:
+			in.Taken = taken
+			in.Target = pc + 64
+		case in.Op == isa.OpMicrocoded:
+			in.UopCount = 1 + reg%20
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, []isa.Inst{in}); err != nil {
+			t.Skip() // encoder rejected it (invalid combination)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip decode failed: %v", err)
+		}
+		if len(got) != 1 || got[0] != in {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, in)
+		}
+	})
+}

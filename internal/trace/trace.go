@@ -1,0 +1,194 @@
+// Package trace records and replays dynamic instruction streams. A trace
+// captures exactly what the simulator would execute — resolved addresses
+// and branch outcomes included — so experiments can be re-run without the
+// original workload generator, shared between machines, or diffed between
+// generator versions.
+//
+// The format is a gzip stream of delta/varint-encoded records behind a
+// small versioned header. PCs and addresses are delta-encoded against the
+// previous instruction, which compresses loopy traces well.
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"spire/internal/isa"
+)
+
+const (
+	magic   = "SPIRTRC"
+	version = 1
+)
+
+// ErrBadTrace is wrapped by all decode errors.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// Write encodes instructions to w.
+func Write(w io.Writer, insts []isa.Inst) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], version)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(insts)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(bw)
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := zw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := zw.Write(buf[:n])
+		return err
+	}
+	var prevPC, prevAddr uint64
+	for i := range insts {
+		in := &insts[i]
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("trace: instruction %d: %w", i, err)
+		}
+		flags := uint64(0)
+		if in.Taken {
+			flags |= 1
+		}
+		if err := putUvarint(uint64(in.Op) | flags<<6); err != nil {
+			return err
+		}
+		if err := putVarint(int64(in.PC) - int64(prevPC)); err != nil {
+			return err
+		}
+		prevPC = in.PC
+		// Pack the small operands into one varint.
+		packed := uint64(in.Dst) | uint64(in.Src1)<<8 | uint64(in.Src2)<<16 |
+			uint64(in.Size)<<24 | uint64(in.UopCount)<<32 | uint64(in.VecWidth)<<40
+		if err := putUvarint(packed); err != nil {
+			return err
+		}
+		if in.Op.IsMemory() {
+			if err := putVarint(int64(in.Addr) - int64(prevAddr)); err != nil {
+				return err
+			}
+			prevAddr = in.Addr
+		}
+		if in.Op == isa.OpBranch {
+			if err := putUvarint(in.Target); err != nil {
+				return err
+			}
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read decodes a full trace from r.
+func Read(r io.Reader) ([]isa.Inst, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+12)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	if v := binary.LittleEndian.Uint32(head[len(magic) : len(magic)+4]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, v)
+	}
+	count := binary.LittleEndian.Uint64(head[len(magic)+4:])
+	const maxTrace = 1 << 30
+	if count > maxTrace {
+		return nil, fmt.Errorf("%w: implausible instruction count %d", ErrBadTrace, count)
+	}
+	zr, err := gzip.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	defer zr.Close()
+	zbr := bufio.NewReader(zr)
+
+	// Never preallocate from the untrusted count — a forged header could
+	// demand gigabytes. Grow as records actually decode.
+	capHint := count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	insts := make([]isa.Inst, 0, capHint)
+	var prevPC, prevAddr uint64
+	for i := uint64(0); i < count; i++ {
+		opFlags, err := binary.ReadUvarint(zbr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: inst %d op: %v", ErrBadTrace, i, err)
+		}
+		var in isa.Inst
+		in.Op = isa.Op(opFlags & 0x3f)
+		in.Taken = opFlags>>6&1 == 1
+		dpc, err := binary.ReadVarint(zbr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: inst %d pc: %v", ErrBadTrace, i, err)
+		}
+		in.PC = uint64(int64(prevPC) + dpc)
+		prevPC = in.PC
+		packed, err := binary.ReadUvarint(zbr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: inst %d operands: %v", ErrBadTrace, i, err)
+		}
+		in.Dst = isa.Reg(packed)
+		in.Src1 = isa.Reg(packed >> 8)
+		in.Src2 = isa.Reg(packed >> 16)
+		in.Size = uint8(packed >> 24)
+		in.UopCount = uint8(packed >> 32)
+		in.VecWidth = uint16(packed >> 40)
+		if in.Op.IsMemory() {
+			da, err := binary.ReadVarint(zbr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: inst %d addr: %v", ErrBadTrace, i, err)
+			}
+			in.Addr = uint64(int64(prevAddr) + da)
+			prevAddr = in.Addr
+		}
+		if in.Op == isa.OpBranch {
+			in.Target, err = binary.ReadUvarint(zbr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: inst %d target: %v", ErrBadTrace, i, err)
+			}
+		}
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: inst %d: %v", ErrBadTrace, i, err)
+		}
+		insts = append(insts, in)
+	}
+	return insts, nil
+}
+
+// Record drains up to max instructions from a program (reset with seed)
+// and writes them as a trace. It returns the number of instructions
+// captured.
+func Record(w io.Writer, p isa.Program, seed int64, max int) (int, error) {
+	p.Reset(seed)
+	insts := isa.Collect(p, max)
+	if len(insts) == 0 {
+		return 0, errors.New("trace: program produced no instructions")
+	}
+	return len(insts), Write(w, insts)
+}
+
+// Load reads a trace and wraps it as a replayable program.
+func Load(r io.Reader, name string) (isa.Program, error) {
+	insts, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &isa.SlicePlayer{ProgName: name, Insts: insts}, nil
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"spire/internal/isa"
+	"spire/internal/sim"
+	"spire/internal/uarch"
+	"spire/internal/workloads"
+)
+
+func sampleTrace(t *testing.T, n int) []isa.Inst {
+	t.Helper()
+	spec, err := workloads.ByName("numenta-nab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := spec.Build(1)
+	p.Reset(9)
+	insts := isa.Collect(p, n)
+	if len(insts) != n {
+		t.Fatalf("collected %d, want %d", len(insts), n)
+	}
+	return insts
+}
+
+func TestRoundTrip(t *testing.T) {
+	insts := sampleTrace(t, 5000)
+	var buf bytes.Buffer
+	if err := Write(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(insts) {
+		t.Fatalf("length %d != %d", len(got), len(insts))
+	}
+	for i := range insts {
+		if got[i] != insts[i] {
+			t.Fatalf("inst %d differs:\n got %+v\nwant %+v", i, got[i], insts[i])
+		}
+	}
+}
+
+func TestCompression(t *testing.T) {
+	insts := sampleTrace(t, 20000)
+	var buf bytes.Buffer
+	if err := Write(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	// A loopy trace should compress far below a naive fixed encoding
+	// (~40 bytes per instruction).
+	perInst := float64(buf.Len()) / float64(len(insts))
+	if perInst > 4 {
+		t.Errorf("trace uses %.1f bytes/inst, want < 4", perInst)
+	}
+}
+
+func TestRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTATRACE_______________"),
+		"short":     []byte("SPIRTRC\x01"),
+	}
+	for name, payload := range cases {
+		if _, err := Read(bytes.NewReader(payload)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: err = %v, want ErrBadTrace", name, err)
+		}
+	}
+}
+
+func TestRejectsTruncatedBody(t *testing.T) {
+	insts := sampleTrace(t, 1000)
+	var buf bytes.Buffer
+	if err := Write(&buf, insts); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(cut)); err == nil {
+		t.Error("expected error for truncated trace")
+	}
+}
+
+func TestWriteRejectsInvalidInst(t *testing.T) {
+	bad := []isa.Inst{{Op: isa.OpLoad, Size: 0}}
+	var buf bytes.Buffer
+	if err := Write(&buf, bad); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestRecordAndLoadSimulateIdentically(t *testing.T) {
+	spec, err := workloads.ByName("fftw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := Record(&buf, spec.Build(0.02), 4, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing recorded")
+	}
+	replay, err := Load(&buf, "fftw-replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Name() != "fftw-replay" {
+		t.Errorf("name = %q", replay.Name())
+	}
+
+	// Simulating the replayed trace must match simulating the original.
+	s1, err := sim.New(uarch.Default(), spec.Build(0.02), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := s1.Run(50_000_000)
+	s2, err := sim.New(uarch.Default(), replay, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := s2.Run(50_000_000)
+	if r1.Cycles != r2.Cycles || r1.Instructions != r2.Instructions {
+		t.Errorf("replay diverged: %d cy/%d inst vs %d cy/%d inst",
+			r1.Cycles, r1.Instructions, r2.Cycles, r2.Instructions)
+	}
+}
+
+func TestRecordEmptyProgram(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := Record(&buf, &isa.SlicePlayer{}, 0, 100); err == nil {
+		t.Error("expected error for empty program")
+	}
+}

@@ -1,0 +1,49 @@
+package uarch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteJSON serializes the configuration (op bindings included) so custom
+// cores can be versioned alongside experiments.
+func (c *Config) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadConfig parses and validates a configuration.
+func ReadConfig(r io.Reader) (*Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("uarch: decoding config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// ByName resolves a built-in configuration name or a JSON file path:
+// "default"/"skylake" and "little" are built in; anything else is treated
+// as a path.
+func ByName(name string) (*Config, error) {
+	switch strings.ToLower(name) {
+	case "", "default", "skylake", "skylake-sp":
+		return Default(), nil
+	case "little", "little-core":
+		return LittleCore(), nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("uarch: %q is not a built-in core and not a readable file: %w", name, err)
+	}
+	defer f.Close()
+	return ReadConfig(f)
+}

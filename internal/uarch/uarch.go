@@ -1,0 +1,335 @@
+// Package uarch holds the microarchitecture configuration of the simulated
+// CPU core. The default configuration is modeled loosely on the Skylake-SP
+// core of the paper's Xeon Gold 6126 test system: a 4-wide out-of-order
+// core with a decoded-uop cache (DSB), a legacy decode pipeline (MITE), a
+// microcode sequencer (MS), eight execution ports, and a three-level cache
+// hierarchy.
+package uarch
+
+import (
+	"fmt"
+
+	"spire/internal/isa"
+	"spire/internal/mem"
+)
+
+// PortMask is a bitmask of execution ports (bit i = port i).
+type PortMask uint16
+
+// Has reports whether port p is in the mask.
+func (m PortMask) Has(p int) bool { return m&(1<<uint(p)) != 0 }
+
+// Count returns the number of ports in the mask.
+func (m PortMask) Count() int {
+	n := 0
+	for p := 0; p < 16; p++ {
+		if m.Has(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// OpClass describes how an op class executes.
+type OpClass struct {
+	// Ports the op may dispatch to.
+	Ports PortMask
+	// Latency is the result latency in cycles.
+	Latency uint64
+	// Unpipelined ops occupy their unit for Latency cycles (e.g. the
+	// divider); pipelined ops occupy the port for one cycle.
+	Unpipelined bool
+}
+
+// Config is the full core configuration.
+type Config struct {
+	// Name labels the configuration.
+	Name string
+
+	// FetchBytes is the number of instruction bytes fetched per cycle;
+	// with a fixed 4-byte instruction encoding this bounds fetch width.
+	FetchBytes int
+	// InstBytes is the fixed encoding size used to map instruction
+	// counts to I-cache footprint.
+	InstBytes int
+
+	// MITEWidth is the legacy decode pipeline's uops per cycle.
+	MITEWidth int
+	// DSBWidth is the decoded-uop cache's uops per cycle.
+	DSBWidth int
+	// MSWidth is the microcode sequencer's uops per cycle.
+	MSWidth int
+	// MSSwitchPenalty is the front-end bubble, in cycles, paid when
+	// switching into the microcode sequencer.
+	MSSwitchPenalty uint64
+	// IDQCapacity is the instruction decode queue depth (uops).
+	IDQCapacity int
+
+	// DSBWindowBytes is the code-window granularity of the decoded-uop
+	// cache, and DSBWindows its capacity in windows.
+	DSBWindowBytes int
+	DSBWindows     int
+	DSBWays        int
+
+	// IssueWidth is rename/allocate uops per cycle (the pipeline width
+	// that defines TMA slots).
+	IssueWidth int
+	// RetireWidth is retirement uops per cycle.
+	RetireWidth int
+
+	// ROBSize, SchedSize, LoadBufSize, StoreBufSize are back-end buffer
+	// capacities in uops.
+	ROBSize      int
+	SchedSize    int
+	LoadBufSize  int
+	StoreBufSize int
+	// MSHRs bounds outstanding L1D misses (memory-level parallelism).
+	MSHRs int
+
+	// NumPorts is the number of execution ports.
+	NumPorts int
+	// Ops maps each op class to its execution behaviour.
+	Ops map[isa.Op]OpClass
+
+	// BranchMispredictPenalty is the recovery bubble in cycles.
+	BranchMispredictPenalty uint64
+	// GShareBits sizes the branch direction predictor (2^bits
+	// counters); BTBEntries sizes the target buffer.
+	GShareBits int
+	BTBEntries int
+
+	// VecWidthSwitchPenalty is the stall, in cycles, charged when
+	// consecutive vector uops change SIMD width (a simplified stand-in
+	// for AVX-512 license/frequency transitions).
+	VecWidthSwitchPenalty uint64
+
+	// LockLatency is the extra serialization latency of a locked
+	// (atomic) memory op.
+	LockLatency uint64
+
+	// DTLBEntries and ITLBEntries size the (fully-associative, LRU-ish)
+	// translation buffers; PageBytes is the page size and
+	// TLBWalkLatency the page-walk cost charged on a miss.
+	DTLBEntries    int
+	ITLBEntries    int
+	PageBytes      int
+	TLBWalkLatency uint64
+
+	// Mem is the cache/DRAM configuration.
+	Mem mem.HierarchyConfig
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.IssueWidth <= 0 || c.RetireWidth <= 0 {
+		return fmt.Errorf("uarch: non-positive pipeline width")
+	}
+	if c.MITEWidth <= 0 || c.DSBWidth <= 0 || c.MSWidth <= 0 {
+		return fmt.Errorf("uarch: non-positive decode width")
+	}
+	if c.IDQCapacity < c.IssueWidth {
+		return fmt.Errorf("uarch: IDQ capacity %d below issue width %d", c.IDQCapacity, c.IssueWidth)
+	}
+	if c.ROBSize <= 0 || c.SchedSize <= 0 || c.LoadBufSize <= 0 || c.StoreBufSize <= 0 {
+		return fmt.Errorf("uarch: non-positive buffer size")
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("uarch: MSHRs must be positive")
+	}
+	if c.NumPorts <= 0 || c.NumPorts > 16 {
+		return fmt.Errorf("uarch: NumPorts %d out of range", c.NumPorts)
+	}
+	if c.InstBytes <= 0 || c.FetchBytes < c.InstBytes {
+		return fmt.Errorf("uarch: fetch %d / inst %d bytes", c.FetchBytes, c.InstBytes)
+	}
+	if c.DSBWindowBytes <= 0 || c.DSBWindows <= 0 || c.DSBWays <= 0 {
+		return fmt.Errorf("uarch: invalid DSB geometry")
+	}
+	if c.GShareBits <= 0 || c.GShareBits > 24 || c.BTBEntries <= 0 {
+		return fmt.Errorf("uarch: invalid predictor geometry")
+	}
+	if c.DTLBEntries <= 0 || c.ITLBEntries <= 0 || c.PageBytes <= 0 || c.TLBWalkLatency == 0 {
+		return fmt.Errorf("uarch: invalid TLB geometry")
+	}
+	for op := isa.Op(0); op.Valid(); op++ {
+		cls, ok := c.Ops[op]
+		if !ok {
+			if op == isa.OpNop {
+				continue
+			}
+			return fmt.Errorf("uarch: no port binding for op %v", op)
+		}
+		if cls.Ports == 0 {
+			return fmt.Errorf("uarch: empty port mask for op %v", op)
+		}
+		for p := 0; p < 16; p++ {
+			if cls.Ports.Has(p) && p >= c.NumPorts {
+				return fmt.Errorf("uarch: op %v bound to nonexistent port %d", op, p)
+			}
+		}
+		if cls.Latency == 0 {
+			return fmt.Errorf("uarch: zero latency for op %v", op)
+		}
+	}
+	return nil
+}
+
+// Port mask helpers for the default binding.
+const (
+	p0 PortMask = 1 << iota
+	p1
+	p2
+	p3
+	p4
+	p5
+	p6
+	p7
+)
+
+// LittleCore returns a much smaller 2-wide core, in the spirit of an
+// efficiency core: no uop cache to speak of, a 2-bit-history predictor,
+// shallow buffers, three execution ports, and a single-channel memory
+// path. SPIRE is architecture-agnostic, so the same training pipeline
+// must work here unchanged — this configuration exists to demonstrate
+// (and test) exactly that.
+func LittleCore() *Config {
+	return &Config{
+		Name: "little-2wide",
+
+		FetchBytes: 8,
+		InstBytes:  4,
+
+		MITEWidth:       2,
+		DSBWidth:        2,
+		MSWidth:         1,
+		MSSwitchPenalty: 3,
+		IDQCapacity:     16,
+
+		// A token 16-window loop buffer stands in for the uop cache.
+		DSBWindowBytes: 32,
+		DSBWindows:     16,
+		DSBWays:        4,
+
+		IssueWidth:  2,
+		RetireWidth: 2,
+
+		ROBSize:      32,
+		SchedSize:    12,
+		LoadBufSize:  10,
+		StoreBufSize: 8,
+		MSHRs:        2,
+
+		NumPorts: 3,
+		Ops: map[isa.Op]OpClass{
+			isa.OpNop:        {Ports: p0 | p1, Latency: 1},
+			isa.OpIntALU:     {Ports: p0 | p1, Latency: 1},
+			isa.OpIntMul:     {Ports: p1, Latency: 4},
+			isa.OpIntDiv:     {Ports: p1, Latency: 34, Unpipelined: true},
+			isa.OpFPAdd:      {Ports: p1, Latency: 5},
+			isa.OpFPMul:      {Ports: p1, Latency: 6},
+			isa.OpFPDiv:      {Ports: p1, Latency: 24, Unpipelined: true},
+			isa.OpFMA:        {Ports: p1, Latency: 7},
+			isa.OpVecALU:     {Ports: p1, Latency: 2},
+			isa.OpVecMul:     {Ports: p1, Latency: 6},
+			isa.OpVecFMA:     {Ports: p1, Latency: 8},
+			isa.OpLoad:       {Ports: p2, Latency: 1},
+			isa.OpStore:      {Ports: p2, Latency: 1},
+			isa.OpLoadLocked: {Ports: p2, Latency: 1},
+			isa.OpBranch:     {Ports: p0, Latency: 1},
+			isa.OpMicrocoded: {Ports: p0 | p1, Latency: 3},
+		},
+
+		BranchMispredictPenalty: 8,
+		GShareBits:              10,
+		BTBEntries:              256,
+
+		VecWidthSwitchPenalty: 0,
+		LockLatency:           30,
+
+		DTLBEntries:    16,
+		ITLBEntries:    16,
+		PageBytes:      4096,
+		TLBWalkLatency: 40,
+
+		Mem: mem.HierarchyConfig{
+			L1I:  mem.CacheConfig{Name: "L1I", SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, LatencyCycles: 1},
+			L1D:  mem.CacheConfig{Name: "L1D", SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, LatencyCycles: 3},
+			L2:   mem.CacheConfig{Name: "L2", SizeBytes: 256 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 12},
+			L3:   mem.CacheConfig{Name: "L3", SizeBytes: 2 << 20, LineBytes: 64, Ways: 16, LatencyCycles: 30},
+			DRAM: mem.DRAMConfig{LatencyCycles: 150, BytesPerCycle: 4, LineBytes: 64},
+		},
+	}
+}
+
+// Default returns the Skylake-SP-like reference configuration used by all
+// experiments. Callers may copy and tweak it.
+func Default() *Config {
+	return &Config{
+		Name: "skylake-sp-like",
+
+		FetchBytes: 16,
+		InstBytes:  4,
+
+		// The legacy pipeline decodes up to 4 uops per cycle on paper,
+		// but 16-byte fetch and predecode limits hold it to ~3 in
+		// practice — which is what makes the DSB matter.
+		MITEWidth:       3,
+		DSBWidth:        6,
+		MSWidth:         4,
+		MSSwitchPenalty: 2,
+		IDQCapacity:     64,
+
+		DSBWindowBytes: 32,
+		DSBWindows:     512,
+		DSBWays:        8,
+
+		IssueWidth:  4,
+		RetireWidth: 4,
+
+		ROBSize:      224,
+		SchedSize:    97,
+		LoadBufSize:  72,
+		StoreBufSize: 56,
+		MSHRs:        10,
+
+		NumPorts: 8,
+		Ops: map[isa.Op]OpClass{
+			isa.OpNop:        {Ports: p0 | p1 | p5 | p6, Latency: 1},
+			isa.OpIntALU:     {Ports: p0 | p1 | p5 | p6, Latency: 1},
+			isa.OpIntMul:     {Ports: p1, Latency: 3},
+			isa.OpIntDiv:     {Ports: p0, Latency: 24, Unpipelined: true},
+			isa.OpFPAdd:      {Ports: p0 | p1, Latency: 4},
+			isa.OpFPMul:      {Ports: p0 | p1, Latency: 4},
+			isa.OpFPDiv:      {Ports: p0, Latency: 14, Unpipelined: true},
+			isa.OpFMA:        {Ports: p0 | p1, Latency: 4},
+			isa.OpVecALU:     {Ports: p0 | p1 | p5, Latency: 1},
+			isa.OpVecMul:     {Ports: p0 | p1, Latency: 4},
+			isa.OpVecFMA:     {Ports: p0 | p1, Latency: 4},
+			isa.OpLoad:       {Ports: p2 | p3, Latency: 1}, // latency comes from the hierarchy
+			isa.OpStore:      {Ports: p4, Latency: 1},
+			isa.OpLoadLocked: {Ports: p2 | p3, Latency: 1},
+			isa.OpBranch:     {Ports: p0 | p6, Latency: 1},
+			isa.OpMicrocoded: {Ports: p0 | p1 | p5 | p6, Latency: 2},
+		},
+
+		BranchMispredictPenalty: 16,
+		GShareBits:              14,
+		BTBEntries:              4096,
+
+		VecWidthSwitchPenalty: 6,
+		LockLatency:           18,
+
+		DTLBEntries:    64,
+		ITLBEntries:    64,
+		PageBytes:      4096,
+		TLBWalkLatency: 28,
+
+		Mem: mem.HierarchyConfig{
+			L1I:  mem.CacheConfig{Name: "L1I", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 1},
+			L1D:  mem.CacheConfig{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, LatencyCycles: 4},
+			L2:   mem.CacheConfig{Name: "L2", SizeBytes: 1 << 20, LineBytes: 64, Ways: 16, LatencyCycles: 10},
+			L3:   mem.CacheConfig{Name: "L3", SizeBytes: 8 << 20, LineBytes: 64, Ways: 16, LatencyCycles: 26},
+			DRAM: mem.DRAMConfig{LatencyCycles: 180, BytesPerCycle: 8, LineBytes: 64},
+		},
+	}
+}

@@ -1,0 +1,165 @@
+package uarch
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spire/internal/isa"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBreakage(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"zero issue width":   func(c *Config) { c.IssueWidth = 0 },
+		"zero decode width":  func(c *Config) { c.MITEWidth = 0 },
+		"tiny idq":           func(c *Config) { c.IDQCapacity = 1 },
+		"zero rob":           func(c *Config) { c.ROBSize = 0 },
+		"zero mshrs":         func(c *Config) { c.MSHRs = 0 },
+		"too many ports":     func(c *Config) { c.NumPorts = 20 },
+		"bad fetch":          func(c *Config) { c.FetchBytes = 1 },
+		"bad dsb":            func(c *Config) { c.DSBWindows = 0 },
+		"bad predictor":      func(c *Config) { c.GShareBits = 0 },
+		"missing op binding": func(c *Config) { delete(c.Ops, isa.OpLoad) },
+		"empty port mask":    func(c *Config) { c.Ops[isa.OpLoad] = OpClass{Ports: 0, Latency: 1} },
+		"port out of range":  func(c *Config) { c.Ops[isa.OpLoad] = OpClass{Ports: 1 << 12, Latency: 1} },
+		"zero latency":       func(c *Config) { c.Ops[isa.OpLoad] = OpClass{Ports: 1, Latency: 0} },
+	}
+	for name, mutate := range mutations {
+		cfg := Default()
+		mutate(cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestPortMask(t *testing.T) {
+	m := PortMask(0b1010)
+	if m.Has(0) || !m.Has(1) || m.Has(2) || !m.Has(3) {
+		t.Error("Has() wrong")
+	}
+	if m.Count() != 2 {
+		t.Errorf("Count = %d, want 2", m.Count())
+	}
+}
+
+func TestEveryOpHasBinding(t *testing.T) {
+	cfg := Default()
+	for op := isa.Op(0); op.Valid(); op++ {
+		cls, ok := cfg.Ops[op]
+		if !ok {
+			t.Errorf("op %v has no binding", op)
+			continue
+		}
+		if cls.Ports.Count() == 0 {
+			t.Errorf("op %v has empty port mask", op)
+		}
+	}
+}
+
+func TestDividersAreUnpipelined(t *testing.T) {
+	cfg := Default()
+	if !cfg.Ops[isa.OpIntDiv].Unpipelined || !cfg.Ops[isa.OpFPDiv].Unpipelined {
+		t.Error("dividers must be unpipelined")
+	}
+	if cfg.Ops[isa.OpIntALU].Unpipelined {
+		t.Error("ALU must be pipelined")
+	}
+}
+
+func TestMemConfigValid(t *testing.T) {
+	cfg := Default()
+	for _, cc := range []struct {
+		name string
+		err  error
+	}{
+		{"L1I", cfg.Mem.L1I.Validate()},
+		{"L1D", cfg.Mem.L1D.Validate()},
+		{"L2", cfg.Mem.L2.Validate()},
+		{"L3", cfg.Mem.L3.Validate()},
+	} {
+		if cc.err != nil {
+			t.Errorf("%s: %v", cc.name, cc.err)
+		}
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	orig := Default()
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConfig(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.IssueWidth != orig.IssueWidth || got.ROBSize != orig.ROBSize {
+		t.Errorf("scalar fields lost: %+v", got)
+	}
+	if len(got.Ops) != len(orig.Ops) {
+		t.Fatalf("op bindings lost: %d vs %d", len(got.Ops), len(orig.Ops))
+	}
+	for op, cls := range orig.Ops {
+		if got.Ops[op] != cls {
+			t.Errorf("op %v binding changed: %+v vs %+v", op, got.Ops[op], cls)
+		}
+	}
+	if got.Mem.DRAM != orig.Mem.DRAM {
+		t.Errorf("DRAM config changed")
+	}
+}
+
+func TestReadConfigRejectsInvalid(t *testing.T) {
+	if _, err := ReadConfig(strings.NewReader("not json")); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := ReadConfig(strings.NewReader(`{"IssueWidth":0}`)); err == nil {
+		t.Error("expected validation error")
+	}
+	if _, err := ReadConfig(strings.NewReader(`{"NoSuchField":1}`)); err == nil {
+		t.Error("expected unknown-field error")
+	}
+}
+
+func TestByName(t *testing.T) {
+	def, err := ByName("default")
+	if err != nil || def.Name != Default().Name {
+		t.Errorf("ByName(default) = %v, %v", def, err)
+	}
+	little, err := ByName("little")
+	if err != nil || little.IssueWidth != 2 {
+		t.Errorf("ByName(little) = %v, %v", little, err)
+	}
+	if _, err := ByName("/nonexistent/core.json"); err == nil {
+		t.Error("expected error for missing file")
+	}
+	// Round trip through a file.
+	path := filepath.Join(t.TempDir(), "core.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LittleCore().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := ByName(path)
+	if err != nil || got.Name != "little-2wide" {
+		t.Errorf("ByName(file) = %+v, %v", got, err)
+	}
+}
+
+func TestLittleCoreValidates(t *testing.T) {
+	if err := LittleCore().Validate(); err != nil {
+		t.Fatalf("little core invalid: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"spire/internal/isa"
+)
+
+// MarshalJSON writes the mix keyed by op mnemonic ("fp_add": 3).
+func (m Mix) MarshalJSON() ([]byte, error) {
+	named := make(map[string]int, len(m))
+	for op, w := range m {
+		named[op.String()] = w
+	}
+	return json.Marshal(named)
+}
+
+// UnmarshalJSON accepts op mnemonics as keys.
+func (m *Mix) UnmarshalJSON(data []byte) error {
+	var named map[string]int
+	if err := json.Unmarshal(data, &named); err != nil {
+		return err
+	}
+	out := make(Mix, len(named))
+	for name, w := range named {
+		op, ok := isa.ParseOp(name)
+		if !ok {
+			return fmt.Errorf("workloads: unknown op %q in mix", name)
+		}
+		out[op] = w
+	}
+	*m = out
+	return nil
+}
+
+// patternNames maps Pattern values to their JSON spellings.
+var patternNames = map[Pattern]string{
+	PatternNone:    "none",
+	PatternStream:  "stream",
+	PatternStrided: "strided",
+	PatternRandom:  "random",
+}
+
+// String names the pattern.
+func (p Pattern) String() string {
+	if n, ok := patternNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("pattern(%d)", uint8(p))
+}
+
+// MarshalJSON writes the pattern by name.
+func (p Pattern) MarshalJSON() ([]byte, error) {
+	n, ok := patternNames[p]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown pattern %d", p)
+	}
+	return json.Marshal(n)
+}
+
+// UnmarshalJSON accepts pattern names.
+func (p *Pattern) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for v, n := range patternNames {
+		if n == name {
+			*p = v
+			return nil
+		}
+	}
+	return fmt.Errorf("workloads: unknown pattern %q", name)
+}
+
+// WriteJSON serializes the kernel parameters so custom workloads can be
+// authored and versioned as files (see perfstat -kernel).
+func (k *Kernel) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(k)
+}
+
+// ReadKernel parses and validates a kernel definition.
+func ReadKernel(r io.Reader) (*Kernel, error) {
+	var k Kernel
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&k); err != nil {
+		return nil, fmt.Errorf("workloads: decoding kernel: %w", err)
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return &k, nil
+}

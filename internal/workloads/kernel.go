@@ -1,0 +1,284 @@
+// Package workloads provides the 27 synthetic kernels that stand in for
+// the paper's Phoronix HPC benchmark suite (Table I). Each kernel is a
+// seeded, deterministic isa.Program engineered to exhibit a specific main
+// microarchitectural bottleneck on the simulated core — the property the
+// paper's workload selection was based on ("we chose our 27 workloads
+// because they exhibit a variety of bottlenecks").
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spire/internal/isa"
+)
+
+// Pattern selects a kernel's data-access pattern.
+type Pattern uint8
+
+const (
+	// PatternNone: the kernel performs no data memory accesses.
+	PatternNone Pattern = iota
+	// PatternStream walks the working set sequentially (bandwidth-bound
+	// when the set exceeds the caches).
+	PatternStream
+	// PatternStrided walks with a fixed stride (defeats spatial
+	// locality).
+	PatternStrided
+	// PatternRandom touches uniformly random lines (latency-bound when
+	// combined with Chained).
+	PatternRandom
+)
+
+// Mix is a weighted op mix for a kernel's loop body. Weights need not be
+// normalized.
+type Mix map[isa.Op]int
+
+// Kernel is a parameterized synthetic workload: a fixed loop body
+// (constant code footprint, stable PCs for the DSB, I-cache and branch
+// predictors) replayed with dynamic addresses and branch outcomes.
+type Kernel struct {
+	// KName is the workload name.
+	KName string
+	// TotalInsts is the dynamic instruction count of one run.
+	TotalInsts int
+	// BodyInsts is the static loop body size; the code footprint is
+	// BodyInsts * 4 bytes, which determines DSB and L1I behaviour.
+	BodyInsts int
+	// CodeBase is the body's starting PC.
+	CodeBase uint64
+	// Mix weights the non-branch, non-memory ops in the body.
+	Mix Mix
+	// MemEvery places a memory op every N body slots (0 = none).
+	MemEvery int
+	// StoreFrac is the fraction of memory ops that are stores.
+	StoreFrac float64
+	// LockedFrac is the fraction of loads that are locked (atomic).
+	LockedFrac float64
+	// WorkingSet is the data footprint in bytes.
+	WorkingSet uint64
+	// Pattern is the access pattern; Stride applies to PatternStrided.
+	Pattern Pattern
+	Stride  uint64
+	// Chained serializes loads through a register (pointer-chase
+	// dependence).
+	Chained bool
+	// BranchEvery places a conditional branch every N body slots
+	// (0 = none); TakenProb sets its outcome distribution (0 or 1 are
+	// fully predictable, 0.5 is unpredictable).
+	BranchEvery int
+	TakenProb   float64
+	// DepChain serializes compute ops through one register, limiting
+	// ILP.
+	DepChain bool
+	// VecWidths lists SIMD widths used round-robin by vector ops; more
+	// than one width triggers width-mismatch stalls.
+	VecWidths []uint16
+	// MicroUops is the uop expansion of microcoded ops in the mix.
+	MicroUops int
+	// NoLoopBranch suppresses the implicit loop back-edge branch that
+	// normally terminates each body iteration (almost-always-taken,
+	// highly predictable — like a real loop's bottom branch).
+	NoLoopBranch bool
+
+	// runtime state
+	body    []isa.Inst
+	memSlot []bool // body slots that are memory ops
+	rng     *rand.Rand
+	pos     int
+	addr    uint64
+}
+
+// Name implements isa.Program.
+func (k *Kernel) Name() string { return k.KName }
+
+// Reset implements isa.Program: it rebuilds the static body
+// deterministically from the seed and rewinds the dynamic state.
+func (k *Kernel) Reset(seed int64) {
+	k.rng = rand.New(rand.NewSource(seed ^ int64(hashName(k.KName))))
+	k.pos = 0
+	k.addr = 0
+	k.buildBody()
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// buildBody synthesizes the static loop body.
+func (k *Kernel) buildBody() {
+	if k.BodyInsts <= 0 {
+		k.BodyInsts = 32
+	}
+	if k.CodeBase == 0 {
+		k.CodeBase = 0x40_0000
+	}
+	// Flatten the mix into a weighted pick list.
+	type wop struct {
+		op isa.Op
+		w  int
+	}
+	var ops []wop
+	total := 0
+	for op, w := range k.Mix {
+		if w > 0 {
+			ops = append(ops, wop{op, w})
+			total += w
+		}
+	}
+	// Deterministic order regardless of map iteration.
+	for i := 1; i < len(ops); i++ {
+		for j := i; j > 0 && ops[j-1].op > ops[j].op; j-- {
+			ops[j-1], ops[j] = ops[j], ops[j-1]
+		}
+	}
+	pick := func() isa.Op {
+		if total == 0 {
+			return isa.OpIntALU
+		}
+		r := k.rng.Intn(total)
+		for _, o := range ops {
+			r -= o.w
+			if r < 0 {
+				return o.op
+			}
+		}
+		return isa.OpIntALU
+	}
+
+	k.body = make([]isa.Inst, k.BodyInsts)
+	k.memSlot = make([]bool, k.BodyInsts)
+	vecIdx := 0
+	for i := range k.body {
+		pc := k.CodeBase + uint64(4*i)
+		switch {
+		case !k.NoLoopBranch && i == k.BodyInsts-1:
+			// Loop back-edge: taken on every iteration but the last,
+			// so well-predicted after warmup.
+			k.body[i] = isa.Inst{PC: pc, Op: isa.OpBranch, Target: k.CodeBase}
+		case k.BranchEvery > 0 && i%k.BranchEvery == k.BranchEvery-1:
+			k.body[i] = isa.Inst{PC: pc, Op: isa.OpBranch, Target: pc + 64}
+		case k.MemEvery > 0 && i%k.MemEvery == 0:
+			op := isa.OpLoad
+			if k.StoreFrac > 0 && k.rng.Float64() < k.StoreFrac {
+				op = isa.OpStore
+			} else if k.LockedFrac > 0 && k.rng.Float64() < k.LockedFrac {
+				op = isa.OpLoadLocked
+			}
+			in := isa.Inst{PC: pc, Op: op, Size: 8, Dst: 1}
+			if k.Chained && op != isa.OpStore {
+				in.Dst, in.Src1 = 9, 9
+			}
+			k.body[i] = in
+			k.memSlot[i] = true
+		default:
+			op := pick()
+			in := isa.Inst{PC: pc, Op: op}
+			switch {
+			case op.IsVector():
+				w := uint16(256)
+				if len(k.VecWidths) > 0 {
+					w = k.VecWidths[vecIdx%len(k.VecWidths)]
+					vecIdx++
+				}
+				in.VecWidth = w
+				in.Dst = isa.Reg(16 + i%8)
+			case op == isa.OpMicrocoded:
+				u := k.MicroUops
+				if u <= 0 {
+					u = 8
+				}
+				if u > 200 {
+					u = 200
+				}
+				in.UopCount = uint8(u)
+				in.Dst = isa.Reg(24 + i%4)
+			case op.IsMemory():
+				in.Size = 8
+				in.Dst = isa.Reg(1 + i%4)
+				k.memSlot[i] = true
+			default:
+				in.Dst = isa.Reg(2 + i%6)
+			}
+			if k.DepChain && !op.IsMemory() && op != isa.OpBranch {
+				in.Dst, in.Src1 = 8, 8
+			}
+			k.body[i] = in
+		}
+	}
+}
+
+// nextAddr produces the next data address per the kernel's pattern.
+func (k *Kernel) nextAddr() uint64 {
+	ws := k.WorkingSet
+	if ws < 4096 {
+		ws = 4096
+	}
+	base := uint64(0x1000_0000)
+	switch k.Pattern {
+	case PatternStream:
+		k.addr = (k.addr + 8) % ws
+	case PatternStrided:
+		st := k.Stride
+		if st == 0 {
+			st = 256
+		}
+		k.addr = (k.addr + st) % ws
+	case PatternRandom:
+		k.addr = (uint64(k.rng.Int63()) % (ws / 64)) * 64
+	default:
+		k.addr = 0
+	}
+	return base + k.addr
+}
+
+// Next implements isa.Program.
+func (k *Kernel) Next() (isa.Inst, bool) {
+	if k.rng == nil {
+		k.Reset(1)
+	}
+	if k.pos >= k.TotalInsts {
+		return isa.Inst{}, false
+	}
+	i := k.pos % len(k.body)
+	in := k.body[i]
+	k.pos++
+	if k.memSlot[i] {
+		in.Addr = k.nextAddr()
+	}
+	if in.Op == isa.OpBranch {
+		if !k.NoLoopBranch && i == len(k.body)-1 {
+			// The back-edge falls through only when the program ends.
+			in.Taken = k.pos < k.TotalInsts
+		} else {
+			in.Taken = k.rng.Float64() < k.TakenProb
+		}
+	}
+	return in, true
+}
+
+// Validate performs a cheap structural check of the kernel parameters.
+func (k *Kernel) Validate() error {
+	if k.KName == "" {
+		return fmt.Errorf("workloads: kernel without a name")
+	}
+	if k.TotalInsts <= 0 {
+		return fmt.Errorf("workloads: %s has no instructions", k.KName)
+	}
+	if k.TakenProb < 0 || k.TakenProb > 1 {
+		return fmt.Errorf("workloads: %s taken probability %g", k.KName, k.TakenProb)
+	}
+	for _, w := range k.VecWidths {
+		switch w {
+		case 128, 256, 512:
+		default:
+			return fmt.Errorf("workloads: %s vector width %d", k.KName, w)
+		}
+	}
+	return nil
+}

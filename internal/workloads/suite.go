@@ -1,0 +1,359 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"spire/internal/isa"
+	"spire/internal/pmu"
+)
+
+// Spec describes one suite workload: the kernel parameters plus the
+// paper-facing metadata (Table I name/configuration and the main TMA
+// bottleneck the kernel is engineered to exhibit).
+type Spec struct {
+	// Name and Config mirror the paper's Table I rows.
+	Name   string
+	Config string
+	// Expected is the main level-1 TMA bottleneck the kernel targets.
+	Expected pmu.Area
+	// Testing marks the four held-out test workloads.
+	Testing bool
+	// kernel is the prototype; Build copies it.
+	kernel Kernel
+}
+
+// Build returns a fresh program for the workload. scale multiplies the
+// dynamic instruction count (1.0 = the standard experiment length);
+// fractional scales produce shorter runs for tests.
+func (s Spec) Build(scale float64) isa.Program {
+	k := s.kernel // copy
+	k.KName = s.Name
+	n := int(float64(k.TotalInsts) * scale)
+	if n < 2000 {
+		n = 2000
+	}
+	k.TotalInsts = n
+	// Clear runtime state so the copy starts clean.
+	k.body, k.memSlot, k.rng = nil, nil, nil
+	k.pos, k.addr = 0, 0
+	return &k
+}
+
+// Kernel returns a copy of the underlying kernel parameters (for
+// inspection and tests).
+func (s Spec) Kernel() Kernel {
+	k := s.kernel
+	k.KName = s.Name
+	k.body, k.memSlot, k.rng = nil, nil, nil
+	return k
+}
+
+const stdInsts = 400_000
+
+// suite is the full 27-workload roster. Training workloads span the four
+// bottleneck families; the four test workloads are the strongest examples
+// of their family, as in the paper (§IV).
+var suite = []Spec{
+	// --- training: front-end flavoured --------------------------------
+	{
+		Name: "llamafile", Config: "wizardcoder-python", Expected: pmu.AreaFrontEnd,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 12000,
+			Mix:      Mix{isa.OpIntALU: 5, isa.OpVecFMA: 3, isa.OpIntMul: 1},
+			MemEvery: 9, WorkingSet: 1 << 22, Pattern: PatternStream,
+			VecWidths: []uint16{256},
+		},
+	},
+	{
+		Name: "scikit-featexp", Config: "Feature Expansions", Expected: pmu.AreaFrontEnd,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 20000,
+			Mix:      Mix{isa.OpIntALU: 6, isa.OpFPMul: 2, isa.OpFPAdd: 2},
+			MemEvery: 10, WorkingSet: 1 << 20, Pattern: PatternStream,
+		},
+	},
+	{
+		Name: "openvino-face", Config: "Face Detect. F16-I8", Expected: pmu.AreaFrontEnd,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 9000,
+			Mix:       Mix{isa.OpVecFMA: 4, isa.OpVecALU: 3, isa.OpIntALU: 3, isa.OpMicrocoded: 1},
+			MicroUops: 6,
+			MemEvery:  10, WorkingSet: 1 << 17, Pattern: PatternStream,
+			VecWidths: []uint16{256},
+		},
+	},
+	{
+		Name: "tensorflow-lite", Config: "Mobilenet Quant", Expected: pmu.AreaFrontEnd,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 7000,
+			Mix:      Mix{isa.OpVecALU: 5, isa.OpIntALU: 4, isa.OpIntMul: 2},
+			MemEvery: 9, WorkingSet: 1 << 17, Pattern: PatternStream,
+			VecWidths: []uint16{128},
+		},
+	},
+
+	// --- training: bad-speculation flavoured --------------------------
+	{
+		Name: "numenta-nab", Config: "Relative Entropy", Expected: pmu.AreaBadSpeculation,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 96,
+			Mix:         Mix{isa.OpFPAdd: 3, isa.OpFPMul: 2, isa.OpIntALU: 4},
+			BranchEvery: 6, TakenProb: 0.5,
+			MemEvery: 11, WorkingSet: 1 << 16, Pattern: PatternRandom,
+		},
+	},
+	{
+		Name: "mafft", Config: "", Expected: pmu.AreaBadSpeculation,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 128,
+			Mix:         Mix{isa.OpIntALU: 8, isa.OpIntMul: 1},
+			BranchEvery: 4, TakenProb: 0.45,
+			MemEvery: 9, WorkingSet: 1 << 17, Pattern: PatternRandom,
+		},
+	},
+	{
+		Name: "graph500", Config: "Scale: 29", Expected: pmu.AreaBadSpeculation,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 160,
+			Mix:         Mix{isa.OpIntALU: 7},
+			BranchEvery: 5, TakenProb: 0.5,
+			MemEvery: 7, WorkingSet: 1 << 23, Pattern: PatternRandom,
+		},
+	},
+
+	// --- training: memory flavoured -----------------------------------
+	{
+		Name: "remhos", Config: "Sample Remap", Expected: pmu.AreaMemory,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 64,
+			Mix:      Mix{isa.OpFPAdd: 3, isa.OpFPMul: 2, isa.OpIntALU: 2},
+			MemEvery: 3, WorkingSet: 64 << 20, Pattern: PatternStream,
+		},
+	},
+	{
+		Name: "rodinia-cfd", Config: "CFD Solver", Expected: pmu.AreaMemory,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 96,
+			Mix:      Mix{isa.OpFPAdd: 4, isa.OpFPMul: 3, isa.OpIntALU: 2},
+			MemEvery: 3, StoreFrac: 0.3, WorkingSet: 96 << 20, Pattern: PatternStream,
+		},
+	},
+	{
+		Name: "parboil-stencil", Config: "Stencil", Expected: pmu.AreaMemory,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 80,
+			Mix:      Mix{isa.OpFPAdd: 5, isa.OpIntALU: 2},
+			MemEvery: 2, StoreFrac: 0.2, WorkingSet: 48 << 20, Pattern: PatternStrided, Stride: 4096,
+		},
+	},
+	{
+		Name: "heffte", Config: "r2c, FFTW, F64, 256", Expected: pmu.AreaMemory,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 128,
+			Mix:      Mix{isa.OpFPAdd: 3, isa.OpFPMul: 3, isa.OpIntALU: 2},
+			MemEvery: 3, WorkingSet: 32 << 20, Pattern: PatternStrided, Stride: 8192,
+		},
+	},
+	{
+		Name: "faiss-sift1m", Config: "demo_sift1M", Expected: pmu.AreaMemory,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 96,
+			Mix:      Mix{isa.OpVecALU: 3, isa.OpIntALU: 4},
+			MemEvery: 3, WorkingSet: 128 << 20, Pattern: PatternRandom, Chained: true,
+			VecWidths: []uint16{256},
+		},
+	},
+	{
+		Name: "faiss-polysemous", Config: "polysemous_sift1m", Expected: pmu.AreaMemory,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 112,
+			Mix:      Mix{isa.OpIntALU: 6, isa.OpVecALU: 2},
+			MemEvery: 4, WorkingSet: 64 << 20, Pattern: PatternRandom, Chained: true,
+			VecWidths: []uint16{256},
+		},
+	},
+	{
+		Name: "scikit-randproj", Config: "Random Projections", Expected: pmu.AreaMemory,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 72,
+			Mix:      Mix{isa.OpFPMul: 4, isa.OpFPAdd: 3, isa.OpIntALU: 2},
+			MemEvery: 3, WorkingSet: 80 << 20, Pattern: PatternStream,
+		},
+	},
+	{
+		Name: "onednn-ip3d", Config: "IP Shapes 3D", Expected: pmu.AreaMemory,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 128,
+			Mix:      Mix{isa.OpVecFMA: 5, isa.OpIntALU: 2},
+			MemEvery: 3, WorkingSet: 64 << 20, Pattern: PatternStream,
+			VecWidths: []uint16{512},
+		},
+	},
+
+	// --- training: core flavoured --------------------------------------
+	{
+		Name: "qmcpack", Config: "O_ae_pyscf_UHF", Expected: pmu.AreaCore,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 96,
+			Mix:      Mix{isa.OpFPDiv: 1, isa.OpFPMul: 4, isa.OpFPAdd: 4},
+			DepChain: true,
+			MemEvery: 16, WorkingSet: 1 << 14, Pattern: PatternStream,
+		},
+	},
+	{
+		Name: "scikit-sgdsvm", Config: "SGDOneClassSVM", Expected: pmu.AreaCore,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 80,
+			Mix:      Mix{isa.OpFPMul: 5, isa.OpFPAdd: 4},
+			DepChain: true,
+			MemEvery: 16, WorkingSet: 1 << 14, Pattern: PatternStream,
+		},
+	},
+	{
+		Name: "lammps", Config: "Model: 20k Atoms", Expected: pmu.AreaCore,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 128,
+			Mix:       Mix{isa.OpFMA: 5, isa.OpFPMul: 3, isa.OpFPDiv: 1, isa.OpIntALU: 2, isa.OpMicrocoded: 1},
+			MicroUops: 6,
+			DepChain:  true,
+			MemEvery:  14, WorkingSet: 1 << 14, Pattern: PatternStream,
+		},
+	},
+	{
+		Name: "npb-bt", Config: "BT.C", Expected: pmu.AreaCore,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 160,
+			Mix:      Mix{isa.OpFPAdd: 4, isa.OpFPMul: 4, isa.OpFPDiv: 1},
+			DepChain: true,
+			MemEvery: 16, WorkingSet: 1 << 14, Pattern: PatternStream,
+		},
+	},
+	{
+		Name: "parboil-mri", Config: "MRI Gridding", Expected: pmu.AreaCore,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 96,
+			Mix:       Mix{isa.OpFPDiv: 2, isa.OpFPMul: 3, isa.OpFPAdd: 3, isa.OpIntALU: 2, isa.OpMicrocoded: 1},
+			MicroUops: 8,
+			MemEvery:  12, WorkingSet: 1 << 19, Pattern: PatternStrided, Stride: 512,
+		},
+	},
+	{
+		Name: "openvino-age", Config: "Age Gen. Recog. F16", Expected: pmu.AreaCore,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 112,
+			Mix:      Mix{isa.OpVecFMA: 6, isa.OpVecALU: 2, isa.OpIntALU: 2},
+			MemEvery: 14, WorkingSet: 1 << 15, Pattern: PatternStream,
+			VecWidths: []uint16{256, 512},
+		},
+	},
+	{
+		Name: "arrayfire-blas", Config: "BLAS CPU", Expected: pmu.AreaRetiring,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 64,
+			Mix:      Mix{isa.OpIntALU: 6, isa.OpVecFMA: 3},
+			MemEvery: 12, WorkingSet: 1 << 14, Pattern: PatternStream,
+			VecWidths: []uint16{512},
+		},
+	},
+	{
+		Name: "fftw", Config: "Stock, 1D FFT, 4096", Expected: pmu.AreaCore,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 144,
+			Mix:      Mix{isa.OpFPAdd: 4, isa.OpFPMul: 4, isa.OpIntALU: 2},
+			DepChain: true,
+			MemEvery: 12, WorkingSet: 1 << 14, Pattern: PatternStrided, Stride: 128,
+		},
+	},
+
+	// --- testing: the strongest example of each bottleneck -------------
+	{
+		Name: "tnn", Config: "SqueezeNet v1.1", Expected: pmu.AreaFrontEnd, Testing: true,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 16000,
+			Mix:      Mix{isa.OpIntALU: 5, isa.OpVecALU: 3, isa.OpVecFMA: 2},
+			MemEvery: 10, WorkingSet: 1 << 20, Pattern: PatternStream,
+			VecWidths: []uint16{256},
+		},
+	},
+	{
+		Name: "scikit-sparsify", Config: "Sparsify", Expected: pmu.AreaBadSpeculation, Testing: true,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 80,
+			Mix:         Mix{isa.OpIntALU: 6, isa.OpFPAdd: 2},
+			BranchEvery: 3, TakenProb: 0.5,
+			MemEvery: 10, WorkingSet: 1 << 16, Pattern: PatternRandom,
+		},
+	},
+	{
+		Name: "onnx", Config: "T5 Encoder, Std.", Expected: pmu.AreaMemory, Testing: true,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 96,
+			Mix:      Mix{isa.OpVecFMA: 3, isa.OpVecALU: 2, isa.OpIntALU: 2},
+			MemEvery: 2, WorkingSet: 192 << 20, Pattern: PatternStream,
+			VecWidths: []uint16{256, 512},
+		},
+	},
+	{
+		Name: "parboil-cutcp", Config: "CUTCP", Expected: pmu.AreaCore, Testing: true,
+		kernel: Kernel{
+			TotalInsts: stdInsts, BodyInsts: 112,
+			Mix:       Mix{isa.OpFPDiv: 2, isa.OpFPMul: 3, isa.OpFPAdd: 3, isa.OpMicrocoded: 1},
+			MicroUops: 10,
+			DepChain:  true,
+			MemEvery:  16, LockedFrac: 0.35, WorkingSet: 1 << 14, Pattern: PatternStream,
+		},
+	},
+}
+
+// All returns every workload spec, training first then testing, each in
+// declaration order.
+func All() []Spec {
+	out := make([]Spec, len(suite))
+	copy(out, suite)
+	sort.SliceStable(out, func(i, j int) bool {
+		return !out[i].Testing && out[j].Testing
+	})
+	return out
+}
+
+// Training returns the 23 training workloads.
+func Training() []Spec {
+	var out []Spec
+	for _, s := range suite {
+		if !s.Testing {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Testing returns the 4 held-out test workloads.
+func Testing() []Spec {
+	var out []Spec
+	for _, s := range suite {
+		if s.Testing {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByName finds a workload spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range suite {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names lists all workload names in suite order.
+func Names() []string {
+	out := make([]string, len(suite))
+	for i, s := range suite {
+		out[i] = s.Name
+	}
+	return out
+}

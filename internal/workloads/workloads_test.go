@@ -1,0 +1,325 @@
+package workloads
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spire/internal/isa"
+	"spire/internal/pmu"
+)
+
+func TestSuiteShape(t *testing.T) {
+	if got := len(Training()); got != 23 {
+		t.Errorf("training workloads = %d, want 23", got)
+	}
+	if got := len(Testing()); got != 4 {
+		t.Errorf("testing workloads = %d, want 4", got)
+	}
+	if got := len(All()); got != 27 {
+		t.Errorf("total workloads = %d, want 27", got)
+	}
+	names := make(map[string]bool)
+	for _, s := range All() {
+		if names[s.Name] {
+			t.Errorf("duplicate workload name %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+}
+
+func TestTestWorkloadsCoverAllBottlenecks(t *testing.T) {
+	want := map[pmu.Area]string{
+		pmu.AreaFrontEnd:       "tnn",
+		pmu.AreaBadSpeculation: "scikit-sparsify",
+		pmu.AreaMemory:         "onnx",
+		pmu.AreaCore:           "parboil-cutcp",
+	}
+	for area, name := range want {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !spec.Testing {
+			t.Errorf("%s should be a test workload", name)
+		}
+		if spec.Expected != area {
+			t.Errorf("%s expected area = %v, want %v", name, spec.Expected, area)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("no-such-workload"); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+	s, err := ByName("tnn")
+	if err != nil || s.Name != "tnn" {
+		t.Errorf("ByName(tnn) = %+v, %v", s, err)
+	}
+	if got := len(Names()); got != 27 {
+		t.Errorf("Names() = %d entries", got)
+	}
+}
+
+func TestAllKernelsValidateAndStream(t *testing.T) {
+	for _, spec := range All() {
+		k := spec.Kernel()
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		prog := spec.Build(0.01)
+		prog.Reset(7)
+		n := 0
+		for {
+			in, ok := prog.Next()
+			if !ok {
+				break
+			}
+			if err := in.Validate(); err != nil {
+				t.Fatalf("%s inst %d: %v", spec.Name, n, err)
+			}
+			n++
+			if n > 1_000_000 {
+				t.Fatalf("%s: stream did not terminate", spec.Name)
+			}
+		}
+		if n == 0 {
+			t.Errorf("%s produced no instructions", spec.Name)
+		}
+	}
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	spec, err := ByName("numenta-nab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed int64) []isa.Inst {
+		p := spec.Build(0.01)
+		p.Reset(seed)
+		return isa.Collect(p, 500)
+	}
+	a, b := run(3), run(3)
+	if len(a) != len(b) {
+		t.Fatal("length mismatch for same seed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instruction %d differs for same seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(4)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should produce different streams (branch outcomes/addresses)")
+	}
+}
+
+func TestBuildScale(t *testing.T) {
+	spec, err := ByName("fftw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(scale float64) int {
+		p := spec.Build(scale)
+		p.Reset(1)
+		n := 0
+		for {
+			if _, ok := p.Next(); !ok {
+				return n
+			}
+			n++
+		}
+	}
+	full := count(0.2)
+	half := count(0.1)
+	if full < 2*half-10 || full > 2*half+10 {
+		t.Errorf("scaling wrong: 0.2 -> %d, 0.1 -> %d", full, half)
+	}
+	// Tiny scale clamps to a minimum usable length.
+	if tiny := count(0.00001); tiny < 100 {
+		t.Errorf("tiny scale produced %d instructions", tiny)
+	}
+}
+
+func TestBuildIsolation(t *testing.T) {
+	spec, err := ByName("onnx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := spec.Build(0.01)
+	p2 := spec.Build(0.01)
+	p1.Reset(1)
+	p2.Reset(1)
+	// Draining p1 must not affect p2.
+	for {
+		if _, ok := p1.Next(); !ok {
+			break
+		}
+	}
+	if _, ok := p2.Next(); !ok {
+		t.Error("programs built from the same spec share state")
+	}
+}
+
+func TestKernelValidateErrors(t *testing.T) {
+	bad := []Kernel{
+		{KName: "", TotalInsts: 10},
+		{KName: "x", TotalInsts: 0},
+		{KName: "x", TotalInsts: 10, TakenProb: 1.5},
+		{KName: "x", TotalInsts: 10, VecWidths: []uint16{99}},
+	}
+	for i, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestKernelBranchOutcomeDistribution(t *testing.T) {
+	k := &Kernel{
+		KName: "brtest", TotalInsts: 20000, BodyInsts: 8,
+		Mix: Mix{isa.OpIntALU: 1}, BranchEvery: 2, TakenProb: 0.5,
+		NoLoopBranch: true, // only the probabilistic branches here
+	}
+	k.Reset(11)
+	taken, total := 0, 0
+	for {
+		in, ok := k.Next()
+		if !ok {
+			break
+		}
+		if in.Op == isa.OpBranch {
+			total++
+			if in.Taken {
+				taken++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no branches generated")
+	}
+	frac := float64(taken) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("taken fraction = %.2f, want ~0.5", frac)
+	}
+}
+
+func TestKernelMemoryFootprint(t *testing.T) {
+	k := &Kernel{
+		KName: "memtest", TotalInsts: 5000, BodyInsts: 4,
+		Mix: Mix{isa.OpIntALU: 1}, MemEvery: 2, WorkingSet: 1 << 16, Pattern: PatternStream,
+	}
+	k.Reset(1)
+	lo, hi := ^uint64(0), uint64(0)
+	seenMem := false
+	for {
+		in, ok := k.Next()
+		if !ok {
+			break
+		}
+		if in.Op.IsMemory() {
+			seenMem = true
+			if in.Addr < lo {
+				lo = in.Addr
+			}
+			if in.Addr > hi {
+				hi = in.Addr
+			}
+		}
+	}
+	if !seenMem {
+		t.Fatal("no memory ops generated")
+	}
+	if span := hi - lo; span > 1<<16 {
+		t.Errorf("addresses span %d bytes, want <= working set", span)
+	}
+}
+
+func TestKernelJSONRoundTrip(t *testing.T) {
+	spec, err := ByName("onnx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := spec.Kernel()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Human-readable op names and pattern names in the JSON.
+	js := buf.String()
+	for _, want := range []string{`"vec_fma"`, `"stream"`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("kernel JSON missing %s:\n%s", want, js)
+		}
+	}
+	got, err := ReadKernel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.KName != orig.KName || got.TotalInsts != orig.TotalInsts ||
+		got.WorkingSet != orig.WorkingSet || got.Pattern != orig.Pattern {
+		t.Errorf("scalar fields lost: %+v", got)
+	}
+	if len(got.Mix) != len(orig.Mix) {
+		t.Fatalf("mix lost: %v vs %v", got.Mix, orig.Mix)
+	}
+	for op, w := range orig.Mix {
+		if got.Mix[op] != w {
+			t.Errorf("mix[%v] = %d, want %d", op, got.Mix[op], w)
+		}
+	}
+	// The round-tripped kernel must generate the same stream.
+	a, b := orig, *got
+	a.Reset(5)
+	b.Reset(5)
+	for i := 0; i < 2000; i++ {
+		ia, oka := a.Next()
+		ib, okb := b.Next()
+		if oka != okb || ia != ib {
+			t.Fatalf("stream diverged at %d", i)
+		}
+		if !oka {
+			break
+		}
+	}
+}
+
+func TestReadKernelRejectsBad(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "hello",
+		"unknown op":      `{"KName":"x","TotalInsts":10,"Mix":{"warp_shuffle":1}}`,
+		"unknown pattern": `{"KName":"x","TotalInsts":10,"Pattern":"zigzag"}`,
+		"unknown field":   `{"KName":"x","TotalInsts":10,"Bogus":1}`,
+		"invalid kernel":  `{"KName":"","TotalInsts":10}`,
+		"bad prob":        `{"KName":"x","TotalInsts":10,"TakenProb":2}`,
+	}
+	for name, payload := range cases {
+		if _, err := ReadKernel(strings.NewReader(payload)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	op, ok := isa.ParseOp("fp_div")
+	if !ok || op != isa.OpFPDiv {
+		t.Errorf("ParseOp(fp_div) = %v, %v", op, ok)
+	}
+	if _, ok := isa.ParseOp("bogus"); ok {
+		t.Error("unknown mnemonic should not resolve")
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	if PatternStream.String() != "stream" || Pattern(99).String() != "pattern(99)" {
+		t.Error("pattern names wrong")
+	}
+}
