@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet race fuzz verify clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the perf-stat CSV parser; the checked-in seed
+# corpus under internal/ingest/testdata/fuzz runs as part of plain
+# `make test` too.
+fuzz:
+	$(GO) test -fuzz FuzzPerfStatCSV -fuzztime 30s ./internal/ingest/
+
+# The full verification gate: build, static checks, tests, race tests.
+verify: build vet test race
+
+clean:
+	$(GO) clean ./...

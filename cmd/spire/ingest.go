@@ -1,0 +1,117 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spire/internal/core"
+	"spire/internal/ingest"
+)
+
+// cmdIngest converts raw counter collections — real `perf stat -x, -I`
+// interval CSV or simulator JSON — into a validated SPIRE dataset,
+// reporting everything it had to drop on stderr.
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	out := fs.String("o", "dataset.json", `output dataset file ("-" for stdout)`)
+	strict := fs.Bool("strict", false, "abort on the first severe anomaly instead of quarantining")
+	lenient := fs.Bool("lenient", false, "quarantine anomalies and keep going (the default)")
+	format := fs.String("format", "auto", "input format: auto, csv (perf stat -x, -I) or json")
+	minRunPct := fs.Float64("min-run-pct", 0, "drop rows whose event ran less than this % of the interval")
+	cyclesEvent := fs.String("cycles-event", "", "event supplying T (default cpu_clk_unhalted.thread; generic aliases accepted)")
+	instEvent := fs.String("inst-event", "", "event supplying W (default inst_retired.any; generic aliases accepted)")
+	verbose := fs.Bool("v", false, "print every retained diagnostic, not just the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *strict && *lenient {
+		return fmt.Errorf("-strict and -lenient are mutually exclusive")
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("no input files given")
+	}
+	opts := ingest.Options{
+		Mode:        ingest.Lenient,
+		MinRunPct:   *minRunPct,
+		CyclesEvent: *cyclesEvent,
+		InstEvent:   *instEvent,
+	}
+	if *strict {
+		opts.Mode = ingest.Strict
+	}
+
+	var merged core.Dataset
+	windowBase := 0
+	for _, path := range fs.Args() {
+		res, err := ingestOne(path, *format, opts)
+		if res != nil {
+			fmt.Fprintf(os.Stderr, "spire ingest: %s: %s\n", path, res.Summary())
+			if *verbose {
+				for _, d := range res.Diags {
+					if d.Line > 0 {
+						fmt.Fprintf(os.Stderr, "  line %d [%s] %s\n", d.Line, d.ClassName, d.Msg)
+					} else {
+						fmt.Fprintf(os.Stderr, "  [%s] %s\n", d.ClassName, d.Msg)
+					}
+				}
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		// Offset window tags so intervals from different input files stay
+		// distinct periods in the merged dataset.
+		maxW := 0
+		for _, s := range res.Dataset.Samples {
+			s.Window += windowBase
+			if s.Window > maxW {
+				maxW = s.Window
+			}
+			merged.Add(s)
+		}
+		if maxW > windowBase {
+			windowBase = maxW
+		}
+	}
+	if merged.Len() == 0 {
+		return fmt.Errorf("no samples survived ingestion")
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := core.WriteDataset(w, merged); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Printf("wrote %d samples (%d metrics) -> %s\n", merged.Len(), len(merged.Metrics()), *out)
+	}
+	return nil
+}
+
+// ingestOne reads one input file in the requested format. The Result is
+// non-nil even on error so the caller can print partial diagnostics.
+func ingestOne(path, format string, opts ingest.Options) (*ingest.Result, error) {
+	switch format {
+	case "auto":
+		return ingest.File(path, opts)
+	case "csv", "json":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if format == "csv" {
+			return ingest.ReadCSV(f, opts)
+		}
+		return ingest.ReadJSON(f, opts)
+	}
+	return nil, fmt.Errorf("unknown -format %q (want auto, csv or json)", format)
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixturePath = "../../internal/ingest/testdata/skylake_interval.csv"
+
+// captureStderr runs fn with os.Stderr redirected to a pipe and returns
+// what was written.
+func captureStderr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	fnErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), fnErr
+}
+
+// TestIngestRoundTrip is the acceptance path: a real-format perf stat CSV
+// fixture ingests into a dataset that spire train accepts, with the
+// quarantine summary on stderr.
+func TestIngestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ingested.json")
+	stderr, err := captureStderr(t, func() error {
+		return cmdIngest([]string{"-o", out, fixturePath})
+	})
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	for _, want := range []string{"94 samples", "24 intervals", "garbled:", "not-counted:", "duplicate:"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("stderr summary missing %q:\n%s", want, stderr)
+		}
+	}
+	model := filepath.Join(dir, "model.json")
+	if err := cmdTrain([]string{"-o", model, out}); err != nil {
+		t.Fatalf("train on ingested dataset: %v", err)
+	}
+	if err := cmdAnalyze([]string{"-model", model, "-top", "3", out}); err != nil {
+		t.Fatalf("analyze ingested dataset against its own model: %v", err)
+	}
+}
+
+func TestIngestStrictFailsOnFixture(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.json")
+	_, err := captureStderr(t, func() error {
+		return cmdIngest([]string{"-strict", "-o", out, fixturePath})
+	})
+	if err == nil {
+		t.Error("strict ingest of the corrupted fixture must fail")
+	}
+}
+
+func TestIngestFlagValidation(t *testing.T) {
+	if err := cmdIngest([]string{"-strict", "-lenient", fixturePath}); err == nil {
+		t.Error("-strict -lenient must conflict")
+	}
+	if err := cmdIngest([]string{}); err == nil {
+		t.Error("no inputs must error")
+	}
+	if _, err := captureStderr(t, func() error {
+		return cmdIngest([]string{"-format", "xml", fixturePath})
+	}); err == nil {
+		t.Error("unknown format must error")
+	}
+}
+
+// TestIngestMergesWindows: multiple inputs must land in disjoint window
+// ranges so merged intervals stay distinct periods.
+func TestIngestMergesWindows(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "merged.json")
+	_, err := captureStderr(t, func() error {
+		return cmdIngest([]string{"-o", out, fixturePath, fixturePath})
+	})
+	if err != nil {
+		t.Fatalf("merged ingest: %v", err)
+	}
+	data, err := readDatasets([]string{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Len() != 2*94 {
+		t.Errorf("merged samples = %d, want 188", data.Len())
+	}
+	maxW := 0
+	for _, s := range data.Samples {
+		if s.Window > maxW {
+			maxW = s.Window
+		}
+	}
+	if maxW != 48 {
+		t.Errorf("max window = %d, want 48 (two offset runs of 24)", maxW)
+	}
+}
+
+func TestIngestJSONInput(t *testing.T) {
+	dir := t.TempDir()
+	src := writeSamples(t, dir, "fftw")
+	out := filepath.Join(dir, "revalidated.json")
+	stderr, err := captureStderr(t, func() error {
+		return cmdIngest([]string{"-format", "json", "-o", out, src})
+	})
+	if err != nil {
+		t.Fatalf("json ingest: %v\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "ingested") {
+		t.Errorf("missing summary on stderr: %q", stderr)
+	}
+}

@@ -2,6 +2,7 @@
 //
 // Usage:
 //
+//	spire ingest -o dataset.json perf-interval.csv
 //	spire train -o model.json sample1.json sample2.json ...
 //	spire analyze -model model.json -top 10 workload.json
 //	spire info -model model.json
@@ -26,6 +27,8 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
 	case "train":
 		err = cmdTrain(os.Args[2:])
 	case "analyze":
@@ -51,6 +54,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `spire - statistical piecewise linear roofline ensemble
 
 commands:
+  ingest   [-strict|-lenient] [-format auto|csv|json] [-min-run-pct P] [-o dataset.json] perf.csv...
   train    -o model.json [-min-samples N] dataset.json...
   analyze  -model model.json [-top K] [-interpret] [-timeline] [-html out.html] dataset.json...
   diff     -model model.json [-top K] before.json after.json

@@ -83,6 +83,25 @@ type MetricEstimate struct {
 	MeanIntensity float64 `json:"meanIntensity"`
 }
 
+// CoverageReport describes the metric overlap between a trained model and
+// a workload dataset, so partial-coverage estimations (real collections
+// rarely carry the exact training event set) are visible instead of
+// silent.
+type CoverageReport struct {
+	// ModelMetrics and DataMetrics count the metrics each side knows.
+	ModelMetrics int `json:"modelMetrics"`
+	DataMetrics  int `json:"dataMetrics"`
+	// Shared counts metrics present on both sides — the ones that
+	// contributed to the estimation.
+	Shared int `json:"shared"`
+	// DataOnly lists workload metrics the model has no roofline for
+	// (their samples were skipped), sorted.
+	DataOnly []string `json:"dataOnly,omitempty"`
+	// ModelOnly lists modeled metrics the workload never measured
+	// (they did not constrain the estimate), sorted.
+	ModelOnly []string `json:"modelOnly,omitempty"`
+}
+
 // Estimation is the result of running a workload's dataset through a
 // trained ensemble (paper Fig. 4).
 type Estimation struct {
@@ -96,6 +115,9 @@ type Estimation struct {
 	// MeasuredThroughput is the workload's actual time-weighted
 	// throughput over all samples (e.g. its measured IPC).
 	MeasuredThroughput float64 `json:"measuredThroughput"`
+	// Coverage reports how well the model's metric set and the
+	// workload's overlapped.
+	Coverage CoverageReport `json:"coverage"`
 }
 
 // Estimate runs the ensemble-level estimation process of paper Fig. 4:
@@ -106,6 +128,7 @@ type Estimation struct {
 func (e *Ensemble) Estimate(workload Dataset) (*Estimation, error) {
 	groups := workload.ByMetric()
 	est := &Estimation{MaxThroughput: math.Inf(1)}
+	est.Coverage = e.coverage(groups)
 
 	var totT, totW float64
 	seenMeasured := make(map[measureKey]bool)
@@ -186,6 +209,30 @@ func (e *Ensemble) Estimate(workload Dataset) (*Estimation, error) {
 type measureKey struct {
 	t, w   float64
 	window int
+}
+
+// coverage computes the metric overlap between the model and a workload's
+// valid-sample metric groups.
+func (e *Ensemble) coverage(groups map[string][]Sample) CoverageReport {
+	cov := CoverageReport{
+		ModelMetrics: len(e.Rooflines),
+		DataMetrics:  len(groups),
+	}
+	for metric := range groups {
+		if _, ok := e.Rooflines[metric]; ok {
+			cov.Shared++
+		} else {
+			cov.DataOnly = append(cov.DataOnly, metric)
+		}
+	}
+	for metric := range e.Rooflines {
+		if _, ok := groups[metric]; !ok {
+			cov.ModelOnly = append(cov.ModelOnly, metric)
+		}
+	}
+	sort.Strings(cov.DataOnly)
+	sort.Strings(cov.ModelOnly)
+	return cov
 }
 
 // TopMetrics returns the k lowest-estimate metrics — the paper's candidate

@@ -1,11 +1,21 @@
 package core
 
 import (
+	"errors"
 	"math"
 
 	"spire/internal/geom"
 	"spire/internal/graphalg"
 )
+
+// ErrNonFinite reports that non-finite coordinates reached a fitting
+// routine whose callers should have screened them out; it guards the
+// Dijkstra fit against NaN/Inf edge weights that would corrupt the chosen
+// path silently.
+var ErrNonFinite = errors.New("core: non-finite sample coordinates reached fitting")
+
+// isFinite reports whether x is neither NaN nor ±Inf.
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // fitRight implements the right-region fitting algorithm (paper §III-D,
 // Fig. 6). It receives the finite samples at or beyond the peak intensity
@@ -27,19 +37,30 @@ import (
 //     the paper's "minor exception to the concave-up rule".
 //  3. Dijkstra's shortest path from Start to End selects the minimum
 //     total-squared-error fit.
-func fitRight(right []geom.Point, inf *geom.Point) (chain []geom.Point, tail float64) {
+func fitRight(right []geom.Point, inf *geom.Point) (chain []geom.Point, tail float64, err error) {
+	// Entry guard: every finite input must have finite coordinates and the
+	// optional +Inf sample a finite throughput. NaN/Inf here would become
+	// NaN edge weights inside Dijkstra and silently corrupt the fit.
+	for _, p := range right {
+		if !isFinite(p.X) || !isFinite(p.Y) {
+			return nil, 0, ErrNonFinite
+		}
+	}
+	if inf != nil && !isFinite(inf.Y) {
+		return nil, 0, ErrNonFinite
+	}
 	front := geom.ParetoFront(right)
 	if len(front) == 0 {
 		if inf != nil {
-			return nil, inf.Y
+			return nil, inf.Y, nil
 		}
-		return nil, math.NaN()
+		return nil, math.NaN(), nil
 	}
 	peakY := front[0].Y
 	if inf != nil && inf.Y >= peakY {
 		// The best sample overall never fired the metric: the bound
 		// beyond the peak is that sample's throughput.
-		return nil, inf.Y
+		return nil, inf.Y, nil
 	}
 	if inf != nil {
 		// Front members dominated by the I=+Inf sample are unreachable
@@ -52,11 +73,11 @@ func fitRight(right []geom.Point, inf *geom.Point) (chain []geom.Point, tail flo
 		}
 		front = kept
 		if len(front) == 0 {
-			return nil, inf.Y
+			return nil, inf.Y, nil
 		}
 	}
 	if len(front) == 1 && inf == nil {
-		return nil, front[0].Y
+		return nil, front[0].Y, nil
 	}
 
 	m := len(front) // finite front members, ascending X
@@ -162,15 +183,15 @@ func fitRight(right []geom.Point, inf *geom.Point) (chain []geom.Point, tail flo
 		}
 	}
 
-	path, _, err := g.ShortestPath(start, end)
-	if err != nil {
+	path, _, sperr := g.ShortestPath(start, end)
+	if sperr != nil {
 		// Unreachable only if the rightmost node has no valid chord,
 		// which cannot happen (adjacent chords are always valid), but
 		// fall back to a flat bound defensively.
 		if inf != nil {
-			return nil, front[m-1].Y
+			return nil, front[m-1].Y, nil
 		}
-		return nil, peakY
+		return nil, peakY, nil
 	}
 
 	// path = [Start, (rightmost,i1), (i1,i2), ..., (ik-1,ik), End].
@@ -195,9 +216,9 @@ func fitRight(right []geom.Point, inf *geom.Point) (chain []geom.Point, tail flo
 	}
 	if len(chain) == 0 {
 		if inf != nil {
-			return nil, inf.Y
+			return nil, inf.Y, nil
 		}
-		return nil, peakY
+		return nil, peakY, nil
 	}
-	return chain, chain[len(chain)-1].Y
+	return chain, chain[len(chain)-1].Y, nil
 }

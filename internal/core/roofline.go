@@ -111,9 +111,42 @@ func evalChainFromOrigin(chain []geom.Point, i float64) float64 {
 	return prev.Y
 }
 
+// CorruptSampleError identifies a sample rejected by strict fitting: one
+// whose values (NaN/Inf, non-positive period, negative counts) would
+// poison a fitted model.
+type CorruptSampleError struct {
+	// Metric is the metric being fitted.
+	Metric string
+	// Index is the sample's position in the slice passed to fitting.
+	Index int
+	// Sample is the offending sample verbatim.
+	Sample Sample
+}
+
+// Error renders the rejection with the sample's values.
+func (e *CorruptSampleError) Error() string {
+	return fmt.Sprintf("core: corrupt sample for metric %q at index %d: %s",
+		e.Metric, e.Index, e.Sample)
+}
+
+// FitRooflineStrict fits like FitRoofline but rejects the whole fit with a
+// *CorruptSampleError naming the first invalid sample, instead of silently
+// dropping invalid samples. Use it when corrupt input should be surfaced
+// rather than tolerated (the CLI's -strict ingestion mode).
+func FitRooflineStrict(metric string, samples []Sample) (*Roofline, error) {
+	for i, s := range samples {
+		if !s.Valid() {
+			return nil, &CorruptSampleError{Metric: metric, Index: i, Sample: s}
+		}
+	}
+	return FitRoofline(metric, samples)
+}
+
 // FitRoofline trains a roofline for one metric from its samples (paper
-// §III-D). Invalid samples are dropped. ErrNoSamples is returned when no
-// valid sample remains.
+// §III-D). Invalid samples (NaN/Inf values, non-positive periods, negative
+// counts) are dropped so a single corrupt sample cannot poison the model;
+// use FitRooflineStrict to reject them loudly instead. ErrNoSamples is
+// returned when no valid sample remains.
 func FitRoofline(metric string, samples []Sample) (*Roofline, error) {
 	var finite []geom.Point
 	infY := math.Inf(-1) // best throughput among I = +Inf samples
@@ -124,7 +157,7 @@ func FitRoofline(metric string, samples []Sample) (*Roofline, error) {
 			continue
 		}
 		p := s.Point()
-		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
 			continue
 		}
 		n++
@@ -167,7 +200,10 @@ func FitRoofline(metric string, samples []Sample) (*Roofline, error) {
 	if hasInf {
 		inf = &geom.Point{X: math.Inf(1), Y: infY}
 	}
-	chain, tail := fitRight(right, inf)
+	chain, tail, err := fitRight(right, inf)
+	if err != nil {
+		return nil, fmt.Errorf("core: fitting right region of %q: %w", metric, err)
+	}
 	r.Right = chain
 	r.TailY = tail
 	return r, nil

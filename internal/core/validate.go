@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Reason classifies why a sample was quarantined by Validate.
+type Reason uint8
+
+const (
+	// ReasonNone marks a sample that passed validation.
+	ReasonNone Reason = iota
+	// ReasonMissingMetric: empty metric name.
+	ReasonMissingMetric
+	// ReasonNaN: NaN in T, W or M.
+	ReasonNaN
+	// ReasonInf: ±Inf in T, W or M.
+	ReasonInf
+	// ReasonNonPositiveTime: measurement period T <= 0.
+	ReasonNonPositiveTime
+	// ReasonNegativeWork: negative work count W.
+	ReasonNegativeWork
+	// ReasonNegativeMetric: negative metric count M.
+	ReasonNegativeMetric
+	// ReasonCounterWrap: a value at or beyond the physical counter range,
+	// indicating an unrecovered counter wraparound upstream.
+	ReasonCounterWrap
+	// ReasonThroughputOutlier: the sample's throughput W/T is implausibly
+	// far from the dataset's robust central throughput (clock skew,
+	// truncated periods, scaling glitches on the fixed counters).
+	ReasonThroughputOutlier
+
+	numReasons
+)
+
+// String names the reason for reports.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "ok"
+	case ReasonMissingMetric:
+		return "missing-metric"
+	case ReasonNaN:
+		return "nan"
+	case ReasonInf:
+		return "inf"
+	case ReasonNonPositiveTime:
+		return "non-positive-time"
+	case ReasonNegativeWork:
+		return "negative-work"
+	case ReasonNegativeMetric:
+		return "negative-metric"
+	case ReasonCounterWrap:
+		return "counter-wrap"
+	case ReasonThroughputOutlier:
+		return "throughput-outlier"
+	}
+	return fmt.Sprintf("reason-%d", uint8(r))
+}
+
+// ValidateOptions tunes dataset validation.
+type ValidateOptions struct {
+	// MaxCounter is the largest value a genuine counter delta can take;
+	// values at or beyond it are classified as unrecovered wraparounds.
+	// Defaults to 2^48, the physical PMU counter range.
+	MaxCounter float64
+	// OutlierZ is the robust z-score (median/MAD based) beyond which a
+	// sample's throughput is quarantined as an outlier. Zero selects the
+	// default of 12; negative disables outlier screening.
+	OutlierZ float64
+	// MaxDetail caps the number of quarantined samples retained verbatim
+	// in the report (counts are always complete). Zero selects the
+	// default of 64; negative retains none.
+	MaxDetail int
+}
+
+func (o *ValidateOptions) setDefaults() {
+	if o.MaxCounter == 0 {
+		o.MaxCounter = float64(uint64(1) << 48)
+	}
+	if o.OutlierZ == 0 {
+		o.OutlierZ = 12
+	}
+	if o.MaxDetail == 0 {
+		o.MaxDetail = 64
+	}
+}
+
+// QuarantinedSample records one rejected sample and why.
+type QuarantinedSample struct {
+	// Index is the sample's position in the validated dataset.
+	Index int `json:"index"`
+	// Reason classifies the rejection.
+	Reason Reason `json:"-"`
+	// ReasonName is Reason's string form (stable across versions).
+	ReasonName string `json:"reason"`
+	// Sample is the offending sample verbatim.
+	Sample Sample `json:"sample"`
+}
+
+// ValidationReport summarizes a Validate pass: how many samples survived,
+// per-reason quarantine counts, and the cleaned dataset.
+type ValidationReport struct {
+	// Total, Kept and Quarantined count samples (Total = Kept +
+	// Quarantined).
+	Total       int `json:"total"`
+	Kept        int `json:"kept"`
+	Quarantined int `json:"quarantined"`
+	// ByReason maps reason name to quarantine count; reasons with zero
+	// count are omitted.
+	ByReason map[string]int `json:"byReason,omitempty"`
+	// Detail holds up to MaxDetail quarantined samples verbatim.
+	Detail []QuarantinedSample `json:"detail,omitempty"`
+	// Clean is the surviving dataset, in input order.
+	Clean Dataset `json:"-"`
+}
+
+// Summary renders a one-line human-readable digest, e.g.
+// "1200 samples: 1187 kept, 13 quarantined (nan:4 counter-wrap:9)".
+func (rep ValidationReport) Summary() string {
+	if rep.Quarantined == 0 {
+		return fmt.Sprintf("%d samples: all kept", rep.Total)
+	}
+	reasons := make([]string, 0, len(rep.ByReason))
+	for name := range rep.ByReason {
+		reasons = append(reasons, name)
+	}
+	sort.Strings(reasons)
+	parts := make([]string, 0, len(reasons))
+	for _, name := range reasons {
+		parts = append(parts, fmt.Sprintf("%s:%d", name, rep.ByReason[name]))
+	}
+	return fmt.Sprintf("%d samples: %d kept, %d quarantined (%s)",
+		rep.Total, rep.Kept, rep.Quarantined, strings.Join(parts, " "))
+}
+
+// classify performs the structural (per-sample) checks; outlier screening
+// needs the whole dataset and happens in Validate.
+func classify(s Sample, maxCounter float64) Reason {
+	switch {
+	case s.Metric == "":
+		return ReasonMissingMetric
+	case math.IsNaN(s.T) || math.IsNaN(s.W) || math.IsNaN(s.M):
+		return ReasonNaN
+	case math.IsInf(s.T, 0) || math.IsInf(s.W, 0) || math.IsInf(s.M, 0):
+		return ReasonInf
+	case s.T <= 0:
+		return ReasonNonPositiveTime
+	case s.W < 0:
+		return ReasonNegativeWork
+	case s.M < 0:
+		return ReasonNegativeMetric
+	case s.T >= maxCounter || s.W >= maxCounter || s.M >= maxCounter:
+		return ReasonCounterWrap
+	}
+	return ReasonNone
+}
+
+// Validate screens every sample in the dataset, quarantining those that
+// cannot safely participate in training or estimation: structurally broken
+// values (NaN/Inf, non-positive periods, negative counts), values outside
+// the physical counter range (unrecovered wraparounds), and measurement
+// periods whose throughput is implausibly far from the dataset's robust
+// center (clock skew, truncation). The surviving samples are returned in
+// rep.Clean; nothing ever panics, and an empty or fully corrupt dataset
+// yields an empty Clean with complete counts.
+func Validate(d Dataset, opts ValidateOptions) ValidationReport {
+	opts.setDefaults()
+	rep := ValidationReport{
+		Total:    d.Len(),
+		ByReason: make(map[string]int),
+	}
+	reasons := make([]Reason, d.Len())
+
+	// Pass 1: structural per-sample checks.
+	for i, s := range d.Samples {
+		reasons[i] = classify(s, opts.MaxCounter)
+	}
+
+	// Pass 2: robust throughput-outlier screening over the structurally
+	// sound samples. Periods are deduplicated (all metric samples from
+	// one collection interval share T and W) so a long run of identical
+	// periods doesn't drown the statistics.
+	if opts.OutlierZ > 0 {
+		var periods []float64
+		seen := make(map[measureKey]bool)
+		for i, s := range d.Samples {
+			if reasons[i] != ReasonNone {
+				continue
+			}
+			k := measureKey{t: s.T, w: s.W, window: s.Window}
+			if !seen[k] {
+				seen[k] = true
+				periods = append(periods, s.Throughput())
+			}
+		}
+		if med, scale, ok := robustCenter(periods); ok && scale > 0 {
+			for i, s := range d.Samples {
+				if reasons[i] != ReasonNone {
+					continue
+				}
+				z := math.Abs(s.Throughput()-med) / scale
+				if z > opts.OutlierZ {
+					reasons[i] = ReasonThroughputOutlier
+				}
+			}
+		}
+	}
+
+	for i, s := range d.Samples {
+		if reasons[i] == ReasonNone {
+			rep.Kept++
+			rep.Clean.Add(s)
+			continue
+		}
+		rep.Quarantined++
+		rep.ByReason[reasons[i].String()]++
+		if opts.MaxDetail > 0 && len(rep.Detail) < opts.MaxDetail {
+			rep.Detail = append(rep.Detail, QuarantinedSample{
+				Index:      i,
+				Reason:     reasons[i],
+				ReasonName: reasons[i].String(),
+				Sample:     s,
+			})
+		}
+	}
+	return rep
+}
+
+// robustCenter returns the median and a MAD-derived scale estimate
+// (normalized to be comparable to a standard deviation) of xs. ok is false
+// when xs is empty. A zero MAD (more than half the values identical) falls
+// back to a small relative scale so that genuinely wild values still stand
+// out while exact repeats never get flagged.
+func robustCenter(xs []float64) (med, scale float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, 0, false
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	med = sorted[len(sorted)/2]
+	if len(sorted)%2 == 0 {
+		med = (med + sorted[len(sorted)/2-1]) / 2
+	}
+	devs := make([]float64, len(sorted))
+	for i, x := range sorted {
+		devs[i] = math.Abs(x - med)
+	}
+	sort.Float64s(devs)
+	mad := devs[len(devs)/2]
+	if len(devs)%2 == 0 {
+		mad = (mad + devs[len(devs)/2-1]) / 2
+	}
+	scale = 1.4826 * mad // consistent with σ under normality
+	if scale == 0 {
+		scale = 0.01 * math.Abs(med)
+	}
+	return med, scale, true
+}
+
+// TrainValidated validates the dataset, trains on the surviving samples
+// only, and returns the fitted ensemble together with the validation
+// report. Training on a dataset whose every sample is quarantined returns
+// ErrNoSamples with a complete report, never a panic.
+func TrainValidated(data Dataset, topts TrainOptions, vopts ValidateOptions) (*Ensemble, ValidationReport, error) {
+	rep := Validate(data, vopts)
+	ens, err := Train(rep.Clean, topts)
+	return ens, rep, err
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"spire/internal/geom"
+)
+
+// mkPlausible builds a plausible dataset: n periods of IPC ~1.5 sweeping
+// the metric's intensity.
+func mkPlausible(metric string, n int) []Sample {
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		m := 10 + 40*float64(i)
+		out = append(out, Sample{Metric: metric, T: 1000, W: 1500, M: m, Window: i + 1})
+	}
+	return out
+}
+
+func TestValidateClassification(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	wrap := float64(uint64(1) << 48)
+	var d Dataset
+	d.Add(mkPlausible("stalls", 20)...)
+	bad := []struct {
+		s    Sample
+		want Reason
+	}{
+		{Sample{Metric: "", T: 1000, W: 1500, M: 5}, ReasonMissingMetric},
+		{Sample{Metric: "stalls", T: nan, W: 1500, M: 5}, ReasonNaN},
+		{Sample{Metric: "stalls", T: 1000, W: inf, M: 5}, ReasonInf},
+		{Sample{Metric: "stalls", T: 0, W: 1500, M: 5}, ReasonNonPositiveTime},
+		{Sample{Metric: "stalls", T: -3, W: 1500, M: 5}, ReasonNonPositiveTime},
+		{Sample{Metric: "stalls", T: 1000, W: -1, M: 5}, ReasonNegativeWork},
+		{Sample{Metric: "stalls", T: 1000, W: 1500, M: -5}, ReasonNegativeMetric},
+		{Sample{Metric: "stalls", T: 1000, W: 1500, M: wrap + 12}, ReasonCounterWrap},
+		// Clock-skew flavoured outlier: T far too small for its W.
+		{Sample{Metric: "stalls", T: 1, W: 150000, M: 5, Window: 99}, ReasonThroughputOutlier},
+	}
+	for _, b := range bad {
+		d.Add(b.s)
+	}
+	rep := Validate(d, ValidateOptions{})
+	if rep.Total != 20+len(bad) {
+		t.Fatalf("Total = %d, want %d", rep.Total, 20+len(bad))
+	}
+	if rep.Kept != 20 || rep.Clean.Len() != 20 {
+		t.Errorf("Kept = %d (clean %d), want 20; report: %s", rep.Kept, rep.Clean.Len(), rep.Summary())
+	}
+	if rep.Quarantined != len(bad) {
+		t.Errorf("Quarantined = %d, want %d", rep.Quarantined, len(bad))
+	}
+	for _, b := range bad {
+		if rep.ByReason[b.want.String()] == 0 {
+			t.Errorf("reason %s not counted; report: %s", b.want, rep.Summary())
+		}
+	}
+	if len(rep.Detail) != len(bad) {
+		t.Errorf("Detail has %d entries, want %d", len(rep.Detail), len(bad))
+	}
+	for _, q := range rep.Detail {
+		if q.ReasonName != q.Reason.String() {
+			t.Errorf("detail reason name %q != %v", q.ReasonName, q.Reason)
+		}
+	}
+	if !strings.Contains(rep.Summary(), "quarantined") {
+		t.Errorf("Summary() = %q", rep.Summary())
+	}
+}
+
+func TestValidateEmptyAndAllClean(t *testing.T) {
+	rep := Validate(Dataset{}, ValidateOptions{})
+	if rep.Total != 0 || rep.Quarantined != 0 || rep.Clean.Len() != 0 {
+		t.Errorf("empty dataset report: %+v", rep)
+	}
+	if !strings.Contains(rep.Summary(), "all kept") {
+		t.Errorf("Summary() = %q", rep.Summary())
+	}
+	var d Dataset
+	d.Add(mkPlausible("x", 5)...)
+	rep = Validate(d, ValidateOptions{})
+	if rep.Quarantined != 0 || rep.Kept != 5 {
+		t.Errorf("clean dataset report: %s", rep.Summary())
+	}
+}
+
+func TestValidateOutlierDisabledAndDetailCap(t *testing.T) {
+	var d Dataset
+	d.Add(mkPlausible("x", 10)...)
+	d.Add(Sample{Metric: "x", T: 1, W: 1e7, M: 5}) // wild throughput
+	rep := Validate(d, ValidateOptions{OutlierZ: -1})
+	if rep.Quarantined != 0 {
+		t.Errorf("outlier screening not disabled: %s", rep.Summary())
+	}
+	// Detail is capped but counts stay complete.
+	var d2 Dataset
+	for i := 0; i < 10; i++ {
+		d2.Add(Sample{Metric: "x", T: math.NaN(), W: 1, M: 1})
+	}
+	rep = Validate(d2, ValidateOptions{MaxDetail: 3})
+	if rep.Quarantined != 10 || len(rep.Detail) != 3 {
+		t.Errorf("quarantined %d, detail %d; want 10, 3", rep.Quarantined, len(rep.Detail))
+	}
+	// Negative MaxDetail keeps no verbatim samples.
+	rep = Validate(d2, ValidateOptions{MaxDetail: -1})
+	if rep.Quarantined != 10 || len(rep.Detail) != 0 {
+		t.Errorf("quarantined %d, detail %d; want 10, 0", rep.Quarantined, len(rep.Detail))
+	}
+}
+
+func TestTrainValidatedSkipsQuarantined(t *testing.T) {
+	var d Dataset
+	d.Add(mkPlausible("stalls", 30)...)
+	// Corruption that plain Train would happily fold into the model
+	// (counter wrap produces a huge but "valid" M).
+	d.Add(Sample{Metric: "stalls", T: 1000, W: 1500, M: float64(uint64(1)<<48) + 99})
+	ens, rep, err := TrainValidated(d, TrainOptions{}, ValidateOptions{})
+	if err != nil {
+		t.Fatalf("TrainValidated: %v", err)
+	}
+	if rep.ByReason[ReasonCounterWrap.String()] != 1 {
+		t.Errorf("wraparound not quarantined: %s", rep.Summary())
+	}
+	r := ens.Rooflines["stalls"]
+	if r == nil {
+		t.Fatal("no roofline trained")
+	}
+	if r.TrainingSamples != 30 {
+		t.Errorf("trained on %d samples, want 30 (quarantine skipped)", r.TrainingSamples)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainValidatedAllCorrupt(t *testing.T) {
+	var d Dataset
+	for i := 0; i < 5; i++ {
+		d.Add(Sample{Metric: "x", T: -1, W: 1, M: 1})
+	}
+	ens, rep, err := TrainValidated(d, TrainOptions{}, ValidateOptions{})
+	if !errors.Is(err, ErrNoSamples) {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+	if ens != nil {
+		t.Error("expected nil ensemble")
+	}
+	if rep.Quarantined != 5 {
+		t.Errorf("report: %s", rep.Summary())
+	}
+}
+
+func TestFitRooflineStrictRejectsCorrupt(t *testing.T) {
+	samples := mkPlausible("stalls", 5)
+	samples = append(samples, Sample{Metric: "stalls", T: 1000, W: math.NaN(), M: 5})
+	_, err := FitRooflineStrict("stalls", samples)
+	var cse *CorruptSampleError
+	if !errors.As(err, &cse) {
+		t.Fatalf("err = %v, want *CorruptSampleError", err)
+	}
+	if cse.Index != 5 || cse.Metric != "stalls" {
+		t.Errorf("error detail = %+v", cse)
+	}
+	if !strings.Contains(cse.Error(), "stalls") {
+		t.Errorf("Error() = %q", cse.Error())
+	}
+	// The lenient path still fits by dropping the corrupt sample.
+	r, err := FitRoofline("stalls", samples)
+	if err != nil {
+		t.Fatalf("FitRoofline: %v", err)
+	}
+	if r.TrainingSamples != 5 {
+		t.Errorf("trained on %d, want 5", r.TrainingSamples)
+	}
+	// And an all-valid slice passes strict fitting.
+	if _, err := FitRooflineStrict("stalls", mkPlausible("stalls", 5)); err != nil {
+		t.Errorf("strict fit of valid samples: %v", err)
+	}
+}
+
+func TestFitRightGuardsNonFinite(t *testing.T) {
+	cases := [][]geom.Point{
+		{{X: 1, Y: math.NaN()}},
+		{{X: math.NaN(), Y: 1}},
+		{{X: 1, Y: math.Inf(1)}},
+		{{X: math.Inf(1), Y: 1}}, // finite slice must hold finite X
+	}
+	for i, right := range cases {
+		if _, _, err := fitRight(right, nil); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("case %d: err = %v, want ErrNonFinite", i, err)
+		}
+	}
+	if _, _, err := fitRight(nil, &geom.Point{X: math.Inf(1), Y: math.NaN()}); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("inf-sample guard: err = %v, want ErrNonFinite", err)
+	}
+	// Sane inputs still fit.
+	if _, _, err := fitRight([]geom.Point{{X: 1, Y: 2}, {X: 3, Y: 1}}, nil); err != nil {
+		t.Errorf("valid fit errored: %v", err)
+	}
+}

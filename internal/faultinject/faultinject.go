@@ -1,0 +1,172 @@
+// Package faultinject deterministically corrupts SPIRE datasets and raw
+// perf-stat CSV text the way real collections go wrong: dropped and
+// duplicated intervals, 48-bit counter wraps, multiplex-scaling spikes,
+// clock skew, NaN readings, and mid-line truncation. It exists so the
+// ingestion and validation layers can be tested end-to-end: corrupt a
+// clean collection, push it through ingest/validate/train/estimate, and
+// assert the estimate stays within bounds of the clean baseline.
+//
+// Every fault is driven by a seedable PRNG, so a given (seed, input)
+// pair always produces the same corruption — failures reproduce.
+package faultinject
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"spire/internal/core"
+)
+
+// counterWrap mirrors pmu.CounterWidth: the modulus of a 48-bit PMU
+// counter, the wrap the validation layer must catch.
+const counterWrap = float64(uint64(1) << 48)
+
+// Injector is a deterministic corruptor. The zero value is not usable;
+// construct with New.
+type Injector struct {
+	rng *rand.Rand
+}
+
+// New returns an Injector whose fault choices are fully determined by
+// seed.
+func New(seed int64) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// hit decides one Bernoulli trial at the given rate.
+func (in *Injector) hit(rate float64) bool {
+	return in.rng.Float64() < rate
+}
+
+// windows collects the distinct window tags of a dataset.
+func windows(d core.Dataset) map[int]bool {
+	ws := make(map[int]bool)
+	for _, s := range d.Samples {
+		ws[s.Window] = true
+	}
+	return ws
+}
+
+// DropIntervals removes every sample of each collection window with
+// probability rate — a collector that stalled or lost intervals.
+func (in *Injector) DropIntervals(d core.Dataset, rate float64) core.Dataset {
+	drop := make(map[int]bool)
+	for w := range windows(d) {
+		if in.hit(rate) {
+			drop[w] = true
+		}
+	}
+	return d.Filter(func(s core.Sample) bool { return !drop[s.Window] })
+}
+
+// DuplicateIntervals re-appends every sample of each window with
+// probability rate — a collector that flushed a buffer twice.
+func (in *Injector) DuplicateIntervals(d core.Dataset, rate float64) core.Dataset {
+	dup := make(map[int]bool)
+	for w := range windows(d) {
+		if in.hit(rate) {
+			dup[w] = true
+		}
+	}
+	out := core.Dataset{Samples: append([]core.Sample(nil), d.Samples...)}
+	for _, s := range d.Samples {
+		if dup[s.Window] {
+			out.Add(s)
+		}
+	}
+	return out
+}
+
+// CounterWrap adds the 48-bit counter modulus to each sample's metric
+// count with probability rate — the raw-delta artifact of a counter that
+// wrapped between reads.
+func (in *Injector) CounterWrap(d core.Dataset, rate float64) core.Dataset {
+	return in.mutate(d, rate, func(s *core.Sample) {
+		s.M += counterWrap
+	})
+}
+
+// ScalingSpike multiplies each sample's metric count by a 50-500x factor
+// with probability rate — the extrapolation blow-up of an event that sat
+// on a multiplexed counter for a sliver of the interval.
+func (in *Injector) ScalingSpike(d core.Dataset, rate float64) core.Dataset {
+	return in.mutate(d, rate, func(s *core.Sample) {
+		s.M *= 50 + 450*in.rng.Float64()
+	})
+}
+
+// ClockSkew perturbs each sample's period length by up to ±maxFrac with
+// probability rate — jittered interval timestamps.
+func (in *Injector) ClockSkew(d core.Dataset, rate, maxFrac float64) core.Dataset {
+	return in.mutate(d, rate, func(s *core.Sample) {
+		s.T *= 1 + maxFrac*(2*in.rng.Float64()-1)
+	})
+}
+
+// NaNInject replaces each sample's metric count with NaN at the given
+// rate — a torn read or downstream arithmetic on a sentinel.
+func (in *Injector) NaNInject(d core.Dataset, rate float64) core.Dataset {
+	return in.mutate(d, rate, func(s *core.Sample) {
+		s.M = math.NaN()
+	})
+}
+
+// NegativeTime negates each sample's period length at the given rate — a
+// non-monotonic clock between interval reads.
+func (in *Injector) NegativeTime(d core.Dataset, rate float64) core.Dataset {
+	return in.mutate(d, rate, func(s *core.Sample) {
+		s.T = -s.T
+	})
+}
+
+// mutate applies fn to a copy of each sample chosen at the given rate.
+func (in *Injector) mutate(d core.Dataset, rate float64, fn func(*core.Sample)) core.Dataset {
+	out := core.Dataset{Samples: make([]core.Sample, len(d.Samples))}
+	copy(out.Samples, d.Samples)
+	for i := range out.Samples {
+		if in.hit(rate) {
+			fn(&out.Samples[i])
+		}
+	}
+	return out
+}
+
+// TruncateLines cuts each non-comment line of a perf-stat CSV text at a
+// random byte offset with probability rate — a collector killed
+// mid-write.
+func (in *Injector) TruncateLines(text string, rate float64) string {
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		if line == "" || strings.HasPrefix(line, "#") || !in.hit(rate) {
+			continue
+		}
+		cut := 1 + in.rng.Intn(len(line))
+		lines[i] = line[:cut]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// garbagePool holds realistic non-CSV noise that ends up interleaved in
+// captured perf output.
+var garbagePool = []string{
+	"perf: interrupted by signal, resuming",
+	"Warning: some events weren't counted",
+	"\x00\x00\x00\x00",
+	"=== run 2 ===",
+	"Killed",
+}
+
+// GarbageLines inserts a noise line before each existing line with
+// probability rate — terminal chatter captured into the same stream.
+func (in *Injector) GarbageLines(text string, rate float64) string {
+	lines := strings.Split(text, "\n")
+	out := make([]string, 0, len(lines))
+	for _, line := range lines {
+		if in.hit(rate) {
+			out = append(out, garbagePool[in.rng.Intn(len(garbagePool))])
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}

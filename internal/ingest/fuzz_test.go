@@ -1,0 +1,70 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzPerfStatCSV drives the tolerant parser with arbitrary input in both
+// modes and asserts the robustness contract: no panic, internally
+// consistent accounting, and only structurally valid samples in the
+// surviving dataset. Seed corpus entries cover the real `perf stat -x, -I`
+// row shapes (see also testdata/fuzz/FuzzPerfStatCSV).
+func FuzzPerfStatCSV(f *testing.F) {
+	seeds := []string{
+		"1.000107616,29876,,longest_lat_cache.miss,4512678925,24.53,,\n",
+		"1.000107616,3200000000,,cycles,1000000000,100.00,,\n1.000107616,4800000000,,instructions,1000000000,100.00,,\n1.000107616,29876,,idq.dsb_uops,250000000,25.00,,\n",
+		"2.000362148,<not counted>,,idq.dsb_uops,0,0.00,,\n",
+		"3.000500000,<not supported>,,topdown.slots,0,100.00,,\n",
+		"# started on Wed Aug  5 14:02:11 2026\n",
+		"1,000107616;3200000000;;cycles;1000000000;100,00;;\n",
+		"1,000107616,123456789,,longest_lat_cache.miss,249812345,24,85,,\n",
+		"14.000293847,19456\n",
+		"perf: interrupted by signal, resuming\n",
+		"1.000000001,3200000000,,cpu/inst_retired.any/,1000000000,100.00,,\n",
+		"9.000000009,18446744073709551615,,cycle_activity.stalls_total,1,0.01,,\n",
+		"-1.5,-300,,weird.event,-7,-3.00,,\n",
+		"",
+		"\x00\xff\xfe,,,,\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, mode := range []Mode{Lenient, Strict} {
+			res, err := ReadCSV(strings.NewReader(input), Options{Mode: mode})
+			if res == nil {
+				t.Fatal("nil result")
+			}
+			if mode == Strict && err != nil {
+				continue // strict rejection is a legal outcome
+			}
+			if err != nil {
+				// The only lenient-mode error is an input read failure
+				// (e.g. a line beyond the scanner's 1 MiB cap).
+				if strings.Contains(err.Error(), "reading input") {
+					continue
+				}
+				t.Fatalf("lenient mode errored on parseable-or-skippable input: %v", err)
+			}
+			if res.Stats.Samples != res.Dataset.Len() {
+				t.Fatalf("Stats.Samples %d != dataset len %d", res.Stats.Samples, res.Dataset.Len())
+			}
+			for _, s := range res.Dataset.Samples {
+				if !s.Valid() {
+					t.Fatalf("invalid sample survived ingestion: %s", s)
+				}
+				if s.Window <= 0 {
+					t.Fatalf("sample without window tag: %s", s)
+				}
+			}
+			total := 0
+			for _, n := range res.Stats.ByClass {
+				total += n
+			}
+			if len(res.Diags) > total {
+				t.Fatalf("retained %d diags but counted %d", len(res.Diags), total)
+			}
+		}
+	})
+}

@@ -1,0 +1,299 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spire/internal/core"
+)
+
+func readFixture(t *testing.T, opts Options) *Result {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "skylake_interval.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := Read(f, opts)
+	if err != nil {
+		t.Fatalf("ingest fixture: %v\n%s", err, res.Summary())
+	}
+	return res
+}
+
+func TestFixtureLenient(t *testing.T) {
+	res := readFixture(t, Options{})
+	if res.Stats.Intervals != 24 {
+		t.Errorf("intervals = %d, want 24", res.Stats.Intervals)
+	}
+	// 24 intervals x 4 metric events, minus the <not counted> dsb row in
+	// interval 7 and the truncated llc row in interval 14.
+	if res.Stats.Samples != 94 {
+		t.Errorf("samples = %d, want 94\n%s", res.Stats.Samples, res.Summary())
+	}
+	wantDiags := map[DiagClass]int{
+		DiagGarbled:      2, // truncated row + terminal noise
+		DiagNotCounted:   1,
+		DiagNotSupported: 1,
+		DiagDuplicate:    1,
+		DiagOutOfOrder:   1,
+	}
+	for class, n := range wantDiags {
+		if got := res.Stats.ByClass[class.String()]; got != n {
+			t.Errorf("%s diags = %d, want %d", class, got, n)
+		}
+	}
+	// Windows must be 1..24 in timestamp order despite the out-of-order
+	// block in the file.
+	seen := make(map[int]bool)
+	for _, s := range res.Dataset.Samples {
+		seen[s.Window] = true
+		if s.T <= 0 || s.W <= 0 {
+			t.Fatalf("sample with non-positive fixed counters: %s", s)
+		}
+	}
+	for w := 1; w <= 24; w++ {
+		if !seen[w] {
+			t.Errorf("window %d missing", w)
+		}
+	}
+	// The mixed-locale line must land as a normal sample.
+	var locLine bool
+	for _, s := range res.Dataset.Samples {
+		if s.Window == 15 && s.Metric == "longest_lat_cache.miss" && s.M == 123456789 {
+			locLine = true
+		}
+	}
+	if !locLine {
+		t.Error("decimal-comma line did not survive as a sample")
+	}
+	if !strings.Contains(res.Summary(), "24 intervals") {
+		t.Errorf("Summary() = %q", res.Summary())
+	}
+	// The surviving dataset must train.
+	ens, err := core.Train(res.Dataset, core.TrainOptions{WorkUnit: "instructions", TimeUnit: "cycles"})
+	if err != nil {
+		t.Fatalf("training on ingested fixture: %v", err)
+	}
+	for _, name := range []string{"longest_lat_cache.miss", "idq.dsb_uops", "cycle_activity.stalls_total", "br_misp_retired.all_branches"} {
+		r, ok := ens.Rooflines[name]
+		if !ok {
+			t.Errorf("metric %s missing from trained model", name)
+			continue
+		}
+		if err := r.CheckInvariants(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestFixtureStrictAborts(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "skylake_interval.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := Read(f, Options{Mode: Strict}); err == nil {
+		t.Error("strict mode must reject the corrupted fixture")
+	}
+}
+
+const cleanCSV = `# clean run
+1.000000001,3200000000,,cycles,1000000000,100.00,,
+1.000000001,4800000000,,instructions,1000000000,100.00,,
+1.000000001,12000000,,longest_lat_cache.miss,250000000,25.00,,
+2.000000002,3200000000,,cycles,1000000000,100.00,,
+2.000000002,4000000000,,instructions,1000000000,100.00,,
+2.000000002,30000000,,longest_lat_cache.miss,250000000,25.00,,
+`
+
+func TestCleanCSVStrict(t *testing.T) {
+	res, err := ReadCSV(strings.NewReader(cleanCSV), Options{Mode: Strict})
+	if err != nil {
+		t.Fatalf("strict ingest of clean data: %v", err)
+	}
+	if res.Stats.Samples != 2 || res.Stats.Intervals != 2 {
+		t.Errorf("samples=%d intervals=%d, want 2/2", res.Stats.Samples, res.Stats.Intervals)
+	}
+	s := res.Dataset.Samples[0]
+	if s.Metric != "longest_lat_cache.miss" || s.T != 3.2e9 || s.W != 4.8e9 || s.M != 1.2e7 {
+		t.Errorf("sample = %s", s)
+	}
+}
+
+func TestSemicolonSeparatorDecimalComma(t *testing.T) {
+	// perf stat -x\; under a decimal-comma locale.
+	in := "1,000107616;3200000000;;cycles;1000000000;100,00;;\n" +
+		"1,000107616;4800000000;;instructions;1000000000;100,00;;\n" +
+		"1,000107616;54321;;br_misp_retired.all_branches;248000000;24,80;;\n"
+	res, err := ReadCSV(strings.NewReader(in), Options{Mode: Strict})
+	if err != nil {
+		t.Fatalf("semicolon ingest: %v", err)
+	}
+	if res.Stats.Samples != 1 {
+		t.Fatalf("samples = %d, want 1\n%s", res.Stats.Samples, res.Summary())
+	}
+	s := res.Dataset.Samples[0]
+	if s.M != 54321 || s.T != 3.2e9 {
+		t.Errorf("sample = %s", s)
+	}
+}
+
+func TestEventCanonicalization(t *testing.T) {
+	cases := map[string]string{
+		"cycles":                    "cpu_clk_unhalted.thread",
+		"cpu-cycles":                "cpu_clk_unhalted.thread",
+		"CPU-CYCLES":                "cpu_clk_unhalted.thread",
+		"instructions:u":            "inst_retired.any",
+		"cpu/inst_retired.any/":     "inst_retired.any",
+		"cpu_core/cycles/":          "cpu_clk_unhalted.thread",
+		"idq.dsb_uops:ppp":          "idq.dsb_uops",
+		"longest_lat_cache.miss":    "longest_lat_cache.miss",
+		" idq.ms_switches ":         "idq.ms_switches",
+		"inst_retired.any_p":        "inst_retired.any",
+		"cpu_clk_unhalted.thread_p": "cpu_clk_unhalted.thread",
+	}
+	for in, want := range cases {
+		if got := CanonicalEvent(in); got != want {
+			t.Errorf("CanonicalEvent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMissingFixedCounters(t *testing.T) {
+	// Interval with no instructions row: its metric rows must be dropped
+	// with a missing-fixed diagnostic, not emitted with a zero W.
+	in := "1.000000001,3200000000,,cycles,1000000000,100.00,,\n" +
+		"1.000000001,12000000,,longest_lat_cache.miss,250000000,25.00,,\n"
+	res, err := ReadCSV(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Samples != 0 {
+		t.Errorf("samples = %d, want 0", res.Stats.Samples)
+	}
+	if res.Stats.ByClass[DiagMissingFixed.String()] != 1 {
+		t.Errorf("diags = %v, want one missing-fixed", res.Stats.ByClass)
+	}
+	if _, err := ReadCSV(strings.NewReader(in), Options{Mode: Strict}); err == nil {
+		t.Error("strict mode must reject an interval without fixed counters")
+	}
+}
+
+func TestGarbageOnlyInput(t *testing.T) {
+	in := "complete nonsense\n\x00\x01\x02\nmore,junk\n"
+	res, err := ReadCSV(strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatalf("lenient ingest of garbage must not error: %v", err)
+	}
+	if res.Stats.Samples != 0 || res.Stats.ByClass[DiagGarbled.String()] != 3 {
+		t.Errorf("samples=%d diags=%v", res.Stats.Samples, res.Stats.ByClass)
+	}
+	if _, err := ReadCSV(strings.NewReader(in), Options{Mode: Strict}); err == nil {
+		t.Error("strict mode must reject garbage")
+	}
+}
+
+func TestMinRunPct(t *testing.T) {
+	in := cleanCSV +
+		"3.000000003,3200000000,,cycles,1000000000,100.00,,\n" +
+		"3.000000003,4000000000,,instructions,1000000000,100.00,,\n" +
+		"3.000000003,999999999,,longest_lat_cache.miss,1000000,0.10,,\n"
+	res, err := ReadCSV(strings.NewReader(in), Options{MinRunPct: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Samples != 2 {
+		t.Errorf("samples = %d, want 2 (low-scaling row dropped)", res.Stats.Samples)
+	}
+	if res.Stats.ByClass[DiagLowScaling.String()] != 1 {
+		t.Errorf("diags = %v", res.Stats.ByClass)
+	}
+}
+
+func TestReadJSONLenientQuarantine(t *testing.T) {
+	var d core.Dataset
+	d.Add(
+		core.Sample{Metric: "a", T: 1000, W: 1500, M: 10, Window: 1},
+		// JSON cannot carry NaN; a negative period is the corrupt-sample
+		// shape that survives encoding.
+		core.Sample{Metric: "a", T: -1000, W: 1500, M: 10, Window: 2},
+		core.Sample{Metric: "a", T: 1000, W: 1500, M: 20, Window: 3},
+	)
+	var sb strings.Builder
+	if err := core.WriteDataset(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Read(strings.NewReader(sb.String()), Options{})
+	if err != nil {
+		t.Fatalf("json ingest: %v", err)
+	}
+	if res.Stats.Samples != 2 || res.Validation.Quarantined != 1 {
+		t.Errorf("samples=%d quarantined=%d, want 2/1", res.Stats.Samples, res.Validation.Quarantined)
+	}
+	if res.Stats.ByClass[DiagQuarantined.String()] != 1 {
+		t.Errorf("diags = %v", res.Stats.ByClass)
+	}
+	if _, err := Read(strings.NewReader(sb.String()), Options{Mode: Strict}); err == nil {
+		t.Error("strict json ingest must reject the NaN sample")
+	}
+	if _, err := Read(strings.NewReader("{broken json"), Options{}); err == nil {
+		t.Error("malformed json must error even in lenient mode")
+	}
+}
+
+func TestReadSniffsFormat(t *testing.T) {
+	// Leading whitespace then JSON.
+	res, err := Read(strings.NewReader("\n\t {\"samples\":[]}"), Options{})
+	if err != nil {
+		t.Fatalf("sniffed json: %v", err)
+	}
+	if res.Stats.Samples != 0 {
+		t.Errorf("samples = %d", res.Stats.Samples)
+	}
+	// CSV content.
+	res, err = Read(strings.NewReader(cleanCSV), Options{})
+	if err != nil || res.Stats.Samples != 2 {
+		t.Errorf("sniffed csv: %v, samples=%d", err, res.Stats.Samples)
+	}
+	// Empty input is an empty (lenient) CSV.
+	res, err = Read(strings.NewReader(""), Options{})
+	if err != nil || res.Stats.Samples != 0 {
+		t.Errorf("empty input: %v, samples=%d", err, res.Stats.Samples)
+	}
+}
+
+func TestDiagCapAndSummary(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		sb.WriteString("garbage line\n")
+	}
+	res, err := ReadCSV(strings.NewReader(sb.String()), Options{MaxDiags: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diags) != 5 {
+		t.Errorf("retained diags = %d, want 5", len(res.Diags))
+	}
+	if res.Stats.ByClass[DiagGarbled.String()] != 50 {
+		t.Errorf("counted diags = %v, want garbled:50", res.Stats.ByClass)
+	}
+	if !strings.Contains(res.Summary(), "garbled:50") {
+		t.Errorf("Summary() = %q", res.Summary())
+	}
+}
+
+func TestFileIngest(t *testing.T) {
+	res, err := File(filepath.Join("testdata", "skylake_interval.csv"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Samples == 0 {
+		t.Error("no samples from File ingest")
+	}
+	if _, err := File(filepath.Join("testdata", "missing.csv"), Options{}); err == nil {
+		t.Error("missing file must error")
+	}
+}

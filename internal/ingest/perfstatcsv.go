@@ -1,0 +1,324 @@
+package ingest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spire/internal/core"
+)
+
+// The real `perf stat -x<sep> -I <ms>` interval row layout:
+//
+//	<time>,<value>,<unit>,<event>,<run-ns>,<pct>[,<opt-metric>,<opt-unit>]
+//
+// e.g.
+//
+//	1.000107616,29876,,longest_lat_cache.miss,4512678925,24.53,,
+//	2.000362148,<not counted>,,idq.dsb_uops,0,0.00,,
+//
+// The value column carries the multiplex-scaled count (perf scales by
+// enabled/running before printing); pct is the percentage of the interval
+// the event actually sat on a counter. Locales with a decimal comma split
+// the time and pct columns when the separator is also a comma — perf's
+// own docs recommend -x\; there — so the parser accepts both separators
+// and reassembles comma-split decimal fields.
+const (
+	fieldTime = iota
+	fieldValue
+	fieldUnit
+	fieldEvent
+	fieldRunNS
+	fieldPct
+	minFields = fieldRunNS // value rows without run/pct still carry 4 fields
+)
+
+// eventAliases maps perf's generic event names onto the registry-style
+// names the rest of the repo uses.
+var eventAliases = map[string]string{
+	"cycles":                    "cpu_clk_unhalted.thread",
+	"cpu-cycles":                "cpu_clk_unhalted.thread",
+	"cpu_clk_unhalted.thread_p": "cpu_clk_unhalted.thread",
+	"instructions":              "inst_retired.any",
+	"inst_retired.any_p":        "inst_retired.any",
+}
+
+// pmuWrapRe matches pmu-qualified event syntax like "cpu/inst_retired.any/"
+// or "cpu_core/cycles/".
+var pmuWrapRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_-]*/(.+)/p{0,3}$`)
+
+// CanonicalEvent normalizes a perf event spelling: trims blanks, unwraps
+// "pmu/event/" qualification, strips ":ukhG"-style modifiers, lowercases,
+// and applies the generic-name aliases.
+func CanonicalEvent(name string) string {
+	name = strings.TrimSpace(name)
+	if m := pmuWrapRe.FindStringSubmatch(name); m != nil {
+		name = m[1]
+	}
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		name = name[:i]
+	}
+	name = strings.ToLower(name)
+	if canon, ok := eventAliases[name]; ok {
+		return canon
+	}
+	return name
+}
+
+// row is one parsed counter line.
+type row struct {
+	line  int
+	ts    float64
+	event string
+	value float64
+	pct   float64 // percentage of interval the counter ran; 100 if absent
+}
+
+// interval accumulates the rows sharing one timestamp.
+type interval struct {
+	ts    float64
+	rows  []row
+	seen  map[string]bool // events already recorded (duplicate detection)
+	lines []int
+}
+
+// ReadCSV ingests `perf stat -x, -I` (or -x\;) interval output. Lenient
+// mode records every anomaly as a Diag and presses on; strict mode aborts
+// on the first severe one. The returned dataset uses T = cycles and
+// W = instructions from each interval's fixed-counter rows, one sample per
+// remaining event, with Window numbering the intervals in timestamp order.
+func ReadCSV(r io.Reader, opts Options) (*Result, error) {
+	opts.setDefaults()
+	res := &Result{}
+	cyclesEv := CanonicalEvent(opts.CyclesEvent)
+	instEv := CanonicalEvent(opts.InstEvent)
+
+	intervals := make(map[float64]*interval)
+	var order []float64
+	var lastTS float64
+	haveTS := false
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
+		res.Stats.Lines++
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rw, diag := parseRow(line, lineNo)
+		if diag != nil {
+			res.diag(opts, *diag)
+			if opts.Mode == Strict && diag.Class.Severe() {
+				return res, strictErr(*diag)
+			}
+			continue
+		}
+		res.Stats.DataLines++
+		if rw.pct < opts.MinRunPct {
+			d := Diag{Line: lineNo, Class: DiagLowScaling, Raw: raw,
+				Msg: fmt.Sprintf("%s ran %.2f%% of the interval (< %.2f%%)", rw.event, rw.pct, opts.MinRunPct)}
+			res.diag(opts, d)
+			continue
+		}
+		iv, ok := intervals[rw.ts]
+		if !ok {
+			iv = &interval{ts: rw.ts, seen: make(map[string]bool)}
+			intervals[rw.ts] = iv
+			order = append(order, rw.ts)
+			if haveTS && rw.ts < lastTS {
+				d := Diag{Line: lineNo, Class: DiagOutOfOrder, Raw: raw,
+					Msg: fmt.Sprintf("interval %.9f arrived after %.9f; re-sorting", rw.ts, lastTS)}
+				res.diag(opts, d)
+				if opts.Mode == Strict {
+					return res, strictErr(d)
+				}
+			}
+			if rw.ts > lastTS {
+				lastTS = rw.ts
+			}
+			haveTS = true
+		}
+		if iv.seen[rw.event] {
+			d := Diag{Line: lineNo, Class: DiagDuplicate, Raw: raw,
+				Msg: fmt.Sprintf("duplicate row for event %s in interval %.9f; keeping the first", rw.event, rw.ts)}
+			res.diag(opts, d)
+			if opts.Mode == Strict {
+				return res, strictErr(d)
+			}
+			continue
+		}
+		iv.seen[rw.event] = true
+		iv.rows = append(iv.rows, rw)
+		iv.lines = append(iv.lines, lineNo)
+	}
+	if err := sc.Err(); err != nil {
+		return res, fmt.Errorf("ingest: reading input: %w", err)
+	}
+
+	// Assemble samples in timestamp order.
+	sort.Float64s(order)
+	var assembled core.Dataset
+	window := 0
+	for _, ts := range order {
+		iv := intervals[ts]
+		res.Stats.Intervals++
+		var T, W float64
+		haveT, haveW := false, false
+		for _, rw := range iv.rows {
+			switch rw.event {
+			case cyclesEv:
+				T, haveT = rw.value, true
+			case instEv:
+				W, haveW = rw.value, true
+			}
+		}
+		if !haveT || !haveW {
+			missing := cyclesEv
+			if haveT {
+				missing = instEv
+			}
+			d := Diag{Class: DiagMissingFixed, Line: iv.lines[0],
+				Msg: fmt.Sprintf("interval %.9f has no %s row; dropping its %d rows", ts, missing, len(iv.rows))}
+			res.diag(opts, d)
+			if opts.Mode == Strict {
+				return res, strictErr(d)
+			}
+			continue
+		}
+		window++
+		for _, rw := range iv.rows {
+			if rw.event == cyclesEv || rw.event == instEv {
+				continue
+			}
+			assembled.Add(core.Sample{
+				Metric: rw.event,
+				T:      T,
+				W:      W,
+				M:      rw.value,
+				Window: window,
+			})
+		}
+	}
+
+	if err := res.validate(assembled, opts); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// parseRow parses one data line into a row, or classifies it with a Diag.
+// A nil Diag with a zero row never happens: exactly one of the returns is
+// meaningful.
+func parseRow(line string, lineNo int) (row, *Diag) {
+	sep := byte(',')
+	if strings.IndexByte(line, ';') >= 0 {
+		sep = ';'
+	}
+	fields := strings.Split(line, string(sep))
+	for i := range fields {
+		fields[i] = strings.TrimSpace(fields[i])
+	}
+	if sep == ',' {
+		fields = mendDecimalSplits(fields)
+	}
+	if len(fields) < minFields {
+		return row{}, &Diag{Line: lineNo, Class: DiagGarbled, Raw: line,
+			Msg: fmt.Sprintf("%d fields, want >= %d (truncated line?)", len(fields), minFields)}
+	}
+	ts, err := parseNum(fields[fieldTime])
+	if err != nil {
+		return row{}, &Diag{Line: lineNo, Class: DiagGarbled, Raw: line,
+			Msg: fmt.Sprintf("bad interval timestamp %q", fields[fieldTime])}
+	}
+	event := CanonicalEvent(fields[fieldEvent])
+	if event == "" {
+		return row{}, &Diag{Line: lineNo, Class: DiagGarbled, Raw: line,
+			Msg: "empty event name"}
+	}
+	switch strings.ToLower(fields[fieldValue]) {
+	case "<not counted>":
+		return row{}, &Diag{Line: lineNo, Class: DiagNotCounted, Raw: line,
+			Msg: fmt.Sprintf("%s not counted in interval %s", event, fields[fieldTime])}
+	case "<not supported>":
+		return row{}, &Diag{Line: lineNo, Class: DiagNotSupported, Raw: line,
+			Msg: fmt.Sprintf("%s not supported by this PMU", event)}
+	}
+	value, err := parseNum(fields[fieldValue])
+	if err != nil {
+		return row{}, &Diag{Line: lineNo, Class: DiagGarbled, Raw: line,
+			Msg: fmt.Sprintf("bad counter value %q for %s", fields[fieldValue], event)}
+	}
+	pct := 100.0
+	if len(fields) > fieldPct && fields[fieldPct] != "" {
+		if p, err := parseNum(fields[fieldPct]); err == nil {
+			pct = p
+		}
+	}
+	return row{line: lineNo, ts: ts, event: event, value: value, pct: pct}, nil
+}
+
+// mendDecimalSplits repairs comma-separated lines produced under a
+// decimal-comma locale, where perf prints "1,000107616" for the timestamp
+// and "99,75" for the running percentage and the commas collide with the
+// field separator. A numeric field followed by an all-digit fragment that
+// cannot start a field of its own (perf prints no leading zeros on
+// counter values, so a fragment like "000107616" or a 1-2 digit "75"
+// after a percentage-sized number is a split decimal) is rejoined.
+func mendDecimalSplits(fields []string) []string {
+	out := make([]string, 0, len(fields))
+	for i := 0; i < len(fields); i++ {
+		f := fields[i]
+		if i+1 < len(fields) && isAllDigits(f) && isAllDigits(fields[i+1]) {
+			next := fields[i+1]
+			// Timestamp shape, only at the line start: seconds + 6..9
+			// digit nanosecond fraction ("1" + "000107616"). Counter
+			// values never occupy the first column in interval mode.
+			tsShape := len(out) == 0 && len(next) >= 6 && len(next) <= 9
+			// Percentage shape, only past the run-ns column: 1-3 digit
+			// whole + exactly 2-digit fraction ("99" + "75").
+			pctShape := len(out) >= fieldPct && len(f) <= 3 && len(next) == 2
+			if tsShape || pctShape {
+				out = append(out, f+"."+next)
+				i++
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// isAllDigits reports whether s is non-empty ASCII digits only.
+func isAllDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// parseNum parses a number tolerating surrounding blanks and a
+// decimal-comma locale rendering ("1,000107616" as one field, as produced
+// with -x\;).
+func parseNum(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	if strings.Count(s, ",") == 1 && !strings.Contains(s, ".") {
+		s = strings.Replace(s, ",", ".", 1)
+	}
+	return strconv.ParseFloat(s, 64)
+}

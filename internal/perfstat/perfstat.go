@@ -91,6 +91,10 @@ type Report struct {
 	Samples int
 	// GroupSwitches counts counter reprogrammings.
 	GroupSwitches int
+	// CounterWraps counts per-event 48-bit counter wraparounds recovered
+	// while computing deltas (zero on a healthy run; nonzero indicates
+	// the PMU readings needed wrap recovery).
+	CounterWraps int
 	// OverheadFraction estimates the sampling overhead as accounted
 	// switch cost over total run time.
 	OverheadFraction float64
@@ -164,7 +168,8 @@ func Collect(s *sim.Sim, name string, opts Options) (core.Dataset, Report, error
 			before := p.Snapshot()
 			ran := s.Step(want)
 			after := p.Snapshot()
-			d := after.Delta(before)
+			d, wraps := after.DeltaWrapped(before)
+			rep.CounterWraps += len(wraps)
 			o := &obs[gi]
 			o.running += ran
 			for i, ev := range groups[gi] {
@@ -182,7 +187,8 @@ func Collect(s *sim.Sim, name string, opts Options) (core.Dataset, Report, error
 		}
 
 		intervalEnd := p.Snapshot()
-		d := intervalEnd.Delta(intervalStart)
+		d, wraps := intervalEnd.DeltaWrapped(intervalStart)
+		rep.CounterWraps += len(wraps)
 		T := d.Read(pmu.EvCycles)
 		W := d.Read(pmu.EvInstRetired)
 		if T == 0 {

@@ -278,13 +278,31 @@ func Lookup(name string) (Event, bool) {
 	return registry[id], true
 }
 
-// Describe returns the registry entry for id; it panics on an out-of-range
-// id, which is always a programming error.
+// Describe returns the registry entry for id. An out-of-range id — which
+// can reach analysis code through corrupt persisted data — resolves to a
+// synthetic placeholder event instead of panicking; use DescribeOK when
+// the distinction matters.
 func Describe(id EventID) Event {
 	if id < 0 || id >= NumEvents {
-		panic(fmt.Sprintf("pmu: event id %d out of range", id))
+		return Event{
+			ID:   id,
+			Name: fmt.Sprintf("unknown_event_%d", id),
+			Abbr: "?",
+			Area: AreaNone,
+			Desc: "out-of-range event id (corrupt data?)",
+		}
 	}
 	return registry[id]
+}
+
+// DescribeOK returns the registry entry for id and whether id is a real
+// registry event (false for the synthetic placeholder Describe would
+// fabricate).
+func DescribeOK(id EventID) (Event, bool) {
+	if id < 0 || id >= NumEvents {
+		return Describe(id), false
+	}
+	return registry[id], true
 }
 
 // Events returns all registry entries in ID order.

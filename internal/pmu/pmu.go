@@ -1,7 +1,5 @@
 package pmu
 
-import "fmt"
-
 // PMU is the core's counter block. The simulator increments events
 // unconditionally (an oracle view); measurement-side restrictions —
 // limited programmable counters and multiplexing — are applied by readers
@@ -41,18 +39,49 @@ type Counts struct {
 // Read returns the snapshot's count of ev.
 func (c Counts) Read(ev EventID) uint64 { return c.counts[ev] }
 
-// Delta returns the per-event difference now - earlier. It panics if any
-// counter went backwards, which would indicate counter corruption.
+// CounterWidth is the modeled hardware counter width in bits. Real PMU
+// general counters are 48 bits wide on the modeled core family; a counter
+// observed "going backwards" between two snapshots is therefore assumed to
+// have wrapped once at 2^48, the standard recovery real perf tooling
+// applies.
+const CounterWidth = 48
+
+// counterWrap is the modulus a wrapped counter rolled over at.
+const counterWrap = uint64(1) << CounterWidth
+
+// Delta returns the per-event difference now - earlier, recovering from
+// counter wraparound: a counter that went backwards is assumed to have
+// wrapped once at 2^CounterWidth. Use DeltaWrapped to learn which events
+// (if any) needed recovery.
 func (c Counts) Delta(earlier Counts) Counts {
-	var d Counts
-	for i := range c.counts {
-		if c.counts[i] < earlier.counts[i] {
-			panic(fmt.Sprintf("pmu: counter %s went backwards (%d -> %d)",
-				Describe(EventID(i)).Name, earlier.counts[i], c.counts[i]))
-		}
-		d.counts[i] = c.counts[i] - earlier.counts[i]
-	}
+	d, _ := c.DeltaWrapped(earlier)
 	return d
+}
+
+// DeltaWrapped returns the per-event difference now - earlier together
+// with the list of events whose counters went backwards and were recovered.
+// Recovery assumes a single wrap at 2^CounterWidth; a backwards counter
+// whose values cannot be explained by one 48-bit wrap (e.g. both readings
+// already exceed the counter range) saturates to zero instead of producing
+// a garbage delta. wrapped is nil when no counter wrapped.
+func (c Counts) DeltaWrapped(earlier Counts) (d Counts, wrapped []EventID) {
+	for i := range c.counts {
+		now, was := c.counts[i], earlier.counts[i]
+		if now >= was {
+			d.counts[i] = now - was
+			continue
+		}
+		wrapped = append(wrapped, EventID(i))
+		if was < counterWrap {
+			// One wrap at 2^48 explains the readings.
+			d.counts[i] = now + (counterWrap - was)
+		} else {
+			// Readings outside the physical counter range: corruption we
+			// cannot model. Saturate rather than guess.
+			d.counts[i] = 0
+		}
+	}
+	return d, wrapped
 }
 
 // IPC returns the snapshot's instructions-per-cycle, or 0 when no cycles

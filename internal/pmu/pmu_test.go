@@ -35,13 +35,19 @@ func TestLookup(t *testing.T) {
 	}
 }
 
-func TestDescribePanicsOutOfRange(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
+func TestDescribeOutOfRange(t *testing.T) {
+	for _, id := range []EventID{NumEvents, -1, NumEvents + 100} {
+		ev := Describe(id)
+		if ev.Name == "" || ev.Abbr != "?" {
+			t.Errorf("Describe(%d) = %+v, want synthetic placeholder", id, ev)
 		}
-	}()
-	Describe(NumEvents)
+		if _, ok := DescribeOK(id); ok {
+			t.Errorf("DescribeOK(%d) reported a real event", id)
+		}
+	}
+	if ev, ok := DescribeOK(EvCycles); !ok || ev.Name != "cpu_clk_unhalted.thread" {
+		t.Errorf("DescribeOK(EvCycles) = %+v, %v", ev, ok)
+	}
 }
 
 func TestFixedCounters(t *testing.T) {
@@ -121,18 +127,35 @@ func TestPMUCounting(t *testing.T) {
 	}
 }
 
-func TestDeltaPanicsOnBackwards(t *testing.T) {
-	p := New()
-	p.Add(EvCycles, 10)
-	later := p.Snapshot()
-	p.Reset()
-	earlier := p.Snapshot()
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for backwards counter")
-		}
-	}()
-	earlier.Delta(later)
+func TestDeltaWrapRecovery(t *testing.T) {
+	// A counter that "went backwards" is recovered as one 48-bit wrap.
+	var earlier, later Counts
+	earlier.counts[EvCycles] = counterWrap - 100
+	later.counts[EvCycles] = 50
+	d, wrapped := later.DeltaWrapped(earlier)
+	if got := d.Read(EvCycles); got != 150 {
+		t.Errorf("wrap delta = %d, want 150", got)
+	}
+	if len(wrapped) != 1 || wrapped[0] != EvCycles {
+		t.Errorf("wrapped = %v, want [EvCycles]", wrapped)
+	}
+	// Delta must agree and no longer panic.
+	if got := later.Delta(earlier).Read(EvCycles); got != 150 {
+		t.Errorf("Delta wrap delta = %d, want 150", got)
+	}
+	// Unexplainable readings (earlier beyond the counter range) saturate.
+	earlier.counts[EvCycles] = counterWrap + 7
+	d, wrapped = later.DeltaWrapped(earlier)
+	if got := d.Read(EvCycles); got != 0 {
+		t.Errorf("saturated delta = %d, want 0", got)
+	}
+	if len(wrapped) != 1 {
+		t.Errorf("saturation should still be flagged, wrapped = %v", wrapped)
+	}
+	// No wrap: flag list stays nil.
+	if _, w := earlier.DeltaWrapped(Counts{}); w != nil {
+		t.Errorf("forward delta flagged wraps: %v", w)
+	}
 }
 
 func TestCountsIPC(t *testing.T) {
