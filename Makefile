@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test vet race fuzz verify clean
+# Minimum statement coverage for the model-fitting core.
+CORE_COVER_FLOOR ?= 85.0
+
+.PHONY: all build test vet race cover fuzz fuzz-short verify clean
 
 all: build
 
@@ -16,14 +19,32 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Coverage gate: internal/core must stay at or above CORE_COVER_FLOOR.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/core/
+	@pct=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "internal/core coverage: $$pct% (floor $(CORE_COVER_FLOOR)%)"; \
+	awk -v p="$$pct" -v f="$(CORE_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "FAIL: internal/core coverage $$pct% is below the $(CORE_COVER_FLOOR)% floor"; exit 1; }
+
 # Short fuzz pass over the perf-stat CSV parser; the checked-in seed
 # corpus under internal/ingest/testdata/fuzz runs as part of plain
 # `make test` too.
 fuzz:
 	$(GO) test -fuzz FuzzPerfStatCSV -fuzztime 30s ./internal/ingest/
 
-# The full verification gate: build, static checks, tests, race tests.
-verify: build vet test race
+# Quick fuzz smoke over every fuzz target (10s each): the ingest parser,
+# the roofline fitter, the parallel trainer, and the model loader.
+fuzz-short:
+	$(GO) test -fuzz FuzzPerfStatCSV -fuzztime 10s ./internal/ingest/
+	$(GO) test -fuzz FuzzFitRoofline -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzTrainParallel -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzLoadEnsemble -fuzztime 10s ./internal/core/
+
+# The full verification gate: build, static checks, tests, race tests,
+# the core coverage floor, and a short fuzz smoke.
+verify: build vet test race cover fuzz-short
 
 clean:
 	$(GO) clean ./...
+	rm -f coverage.out

@@ -14,9 +14,12 @@ package spire_test
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"spire/internal/analysis"
 	"spire/internal/core"
@@ -346,6 +349,88 @@ func BenchmarkEnsembleEstimate(b *testing.B) {
 		if _, err := ens.Estimate(data); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchTrainingDataset concatenates every sample (training + test
+// workloads) from the shared session for the parallel-training benchmark.
+func benchTrainingDataset(b *testing.B) core.Dataset {
+	b.Helper()
+	s := benchSession(b)
+	data, err := s.TrainingDataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs, err := s.TestRuns()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range runs {
+		data.Merge(r.Data)
+	}
+	return data
+}
+
+// BenchmarkTrainParallel times parallel ensemble training (Workers = 0 ⇒
+// GOMAXPROCS) on the full-session dataset and reports the speedup over a
+// serial fit measured in the same process.
+func BenchmarkTrainParallel(b *testing.B) {
+	data := benchTrainingDataset(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.TrainContext(ctx, data, core.TrainOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	parallelPerOp := b.Elapsed() / time.Duration(b.N)
+	serialStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.TrainContext(ctx, data, core.TrainOptions{Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	serialPerOp := time.Since(serialStart) / time.Duration(b.N)
+	if parallelPerOp > 0 {
+		b.ReportMetric(float64(serialPerOp)/float64(parallelPerOp), "speedup-vs-serial")
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+}
+
+// BenchmarkBatchEstimate times the batch estimation path (pre-indexed
+// workload, memoized segment lookup, concurrent metrics) on a test
+// workload and reports the speedup over the naive Estimate path.
+func BenchmarkBatchEstimate(b *testing.B) {
+	s := benchSession(b)
+	ens, err := s.Ensemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs, err := s.TestRuns()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := runs[0].Data
+	ix := core.IndexWorkload(data)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ens.BatchEstimate(ctx, ix, core.EstimateOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	batchPerOp := b.Elapsed() / time.Duration(b.N)
+	naiveStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := ens.Estimate(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	naivePerOp := time.Since(naiveStart) / time.Duration(b.N)
+	if batchPerOp > 0 {
+		b.ReportMetric(float64(naivePerOp)/float64(batchPerOp), "speedup-vs-naive")
 	}
 }
 

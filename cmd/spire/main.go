@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,8 +56,8 @@ func usage() {
 
 commands:
   ingest   [-strict|-lenient] [-format auto|csv|json] [-min-run-pct P] [-o dataset.json] perf.csv...
-  train    -o model.json [-min-samples N] dataset.json...
-  analyze  -model model.json [-top K] [-interpret] [-timeline] [-html out.html] dataset.json...
+  train    -o model.json [-min-samples N] [-workers N] [-v] dataset.json...
+  analyze  -model model.json [-top K] [-workers N] [-interpret] [-timeline] [-html out.html] dataset.json...
   diff     -model model.json [-top K] before.json after.json
   info     -model model.json`)
 }
@@ -85,6 +86,8 @@ func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	out := fs.String("o", "model.json", "output model file")
 	minSamples := fs.Int("min-samples", 0, "drop metrics with fewer training samples")
+	workers := fs.Int("workers", 0, "concurrent per-metric fits (0 = GOMAXPROCS; output is identical for any count)")
+	verbose := fs.Bool("v", false, "report metrics that were skipped during training and why")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,13 +95,20 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	ens, err := core.Train(data, core.TrainOptions{
+	ens, rep, err := core.TrainContext(context.Background(), data, core.TrainOptions{
 		WorkUnit:   "instructions",
 		TimeUnit:   "cycles",
 		MinSamples: *minSamples,
+		Workers:    *workers,
 	})
 	if err != nil {
+		if rep != nil {
+			fmt.Fprintln(os.Stderr, "spire:", rep.Summary())
+		}
 		return err
+	}
+	if *verbose {
+		fmt.Println(rep.Summary())
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -128,6 +138,7 @@ func cmdAnalyze(args []string) error {
 	interpret := fs.Bool("interpret", false, "print the interpreted bottleneck-pool report")
 	timeline := fs.Bool("timeline", false, "print the per-window bottleneck timeline")
 	htmlOut := fs.String("html", "", "write a self-contained HTML report to this file")
+	workers := fs.Int("workers", 0, "concurrent per-metric estimators (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,7 +150,8 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	est, err := ens.Estimate(data)
+	est, err := ens.BatchEstimate(context.Background(), core.IndexWorkload(data),
+		core.EstimateOptions{Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,6 +72,41 @@ func TestTrainAnalyzeInfoRoundTrip(t *testing.T) {
 	}
 	if err := cmdInfo([]string{"-model", model}); err != nil {
 		t.Fatalf("info: %v", err)
+	}
+}
+
+// TestTrainWorkersDeterministic: the -workers flag must not change the
+// model file, and -v prints the skip summary.
+func TestTrainWorkersDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	d1 := writeSamples(t, dir, "fftw")
+	d2 := writeSamples(t, dir, "remhos")
+
+	serial := filepath.Join(dir, "serial.json")
+	if err := cmdTrain([]string{"-o", serial, "-workers", "1", d1, d2}); err != nil {
+		t.Fatalf("train -workers 1: %v", err)
+	}
+	want, err := os.ReadFile(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"0", "4", "13"} {
+		out := filepath.Join(dir, "par"+w+".json")
+		if err := cmdTrain([]string{"-o", out, "-workers", w, "-v", d1, d2}); err != nil {
+			t.Fatalf("train -workers %s: %v", w, err)
+		}
+		got, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("-workers %s produced a different model than -workers 1", w)
+		}
+	}
+
+	// Analyze must accept the flag too.
+	if err := cmdAnalyze([]string{"-model", serial, "-workers", "3", d1}); err != nil {
+		t.Fatalf("analyze -workers 3: %v", err)
 	}
 }
 

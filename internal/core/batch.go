@@ -1,0 +1,331 @@
+package core
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"spire/internal/geom"
+	"spire/internal/stats"
+)
+
+// WorkloadIndex is a workload dataset pre-indexed for repeated estimation:
+// samples are grouped by metric once and per-sample operational
+// intensities are precomputed, so that BatchEstimate does no re-grouping
+// or re-derivation work per call. An index is immutable and safe for
+// concurrent use by any number of estimators.
+type WorkloadIndex struct {
+	metrics []string // sorted metric names with >= 1 valid sample
+	groups  map[string]*indexedMetric
+}
+
+// indexedMetric holds one metric's valid samples plus derived values.
+type indexedMetric struct {
+	samples []Sample
+	intens  []float64 // Intensity() per sample, precomputed
+}
+
+// IndexWorkload groups the workload's valid samples by metric and
+// precomputes each sample's operational intensity. Invalid samples are
+// dropped exactly as Dataset.ByMetric drops them.
+func IndexWorkload(d Dataset) *WorkloadIndex {
+	groups := d.ByMetric()
+	ix := &WorkloadIndex{
+		metrics: make([]string, 0, len(groups)),
+		groups:  make(map[string]*indexedMetric, len(groups)),
+	}
+	for metric, samples := range groups {
+		im := &indexedMetric{
+			samples: samples,
+			intens:  make([]float64, len(samples)),
+		}
+		for i, s := range samples {
+			im.intens[i] = s.Intensity()
+		}
+		ix.metrics = append(ix.metrics, metric)
+		ix.groups[metric] = im
+	}
+	sort.Strings(ix.metrics)
+	return ix
+}
+
+// Metrics returns the sorted metric names with at least one valid sample.
+func (ix *WorkloadIndex) Metrics() []string {
+	return append([]string(nil), ix.metrics...)
+}
+
+// Len returns the number of indexed (valid) samples.
+func (ix *WorkloadIndex) Len() int {
+	n := 0
+	for _, im := range ix.groups {
+		n += len(im.samples)
+	}
+	return n
+}
+
+// EstimateOptions configures BatchEstimate.
+type EstimateOptions struct {
+	// Workers bounds the number of metrics estimated concurrently. Zero
+	// or negative selects GOMAXPROCS. Results are identical for every
+	// worker count.
+	Workers int
+}
+
+// chainEval is a precomputed evaluator for one roofline: breakpoint
+// abscissae are laid out for binary search so segment lookup is O(log n)
+// on the left chain too (Roofline.Eval walks it linearly). Its arithmetic
+// mirrors Roofline.Eval segment for segment, so the two produce
+// bit-identical values.
+type chainEval struct {
+	left   []geom.Point
+	leftX  []float64
+	peak   geom.Point
+	right  []geom.Point
+	rightX []float64
+	tail   float64
+}
+
+// newChainEval builds the segment table for r. It tolerates structurally
+// odd chains (it never panics); garbage chains yield the same garbage
+// values Roofline.Eval would.
+func newChainEval(r *Roofline) *chainEval {
+	ce := &chainEval{
+		left:  r.Left,
+		right: r.Right,
+		peak:  r.Peak(),
+		tail:  r.TailY,
+	}
+	ce.leftX = make([]float64, len(r.Left))
+	for i, p := range r.Left {
+		ce.leftX[i] = p.X
+	}
+	ce.rightX = make([]float64, len(r.Right))
+	for i, p := range r.Right {
+		ce.rightX[i] = p.X
+	}
+	return ce
+}
+
+// eval is the binary-search twin of Roofline.Eval.
+func (ce *chainEval) eval(i float64) float64 {
+	if math.IsNaN(i) {
+		return math.NaN()
+	}
+	if len(ce.left) == 0 {
+		return math.NaN()
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i <= ce.peak.X {
+		// First breakpoint at or beyond i, as evalChainFromOrigin's
+		// linear walk finds it.
+		k := sort.SearchFloat64s(ce.leftX, i)
+		if k >= len(ce.left) {
+			return ce.left[len(ce.left)-1].Y
+		}
+		prev := geom.Point{X: 0, Y: 0}
+		if k > 0 {
+			prev = ce.left[k-1]
+		}
+		p := ce.left[k]
+		if p.X == prev.X {
+			return p.Y
+		}
+		t := (i - prev.X) / (p.X - prev.X)
+		return prev.Y + t*(p.Y-prev.Y)
+	}
+	if len(ce.right) == 0 {
+		return ce.tail
+	}
+	if i < ce.right[0].X {
+		return ce.peak.Y
+	}
+	last := ce.right[len(ce.right)-1]
+	if i >= last.X {
+		return ce.tail
+	}
+	// Rightmost segment start with right[lo].X <= i: SearchFloat64s
+	// returns the first index with rightX[k] >= i, so step back when the
+	// hit is strictly beyond i.
+	k := sort.SearchFloat64s(ce.rightX, i)
+	if k >= len(ce.right) || ce.rightX[k] > i {
+		k--
+	}
+	if k < 0 {
+		return ce.peak.Y
+	}
+	if k+1 >= len(ce.right) {
+		return ce.tail
+	}
+	a, b := ce.right[k], ce.right[k+1]
+	t := (i - a.X) / (b.X - a.X)
+	return a.Y + t*(b.Y-a.Y)
+}
+
+// evaluators returns the memoized segment tables, building them on first
+// use. Safe for concurrent callers; rooflines must not be mutated after
+// the first estimation (trained and loaded ensembles never are).
+func (e *Ensemble) evaluators() map[string]*chainEval {
+	e.evalOnce.Do(func() {
+		m := make(map[string]*chainEval, len(e.Rooflines))
+		for name, r := range e.Rooflines {
+			m[name] = newChainEval(r)
+		}
+		e.evals = m
+	})
+	return e.evals
+}
+
+// metricBatch is one metric's contribution to a batch estimation.
+type metricBatch struct {
+	ok      bool
+	me      MetricEstimate
+	contrib []measureKey // measured-throughput keys, in sample order
+}
+
+// estimateMetric evaluates one metric's samples against its memoized
+// roofline table. It mirrors Ensemble.Estimate's inner loop exactly.
+func estimateMetric(metric string, im *indexedMetric, ce *chainEval) metricBatch {
+	var out metricBatch
+	var ws []stats.Weighted
+	var intensityNum, intensityDen float64
+	infIntensity := false
+	for i, s := range im.samples {
+		intensity := im.intens[i]
+		p := ce.eval(intensity)
+		if math.IsNaN(p) {
+			continue
+		}
+		ws = append(ws, stats.Weighted{Value: p, Weight: s.T})
+		if math.IsInf(intensity, 1) {
+			infIntensity = true
+		} else {
+			intensityNum += s.T * intensity
+			intensityDen += s.T
+		}
+		out.contrib = append(out.contrib, measureKey{t: s.T, w: s.W, window: s.Window})
+	}
+	if len(ws) == 0 {
+		return out
+	}
+	mean, err := stats.WeightedMean(ws)
+	if err != nil {
+		return out
+	}
+	out.ok = true
+	out.me = MetricEstimate{
+		Metric:       metric,
+		MeanEstimate: mean,
+		Samples:      len(ws),
+	}
+	switch {
+	case intensityDen > 0:
+		out.me.MeanIntensity = intensityNum / intensityDen
+	case infIntensity:
+		out.me.MeanIntensity = math.Inf(1)
+	default:
+		out.me.MeanIntensity = math.NaN()
+	}
+	return out
+}
+
+// BatchEstimate runs the Fig. 4 estimation process against a pre-built
+// workload index, evaluating all shared metrics concurrently on a bounded
+// worker pool (opts.Workers goroutines, default GOMAXPROCS). Per-metric
+// results are merged in metric-name order, so the estimation is
+// deterministic for every worker count and agrees with Ensemble.Estimate
+// (exactly, except MeasuredThroughput which can differ in the last bits
+// because Estimate accumulates periods in map order).
+//
+// Cancelling ctx aborts the remaining metric evaluations and returns
+// ctx.Err(). ErrNoSamples is returned when no indexed metric overlaps the
+// model.
+func (e *Ensemble) BatchEstimate(ctx context.Context, ix *WorkloadIndex, opts EstimateOptions) (*Estimation, error) {
+	est := &Estimation{MaxThroughput: math.Inf(1)}
+	est.Coverage = e.coverageOf(ix.metrics)
+
+	shared := make([]string, 0, len(ix.metrics))
+	for _, metric := range ix.metrics {
+		if _, ok := e.Rooflines[metric]; ok {
+			shared = append(shared, metric)
+		}
+	}
+	if len(shared) == 0 {
+		return nil, ErrNoSamples
+	}
+	evals := e.evaluators()
+	results := make([]metricBatch, len(shared))
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shared) {
+		workers = len(shared)
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= len(shared) {
+					return
+				}
+				metric := shared[i]
+				results[i] = estimateMetric(metric, ix.groups[metric], evals[metric])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge in metric-name order: per-metric estimates,
+	// the ensemble minimum, and the period-deduplicated measured
+	// throughput.
+	var totT, totW float64
+	seen := make(map[measureKey]bool)
+	for _, res := range results {
+		for _, k := range res.contrib {
+			if !seen[k] {
+				seen[k] = true
+				totT += k.t
+				totW += k.w
+			}
+		}
+		if !res.ok {
+			continue
+		}
+		est.PerMetric = append(est.PerMetric, res.me)
+		if res.me.MeanEstimate < est.MaxThroughput {
+			est.MaxThroughput = res.me.MeanEstimate
+		}
+	}
+	if len(est.PerMetric) == 0 {
+		return nil, ErrNoSamples
+	}
+	sort.Slice(est.PerMetric, func(i, j int) bool {
+		a, b := est.PerMetric[i], est.PerMetric[j]
+		if a.MeanEstimate != b.MeanEstimate {
+			return a.MeanEstimate < b.MeanEstimate
+		}
+		return a.Metric < b.Metric
+	})
+	if totT > 0 {
+		est.MeasuredThroughput = totW / totT
+	} else {
+		est.MeasuredThroughput = math.NaN()
+	}
+	return est, nil
+}

@@ -1,0 +1,282 @@
+package core
+
+// Differential suite: the optimized fitting pipeline (convex-hull left
+// fit, Pareto + Dijkstra right fit) is checked against the
+// slow-but-obviously-correct reference implementations in internal/oracle
+// on thousands of randomized datasets. Any disagreement is a bug in the
+// fast path (or, symmetrically, in the reference — either way a bug).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spire/internal/geom"
+	"spire/internal/oracle"
+)
+
+// randDiffSamples generates a small random training set. Grid mode draws
+// coordinates from a small integer lattice to provoke duplicates, exact
+// collinearity and slope ties; continuous mode stresses general position.
+// A few invalid samples ride along to exercise filtering.
+func randDiffSamples(rng *rand.Rand, grid bool) []Sample {
+	n := 1 + rng.Intn(24)
+	out := make([]Sample, 0, n+2)
+	for i := 0; i < n; i++ {
+		var s Sample
+		if grid {
+			s = Sample{
+				Metric: "m",
+				T:      float64(1 + rng.Intn(4)),
+				W:      float64(rng.Intn(24)),
+				M:      float64(rng.Intn(8)), // zero M => I = +Inf
+			}
+		} else {
+			s = Sample{
+				Metric: "m",
+				T:      1 + rng.Float64()*4,
+				W:      rng.Float64() * 24,
+				M:      rng.Float64() * 8,
+			}
+		}
+		out = append(out, s)
+	}
+	if rng.Intn(3) == 0 {
+		out = append(out,
+			Sample{Metric: "m", T: -1, W: 3, M: 1},
+			Sample{Metric: "m", T: 2, W: math.NaN(), M: 1},
+		)
+	}
+	return out
+}
+
+// finitePoints reproduces FitRoofline's screening: valid samples with
+// finite intensity and throughput.
+func finitePoints(samples []Sample) []geom.Point {
+	var pts []geom.Point
+	for _, s := range samples {
+		if !s.Valid() {
+			continue
+		}
+		p := s.Point()
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) || math.IsInf(p.X, 1) {
+			continue
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// TestDifferentialLeftFitMatchesOracle checks, on >= 1000 random
+// datasets, that the fitted left-region bound equals the oracle's least
+// concave majorant at every training abscissa, segment midpoint, and a
+// spread of interior probes — and that it upper-bounds every training
+// sample (paper property P̂_x(I) >= P).
+func TestDifferentialLeftFitMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	datasets := 0
+	for datasets < 1000 {
+		samples := randDiffSamples(rng, datasets%2 == 0)
+		r, err := FitRoofline("m", samples)
+		if err != nil {
+			if err != ErrNoSamples {
+				t.Fatalf("FitRoofline: %v", err)
+			}
+			continue
+		}
+		datasets++
+		pts := finitePoints(samples)
+		if len(pts) == 0 {
+			continue // all-Inf model: no left region to compare
+		}
+		peak := r.Peak()
+
+		var probes []float64
+		for _, p := range pts {
+			if p.X <= peak.X {
+				probes = append(probes, p.X)
+			}
+		}
+		probes = append(probes, 0, peak.X, peak.X/3, peak.X*0.77)
+		for i := 0; i < 8; i++ {
+			probes = append(probes, rng.Float64()*peak.X)
+		}
+		for _, x := range probes {
+			want := oracle.LeftEval(pts, x)
+			got := r.Eval(x)
+			if math.IsNaN(want) || math.IsNaN(got) {
+				t.Fatalf("NaN bound at x=%g: fast %g oracle %g (samples %v)", x, got, want, samples)
+			}
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("left bound mismatch at x=%g: fast %g, oracle %g (samples %v)",
+					x, got, want, samples)
+			}
+		}
+		for _, s := range samples {
+			if !s.Valid() {
+				continue
+			}
+			p := s.Point()
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			if r.Eval(p.X) < p.Y-1e-9*(1+p.Y) {
+				t.Fatalf("fit undercuts training sample %v: bound %g", s, r.Eval(p.X))
+			}
+		}
+	}
+}
+
+// randFront generates a small right-region input: a handful of points
+// (grid or continuous) and, half the time, an I=+Inf sample whose level
+// sometimes dominates the whole front.
+func randFront(rng *rand.Rand, grid bool) ([]geom.Point, *geom.Point) {
+	n := 1 + rng.Intn(8)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		if grid {
+			pts[i] = geom.Point{
+				X: float64(1 + rng.Intn(12)),
+				Y: float64(1 + rng.Intn(10)),
+			}
+		} else {
+			pts[i] = geom.Point{X: 1 + rng.Float64()*12, Y: rng.Float64() * 10}
+		}
+	}
+	var inf *geom.Point
+	if rng.Intn(2) == 0 {
+		inf = &geom.Point{X: math.Inf(1), Y: float64(rng.Intn(12))}
+	}
+	return pts, inf
+}
+
+// TestDifferentialRightFitMatchesOracle checks, on >= 1000 random fronts,
+// that the Dijkstra-based right fit attains exactly the minimum cost the
+// exhaustive-enumeration oracle finds over the segment-compatibility
+// graph, and that the two agree on every pre-enumeration short-circuit.
+func TestDifferentialRightFitMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	for it := 0; it < 1200; it++ {
+		pts, inf := randFront(rng, it%2 == 0)
+		fastChain, fastTail, err := fitRight(pts, inf)
+		if err != nil {
+			t.Fatalf("fitRight: %v (pts %v inf %v)", err, pts, inf)
+		}
+		oChain, oTail := oracle.RightFit(pts, inf)
+		if (len(fastChain) == 0) != (len(oChain) == 0) {
+			t.Fatalf("chain emptiness disagrees: fast %v oracle %v (pts %v inf %v)",
+				fastChain, oChain, pts, inf)
+		}
+		if len(fastChain) == 0 {
+			same := fastTail == oTail || (math.IsNaN(fastTail) && math.IsNaN(oTail))
+			if !same {
+				t.Fatalf("empty-chain tails disagree: fast %g oracle %g (pts %v inf %v)",
+					fastTail, oTail, pts, inf)
+			}
+			continue
+		}
+		fastCost := oracle.ChainCost(pts, fastChain, inf)
+		if math.IsNaN(fastCost) {
+			t.Fatalf("fast chain %v is not a valid front selection (pts %v inf %v)",
+				fastChain, pts, inf)
+		}
+		bestCost, done := oracle.BestRightCost(pts, inf)
+		if done {
+			t.Fatalf("oracle short-circuited but fast enumerated (pts %v inf %v)", pts, inf)
+		}
+		tol := 1e-9 * (1 + math.Abs(bestCost))
+		if fastCost > bestCost+tol {
+			t.Fatalf("fast fit suboptimal: cost %g > oracle optimum %g (pts %v inf %v chain %v)",
+				fastCost, bestCost, pts, inf, fastChain)
+		}
+		if bestCost > fastCost+tol {
+			t.Fatalf("oracle worse than fast path — oracle bug: %g > %g (pts %v inf %v)",
+				bestCost, fastCost, pts, inf)
+		}
+		if fastTail != fastChain[len(fastChain)-1].Y {
+			t.Fatalf("fast tail %g != last breakpoint %g", fastTail, fastChain[len(fastChain)-1].Y)
+		}
+	}
+}
+
+// TestDifferentialParetoFront checks the optimized sweep against the
+// naive pairwise-domination oracle on >= 1000 random point sets.
+func TestDifferentialParetoFront(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for it := 0; it < 1000; it++ {
+		n := rng.Intn(20)
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{
+				X: float64(rng.Intn(10)),
+				Y: float64(rng.Intn(10)),
+			}
+		}
+		fast := geom.ParetoFront(pts)
+		slow := oracle.ParetoFront(pts)
+		if len(fast) != len(slow) {
+			t.Fatalf("front sizes differ: fast %v oracle %v (pts %v)", fast, slow, pts)
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Fatalf("front member %d differs: fast %v oracle %v (pts %v)", i, fast, slow, pts)
+			}
+		}
+	}
+}
+
+// TestDifferentialShapeProperties re-checks the paper's qualitative shape
+// guarantees with dense probing on random fits: the left region is
+// non-decreasing and concave-down (midpoint test), the right region
+// non-increasing beyond the first chosen breakpoint.
+func TestDifferentialShapeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	fits := 0
+	for fits < 1000 {
+		samples := randDiffSamples(rng, fits%2 == 1)
+		r, err := FitRoofline("m", samples)
+		if err != nil {
+			continue
+		}
+		fits++
+		peak := r.Peak()
+
+		// Left: non-decreasing, concave-down.
+		prev := -1.0
+		for i := 0; i <= 24; i++ {
+			x := peak.X * float64(i) / 24
+			v := r.Eval(x)
+			if v < prev-1e-9*(1+math.Abs(prev)) {
+				t.Fatalf("left bound decreasing at x=%g (samples %v)", x, samples)
+			}
+			prev = v
+		}
+		for i := 0; i < 12; i++ {
+			a := rng.Float64() * peak.X
+			b := rng.Float64() * peak.X
+			mid := (a + b) / 2
+			lhs := r.Eval(mid)
+			rhs := (r.Eval(a) + r.Eval(b)) / 2
+			if lhs < rhs-1e-9*(1+math.Abs(rhs)) {
+				t.Fatalf("left bound not concave-down between %g and %g: f(mid)=%g < %g (samples %v)",
+					a, b, lhs, rhs, samples)
+			}
+		}
+
+		// Right: non-increasing beyond the first breakpoint.
+		if len(r.Right) == 0 {
+			continue
+		}
+		lo := r.Right[0].X
+		hi := r.Right[len(r.Right)-1].X*1.5 + 1
+		prev = math.Inf(1)
+		for i := 0; i <= 24; i++ {
+			x := lo + (hi-lo)*float64(i)/24
+			v := r.Eval(x)
+			if v > prev+1e-9*(1+math.Abs(prev)) {
+				t.Fatalf("right bound increasing at x=%g (samples %v)", x, samples)
+			}
+			prev = v
+		}
+	}
+}

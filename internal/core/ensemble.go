@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"spire/internal/stats"
 )
 
 // Ensemble is a trained SPIRE model: one roofline per performance metric
-// (paper §III-C, Fig. 3).
+// (paper §III-C, Fig. 3). Rooflines are immutable once trained (or
+// loaded): every method on a trained ensemble is safe for concurrent use.
 type Ensemble struct {
 	// Rooflines maps metric name to its fitted roofline.
 	Rooflines map[string]*Roofline `json:"rooflines"`
@@ -19,42 +21,11 @@ type Ensemble struct {
 	// and estimation agree.
 	WorkUnit string `json:"workUnit"`
 	TimeUnit string `json:"timeUnit"`
-}
 
-// TrainOptions configures ensemble training.
-type TrainOptions struct {
-	// WorkUnit and TimeUnit label the throughput definition.
-	WorkUnit string
-	TimeUnit string
-	// MinSamples drops metrics with fewer valid training samples than
-	// this; zero means keep all metrics with at least one sample.
-	MinSamples int
-}
-
-// Train fits one roofline per metric found in the dataset (paper Fig. 3).
-// Metrics whose samples are all invalid are skipped. ErrNoSamples is
-// returned when nothing could be fitted.
-func Train(data Dataset, opts TrainOptions) (*Ensemble, error) {
-	groups := data.ByMetric()
-	e := &Ensemble{
-		Rooflines: make(map[string]*Roofline, len(groups)),
-		WorkUnit:  opts.WorkUnit,
-		TimeUnit:  opts.TimeUnit,
-	}
-	for metric, samples := range groups {
-		if opts.MinSamples > 0 && len(samples) < opts.MinSamples {
-			continue
-		}
-		r, err := FitRoofline(metric, samples)
-		if err != nil {
-			continue
-		}
-		e.Rooflines[metric] = r
-	}
-	if len(e.Rooflines) == 0 {
-		return nil, ErrNoSamples
-	}
-	return e, nil
+	// evalOnce/evals lazily memoize the binary-search segment tables
+	// BatchEstimate evaluates rooflines through (see batch.go).
+	evalOnce sync.Once
+	evals    map[string]*chainEval
 }
 
 // Metrics returns the sorted metric names the ensemble models.
@@ -214,11 +185,23 @@ type measureKey struct {
 // coverage computes the metric overlap between the model and a workload's
 // valid-sample metric groups.
 func (e *Ensemble) coverage(groups map[string][]Sample) CoverageReport {
+	metrics := make([]string, 0, len(groups))
+	for metric := range groups {
+		metrics = append(metrics, metric)
+	}
+	return e.coverageOf(metrics)
+}
+
+// coverageOf computes the metric overlap between the model and a
+// workload's measured metric set.
+func (e *Ensemble) coverageOf(metrics []string) CoverageReport {
 	cov := CoverageReport{
 		ModelMetrics: len(e.Rooflines),
-		DataMetrics:  len(groups),
+		DataMetrics:  len(metrics),
 	}
-	for metric := range groups {
+	data := make(map[string]bool, len(metrics))
+	for _, metric := range metrics {
+		data[metric] = true
 		if _, ok := e.Rooflines[metric]; ok {
 			cov.Shared++
 		} else {
@@ -226,7 +209,7 @@ func (e *Ensemble) coverage(groups map[string][]Sample) CoverageReport {
 		}
 	}
 	for metric := range e.Rooflines {
-		if _, ok := groups[metric]; !ok {
+		if !data[metric] {
 			cov.ModelOnly = append(cov.ModelOnly, metric)
 		}
 	}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -45,6 +47,54 @@ func FuzzFitRoofline(f *testing.F) {
 			if r.Eval(p.X) < p.Y-1e-9*(1+p.Y) {
 				t.Fatalf("fit undercuts sample %v", s)
 			}
+		}
+	})
+}
+
+// FuzzTrainParallel: arbitrary dataset shapes and worker counts must
+// never panic the parallel trainer, and every worker count must produce a
+// byte-identical encoded ensemble (and an identical report) to the serial
+// fit.
+func FuzzTrainParallel(f *testing.F) {
+	f.Add([]byte{1, 10, 2, 1, 20, 1, 1, 5, 0, 3, 3, 3}, uint8(4))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 9, 9, 9, 1, 0, 0}, uint8(255))
+	f.Fuzz(func(t *testing.T, raw []byte, workers uint8) {
+		metrics := [...]string{"a", "b", "c", "d", "e"}
+		var d Dataset
+		for i := 0; i+2 < len(raw); i += 3 {
+			d.Add(Sample{
+				Metric: metrics[(i/3)%len(metrics)],
+				T:      float64(raw[i]), // zero T possible -> invalid sample
+				W:      float64(raw[i+1]) * 1.5,
+				M:      float64(raw[i+2]) / 3,
+			})
+		}
+		ctx := context.Background()
+		serial, srep, serr := TrainContext(ctx, d, TrainOptions{Workers: 1})
+		par, prep, perr := TrainContext(ctx, d, TrainOptions{Workers: int(workers)})
+		if (serr == nil) != (perr == nil) {
+			t.Fatalf("error mismatch: serial %v, %d workers %v", serr, workers, perr)
+		}
+		if serr != nil {
+			if !errors.Is(perr, ErrNoSamples) {
+				t.Fatalf("unexpected error: %v", perr)
+			}
+			return
+		}
+		var sb, pb bytes.Buffer
+		if err := serial.Save(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Save(&pb); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			t.Fatalf("workers=%d produced a different ensemble:\n%s\nvs serial:\n%s",
+				workers, pb.Bytes(), sb.Bytes())
+		}
+		if srep.Fitted != prep.Fitted || len(srep.Skipped) != len(prep.Skipped) {
+			t.Fatalf("reports differ: %+v vs %+v", srep, prep)
 		}
 	})
 }

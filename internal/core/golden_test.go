@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenDataset deterministically builds the golden fixture dataset: three
+// metrics with distinct shapes (a full left+right roofline, a never-fires
+// metric, a thin metric) plus a couple of corrupt rows that training must
+// drop. It uses a hand-rolled LCG so the fixture can be regenerated
+// identically forever, independent of math/rand.
+func goldenDataset() Dataset {
+	var d Dataset
+	state := uint32(0xC0FFEE)
+	next := func(n int) float64 {
+		state = state*1664525 + 1013904223
+		return float64((state >> 16) % uint32(n))
+	}
+	for i := 0; i < 48; i++ {
+		d.Add(Sample{
+			Metric: "cache.misses",
+			T:      1000,
+			W:      600 + 25*next(40),
+			M:      1 + next(200),
+			Window: i + 1,
+		})
+	}
+	for i := 0; i < 24; i++ {
+		d.Add(Sample{
+			Metric: "port5.uops",
+			T:      1000,
+			W:      400 + 30*next(30),
+			M:      0, // never fires: I = +Inf throughout
+			Window: i + 1,
+		})
+	}
+	for i := 0; i < 8; i++ {
+		d.Add(Sample{
+			Metric: "dtlb.walks",
+			T:      500 + 100*next(5),
+			W:      300 + 40*next(20),
+			M:      2 + next(30),
+			Window: i + 1,
+		})
+	}
+	// Corrupt rows: dropped by validity screening, must not shift the fit.
+	d.Add(
+		Sample{Metric: "cache.misses", T: -4, W: 100, M: 3},
+		Sample{Metric: "dtlb.walks", T: 0, W: 7, M: 1},
+	)
+	return d
+}
+
+// TestGoldenTrainReproducesModel trains on the checked-in fixture dataset
+// and asserts the encoded ensemble is byte-identical to the checked-in
+// golden model — for the serial fit and for several parallel worker
+// counts. This pins the entire fit path (grouping, hull, Pareto,
+// shortest-path, serialization); run with -update to regenerate after an
+// intentional model change.
+func TestGoldenTrainReproducesModel(t *testing.T) {
+	datasetPath := filepath.Join("testdata", "golden_dataset.json")
+	modelPath := filepath.Join("testdata", "golden_model.json")
+
+	if *updateGolden {
+		var db bytes.Buffer
+		if err := WriteDataset(&db, goldenDataset()); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(datasetPath, db.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ens, err := Train(goldenDataset(), TrainOptions{WorkUnit: "instructions", TimeUnit: "cycles"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mb bytes.Buffer
+		if err := ens.Save(&mb); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(modelPath, mb.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	df, err := os.Open(datasetPath)
+	if err != nil {
+		t.Fatalf("open fixture dataset (run with -update to create): %v", err)
+	}
+	data, err := ReadDataset(df)
+	df.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatalf("read golden model: %v", err)
+	}
+
+	for _, workers := range []int{1, 2, 4, 9} {
+		ens, rep, err := TrainContext(context.Background(), data,
+			TrainOptions{WorkUnit: "instructions", TimeUnit: "cycles", Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Fitted != 3 {
+			t.Fatalf("workers=%d: fitted %d metrics, want 3 (%s)", workers, rep.Fitted, rep.Summary())
+		}
+		var got bytes.Buffer
+		if err := ens.Save(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("workers=%d: trained model deviates from golden file.\nIf the fit "+
+				"path changed intentionally, regenerate with: go test ./internal/core -run Golden -update\ngot:\n%s\nwant:\n%s",
+				workers, got.Bytes(), want)
+		}
+	}
+}
+
+// TestGoldenFixtureIsCurrent guards the fixture generator itself: the
+// checked-in dataset must equal what goldenDataset() produces, so the
+// golden pair stays regenerable.
+func TestGoldenFixtureIsCurrent(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, goldenDataset()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_dataset.json"))
+	if err != nil {
+		t.Fatalf("read fixture dataset (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("goldenDataset() no longer matches testdata/golden_dataset.json; regenerate with -update")
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// TrainOptions configures ensemble training.
+type TrainOptions struct {
+	// WorkUnit and TimeUnit label the throughput definition.
+	WorkUnit string
+	TimeUnit string
+	// MinSamples drops metrics with fewer valid training samples than
+	// this; zero means keep all metrics with at least one sample.
+	MinSamples int
+	// Workers bounds the number of per-metric fits running concurrently.
+	// Zero or negative selects GOMAXPROCS. The trained ensemble is
+	// identical for every worker count: fits are pure per-metric
+	// functions and results are merged in metric-name order.
+	Workers int
+}
+
+// workers resolves the effective worker count for n independent jobs.
+func (o TrainOptions) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SkippedMetric records one metric group that Train could not fit and why.
+type SkippedMetric struct {
+	// Metric names the skipped metric group.
+	Metric string `json:"metric"`
+	// Reason is Err's message (stable, JSON-friendly form).
+	Reason string `json:"reason"`
+	// Err is the underlying fit error.
+	Err error `json:"-"`
+}
+
+// TrainReport accounts for every metric group Train considered, so skipped
+// metrics are visible instead of silently absent from the ensemble.
+type TrainReport struct {
+	// Metrics counts the metric groups present in the (valid) training
+	// data.
+	Metrics int `json:"metrics"`
+	// Fitted counts the rooflines that made it into the ensemble.
+	Fitted int `json:"fitted"`
+	// Skipped lists the metrics that were dropped, sorted by name.
+	Skipped []SkippedMetric `json:"skipped,omitempty"`
+}
+
+// Summary renders a one-line digest, e.g.
+// "fitted 12/14 metrics (skipped bad.event: core: no usable samples)".
+func (rep *TrainReport) Summary() string {
+	if len(rep.Skipped) == 0 {
+		return fmt.Sprintf("fitted %d/%d metrics", rep.Fitted, rep.Metrics)
+	}
+	parts := make([]string, 0, len(rep.Skipped))
+	for _, s := range rep.Skipped {
+		parts = append(parts, fmt.Sprintf("%s: %s", s.Metric, s.Reason))
+	}
+	return fmt.Sprintf("fitted %d/%d metrics (skipped %s)",
+		rep.Fitted, rep.Metrics, strings.Join(parts, "; "))
+}
+
+// Train fits one roofline per metric found in the dataset (paper Fig. 3).
+// Metrics whose samples are all invalid are skipped; use TrainContext to
+// see why. ErrNoSamples is returned when nothing could be fitted.
+func Train(data Dataset, opts TrainOptions) (*Ensemble, error) {
+	e, _, err := TrainContext(context.Background(), data, opts)
+	return e, err
+}
+
+// TrainContext fits one roofline per metric concurrently on a bounded
+// worker pool (opts.Workers goroutines, default GOMAXPROCS) and reports
+// every metric it had to skip. The result is deterministic: per-metric
+// fitting is a pure function and rooflines are merged in metric-name
+// order, so any worker count produces a bit-identical encoded ensemble.
+//
+// Cancelling ctx aborts the remaining fits and returns ctx.Err(); no
+// partial ensemble is returned. ErrNoSamples is returned (with a complete
+// report) when no metric could be fitted.
+func TrainContext(ctx context.Context, data Dataset, opts TrainOptions) (*Ensemble, *TrainReport, error) {
+	groups := data.ByMetric()
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	rep := &TrainReport{Metrics: len(names)}
+	e := &Ensemble{
+		Rooflines: make(map[string]*Roofline, len(names)),
+		WorkUnit:  opts.WorkUnit,
+		TimeUnit:  opts.TimeUnit,
+	}
+
+	type outcome struct {
+		r   *Roofline
+		err error
+	}
+	outs := make([]outcome, len(names))
+
+	// Bounded pool pulling jobs off a shared atomic cursor: cheap, no
+	// channel bookkeeping, and trivially deterministic because outs is
+	// indexed by the sorted metric position, not by completion order.
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := opts.workers(len(names)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= len(names) {
+					return
+				}
+				name := names[i]
+				samples := groups[name]
+				if opts.MinSamples > 0 && len(samples) < opts.MinSamples {
+					outs[i].err = fmt.Errorf("%d samples below min-samples %d",
+						len(samples), opts.MinSamples)
+					continue
+				}
+				outs[i].r, outs[i].err = FitRoofline(name, samples)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	for i, name := range names {
+		switch {
+		case outs[i].err != nil:
+			rep.Skipped = append(rep.Skipped, SkippedMetric{
+				Metric: name,
+				Reason: outs[i].err.Error(),
+				Err:    outs[i].err,
+			})
+		default:
+			e.Rooflines[name] = outs[i].r
+			rep.Fitted++
+		}
+	}
+	if len(e.Rooflines) == 0 {
+		return nil, rep, ErrNoSamples
+	}
+	return e, rep, nil
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randMultiMetricDataset builds a dataset spread over several metrics,
+// including metrics destined to be skipped (all samples with W = M = 0
+// survive validity screening but have no fittable point).
+func randMultiMetricDataset(rng *rand.Rand, metrics int) Dataset {
+	var d Dataset
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	for m := 0; m < metrics && m < len(names); m++ {
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			d.Add(Sample{
+				Metric: names[m],
+				T:      float64(1 + rng.Intn(8)),
+				W:      float64(rng.Intn(40)),
+				M:      float64(rng.Intn(10)),
+			})
+		}
+	}
+	return d
+}
+
+// encodeEnsemble renders the ensemble via Save for byte-level comparison.
+func encodeEnsemble(t *testing.T, e *Ensemble) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainParallelMatchesSerial: for random datasets and a spread of
+// worker counts (including counts above the metric count), the encoded
+// ensemble is byte-identical to the serial fit and the reports agree.
+func TestTrainParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	ctx := context.Background()
+	for it := 0; it < 60; it++ {
+		d := randMultiMetricDataset(rng, 1+rng.Intn(8))
+		serial, srep, serr := TrainContext(ctx, d, TrainOptions{Workers: 1})
+		for _, workers := range []int{0, 2, 3, 4, 7, 16, 64} {
+			par, prep, perr := TrainContext(ctx, d, TrainOptions{Workers: workers})
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("workers=%d: error mismatch: serial %v parallel %v", workers, serr, perr)
+			}
+			if serr != nil {
+				if !errors.Is(perr, ErrNoSamples) {
+					t.Fatalf("workers=%d: unexpected error %v", workers, perr)
+				}
+				continue
+			}
+			if got, want := encodeEnsemble(t, par), encodeEnsemble(t, serial); !bytes.Equal(got, want) {
+				t.Fatalf("workers=%d: encoded ensemble differs from serial:\n%s\nvs\n%s",
+					workers, got, want)
+			}
+			if prep.Fitted != srep.Fitted || prep.Metrics != srep.Metrics ||
+				len(prep.Skipped) != len(srep.Skipped) {
+				t.Fatalf("workers=%d: report mismatch: %+v vs %+v", workers, prep, srep)
+			}
+			for i := range prep.Skipped {
+				if prep.Skipped[i].Metric != srep.Skipped[i].Metric ||
+					prep.Skipped[i].Reason != srep.Skipped[i].Reason {
+					t.Fatalf("workers=%d: skip %d differs: %+v vs %+v",
+						workers, i, prep.Skipped[i], srep.Skipped[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTrainReportSkipReasons: metrics that cannot be fitted are reported
+// with a reason instead of silently vanishing.
+func TestTrainReportSkipReasons(t *testing.T) {
+	var d Dataset
+	d.Add(mkPlausible("good", 12)...)
+	// Valid samples (T > 0, W = M = 0) that yield no fittable point:
+	// intensity is NaN, so FitRoofline sees zero usable samples.
+	d.Add(
+		Sample{Metric: "idle", T: 5, W: 0, M: 0},
+		Sample{Metric: "idle", T: 7, W: 0, M: 0},
+	)
+	// A thin metric to be dropped by MinSamples.
+	d.Add(Sample{Metric: "thin", T: 1, W: 4, M: 2})
+
+	ens, rep, err := TrainContext(context.Background(), d, TrainOptions{MinSamples: 2})
+	if err != nil {
+		t.Fatalf("TrainContext: %v", err)
+	}
+	if len(ens.Rooflines) != 1 || ens.Rooflines["good"] == nil {
+		t.Fatalf("Rooflines = %v, want just good", ens.Metrics())
+	}
+	if rep.Metrics != 3 || rep.Fitted != 1 || len(rep.Skipped) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Skipped[0].Metric != "idle" || !errors.Is(rep.Skipped[0].Err, ErrNoSamples) {
+		t.Errorf("idle skip = %+v, want ErrNoSamples", rep.Skipped[0])
+	}
+	if rep.Skipped[1].Metric != "thin" || !strings.Contains(rep.Skipped[1].Reason, "min-samples") {
+		t.Errorf("thin skip = %+v, want min-samples reason", rep.Skipped[1])
+	}
+	sum := rep.Summary()
+	if !strings.Contains(sum, "fitted 1/3") || !strings.Contains(sum, "idle") {
+		t.Errorf("Summary() = %q", sum)
+	}
+}
+
+// TestTrainReportAllFitted: the no-skip summary stays terse.
+func TestTrainReportAllFitted(t *testing.T) {
+	var d Dataset
+	d.Add(mkPlausible("good", 8)...)
+	_, rep, err := TrainContext(context.Background(), d, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Summary(); got != "fitted 1/1 metrics" {
+		t.Errorf("Summary() = %q", got)
+	}
+}
+
+// TestTrainContextCancellation: a cancelled context aborts training with
+// ctx.Err() and no partial ensemble.
+func TestTrainContextCancellation(t *testing.T) {
+	var d Dataset
+	for _, m := range []string{"a", "b", "c", "d"} {
+		d.Add(mkPlausible(m, 50)...)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ens, rep, err := TrainContext(ctx, d, TrainOptions{Workers: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ens != nil || rep != nil {
+		t.Errorf("got partial result after cancellation: %v %v", ens, rep)
+	}
+}
+
+// TestTrainAllMetricsUnfittable: an ensemble-wide failure still carries a
+// complete report naming every skipped metric.
+func TestTrainAllMetricsUnfittable(t *testing.T) {
+	var d Dataset
+	d.Add(
+		Sample{Metric: "idle1", T: 5, W: 0, M: 0},
+		Sample{Metric: "idle2", T: 5, W: 0, M: 0},
+	)
+	ens, rep, err := TrainContext(context.Background(), d, TrainOptions{})
+	if !errors.Is(err, ErrNoSamples) {
+		t.Fatalf("err = %v, want ErrNoSamples", err)
+	}
+	if ens != nil {
+		t.Error("got ensemble despite total failure")
+	}
+	if rep == nil || rep.Metrics != 2 || rep.Fitted != 0 || len(rep.Skipped) != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+}

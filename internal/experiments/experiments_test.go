@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"sync"
 	"testing"
 
+	"spire/internal/core"
 	"spire/internal/geom"
 	"spire/internal/pmu"
 	"spire/internal/workloads"
@@ -50,6 +52,60 @@ func TestRunWorkloadProducesSamplesAndTMA(t *testing.T) {
 	sum := run.TMA.Retiring + run.TMA.FrontEnd + run.TMA.BadSpeculation + run.TMA.BackEnd
 	if sum <= 0 || sum > 1.0+1e-9 {
 		t.Errorf("TMA sum = %g", sum)
+	}
+}
+
+// TestSessionTrainParallelByteIdentical pins the headline determinism
+// guarantee on real pipeline data: training on every sample from the full
+// 27-workload session must produce a byte-identical model for any worker
+// count, and the session must expose a complete training report.
+func TestSessionTrainParallelByteIdentical(t *testing.T) {
+	s := quickSession(t)
+	data, err := s.TrainingDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	testRuns, err := s.TestRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRuns {
+		data.Merge(r.Data)
+	}
+
+	opts := core.TrainOptions{WorkUnit: "instructions", TimeUnit: "cycles", Workers: 1}
+	serial, srep, err := core.TrainContext(context.Background(), data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := serial.Save(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 8, 32} {
+		opts.Workers = workers
+		ens, rep, err := core.TrainContext(context.Background(), data, opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var got bytes.Buffer
+		if err := ens.Save(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("workers=%d: model differs from serial fit on full-session data", workers)
+		}
+		if rep.Fitted != srep.Fitted || rep.Metrics != srep.Metrics {
+			t.Fatalf("workers=%d: report %+v differs from serial %+v", workers, rep, srep)
+		}
+	}
+
+	rep, err := s.TrainReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || rep.Fitted == 0 || rep.Fitted != rep.Metrics-len(rep.Skipped) {
+		t.Errorf("session train report = %+v", rep)
 	}
 }
 

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -40,6 +41,10 @@ type Config struct {
 	// Parallel runs workloads on multiple goroutines (simulators are
 	// independent).
 	Parallel int
+	// TrainWorkers bounds the per-metric fitting goroutines during
+	// ensemble training (0 = GOMAXPROCS). The trained model is
+	// byte-identical for every worker count.
+	TrainWorkers int
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -117,6 +122,7 @@ type Session struct {
 	trainRuns []WorkloadRun
 	testRuns  []WorkloadRun
 	ensemble  *core.Ensemble
+	trainRep  *core.TrainReport
 }
 
 // NewSession creates a session for cfg.
@@ -196,16 +202,29 @@ func (s *Session) Ensemble() (*core.Ensemble, error) {
 		for _, r := range runs {
 			data.Merge(r.Data)
 		}
-		e, err := core.Train(data, core.TrainOptions{
+		e, rep, err := core.TrainContext(context.Background(), data, core.TrainOptions{
 			WorkUnit: "instructions",
 			TimeUnit: "cycles",
+			Workers:  s.Cfg.TrainWorkers,
 		})
 		if err != nil {
 			return nil, err
 		}
 		s.ensemble = e
+		s.trainRep = rep
 	}
 	return s.ensemble, nil
+}
+
+// TrainReport returns the report from the memoized training run, training
+// first if necessary.
+func (s *Session) TrainReport() (*core.TrainReport, error) {
+	if _, err := s.Ensemble(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.trainRep, nil
 }
 
 // TrainingDataset concatenates all training samples (after the runs are
