@@ -2,8 +2,10 @@ GO ?= go
 
 # Minimum statement coverage for the model-fitting core.
 CORE_COVER_FLOOR ?= 85.0
+# Minimum statement coverage for the estimation service.
+SERVE_COVER_FLOOR ?= 80.0
 
-.PHONY: all build test vet race cover fuzz fuzz-short verify clean
+.PHONY: all build test vet race cover cover-serve smoke fuzz fuzz-short verify clean
 
 all: build
 
@@ -27,6 +29,19 @@ cover:
 	awk -v p="$$pct" -v f="$(CORE_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
 		{ echo "FAIL: internal/core coverage $$pct% is below the $(CORE_COVER_FLOOR)% floor"; exit 1; }
 
+# Coverage gate for the serving tier.
+cover-serve:
+	$(GO) test -coverprofile=coverage-serve.out ./internal/serve/
+	@pct=$$($(GO) tool cover -func=coverage-serve.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "internal/serve coverage: $$pct% (floor $(SERVE_COVER_FLOOR)%)"; \
+	awk -v p="$$pct" -v f="$(SERVE_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "FAIL: internal/serve coverage $$pct% is below the $(SERVE_COVER_FLOOR)% floor"; exit 1; }
+
+# Black-box smoke: build the real binary, start `spire serve`, hit
+# /healthz and one estimate over HTTP, and shut down cleanly on SIGTERM.
+smoke:
+	$(GO) test -run TestSmokeServe -count=1 ./cmd/spire/
+
 # Short fuzz pass over the perf-stat CSV parser; the checked-in seed
 # corpus under internal/ingest/testdata/fuzz runs as part of plain
 # `make test` too.
@@ -34,17 +49,20 @@ fuzz:
 	$(GO) test -fuzz FuzzPerfStatCSV -fuzztime 30s ./internal/ingest/
 
 # Quick fuzz smoke over every fuzz target (10s each): the ingest parser,
-# the roofline fitter, the parallel trainer, and the model loader.
+# the roofline fitter, the parallel trainer, the model loader, and the
+# serving tier's estimate handler and model-upload decoder.
 fuzz-short:
 	$(GO) test -fuzz FuzzPerfStatCSV -fuzztime 10s ./internal/ingest/
 	$(GO) test -fuzz FuzzFitRoofline -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzTrainParallel -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzLoadEnsemble -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzEstimateHandler -fuzztime 10s ./internal/serve/
+	$(GO) test -fuzz FuzzModelDecode -fuzztime 10s ./internal/serve/
 
 # The full verification gate: build, static checks, tests, race tests,
-# the core coverage floor, and a short fuzz smoke.
-verify: build vet test race cover fuzz-short
+# the coverage floors, the serving smoke, and a short fuzz smoke.
+verify: build vet test race cover cover-serve smoke fuzz-short
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out
+	rm -f coverage.out coverage-serve.out

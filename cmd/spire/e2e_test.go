@@ -1,0 +1,450 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// update regenerates golden files instead of comparing against them:
+//
+//	go test ./cmd/spire/ -run TestE2EPipeline -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// spireBin is the binary built once by TestMain for the black-box tests.
+var spireBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir, err := os.MkdirTemp("", "spire-e2e-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e2e: mktemp:", err)
+		os.Exit(1)
+	}
+	spireBin = filepath.Join(dir, "spire")
+	build := exec.Command("go", "build", "-o", spireBin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "e2e: building spire binary:", err)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// runSpire executes the built binary and returns stdout, stderr and the
+// exit code.
+func runSpire(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(spireBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("spire %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// syncBuffer is a bytes.Buffer safe to write from the stderr-draining
+// goroutine while the test goroutine reads it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) WriteString(s string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf.WriteString(s)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// spireServer is one running `spire serve` process.
+type spireServer struct {
+	cmd    *exec.Cmd
+	base   string // http://127.0.0.1:<port>
+	stderr *syncBuffer
+}
+
+// startServe launches `spire serve -addr 127.0.0.1:0 <extra...>` and
+// scrapes the bound port from the "listening on" stderr line.
+func startServe(t *testing.T, extra ...string) *spireServer {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(spireBin, args...)
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := &syncBuffer{}
+	cmd.Stderr = pw
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	// Scrape stderr for the listen address, then keep draining it in the
+	// background so the child never blocks on a full pipe.
+	linec := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			line := sc.Text()
+			saved.WriteString(line + "\n")
+			if strings.Contains(line, "listening on") {
+				select {
+				case linec <- line:
+				default:
+				}
+			}
+		}
+	}()
+	// Generous deadline: `go test ./...` runs this alongside CPU-heavy
+	// simulator packages, and the child has to cold-start under that load.
+	var listenLine string
+	select {
+	case listenLine = <-linec:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("serve never reported its listen address; stderr:\n%s", saved.String())
+	}
+	m := regexp.MustCompile(`listening on (\S+)$`).FindStringSubmatch(listenLine)
+	if m == nil {
+		cmd.Process.Kill()
+		t.Fatalf("unparsable listen line %q", listenLine)
+	}
+	s := &spireServer{cmd: cmd, base: "http://" + m[1], stderr: saved}
+	t.Cleanup(func() {
+		if s.cmd.ProcessState == nil {
+			s.cmd.Process.Kill()
+			s.cmd.Wait()
+		}
+	})
+	return s
+}
+
+// stop sends SIGTERM and waits, returning the exit code.
+func (s *spireServer) stop(t *testing.T) int {
+	t.Helper()
+	if err := s.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("signaling serve: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		s.cmd.Process.Kill()
+		t.Fatal("serve did not exit within 30s of SIGTERM")
+	}
+	return s.cmd.ProcessState.ExitCode()
+}
+
+func httpPost(t *testing.T, url, contentType string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// scrapeMetric extracts one un-labeled sample value from Prometheus text.
+func scrapeMetric(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %g", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition:\n%s", name, text)
+	return 0
+}
+
+// TestE2EPipeline drives the full workflow through the real binary:
+// ingest a perf CSV, train a model, serve it, and estimate over HTTP. The
+// estimate response must be byte-stable across requests, match the golden
+// file, and agree byte for byte with `spire analyze -json` on the same
+// data — the service and the CLI are the same estimator.
+func TestE2EPipeline(t *testing.T) {
+	dir := t.TempDir()
+	dataset := filepath.Join(dir, "dataset.json")
+	model := filepath.Join(dir, "model.json")
+
+	stdout, stderr, code := runSpire(t, "ingest", "-o", dataset, "testdata/e2e_clean.csv")
+	if code != 0 {
+		t.Fatalf("ingest exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "wrote 48 samples") {
+		t.Errorf("ingest stdout: %q", stdout)
+	}
+
+	if _, stderr, code := runSpire(t, "train", "-o", model, dataset); code != 0 {
+		t.Fatalf("train exit %d\nstderr: %s", code, stderr)
+	}
+
+	// The dataset file is itself a valid estimate request body
+	// ({"samples":[...]}).
+	body, err := os.ReadFile(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := startServe(t, "-model", model)
+
+	status, hdr, first := httpPost(t, srv.base+"/v1/estimate", "application/json", body)
+	if status != http.StatusOK {
+		t.Fatalf("estimate status %d: %s", status, first)
+	}
+	if got := hdr.Get("X-Spire-Cache"); got != "miss" {
+		t.Errorf("first request cache header = %q, want miss", got)
+	}
+
+	// Byte-stable: the same request served again (now cached) must return
+	// the identical body.
+	status, hdr, second := httpPost(t, srv.base+"/v1/estimate", "application/json", body)
+	if status != http.StatusOK {
+		t.Fatalf("second estimate status %d", status)
+	}
+	if got := hdr.Get("X-Spire-Cache"); got != "hit" {
+		t.Errorf("second request cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("estimate responses are not byte-identical across a cache hit")
+	}
+
+	// Golden: the estimation field is pinned to a checked-in fixture.
+	var resp struct {
+		Model      string          `json:"model"`
+		Estimation json.RawMessage `json:"estimation"`
+	}
+	if err := json.Unmarshal(first, &resp); err != nil {
+		t.Fatalf("estimate response is not JSON: %v\n%s", err, first)
+	}
+	golden := filepath.Join("testdata", "golden_estimate.json")
+	if *update {
+		if err := os.WriteFile(golden, append(resp.Estimation, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if got := append(resp.Estimation, '\n'); !bytes.Equal(got, want) {
+		t.Errorf("estimation diverges from golden file\ngot:  %s\nwant: %s", got, want)
+	}
+
+	// Parity: `spire analyze -json` prints the same estimation bytes.
+	cliOut, stderr, code := runSpire(t, "analyze", "-model", model, "-json", dataset)
+	if code != 0 {
+		t.Fatalf("analyze -json exit %d\nstderr: %s", code, stderr)
+	}
+	if strings.TrimRight(cliOut, "\n") != string(resp.Estimation) {
+		t.Errorf("analyze -json disagrees with serve\ncli:   %s\nserve: %s", cliOut, resp.Estimation)
+	}
+
+	// Non-trivial metrics: two estimates served, one hit, one miss.
+	status, metricsText := httpGet(t, srv.base+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	text := string(metricsText)
+	if v := scrapeMetric(t, text, "spire_estimates_served_total"); v != 2 {
+		t.Errorf("spire_estimates_served_total = %g, want 2", v)
+	}
+	if v := scrapeMetric(t, text, "spire_estimate_cache_hits_total"); v != 1 {
+		t.Errorf("spire_estimate_cache_hits_total = %g, want 1", v)
+	}
+	if v := scrapeMetric(t, text, "spire_estimate_cache_misses_total"); v != 1 {
+		t.Errorf("spire_estimate_cache_misses_total = %g, want 1", v)
+	}
+	if v := scrapeMetric(t, text, "spire_model_metrics"); v != 3 {
+		t.Errorf("spire_model_metrics = %g, want 3", v)
+	}
+
+	// Clean SIGTERM drain.
+	if code := srv.stop(t); code != 0 {
+		t.Errorf("serve exit code %d after SIGTERM, want 0\nstderr:\n%s", code, srv.stderr.String())
+	}
+	if !strings.Contains(srv.stderr.String(), "drained") {
+		t.Errorf("serve stderr missing drain confirmation:\n%s", srv.stderr.String())
+	}
+}
+
+// TestE2EExitCodes pins the exit-code/stream contract: 0 ok, 1 error,
+// 2 usage, 3 partial. Diagnostics go to stderr; stdout carries data only.
+func TestE2EExitCodes(t *testing.T) {
+	dir := t.TempDir()
+
+	t.Run("unknown command", func(t *testing.T) {
+		stdout, stderr, code := runSpire(t, "frobnicate")
+		if code != 2 {
+			t.Errorf("exit %d, want 2", code)
+		}
+		if stdout != "" {
+			t.Errorf("usage errors must not write stdout: %q", stdout)
+		}
+		if !strings.Contains(stderr, "unknown command") {
+			t.Errorf("stderr: %q", stderr)
+		}
+	})
+
+	t.Run("missing input file", func(t *testing.T) {
+		stdout, stderr, code := runSpire(t, "ingest", "-o", filepath.Join(dir, "x.json"), "no-such-file.csv")
+		if code != 1 {
+			t.Errorf("exit %d, want 1", code)
+		}
+		if stdout != "" {
+			t.Errorf("errors must not write stdout: %q", stdout)
+		}
+		if !strings.Contains(stderr, "no-such-file.csv") {
+			t.Errorf("stderr must name the missing file: %q", stderr)
+		}
+	})
+
+	t.Run("lenient corrupt input is partial", func(t *testing.T) {
+		out := filepath.Join(dir, "partial.json")
+		stdout, stderr, code := runSpire(t, "ingest", "-o", out, "testdata/e2e_corrupt.csv")
+		if code != 3 {
+			t.Errorf("exit %d, want 3 (partial)", code)
+		}
+		// stdout carries only the data summary; every diagnostic is stderr.
+		for _, line := range strings.Split(strings.TrimRight(stdout, "\n"), "\n") {
+			if !strings.HasPrefix(line, "wrote ") {
+				t.Errorf("unexpected stdout line %q", line)
+			}
+		}
+		if !strings.Contains(stderr, "garbled") {
+			t.Errorf("stderr must carry the diagnostics summary: %q", stderr)
+		}
+		if !strings.Contains(stderr, "severe anomalies quarantined") {
+			t.Errorf("stderr must explain the partial exit: %q", stderr)
+		}
+		// The dataset was still written and is usable.
+		if _, err := os.Stat(out); err != nil {
+			t.Errorf("partial ingest must still write the dataset: %v", err)
+		}
+	})
+
+	t.Run("strict corrupt input is an error", func(t *testing.T) {
+		stdout, _, code := runSpire(t, "ingest", "-strict", "-o", filepath.Join(dir, "y.json"), "testdata/e2e_corrupt.csv")
+		if code != 1 {
+			t.Errorf("exit %d, want 1", code)
+		}
+		if stdout != "" {
+			t.Errorf("strict failure must not write stdout: %q", stdout)
+		}
+	})
+
+	t.Run("clean input is ok", func(t *testing.T) {
+		_, _, code := runSpire(t, "ingest", "-o", filepath.Join(dir, "z.json"), "testdata/e2e_clean.csv")
+		if code != 0 {
+			t.Errorf("exit %d, want 0", code)
+		}
+	})
+}
+
+// TestSmokeServe is the `make smoke` target: start the service with a
+// freshly trained model, check /healthz, serve one estimate, and shut
+// down cleanly.
+func TestSmokeServe(t *testing.T) {
+	dir := t.TempDir()
+	dataset := filepath.Join(dir, "dataset.json")
+	model := filepath.Join(dir, "model.json")
+	if _, stderr, code := runSpire(t, "ingest", "-o", dataset, "testdata/e2e_clean.csv"); code != 0 {
+		t.Fatalf("ingest exit %d: %s", code, stderr)
+	}
+	if _, stderr, code := runSpire(t, "train", "-o", model, dataset); code != 0 {
+		t.Fatalf("train exit %d: %s", code, stderr)
+	}
+
+	srv := startServe(t, "-model", model)
+
+	status, raw := httpGet(t, srv.base+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz status %d", status)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Ready  bool   `json:"ready"`
+	}
+	if err := json.Unmarshal(raw, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || !health.Ready {
+		t.Fatalf("healthz = %s", raw)
+	}
+
+	body, err := os.ReadFile(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, resp := httpPost(t, srv.base+"/v1/estimate", "application/json", body)
+	if status != http.StatusOK {
+		t.Fatalf("estimate status %d: %s", status, resp)
+	}
+	var est struct {
+		Estimation struct {
+			PerMetric []json.RawMessage `json:"perMetric"`
+		} `json:"estimation"`
+	}
+	if err := json.Unmarshal(resp, &est); err != nil {
+		t.Fatal(err)
+	}
+	if len(est.Estimation.PerMetric) == 0 {
+		t.Error("estimate returned no per-metric results")
+	}
+
+	if code := srv.stop(t); code != 0 {
+		t.Errorf("serve exit %d after SIGTERM, want 0\nstderr:\n%s", code, srv.stderr.String())
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -8,6 +9,13 @@ import (
 	"spire/internal/core"
 	"spire/internal/ingest"
 )
+
+// errPartialIngest marks a lenient ingestion that produced a usable
+// dataset but lost input to severe anomalies (anything strict mode would
+// have aborted on). main maps it to exit code 3 so pipelines can tell
+// "clean", "degraded" and "failed" apart; before this the CLI exited 0
+// either way.
+var errPartialIngest = errors.New("partial ingest")
 
 // cmdIngest converts raw counter collections — real `perf stat -x, -I`
 // interval CSV or simulator JSON — into a validated SPIRE dataset,
@@ -43,6 +51,7 @@ func cmdIngest(args []string) error {
 
 	var merged core.Dataset
 	windowBase := 0
+	severe := 0
 	for _, path := range fs.Args() {
 		res, err := ingestOne(path, *format, opts)
 		if res != nil {
@@ -60,6 +69,7 @@ func cmdIngest(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
+		severe += res.Stats.SevereDiags()
 		// Offset window tags so intervals from different input files stay
 		// distinct periods in the merged dataset.
 		maxW := 0
@@ -92,6 +102,9 @@ func cmdIngest(args []string) error {
 	}
 	if *out != "-" {
 		fmt.Printf("wrote %d samples (%d metrics) -> %s\n", merged.Len(), len(merged.Metrics()), *out)
+	}
+	if severe > 0 {
+		return fmt.Errorf("%w: %d severe anomalies quarantined (details on stderr)", errPartialIngest, severe)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -32,15 +33,16 @@ func captureStderr(t *testing.T, fn func() error) (string, error) {
 
 // TestIngestRoundTrip is the acceptance path: a real-format perf stat CSV
 // fixture ingests into a dataset that spire train accepts, with the
-// quarantine summary on stderr.
+// quarantine summary on stderr. The fixture contains garbled and
+// duplicate rows, so the lenient run must report partial success.
 func TestIngestRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "ingested.json")
 	stderr, err := captureStderr(t, func() error {
 		return cmdIngest([]string{"-o", out, fixturePath})
 	})
-	if err != nil {
-		t.Fatalf("ingest: %v", err)
+	if !errors.Is(err, errPartialIngest) {
+		t.Fatalf("lenient ingest of a corrupted fixture must report partial success, got %v", err)
 	}
 	for _, want := range []string{"94 samples", "24 intervals", "garbled:", "not-counted:", "duplicate:"} {
 		if !strings.Contains(stderr, want) {
@@ -88,8 +90,8 @@ func TestIngestMergesWindows(t *testing.T) {
 	_, err := captureStderr(t, func() error {
 		return cmdIngest([]string{"-o", out, fixturePath, fixturePath})
 	})
-	if err != nil {
-		t.Fatalf("merged ingest: %v", err)
+	if !errors.Is(err, errPartialIngest) {
+		t.Fatalf("merged ingest of corrupted fixtures must report partial success, got %v", err)
 	}
 	data, err := readDatasets([]string{out})
 	if err != nil {
@@ -116,8 +118,10 @@ func TestIngestJSONInput(t *testing.T) {
 	stderr, err := captureStderr(t, func() error {
 		return cmdIngest([]string{"-format", "json", "-o", out, src})
 	})
-	if err != nil {
-		t.Fatalf("json ingest: %v\n%s", err, stderr)
+	// The simulated workloads include throughput outliers that get
+	// quarantined, so the lenient run is a partial success by contract.
+	if !errors.Is(err, errPartialIngest) {
+		t.Fatalf("json ingest: want partial success, got %v\n%s", err, stderr)
 	}
 	if !strings.Contains(stderr, "ingested") {
 		t.Errorf("missing summary on stderr: %q", stderr)

@@ -5,11 +5,19 @@
 //	spire ingest -o dataset.json perf-interval.csv
 //	spire train -o model.json sample1.json sample2.json ...
 //	spire analyze -model model.json -top 10 workload.json
+//	spire serve -addr :9090 -model model.json
 //	spire info -model model.json
+//
+// Exit codes are uniform across subcommands: 0 success, 1 error, 2 usage
+// error, 3 partial success (a lenient ingest lost input to severe
+// anomalies but still produced a dataset). Data goes to stdout (or the
+// -o file); every diagnostic, warning and log line goes to stderr.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,33 +29,55 @@ import (
 	"spire/internal/report"
 )
 
+// The uniform exit-code contract (tested black-box in e2e_test.go).
+const (
+	exitOK      = 0
+	exitErr     = 1
+	exitUsage   = 2
+	exitPartial = 3
+)
+
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches one subcommand and maps its error to an exit code.
+func run(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "ingest":
-		err = cmdIngest(os.Args[2:])
+		err = cmdIngest(args[1:])
 	case "train":
-		err = cmdTrain(os.Args[2:])
+		err = cmdTrain(args[1:])
 	case "analyze":
-		err = cmdAnalyze(os.Args[2:])
+		err = cmdAnalyze(args[1:])
 	case "diff":
-		err = cmdDiff(os.Args[2:])
+		err = cmdDiff(args[1:])
 	case "info":
-		err = cmdInfo(os.Args[2:])
+		err = cmdInfo(args[1:])
+	case "serve":
+		err = cmdServe(args[1:])
 	case "-h", "--help", "help":
 		usage()
+		return exitOK
 	default:
-		fmt.Fprintf(os.Stderr, "spire: unknown command %q\n", os.Args[1])
+		fmt.Fprintf(os.Stderr, "spire: unknown command %q\n", args[0])
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, errPartialIngest):
 		fmt.Fprintln(os.Stderr, "spire:", err)
-		os.Exit(1)
+		return exitPartial
+	default:
+		fmt.Fprintln(os.Stderr, "spire:", err)
+		return exitErr
 	}
 }
 
@@ -57,9 +87,12 @@ func usage() {
 commands:
   ingest   [-strict|-lenient] [-format auto|csv|json] [-min-run-pct P] [-o dataset.json] perf.csv...
   train    -o model.json [-min-samples N] [-workers N] [-v] dataset.json...
-  analyze  -model model.json [-top K] [-workers N] [-interpret] [-timeline] [-html out.html] dataset.json...
+  analyze  -model model.json [-top K] [-workers N] [-json] [-interpret] [-timeline] [-html out.html] dataset.json...
+  serve    [-addr HOST:PORT] [-model model.json] [-model-dir DIR] [-cache N] [-pprof]
   diff     -model model.json [-top K] before.json after.json
-  info     -model model.json`)
+  info     -model model.json
+
+exit codes: 0 ok, 1 error, 2 usage, 3 partial (lenient ingest lost input)`)
 }
 
 func readDatasets(paths []string) (core.Dataset, error) {
@@ -108,7 +141,8 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	if *verbose {
-		fmt.Println(rep.Summary())
+		// The skip report is a diagnostic, not output: stderr.
+		fmt.Fprintln(os.Stderr, "spire train:", rep.Summary())
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -135,6 +169,7 @@ func cmdAnalyze(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	modelPath := fs.String("model", "model.json", "trained model file")
 	top := fs.Int("top", 10, "number of candidate bottleneck metrics to print")
+	jsonOut := fs.Bool("json", false, "print the estimation as compact JSON and nothing else")
 	interpret := fs.Bool("interpret", false, "print the interpreted bottleneck-pool report")
 	timeline := fs.Bool("timeline", false, "print the per-window bottleneck timeline")
 	htmlOut := fs.String("html", "", "write a self-contained HTML report to this file")
@@ -154,6 +189,17 @@ func cmdAnalyze(args []string) error {
 		core.EstimateOptions{Workers: *workers})
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		// Machine-readable mode: exactly the core.Estimation JSON, byte
+		// for byte what `spire serve` returns in its "estimation" field
+		// for the same samples and model.
+		raw, err := json.Marshal(est)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+		return nil
 	}
 	fmt.Printf("measured throughput: %.3f %s/%s\n", est.MeasuredThroughput, ens.WorkUnit, ens.TimeUnit)
 	fmt.Printf("SPIRE max-throughput estimate: %.3f (min over %d metrics)\n\n",

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 )
 
 // modelEnvelope wraps an ensemble with a format version so that saved
@@ -47,6 +52,163 @@ func LoadEnsemble(r io.Reader) (*Ensemble, error) {
 		}
 	}
 	return env.Model, nil
+}
+
+// jsonNum is a float64 whose JSON encoding is total: the non-finite
+// values encoding/json rejects are rendered as the strings "+Inf",
+// "-Inf" and "NaN", and accepted back on decode. Finite values encode as
+// plain numbers, so documents containing only finite values are
+// unchanged. Estimations legitimately carry non-finite values
+// (MeanIntensity is +Inf for never-firing metrics), so the serving tier
+// depends on this encoding never failing.
+type jsonNum float64
+
+func (n jsonNum) MarshalJSON() ([]byte, error) {
+	f := float64(n)
+	switch {
+	case math.IsInf(f, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(f):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(f)
+}
+
+func (n *jsonNum) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			*n = jsonNum(math.Inf(1))
+		case "-Inf":
+			*n = jsonNum(math.Inf(-1))
+		case "NaN":
+			*n = jsonNum(math.NaN())
+		default:
+			return fmt.Errorf("core: %q is not a number", s)
+		}
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*n = jsonNum(f)
+	return nil
+}
+
+// metricEstimateJSON mirrors MetricEstimate with total float encoding.
+type metricEstimateJSON struct {
+	Metric        string  `json:"metric"`
+	MeanEstimate  jsonNum `json:"meanEstimate"`
+	Samples       int     `json:"samples"`
+	MeanIntensity jsonNum `json:"meanIntensity"`
+}
+
+// MarshalJSON encodes the estimate with non-finite values spelled as
+// strings so that marshaling never fails.
+func (m MetricEstimate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(metricEstimateJSON{
+		Metric:        m.Metric,
+		MeanEstimate:  jsonNum(m.MeanEstimate),
+		Samples:       m.Samples,
+		MeanIntensity: jsonNum(m.MeanIntensity),
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (m *MetricEstimate) UnmarshalJSON(b []byte) error {
+	var raw metricEstimateJSON
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	*m = MetricEstimate{
+		Metric:        raw.Metric,
+		MeanEstimate:  float64(raw.MeanEstimate),
+		Samples:       raw.Samples,
+		MeanIntensity: float64(raw.MeanIntensity),
+	}
+	return nil
+}
+
+// estimationJSON mirrors Estimation with total float encoding.
+type estimationJSON struct {
+	PerMetric          []MetricEstimate `json:"perMetric"`
+	MaxThroughput      jsonNum          `json:"maxThroughput"`
+	MeasuredThroughput jsonNum          `json:"measuredThroughput"`
+	Coverage           CoverageReport   `json:"coverage"`
+}
+
+// MarshalJSON encodes the estimation with non-finite values spelled as
+// strings so that marshaling never fails.
+func (est Estimation) MarshalJSON() ([]byte, error) {
+	return json.Marshal(estimationJSON{
+		PerMetric:          est.PerMetric,
+		MaxThroughput:      jsonNum(est.MaxThroughput),
+		MeasuredThroughput: jsonNum(est.MeasuredThroughput),
+		Coverage:           est.Coverage,
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (est *Estimation) UnmarshalJSON(b []byte) error {
+	var raw estimationJSON
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	*est = Estimation{
+		PerMetric:          raw.PerMetric,
+		MaxThroughput:      float64(raw.MaxThroughput),
+		MeasuredThroughput: float64(raw.MeasuredThroughput),
+		Coverage:           raw.Coverage,
+	}
+	return nil
+}
+
+// CheckInvariants verifies every roofline in the ensemble against the
+// structural properties the paper requires (Roofline.CheckInvariants),
+// reporting the first violation. LoadEnsemble deliberately tolerates
+// structurally odd chains (Eval never panics on them); callers accepting
+// models from untrusted sources — the serving tier's model registry in
+// particular — gate uploads on this check instead.
+func (e *Ensemble) CheckInvariants() error {
+	if len(e.Rooflines) == 0 {
+		return fmt.Errorf("core: ensemble has no rooflines")
+	}
+	names := make([]string, 0, len(e.Rooflines))
+	for name := range e.Rooflines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := e.Rooflines[name]
+		if r == nil {
+			return fmt.Errorf("core: roofline %q is nil", name)
+		}
+		if err := r.CheckInvariants(); err != nil {
+			return fmt.Errorf("core: roofline %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns the hex SHA-256 of the ensemble's canonical Save
+// encoding. Save output is deterministic (encoding/json sorts map keys),
+// so equal models — including a model round-tripped through
+// Save/LoadEnsemble — share a fingerprint, and the serving tier can use
+// it as a content-addressed model version ID.
+func (e *Ensemble) Fingerprint() (string, error) {
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // WriteDataset writes a dataset as JSON.

@@ -135,6 +135,21 @@ type Stats struct {
 	ByClass map[string]int `json:"byClass,omitempty"`
 }
 
+// SevereDiags counts the recorded diagnostics whose class would have
+// aborted a strict ingestion. A lenient run that finishes with a
+// non-zero severe count produced a usable but degraded dataset — the CLI
+// reports this as a partial success (exit code 3) instead of silently
+// exiting 0.
+func (s Stats) SevereDiags() int {
+	n := 0
+	for c := DiagClass(0); c < numDiagClasses; c++ {
+		if c.Severe() {
+			n += s.ByClass[c.String()]
+		}
+	}
+	return n
+}
+
 // Result is a completed ingestion.
 type Result struct {
 	// Dataset holds the surviving samples, ready for core.Train or

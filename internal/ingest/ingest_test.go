@@ -297,3 +297,28 @@ func TestFileIngest(t *testing.T) {
 		t.Error("missing file must error")
 	}
 }
+
+// TestSevereDiags: the partial-success signal counts exactly the classes
+// a strict run would abort on.
+func TestSevereDiags(t *testing.T) {
+	clean := Stats{ByClass: map[string]int{
+		DiagNotCounted.String():   7,
+		DiagNotSupported.String(): 2,
+		DiagLowScaling.String():   3,
+	}}
+	if n := clean.SevereDiags(); n != 0 {
+		t.Errorf("benign classes counted as severe: %d", n)
+	}
+	degraded := Stats{ByClass: map[string]int{
+		DiagGarbled.String():     2,
+		DiagDuplicate.String():   1,
+		DiagQuarantined.String(): 4,
+		DiagNotCounted.String():  9,
+	}}
+	if n := degraded.SevereDiags(); n != 7 {
+		t.Errorf("SevereDiags = %d, want 7", n)
+	}
+	if n := (Stats{}).SevereDiags(); n != 0 {
+		t.Errorf("empty stats severe = %d, want 0", n)
+	}
+}

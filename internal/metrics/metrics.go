@@ -1,0 +1,285 @@
+// Package metrics is a zero-dependency instrumentation library for the
+// SPIRE serving tier: counters, gauges and histograms with optional
+// labels, rendered in the Prometheus text exposition format. All
+// instruments are safe for concurrent use and lock-free on the hot path
+// (atomic float64 bit operations); the registry itself takes a mutex only
+// on instrument creation and rendering. Output is deterministic: families
+// sort by name, children by label signature, so two renders of the same
+// state are byte-identical.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair attached to an instrument.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// atomicFloat is a float64 updated with CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) set(v float64)  { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomicFloat
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds v; negative deltas are ignored to keep the counter monotonic.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.v.add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.value() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomicFloat
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v.set(v) }
+
+// Add adjusts the gauge by v (negative allowed).
+func (g *Gauge) Add(v float64) { g.v.add(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.value() }
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// First bucket whose upper bound contains v; observations beyond the
+	// last bound land only in the implicit +Inf bucket (count/sum).
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	}
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.value() }
+
+// DefBuckets are latency-shaped default bounds in seconds.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family groups all children (label combinations) of one metric name.
+type family struct {
+	name, help, typ string
+	bounds          []float64 // histograms only
+	children        map[string]any
+}
+
+// Registry holds a set of metric families and renders them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// labelSig renders labels into the canonical child key / exposition form,
+// e.g. `{code="200",route="/v1/estimate"}`. Empty for no labels.
+func labelSig(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup finds or creates the child instrument for (name, labels),
+// enforcing one type and help string per family.
+func (r *Registry) lookup(name, help, typ string, bounds []float64, labels []Label, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, bounds: bounds, children: make(map[string]any)}
+		r.families[name] = fam
+	} else if fam.typ != typ {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, fam.typ, typ))
+	}
+	sig := labelSig(labels)
+	child, ok := fam.children[sig]
+	if !ok {
+		child = mk()
+		fam.children[sig] = child
+	}
+	return child
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. Calling again with the same name and labels returns the same
+// instrument.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, typeCounter, nil, labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, typeGauge, nil, labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the histogram for (name, labels), creating it on
+// first use with the given ascending bucket upper bounds (nil selects
+// DefBuckets). Bounds are fixed by the first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return r.lookup(name, help, typeHistogram, bounds, labels, func() any {
+		return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+	}).(*Histogram)
+}
+
+// fmtFloat renders a sample value the way Prometheus expects.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mergeLabels splices extra labels (e.g. le) into a child signature.
+func mergeSig(sig, extra string) string {
+	if sig == "" {
+		return "{" + extra + "}"
+	}
+	return sig[:len(sig)-1] + "," + extra + "}"
+}
+
+// Render writes every family in the Prometheus text exposition format,
+// sorted by family name then child label signature.
+func (r *Registry) Render(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot family/child structure under the lock; instrument reads
+	// are atomic and happen after release.
+	type childSnap struct {
+		sig  string
+		inst any
+	}
+	type famSnap struct {
+		*family
+		kids []childSnap
+	}
+	fams := make([]famSnap, 0, len(names))
+	for _, n := range names {
+		fam := r.families[n]
+		fs := famSnap{family: fam}
+		sigs := make([]string, 0, len(fam.children))
+		for s := range fam.children {
+			sigs = append(sigs, s)
+		}
+		sort.Strings(sigs)
+		for _, s := range sigs {
+			fs.kids = append(fs.kids, childSnap{sig: s, inst: fam.children[s]})
+		}
+		fams = append(fams, fs)
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, fam := range fams {
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, fam.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		for _, kid := range fam.kids {
+			switch inst := kid.inst.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %s\n", fam.name, kid.sig, fmtFloat(inst.Value()))
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %s\n", fam.name, kid.sig, fmtFloat(inst.Value()))
+			case *Histogram:
+				cum := uint64(0)
+				for i, bound := range inst.bounds {
+					cum += inst.counts[i].Load()
+					le := fmt.Sprintf("le=%q", fmtFloat(bound))
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", fam.name, mergeSig(kid.sig, le), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", fam.name, mergeSig(kid.sig, `le="+Inf"`), inst.Count())
+				fmt.Fprintf(&b, "%s_sum%s %s\n", fam.name, kid.sig, fmtFloat(inst.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", fam.name, kid.sig, inst.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-4) // ignored: counters are monotonic
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %g, want 3.5", got)
+	}
+	if again := r.Counter("requests_total", "total requests"); again != c {
+		t.Error("re-registration must return the same counter")
+	}
+
+	g := r.Gauge("inflight", "in-flight requests")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge = %g, want 3", got)
+	}
+}
+
+func TestLabelsSeparateChildren(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("http_total", "h", L("route", "/a"), L("code", "200"))
+	b := r.Counter("http_total", "h", L("route", "/b"), L("code", "200"))
+	if a == b {
+		t.Fatal("different labels must yield different children")
+	}
+	// Label order must not matter.
+	a2 := r.Counter("http_total", "h", L("code", "200"), L("route", "/a"))
+	if a2 != a {
+		t.Error("label order changed the child identity")
+	}
+	a.Inc()
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `http_total{code="200",route="/a"} 1`) {
+		t.Errorf("labeled sample missing or keys unsorted:\n%s", out)
+	}
+	if !strings.Contains(out, `http_total{code="200",route="/b"} 0`) {
+		t.Errorf("zero-valued child missing:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 5 + 100; math.Abs(h.Sum()-want) > 1e-12 {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+	var sb strings.Builder
+	if err := r.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`, // 0.05 and the inclusive 0.1
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_count 5`,
+		"# TYPE latency_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zebra_total", "z").Inc()
+	r.Gauge("alpha", "a").Set(1)
+	r.Histogram("mid_seconds", "m", []float64{1}).Observe(0.5)
+	var one, two strings.Builder
+	if err := r.Render(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Render(&two); err != nil {
+		t.Fatal(err)
+	}
+	if one.String() != two.String() {
+		t.Error("two renders of the same state differ")
+	}
+	if strings.Index(one.String(), "alpha") > strings.Index(one.String(), "zebra_total") {
+		t.Error("families are not sorted by name")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("registering x_total as a gauge must panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+// TestConcurrentUse hammers one registry from many goroutines; run under
+// -race this is the package's data-race gate, and the final counts must
+// be exact (no lost updates).
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("spin_total", "s")
+			h := r.Histogram("spin_seconds", "s", nil)
+			g := r.Gauge("spin_gauge", "s")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.01)
+				g.Add(1)
+				var sb strings.Builder
+				if i%100 == 0 {
+					if err := r.Render(&sb); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("spin_total", "s").Value(); got != workers*per {
+		t.Errorf("counter = %g, want %d", got, workers*per)
+	}
+	if got := r.Histogram("spin_seconds", "s", nil).Count(); got != workers*per {
+		t.Errorf("histogram count = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("spin_gauge", "s").Value(); got != workers*per {
+		t.Errorf("gauge = %g, want %d", got, workers*per)
+	}
+}

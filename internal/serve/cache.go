@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"spire/internal/core"
+)
+
+// indexCache is a bounded LRU of pre-indexed workloads keyed by the
+// content hash of their sample set. Estimation requests that resend the
+// same workload (dashboards polling, diff loops, retries) skip the
+// group-and-derive indexing pass entirely; the cached *core.WorkloadIndex
+// is immutable and shared by concurrent readers. The cache key is
+// independent of the served model, so indexes survive model hot-swaps.
+type indexCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recent
+	items map[string]*list.Element // key -> element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	ix  *core.WorkloadIndex
+}
+
+// newIndexCache returns an LRU holding at most capacity indexes; a
+// non-positive capacity disables caching (every lookup misses).
+func newIndexCache(capacity int) *indexCache {
+	return &indexCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// workloadKey content-hashes a sample set. Marshaling re-canonicalizes
+// the samples, so two requests differing only in JSON whitespace or field
+// order share a key.
+func workloadKey(samples []core.Sample) (string, error) {
+	raw, err := json.Marshal(samples)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// get returns the cached index for key, marking it most recently used.
+func (c *indexCache) get(key string) (*core.WorkloadIndex, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).ix, true
+}
+
+// put inserts an index, evicting the least recently used entry past
+// capacity.
+func (c *indexCache) put(key string, ix *core.WorkloadIndex) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).ix = ix
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, ix: ix})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached indexes.
+func (c *indexCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

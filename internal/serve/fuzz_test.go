@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"spire/internal/core"
+)
+
+// fuzzServer builds one server with a small model for handler fuzzing.
+func fuzzServer(f *testing.F) *Server {
+	f.Helper()
+	var d core.Dataset
+	for _, metric := range []string{"m1", "m2"} {
+		for i := 1; i <= 16; i++ {
+			d.Add(core.Sample{Metric: metric, T: 1, W: float64(i), M: float64(17 - i), Window: i})
+		}
+	}
+	ens, err := core.Train(d, core.TrainOptions{WorkUnit: "instructions", TimeUnit: "cycles"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ens.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	s := New(Config{MaxBodyBytes: 1 << 16})
+	if _, err := s.models.Load(&buf, "fuzz"); err != nil {
+		f.Fatal(err)
+	}
+	return s
+}
+
+// FuzzEstimateHandler: arbitrary request bodies against POST /v1/estimate
+// must never panic the server, must always produce a JSON body, and must
+// map to one of the documented status codes.
+func FuzzEstimateHandler(f *testing.F) {
+	s := fuzzServer(f)
+
+	f.Add([]byte(`{"samples":[{"metric":"m1","t":1,"w":4,"m":2}]}`))
+	f.Add([]byte(`{"samples":[{"metric":"m1","t":1,"w":4,"m":2},{"metric":"m2","t":2,"w":9,"m":1}],"top":1,"workers":3}`))
+	f.Add([]byte(`{"samples":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"samples": [`))
+	f.Add([]byte(`{"samples":[{"metric":"m1","t":1e308,"w":1e308,"m":5e-324}]}`))
+	f.Add([]byte(`{"samples":[{"metric":"m1","t":-1,"w":-2,"m":-3,"window":-4}]}`))
+	f.Add([]byte(`{"samples":[{"metric":"nope","t":1,"w":1,"m":1}]} trailing`))
+	f.Add([]byte(`{"samples":"hello","workers":-99}`))
+	f.Add([]byte("\x00\x01\x02"))
+
+	allowed := map[int]bool{
+		http.StatusOK:                    true,
+		http.StatusBadRequest:            true,
+		http.StatusRequestEntityTooLarge: true,
+		http.StatusUnprocessableEntity:   true,
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest("POST", "/v1/estimate", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+
+		if !allowed[rec.Code] {
+			t.Fatalf("unexpected status %d for body %q", rec.Code, body)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("non-JSON content type %q (status %d)", ct, rec.Code)
+		}
+		var v any
+		if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+			t.Fatalf("status %d response is not JSON: %v\n%s", rec.Code, err, rec.Body.Bytes())
+		}
+		if rec.Code == http.StatusOK {
+			var er EstimateResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+				t.Fatalf("200 body does not decode as EstimateResponse: %v", err)
+			}
+			if er.Estimation == nil || len(er.Estimation.PerMetric) == 0 {
+				t.Fatal("200 response with empty estimation")
+			}
+			if math.IsNaN(er.Estimation.MaxThroughput) {
+				t.Fatal("200 response with NaN bound")
+			}
+		}
+	})
+}
+
+// FuzzModelDecode: arbitrary on-disk model bytes must never panic the
+// registry, every rejection must leave the served model untouched, and
+// every accepted model must round-trip byte-identically and evaluate
+// without panicking — the serialization guarantee the hot-swap relies on.
+func FuzzModelDecode(f *testing.F) {
+	// A genuine trained model as the structural seed.
+	var d core.Dataset
+	for i := 1; i <= 12; i++ {
+		d.Add(core.Sample{Metric: "seed.metric", T: 2, W: float64(3 * i), M: float64(13 - i)})
+	}
+	ens, err := core.Train(d, core.TrainOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ens.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format":"spire-ensemble","version":1,"model":null}`))
+	f.Add([]byte(`{"format":"spire-ensemble","version":99,"model":{"rooflines":{}}}`))
+	f.Add([]byte(`{"format":"spire-ensemble","version":1,"model":{"rooflines":{"m":{"metric":"m","left":[{"X":1,"Y":5},{"X":2,"Y":1}],"tailY":1}}}}`))
+	f.Add([]byte(`{"format":"spire-ensemble","version":1,"model":{"rooflines":{"m":{"metric":"m","left":[{"X":1e308,"Y":1e308}],"right":[{"X":1e308,"Y":0}],"tailY":-0}}}}`))
+	f.Add(bytes.Replace(buf.Bytes(), []byte("1"), []byte("-1"), 3))
+	f.Add([]byte("no json"))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		reg := NewRegistry("")
+		info, err := reg.Load(bytes.NewReader(payload), "fuzz")
+		if err != nil {
+			if cur, _ := reg.Current(); cur != nil {
+				t.Fatal("rejected load still installed a model")
+			}
+			return
+		}
+		cur, curInfo := reg.Current()
+		if cur == nil || curInfo == nil || curInfo.ID != info.ID {
+			t.Fatalf("accepted load did not install: info=%+v current=%+v", info, curInfo)
+		}
+		// Round-trip guarantee: re-encode, reload, byte-identical.
+		var one, two bytes.Buffer
+		if err := cur.Save(&one); err != nil {
+			t.Fatalf("accepted model does not re-save: %v", err)
+		}
+		again, err := core.LoadEnsemble(bytes.NewReader(one.Bytes()))
+		if err != nil {
+			t.Fatalf("accepted model does not reload: %v", err)
+		}
+		if err := again.Save(&two); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(one.Bytes(), two.Bytes()) {
+			t.Fatal("accepted model does not round-trip byte-identically")
+		}
+		// And it must evaluate safely over the whole intensity axis.
+		for _, r := range cur.Rooflines {
+			for _, x := range []float64{0, 1e-300, 1, 1e300, math.Inf(1)} {
+				_ = r.Eval(x)
+			}
+		}
+	})
+}

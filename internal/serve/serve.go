@@ -1,0 +1,446 @@
+// Package serve is SPIRE's long-running estimation service: the trained
+// ensemble behind an HTTP JSON API. It wires the hardened ingestion
+// pipeline (internal/ingest) and the parallel batch estimator
+// (core.IndexWorkload / BatchEstimate) behind a versioned, atomically
+// hot-swappable model registry, a bounded LRU of content-addressed
+// workload indexes, and built-in Prometheus-format observability
+// (internal/metrics). Every handler enforces a max body size and the
+// estimation path runs under a per-request timeout and worker budget, so
+// one hostile or huge request cannot starve the service.
+//
+// Endpoints:
+//
+//	POST /v1/estimate  workload samples in -> per-metric estimates + ranking out
+//	POST /v1/ingest    raw perf-stat CSV / simulator JSON in -> clean samples out
+//	GET  /v1/models    current model version + swap history
+//	POST /v1/models    upload, validate and atomically install a model
+//	GET  /healthz      liveness + readiness (is a model loaded?)
+//	GET  /metrics      Prometheus text exposition
+//	GET  /debug/pprof  optional, Config.EnablePprof
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"spire/internal/core"
+	"spire/internal/ingest"
+	"spire/internal/metrics"
+)
+
+// Config tunes the service. The zero value is production-safe: defaults
+// are applied by New.
+type Config struct {
+	// MaxBodyBytes caps every request body. Default 8 MiB.
+	MaxBodyBytes int64
+	// RequestTimeout bounds the estimation path per request. Default 30s.
+	RequestTimeout time.Duration
+	// MaxWorkers caps the per-request estimation worker budget; requests
+	// asking for more are clamped. Default 0 = GOMAXPROCS (core's own
+	// default).
+	MaxWorkers int
+	// CacheEntries bounds the workload-index LRU. Default 128; negative
+	// disables caching.
+	CacheEntries int
+	// ModelDir, when set, persists accepted model uploads as <id>.json
+	// and lets the registry resume the latest one at startup.
+	ModelDir string
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+}
+
+// Server is the SPIRE estimation service.
+type Server struct {
+	cfg     Config
+	models  *Registry
+	cache   *indexCache
+	metrics *metrics.Registry
+	handler http.Handler
+
+	mEstimates   *metrics.Counter
+	mCacheHits   *metrics.Counter
+	mCacheMisses *metrics.Counter
+	mQuarantined *metrics.Counter
+	mIngested    *metrics.Counter
+	mSwaps       *metrics.Counter
+	mModelSize   *metrics.Gauge
+	mInflight    *metrics.Gauge
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg.setDefaults()
+	reg := metrics.NewRegistry()
+	s := &Server{
+		cfg:     cfg,
+		models:  NewRegistry(cfg.ModelDir),
+		cache:   newIndexCache(cfg.CacheEntries),
+		metrics: reg,
+
+		mEstimates:   reg.Counter("spire_estimates_served_total", "Estimations successfully served."),
+		mCacheHits:   reg.Counter("spire_estimate_cache_hits_total", "Workload-index cache hits."),
+		mCacheMisses: reg.Counter("spire_estimate_cache_misses_total", "Workload-index cache misses."),
+		mQuarantined: reg.Counter("spire_quarantined_samples_total", "Samples dropped by validation across ingest and estimate requests."),
+		mIngested:    reg.Counter("spire_ingested_samples_total", "Clean samples produced by /v1/ingest."),
+		mSwaps:       reg.Counter("spire_model_swaps_total", "Successful model installs/hot-swaps."),
+		mModelSize:   reg.Gauge("spire_model_metrics", "Rooflines in the currently served model."),
+		mInflight:    reg.Gauge("spire_http_inflight_requests", "Requests currently being handled."),
+	}
+	s.models.onSwap = func(info ModelInfo) {
+		s.mSwaps.Inc()
+		s.mModelSize.Set(float64(info.Metrics))
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
+	mux.Handle("POST /v1/ingest", s.instrument("/v1/ingest", s.handleIngest))
+	mux.Handle("GET /v1/models", s.instrument("/v1/models", s.handleModelsGet))
+	mux.Handle("POST /v1/models", s.instrument("/v1/models", s.handleModelsPost))
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.handler = mux
+	return s
+}
+
+// Models exposes the model registry (initial load, tests).
+func (s *Server) Models() *Registry { return s.models }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the request counter, latency histogram,
+// in-flight gauge and the body-size cap.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	hist := s.metrics.Histogram("spire_http_request_seconds", "Request latency by route.",
+		nil, metrics.L("route", route))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mInflight.Add(1)
+		defer s.mInflight.Add(-1)
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		h(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		hist.Observe(time.Since(start).Seconds())
+		s.metrics.Counter("spire_http_requests_total", "Requests by route and status code.",
+			metrics.L("route", route), metrics.L("code", strconv.Itoa(sw.code))).Inc()
+	})
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		code = http.StatusInternalServerError
+		raw = []byte(`{"error":"response encoding failed"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(raw, '\n'))
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes one JSON value from the (size-capped) body
+// and maps failures to the right status code.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "malformed JSON body: %v", err)
+		return false
+	}
+	// Trailing garbage after the value is a malformed request too.
+	if _, err := dec.Token(); err != io.EOF {
+		writeErr(w, http.StatusBadRequest, "trailing data after JSON body")
+		return false
+	}
+	return true
+}
+
+// EstimateRequest is the /v1/estimate request body. Samples use the
+// core.Sample JSON shape ({"metric","t","w","m","window"}).
+type EstimateRequest struct {
+	Samples []core.Sample `json:"samples"`
+	// Top truncates the returned per-metric ranking; 0 returns all.
+	Top int `json:"top,omitempty"`
+	// Workers requests an estimation worker budget; clamped to the
+	// server's MaxWorkers. 0 = server default.
+	Workers int `json:"workers,omitempty"`
+}
+
+// EstimateResponse is the /v1/estimate response body.
+type EstimateResponse struct {
+	// Model is the serving model's content-addressed version ID.
+	Model string `json:"model"`
+	// Estimation is the full estimation result; identical to what
+	// `spire analyze -json` prints for the same samples and model.
+	Estimation *core.Estimation `json:"estimation"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	ens, info := s.models.Current()
+	if ens == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no model loaded; POST one to /v1/models")
+		return
+	}
+	var req EstimateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Samples) == 0 {
+		writeErr(w, http.StatusUnprocessableEntity, "no samples in request")
+		return
+	}
+
+	key, err := workloadKey(req.Samples)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "samples are not canonicalizable: %v", err)
+		return
+	}
+	ix, hit := s.cache.get(key)
+	if hit {
+		s.mCacheHits.Inc()
+	} else {
+		s.mCacheMisses.Inc()
+		ix = core.IndexWorkload(core.Dataset{Samples: req.Samples})
+		s.cache.put(key, ix)
+	}
+	if dropped := len(req.Samples) - ix.Len(); dropped > 0 {
+		s.mQuarantined.Add(float64(dropped))
+	}
+	w.Header().Set("X-Spire-Cache", cacheStatus(hit))
+	w.Header().Set("X-Spire-Model", info.ID)
+
+	workers := req.Workers
+	if workers <= 0 || (s.cfg.MaxWorkers > 0 && workers > s.cfg.MaxWorkers) {
+		workers = s.cfg.MaxWorkers
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	est, err := ens.BatchEstimate(ctx, ix, core.EstimateOptions{Workers: workers})
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrNoSamples):
+		writeErr(w, http.StatusUnprocessableEntity,
+			"no sample matches a modeled metric (model has %d metrics)", info.Metrics)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusServiceUnavailable, "estimation timed out after %s", s.cfg.RequestTimeout)
+		return
+	case errors.Is(err, context.Canceled):
+		writeErr(w, http.StatusServiceUnavailable, "request canceled")
+		return
+	default:
+		writeErr(w, http.StatusInternalServerError, "estimation failed: %v", err)
+		return
+	}
+	if req.Top > 0 && req.Top < len(est.PerMetric) {
+		est.PerMetric = est.PerMetric[:req.Top]
+	}
+	s.mEstimates.Inc()
+	writeJSON(w, http.StatusOK, EstimateResponse{Model: info.ID, Estimation: est})
+}
+
+func cacheStatus(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// IngestResponse is the /v1/ingest response body. Samples is directly
+// reusable as the "samples" field of an /v1/estimate request.
+type IngestResponse struct {
+	Samples     []core.Sample `json:"samples"`
+	Stats       ingest.Stats  `json:"stats"`
+	Quarantined int           `json:"quarantined"`
+	Diags       []ingest.Diag `json:"diags,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	opts := ingest.Options{Mode: ingest.Lenient}
+	q := r.URL.Query()
+	if mode := q.Get("mode"); mode != "" {
+		switch mode {
+		case "lenient":
+		case "strict":
+			opts.Mode = ingest.Strict
+		default:
+			writeErr(w, http.StatusBadRequest, "unknown mode %q (want lenient or strict)", mode)
+			return
+		}
+	}
+	if pct := q.Get("min_run_pct"); pct != "" {
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil || v < 0 || v > 100 {
+			writeErr(w, http.StatusBadRequest, "bad min_run_pct %q", pct)
+			return
+		}
+		opts.MinRunPct = v
+	}
+	res, err := ingest.Read(r.Body, opts)
+	if res != nil {
+		s.mQuarantined.Add(float64(res.Validation.Quarantined))
+	}
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		writeErr(w, http.StatusUnprocessableEntity, "ingest failed: %v", err)
+		return
+	}
+	s.mIngested.Add(float64(res.Dataset.Len()))
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Samples:     res.Dataset.Samples,
+		Stats:       res.Stats,
+		Quarantined: res.Validation.Quarantined,
+		Diags:       res.Diags,
+	})
+}
+
+// ModelsResponse is the GET /v1/models response body.
+type ModelsResponse struct {
+	Current *ModelInfo  `json:"current,omitempty"`
+	History []ModelInfo `json:"history,omitempty"`
+}
+
+func (s *Server) handleModelsGet(w http.ResponseWriter, r *http.Request) {
+	_, info := s.models.Current()
+	writeJSON(w, http.StatusOK, ModelsResponse{Current: info, History: s.models.History()})
+}
+
+func (s *Server) handleModelsPost(w http.ResponseWriter, r *http.Request) {
+	info, err := s.models.Load(r.Body, "upload")
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		var rejected *modelRejectedError
+		switch {
+		case errors.As(err, &tooBig):
+			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		case errors.As(err, &rejected):
+			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		default:
+			// Installed but e.g. not persisted: the swap happened.
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// HealthResponse is the GET /healthz response body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	// Ready reports whether a model is loaded and estimations can be
+	// served.
+	Ready bool `json:"ready"`
+	// Model is the served model ID, when ready.
+	Model string `json:"model,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := HealthResponse{Status: "ok"}
+	if _, info := s.models.Current(); info != nil {
+		h.Ready = true
+		h.Model = info.ID
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.Render(w)
+}
+
+// Serve runs the service on ln until ctx is canceled, then drains
+// in-flight requests for up to drain before returning. A clean drain
+// returns nil.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	hs := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
