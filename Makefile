@@ -4,8 +4,10 @@ GO ?= go
 CORE_COVER_FLOOR ?= 85.0
 # Minimum statement coverage for the estimation service.
 SERVE_COVER_FLOOR ?= 80.0
+# Minimum statement coverage for the streaming pipeline.
+STREAM_COVER_FLOOR ?= 85.0
 
-.PHONY: all build test vet race cover cover-serve smoke fuzz fuzz-short verify clean
+.PHONY: all build test vet race cover cover-serve cover-stream smoke fuzz fuzz-short verify clean
 
 all: build
 
@@ -37,6 +39,14 @@ cover-serve:
 	awk -v p="$$pct" -v f="$(SERVE_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
 		{ echo "FAIL: internal/serve coverage $$pct% is below the $(SERVE_COVER_FLOOR)% floor"; exit 1; }
 
+# Coverage gate for the streaming tier.
+cover-stream:
+	$(GO) test -coverprofile=coverage-stream.out ./internal/stream/
+	@pct=$$($(GO) tool cover -func=coverage-stream.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "internal/stream coverage: $$pct% (floor $(STREAM_COVER_FLOOR)%)"; \
+	awk -v p="$$pct" -v f="$(STREAM_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "FAIL: internal/stream coverage $$pct% is below the $(STREAM_COVER_FLOOR)% floor"; exit 1; }
+
 # Black-box smoke: build the real binary, start `spire serve`, hit
 # /healthz and one estimate over HTTP, and shut down cleanly on SIGTERM.
 smoke:
@@ -48,21 +58,24 @@ smoke:
 fuzz:
 	$(GO) test -fuzz FuzzPerfStatCSV -fuzztime 30s ./internal/ingest/
 
-# Quick fuzz smoke over every fuzz target (10s each): the ingest parser,
-# the roofline fitter, the parallel trainer, the model loader, and the
-# serving tier's estimate handler and model-upload decoder.
+# Quick fuzz smoke over every fuzz target (10s each): the batch and
+# incremental ingest parsers, the roofline fitter, the parallel trainer,
+# the model loader, the sliding-window merge, and the serving tier's
+# estimate handler and model-upload decoder.
 fuzz-short:
 	$(GO) test -fuzz FuzzPerfStatCSV -fuzztime 10s ./internal/ingest/
+	$(GO) test -fuzz FuzzStreamFeed -fuzztime 10s ./internal/ingest/
 	$(GO) test -fuzz FuzzFitRoofline -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzTrainParallel -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzLoadEnsemble -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzWindowMerge -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzEstimateHandler -fuzztime 10s ./internal/serve/
 	$(GO) test -fuzz FuzzModelDecode -fuzztime 10s ./internal/serve/
 
 # The full verification gate: build, static checks, tests, race tests,
 # the coverage floors, the serving smoke, and a short fuzz smoke.
-verify: build vet test race cover cover-serve smoke fuzz-short
+verify: build vet test race cover cover-serve cover-stream smoke fuzz-short
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out coverage-serve.out
+	rm -f coverage.out coverage-serve.out coverage-stream.out

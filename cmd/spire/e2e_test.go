@@ -89,9 +89,10 @@ func (b *syncBuffer) String() string {
 
 // spireServer is one running `spire serve` process.
 type spireServer struct {
-	cmd    *exec.Cmd
-	base   string // http://127.0.0.1:<port>
-	stderr *syncBuffer
+	cmd     *exec.Cmd
+	base    string // http://127.0.0.1:<port>
+	stderr  *syncBuffer
+	drained chan struct{} // closed once the stderr drain goroutine hits EOF
 }
 
 // startServe launches `spire serve -addr 127.0.0.1:0 <extra...>` and
@@ -114,7 +115,9 @@ func startServe(t *testing.T, extra ...string) *spireServer {
 	// Scrape stderr for the listen address, then keep draining it in the
 	// background so the child never blocks on a full pipe.
 	linec := make(chan string, 1)
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		sc := bufio.NewScanner(pr)
 		for sc.Scan() {
 			line := sc.Text()
@@ -141,7 +144,7 @@ func startServe(t *testing.T, extra ...string) *spireServer {
 		cmd.Process.Kill()
 		t.Fatalf("unparsable listen line %q", listenLine)
 	}
-	s := &spireServer{cmd: cmd, base: "http://" + m[1], stderr: saved}
+	s := &spireServer{cmd: cmd, base: "http://" + m[1], stderr: saved, drained: drained}
 	t.Cleanup(func() {
 		if s.cmd.ProcessState == nil {
 			s.cmd.Process.Kill()
@@ -164,6 +167,13 @@ func (s *spireServer) stop(t *testing.T) int {
 	case <-time.After(30 * time.Second):
 		s.cmd.Process.Kill()
 		t.Fatal("serve did not exit within 30s of SIGTERM")
+	}
+	// Wait for the drain goroutine to consume everything the child wrote
+	// before it exited, so callers can assert on s.stderr right away.
+	select {
+	case <-s.drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stderr drain did not finish after serve exited")
 	}
 	return s.cmd.ProcessState.ExitCode()
 }

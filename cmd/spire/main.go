@@ -5,6 +5,7 @@
 //	spire ingest -o dataset.json perf-interval.csv
 //	spire train -o model.json sample1.json sample2.json ...
 //	spire analyze -model model.json -top 10 workload.json
+//	spire watch -model model.json -follow perf-live.csv
 //	spire serve -addr :9090 -model model.json
 //	spire info -model model.json
 //
@@ -55,6 +56,8 @@ func run(args []string) int {
 		err = cmdTrain(args[1:])
 	case "analyze":
 		err = cmdAnalyze(args[1:])
+	case "watch":
+		err = cmdWatch(args[1:])
 	case "diff":
 		err = cmdDiff(args[1:])
 	case "info":
@@ -88,6 +91,7 @@ commands:
   ingest   [-strict|-lenient] [-format auto|csv|json] [-min-run-pct P] [-o dataset.json] perf.csv...
   train    -o model.json [-min-samples N] [-workers N] [-v] dataset.json...
   analyze  -model model.json [-top K] [-workers N] [-json] [-interpret] [-timeline] [-html out.html] dataset.json...
+  watch    -model model.json [-window N] [-top K] [-json] [-follow] [-poll D] [-strict] [-v] perf.csv|-
   serve    [-addr HOST:PORT] [-model model.json] [-model-dir DIR] [-cache N] [-pprof]
   diff     -model model.json [-top K] before.json after.json
   info     -model model.json

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// watchModel ingests the clean e2e fixture and trains a model for the
+// watch tests, returning the model path.
+func watchModel(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	dataset := filepath.Join(dir, "dataset.json")
+	model := filepath.Join(dir, "model.json")
+	if _, stderr, code := runSpire(t, "ingest", "-o", dataset, "testdata/e2e_clean.csv"); code != 0 {
+		t.Fatalf("ingest exit %d: %s", code, stderr)
+	}
+	if _, stderr, code := runSpire(t, "train", "-o", model, dataset); code != 0 {
+		t.Fatalf("train exit %d: %s", code, stderr)
+	}
+	return model
+}
+
+// TestE2EWatchGolden replays the clean fixture through `spire watch
+// -json` and pins the emitted window stream to a golden file: one compact
+// JSON result per completed interval, byte for byte. The same command fed
+// over stdin must produce identical output — the watch path is
+// chunking-independent all the way through the real binary.
+func TestE2EWatchGolden(t *testing.T) {
+	model := watchModel(t)
+
+	args := []string{"watch", "-model", model, "-json", "-window", "4", "-top", "3"}
+	stdout, stderr, code := runSpire(t, append(args, "testdata/e2e_clean.csv")...)
+	if code != 0 {
+		t.Fatalf("watch exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "spire watch: 82 lines, 16 intervals") {
+		t.Errorf("watch stderr stats: %q", stderr)
+	}
+
+	// Structure: 16 intervals -> 16 windows, seq 1..16, every line valid
+	// JSON carrying an estimation with at most 3 ranked metrics.
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("watch emitted %d lines, want 16:\n%s", len(lines), stdout)
+	}
+	for i, line := range lines {
+		var res struct {
+			Seq        uint64 `json:"seq"`
+			Model      string `json:"model"`
+			Intervals  int    `json:"intervals"`
+			Samples    int    `json:"samples"`
+			Error      string `json:"error"`
+			Estimation *struct {
+				PerMetric []json.RawMessage `json:"perMetric"`
+			} `json:"estimation"`
+		}
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i+1, err, line)
+		}
+		if res.Seq != uint64(i+1) {
+			t.Errorf("line %d: seq %d, want %d", i+1, res.Seq, i+1)
+		}
+		wantIv := i + 1
+		if wantIv > 4 {
+			wantIv = 4
+		}
+		if res.Intervals != wantIv || res.Samples != 3*wantIv {
+			t.Errorf("line %d: %d intervals / %d samples, want %d / %d",
+				i+1, res.Intervals, res.Samples, wantIv, 3*wantIv)
+		}
+		if res.Error != "" || res.Estimation == nil || res.Model == "" {
+			t.Errorf("line %d: missing estimation: %s", i+1, line)
+		} else if len(res.Estimation.PerMetric) > 3 {
+			t.Errorf("line %d: %d ranked metrics, want <= 3", i+1, len(res.Estimation.PerMetric))
+		}
+	}
+
+	// Golden: the full stream is pinned (training is deterministic, so
+	// the model fingerprint embedded in each line is too).
+	golden := filepath.Join("testdata", "golden_watch.jsonl")
+	if *update {
+		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if stdout != string(want) {
+		t.Errorf("watch stream diverges from golden file\ngot:\n%s\nwant:\n%s", stdout, want)
+	}
+
+	// Stdin parity: `spire watch ... -` fed the same bytes emits the same
+	// stream.
+	raw, err := os.ReadFile("testdata/e2e_clean.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(spireBin, append(args, "-")...)
+	cmd.Stdin = bytes.NewReader(raw)
+	var viaStdin, stdinErr bytes.Buffer
+	cmd.Stdout = &viaStdin
+	cmd.Stderr = &stdinErr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("watch over stdin: %v\nstderr: %s", err, stdinErr.String())
+	}
+	if viaStdin.String() != stdout {
+		t.Errorf("stdin watch diverges from file watch\nstdin:\n%s\nfile:\n%s", viaStdin.String(), stdout)
+	}
+}
+
+// TestE2EWatchTextAndExitCodes covers the human-readable mode and the
+// exit-code contract: text output digests each window on one line, a
+// corrupt lenient stream exits 3 (partial) while still emitting windows,
+// and usage errors exit 2 via flag handling in main.
+func TestE2EWatchTextAndExitCodes(t *testing.T) {
+	model := watchModel(t)
+
+	stdout, _, code := runSpire(t, "watch", "-model", model, "-top", "2", "testdata/e2e_clean.csv")
+	if code != 0 {
+		t.Fatalf("watch exit %d", code)
+	}
+	lines := strings.Split(strings.TrimRight(stdout, "\n"), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("text watch emitted %d lines, want 16", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "window ") || !strings.Contains(line, "bottleneck ") {
+			t.Errorf("text line %q", line)
+		}
+	}
+
+	stdout, stderr, code := runSpire(t, "watch", "-model", model, "-json", "testdata/e2e_corrupt.csv")
+	if code != 3 {
+		t.Errorf("corrupt watch exit %d, want 3 (partial)\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "severe anomalies quarantined") {
+		t.Errorf("corrupt watch stderr must explain the partial exit: %q", stderr)
+	}
+	if len(strings.TrimSpace(stdout)) == 0 {
+		t.Error("corrupt watch should still emit the surviving windows")
+	}
+
+	if _, _, code := runSpire(t, "watch", "-model", model); code != 1 {
+		t.Errorf("watch with no input exit %d, want 1", code)
+	}
+	if _, _, code := runSpire(t, "watch", "-model", filepath.Join(t.TempDir(), "missing.json"), "testdata/e2e_clean.csv"); code != 1 {
+		t.Errorf("watch with missing model exit %d, want 1", code)
+	}
+}

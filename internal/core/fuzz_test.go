@@ -3,9 +3,12 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"math"
+	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -129,6 +132,99 @@ func FuzzLoadEnsemble(f *testing.F) {
 			_ = r.Eval(0)
 			_ = r.Eval(1)
 			_ = r.Eval(math.Inf(1))
+		}
+	})
+}
+
+// fuzzMergeModel lazily trains one deterministic 4-metric ensemble shared
+// by every FuzzWindowMerge execution (training per input would dominate
+// the fuzz budget).
+var fuzzMergeModel = struct {
+	once sync.Once
+	ens  *Ensemble
+	err  error
+}{}
+
+func mergeModel() (*Ensemble, error) {
+	fuzzMergeModel.once.Do(func() {
+		rng := rand.New(rand.NewSource(9001))
+		fuzzMergeModel.ens, fuzzMergeModel.err = Train(randMultiMetricDataset(rng, 4), TrainOptions{})
+	})
+	return fuzzMergeModel.ens, fuzzMergeModel.err
+}
+
+// FuzzWindowMerge: a sliding IncrementalIndex (add new window, evict the
+// expired one) must estimate byte-identically to a fresh
+// IndexWorkload+BatchEstimate over exactly the in-window samples, for
+// arbitrary sample streams and window spans. This is the window-merge
+// correctness gate behind internal/stream: Eq. 1's time-weighted mean
+// over a window must not depend on how the window was assembled.
+func FuzzWindowMerge(f *testing.F) {
+	f.Add([]byte{0, 3, 10, 2, 0, 1, 4, 20, 1, 1, 2, 5, 9, 3, 0}, uint64(2))
+	f.Add([]byte{4, 1, 1, 1, 1}, uint64(1))
+	f.Add([]byte{}, uint64(7))
+	f.Add([]byte{0, 0, 0, 0, 2, 1, 255, 255, 255, 0}, uint64(3))
+	f.Fuzz(func(t *testing.T, raw []byte, span uint64) {
+		ens, err := mergeModel()
+		if err != nil {
+			t.Skip("model training failed on this build")
+		}
+		w := int(span%8) + 1
+		names := []string{"alpha", "beta", "gamma", "delta", "unmodeled.event"}
+
+		// Decode the byte stream into windowed samples: 5 bytes per
+		// sample, the fifth advancing the window counter.
+		var all []Sample
+		window := 1
+		for i := 0; i+4 < len(raw) && len(all) < 400; i += 5 {
+			window += int(raw[i+4] % 3)
+			all = append(all, Sample{
+				Metric: names[int(raw[i])%len(names)],
+				T:      float64(raw[i+1]), // zero => invalid, must be dropped
+				W:      float64(raw[i+2]) * 1.5,
+				M:      float64(raw[i+3]) / 3,
+				Window: window,
+			})
+		}
+
+		ctx := context.Background()
+		inc := NewIncrementalIndex()
+		next := 0
+		for cur := 1; cur <= window; cur++ {
+			for next < len(all) && all[next].Window == cur {
+				inc.Add(all[next])
+				next++
+			}
+			inc.EvictBefore(cur - w + 1)
+
+			var d Dataset
+			for _, s := range all[:next] {
+				if s.Window > cur-w {
+					d.Add(s)
+				}
+			}
+			want, werr := ens.BatchEstimate(ctx, IndexWorkload(d), EstimateOptions{Workers: 1})
+			got, gerr := ens.BatchEstimate(ctx, inc.Snapshot(), EstimateOptions{Workers: 1})
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("window %d span %d: error mismatch: batch=%v inc=%v", cur, w, werr, gerr)
+			}
+			if werr != nil {
+				if !errors.Is(gerr, ErrNoSamples) {
+					t.Fatalf("window %d span %d: unexpected error %v", cur, w, gerr)
+				}
+				continue
+			}
+			wb, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wb, gb) {
+				t.Fatalf("window %d span %d: streaming estimation diverges:\nbatch: %s\ninc:   %s", cur, w, wb, gb)
+			}
 		}
 	})
 }

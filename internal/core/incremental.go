@@ -1,0 +1,119 @@
+package core
+
+import "sort"
+
+// IncrementalIndex grows a workload index sample by sample, so a
+// streaming consumer can extend its window without re-grouping or
+// re-sorting the whole workload (paper §III collects samples as a
+// continuous `perf stat -I` feed). It maintains exactly the structures
+// IndexWorkload builds — per-metric sample groups in arrival order with
+// precomputed intensities and a sorted metric list — which makes
+// Snapshot()+BatchEstimate bit-identical to IndexWorkload+BatchEstimate
+// over the same samples in the same order.
+//
+// An IncrementalIndex is not safe for concurrent mutation, but snapshots
+// taken from it remain safe to read while the index keeps growing:
+// appends only ever write beyond every previously published snapshot's
+// visible range, and evictions only move slice headers forward.
+type IncrementalIndex struct {
+	metrics []string // sorted metric names with >= 1 live sample
+	groups  map[string]*indexedMetric
+	n       int // live samples across all groups
+}
+
+// NewIncrementalIndex returns an empty index.
+func NewIncrementalIndex() *IncrementalIndex {
+	return &IncrementalIndex{groups: make(map[string]*indexedMetric)}
+}
+
+// Add appends samples to their metric groups, dropping invalid ones
+// exactly as Dataset.ByMetric drops them, and returns how many were
+// kept. Within one metric, samples must arrive in the order the batch
+// path would see them (the dataset order); the streaming pipeline feeds
+// intervals in window order, which satisfies this by construction.
+func (ix *IncrementalIndex) Add(samples ...Sample) int {
+	added := 0
+	for _, s := range samples {
+		if !s.Valid() {
+			continue
+		}
+		g, ok := ix.groups[s.Metric]
+		if !ok {
+			g = &indexedMetric{}
+			ix.groups[s.Metric] = g
+			k := sort.SearchStrings(ix.metrics, s.Metric)
+			ix.metrics = append(ix.metrics, "")
+			copy(ix.metrics[k+1:], ix.metrics[k:])
+			ix.metrics[k] = s.Metric
+		}
+		g.samples = append(g.samples, s)
+		g.intens = append(g.intens, s.Intensity())
+		ix.n++
+		added++
+	}
+	return added
+}
+
+// EvictBefore drops every sample whose Window tag is below window and
+// returns how many were dropped. It relies on windows being
+// nondecreasing within each metric group (true whenever Add is fed
+// intervals in window order). Metrics left without samples disappear
+// from the index, so coverage reporting matches a fresh index over the
+// surviving samples. Eviction never writes to the evicted region, so
+// previously taken snapshots stay valid.
+func (ix *IncrementalIndex) EvictBefore(window int) int {
+	evicted := 0
+	for metric, g := range ix.groups {
+		k := sort.Search(len(g.samples), func(i int) bool {
+			return g.samples[i].Window >= window
+		})
+		if k == 0 {
+			continue
+		}
+		g.samples = g.samples[k:]
+		g.intens = g.intens[k:]
+		evicted += k
+		ix.n -= k
+		if len(g.samples) == 0 {
+			delete(ix.groups, metric)
+		}
+	}
+	if evicted > 0 && len(ix.groups) < len(ix.metrics) {
+		live := ix.metrics[:0]
+		for _, m := range ix.metrics {
+			if _, ok := ix.groups[m]; ok {
+				live = append(live, m)
+			}
+		}
+		ix.metrics = live
+	}
+	return evicted
+}
+
+// Snapshot publishes the current contents as an immutable WorkloadIndex
+// that stays correct while the IncrementalIndex keeps mutating. The
+// snapshot shares sample storage with the live index: full-slice
+// expressions cap each group at its current length, later Adds write
+// only beyond that cap, and EvictBefore only advances the live slice
+// headers — so no write ever lands inside a snapshot's visible range.
+func (ix *IncrementalIndex) Snapshot() *WorkloadIndex {
+	out := &WorkloadIndex{
+		metrics: append([]string(nil), ix.metrics...),
+		groups:  make(map[string]*indexedMetric, len(ix.groups)),
+	}
+	for metric, g := range ix.groups {
+		out.groups[metric] = &indexedMetric{
+			samples: g.samples[:len(g.samples):len(g.samples)],
+			intens:  g.intens[:len(g.intens):len(g.intens)],
+		}
+	}
+	return out
+}
+
+// Len returns the number of live (valid, unevicted) samples.
+func (ix *IncrementalIndex) Len() int { return ix.n }
+
+// Metrics returns the sorted metric names with at least one live sample.
+func (ix *IncrementalIndex) Metrics() []string {
+	return append([]string(nil), ix.metrics...)
+}

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -64,6 +65,91 @@ func FuzzPerfStatCSV(f *testing.F) {
 			}
 			if len(res.Diags) > total {
 				t.Fatalf("retained %d diags but counted %d", len(res.Diags), total)
+			}
+		}
+	})
+}
+
+// incrementalRun feeds input through one Incremental using the chunk
+// boundaries drawn from seed (0 = one whole chunk) and returns everything
+// observable: intervals, retained diags, stats, and the final error.
+func incrementalRun(input []byte, seed uint64, mode Mode) ([]Interval, []Diag, Stats, error) {
+	in := NewIncremental(Options{Mode: mode})
+	var ivs []Interval
+	var diags []Diag
+	rest := input
+	for len(rest) > 0 {
+		n := len(rest)
+		if seed != 0 {
+			// xorshift-derived chunk length in [1, 17].
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			n = int(seed%17) + 1
+			if n > len(rest) {
+				n = len(rest)
+			}
+		}
+		out, err := in.Feed(rest[:n])
+		ivs = append(ivs, out...)
+		diags = append(diags, in.TakeDiags()...)
+		if err != nil {
+			return ivs, diags, in.Stats(), err
+		}
+		rest = rest[n:]
+	}
+	out, err := in.Close()
+	ivs = append(ivs, out...)
+	diags = append(diags, in.TakeDiags()...)
+	return ivs, diags, in.Stats(), err
+}
+
+// FuzzStreamFeed is the chunk-boundary invariance gate for the streaming
+// parser: feeding arbitrary bytes split at arbitrary boundaries —
+// including mid-CSV-line — must produce exactly the intervals, the
+// diagnostics, the stats and the error that feeding the same bytes as one
+// whole chunk produces, in both modes.
+func FuzzStreamFeed(f *testing.F) {
+	seeds := []string{
+		"1.000107616,3200000000,,cycles,1000000000,100.00,,\n1.000107616,4800000000,,instructions,1000000000,100.00,,\n1.000107616,29876,,idq.dsb_uops,250000000,25.00,,\n2.000362148,3200000000,,cycles,1000000000,100.00,,\n",
+		"1.0,100,,cycles,1,100.00,,\n1.0,50,,instructions,1,100.00,,\n1.0,10,,llc.miss,1,25.00,,\n2.0,100,,cycles,1,100.00,,\n2.0,50,,instructions,1,100.00,,\n2.0,20,,llc.miss,1,25.00,,\n",
+		"2.000362148,<not counted>,,idq.dsb_uops,0,0.00,,\n",
+		"# comment\r\n1,000107616;3200000000;;cycles;1000000000;100,00;;\r\n",
+		"garbage line without separators\n5.0,1,,cycles,1\n",
+		"3.0,100,,cycles,1,100.00,,\n1.0,100,,cycles,1,100.00,,\n",
+		"",
+		"\x00\xff\xfe,,,,\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s), uint64(12345))
+	}
+	f.Fuzz(func(t *testing.T, input []byte, seed uint64) {
+		for _, mode := range []Mode{Lenient, Strict} {
+			wantIvs, wantDiags, wantStats, wantErr := incrementalRun(input, 0, mode)
+			gotIvs, gotDiags, gotStats, gotErr := incrementalRun(input, seed|1, mode)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("mode %s: error mismatch: whole=%v chunked=%v", mode, wantErr, gotErr)
+			}
+			if wantErr != nil && wantErr.Error() != gotErr.Error() {
+				t.Fatalf("mode %s: different errors: whole=%v chunked=%v", mode, wantErr, gotErr)
+			}
+			if !reflect.DeepEqual(wantIvs, gotIvs) {
+				t.Fatalf("mode %s: intervals diverge across chunkings:\nwhole:   %+v\nchunked: %+v", mode, wantIvs, gotIvs)
+			}
+			if !reflect.DeepEqual(wantDiags, gotDiags) {
+				t.Fatalf("mode %s: diagnostics diverge across chunkings:\nwhole:   %+v\nchunked: %+v", mode, wantDiags, gotDiags)
+			}
+			if !reflect.DeepEqual(wantStats, gotStats) {
+				t.Fatalf("mode %s: stats diverge across chunkings:\nwhole:   %+v\nchunked: %+v", mode, wantStats, gotStats)
+			}
+			if mode == Lenient {
+				for _, iv := range gotIvs {
+					for _, s := range iv.Samples {
+						if !s.Valid() {
+							t.Fatalf("invalid sample survived streaming ingestion: %s", s)
+						}
+					}
+				}
 			}
 		}
 	})

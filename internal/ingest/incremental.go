@@ -1,0 +1,373 @@
+package ingest
+
+import (
+	"fmt"
+	"strings"
+
+	"spire/internal/core"
+)
+
+// This file is the streaming half of the ingestion pipeline: the same
+// tolerant `perf stat -x, -I` CSV semantics as ReadCSV, but fed one
+// arbitrary byte chunk at a time. Two pieces compose:
+//
+//   - LineSplitter reassembles physical lines across chunk boundaries, so
+//     a read that ends mid-line never produces a spurious "garbled"
+//     diagnostic — the partial tail is buffered until the rest arrives.
+//   - Incremental parses those lines row by row and emits each collection
+//     interval as soon as the next interval's first row proves it
+//     complete (perf prints all of an interval's rows consecutively).
+//
+// Feeding the same bytes in any chunking — byte by byte, line by line, or
+// all at once — produces identical intervals, identical diagnostics and
+// identical stats (property-checked by FuzzStreamFeed). Unlike ReadCSV,
+// Incremental cannot re-sort intervals globally: timestamps that go
+// backwards are diagnosed (DiagOutOfOrder) and the intervals are emitted
+// in arrival order, which is what a live monitor wants anyway.
+
+// maxLineBytes bounds one physical line. ReadCSV's scanner aborts the
+// whole run beyond its 1 MiB buffer; the streaming path instead diagnoses
+// the oversized line as garbled and keeps going — a live feed must never
+// be killed by one corrupt line.
+const maxLineBytes = 1 << 20
+
+// LineSplitter splits a byte stream into physical lines across arbitrary
+// chunk boundaries. A trailing fragment without a newline is buffered
+// until the next Feed (or Flush) completes it. Lines longer than
+// maxLineBytes are truncated to a single oversized-line marker rather
+// than buffered without bound.
+type LineSplitter struct {
+	buf      []byte
+	dropping bool // current line exceeded maxLineBytes; discard to newline
+	overran  bool // report the oversized line once, at emission
+}
+
+// Feed appends chunk and invokes emit for every line it completes, in
+// order, without the trailing newline. The second emit argument reports
+// whether the line overran the length bound (its content is truncated).
+func (ls *LineSplitter) Feed(chunk []byte, emit func(line []byte, overran bool)) {
+	for len(chunk) > 0 {
+		nl := -1
+		for i, b := range chunk {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		if nl < 0 {
+			ls.take(chunk)
+			return
+		}
+		ls.take(chunk[:nl])
+		ls.emitLine(emit)
+		chunk = chunk[nl+1:]
+	}
+}
+
+// Flush emits the final unterminated line, if any.
+func (ls *LineSplitter) Flush(emit func(line []byte, overran bool)) {
+	if len(ls.buf) > 0 || ls.overran {
+		ls.emitLine(emit)
+	}
+}
+
+// Pending reports whether a partial line is buffered.
+func (ls *LineSplitter) Pending() bool { return len(ls.buf) > 0 || ls.overran }
+
+// take buffers part of the current line, enforcing the length bound.
+func (ls *LineSplitter) take(part []byte) {
+	if ls.dropping {
+		return
+	}
+	if len(ls.buf)+len(part) > maxLineBytes {
+		room := maxLineBytes - len(ls.buf)
+		if room > 0 {
+			ls.buf = append(ls.buf, part[:room]...)
+		}
+		ls.dropping = true
+		ls.overran = true
+		return
+	}
+	ls.buf = append(ls.buf, part...)
+}
+
+// emitLine hands the buffered line to emit and resets for the next one.
+// A trailing '\r' (CRLF input) is stripped.
+func (ls *LineSplitter) emitLine(emit func(line []byte, overran bool)) {
+	line := ls.buf
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	emit(line, ls.overran)
+	ls.buf = ls.buf[:0]
+	ls.dropping = false
+	ls.overran = false
+}
+
+// Interval is one completed collection interval: the assembled,
+// per-interval-validated samples ready for windowed estimation. Window
+// numbers completed intervals 1, 2, 3, ... in emission order (matching
+// ReadCSV's numbering for in-order input); Samples may be empty when the
+// interval carried only the fixed-counter rows or everything was
+// quarantined.
+type Interval struct {
+	// TS is the perf interval timestamp in seconds.
+	TS float64
+	// Window is the 1-based interval sequence number; strictly increasing
+	// across one Incremental's lifetime.
+	Window int
+	// Samples holds the surviving samples, tagged with Window.
+	Samples []core.Sample
+	// Quarantined counts samples this interval lost to validation.
+	Quarantined int
+}
+
+// Incremental is the resumable counterpart of ReadCSV: feed it `perf
+// stat -x, -I` CSV in arbitrary chunks and collect completed intervals as
+// they close. All of ReadCSV's tolerant-parsing behavior applies — the
+// same row grammar, the same diagnostics, the same per-sample validation
+// — except that intervals are emitted in arrival order (no global
+// re-sort) and an oversized line becomes a diagnostic instead of a fatal
+// read error.
+//
+// Not safe for concurrent use; callers serialize Feed/Close.
+type Incremental struct {
+	opts     Options
+	cyclesEv string
+	instEv   string
+
+	split  LineSplitter
+	res    Result // diagnostics + stats accumulator (Dataset unused)
+	cur    *interval
+	window int
+	lineNo int
+	lastTS float64
+	haveTS bool
+
+	err    error // sticky strict-mode abort
+	closed bool
+}
+
+// NewIncremental returns a streaming parser with the same options as
+// ReadCSV. The Validate options apply per interval, so the dataset-wide
+// throughput-outlier screen degenerates to a no-op (every sample in one
+// interval shares the same period); structural checks (NaN/Inf, negative
+// time, counter wraps) are enforced exactly as in batch mode.
+func NewIncremental(opts Options) *Incremental {
+	opts.setDefaults()
+	return &Incremental{
+		opts:     opts,
+		cyclesEv: CanonicalEvent(opts.CyclesEvent),
+		instEv:   CanonicalEvent(opts.InstEvent),
+	}
+}
+
+// Feed consumes one chunk and returns the intervals it completed, in
+// order. In lenient mode the error is always nil; in strict mode the
+// first severe anomaly aborts, the error is sticky, and any intervals
+// completed before the anomaly are still returned.
+func (in *Incremental) Feed(chunk []byte) ([]Interval, error) {
+	if in.err != nil {
+		return nil, in.err
+	}
+	if in.closed {
+		return nil, fmt.Errorf("ingest: feed after close")
+	}
+	var out []Interval
+	in.split.Feed(chunk, func(line []byte, overran bool) {
+		if in.err != nil {
+			return
+		}
+		if iv := in.processLine(string(line), overran); iv != nil {
+			out = append(out, *iv)
+		}
+	})
+	return out, in.err
+}
+
+// Close flushes the trailing partial line and the open interval,
+// returning whatever completes. Further Feeds error.
+func (in *Incremental) Close() ([]Interval, error) {
+	if in.err != nil {
+		return nil, in.err
+	}
+	if in.closed {
+		return nil, nil
+	}
+	in.closed = true
+	var out []Interval
+	in.split.Flush(func(line []byte, overran bool) {
+		if in.err != nil {
+			return
+		}
+		if iv := in.processLine(string(line), overran); iv != nil {
+			out = append(out, *iv)
+		}
+	})
+	if in.err != nil {
+		return out, in.err
+	}
+	if iv := in.completeCurrent(); iv != nil {
+		out = append(out, *iv)
+	}
+	return out, in.err
+}
+
+// Stats returns the cumulative ingestion statistics so far. ByClass is a
+// live map; callers must not mutate it.
+func (in *Incremental) Stats() Stats { return in.res.Stats }
+
+// TakeDiags drains and returns the retained diagnostics. The retention
+// cap (Options.MaxDiags) applies between drains, so a long-running stream
+// that drains regularly never loses diagnostics to the cap; Stats.ByClass
+// counts stay complete either way.
+func (in *Incremental) TakeDiags() []Diag {
+	out := in.res.Diags
+	in.res.Diags = nil
+	return out
+}
+
+// processLine mirrors ReadCSV's per-line handling. It returns the
+// interval the line completed, if any.
+func (in *Incremental) processLine(raw string, overran bool) *Interval {
+	in.lineNo++
+	in.res.Stats.Lines++
+	if overran {
+		in.diag(Diag{Line: in.lineNo, Class: DiagGarbled, Raw: raw,
+			Msg: fmt.Sprintf("line exceeds %d bytes; skipped", maxLineBytes)})
+		return nil
+	}
+	line := strings.TrimSpace(raw)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	rw, d := parseRow(line, in.lineNo)
+	if d != nil {
+		in.diag(*d)
+		return nil
+	}
+	in.res.Stats.DataLines++
+	if rw.pct < in.opts.MinRunPct {
+		in.diag(Diag{Line: in.lineNo, Class: DiagLowScaling, Raw: raw,
+			Msg: fmt.Sprintf("%s ran %.2f%% of the interval (< %.2f%%)", rw.event, rw.pct, in.opts.MinRunPct)})
+		return nil
+	}
+
+	var completed *Interval
+	if in.cur == nil || rw.ts != in.cur.ts {
+		completed = in.completeCurrent()
+		if in.err != nil {
+			return completed
+		}
+		if in.haveTS && rw.ts < in.lastTS {
+			d := Diag{Line: in.lineNo, Class: DiagOutOfOrder, Raw: raw,
+				Msg: fmt.Sprintf("interval %.9f arrived after %.9f; emitting in arrival order", rw.ts, in.lastTS)}
+			in.diag(d)
+			if in.err != nil {
+				return completed
+			}
+		}
+		if rw.ts > in.lastTS {
+			in.lastTS = rw.ts
+		}
+		in.haveTS = true
+		in.cur = &interval{ts: rw.ts, seen: make(map[string]bool)}
+	}
+	if in.cur.seen[rw.event] {
+		in.diag(Diag{Line: in.lineNo, Class: DiagDuplicate, Raw: raw,
+			Msg: fmt.Sprintf("duplicate row for event %s in interval %.9f; keeping the first", rw.event, rw.ts)})
+		return completed
+	}
+	in.cur.seen[rw.event] = true
+	in.cur.rows = append(in.cur.rows, rw)
+	in.cur.lines = append(in.cur.lines, in.lineNo)
+	return completed
+}
+
+// completeCurrent assembles and validates the open interval, exactly as
+// ReadCSV's assembly loop does for one timestamp group.
+func (in *Incremental) completeCurrent() *Interval {
+	iv := in.cur
+	in.cur = nil
+	if iv == nil {
+		return nil
+	}
+	in.res.Stats.Intervals++
+	var T, W float64
+	haveT, haveW := false, false
+	for _, rw := range iv.rows {
+		switch rw.event {
+		case in.cyclesEv:
+			T, haveT = rw.value, true
+		case in.instEv:
+			W, haveW = rw.value, true
+		}
+	}
+	if !haveT || !haveW {
+		missing := in.cyclesEv
+		if haveT {
+			missing = in.instEv
+		}
+		line := 0
+		if len(iv.lines) > 0 {
+			line = iv.lines[0]
+		}
+		in.diag(Diag{Class: DiagMissingFixed, Line: line,
+			Msg: fmt.Sprintf("interval %.9f has no %s row; dropping its %d rows", iv.ts, missing, len(iv.rows))})
+		return nil
+	}
+	in.window++
+	var assembled core.Dataset
+	for _, rw := range iv.rows {
+		if rw.event == in.cyclesEv || rw.event == in.instEv {
+			continue
+		}
+		assembled.Add(core.Sample{
+			Metric: rw.event,
+			T:      T,
+			W:      W,
+			M:      rw.value,
+			Window: in.window,
+		})
+	}
+
+	vopts := core.ValidateOptions{}
+	if in.opts.Validate != nil {
+		vopts = *in.opts.Validate
+	}
+	rep := core.Validate(assembled, vopts)
+	for _, q := range rep.Detail {
+		in.diag(Diag{Class: DiagQuarantined,
+			Msg: fmt.Sprintf("sample %d quarantined (%s): %s", q.Index, q.ReasonName, q.Sample)})
+		if in.err != nil {
+			return nil
+		}
+	}
+	// Keep the count complete even when Detail was capped.
+	if extra := rep.Quarantined - len(rep.Detail); extra > 0 {
+		if in.res.Stats.ByClass == nil {
+			in.res.Stats.ByClass = make(map[string]int)
+		}
+		in.res.Stats.ByClass[DiagQuarantined.String()] += extra
+		if in.opts.Mode == Strict {
+			in.err = strictErr(Diag{Class: DiagQuarantined, Msg: rep.Summary()})
+			return nil
+		}
+	}
+	in.res.Stats.Samples += rep.Clean.Len()
+	return &Interval{
+		TS:          iv.ts,
+		Window:      in.window,
+		Samples:     rep.Clean.Samples,
+		Quarantined: rep.Quarantined,
+	}
+}
+
+// diag records one diagnostic and arms the strict-mode abort when it is
+// severe.
+func (in *Incremental) diag(d Diag) {
+	in.res.diag(in.opts, d)
+	if in.opts.Mode == Strict && d.Class.Severe() {
+		in.err = strictErr(d)
+	}
+}

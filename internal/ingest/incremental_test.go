@@ -1,0 +1,370 @@
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"spire/internal/core"
+)
+
+// feedAll pushes input through a fresh Incremental in chunks of the given
+// size (0 = one chunk) and returns everything it emits.
+func feedAll(t *testing.T, input string, chunk int, opts Options) ([]Interval, *Incremental, error) {
+	t.Helper()
+	in := NewIncremental(opts)
+	var out []Interval
+	data := []byte(input)
+	if chunk <= 0 {
+		chunk = len(data)
+	}
+	for len(data) > 0 {
+		n := chunk
+		if n > len(data) {
+			n = len(data)
+		}
+		ivs, err := in.Feed(data[:n])
+		out = append(out, ivs...)
+		if err != nil {
+			return out, in, err
+		}
+		data = data[n:]
+	}
+	ivs, err := in.Close()
+	out = append(out, ivs...)
+	return out, in, err
+}
+
+// flatten concatenates interval samples in emission order.
+func flatten(ivs []Interval) []core.Sample {
+	var out []core.Sample
+	for _, iv := range ivs {
+		out = append(out, iv.Samples...)
+	}
+	return out
+}
+
+// genIntervalCSV builds a well-formed, in-order interval CSV with n
+// intervals over the given extra (non-fixed) events.
+func genIntervalCSV(n int, events ...string) string {
+	var b strings.Builder
+	for i := 1; i <= n; i++ {
+		ts := float64(i)
+		fmt.Fprintf(&b, "%.9f,%d,,cycles,1000000000,100.00,,\n", ts, 3_000_000_000+i*1000)
+		fmt.Fprintf(&b, "%.9f,%d,,instructions,1000000000,100.00,,\n", ts, 4_000_000_000+i*777)
+		for j, ev := range events {
+			fmt.Fprintf(&b, "%.9f,%d,,%s,250000000,25.00,,\n", ts, 10_000+i*100+j, ev)
+		}
+	}
+	return b.String()
+}
+
+// TestIncrementalMatchesBatch: for in-order input, the streaming parser
+// must produce exactly the samples ReadCSV produces, for every chunking.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	input := genIntervalCSV(20, "llc.miss", "dsb.uops", "stalls.total")
+	batch, err := ReadCSV(strings.NewReader(input), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{0, 1, 7, 64, 4096} {
+		ivs, in, err := feedAll(t, input, chunk, Options{})
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		got := flatten(ivs)
+		if !reflect.DeepEqual(got, batch.Dataset.Samples) {
+			t.Fatalf("chunk=%d: %d streamed samples != %d batch samples",
+				chunk, len(got), batch.Dataset.Len())
+		}
+		st := in.Stats()
+		if st.Lines != batch.Stats.Lines || st.DataLines != batch.Stats.DataLines ||
+			st.Intervals != batch.Stats.Intervals || st.Samples != batch.Stats.Samples {
+			t.Fatalf("chunk=%d: stats %+v != batch %+v", chunk, st, batch.Stats)
+		}
+		// Window numbering matches the batch tags.
+		for i, iv := range ivs {
+			if iv.Window != i+1 {
+				t.Fatalf("interval %d tagged window %d", i, iv.Window)
+			}
+			for _, s := range iv.Samples {
+				if s.Window != iv.Window {
+					t.Fatalf("sample window %d inside interval %d", s.Window, iv.Window)
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalSkylakeFixture: on the real (messy) perf capture the
+// streaming parser must agree with ReadCSV on every count and on the
+// sample multiset; only window numbering may differ, because ReadCSV
+// re-sorts the one out-of-order interval while streaming emits it in
+// arrival order.
+func TestIncrementalSkylakeFixture(t *testing.T) {
+	raw, err := os.ReadFile("testdata/skylake_interval.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ReadCSV(bytes.NewReader(raw), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs, in, err := feedAll(t, string(raw), 333, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	if st.Lines != batch.Stats.Lines || st.DataLines != batch.Stats.DataLines ||
+		st.Intervals != batch.Stats.Intervals || st.Samples != batch.Stats.Samples {
+		t.Fatalf("stats %+v != batch %+v", st, batch.Stats)
+	}
+	if !reflect.DeepEqual(st.ByClass, batch.Stats.ByClass) {
+		t.Fatalf("diag classes %+v != batch %+v", st.ByClass, batch.Stats.ByClass)
+	}
+	norm := func(samples []core.Sample) []string {
+		out := make([]string, 0, len(samples))
+		for _, s := range samples {
+			s.Window = 0
+			out = append(out, s.String())
+		}
+		sort.Strings(out)
+		return out
+	}
+	if !reflect.DeepEqual(norm(flatten(ivs)), norm(batch.Dataset.Samples)) {
+		t.Fatal("sample multiset diverges from batch ingestion")
+	}
+}
+
+// TestIncrementalPartialLines: chunk boundaries mid-line must never
+// produce diagnostics on clean input.
+func TestIncrementalPartialLines(t *testing.T) {
+	input := "1.0,100,,cycles,1,100.00,,\n1.0,50,,instructions,1,100.00,,\n" +
+		"1.0,10,,llc.miss,1,25.00,,\n2.0,100,,cycles,1,100.00,,\n" +
+		"2.0,50,,instructions,1,100.00,,\n2.0,20,,llc.miss,1,25.00,,\n"
+	for chunk := 1; chunk <= len(input); chunk++ {
+		_, in, err := feedAll(t, input, chunk, Options{})
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		if ds := in.TakeDiags(); len(ds) != 0 {
+			t.Fatalf("chunk=%d produced spurious diagnostics: %+v", chunk, ds)
+		}
+	}
+}
+
+// TestIncrementalCRLF: Windows-style line endings parse identically.
+func TestIncrementalCRLF(t *testing.T) {
+	unix := "1.0,100,,cycles,1,100.00,,\n1.0,50,,instructions,1,100.00,,\n1.0,10,,llc.miss,1,25.00,,\n"
+	dos := strings.ReplaceAll(unix, "\n", "\r\n")
+	a, _, err := feedAll(t, unix, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := feedAll(t, dos, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flatten(a), flatten(b)) {
+		t.Fatalf("CRLF input parsed differently: %+v vs %+v", a, b)
+	}
+}
+
+// TestIncrementalEmitsOnNextInterval: an interval completes exactly when
+// the next one's first row arrives, and Close flushes the last one.
+func TestIncrementalEmitsOnNextInterval(t *testing.T) {
+	in := NewIncremental(Options{})
+	ivs, err := in.Feed([]byte("1.0,100,,cycles,1,100.00,,\n1.0,50,,instructions,1,100.00,,\n1.0,10,,llc.miss,1,25.00,,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 0 {
+		t.Fatalf("interval emitted before its successor arrived: %+v", ivs)
+	}
+	ivs, err = in.Feed([]byte("2.0,100,,cycles,1,100.00,,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || ivs[0].TS != 1.0 || len(ivs[0].Samples) != 1 {
+		t.Fatalf("first interval not emitted on ts change: %+v", ivs)
+	}
+	ivs, err = in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second interval has cycles only: missing instructions, dropped.
+	if len(ivs) != 0 {
+		t.Fatalf("fixed-counter-less interval emitted: %+v", ivs)
+	}
+	if got := in.Stats().ByClass[DiagMissingFixed.String()]; got != 1 {
+		t.Fatalf("missing-fixed count = %d, want 1", got)
+	}
+	if _, err := in.Feed([]byte("x")); err == nil {
+		t.Fatal("feed after close must error")
+	}
+}
+
+// TestIncrementalOversizedLine: a line beyond the bound becomes one
+// garbled diagnostic and the stream keeps going (ReadCSV would abort).
+func TestIncrementalOversizedLine(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("1.0,100,,cycles,1,100.00,,\n1.0,50,,instructions,1,100.00,,\n")
+	b.WriteString(strings.Repeat("x", maxLineBytes+10))
+	b.WriteString("\n1.0,10,,llc.miss,1,25.00,,\n2.0,100,,cycles,1,100.00,,\n2.0,50,,instructions,1,100.00,,\n2.0,20,,llc.miss,1,25.00,,\n")
+	ivs, in, err := feedAll(t, b.String(), 8192, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Stats().ByClass[DiagGarbled.String()]; got != 1 {
+		t.Fatalf("garbled count = %d, want 1", got)
+	}
+	if len(ivs) != 2 {
+		t.Fatalf("stream did not survive the oversized line: %d intervals", len(ivs))
+	}
+	if len(ivs[0].Samples) != 1 || len(ivs[1].Samples) != 1 {
+		t.Fatalf("samples lost around the oversized line: %+v", ivs)
+	}
+}
+
+// TestIncrementalStrictSticky: strict mode aborts on the first severe
+// anomaly and stays aborted.
+func TestIncrementalStrictSticky(t *testing.T) {
+	in := NewIncremental(Options{Mode: Strict})
+	_, err := in.Feed([]byte("1.0,100,,cycles,1,100.00,,\ngarbage line\n"))
+	if err == nil {
+		t.Fatal("strict mode did not abort on a garbled line")
+	}
+	if _, err2 := in.Feed([]byte("2.0,100,,cycles,1,100.00,,\n")); err2 == nil {
+		t.Fatal("strict abort is not sticky")
+	}
+	if _, err2 := in.Close(); err2 == nil {
+		t.Fatal("close after strict abort must return the error")
+	}
+}
+
+// TestIncrementalOutOfOrder: backwards timestamps are diagnosed but the
+// intervals still flow in arrival order.
+func TestIncrementalOutOfOrder(t *testing.T) {
+	input := "5.0,100,,cycles,1,100.00,,\n5.0,50,,instructions,1,100.00,,\n5.0,10,,llc.miss,1,25.00,,\n" +
+		"3.0,100,,cycles,1,100.00,,\n3.0,50,,instructions,1,100.00,,\n3.0,12,,llc.miss,1,25.00,,\n" +
+		"6.0,100,,cycles,1,100.00,,\n6.0,50,,instructions,1,100.00,,\n6.0,14,,llc.miss,1,25.00,,\n"
+	ivs, in, err := feedAll(t, input, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Stats().ByClass[DiagOutOfOrder.String()]; got != 1 {
+		t.Fatalf("out-of-order count = %d, want 1", got)
+	}
+	if len(ivs) != 3 || ivs[0].TS != 5.0 || ivs[1].TS != 3.0 || ivs[2].TS != 6.0 {
+		t.Fatalf("arrival order not preserved: %+v", ivs)
+	}
+}
+
+// TestIncrementalDuplicateAndLowScaling: within-interval duplicates keep
+// the first row; under-scheduled rows are filtered by MinRunPct.
+func TestIncrementalDuplicateAndLowScaling(t *testing.T) {
+	input := "1.0,100,,cycles,1,100.00,,\n1.0,50,,instructions,1,100.00,,\n" +
+		"1.0,10,,llc.miss,1,25.00,,\n1.0,99,,llc.miss,1,25.00,,\n" +
+		"1.0,7,,dsb.uops,1,3.00,,\n" +
+		"2.0,100,,cycles,1,100.00,,\n"
+	ivs, in, err := feedAll(t, input, 5, Options{MinRunPct: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Stats().ByClass[DiagDuplicate.String()]; got != 1 {
+		t.Fatalf("duplicate count = %d, want 1", got)
+	}
+	if got := in.Stats().ByClass[DiagLowScaling.String()]; got != 1 {
+		t.Fatalf("low-scaling count = %d, want 1", got)
+	}
+	if len(ivs) != 1 || len(ivs[0].Samples) != 1 || ivs[0].Samples[0].M != 10 {
+		t.Fatalf("wrong surviving samples: %+v", ivs)
+	}
+}
+
+// TestIncrementalQuarantine: per-interval validation quarantines
+// structurally broken samples and reports them.
+func TestIncrementalQuarantine(t *testing.T) {
+	// 2^49 is beyond the physical 48-bit counter range: a wrap.
+	input := "1.0,100,,cycles,1,100.00,,\n1.0,50,,instructions,1,100.00,,\n" +
+		"1.0,562949953421312,,llc.miss,1,25.00,,\n1.0,10,,dsb.uops,1,25.00,,\n" +
+		"2.0,100,,cycles,1,100.00,,\n"
+	ivs, in, err := feedAll(t, input, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 1 || ivs[0].Quarantined != 1 || len(ivs[0].Samples) != 1 {
+		t.Fatalf("quarantine not applied: %+v", ivs)
+	}
+	if got := in.Stats().ByClass[DiagQuarantined.String()]; got != 1 {
+		t.Fatalf("quarantined count = %d, want 1", got)
+	}
+	if in.Stats().Samples != 1 {
+		t.Fatalf("Stats.Samples = %d, want 1", in.Stats().Samples)
+	}
+}
+
+// TestTakeDiags: draining resets retention so the cap applies per drain,
+// while ByClass keeps counting.
+func TestTakeDiags(t *testing.T) {
+	in := NewIncremental(Options{MaxDiags: 2})
+	for i := 0; i < 5; i++ {
+		if _, err := in.Feed([]byte("garbage\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := in.TakeDiags()
+	if len(first) != 2 {
+		t.Fatalf("retained %d diags, want cap 2", len(first))
+	}
+	if _, err := in.Feed([]byte("more garbage\n")); err != nil {
+		t.Fatal(err)
+	}
+	second := in.TakeDiags()
+	if len(second) != 1 {
+		t.Fatalf("drain did not reset retention: %d diags", len(second))
+	}
+	if got := in.Stats().ByClass[DiagGarbled.String()]; got != 6 {
+		t.Fatalf("ByClass garbled = %d, want 6", got)
+	}
+	if len(in.TakeDiags()) != 0 {
+		t.Fatal("second drain must be empty")
+	}
+}
+
+// TestLineSplitterBoundaries exercises the splitter directly across
+// pathological chunkings.
+func TestLineSplitterBoundaries(t *testing.T) {
+	input := "alpha\nbeta\r\ngamma"
+	want := []string{"alpha", "beta", "gamma"}
+	for chunk := 1; chunk <= len(input); chunk++ {
+		var ls LineSplitter
+		var got []string
+		emit := func(line []byte, overran bool) {
+			if overran {
+				t.Fatalf("chunk=%d: unexpected overrun", chunk)
+			}
+			got = append(got, string(line))
+		}
+		data := []byte(input)
+		for len(data) > 0 {
+			n := chunk
+			if n > len(data) {
+				n = len(data)
+			}
+			ls.Feed(data[:n], emit)
+			data = data[n:]
+		}
+		if ls.Pending() != true {
+			t.Fatalf("chunk=%d: trailing fragment not pending", chunk)
+		}
+		ls.Flush(emit)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("chunk=%d: lines %q, want %q", chunk, got, want)
+		}
+	}
+}

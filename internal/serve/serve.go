@@ -12,11 +12,21 @@
 //
 //	POST /v1/estimate  workload samples in -> per-metric estimates + ranking out
 //	POST /v1/ingest    raw perf-stat CSV / simulator JSON in -> clean samples out
+//	POST /v1/stream    feed interval CSV into the live sliding-window stream
+//	GET  /v1/stream    Server-Sent Events: one windowed estimation per interval
 //	GET  /v1/models    current model version + swap history
 //	POST /v1/models    upload, validate and atomically install a model
 //	GET  /healthz      liveness + readiness (is a model loaded?)
 //	GET  /metrics      Prometheus text exposition
 //	GET  /debug/pprof  optional, Config.EnablePprof
+//
+// The stream endpoints share one hub: every feeder's intervals advance
+// the same sliding window, each completed interval is re-estimated
+// against the registry's current model (a hot-swap takes effect on the
+// next window), and all SSE subscribers observe the same monotone window
+// sequence. Backpressure is drop-oldest with counters on both the
+// pending-interval queue and each subscriber's buffer (see
+// internal/stream).
 package serve
 
 import (
@@ -34,6 +44,7 @@ import (
 	"spire/internal/core"
 	"spire/internal/ingest"
 	"spire/internal/metrics"
+	"spire/internal/stream"
 )
 
 // Config tunes the service. The zero value is production-safe: defaults
@@ -55,6 +66,17 @@ type Config struct {
 	ModelDir string
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// StreamWindow is the /v1/stream sliding-window span in intervals.
+	// Default stream.DefaultWindowIntervals.
+	StreamWindow int
+	// StreamMaxPending bounds the stream's pending-interval queue; the
+	// oldest pending interval is shed (and counted) when it overflows.
+	// Default stream.DefaultMaxPending.
+	StreamMaxPending int
+	// StreamSubBuffer bounds each SSE subscriber's undelivered results;
+	// the oldest is shed (and counted) when it overflows. Default
+	// stream.DefaultSubBuffer.
+	StreamSubBuffer int
 }
 
 func (c *Config) setDefaults() {
@@ -76,6 +98,7 @@ type Server struct {
 	cache   *indexCache
 	metrics *metrics.Registry
 	handler http.Handler
+	hub     *stream.Hub
 
 	mEstimates   *metrics.Counter
 	mCacheHits   *metrics.Counter
@@ -110,10 +133,25 @@ func New(cfg Config) *Server {
 		s.mSwaps.Inc()
 		s.mModelSize.Set(float64(info.Metrics))
 	}
+	s.hub = stream.NewHub(stream.Config{
+		WindowIntervals: cfg.StreamWindow,
+		MaxPending:      cfg.StreamMaxPending,
+		SubBuffer:       cfg.StreamSubBuffer,
+		Model: func() (*core.Ensemble, string) {
+			ens, info := s.models.Current()
+			if info == nil {
+				return nil, ""
+			}
+			return ens, info.ID
+		},
+		Metrics: reg,
+	})
 
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
 	mux.Handle("POST /v1/ingest", s.instrument("/v1/ingest", s.handleIngest))
+	mux.Handle("POST /v1/stream", s.instrument("/v1/stream", s.handleStreamPost))
+	mux.Handle("GET /v1/stream", s.instrument("/v1/stream", s.handleStreamGet))
 	mux.Handle("GET /v1/models", s.instrument("/v1/models", s.handleModelsGet))
 	mux.Handle("POST /v1/models", s.instrument("/v1/models", s.handleModelsPost))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -135,6 +173,11 @@ func (s *Server) Models() *Registry { return s.models }
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.handler }
 
+// Close stops the stream hub, detaching any connected SSE clients. Serve
+// does this as part of its drain; call Close directly when the handler
+// is mounted some other way (e.g. httptest).
+func (s *Server) Close() { s.hub.Close() }
+
 // statusWriter captures the response code for instrumentation.
 type statusWriter struct {
 	http.ResponseWriter
@@ -153,6 +196,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 		w.code = http.StatusOK
 	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so instrumented handlers can
+// stream (SSE requires per-event flushing).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // instrument wraps a handler with the request counter, latency histogram,
@@ -428,9 +479,13 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case err := <-errc:
+		s.hub.Close()
 		return err
 	case <-ctx.Done():
 	}
+	// Detach SSE clients first: Shutdown waits for in-flight handlers,
+	// and stream handlers only return once the hub releases them.
+	s.hub.Close()
 	if drain <= 0 {
 		drain = 10 * time.Second
 	}

@@ -62,6 +62,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close) // detach SSE clients before the listener closes
 	return s, ts
 }
 

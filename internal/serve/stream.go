@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"spire/internal/ingest"
+)
+
+// StreamFeedResponse is the POST /v1/stream response body.
+type StreamFeedResponse struct {
+	// Bytes is how much of the request body was fed into the stream.
+	Bytes int64 `json:"bytes"`
+	// Stats is the hub's cumulative ingestion accounting (all feeders).
+	Stats ingest.Stats `json:"stats"`
+	// Diags are parser diagnostics newly retained since the last feed
+	// that drained them.
+	Diags []ingest.Diag `json:"diags,omitempty"`
+}
+
+// handleStreamPost pipes the request body into the shared stream hub.
+// Bodies may end mid-line or mid-interval: the resumable parser carries
+// the fragment over to the next POST, so a feeder can deliver one
+// interval per request or stream an endless body — both advance the same
+// window.
+func (s *Server) handleStreamPost(w http.ResponseWriter, r *http.Request) {
+	buf := make([]byte, 32<<10)
+	var fed int64
+	for {
+		n, rerr := r.Body.Read(buf)
+		if n > 0 {
+			fed += int64(n)
+			if err := s.hub.Feed(buf[:n]); err != nil {
+				writeErr(w, http.StatusServiceUnavailable, "stream closed: %v", err)
+				return
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(rerr, &tooBig) {
+				writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+				return
+			}
+			writeErr(w, http.StatusBadRequest, "reading body: %v", rerr)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, StreamFeedResponse{
+		Bytes: fed,
+		Stats: s.hub.Stats(),
+		Diags: s.hub.Diags(),
+	})
+}
+
+// handleStreamGet subscribes the client to the live window stream as
+// Server-Sent Events. Each completed window is one `event: window` frame
+// whose data is a stream.Result; `id:` carries the window sequence
+// number, so a client that reconnects can detect both its own losses
+// (Last-Event-ID vs first received id) and backpressure drops mid-stream
+// (gaps between consecutive ids). `?top=N` truncates each ranking for
+// this subscriber only.
+func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	top := 0
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad top %q", v)
+			return
+		}
+		top = n
+	}
+	sub := s.hub.Subscribe()
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.hub.Done():
+			return
+		case res, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			raw, err := json.Marshal(res.Truncate(top))
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: window\ndata: %s\n\n", res.Seq, raw); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

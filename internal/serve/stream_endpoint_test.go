@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"spire/internal/stream"
+)
+
+// streamIntervalCSV renders one complete interval: fixed counters plus
+// the two modeled events (trainModel's m1 and m2).
+func streamIntervalCSV(ts int) string {
+	return fmt.Sprintf("%d.0,100,,cycles,1,100.00,,\n%d.0,50,,instructions,1,100.00,,\n"+
+		"%d.0,10,,m1,1,25.00,,\n%d.0,7,,m2,1,25.00,,\n", ts, ts, ts, ts)
+}
+
+// postStream feeds a CSV fragment to /v1/stream and decodes the reply.
+func postStream(t *testing.T, url, body string) StreamFeedResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/stream", "text/csv", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream feed status %d: %s", resp.StatusCode, raw)
+	}
+	var out StreamFeedResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad feed response %s: %v", raw, err)
+	}
+	return out
+}
+
+// sseClient attaches to GET /v1/stream and delivers parsed frames.
+type sseFrame struct {
+	ID     uint64
+	Event  string
+	Result stream.Result
+}
+
+func sseSubscribe(t *testing.T, url, query string) (<-chan sseFrame, func()) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url+"/v1/stream"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := readAll(resp)
+		t.Fatalf("subscribe status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	frames := make(chan sseFrame, 256)
+	go func() {
+		defer close(frames)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		var f sseFrame
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				frames <- f
+				f = sseFrame{}
+			case strings.HasPrefix(line, "id: "):
+				f.ID, _ = strconv.ParseUint(line[4:], 10, 64)
+			case strings.HasPrefix(line, "event: "):
+				f.Event = line[7:]
+			case strings.HasPrefix(line, "data: "):
+				json.Unmarshal([]byte(line[6:]), &f.Result)
+			}
+		}
+	}()
+	return frames, func() { resp.Body.Close() }
+}
+
+func nextFrame(t *testing.T, frames <-chan sseFrame) sseFrame {
+	t.Helper()
+	select {
+	case f, ok := <-frames:
+		if !ok {
+			t.Fatal("SSE stream closed early")
+		}
+		return f
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for SSE frame")
+		panic("unreachable")
+	}
+}
+
+// TestStreamEndpointLive drives the full loop: feed intervals over
+// several POSTs (one split mid-line), watch windows arrive over SSE, and
+// hot-swap the model mid-stream — the next window must be estimated by
+// the new model.
+func TestStreamEndpointLive(t *testing.T) {
+	s, ts := newTestServer(t, Config{StreamWindow: 2})
+	ensA, modelA := trainModel(t, 1)
+	_, modelB := trainModel(t, 3)
+	idA, err := ensA.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Models().Load(bytes.NewReader(modelA), "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	frames, stop := sseSubscribe(t, ts.URL, "")
+	defer stop()
+
+	// Interval 1 completes once interval 2's first row arrives — even
+	// though that row is split across two POST bodies mid-line.
+	fr := postStream(t, ts.URL, streamIntervalCSV(1)+"2.0,100,,cy")
+	if fr.Bytes == 0 || fr.Stats.Lines < 4 {
+		t.Fatalf("feed response: %+v", fr)
+	}
+	postStream(t, ts.URL, "cles,1,100.00,,\n2.0,50,,instructions,1,100.00,,\n"+
+		"2.0,10,,m1,1,25.00,,\n2.0,7,,m2,1,25.00,,\n")
+
+	first := nextFrame(t, frames)
+	if first.Event != "window" || first.ID != 1 || first.Result.Seq != 1 {
+		t.Fatalf("first frame: %+v", first)
+	}
+	if first.Result.Model != idA || first.Result.Error != "" || first.Result.Estimation == nil {
+		t.Fatalf("first result: %+v", first.Result)
+	}
+	if first.Result.Intervals != 1 || first.Result.Samples != 2 {
+		t.Fatalf("first window bookkeeping: %+v", first.Result)
+	}
+
+	// Hot-swap, then complete interval 2: the new model must serve it.
+	resp, err := http.Post(ts.URL+"/v1/models", "application/json", bytes.NewReader(modelB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := readAll(resp)
+	var info ModelInfo
+	if err := json.Unmarshal(raw, &info); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("swap failed: %d %s", resp.StatusCode, raw)
+	}
+	postStream(t, ts.URL, streamIntervalCSV(3))
+	second := nextFrame(t, frames)
+	if second.Result.Seq != 2 || second.Result.Model != info.ID {
+		t.Fatalf("window after swap: %+v (want model %s)", second.Result, info.ID)
+	}
+	if second.Result.Intervals != 2 || second.Result.Samples != 4 {
+		t.Fatalf("second window bookkeeping: %+v", second.Result)
+	}
+}
+
+// TestStreamEndpointTop: ?top=N truncates rankings per subscriber.
+func TestStreamEndpointTop(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, modelA := trainModel(t, 1)
+	if _, err := s.Models().Load(bytes.NewReader(modelA), "test"); err != nil {
+		t.Fatal(err)
+	}
+	full, stopFull := sseSubscribe(t, ts.URL, "")
+	defer stopFull()
+	top, stopTop := sseSubscribe(t, ts.URL, "?top=1")
+	defer stopTop()
+
+	postStream(t, ts.URL, streamIntervalCSV(1)+streamIntervalCSV(2))
+	ff, tf := nextFrame(t, full), nextFrame(t, top)
+	if ff.Result.Estimation == nil || len(ff.Result.Estimation.PerMetric) != 2 {
+		t.Fatalf("full frame: %+v", ff.Result)
+	}
+	if tf.Result.Estimation == nil || len(tf.Result.Estimation.PerMetric) != 1 {
+		t.Fatalf("top frame: %+v", tf.Result)
+	}
+	if ff.Result.Estimation.PerMetric[0] != tf.Result.Estimation.PerMetric[0] {
+		t.Fatal("truncation changed the ranking head")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stream?top=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := readAll(resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad top: status %d (%s)", resp.StatusCode, raw)
+	}
+}
+
+// TestStreamEndpointNoModel: windows flow before any model is loaded,
+// carrying an in-band error instead of an estimation.
+func TestStreamEndpointNoModel(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	frames, stop := sseSubscribe(t, ts.URL, "")
+	defer stop()
+	postStream(t, ts.URL, streamIntervalCSV(1)+streamIntervalCSV(2))
+	f := nextFrame(t, frames)
+	if f.Result.Error != "no model loaded" || f.Result.Estimation != nil || f.Result.Model != "" {
+		t.Fatalf("no-model frame: %+v", f.Result)
+	}
+}
+
+// TestStreamEndpointCloseDetaches: Server.Close ends open SSE streams.
+func TestStreamEndpointCloseDetaches(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	frames, stop := sseSubscribe(t, ts.URL, "")
+	defer stop()
+	s.Close()
+	select {
+	case _, ok := <-frames:
+		if ok {
+			t.Fatal("frame after close")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE client not detached by Close")
+	}
+	resp, err := http.Post(ts.URL+"/v1/stream", "text/csv", strings.NewReader(streamIntervalCSV(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := readAll(resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("feed after close: status %d (%s)", resp.StatusCode, raw)
+	}
+}
+
+// TestStreamEndpointDiagsSurface: parser diagnostics come back on the
+// feed that drained them, and stats accumulate across feeders.
+func TestStreamEndpointDiagsSurface(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	fr := postStream(t, ts.URL, "garbage line\n"+streamIntervalCSV(1))
+	if len(fr.Diags) != 1 || fr.Diags[0].ClassName != "garbled" {
+		t.Fatalf("diags: %+v", fr.Diags)
+	}
+	fr = postStream(t, ts.URL, streamIntervalCSV(2))
+	if len(fr.Diags) != 0 {
+		t.Fatalf("drained diags resurfaced: %+v", fr.Diags)
+	}
+	if fr.Stats.Lines != 9 {
+		t.Fatalf("stats lines %d, want 9", fr.Stats.Lines)
+	}
+}

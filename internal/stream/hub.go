@@ -1,0 +1,214 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"spire/internal/ingest"
+)
+
+// ErrClosed is returned by Hub.Feed after Close.
+var ErrClosed = errors.New("stream: hub closed")
+
+// Hub is the asynchronous streaming path: any number of feeders push CSV
+// bytes in, one estimation loop turns completed intervals into window
+// results, and any number of subscribers receive those results. Both
+// hand-offs are bounded with drop-oldest backpressure — a slow estimator
+// sheds the oldest pending intervals, a slow subscriber sheds its oldest
+// undelivered results — and every drop is counted. Subscribers detect
+// their own losses as gaps in Result.Seq; the sequence itself stays
+// monotone because a single goroutine owns the windower.
+type Hub struct {
+	cfg  Config
+	inst *Instruments
+
+	feedMu sync.Mutex // parser is not concurrent-safe; serializes feeders
+	in     *ingest.Incremental
+
+	queue chan ingest.Interval
+
+	subMu  sync.Mutex
+	subs   map[*Subscription]struct{}
+	sealed bool // no new subscribers; set during Close
+
+	closed atomic.Bool
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewHub starts a hub's estimation loop.
+func NewHub(cfg Config) *Hub {
+	cfg.setDefaults()
+	inst := NewInstruments(cfg.Metrics)
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &Hub{
+		cfg:    cfg,
+		inst:   inst,
+		in:     ingest.NewIncremental(cfg.Ingest),
+		queue:  make(chan ingest.Interval, cfg.MaxPending),
+		subs:   make(map[*Subscription]struct{}),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go h.run(ctx)
+	return h
+}
+
+// Feed parses one chunk of CSV bytes and enqueues any completed
+// intervals for estimation, shedding the oldest pending intervals when
+// the queue is full. Safe for concurrent feeders. The returned error is
+// ErrClosed after Close, or the parser's sticky strict-mode abort.
+func (h *Hub) Feed(chunk []byte) error {
+	h.feedMu.Lock()
+	defer h.feedMu.Unlock()
+	if h.closed.Load() {
+		return ErrClosed
+	}
+	ivs, err := h.in.Feed(chunk)
+	for _, iv := range ivs {
+		h.enqueue(iv)
+	}
+	return err
+}
+
+// enqueue inserts one interval, dropping the oldest pending interval
+// while the queue is full. Called with feedMu held, so there is exactly
+// one producer and the retry loop terminates as soon as a slot opens.
+func (h *Hub) enqueue(iv ingest.Interval) {
+	for {
+		select {
+		case h.queue <- iv:
+			return
+		default:
+		}
+		select {
+		case old := <-h.queue:
+			h.inst.droppedInterval(len(old.Samples))
+		default:
+		}
+	}
+}
+
+// Diags drains the parser diagnostics retained since the last drain.
+func (h *Hub) Diags() []ingest.Diag {
+	h.feedMu.Lock()
+	defer h.feedMu.Unlock()
+	return h.in.TakeDiags()
+}
+
+// Stats reports ingestion accounting so far.
+func (h *Hub) Stats() ingest.Stats {
+	h.feedMu.Lock()
+	defer h.feedMu.Unlock()
+	return h.in.Stats()
+}
+
+// run is the single owner of the windower: it turns queued intervals
+// into windows, estimates each against the provider's current model, and
+// broadcasts the results.
+func (h *Hub) run(ctx context.Context) {
+	defer close(h.done)
+	win := NewWindower(h.cfg.WindowIntervals)
+	est := NewEstimator(h.cfg, h.inst)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case iv := <-h.queue:
+			h.broadcast(est.Estimate(ctx, win.Push(iv)))
+		}
+	}
+}
+
+func (h *Hub) broadcast(res Result) {
+	h.subMu.Lock()
+	defer h.subMu.Unlock()
+	for sub := range h.subs {
+		sub.offer(res, h.inst)
+	}
+}
+
+// Done is closed once the estimation loop has exited; subscribers use it
+// to unblock promptly on shutdown.
+func (h *Hub) Done() <-chan struct{} { return h.done }
+
+// Close stops the estimation loop, detaches every subscriber (their
+// channels are closed), and makes further Feed calls fail. The open
+// interval still being assembled is discarded: a live monitor has no
+// consumer left for it. Safe to call more than once.
+func (h *Hub) Close() {
+	if !h.closed.CompareAndSwap(false, true) {
+		return
+	}
+	h.cancel()
+	<-h.done
+	h.subMu.Lock()
+	defer h.subMu.Unlock()
+	h.sealed = true
+	for sub := range h.subs {
+		close(sub.ch)
+		delete(h.subs, sub)
+	}
+}
+
+// Subscription is one subscriber's bounded result feed. Receive from C;
+// the channel closes when the subscription or the hub closes.
+type Subscription struct {
+	hub     *Hub
+	ch      chan Result
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// Subscribe attaches a new subscriber. After Close the returned
+// subscription's channel is already closed.
+func (h *Hub) Subscribe() *Subscription {
+	sub := &Subscription{hub: h, ch: make(chan Result, h.cfg.SubBuffer)}
+	h.subMu.Lock()
+	defer h.subMu.Unlock()
+	if h.sealed || h.closed.Load() {
+		close(sub.ch)
+		return sub
+	}
+	h.subs[sub] = struct{}{}
+	return sub
+}
+
+// C is the result channel.
+func (s *Subscription) C() <-chan Result { return s.ch }
+
+// Dropped reports how many results this subscriber lost to backpressure.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription and closes its channel. Safe to call
+// more than once and concurrently with hub shutdown.
+func (s *Subscription) Close() {
+	s.hub.subMu.Lock()
+	defer s.hub.subMu.Unlock()
+	if _, ok := s.hub.subs[s]; ok {
+		delete(s.hub.subs, s)
+		close(s.ch)
+	}
+}
+
+// offer delivers res without ever blocking the broadcaster: when the
+// buffer is full the oldest undelivered result is dropped. Called with
+// subMu held (single sender); the subscriber may receive concurrently,
+// which only opens slots faster.
+func (s *Subscription) offer(res Result, inst *Instruments) {
+	for {
+		select {
+		case s.ch <- res:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+			inst.droppedResult()
+		default:
+		}
+	}
+}

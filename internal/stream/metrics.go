@@ -1,0 +1,39 @@
+package stream
+
+import (
+	"time"
+
+	"spire/internal/metrics"
+)
+
+// Instruments is the stream package's instrumentation bundle.
+type Instruments struct {
+	windows    *metrics.Counter
+	winDropped *metrics.Counter
+	smpDropped *metrics.Counter
+	subDropped *metrics.Counter
+	latency    *metrics.Histogram
+}
+
+// NewInstruments registers the stream metrics on reg (nil selects a
+// private registry, keeping callers free of nil checks).
+func NewInstruments(reg *metrics.Registry) *Instruments {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Instruments{
+		windows:    reg.Counter("spire_stream_windows_total", "Windows estimated across all streams."),
+		winDropped: reg.Counter("spire_stream_windows_dropped_total", "Intervals dropped from the pending queue under backpressure."),
+		smpDropped: reg.Counter("spire_stream_samples_dropped_total", "Samples inside dropped intervals."),
+		subDropped: reg.Counter("spire_stream_subscriber_dropped_total", "Results dropped on slow subscriber channels."),
+		latency:    reg.Histogram("spire_stream_estimate_seconds", "Per-window estimation latency.", nil),
+	}
+}
+
+func (i *Instruments) window()                   { i.windows.Inc() }
+func (i *Instruments) estimated(d time.Duration) { i.latency.Observe(d.Seconds()) }
+func (i *Instruments) droppedInterval(samples int) {
+	i.winDropped.Inc()
+	i.smpDropped.Add(float64(samples))
+}
+func (i *Instruments) droppedResult() { i.subDropped.Inc() }

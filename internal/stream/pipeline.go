@@ -1,0 +1,72 @@
+package stream
+
+import (
+	"context"
+
+	"spire/internal/ingest"
+)
+
+// Pipeline is the synchronous streaming path: feed bytes in, get window
+// results out, in strict order with nothing dropped — the caller's read
+// loop is the flow control. Results are byte-stable: feeding the same
+// bytes through any chunking yields the same results, each identical to
+// a batch estimation over the same in-window samples. Not safe for
+// concurrent use.
+type Pipeline struct {
+	in   *ingest.Incremental
+	win  *Windower
+	est  *Estimator
+	inst *Instruments
+}
+
+// NewPipeline assembles a synchronous pipeline from cfg.
+func NewPipeline(cfg Config) *Pipeline {
+	cfg.setDefaults()
+	inst := NewInstruments(cfg.Metrics)
+	return &Pipeline{
+		in:   ingest.NewIncremental(cfg.Ingest),
+		win:  NewWindower(cfg.WindowIntervals),
+		est:  NewEstimator(cfg, inst),
+		inst: inst,
+	}
+}
+
+// Feed pushes one chunk of CSV bytes (any boundary, including mid-line)
+// and returns the results for every window the chunk completed. A non-nil
+// error is a strict-mode abort and is sticky.
+func (p *Pipeline) Feed(ctx context.Context, chunk []byte) ([]Result, error) {
+	ivs, err := p.in.Feed(chunk)
+	out := p.estimate(ctx, ivs)
+	if err != nil {
+		return out, err
+	}
+	return out, ctx.Err()
+}
+
+// Close flushes the trailing partial line and the final open interval,
+// returning any last results.
+func (p *Pipeline) Close(ctx context.Context) ([]Result, error) {
+	ivs, err := p.in.Close()
+	out := p.estimate(ctx, ivs)
+	if err != nil {
+		return out, err
+	}
+	return out, ctx.Err()
+}
+
+func (p *Pipeline) estimate(ctx context.Context, ivs []ingest.Interval) []Result {
+	var out []Result
+	for _, iv := range ivs {
+		if ctx.Err() != nil {
+			return out
+		}
+		out = append(out, p.est.Estimate(ctx, p.win.Push(iv)))
+	}
+	return out
+}
+
+// Stats reports ingestion accounting so far.
+func (p *Pipeline) Stats() ingest.Stats { return p.in.Stats() }
+
+// TakeDiags drains the diagnostics retained since the last drain.
+func (p *Pipeline) TakeDiags() []ingest.Diag { return p.in.TakeDiags() }

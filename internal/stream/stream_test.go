@@ -1,0 +1,389 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"spire/internal/core"
+	"spire/internal/ingest"
+	"spire/internal/metrics"
+)
+
+// iv builds a synthetic interval with one sample per given metric.
+func iv(window int, names ...string) ingest.Interval {
+	out := ingest.Interval{TS: float64(window), Window: window}
+	for i, m := range names {
+		out.Samples = append(out.Samples, core.Sample{
+			Metric: m, T: 2, W: float64(4 + i), M: 2, Window: window,
+		})
+	}
+	return out
+}
+
+func TestWindowerSliding(t *testing.T) {
+	w := NewWindower(2)
+	first := w.Push(iv(1, "alpha"))
+	if first.Seq != 1 || first.Intervals != 1 || first.StartTS != 1 || first.EndTS != 1 || first.Samples != 1 {
+		t.Fatalf("first window: %+v", first)
+	}
+	second := w.Push(iv(2, "beta"))
+	if second.Seq != 2 || second.Intervals != 2 || second.StartTS != 1 || second.Samples != 2 {
+		t.Fatalf("second window: %+v", second)
+	}
+	third := w.Push(iv(3, "gamma"))
+	if third.Seq != 3 || third.Intervals != 2 || third.StartTS != 2 || third.EndTS != 3 || third.Samples != 2 {
+		t.Fatalf("third window did not slide: %+v", third)
+	}
+	if got := third.Index.Metrics(); !reflect.DeepEqual(got, []string{"beta", "gamma"}) {
+		t.Fatalf("window 1 not evicted: metrics %v", got)
+	}
+	// Earlier snapshots must be untouched by the slide.
+	if got := second.Index.Metrics(); !reflect.DeepEqual(got, []string{"alpha", "beta"}) {
+		t.Fatalf("published snapshot mutated: metrics %v", got)
+	}
+}
+
+func TestResultTruncate(t *testing.T) {
+	est := &core.Estimation{PerMetric: []core.MetricEstimate{
+		{Metric: "a"}, {Metric: "b"}, {Metric: "c"},
+	}}
+	r := Result{Seq: 9, Estimation: est}
+	cut := r.Truncate(2)
+	if len(cut.Estimation.PerMetric) != 2 || cut.Seq != 9 {
+		t.Fatalf("truncate: %+v", cut)
+	}
+	if len(r.Estimation.PerMetric) != 3 {
+		t.Fatal("Truncate mutated the original")
+	}
+	if same := r.Truncate(0); same.Estimation != est {
+		t.Fatal("n<=0 must be a no-op")
+	}
+	none := Result{Error: "no model loaded"}
+	if got := none.Truncate(1); got.Estimation != nil {
+		t.Fatalf("truncating an errored result: %+v", got)
+	}
+}
+
+// testEnsemble trains a deterministic model over the diffNames metrics.
+func testEnsemble(t testing.TB) *core.Ensemble {
+	t.Helper()
+	return trainStreamEnsemble(t, rand.New(rand.NewSource(4242)))
+}
+
+func TestPipelineChunkInvariance(t *testing.T) {
+	ens := testEnsemble(t)
+	input := csvStream(rand.New(rand.NewSource(7)), 12)
+	ctx := context.Background()
+	run := func(chunk int) []Result {
+		p := NewPipeline(Config{WindowIntervals: 3, Model: StaticModel(ens, "m")})
+		var out []Result
+		rest := []byte(input)
+		if chunk <= 0 {
+			chunk = len(rest)
+		}
+		for len(rest) > 0 {
+			n := chunk
+			if n > len(rest) {
+				n = len(rest)
+			}
+			rs, err := p.Feed(ctx, rest[:n])
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rs...)
+			rest = rest[n:]
+		}
+		rs, err := p.Close(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(out, rs...)
+	}
+	want := marshal(t, run(0))
+	for _, chunk := range []int{1, 7, 113} {
+		if got := marshal(t, run(chunk)); got != want {
+			t.Fatalf("chunk=%d changed the emitted results", chunk)
+		}
+	}
+}
+
+func TestPipelineInBandErrors(t *testing.T) {
+	ctx := context.Background()
+	input := "1.0,100,,cycles,1,100.00,,\n1.0,50,,instructions,1,100.00,,\n" +
+		"1.0,10,,alpha,1,25.00,,\n2.0,100,,cycles,1,100.00,,\n"
+
+	// No model loaded: the stream keeps flowing, the result says why.
+	p := NewPipeline(Config{})
+	rs, err := p.Feed(ctx, []byte(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Error != "no model loaded" || rs[0].Estimation != nil {
+		t.Fatalf("no-model result: %+v", rs)
+	}
+
+	// A model that shares no metric with the stream.
+	var d core.Dataset
+	for i := 1.0; i <= 8; i *= 2 {
+		d.Add(core.Sample{Metric: "other", T: 1, W: i, M: 1})
+	}
+	ens, err := core.Train(d, core.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = NewPipeline(Config{Model: StaticModel(ens, "m")})
+	rs, err = p.Feed(ctx, []byte(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Error != "no sample matches a modeled metric" {
+		t.Fatalf("no-overlap result: %+v", rs)
+	}
+}
+
+func TestPipelineStrictAbort(t *testing.T) {
+	p := NewPipeline(Config{Ingest: ingest.Options{Mode: ingest.Strict}})
+	if _, err := p.Feed(context.Background(), []byte("garbage\n")); err == nil {
+		t.Fatal("strict pipeline swallowed a garbled line")
+	}
+	if _, err := p.Close(context.Background()); err == nil {
+		t.Fatal("strict abort must stick through Close")
+	}
+}
+
+func TestPipelineTopAndInstruments(t *testing.T) {
+	reg := metrics.NewRegistry()
+	ens := testEnsemble(t)
+	p := NewPipeline(Config{WindowIntervals: 2, Top: 1, Model: StaticModel(ens, "m"), Metrics: reg})
+	input := csvStream(rand.New(rand.NewSource(11)), 6)
+	rs, err := p.Feed(context.Background(), []byte(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := p.Close(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs = append(rs, tail...)
+	for _, r := range rs {
+		if r.Estimation != nil && len(r.Estimation.PerMetric) > 1 {
+			t.Fatalf("Top=1 not applied: %+v", r)
+		}
+	}
+	if got := p.inst.windows.Value(); got != float64(len(rs)) {
+		t.Fatalf("windows counter %g, want %d", got, len(rs))
+	}
+	if p.inst.latency.Count() == 0 {
+		t.Fatal("latency histogram never observed")
+	}
+}
+
+// feedCSV pushes a whole CSV string into a hub.
+func feedCSV(t *testing.T, h *Hub, input string) {
+	t.Helper()
+	if err := h.Feed([]byte(input)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubBroadcastOrder(t *testing.T) {
+	ens := testEnsemble(t)
+	h := NewHub(Config{WindowIntervals: 3, SubBuffer: 64, Model: StaticModel(ens, "m")})
+	defer h.Close()
+	sub := h.Subscribe()
+	feedCSV(t, h, csvStream(rand.New(rand.NewSource(21)), 13))
+	// 12 completed intervals (the 13th is still open).
+	var got []Result
+	for len(got) < 12 {
+		select {
+		case r := <-sub.C():
+			got = append(got, r)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d results", len(got))
+		}
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("result %d has seq %d", i, r.Seq)
+		}
+		if r.Error != "" {
+			t.Fatalf("unexpected in-band error: %+v", r)
+		}
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("drops on an idle stream: %d", sub.Dropped())
+	}
+}
+
+// intervalCSV renders one interval's rows: fixed counters plus alpha.
+func intervalCSV(i int) string {
+	ts := float64(i)
+	return fmt.Sprintf("%.1f,100,,cycles,1,100.00,,\n%.1f,50,,instructions,1,100.00,,\n%.1f,%d,,alpha,1,25.00,,\n",
+		ts, ts, ts, 10+i)
+}
+
+func TestHubQueueDropOldest(t *testing.T) {
+	ens := testEnsemble(t)
+	entered := make(chan struct{}, 32)
+	gate := make(chan struct{})
+	h := NewHub(Config{
+		WindowIntervals: 4,
+		MaxPending:      2,
+		SubBuffer:       64,
+		Model: func() (*core.Ensemble, string) {
+			entered <- struct{}{}
+			<-gate
+			return ens, "gated"
+		},
+	})
+	defer h.Close()
+	sub := h.Subscribe()
+
+	// Complete interval 1 and wait for the run loop to stall on it
+	// inside the model provider.
+	feedCSV(t, h, intervalCSV(1)+intervalCSV(2))
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run loop never started estimating")
+	}
+	// Ten more completed intervals against a stalled loop: the queue
+	// holds two, the other eight are shed oldest-first.
+	for i := 3; i <= 12; i++ {
+		feedCSV(t, h, intervalCSV(i))
+	}
+	if got := h.inst.winDropped.Value(); got != 8 {
+		t.Fatalf("dropped %g intervals, want 8", got)
+	}
+	if h.inst.smpDropped.Value() != 8 {
+		t.Fatalf("sample-drop counter %g, want 8", h.inst.smpDropped.Value())
+	}
+	close(gate)
+	var got []Result
+	for len(got) < 3 {
+		select {
+		case r := <-sub.C():
+			got = append(got, r)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d results", len(got))
+		}
+	}
+	// Window seq stays monotone and contiguous even though input was
+	// shed: drops happen before windowing, never inside it.
+	for i, r := range got {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("result %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+func TestHubSubscriberDropOldest(t *testing.T) {
+	ens := testEnsemble(t)
+	h := NewHub(Config{WindowIntervals: 3, SubBuffer: 2, Model: StaticModel(ens, "m")})
+	defer h.Close()
+	sub := h.Subscribe() // never read until the end
+	feedCSV(t, h, csvStream(rand.New(rand.NewSource(41)), 8))
+	deadline := time.Now().Add(5 * time.Second)
+	for sub.Dropped() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber dropped %d results, want 5", sub.Dropped())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The two newest results survive: the gap in seq reveals the loss.
+	first := <-sub.C()
+	second := <-sub.C()
+	if first.Seq != 6 || second.Seq != 7 {
+		t.Fatalf("surviving seqs %d, %d; want 6, 7", first.Seq, second.Seq)
+	}
+	if h.inst.subDropped.Value() != 5 {
+		t.Fatalf("subscriber-drop counter %g, want 5", h.inst.subDropped.Value())
+	}
+}
+
+func TestHubCloseLifecycle(t *testing.T) {
+	h := NewHub(Config{})
+	sub := h.Subscribe()
+	done := make(chan struct{})
+	go func() {
+		for range sub.C() {
+		}
+		close(done)
+	}()
+	h.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber not released by Close")
+	}
+	select {
+	case <-h.Done():
+	default:
+		t.Fatal("Done not closed")
+	}
+	if err := h.Feed([]byte("x")); err != ErrClosed {
+		t.Fatalf("Feed after close: %v", err)
+	}
+	if late := h.Subscribe(); late.C() == nil {
+		t.Fatal("late subscription must still return a (closed) channel")
+	} else if _, ok := <-late.C(); ok {
+		t.Fatal("late subscription channel must be closed")
+	}
+	h.Close() // idempotent
+}
+
+func TestHubSubscriptionClose(t *testing.T) {
+	ens := testEnsemble(t)
+	h := NewHub(Config{Model: StaticModel(ens, "m")})
+	defer h.Close()
+	sub := h.Subscribe()
+	sub.Close()
+	sub.Close() // idempotent
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("closed subscription still delivering")
+	}
+	// A detached subscriber must not break broadcasting to others.
+	live := h.Subscribe()
+	feedCSV(t, h, csvStream(rand.New(rand.NewSource(51)), 3))
+	select {
+	case r := <-live.C():
+		if r.Seq != 1 {
+			t.Fatalf("live subscriber got seq %d", r.Seq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live subscriber starved after another closed")
+	}
+}
+
+func TestHubStatsAndDiags(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	if err := h.Feed([]byte("garbage line\n1.0,100,,cycles,1,100.00,,\n")); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stats().Lines != 2 {
+		t.Fatalf("stats lines %d, want 2", h.Stats().Lines)
+	}
+	if ds := h.Diags(); len(ds) != 1 || ds[0].Class != ingest.DiagGarbled {
+		t.Fatalf("diags %+v", ds)
+	}
+	if ds := h.Diags(); len(ds) != 0 {
+		t.Fatalf("diags not drained: %+v", ds)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	cfg.setDefaults()
+	if cfg.WindowIntervals != DefaultWindowIntervals ||
+		cfg.MaxPending != DefaultMaxPending || cfg.SubBuffer != DefaultSubBuffer {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if ens, id := cfg.Model(); ens != nil || id != "" {
+		t.Fatal("default model provider must report no model")
+	}
+}
