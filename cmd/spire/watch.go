@@ -75,13 +75,78 @@ func cmdWatch(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	buf := make([]byte, 64<<10)
+	// The blocking Reads happen in their own goroutine so a signal
+	// interrupts the watch immediately even while a pipe/stdin Read is
+	// parked with no data (a plain read loop would only notice ctx after
+	// the Read returned). The goroutine owns the buffer handoff: it sends
+	// a chunk, then waits for the main loop to hand the buffer back before
+	// reusing it, so no copying is needed. On EOF it either finishes or,
+	// with -follow, polls for growth itself. It may stay parked in one
+	// last Read after cancellation — fine for a process about to exit.
+	type chunk struct {
+		data []byte
+		err  error
+	}
+	chunks := make(chan chunk)
+	bufBack := make(chan []byte, 1)
+	go func() {
+		defer close(chunks)
+		buf := make([]byte, 64<<10)
+		for {
+			n, rerr := in.Read(buf)
+			if rerr == io.EOF && *follow {
+				if n > 0 {
+					select {
+					case chunks <- chunk{data: buf[:n]}:
+					case <-ctx.Done():
+						return
+					}
+					select {
+					case buf = <-bufBack:
+					case <-ctx.Done():
+						return
+					}
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(*poll):
+				}
+				continue
+			}
+			select {
+			case chunks <- chunk{data: buf[:n], err: rerr}:
+			case <-ctx.Done():
+				return
+			}
+			if rerr != nil {
+				return
+			}
+			select {
+			case buf = <-bufBack:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
 	interrupted := false
 read:
 	for {
-		n, rerr := in.Read(buf)
-		if n > 0 {
-			results, err := p.Feed(ctx, buf[:n])
+		var ck chunk
+		var ok bool
+		select {
+		case <-ctx.Done():
+			interrupted = true
+			break read
+		case ck, ok = <-chunks:
+			if !ok {
+				interrupted = true // reader exited on cancellation
+				break read
+			}
+		}
+		if len(ck.data) > 0 {
+			results, err := p.Feed(ctx, ck.data)
 			if eerr := emitWatch(results, *jsonOut); eerr != nil {
 				return eerr
 			}
@@ -91,21 +156,12 @@ read:
 			}
 		}
 		switch {
-		case ctx.Err() != nil:
-			interrupted = true
+		case ck.err == io.EOF:
 			break read
-		case rerr == io.EOF:
-			if !*follow {
-				break read
-			}
-			select {
-			case <-ctx.Done():
-				interrupted = true
-				break read
-			case <-time.After(*poll):
-			}
-		case rerr != nil:
-			return rerr
+		case ck.err != nil:
+			return ck.err
+		default:
+			bufBack <- ck.data[:cap(ck.data)]
 		}
 	}
 

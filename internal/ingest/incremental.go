@@ -213,9 +213,20 @@ func (in *Incremental) Close() ([]Interval, error) {
 	return out, in.err
 }
 
-// Stats returns the cumulative ingestion statistics so far. ByClass is a
-// live map; callers must not mutate it.
-func (in *Incremental) Stats() Stats { return in.res.Stats }
+// Stats returns a snapshot of the cumulative ingestion statistics so
+// far. ByClass is copied, so the snapshot stays stable (and safe to read
+// from other goroutines) while feeding continues.
+func (in *Incremental) Stats() Stats {
+	st := in.res.Stats
+	if st.ByClass != nil {
+		cp := make(map[string]int, len(st.ByClass))
+		for k, v := range st.ByClass {
+			cp[k] = v
+		}
+		st.ByClass = cp
+	}
+	return st
+}
 
 // TakeDiags drains and returns the retained diagnostics. The retention
 // cap (Options.MaxDiags) applies between drains, so a long-running stream

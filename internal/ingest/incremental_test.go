@@ -368,3 +368,32 @@ func TestLineSplitterBoundaries(t *testing.T) {
 		}
 	}
 }
+
+// TestIncrementalStatsSnapshot: Stats must return an independent ByClass
+// copy — the serve hub marshals the snapshot to JSON outside the lock
+// that serializes feeders, so handing out the live map would be a
+// concurrent map read/write crash waiting to happen.
+func TestIncrementalStatsSnapshot(t *testing.T) {
+	in := NewIncremental(Options{})
+	if _, err := in.Feed([]byte("garbage line\n")); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Stats()
+	if got := st.ByClass[DiagGarbled.String()]; got != 1 {
+		t.Fatalf("garbled count = %d, want 1", got)
+	}
+	st.ByClass["tampered"] = 99
+	if _, err := in.Feed([]byte("more garbage\n")); err != nil {
+		t.Fatal(err)
+	}
+	fresh := in.Stats()
+	if _, ok := fresh.ByClass["tampered"]; ok {
+		t.Fatal("mutating a Stats snapshot leaked into the parser's live map")
+	}
+	if got := fresh.ByClass[DiagGarbled.String()]; got != 2 {
+		t.Fatalf("live counting broken after snapshot: garbled = %d, want 2", got)
+	}
+	if got := st.ByClass[DiagGarbled.String()]; got != 1 {
+		t.Fatal("earlier snapshot changed after further feeding")
+	}
+}

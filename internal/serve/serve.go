@@ -150,7 +150,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/estimate", s.instrument("/v1/estimate", s.handleEstimate))
 	mux.Handle("POST /v1/ingest", s.instrument("/v1/ingest", s.handleIngest))
-	mux.Handle("POST /v1/stream", s.instrument("/v1/stream", s.handleStreamPost))
+	mux.Handle("POST /v1/stream", s.instrumentBody("/v1/stream", s.handleStreamPost, false))
 	mux.Handle("GET /v1/stream", s.instrument("/v1/stream", s.handleStreamGet))
 	mux.Handle("GET /v1/models", s.instrument("/v1/models", s.handleModelsGet))
 	mux.Handle("POST /v1/models", s.instrument("/v1/models", s.handleModelsPost))
@@ -209,12 +209,20 @@ func (w *statusWriter) Flush() {
 // instrument wraps a handler with the request counter, latency histogram,
 // in-flight gauge and the body-size cap.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return s.instrumentBody(route, h, true)
+}
+
+// instrumentBody is instrument with the body cap optional. Routes that
+// consume their body incrementally with bounded memory (POST /v1/stream:
+// chunked reads into a drop-oldest queue) pass capBody=false so a feeder
+// really can stream an endless body.
+func (s *Server) instrumentBody(route string, h http.HandlerFunc, capBody bool) http.Handler {
 	hist := s.metrics.Histogram("spire_http_request_seconds", "Request latency by route.",
 		nil, metrics.L("route", route))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.mInflight.Add(1)
 		defer s.mInflight.Add(-1)
-		if r.Body != nil {
+		if capBody && r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		sw := &statusWriter{ResponseWriter: w}

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,7 +25,9 @@ type StreamFeedResponse struct {
 // Bodies may end mid-line or mid-interval: the resumable parser carries
 // the fragment over to the next POST, so a feeder can deliver one
 // interval per request or stream an endless body — both advance the same
-// window.
+// window. The route is registered without the body-size cap: memory
+// stays bounded by the chunked reads here and the hub's drop-oldest
+// queue, so the endless case really works.
 func (s *Server) handleStreamPost(w http.ResponseWriter, r *http.Request) {
 	buf := make([]byte, 32<<10)
 	var fed int64
@@ -43,11 +44,6 @@ func (s *Server) handleStreamPost(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if rerr != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(rerr, &tooBig) {
-				writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
-				return
-			}
 			writeErr(w, http.StatusBadRequest, "reading body: %v", rerr)
 			return
 		}

@@ -250,3 +250,39 @@ func TestStreamEndpointDiagsSurface(t *testing.T) {
 		t.Fatalf("stats lines %d, want 9", fr.Stats.Lines)
 	}
 }
+
+// TestStreamPostUncapped: POST /v1/stream is exempt from MaxBodyBytes —
+// its memory is bounded by chunked reads and the hub's drop-oldest queue
+// — so a feeder can stream a body far beyond the cap that still 413s the
+// batch routes.
+func TestStreamPostUncapped(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxBodyBytes: 1024, StreamWindow: 2})
+	_, model := trainModel(t, 1)
+	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	var body strings.Builder
+	for i := 1; body.Len() <= 8*1024; i++ {
+		body.WriteString(streamIntervalCSV(i))
+	}
+	fr := postStream(t, ts.URL, body.String())
+	if fr.Bytes != int64(body.Len()) {
+		t.Fatalf("fed %d of %d bytes", fr.Bytes, body.Len())
+	}
+	if fr.Stats.Intervals == 0 {
+		t.Fatalf("no intervals parsed from oversized stream body: %+v", fr.Stats)
+	}
+
+	// The cap still guards the batch routes.
+	resp, err := http.Post(ts.URL+"/v1/ingest", "text/csv", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readAll(resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("/v1/ingest oversized body status = %d, want 413", resp.StatusCode)
+	}
+}

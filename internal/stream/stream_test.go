@@ -2,9 +2,11 @@ package stream
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -385,5 +387,37 @@ func TestConfigDefaults(t *testing.T) {
 	}
 	if ens, id := cfg.Model(); ens != nil || id != "" {
 		t.Fatal("default model provider must report no model")
+	}
+}
+
+// TestHubStatsRace: the feed response path marshals Hub.Stats() to JSON
+// after feedMu is released, so the snapshot's ByClass map must be
+// independent of the parser's live map. Garbled lines mutate ByClass on
+// every Feed; under -race this catches any live-map leak as a concurrent
+// map read/write.
+func TestHubStatsRace(t *testing.T) {
+	h := NewHub(Config{})
+	defer h.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := h.Feed([]byte("garbage line\n")); err != nil {
+					t.Errorf("feed: %v", err)
+					return
+				}
+				st := h.Stats()
+				if _, err := json.Marshal(st); err != nil {
+					t.Errorf("marshal: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Stats().ByClass[ingest.DiagGarbled.String()]; got != 800 {
+		t.Fatalf("garbled count = %d, want 800", got)
 	}
 }
