@@ -7,7 +7,13 @@ SERVE_COVER_FLOOR ?= 80.0
 # Minimum statement coverage for the streaming pipeline.
 STREAM_COVER_FLOOR ?= 85.0
 
-.PHONY: all build test vet race cover cover-serve cover-stream smoke fuzz fuzz-short verify clean
+.PHONY: all build test vet lint race cover cover-serve cover-stream smoke fuzz fuzz-short verify clean
+
+# Pinned linter versions, fetched on demand with `go run`. In an offline
+# environment (no module proxy) lint degrades to a warning + skip, so the
+# verify gate stays runnable anywhere; genuine findings still fail it.
+STATICCHECK_VERSION ?= honnef.co/go/tools/cmd/staticcheck@2024.1.1
+GOVULNCHECK_VERSION ?= golang.org/x/vuln/cmd/govulncheck@v1.1.3
 
 all: build
 
@@ -19,6 +25,27 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet: staticcheck and govulncheck at pinned
+# versions. Tool-fetch failures (offline container, proxy outage) are
+# detected and skipped; analysis findings fail.
+lint:
+	@out=$$($(GO) run $(STATICCHECK_VERSION) ./... 2>&1); status=$$?; \
+	if [ $$status -ne 0 ] && echo "$$out" | grep -Eq 'no such host|connection refused|i/o timeout|dial tcp|proxyconnect|TLS handshake|Get "https?://|no required module provides|cannot find module|missing go.sum entry'; then \
+		echo "lint: staticcheck unavailable offline, skipping:"; echo "$$out" | head -3; \
+	elif [ $$status -ne 0 ]; then \
+		echo "$$out"; exit $$status; \
+	else \
+		echo "staticcheck: ok"; [ -z "$$out" ] || echo "$$out"; \
+	fi
+	@out=$$($(GO) run $(GOVULNCHECK_VERSION) ./... 2>&1); status=$$?; \
+	if [ $$status -ne 0 ] && echo "$$out" | grep -Eq 'no such host|connection refused|i/o timeout|dial tcp|proxyconnect|TLS handshake|Get "https?://|no required module provides|cannot find module|missing go.sum entry'; then \
+		echo "lint: govulncheck unavailable offline, skipping:"; echo "$$out" | head -3; \
+	elif [ $$status -ne 0 ]; then \
+		echo "$$out"; exit $$status; \
+	else \
+		echo "govulncheck: ok"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -74,7 +101,7 @@ fuzz-short:
 
 # The full verification gate: build, static checks, tests, race tests,
 # the coverage floors, the serving smoke, and a short fuzz smoke.
-verify: build vet test race cover cover-serve cover-stream smoke fuzz-short
+verify: build vet lint test race cover cover-serve cover-stream smoke fuzz-short
 
 clean:
 	$(GO) clean ./...

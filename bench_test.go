@@ -23,6 +23,7 @@ import (
 
 	"spire/internal/analysis"
 	"spire/internal/core"
+	"spire/internal/engine"
 	"spire/internal/experiments"
 	"spire/internal/geom"
 	"spire/internal/isa"
@@ -344,9 +345,42 @@ func BenchmarkEnsembleEstimate(b *testing.B) {
 		b.Fatal(err)
 	}
 	data := runs[0].Data
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ens.Estimate(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineRepeatedEstimate times the steady-state serve/watch
+// pattern: the same workload estimated repeatedly through the unified
+// engine, whose content-hash index cache and pooled scratch turn the
+// per-call cost into (cached index lookup + pooled evaluation). Compare
+// allocs/op against BenchmarkEnsembleEstimate, which re-indexes every
+// call; BENCH_engine.json records the gap.
+func BenchmarkEngineRepeatedEstimate(b *testing.B) {
+	s := benchSession(b)
+	ens, err := s.Ensemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runs, err := s.TestRuns()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := runs[0].Data
+	eng := engine.New(engine.Options{})
+	ctx := context.Background()
+	// Warm the index cache once — steady state is what serve/watch see.
+	if _, err := eng.Estimate(ctx, ens, data, core.EstimateOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Estimate(ctx, ens, data, core.EstimateOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -414,6 +448,7 @@ func BenchmarkBatchEstimate(b *testing.B) {
 	data := runs[0].Data
 	ix := core.IndexWorkload(data)
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ens.BatchEstimate(ctx, ix, core.EstimateOptions{}); err != nil {

@@ -1,23 +1,48 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"spire/internal/core"
+	"spire/internal/engine"
 	"spire/internal/pmu"
 	"spire/internal/report"
 )
 
+// diffResult is the -json output of `spire diff`: both estimations in
+// core's canonical encoding plus the derived movement summary, so scripts
+// do not have to recompute speedups or re-rank.
+type diffResult struct {
+	Model   string           `json:"model,omitempty"`
+	Before  *core.Estimation `json:"before"`
+	After   *core.Estimation `json:"after"`
+	Speedup float64          `json:"speedup"`
+	// BindingBefore/After are the head of each ranking; Relieved reports
+	// whether the binding metric moved.
+	BindingBefore string `json:"bindingBefore,omitempty"`
+	BindingAfter  string `json:"bindingAfter,omitempty"`
+	Relieved      bool   `json:"relieved"`
+}
+
 // cmdDiff compares two analyses of (presumably) the same workload before
 // and after a change: throughput movement, bound movement, and how the
 // bottleneck ranking shifted. This is the workflow the paper motivates —
-// relieve the top metric, re-measure, see what binds next.
+// relieve the top metric, re-measure, see what binds next. Both
+// estimations run on the shared engine under a signal-aware context, so
+// ^C during a huge diff aborts promptly with a clean error instead of
+// finishing the second estimate.
 func cmdDiff(args []string) error {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	modelPath := fs.String("model", "model.json", "trained model file")
 	top := fs.Int("top", 10, "number of ranked metrics to compare")
+	workers := fs.Int("workers", 0, "concurrent per-metric estimators (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "print both estimations and the movement summary as compact JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,11 +61,17 @@ func cmdDiff(args []string) error {
 	if err != nil {
 		return err
 	}
-	estB, err := ens.Estimate(before)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	eng := engine.Default()
+	opts := core.EstimateOptions{Workers: *workers}
+	estB, err := eng.Estimate(ctx, ens, before, opts)
 	if err != nil {
 		return fmt.Errorf("before: %w", err)
 	}
-	estA, err := ens.Estimate(after)
+	estA, err := eng.Estimate(ctx, ens, after, opts)
 	if err != nil {
 		return fmt.Errorf("after: %w", err)
 	}
@@ -49,6 +80,28 @@ func cmdDiff(args []string) error {
 	if estB.MeasuredThroughput > 0 {
 		speedup = estA.MeasuredThroughput / estB.MeasuredThroughput
 	}
+
+	if *jsonOut {
+		res := diffResult{Before: estB, After: estA, Speedup: speedup}
+		if id, err := ens.Fingerprint(); err == nil {
+			res.Model = id
+		}
+		if len(estB.PerMetric) > 0 {
+			res.BindingBefore = estB.PerMetric[0].Metric
+		}
+		if len(estA.PerMetric) > 0 {
+			res.BindingAfter = estA.PerMetric[0].Metric
+		}
+		res.Relieved = res.BindingBefore != "" && res.BindingAfter != "" &&
+			res.BindingBefore != res.BindingAfter
+		raw, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+		return nil
+	}
+
 	fmt.Printf("measured: %.3f -> %.3f (%.2fx)\n", estB.MeasuredThroughput, estA.MeasuredThroughput, speedup)
 	fmt.Printf("SPIRE bound: %.3f -> %.3f\n\n", estB.MaxThroughput, estA.MaxThroughput)
 

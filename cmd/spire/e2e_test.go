@@ -403,6 +403,80 @@ func TestE2EExitCodes(t *testing.T) {
 	})
 }
 
+// TestE2EDiff drives `spire diff` black-box: -json output must embed both
+// estimations in core's canonical encoding (so diffing the same dataset
+// against itself reproduces the golden estimate byte for byte), the text
+// mode must call out the binding metric, and usage errors keep the
+// exit-code contract.
+func TestE2EDiff(t *testing.T) {
+	dir := t.TempDir()
+	dataset := filepath.Join(dir, "dataset.json")
+	model := filepath.Join(dir, "model.json")
+	if _, stderr, code := runSpire(t, "ingest", "-o", dataset, "testdata/e2e_clean.csv"); code != 0 {
+		t.Fatalf("ingest exit %d: %s", code, stderr)
+	}
+	if _, stderr, code := runSpire(t, "train", "-o", model, dataset); code != 0 {
+		t.Fatalf("train exit %d: %s", code, stderr)
+	}
+
+	stdout, stderr, code := runSpire(t, "diff", "-model", model, "-json", "-workers", "2", dataset, dataset)
+	if code != 0 {
+		t.Fatalf("diff -json exit %d\nstderr: %s", code, stderr)
+	}
+	var res struct {
+		Model    string          `json:"model"`
+		Before   json.RawMessage `json:"before"`
+		After    json.RawMessage `json:"after"`
+		Speedup  float64         `json:"speedup"`
+		Relieved bool            `json:"relieved"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("diff -json output is not JSON: %v\n%s", err, stdout)
+	}
+	if !bytes.Equal(res.Before, res.After) {
+		t.Error("identical inputs must produce identical before/after estimations")
+	}
+	if res.Speedup != 1 {
+		t.Errorf("speedup = %g, want exactly 1 for identical inputs", res.Speedup)
+	}
+	if res.Relieved {
+		t.Error("identical inputs cannot relieve the bottleneck")
+	}
+	if res.Model == "" {
+		t.Error("diff -json missing the model fingerprint")
+	}
+	// The embedded estimation is the same canonical encoding analyze and
+	// serve emit, pinned by the checked-in golden file.
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_estimate.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := append(res.Before, '\n'); !bytes.Equal(got, want) {
+		t.Errorf("diff -json estimation diverges from golden file\ngot:  %s\nwant: %s", got, want)
+	}
+
+	// Text mode names the unchanged binding metric.
+	stdout, stderr, code = runSpire(t, "diff", "-model", model, dataset, dataset)
+	if code != 0 {
+		t.Fatalf("diff exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "binding metric unchanged") {
+		t.Errorf("diff text output missing binding-metric callout:\n%s", stdout)
+	}
+
+	// Contract: wrong arity is an error on stderr, nothing on stdout.
+	stdout, stderr, code = runSpire(t, "diff", "-model", model, dataset)
+	if code != 1 {
+		t.Errorf("diff with one dataset: exit %d, want 1", code)
+	}
+	if stdout != "" {
+		t.Errorf("diff error must not write stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "exactly two dataset files") {
+		t.Errorf("stderr: %q", stderr)
+	}
+}
+
 // TestSmokeServe is the `make smoke` target: start the service with a
 // freshly trained model, check /healthz, serve one estimate, and shut
 // down cleanly.

@@ -25,6 +25,7 @@ import (
 
 	"spire/internal/analysis"
 	"spire/internal/core"
+	"spire/internal/engine"
 	"spire/internal/htmlreport"
 	"spire/internal/pmu"
 	"spire/internal/report"
@@ -93,7 +94,7 @@ commands:
   analyze  -model model.json [-top K] [-workers N] [-json] [-interpret] [-timeline] [-html out.html] dataset.json...
   watch    -model model.json [-window N] [-top K] [-json] [-follow] [-poll D] [-strict] [-v] perf.csv|-
   serve    [-addr HOST:PORT] [-model model.json] [-model-dir DIR] [-cache N] [-pprof]
-  diff     -model model.json [-top K] before.json after.json
+  diff     -model model.json [-top K] [-workers N] [-json] before.json after.json
   info     -model model.json
 
 exit codes: 0 ok, 1 error, 2 usage, 3 partial (lenient ingest lost input)`)
@@ -189,7 +190,7 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	est, err := ens.BatchEstimate(context.Background(), core.IndexWorkload(data),
+	est, err := engine.Default().Estimate(context.Background(), ens, data,
 		core.EstimateOptions{Workers: *workers})
 	if err != nil {
 		return err

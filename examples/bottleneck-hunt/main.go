@@ -5,11 +5,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"spire/internal/core"
+	"spire/internal/engine"
 	"spire/internal/perfstat"
 	"spire/internal/pmu"
 	"spire/internal/report"
@@ -65,7 +67,7 @@ func main() {
 	// 2. Hunt: analyze the held-out memory-bound test workload.
 	target := "onnx"
 	data, rep := collect(target)
-	est, err := model.Estimate(data)
+	est, err := engine.Default().Estimate(context.Background(), model, data, core.EstimateOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

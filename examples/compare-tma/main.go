@@ -5,12 +5,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"spire/internal/core"
+	"spire/internal/engine"
 	"spire/internal/perfstat"
 	"spire/internal/pmu"
 	"spire/internal/report"
@@ -67,8 +69,8 @@ func main() {
 	fmt.Printf("TMA (VTune-style): %s\n", bd)
 	fmt.Printf("TMA main bottleneck: %s\n\n", bd.MainBottleneck())
 
-	// SPIRE: metric ranking.
-	est, err := model.Estimate(data)
+	// SPIRE: metric ranking, via the shared estimation engine.
+	est, err := engine.Default().Estimate(context.Background(), model, data, core.EstimateOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,12 +9,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
 
 	"spire/internal/core"
+	"spire/internal/engine"
 	"spire/internal/report"
 )
 
@@ -60,9 +62,9 @@ func main() {
 		)
 	}
 
-	// 4. Estimate and rank: the lowest per-metric estimate is the likely
-	//    bottleneck (paper Fig. 4).
-	est, err := model.Estimate(workload)
+	// 4. Estimate and rank on the shared engine: the lowest per-metric
+	//    estimate is the likely bottleneck (paper Fig. 4).
+	est, err := engine.Default().Estimate(context.Background(), model, workload, core.EstimateOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,14 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 
 	"spire/internal/core"
+	"spire/internal/engine"
 	"spire/internal/pmu"
 	"spire/internal/report"
 )
@@ -48,11 +50,12 @@ func Timeline(ens *core.Ensemble, d core.Dataset) ([]TimelinePoint, error) {
 	}
 	sort.Ints(windows)
 
+	eng := engine.Default()
 	var out []TimelinePoint
 	for _, w := range windows {
 		var wd core.Dataset
 		wd.Add(byWindow[w]...)
-		est, err := ens.Estimate(wd)
+		est, err := eng.Estimate(context.Background(), ens, wd, core.EstimateOptions{})
 		if err != nil {
 			continue
 		}

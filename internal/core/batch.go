@@ -72,6 +72,39 @@ type EstimateOptions struct {
 	// or negative selects GOMAXPROCS. Results are identical for every
 	// worker count.
 	Workers int
+	// Runner, when non-nil, executes the per-metric estimation tasks:
+	// it must call task(i) exactly once for every i in [0, n) unless ctx
+	// is canceled, and return only when all started tasks have finished.
+	// The engine supplies its process-wide shared worker pool here; nil
+	// spawns up to Workers goroutines for this call.
+	Runner func(ctx context.Context, workers, n int, task func(int))
+}
+
+// spawnRun is the default Runner: it spawns up to workers goroutines for
+// this one call, each pulling task indices from a shared cursor.
+func spawnRun(ctx context.Context, workers, n int, task func(int)) {
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // chainEval is a precomputed evaluator for one roofline: breakpoint
@@ -187,11 +220,32 @@ type metricBatch struct {
 	contrib []measureKey // measured-throughput keys, in sample order
 }
 
+// weightedScratch pools the per-metric partial-sum buffers handed to
+// stats.WeightedMean, so the hot path stops allocating one slice per
+// metric per estimation. Buffers keep their grown capacity across uses.
+var weightedScratch = sync.Pool{
+	New: func() any {
+		ws := make([]stats.Weighted, 0, 256)
+		return &ws
+	},
+}
+
 // estimateMetric evaluates one metric's samples against its memoized
-// roofline table. It mirrors Ensemble.Estimate's inner loop exactly.
-func estimateMetric(metric string, im *indexedMetric, ce *chainEval) metricBatch {
-	var out metricBatch
-	var ws []stats.Weighted
+// roofline table, writing the result into out (whose contrib slice is
+// reused across calls). This is the single implementation of the paper's
+// Eq. 1 per-metric time-weighted merge.
+func estimateMetric(metric string, im *indexedMetric, ce *chainEval, out *metricBatch) {
+	out.ok = false
+	out.me = MetricEstimate{}
+	out.contrib = out.contrib[:0]
+
+	wsp := weightedScratch.Get().(*[]stats.Weighted)
+	ws := (*wsp)[:0]
+	defer func() {
+		*wsp = ws[:0]
+		weightedScratch.Put(wsp)
+	}()
+
 	var intensityNum, intensityDen float64
 	infIntensity := false
 	for i, s := range im.samples {
@@ -207,14 +261,18 @@ func estimateMetric(metric string, im *indexedMetric, ce *chainEval) metricBatch
 			intensityNum += s.T * intensity
 			intensityDen += s.T
 		}
+		// When multiple metrics share one period's T and W (the common
+		// collection setup), that period must count once in the
+		// measured-throughput aggregate. Dedupe by window when the
+		// collector tagged one, else by (T, W) value — at merge time.
 		out.contrib = append(out.contrib, measureKey{t: s.T, w: s.W, window: s.Window})
 	}
 	if len(ws) == 0 {
-		return out
+		return
 	}
 	mean, err := stats.WeightedMean(ws)
 	if err != nil {
-		return out
+		return
 	}
 	out.ok = true
 	out.me = MetricEstimate{
@@ -230,7 +288,35 @@ func estimateMetric(metric string, im *indexedMetric, ce *chainEval) metricBatch
 	default:
 		out.me.MeanIntensity = math.NaN()
 	}
-	return out
+}
+
+// batchScratch pools the per-call merge state: the shared-metric list,
+// the per-metric result slots (whose contrib slices keep their capacity),
+// and the measured-throughput dedup set. Repeated estimations — the serve
+// and timeline pattern — reach a steady state with no per-call heap
+// growth beyond the returned Estimation itself.
+type batchScratch struct {
+	shared  []string
+	results []metricBatch
+	seen    map[measureKey]bool
+}
+
+var batchScratchPool = sync.Pool{
+	New: func() any {
+		return &batchScratch{seen: make(map[measureKey]bool, 64)}
+	},
+}
+
+// grab readies the scratch for a call needing up to n metric slots.
+func (sc *batchScratch) grab(n int) {
+	sc.shared = sc.shared[:0]
+	if cap(sc.results) < n {
+		grown := make([]metricBatch, n)
+		copy(grown, sc.results)
+		sc.results = grown
+	}
+	sc.results = sc.results[:0]
+	clear(sc.seen)
 }
 
 // BatchEstimate runs the Fig. 4 estimation process against a pre-built
@@ -248,17 +334,21 @@ func (e *Ensemble) BatchEstimate(ctx context.Context, ix *WorkloadIndex, opts Es
 	est := &Estimation{MaxThroughput: math.Inf(1)}
 	est.Coverage = e.coverageOf(ix.metrics)
 
-	shared := make([]string, 0, len(ix.metrics))
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	sc.grab(len(ix.metrics))
 	for _, metric := range ix.metrics {
 		if _, ok := e.Rooflines[metric]; ok {
-			shared = append(shared, metric)
+			sc.shared = append(sc.shared, metric)
 		}
 	}
+	shared := sc.shared
 	if len(shared) == 0 {
 		return nil, ErrNoSamples
 	}
 	evals := e.evaluators()
-	results := make([]metricBatch, len(shared))
+	results := sc.results[:len(shared)]
+	sc.results = results
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -267,26 +357,14 @@ func (e *Ensemble) BatchEstimate(ctx context.Context, ix *WorkloadIndex, opts Es
 	if workers > len(shared) {
 		workers = len(shared)
 	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				i := int(cursor.Add(1)) - 1
-				if i >= len(shared) {
-					return
-				}
-				metric := shared[i]
-				results[i] = estimateMetric(metric, ix.groups[metric], evals[metric])
-			}
-		}()
+	run := opts.Runner
+	if run == nil {
+		run = spawnRun
 	}
-	wg.Wait()
+	run(ctx, workers, len(shared), func(i int) {
+		metric := shared[i]
+		estimateMetric(metric, ix.groups[metric], evals[metric], &results[i])
+	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -295,8 +373,9 @@ func (e *Ensemble) BatchEstimate(ctx context.Context, ix *WorkloadIndex, opts Es
 	// the ensemble minimum, and the period-deduplicated measured
 	// throughput.
 	var totT, totW float64
-	seen := make(map[measureKey]bool)
-	for _, res := range results {
+	seen := sc.seen
+	for i := range results {
+		res := &results[i]
 		for _, k := range res.contrib {
 			if !seen[k] {
 				seen[k] = true

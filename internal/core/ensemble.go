@@ -1,12 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"sort"
 	"sync"
-
-	"spire/internal/stats"
 )
 
 // Ensemble is a trained SPIRE model: one roofline per performance metric
@@ -96,100 +94,19 @@ type Estimation struct {
 // metric's roofline, merge per metric with a time-weighted average, and
 // take the minimum across metrics. ErrNoSamples is returned when no sample
 // matches a modeled metric.
+//
+// Estimate is a convenience shim over the one estimation implementation in
+// this package: it indexes the workload and delegates to BatchEstimate
+// (engine callers index once and reuse). The output is byte-identical to
+// the historical serial implementation; the differential suite in
+// internal/engine pins that equivalence.
 func (e *Ensemble) Estimate(workload Dataset) (*Estimation, error) {
-	groups := workload.ByMetric()
-	est := &Estimation{MaxThroughput: math.Inf(1)}
-	est.Coverage = e.coverage(groups)
-
-	var totT, totW float64
-	seenMeasured := make(map[measureKey]bool)
-	for metric, samples := range groups {
-		r, ok := e.Rooflines[metric]
-		if !ok {
-			continue
-		}
-		var ws []stats.Weighted
-		var intensityNum, intensityDen float64
-		infIntensity := false
-		for _, s := range samples {
-			p := r.Eval(s.Intensity())
-			if math.IsNaN(p) {
-				continue
-			}
-			ws = append(ws, stats.Weighted{Value: p, Weight: s.T})
-			if math.IsInf(s.Intensity(), 1) {
-				infIntensity = true
-			} else {
-				intensityNum += s.T * s.Intensity()
-				intensityDen += s.T
-			}
-			// When multiple metrics share one period's T and W (the
-			// common collection setup), count that period once in the
-			// measured-throughput aggregate. Dedupe by window when the
-			// collector tagged one, else by (T, W) value.
-			k := measureKey{t: s.T, w: s.W, window: s.Window}
-			if !seenMeasured[k] {
-				seenMeasured[k] = true
-				totT += s.T
-				totW += s.W
-			}
-		}
-		if len(ws) == 0 {
-			continue
-		}
-		mean, err := stats.WeightedMean(ws)
-		if err != nil {
-			continue
-		}
-		me := MetricEstimate{
-			Metric:       metric,
-			MeanEstimate: mean,
-			Samples:      len(ws),
-		}
-		switch {
-		case intensityDen > 0:
-			me.MeanIntensity = intensityNum / intensityDen
-		case infIntensity:
-			me.MeanIntensity = math.Inf(1)
-		default:
-			me.MeanIntensity = math.NaN()
-		}
-		est.PerMetric = append(est.PerMetric, me)
-		if mean < est.MaxThroughput {
-			est.MaxThroughput = mean
-		}
-	}
-	if len(est.PerMetric) == 0 {
-		return nil, ErrNoSamples
-	}
-	sort.Slice(est.PerMetric, func(i, j int) bool {
-		a, b := est.PerMetric[i], est.PerMetric[j]
-		if a.MeanEstimate != b.MeanEstimate {
-			return a.MeanEstimate < b.MeanEstimate
-		}
-		return a.Metric < b.Metric
-	})
-	if totT > 0 {
-		est.MeasuredThroughput = totW / totT
-	} else {
-		est.MeasuredThroughput = math.NaN()
-	}
-	return est, nil
+	return e.BatchEstimate(context.Background(), IndexWorkload(workload), EstimateOptions{Workers: 1})
 }
 
 type measureKey struct {
 	t, w   float64
 	window int
-}
-
-// coverage computes the metric overlap between the model and a workload's
-// valid-sample metric groups.
-func (e *Ensemble) coverage(groups map[string][]Sample) CoverageReport {
-	metrics := make([]string, 0, len(groups))
-	for metric := range groups {
-		metrics = append(metrics, metric)
-	}
-	return e.coverageOf(metrics)
 }
 
 // coverageOf computes the metric overlap between the model and a

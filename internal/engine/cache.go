@@ -1,21 +1,22 @@
-package serve
+package engine
 
 import (
 	"container/list"
 	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
+	"encoding/binary"
+	"math"
 	"sync"
 
 	"spire/internal/core"
 )
 
 // indexCache is a bounded LRU of pre-indexed workloads keyed by the
-// content hash of their sample set. Estimation requests that resend the
-// same workload (dashboards polling, diff loops, retries) skip the
-// group-and-derive indexing pass entirely; the cached *core.WorkloadIndex
-// is immutable and shared by concurrent readers. The cache key is
-// independent of the served model, so indexes survive model hot-swaps.
+// content hash of their sample set. Estimations that resend the same
+// workload (dashboards polling a service, diff loops, per-window timeline
+// passes, retries) skip the group-and-derive indexing pass entirely; the
+// cached *core.WorkloadIndex is immutable and shared by concurrent
+// readers. The key is independent of any model, so cached indexes survive
+// model hot-swaps.
 type indexCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -38,16 +39,27 @@ func newIndexCache(capacity int) *indexCache {
 	}
 }
 
-// workloadKey content-hashes a sample set. Marshaling re-canonicalizes
-// the samples, so two requests differing only in JSON whitespace or field
-// order share a key.
-func workloadKey(samples []core.Sample) (string, error) {
-	raw, err := json.Marshal(samples)
-	if err != nil {
-		return "", err
+// workloadKey content-hashes a sample set by its field values directly —
+// no JSON round-trip — so two sample slices with identical values share a
+// key no matter where they came from. Field and length framing make the
+// encoding injective; NaNs hash by bit pattern.
+func workloadKey(samples []core.Sample) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, s := range samples {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(s.Metric)))
+		h.Write(buf[:])
+		h.Write([]byte(s.Metric))
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s.T))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s.W))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(s.M))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(s.Window)))
+		h.Write(buf[:])
 	}
-	sum := sha256.Sum256(raw)
-	return hex.EncodeToString(sum[:]), nil
+	return string(h.Sum(nil))
 }
 
 // get returns the cached index for key, marking it most recently used.

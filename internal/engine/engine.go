@@ -1,0 +1,142 @@
+// Package engine is SPIRE's unified estimation engine: the one place
+// every frontend — the CLI (analyze, diff, watch), the HTTP service, the
+// streaming pipeline, the experiment harness, the examples — runs the
+// paper's ensemble estimation (§III-C, Eq. 1 + Fig. 4) through.
+//
+// The Engine owns the machinery that used to be duplicated or rebuilt per
+// call across those frontends:
+//
+//   - workload indexing, memoized in a content-hash-keyed LRU (the serve
+//     tier's cache, promoted here so every consumer benefits);
+//   - the precompiled per-roofline segment tables (core's chainEval,
+//     built once per ensemble and shared);
+//   - a bounded worker pool sized once per Engine — in practice once per
+//     process via Default() — instead of a goroutine set per call;
+//   - scratch-buffer reuse for the per-metric partial sums (core's
+//     sync.Pool scratch, driven hardest by this hot path);
+//   - optional internal/metrics instrumentation: estimates served,
+//     estimation latency, samples evaluated, index-cache hits/misses.
+//
+// Results are byte-identical to core's historical serial Estimate for
+// every worker count and pool state; the differential suite in this
+// package pins that equivalence against the pre-refactor implementation.
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"spire/internal/core"
+	"spire/internal/metrics"
+)
+
+// DefaultCacheEntries is the index-LRU capacity when Options.CacheEntries
+// is zero.
+const DefaultCacheEntries = 128
+
+// Options configures an Engine. The zero value is production-safe.
+type Options struct {
+	// CacheEntries bounds the workload-index LRU. Zero selects
+	// DefaultCacheEntries; negative disables caching.
+	CacheEntries int
+	// PoolSize is the worker-pool size. Zero or negative selects
+	// GOMAXPROCS. Per-call concurrency is additionally bounded by
+	// core.EstimateOptions.Workers.
+	PoolSize int
+	// Metrics, when non-nil, receives the engine's counters and
+	// histograms. Nil keeps instrumentation on a private registry.
+	Metrics *metrics.Registry
+}
+
+// Engine evaluates workloads against trained ensembles. It is safe for
+// concurrent use by any number of goroutines; construct one per process
+// (or use Default) so the pool and cache are actually shared.
+type Engine struct {
+	pool  *pool
+	cache *indexCache
+
+	mEstimates   *metrics.Counter
+	mSamples     *metrics.Counter
+	mCacheHits   *metrics.Counter
+	mCacheMisses *metrics.Counter
+	mLatency     *metrics.Histogram
+}
+
+// New builds an Engine from opts.
+func New(opts Options) *Engine {
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = DefaultCacheEntries
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Engine{
+		pool:  newPool(opts.PoolSize),
+		cache: newIndexCache(opts.CacheEntries),
+
+		mEstimates:   reg.Counter("spire_engine_estimates_total", "Estimations completed by the engine."),
+		mSamples:     reg.Counter("spire_engine_samples_total", "Indexed samples evaluated by completed estimations."),
+		mCacheHits:   reg.Counter("spire_estimate_cache_hits_total", "Workload-index cache hits."),
+		mCacheMisses: reg.Counter("spire_estimate_cache_misses_total", "Workload-index cache misses."),
+		mLatency:     reg.Histogram("spire_engine_estimate_seconds", "Estimation latency.", nil),
+	}
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the process-wide shared engine, building it on first
+// use with default options. CLI commands, examples and library code that
+// have no reason to own a pool should all share this one.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New(Options{}) })
+	return defaultEngine
+}
+
+// Index returns the immutable pre-built index for samples, serving
+// repeats from the content-hash LRU. The second result reports whether
+// the lookup hit.
+func (e *Engine) Index(samples []core.Sample) (*core.WorkloadIndex, bool) {
+	key := workloadKey(samples)
+	ix, hit := e.cache.get(key)
+	if hit {
+		e.mCacheHits.Inc()
+		return ix, true
+	}
+	e.mCacheMisses.Inc()
+	ix = core.IndexWorkload(core.Dataset{Samples: samples})
+	e.cache.put(key, ix)
+	return ix, false
+}
+
+// Estimate runs the Eq. 1 estimation of workload against ens: index
+// (cache-memoized), evaluate all shared metrics on the shared pool, merge
+// deterministically. Identical inputs produce identical outputs for any
+// worker count, pool size, and cache state.
+func (e *Engine) Estimate(ctx context.Context, ens *core.Ensemble, workload core.Dataset, opts core.EstimateOptions) (*core.Estimation, error) {
+	ix, _ := e.Index(workload.Samples)
+	return e.EstimateIndexed(ctx, ens, ix, opts)
+}
+
+// EstimateIndexed is Estimate for callers that already hold an index —
+// the serve handler (which needs the cache-hit flag for its response
+// headers) and the streaming tier (whose sliding windows maintain
+// incremental index snapshots).
+func (e *Engine) EstimateIndexed(ctx context.Context, ens *core.Ensemble, ix *core.WorkloadIndex, opts core.EstimateOptions) (*core.Estimation, error) {
+	opts.Runner = e.pool.run
+	start := time.Now()
+	est, err := ens.BatchEstimate(ctx, ix, opts)
+	e.mLatency.Observe(time.Since(start).Seconds())
+	if err == nil {
+		e.mEstimates.Inc()
+		e.mSamples.Add(float64(ix.Len()))
+	}
+	return est, err
+}
+
+// CacheLen reports how many workload indexes are currently cached.
+func (e *Engine) CacheLen() int { return e.cache.len() }

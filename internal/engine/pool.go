@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is a bounded set of worker goroutines shared by every estimation
+// an Engine runs. It is sized once (at Engine construction, typically
+// once per process) instead of spawning a fresh goroutine set per
+// estimate call, so a serving tier handling thousands of concurrent
+// estimations keeps a fixed goroutine population.
+//
+// Scheduling is work-conserving and deadlock-free by construction: the
+// calling goroutine always runs one slot inline, and the extra slots are
+// offered to the pool with a non-blocking send. When the pool is
+// saturated by other calls, the offer is withdrawn and the inline slot
+// simply processes those task indices too — correctness never depends on
+// a pool goroutine being free.
+type pool struct {
+	size  int
+	tasks chan func()
+}
+
+// newPool starts size resident workers (0 or negative selects
+// GOMAXPROCS).
+func newPool(size int) *pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	p := &pool{size: size, tasks: make(chan func())}
+	for i := 0; i < size; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes task(i) exactly once for every i in [0, n), using at most
+// workers concurrent slots (clamped to the pool size; <= 0 selects the
+// pool size). It returns once every started task has finished. Canceling
+// ctx stops unstarted tasks; run still waits for in-flight ones, so no
+// task touches caller state after run returns. Task results are
+// deterministic regardless of which slot runs which index.
+func (p *pool) run(ctx context.Context, workers, n int, task func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 || workers > p.size {
+		workers = p.size
+	}
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	loop := func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			task(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for s := 1; s < workers; s++ {
+		wg.Add(1)
+		f := func() {
+			defer wg.Done()
+			loop()
+		}
+		select {
+		case p.tasks <- f:
+		default:
+			// Pool saturated: skip the extra slot; the inline loop
+			// below covers its share.
+			wg.Done()
+		}
+	}
+	loop()
+	wg.Wait()
+}

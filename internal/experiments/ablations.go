@@ -85,11 +85,11 @@ func (s *Session) AblationTWA() ([]AblationTWAResult, error) {
 	}
 	var out []AblationTWAResult
 	for _, r := range runs {
-		weighted, err := ens.Estimate(r.Data)
+		weighted, err := estimate(ens, r.Data)
 		if err != nil {
 			return nil, err
 		}
-		unweighted, err := ens.Estimate(unweight(r.Data))
+		unweighted, err := estimate(ens, unweight(r.Data))
 		if err != nil {
 			return nil, err
 		}
@@ -145,7 +145,7 @@ func (s *Session) AblationEnsembleReduction() ([]AblationEnsembleResult, error) 
 	}
 	var out []AblationEnsembleResult
 	for _, r := range runs {
-		est, err := ens.Estimate(r.Data)
+		est, err := estimate(ens, r.Data)
 		if err != nil {
 			return nil, err
 		}
@@ -204,11 +204,11 @@ func (s *Session) AblationMultiplex() ([]AblationMultiplexResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		mux, err := ens.Estimate(r.Data)
+		mux, err := estimate(ens, r.Data)
 		if err != nil {
 			return nil, err
 		}
-		oracle, err := ens.Estimate(oracleData)
+		oracle, err := estimate(ens, oracleData)
 		if err != nil {
 			return nil, err
 		}
@@ -259,7 +259,7 @@ func (s *Session) AblationTrainingSize(sizes []int) ([]TrainingSizePoint, error)
 	}
 	fullEsts := make([]*core.Estimation, len(testRuns))
 	for i, r := range testRuns {
-		est, err := full.Estimate(r.Data)
+		est, err := estimate(full, r.Data)
 		if err != nil {
 			return nil, err
 		}
@@ -281,7 +281,7 @@ func (s *Session) AblationTrainingSize(sizes []int) ([]TrainingSizePoint, error)
 		var sum float64
 		cnt := 0
 		for i, r := range testRuns {
-			est, err := ens.Estimate(r.Data)
+			est, err := estimate(ens, r.Data)
 			if err != nil {
 				continue
 			}
@@ -462,7 +462,7 @@ func (s *Session) AblationInterval(intervals []uint64) ([]IntervalPoint, error) 
 	}
 	baseEsts := make([]*core.Estimation, len(runs))
 	for i, r := range runs {
-		est, err := ens.Estimate(r.Data)
+		est, err := estimate(ens, r.Data)
 		if err != nil {
 			return nil, err
 		}
@@ -490,7 +490,7 @@ func (s *Session) AblationInterval(intervals []uint64) ([]IntervalPoint, error) 
 			if err != nil {
 				continue
 			}
-			est, err := ens.Estimate(data)
+			est, err := estimate(ens, data)
 			if err != nil {
 				continue
 			}
@@ -561,7 +561,7 @@ func (s *Session) AblationSeeds(seeds []int64) ([]SeedStability, error) {
 			if err != nil {
 				continue
 			}
-			est, err := ens.Estimate(data)
+			est, err := estimate(ens, data)
 			if err != nil {
 				continue
 			}

@@ -60,7 +60,7 @@ func (s *Session) CrossValidate(tolerance float64) (*CrossValSummary, error) {
 		if err != nil {
 			return nil, err
 		}
-		est, err := ens.Estimate(runs[hold].Data)
+		est, err := estimate(ens, runs[hold].Data)
 		if err != nil {
 			// The held-out workload shares no metrics with the rest —
 			// cannot happen with a common PMU, but skip defensively.

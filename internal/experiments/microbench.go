@@ -97,11 +97,11 @@ func (s *Session) AblationMicrobenchTraining() ([]MicrobenchComparison, error) {
 	}
 	var out []MicrobenchComparison
 	for _, r := range runs {
-		appEst, err := appModel.Estimate(r.Data)
+		appEst, err := estimate(appModel, r.Data)
 		if err != nil {
 			return nil, err
 		}
-		ubEst, err := ubModel.Estimate(r.Data)
+		ubEst, err := estimate(ubModel, r.Data)
 		if err != nil {
 			return nil, err
 		}

@@ -117,7 +117,7 @@ func (s *Session) Table2() ([]Table2Col, error) {
 	}
 	var cols []Table2Col
 	for _, r := range runs {
-		est, err := ens.Estimate(r.Data)
+		est, err := estimate(ens, r.Data)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: estimating %s: %w", r.Spec.Name, err)
 		}
@@ -322,5 +322,5 @@ func (s *Session) AnalyzeDataset(d core.Dataset) (*core.Estimation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ens.Estimate(d)
+	return estimate(ens, d)
 }

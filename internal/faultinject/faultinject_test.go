@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"testing"
 
 	"spire/internal/core"
+	"spire/internal/engine"
 	"spire/internal/ingest"
 	"spire/internal/perfstat"
 	"spire/internal/sim"
@@ -28,6 +30,13 @@ var (
 	model     *core.Ensemble
 	baseline  *core.Estimation
 )
+
+// estimate runs on the shared engine — the same Eq. 1 path every
+// production frontend uses, so fault tolerance is asserted against the
+// real estimation stack.
+func estimate(ens *core.Ensemble, d core.Dataset) (*core.Estimation, error) {
+	return engine.Default().Estimate(context.Background(), ens, d, core.EstimateOptions{})
+}
 
 func collect(name string) (core.Dataset, error) {
 	spec, err := workloads.ByName(name)
@@ -69,7 +78,7 @@ func setup(t *testing.T) {
 			setupErr = err
 			return
 		}
-		baseline, err = model.Estimate(core.Validate(target, core.ValidateOptions{}).Clean)
+		baseline, err = estimate(model, core.Validate(target, core.ValidateOptions{}).Clean)
 		setupErr = err
 	})
 	if setupErr != nil {
@@ -142,7 +151,7 @@ func TestBoundedDegradation(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			corrupted := tc.corrupt(New(42), target)
 			rep := core.Validate(corrupted, core.ValidateOptions{})
-			est, err := model.Estimate(rep.Clean)
+			est, err := estimate(model, rep.Clean)
 			if err != nil {
 				t.Fatalf("estimate on corrupted data: %v", err)
 			}
@@ -188,7 +197,7 @@ func TestCorruptedTrainingData(t *testing.T) {
 			if err != nil {
 				t.Fatalf("training on corrupted data: %v\n%s", err, rep.Summary())
 			}
-			est, err := ens.Estimate(target)
+			est, err := estimate(ens, target)
 			if err != nil {
 				t.Fatalf("estimate with degraded model: %v", err)
 			}

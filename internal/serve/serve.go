@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"spire/internal/core"
+	"spire/internal/engine"
 	"spire/internal/ingest"
 	"spire/internal/metrics"
 	"spire/internal/stream"
@@ -95,14 +96,12 @@ func (c *Config) setDefaults() {
 type Server struct {
 	cfg     Config
 	models  *Registry
-	cache   *indexCache
+	engine  *engine.Engine
 	metrics *metrics.Registry
 	handler http.Handler
 	hub     *stream.Hub
 
 	mEstimates   *metrics.Counter
-	mCacheHits   *metrics.Counter
-	mCacheMisses *metrics.Counter
 	mQuarantined *metrics.Counter
 	mIngested    *metrics.Counter
 	mSwaps       *metrics.Counter
@@ -115,14 +114,16 @@ func New(cfg Config) *Server {
 	cfg.setDefaults()
 	reg := metrics.NewRegistry()
 	s := &Server{
-		cfg:     cfg,
-		models:  NewRegistry(cfg.ModelDir),
-		cache:   newIndexCache(cfg.CacheEntries),
+		cfg:    cfg,
+		models: NewRegistry(cfg.ModelDir),
+		// One estimation engine backs both /v1/estimate and the stream
+		// re-estimation path: shared worker pool, shared workload-index
+		// cache, and its hit/miss counters land on this registry (and so
+		// on /metrics).
+		engine:  engine.New(engine.Options{CacheEntries: cfg.CacheEntries, Metrics: reg}),
 		metrics: reg,
 
 		mEstimates:   reg.Counter("spire_estimates_served_total", "Estimations successfully served."),
-		mCacheHits:   reg.Counter("spire_estimate_cache_hits_total", "Workload-index cache hits."),
-		mCacheMisses: reg.Counter("spire_estimate_cache_misses_total", "Workload-index cache misses."),
 		mQuarantined: reg.Counter("spire_quarantined_samples_total", "Samples dropped by validation across ingest and estimate requests."),
 		mIngested:    reg.Counter("spire_ingested_samples_total", "Clean samples produced by /v1/ingest."),
 		mSwaps:       reg.Counter("spire_model_swaps_total", "Successful model installs/hot-swaps."),
@@ -145,6 +146,7 @@ func New(cfg Config) *Server {
 			return ens, info.ID
 		},
 		Metrics: reg,
+		Engine:  s.engine,
 	})
 
 	mux := http.NewServeMux()
@@ -313,19 +315,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key, err := workloadKey(req.Samples)
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, "samples are not canonicalizable: %v", err)
-		return
-	}
-	ix, hit := s.cache.get(key)
-	if hit {
-		s.mCacheHits.Inc()
-	} else {
-		s.mCacheMisses.Inc()
-		ix = core.IndexWorkload(core.Dataset{Samples: req.Samples})
-		s.cache.put(key, ix)
-	}
+	ix, hit := s.engine.Index(req.Samples)
 	if dropped := len(req.Samples) - ix.Len(); dropped > 0 {
 		s.mQuarantined.Add(float64(dropped))
 	}
@@ -338,7 +328,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	est, err := ens.BatchEstimate(ctx, ix, core.EstimateOptions{Workers: workers})
+	est, err := s.engine.EstimateIndexed(ctx, ens, ix, core.EstimateOptions{Workers: workers})
 	switch {
 	case err == nil:
 	case errors.Is(err, core.ErrNoSamples):

@@ -178,8 +178,10 @@ func TestEstimateParityAndCache(t *testing.T) {
 	if !bytes.Equal(first, second) {
 		t.Error("identical requests produced different bodies")
 	}
-	if s.mCacheHits.Value() != 1 || s.mCacheMisses.Value() != 1 {
-		t.Errorf("cache counters hits=%g misses=%g, want 1/1", s.mCacheHits.Value(), s.mCacheMisses.Value())
+	hits := s.metrics.Counter("spire_estimate_cache_hits_total", "").Value()
+	misses := s.metrics.Counter("spire_estimate_cache_misses_total", "").Value()
+	if hits != 1 || misses != 1 {
+		t.Errorf("cache counters hits=%g misses=%g, want 1/1", hits, misses)
 	}
 	if s.mEstimates.Value() != 2 {
 		t.Errorf("estimates served = %g, want 2", s.mEstimates.Value())
@@ -483,37 +485,6 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)
 		}
-	}
-}
-
-func TestIndexCacheLRU(t *testing.T) {
-	c := newIndexCache(2)
-	ix := core.IndexWorkload(core.Dataset{Samples: testSamples()})
-	c.put("a", ix)
-	c.put("b", ix)
-	if _, ok := c.get("a"); !ok {
-		t.Fatal("a evicted too early")
-	}
-	c.put("c", ix) // evicts b (a was just touched)
-	if _, ok := c.get("b"); ok {
-		t.Error("b should have been evicted")
-	}
-	if _, ok := c.get("a"); !ok {
-		t.Error("a should have survived")
-	}
-	if c.len() != 2 {
-		t.Errorf("len = %d, want 2", c.len())
-	}
-	// Re-putting an existing key refreshes instead of growing.
-	c.put("a", ix)
-	if c.len() != 2 {
-		t.Errorf("len after re-put = %d, want 2", c.len())
-	}
-
-	off := newIndexCache(-1)
-	off.put("x", ix)
-	if _, ok := off.get("x"); ok {
-		t.Error("disabled cache must not store")
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"spire/internal/core"
+	"spire/internal/engine"
 	"spire/internal/ingest"
 	"spire/internal/metrics"
 )
@@ -68,6 +69,9 @@ type Config struct {
 	// Metrics receives stream instrumentation; nil means a private
 	// throwaway registry.
 	Metrics *metrics.Registry
+	// Engine runs each window's estimation (shared worker pool,
+	// instrumentation). Nil selects the process-wide engine.Default().
+	Engine *engine.Engine
 }
 
 func (cfg *Config) setDefaults() {
@@ -82,6 +86,9 @@ func (cfg *Config) setDefaults() {
 	}
 	if cfg.Model == nil {
 		cfg.Model = func() (*core.Ensemble, string) { return nil, "" }
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = engine.Default()
 	}
 }
 
@@ -114,9 +121,11 @@ func (r Result) Truncate(n int) Result {
 	return r
 }
 
-// Estimator evaluates windows against the provider's current model.
+// Estimator evaluates windows against the provider's current model,
+// running each window's Eq. 1 evaluation on the shared estimation engine.
 type Estimator struct {
 	model   ModelProvider
+	eng     *engine.Engine
 	top     int
 	workers int
 	inst    *Instruments
@@ -126,7 +135,7 @@ type Estimator struct {
 // applied) and the stream instruments.
 func NewEstimator(cfg Config, inst *Instruments) *Estimator {
 	cfg.setDefaults()
-	return &Estimator{model: cfg.Model, top: cfg.Top, workers: cfg.Workers, inst: inst}
+	return &Estimator{model: cfg.Model, eng: cfg.Engine, top: cfg.Top, workers: cfg.Workers, inst: inst}
 }
 
 // Estimate produces the Result for one window. Estimation failures are
@@ -149,7 +158,7 @@ func (e *Estimator) Estimate(ctx context.Context, win Window) Result {
 	}
 	res.Model = id
 	start := time.Now()
-	est, err := ens.BatchEstimate(ctx, win.Index, core.EstimateOptions{Workers: e.workers})
+	est, err := e.eng.EstimateIndexed(ctx, ens, win.Index, core.EstimateOptions{Workers: e.workers})
 	e.inst.estimated(time.Since(start))
 	switch {
 	case errors.Is(err, core.ErrNoSamples):
