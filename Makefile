@@ -7,7 +7,7 @@ SERVE_COVER_FLOOR ?= 80.0
 # Minimum statement coverage for the streaming pipeline.
 STREAM_COVER_FLOOR ?= 85.0
 
-.PHONY: all build test vet lint race cover cover-serve cover-stream smoke fuzz fuzz-short verify clean
+.PHONY: all build test vet lint race cover cover-serve cover-stream smoke fuzz fuzz-short chaos verify clean
 
 # Pinned linter versions, fetched on demand with `go run`. In an offline
 # environment (no module proxy) lint degrades to a warning + skip, so the
@@ -99,9 +99,18 @@ fuzz-short:
 	$(GO) test -fuzz FuzzEstimateHandler -fuzztime 10s ./internal/serve/
 	$(GO) test -fuzz FuzzModelDecode -fuzztime 10s ./internal/serve/
 
+# Transport-level chaos soak under the race detector: retrying clients
+# against a live server through the faultinject chaos transport and
+# listener (stalls, resets, slow-loris, truncated frames), asserting
+# bounded error rates, byte-identical successes, and exact admission
+# accounting. Bounded -timeout so a hang fails fast instead of wedging CI.
+chaos:
+	$(GO) test -race -count=1 -timeout 300s -run 'TestChaos' ./internal/client/ ./internal/faultinject/
+
 # The full verification gate: build, static checks, tests, race tests,
-# the coverage floors, the serving smoke, and a short fuzz smoke.
-verify: build vet lint test race cover cover-serve cover-stream smoke fuzz-short
+# the coverage floors, the serving smoke, the chaos soak, and a short
+# fuzz smoke.
+verify: build vet lint test race cover cover-serve cover-stream smoke chaos fuzz-short
 
 clean:
 	$(GO) clean ./...

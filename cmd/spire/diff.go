@@ -43,15 +43,13 @@ func cmdDiff(args []string) error {
 	top := fs.Int("top", 10, "number of ranked metrics to compare")
 	workers := fs.Int("workers", 0, "concurrent per-metric estimators (0 = GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "print both estimations and the movement summary as compact JSON")
+	remote := fs.String("remote", "", "estimate via a running `spire serve` at this base URL instead of a local model")
+	tenant := fs.String("tenant", "", "tenant identity sent with -remote requests (X-Spire-Tenant)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
 		return fmt.Errorf("diff needs exactly two dataset files (before, after)")
-	}
-	ens, err := loadModel(*modelPath)
-	if err != nil {
-		return err
 	}
 	before, err := readDatasets(fs.Args()[:1])
 	if err != nil {
@@ -65,15 +63,48 @@ func cmdDiff(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	eng := engine.Default()
-	opts := core.EstimateOptions{Workers: *workers}
-	estB, err := eng.Estimate(ctx, ens, before, opts)
-	if err != nil {
-		return fmt.Errorf("before: %w", err)
-	}
-	estA, err := eng.Estimate(ctx, ens, after, opts)
-	if err != nil {
-		return fmt.Errorf("after: %w", err)
+	var (
+		estB, estA *core.Estimation
+		modelID    string
+	)
+	if *remote != "" {
+		// Both estimations run against the same serving instance; the
+		// results are byte-identical to local runs under that model, so
+		// diffing remotely means diffing the same numbers.
+		c, cerr := newRemoteClient(*remote, *tenant)
+		if cerr != nil {
+			return cerr
+		}
+		estB, modelID, err = remoteEstimate(ctx, c, before, *workers)
+		if err != nil {
+			return fmt.Errorf("before: %w", err)
+		}
+		var idA string
+		estA, idA, err = remoteEstimate(ctx, c, after, *workers)
+		if err != nil {
+			return fmt.Errorf("after: %w", err)
+		}
+		if idA != modelID {
+			return fmt.Errorf("model hot-swapped mid-diff (%s -> %s); re-run against a stable model", modelID, idA)
+		}
+	} else {
+		ens, lerr := loadModel(*modelPath)
+		if lerr != nil {
+			return lerr
+		}
+		if id, ferr := ens.Fingerprint(); ferr == nil {
+			modelID = id
+		}
+		eng := engine.Default()
+		opts := core.EstimateOptions{Workers: *workers}
+		estB, err = eng.Estimate(ctx, ens, before, opts)
+		if err != nil {
+			return fmt.Errorf("before: %w", err)
+		}
+		estA, err = eng.Estimate(ctx, ens, after, opts)
+		if err != nil {
+			return fmt.Errorf("after: %w", err)
+		}
 	}
 
 	speedup := 0.0
@@ -82,10 +113,7 @@ func cmdDiff(args []string) error {
 	}
 
 	if *jsonOut {
-		res := diffResult{Before: estB, After: estA, Speedup: speedup}
-		if id, err := ens.Fingerprint(); err == nil {
-			res.Model = id
-		}
+		res := diffResult{Model: modelID, Before: estB, After: estA, Speedup: speedup}
 		if len(estB.PerMetric) > 0 {
 			res.BindingBefore = estB.PerMetric[0].Metric
 		}

@@ -91,10 +91,12 @@ func usage() {
 commands:
   ingest   [-strict|-lenient] [-format auto|csv|json] [-min-run-pct P] [-o dataset.json] perf.csv...
   train    -o model.json [-min-samples N] [-workers N] [-v] dataset.json...
-  analyze  -model model.json [-top K] [-workers N] [-json] [-interpret] [-timeline] [-html out.html] dataset.json...
+  analyze  -model model.json [-top K] [-workers N] [-json] [-interpret] [-timeline] [-html out.html]
+           [-remote URL [-tenant T]] dataset.json...
   watch    -model model.json [-window N] [-top K] [-json] [-follow] [-poll D] [-strict] [-v] perf.csv|-
   serve    [-addr HOST:PORT] [-model model.json] [-model-dir DIR] [-cache N] [-pprof]
-  diff     -model model.json [-top K] [-workers N] [-json] before.json after.json
+           [-max-inflight N] [-admission-queue N] [-queue-wait D] [-tenant-rate R] [-tenant-burst B] [-degraded-cache N]
+  diff     -model model.json [-top K] [-workers N] [-json] [-remote URL [-tenant T]] before.json after.json
   info     -model model.json
 
 exit codes: 0 ok, 1 error, 2 usage, 3 partial (lenient ingest lost input)`)
@@ -179,10 +181,54 @@ func cmdAnalyze(args []string) error {
 	timeline := fs.Bool("timeline", false, "print the per-window bottleneck timeline")
 	htmlOut := fs.String("html", "", "write a self-contained HTML report to this file")
 	workers := fs.Int("workers", 0, "concurrent per-metric estimators (0 = GOMAXPROCS)")
+	remote := fs.String("remote", "", "estimate via a running `spire serve` at this base URL instead of a local model")
+	tenant := fs.String("tenant", "", "tenant identity sent with -remote requests (X-Spire-Tenant)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ens, err := loadModel(*modelPath)
+
+	var (
+		ens     *core.Ensemble
+		est     *core.Estimation
+		modelID string
+		err     error
+	)
+	if *remote != "" {
+		// Remote mode ships the samples to the service; the reports that
+		// need the model's internals stay local-only.
+		if *interpret || *timeline || *htmlOut != "" {
+			return fmt.Errorf("-interpret, -timeline and -html need the local model; they are not available with -remote")
+		}
+		data, rerr := readDatasets(fs.Args())
+		if rerr != nil {
+			return rerr
+		}
+		c, cerr := newRemoteClient(*remote, *tenant)
+		if cerr != nil {
+			return cerr
+		}
+		est, modelID, err = remoteEstimate(context.Background(), c, data, *workers)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			// Same contract as local -json: exactly the core.Estimation
+			// encoding, byte for byte (the service serves the identical
+			// bytes the local engine computes for the same model).
+			raw, merr := json.Marshal(est)
+			if merr != nil {
+				return merr
+			}
+			fmt.Println(string(raw))
+			return nil
+		}
+		fmt.Printf("measured throughput: %.3f (served by model %s)\n", est.MeasuredThroughput, modelID[:min(12, len(modelID))])
+		fmt.Printf("SPIRE max-throughput estimate: %.3f (min over %d metrics)\n\n",
+			est.MaxThroughput, len(est.PerMetric))
+		return renderRanking(est, *top)
+	}
+
+	ens, err = loadModel(*modelPath)
 	if err != nil {
 		return err
 	}
@@ -190,7 +236,7 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	est, err := engine.Default().Estimate(context.Background(), ens, data,
+	est, err = engine.Default().Estimate(context.Background(), ens, data,
 		core.EstimateOptions{Workers: *workers})
 	if err != nil {
 		return err
@@ -209,19 +255,7 @@ func cmdAnalyze(args []string) error {
 	fmt.Printf("measured throughput: %.3f %s/%s\n", est.MeasuredThroughput, ens.WorkUnit, ens.TimeUnit)
 	fmt.Printf("SPIRE max-throughput estimate: %.3f (min over %d metrics)\n\n",
 		est.MaxThroughput, len(est.PerMetric))
-	t := report.Table{
-		Title:   fmt.Sprintf("Top %d candidate bottleneck metrics (lowest estimates first)", *top),
-		Headers: []string{"Rank", "Mean est.", "Abbr", "Metric", "Closest TMA area", "Samples"},
-	}
-	for i, m := range est.TopMetrics(*top) {
-		abbr, area := "?", "?"
-		if ev, ok := pmu.Lookup(m.Metric); ok {
-			abbr, area = ev.Abbr, ev.Area.String()
-		}
-		t.AddRow(fmt.Sprintf("%d", i+1), fmt.Sprintf("%.3f", m.MeanEstimate),
-			abbr, m.Metric, area, fmt.Sprintf("%d", m.Samples))
-	}
-	if err := t.Render(os.Stdout); err != nil {
+	if err := renderRanking(est, *top); err != nil {
 		return err
 	}
 	if *interpret {
@@ -269,6 +303,24 @@ func cmdAnalyze(args []string) error {
 		fmt.Printf("\nwrote HTML report to %s\n", *htmlOut)
 	}
 	return nil
+}
+
+// renderRanking prints the candidate-bottleneck table shared by local
+// and remote analyze modes.
+func renderRanking(est *core.Estimation, top int) error {
+	t := report.Table{
+		Title:   fmt.Sprintf("Top %d candidate bottleneck metrics (lowest estimates first)", top),
+		Headers: []string{"Rank", "Mean est.", "Abbr", "Metric", "Closest TMA area", "Samples"},
+	}
+	for i, m := range est.TopMetrics(top) {
+		abbr, area := "?", "?"
+		if ev, ok := pmu.Lookup(m.Metric); ok {
+			abbr, area = ev.Abbr, ev.Area.String()
+		}
+		t.AddRow(fmt.Sprintf("%d", i+1), fmt.Sprintf("%.3f", m.MeanEstimate),
+			abbr, m.Metric, area, fmt.Sprintf("%d", m.Samples))
+	}
+	return t.Render(os.Stdout)
 }
 
 func cmdInfo(args []string) error {

@@ -1,0 +1,297 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"spire/internal/core"
+)
+
+// buildE2EModel runs ingest+train through the real binary and returns
+// (dataset path, model path).
+func buildE2EModel(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	dataset := filepath.Join(dir, "dataset.json")
+	model := filepath.Join(dir, "model.json")
+	if _, stderr, code := runSpire(t, "ingest", "-o", dataset, "testdata/e2e_clean.csv"); code != 0 {
+		t.Fatalf("ingest exit %d\nstderr: %s", code, stderr)
+	}
+	if _, stderr, code := runSpire(t, "train", "-o", model, dataset); code != 0 {
+		t.Fatalf("train exit %d\nstderr: %s", code, stderr)
+	}
+	return dataset, model
+}
+
+// TestE2ERemoteParity: `analyze -remote` and `diff -remote` route the
+// estimation through a running server and print byte-for-byte what the
+// local model path prints — the client, the service and the CLI are the
+// same estimator.
+func TestE2ERemoteParity(t *testing.T) {
+	dataset, model := buildE2EModel(t)
+	srv := startServe(t, "-model", model)
+
+	localOut, stderr, code := runSpire(t, "analyze", "-model", model, "-json", dataset)
+	if code != 0 {
+		t.Fatalf("analyze -json exit %d\nstderr: %s", code, stderr)
+	}
+	remoteOut, stderr, code := runSpire(t, "analyze", "-remote", srv.base, "-tenant", "e2e", "-json", dataset)
+	if code != 0 {
+		t.Fatalf("analyze -remote -json exit %d\nstderr: %s", code, stderr)
+	}
+	if remoteOut != localOut {
+		t.Errorf("analyze -remote -json diverges from local\nremote: %s\nlocal:  %s", remoteOut, localOut)
+	}
+
+	// diff parity, model fingerprint included: the server's model ID is
+	// the same content hash the local path prints.
+	localDiff, stderr, code := runSpire(t, "diff", "-model", model, "-json", dataset, dataset)
+	if code != 0 {
+		t.Fatalf("diff -json exit %d\nstderr: %s", code, stderr)
+	}
+	remoteDiff, stderr, code := runSpire(t, "diff", "-remote", srv.base, "-json", dataset, dataset)
+	if code != 0 {
+		t.Fatalf("diff -remote -json exit %d\nstderr: %s", code, stderr)
+	}
+	if remoteDiff != localDiff {
+		t.Errorf("diff -remote -json diverges from local\nremote: %s\nlocal:  %s", remoteDiff, localDiff)
+	}
+
+	// The model-internal reports honestly refuse remote mode.
+	_, stderr, code = runSpire(t, "analyze", "-remote", srv.base, "-interpret", "-json", dataset)
+	if code != 1 {
+		t.Errorf("analyze -remote -interpret exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "not available with -remote") {
+		t.Errorf("stderr should explain the -remote restriction: %q", stderr)
+	}
+
+	if code := srv.stop(t); code != 0 {
+		t.Errorf("serve exit %d, want 0", code)
+	}
+}
+
+// TestE2EGracefulDrain: SIGTERM with an active SSE subscriber and a
+// mid-flight estimate. The estimate completes with 200, the stream
+// closes cleanly (EOF, not a reset), readiness flips, and the process
+// exits 0.
+func TestE2EGracefulDrain(t *testing.T) {
+	dataset, model := buildE2EModel(t)
+	srv := startServe(t, "-model", model, "-max-body", "67108864")
+
+	// Readiness holds while the server is healthy.
+	if status, body := httpGet(t, srv.base+"/readyz"); status != http.StatusOK {
+		t.Fatalf("readyz %d: %s", status, body)
+	}
+
+	// Inflate the 48-sample dataset into a workload big enough to still
+	// be estimating when the signal lands.
+	raw, err := os.ReadFile(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d core.Dataset
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatal(err)
+	}
+	base := d.Samples
+	for len(d.Samples) < 120_000 {
+		d.Samples = append(d.Samples, base...)
+	}
+	bigBody, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Subscriber: hold GET /v1/stream open; its body must end with a
+	// clean EOF when the drain detaches it.
+	subResp, err := http.Get(srv.base + "/v1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer subResp.Body.Close()
+	if subResp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe status %d", subResp.StatusCode)
+	}
+	sseDone := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, subResp.Body)
+		sseDone <- err
+	}()
+
+	// Mid-flight estimate, launched just before the signal.
+	estDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(srv.base+"/v1/estimate", "application/json", bytes.NewReader(bigBody))
+		if err != nil {
+			estDone <- err
+			return
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case rerr != nil:
+			estDone <- fmt.Errorf("reading estimate response: %w", rerr)
+		case resp.StatusCode != http.StatusOK:
+			estDone <- fmt.Errorf("estimate status %d: %s", resp.StatusCode, body)
+		case !json.Valid(body):
+			estDone <- fmt.Errorf("estimate response is not complete JSON")
+		default:
+			estDone <- nil
+		}
+	}()
+
+	// Give the estimate a moment to reach the engine, then pull the plug.
+	time.Sleep(50 * time.Millisecond)
+	if err := srv.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-estDone:
+		if err != nil {
+			t.Errorf("mid-flight estimate not drained cleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("mid-flight estimate never completed during drain")
+	}
+	select {
+	case err := <-sseDone:
+		// A clean server-side close surfaces as EOF (nil from io.Copy):
+		// the hub detached the subscriber before the listener died.
+		if err != nil {
+			t.Errorf("SSE stream did not close cleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("SSE subscriber still hanging after SIGTERM")
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		srv.cmd.Process.Kill()
+		t.Fatal("serve did not exit after drain")
+	}
+	if code := srv.cmd.ProcessState.ExitCode(); code != 0 {
+		t.Errorf("serve exit %d after graceful drain, want 0\nstderr:\n%s", code, srv.stderr.String())
+	}
+	select {
+	case <-srv.drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stderr drain never finished")
+	}
+	if !strings.Contains(srv.stderr.String(), "drained") {
+		t.Errorf("serve stderr missing drain confirmation:\n%s", srv.stderr.String())
+	}
+}
+
+// TestE2EOverloadFlags: a serve started with a tiny gate sheds with
+// 429 + Retry-After under concurrent offered load, and per-tenant
+// quotas bite via the CLI flags.
+func TestE2EOverloadFlags(t *testing.T) {
+	dataset, model := buildE2EModel(t)
+	srv := startServe(t, "-model", model, "-max-body", "67108864",
+		"-max-inflight", "1", "-admission-queue", "-1", "-queue-wait", "1ms",
+		"-degraded-cache", "-1",
+		"-tenant-rate", "0.001", "-tenant-burst", "2")
+
+	raw, err := os.ReadFile(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d core.Dataset
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatal(err)
+	}
+	base := d.Samples
+	for len(d.Samples) < 60_000 {
+		d.Samples = append(d.Samples, base...)
+	}
+	bigBody, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tenant quota: burst 2 at a negligible refill rate means the third
+	// request from the same tenant is rejected before it ever touches
+	// the gate.
+	post := func(tenant string, body []byte) (int, http.Header) {
+		req, err := http.NewRequest("POST", srv.base+"/v1/estimate", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Spire-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header
+	}
+	small := raw
+	for i := 0; i < 2; i++ {
+		if status, _ := post("greedy", small); status != http.StatusOK {
+			t.Fatalf("tenant warmup %d status %d, want 200", i, status)
+		}
+	}
+	status, hdr := post("greedy", small)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("third tenant request status %d, want 429", status)
+	}
+	if ra := hdr.Get("Retry-After"); ra == "" {
+		t.Error("quota rejection missing Retry-After")
+	}
+	if status, _ := post("frugal", small); status != http.StatusOK {
+		t.Error("a different tenant must not be affected by greedy's quota")
+	}
+
+	// Gate: with one slot and no waiting room, a concurrent burst sheds
+	// the overflow with 429 — never 5xx.
+	type outcome struct {
+		status     int
+		retryAfter string
+	}
+	const offered = 6
+	results := make(chan outcome, offered)
+	for i := 0; i < offered; i++ {
+		go func(i int) {
+			status, hdr := post(fmt.Sprintf("burst-%d", i), bigBody)
+			results <- outcome{status, hdr.Get("Retry-After")}
+		}(i)
+	}
+	served, shed := 0, 0
+	for i := 0; i < offered; i++ {
+		r := <-results
+		switch r.status {
+		case http.StatusOK:
+			served++
+		case http.StatusTooManyRequests:
+			shed++
+			if r.retryAfter == "" {
+				t.Error("shed response missing Retry-After")
+			}
+		default:
+			t.Errorf("overload produced status %d; only 200/429 are allowed", r.status)
+		}
+	}
+	if served == 0 || shed == 0 {
+		t.Errorf("burst of %d: served %d, shed %d — want both > 0", offered, served, shed)
+	}
+
+	if code := srv.stop(t); code != 0 {
+		t.Errorf("serve exit %d, want 0", code)
+	}
+}

@@ -26,6 +26,12 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request estimation timeout")
 	drain := fs.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
 	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/ (local debugging only)")
+	maxInflight := fs.Int("max-inflight", 0, "cap concurrently running estimations (0 = 4x GOMAXPROCS, negative disables the gate)")
+	admissionQueue := fs.Int("admission-queue", 0, "requests allowed to wait for an estimation slot (0 = 8x max-inflight, negative = no waiting room)")
+	queueWait := fs.Duration("queue-wait", 0, "max time one request may wait in the admission queue (0 = 1s)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant request quota in requests/second (0 disables quotas)")
+	tenantBurst := fs.Float64("tenant-burst", 0, "per-tenant burst capacity (0 = max(1, 2x tenant-rate))")
+	degradedCache := fs.Int("degraded-cache", 0, "cached responses servable while the gate is saturated (0 = 64, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,6 +46,12 @@ func cmdServe(args []string) error {
 		CacheEntries:   *cache,
 		ModelDir:       *modelDir,
 		EnablePprof:    *pprofFlag,
+		MaxConcurrent:  *maxInflight,
+		AdmissionQueue: *admissionQueue,
+		QueueWait:      *queueWait,
+		TenantRate:     *tenantRate,
+		TenantBurst:    *tenantBurst,
+		DegradedCache:  *degradedCache,
 	})
 
 	// Resume the newest persisted model first so an explicit -model always

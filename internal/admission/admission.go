@@ -1,0 +1,323 @@
+// Package admission is the overload-safety layer in front of SPIRE's
+// estimation path: a bounded-concurrency gate with a short,
+// deadline-aware wait queue, and per-tenant token-bucket quotas. It
+// exists so `spire serve` degrades deterministically under overload —
+// excess offered load is shed early with 429 + Retry-After instead of
+// queueing unboundedly inside net/http and failing non-deterministically
+// on memory or timeouts.
+//
+// The two mechanisms compose but are independently optional:
+//
+//   - The gate caps how many requests run the (CPU-heavy) estimation
+//     path at once. A request that cannot start immediately waits in a
+//     bounded queue for at most QueueWait (or its own context deadline,
+//     whichever is sooner); when the queue itself is full the request is
+//     rejected instantly with reason "queue_full", and a queued request
+//     whose wait expires is rejected with reason "deadline". The queue
+//     is intentionally short: its job is absorbing microbursts, not
+//     hiding sustained overload.
+//
+//   - Quotas meter request *rate* per tenant with a classic token
+//     bucket (rate tokens/second, burst capacity). Rejections carry the
+//     exact time until the next token as Retry-After, so a well-behaved
+//     client converges on the sustainable rate instead of hammering.
+//
+// Every decision is counted on an internal/metrics registry:
+// spire_admission_admitted_total, spire_admission_rejected_total{reason}
+// (reason ∈ quota, queue_full, deadline — all three pre-registered so
+// they render at 0), spire_admission_queue_depth and
+// spire_admission_inflight gauges. The serving tier reconciles its
+// request totals against these exactly: every request that reaches an
+// admission check is admitted, degraded-served, or rejected with exactly
+// one reason.
+package admission
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"spire/internal/metrics"
+)
+
+// Rejection reasons, the `reason` label of
+// spire_admission_rejected_total.
+const (
+	ReasonQuota     = "quota"      // tenant token bucket empty
+	ReasonQueueFull = "queue_full" // gate saturated and the wait queue is full
+	ReasonDeadline  = "deadline"   // queued, but QueueWait (or the caller's context) expired first
+)
+
+// RejectError reports one shed request: why, and when retrying is worth
+// it. The serving tier maps it to 429 with a Retry-After header.
+type RejectError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("admission rejected (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// Config tunes a Controller. The zero value enables the gate with
+// defaults and disables quotas.
+type Config struct {
+	// MaxConcurrent caps concurrently admitted requests. 0 selects
+	// 4×GOMAXPROCS; negative disables the gate entirely.
+	MaxConcurrent int
+	// MaxQueue bounds how many requests may wait for a slot. 0 selects
+	// 8×MaxConcurrent; negative means no waiting room (immediate
+	// queue_full when saturated).
+	MaxQueue int
+	// QueueWait caps how long one request may wait in the queue.
+	// 0 selects 1s.
+	QueueWait time.Duration
+	// TenantRate is the sustained per-tenant request rate in
+	// requests/second. 0 disables quotas.
+	TenantRate float64
+	// TenantBurst is the token-bucket capacity. 0 selects
+	// max(1, 2×TenantRate).
+	TenantBurst float64
+	// MaxTenants bounds the tenant-bucket map; the stalest bucket is
+	// evicted at the cap (a returning tenant restarts with a full
+	// burst, which only ever errs in the tenant's favor). 0 selects
+	// 4096.
+	MaxTenants int
+	// Metrics receives the admission counters and gauges. Nil keeps
+	// them on a private registry.
+	Metrics *metrics.Registry
+	// Now is the clock, for tests. Nil selects time.Now.
+	Now func() time.Time
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 8 * c.MaxConcurrent
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = time.Second
+	}
+	if c.TenantBurst == 0 {
+		c.TenantBurst = math.Max(1, 2*c.TenantRate)
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 4096
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Controller is the combined admission decision-maker. All methods are
+// safe for concurrent use.
+type Controller struct {
+	cfg Config
+
+	sem    chan struct{} // nil = gate disabled
+	queued chan struct{} // nil = no waiting room; capacity MaxQueue
+
+	quota *buckets // nil = quotas disabled
+
+	mAdmitted  *metrics.Counter
+	mRejQuota  *metrics.Counter
+	mRejQueue  *metrics.Counter
+	mRejDeadln *metrics.Counter
+	gQueue     *metrics.Gauge
+	gInflight  *metrics.Gauge
+}
+
+// New builds a Controller from cfg.
+func New(cfg Config) *Controller {
+	gateOff := cfg.MaxConcurrent < 0
+	cfg.setDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	c := &Controller{
+		cfg: cfg,
+
+		mAdmitted: reg.Counter("spire_admission_admitted_total",
+			"Requests admitted past the concurrency gate and quotas."),
+		mRejQuota: reg.Counter("spire_admission_rejected_total",
+			"Requests shed by admission control, by reason.", metrics.L("reason", ReasonQuota)),
+		mRejQueue: reg.Counter("spire_admission_rejected_total",
+			"Requests shed by admission control, by reason.", metrics.L("reason", ReasonQueueFull)),
+		mRejDeadln: reg.Counter("spire_admission_rejected_total",
+			"Requests shed by admission control, by reason.", metrics.L("reason", ReasonDeadline)),
+		gQueue: reg.Gauge("spire_admission_queue_depth",
+			"Requests currently waiting for an admission slot."),
+		gInflight: reg.Gauge("spire_admission_inflight",
+			"Requests currently holding an admission slot."),
+	}
+	if !gateOff {
+		c.sem = make(chan struct{}, cfg.MaxConcurrent)
+		if cfg.MaxQueue > 0 {
+			c.queued = make(chan struct{}, cfg.MaxQueue)
+		}
+	}
+	if cfg.TenantRate > 0 {
+		c.quota = newBuckets(cfg.TenantRate, cfg.TenantBurst, cfg.MaxTenants, cfg.Now)
+	}
+	return c
+}
+
+// Quota spends one token from tenant's bucket. A nil error admits; a
+// *RejectError (reason quota) carries the wait until the next token.
+// Quotas disabled always admits. Quota does NOT count toward
+// admitted_total — use it for routes metered by rate alone, or ahead of
+// Acquire which does the counting.
+func (c *Controller) Quota(tenant string) error {
+	if c.quota == nil {
+		return nil
+	}
+	ok, wait := c.quota.take(tenant)
+	if ok {
+		return nil
+	}
+	c.mRejQuota.Inc()
+	return &RejectError{Reason: ReasonQuota, RetryAfter: ceilSecond(wait)}
+}
+
+// Acquire claims a concurrency slot, waiting in the bounded queue for at
+// most QueueWait or ctx's deadline. On admission it returns a release
+// function that MUST be called exactly once; on rejection it returns a
+// *RejectError with reason queue_full or deadline.
+func (c *Controller) Acquire(ctx context.Context) (release func(), err error) {
+	if c.sem == nil {
+		c.mAdmitted.Inc()
+		return func() {}, nil
+	}
+	select {
+	case c.sem <- struct{}{}:
+		return c.admitted(), nil
+	default:
+	}
+	// Saturated: try to join the bounded wait queue.
+	if c.queued == nil {
+		c.mRejQueue.Inc()
+		return nil, &RejectError{Reason: ReasonQueueFull, RetryAfter: ceilSecond(c.cfg.QueueWait)}
+	}
+	select {
+	case c.queued <- struct{}{}:
+	default:
+		c.mRejQueue.Inc()
+		return nil, &RejectError{Reason: ReasonQueueFull, RetryAfter: ceilSecond(c.cfg.QueueWait)}
+	}
+	c.gQueue.Add(1)
+	defer func() {
+		<-c.queued
+		c.gQueue.Add(-1)
+	}()
+	timer := time.NewTimer(c.cfg.QueueWait)
+	defer timer.Stop()
+	select {
+	case c.sem <- struct{}{}:
+		return c.admitted(), nil
+	case <-timer.C:
+	case <-ctx.Done():
+	}
+	c.mRejDeadln.Inc()
+	return nil, &RejectError{Reason: ReasonDeadline, RetryAfter: ceilSecond(c.cfg.QueueWait)}
+}
+
+// admitted counts one admission and builds its once-only release.
+func (c *Controller) admitted() func() {
+	c.mAdmitted.Inc()
+	c.gInflight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			<-c.sem
+			c.gInflight.Add(-1)
+		})
+	}
+}
+
+// Saturated reports whether the gate is at capacity right now — the
+// signal the serving tier uses to prefer its degraded cache-only fast
+// path without waiting.
+func (c *Controller) Saturated() bool {
+	return c.sem != nil && len(c.sem) == cap(c.sem)
+}
+
+// ceilSecond rounds a wait up to whole seconds (HTTP Retry-After has
+// one-second resolution), never below 1s.
+func ceilSecond(d time.Duration) time.Duration {
+	if d <= time.Second {
+		return time.Second
+	}
+	return time.Duration(math.Ceil(d.Seconds())) * time.Second
+}
+
+// buckets is the per-tenant token-bucket table.
+type buckets struct {
+	mu    sync.Mutex
+	m     map[string]*bucket
+	rate  float64 // tokens per second
+	burst float64
+	max   int
+	now   func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newBuckets(rate, burst float64, max int, now func() time.Time) *buckets {
+	return &buckets{m: make(map[string]*bucket), rate: rate, burst: burst, max: max, now: now}
+}
+
+// take spends one token from tenant's bucket, refilling lazily. When the
+// bucket is empty it reports how long until one token accrues.
+func (b *buckets) take(tenant string) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	bk := b.m[tenant]
+	if bk == nil {
+		if len(b.m) >= b.max {
+			b.evictStalest()
+		}
+		bk = &bucket{tokens: b.burst, last: now}
+		b.m[tenant] = bk
+	} else {
+		elapsed := now.Sub(bk.last).Seconds()
+		if elapsed > 0 {
+			bk.tokens = math.Min(b.burst, bk.tokens+elapsed*b.rate)
+			bk.last = now
+		}
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	need := (1 - bk.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evictStalest drops the bucket with the oldest refill time. Called with
+// b.mu held.
+func (b *buckets) evictStalest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for k, bk := range b.m {
+		if first || bk.last.Before(oldest) {
+			victim, oldest, first = k, bk.last, false
+		}
+	}
+	if !first {
+		delete(b.m, victim)
+	}
+}

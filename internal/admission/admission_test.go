@@ -1,0 +1,300 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spire/internal/metrics"
+)
+
+// reject asserts err is a *RejectError with the given reason and returns
+// it.
+func reject(t *testing.T, err error, reason string) *RejectError {
+	t.Helper()
+	var re *RejectError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RejectError", err)
+	}
+	if re.Reason != reason {
+		t.Fatalf("reason = %q, want %q", re.Reason, reason)
+	}
+	if re.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %s, want >= 1s", re.RetryAfter)
+	}
+	return re
+}
+
+func TestGateFastPath(t *testing.T) {
+	c := New(Config{MaxConcurrent: 2, MaxQueue: -1})
+	r1, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Saturated() {
+		t.Fatal("gate with both slots held should be saturated")
+	}
+	// Third request has no waiting room: immediate queue_full.
+	if _, err := c.Acquire(context.Background()); err == nil {
+		t.Fatal("third acquire should be rejected")
+	} else {
+		reject(t, err, ReasonQueueFull)
+	}
+	r1()
+	r1() // double release must be a no-op, not a second freed slot
+	if c.Saturated() {
+		t.Fatal("gate should have a free slot after release")
+	}
+	r3, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2()
+	r3()
+	if got := c.mAdmitted.Value(); got != 3 {
+		t.Fatalf("admitted_total = %g, want 3", got)
+	}
+	if got := c.mRejQueue.Value(); got != 1 {
+		t.Fatalf("rejected{queue_full} = %g, want 1", got)
+	}
+}
+
+func TestGateQueueWaitAndHandoff(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 1, QueueWait: 5 * time.Second})
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second request queues; releasing the slot must admit it.
+	got := make(chan error, 1)
+	go func() {
+		r, err := c.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		got <- err
+	}()
+	// Wait for it to be queued, then release.
+	for i := 0; i < 1000 && c.gQueue.Value() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if c.gQueue.Value() != 1 {
+		t.Fatal("second acquire never queued")
+	}
+	release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire = %v, want admitted after release", err)
+	}
+	if d := c.gQueue.Value(); d != 0 {
+		t.Fatalf("queue_depth = %g after drain, want 0", d)
+	}
+}
+
+func TestGateQueueDeadline(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 4, QueueWait: 10 * time.Millisecond})
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	_, err = c.Acquire(context.Background())
+	reject(t, err, ReasonDeadline)
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline rejection took %s, want ~QueueWait", elapsed)
+	}
+	if got := c.mRejDeadln.Value(); got != 1 {
+		t.Fatalf("rejected{deadline} = %g, want 1", got)
+	}
+}
+
+func TestGateContextCancel(t *testing.T) {
+	c := New(Config{MaxConcurrent: 1, MaxQueue: 4, QueueWait: time.Minute})
+	release, err := c.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := c.Acquire(ctx); err == nil {
+		t.Fatal("canceled acquire should be rejected")
+	} else {
+		reject(t, err, ReasonDeadline)
+	}
+}
+
+func TestGateDisabled(t *testing.T) {
+	c := New(Config{MaxConcurrent: -1})
+	for i := 0; i < 100; i++ {
+		r, err := c.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r()
+	}
+	if c.Saturated() {
+		t.Fatal("disabled gate can never saturate")
+	}
+}
+
+func TestQuotaTokenBucket(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	c := New(Config{TenantRate: 1, TenantBurst: 2, Now: func() time.Time { return clock }})
+	// Burst of 2, then empty.
+	if err := c.Quota("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quota("a"); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Quota("a")
+	re := reject(t, err, ReasonQuota)
+	if re.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %s, want 1s at rate 1/s", re.RetryAfter)
+	}
+	// Tenants are isolated.
+	if err := c.Quota("b"); err != nil {
+		t.Fatal(err)
+	}
+	// One second refills exactly one token.
+	clock = clock.Add(time.Second)
+	if err := c.Quota("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quota("a"); err == nil {
+		t.Fatal("second request after 1s refill should be rejected")
+	}
+	// Refill never exceeds burst.
+	clock = clock.Add(time.Hour)
+	if err := c.Quota("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quota("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quota("a"); err == nil {
+		t.Fatal("burst cap exceeded after long idle")
+	}
+	if got := c.mRejQuota.Value(); got != 3 {
+		t.Fatalf("rejected{quota} = %g, want 3", got)
+	}
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	c := New(Config{})
+	for i := 0; i < 1000; i++ {
+		if err := c.Quota("x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestQuotaTenantEviction(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	c := New(Config{TenantRate: 1, TenantBurst: 1, MaxTenants: 2, Now: func() time.Time { return clock }})
+	if err := c.Quota("old"); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(time.Millisecond)
+	if err := c.Quota("mid"); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(time.Millisecond)
+	// Third tenant evicts "old" (stalest). "old" then returns with a
+	// fresh burst instead of its drained bucket.
+	if err := c.Quota("new"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quota("old"); err != nil {
+		t.Fatalf("evicted tenant should restart with a full burst: %v", err)
+	}
+	if len(c.quota.m) > 2 {
+		t.Fatalf("bucket map grew to %d, cap 2", len(c.quota.m))
+	}
+}
+
+// TestMetricsExposition pins the exposition names and label shape the
+// serving tier's /metrics documents: all three rejection reasons render
+// even at zero.
+func TestMetricsExposition(t *testing.T) {
+	reg := metrics.NewRegistry()
+	New(Config{Metrics: reg})
+	var b strings.Builder
+	if err := reg.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE spire_admission_admitted_total counter",
+		"# TYPE spire_admission_rejected_total counter",
+		`spire_admission_rejected_total{reason="quota"} 0`,
+		`spire_admission_rejected_total{reason="queue_full"} 0`,
+		`spire_admission_rejected_total{reason="deadline"} 0`,
+		"# TYPE spire_admission_queue_depth gauge",
+		"spire_admission_queue_depth 0",
+		"# TYPE spire_admission_inflight gauge",
+		"spire_admission_inflight 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAccountingConservation hammers the controller from many goroutines
+// and checks the books balance exactly: every Acquire is admitted or
+// rejected with exactly one reason, and the gauges return to zero.
+func TestAccountingConservation(t *testing.T) {
+	c := New(Config{MaxConcurrent: 2, MaxQueue: 2, QueueWait: 2 * time.Millisecond})
+	const goroutines = 16
+	const perG = 50
+	var admitted, rejected atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				release, err := c.Acquire(context.Background())
+				if err != nil {
+					var re *RejectError
+					if !errors.As(err, &re) || (re.Reason != ReasonQueueFull && re.Reason != ReasonDeadline) {
+						t.Errorf("unexpected error %v", err)
+						return
+					}
+					rejected.Add(1)
+					continue
+				}
+				admitted.Add(1)
+				time.Sleep(50 * time.Microsecond)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if total := admitted.Load() + rejected.Load(); total != goroutines*perG {
+		t.Fatalf("admitted %d + rejected %d = %d, want %d",
+			admitted.Load(), rejected.Load(), total, goroutines*perG)
+	}
+	if got := c.mAdmitted.Value(); got != float64(admitted.Load()) {
+		t.Fatalf("admitted_total = %g, callers saw %d", got, admitted.Load())
+	}
+	if got := c.mRejQueue.Value() + c.mRejDeadln.Value(); got != float64(rejected.Load()) {
+		t.Fatalf("rejected_total = %g, callers saw %d", got, rejected.Load())
+	}
+	if d := c.gQueue.Value(); d != 0 {
+		t.Fatalf("queue_depth = %g at rest, want 0", d)
+	}
+	if d := c.gInflight.Value(); d != 0 {
+		t.Fatalf("inflight = %g at rest, want 0", d)
+	}
+}

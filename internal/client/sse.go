@@ -1,0 +1,186 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Event is one Server-Sent Event from GET /v1/stream.
+type Event struct {
+	// ID is the `id:` field — the window sequence number. A gap between
+	// consecutive IDs means the hub dropped windows under backpressure.
+	ID int64
+	// Type is the `event:` field ("window" for live results).
+	Type string
+	// Data is the raw `data:` payload — a JSON stream.Result for window
+	// events. Unmarshal into the caller's preferred shape.
+	Data []byte
+}
+
+// SubscribeOptions tune a stream subscription.
+type SubscribeOptions struct {
+	// Top truncates each window's rankings server-side; 0 keeps all.
+	Top int
+	// MaxReconnects caps consecutive failed connection attempts before
+	// Subscribe gives up. A delivered event resets the count. Default 5.
+	MaxReconnects int
+}
+
+// Subscribe attaches to the live window stream and calls fn for every
+// event until ctx is cancelled, fn returns an error, or too many
+// consecutive reconnects fail. Dropped connections (resets, truncated
+// frames) reconnect with the same jittered backoff as request retries,
+// resuming with Last-Event-ID so the subscriber can account for windows
+// it missed while away. Subscribing is read-only, hence always safe to
+// retry. A definitive rejection (4xx other than 429) is returned
+// immediately — reconnecting cannot fix a bad request or a spent quota
+// window any faster than Retry-After allows.
+func (c *Client) Subscribe(ctx context.Context, opts SubscribeOptions, fn func(Event) error) error {
+	if fn == nil {
+		return fmt.Errorf("client: Subscribe needs a callback")
+	}
+	maxRe := opts.MaxReconnects
+	if maxRe <= 0 {
+		maxRe = 5
+	}
+	url := c.cfg.BaseURL + "/v1/stream"
+	if opts.Top > 0 {
+		url += "?top=" + strconv.Itoa(opts.Top)
+	}
+
+	lastID := int64(-1)
+	failures := 0
+	for attempt := 1; ; attempt++ {
+		delivered, err := c.subscribeOnce(ctx, url, lastID, &lastID, fn)
+		switch {
+		case err == nil:
+			// The server closed the stream cleanly (shutdown/drain).
+			return nil
+		case ctx.Err() != nil:
+			return ctx.Err()
+		case isCallbackErr(err):
+			return err.(*callbackErr).err
+		}
+		var retryAfter time.Duration
+		if ae, ok := err.(*APIError); ok {
+			if !retryableStatus(ae.Status) {
+				return err
+			}
+			retryAfter = ae.RetryAfter
+		}
+		if delivered {
+			failures = 0
+		}
+		failures++
+		if failures > maxRe {
+			return fmt.Errorf("client: stream lost after %d consecutive reconnect failures: %w", failures-1, err)
+		}
+		delay := c.backoff(failures, retryAfter)
+		if c.cfg.OnRetry != nil {
+			c.cfg.OnRetry(RetryInfo{Attempt: attempt, Delay: delay, RetryAfter: retryAfter, Err: err})
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// callbackErr marks an error that came from the caller's fn, which must
+// stop the subscription rather than trigger a reconnect.
+type callbackErr struct{ err error }
+
+func (e *callbackErr) Error() string { return e.err.Error() }
+
+func isCallbackErr(err error) bool {
+	_, ok := err.(*callbackErr)
+	return ok
+}
+
+// subscribeOnce runs one connection lifetime. It reports whether any
+// event was delivered (resets the reconnect budget) and the terminal
+// error: nil for a clean server close, *APIError for an HTTP rejection,
+// *callbackErr for fn failures, anything else for transport faults.
+func (c *Client) subscribeOnce(ctx context.Context, url string, lastID int64, lastOut *int64, fn func(Event) error) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if c.cfg.Tenant != "" {
+		req.Header.Set(TenantHeader, c.cfg.Tenant)
+	}
+	if lastID >= 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastID, 10))
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return false, &APIError{Status: resp.StatusCode, Message: string(bytes.TrimSpace(raw)), RetryAfter: retryAfterOf(resp)}
+	}
+
+	delivered := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	var ev Event
+	flush := func() error {
+		if len(ev.Data) == 0 {
+			ev = Event{}
+			return nil
+		}
+		// Strip the trailing newline the `data:` accumulator appends.
+		ev.Data = bytes.TrimSuffix(ev.Data, []byte("\n"))
+		if ev.ID > *lastOut {
+			*lastOut = ev.ID
+		}
+		err := fn(ev)
+		ev = Event{}
+		if err != nil {
+			return &callbackErr{err: err}
+		}
+		delivered = true
+		return nil
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0:
+			if err := flush(); err != nil {
+				return delivered, err
+			}
+		case bytes.HasPrefix(line, []byte("id:")):
+			if id, err := strconv.ParseInt(string(bytes.TrimSpace(line[3:])), 10, 64); err == nil {
+				ev.ID = id
+			}
+		case bytes.HasPrefix(line, []byte("event:")):
+			ev.Type = string(bytes.TrimSpace(line[6:]))
+		case bytes.HasPrefix(line, []byte("data:")):
+			ev.Data = append(ev.Data, bytes.TrimSpace(line[5:])...)
+			ev.Data = append(ev.Data, '\n')
+		case line[0] == ':':
+			// Comment/keepalive: ignore.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Mid-stream death: a truncated frame never reached its blank
+		// line, so flush() never ran on it — partial events are dropped,
+		// not delivered.
+		return delivered, err
+	}
+	// EOF without a scanner error: the server ended the stream on
+	// purpose (drain). Treat as clean close.
+	return delivered, nil
+}

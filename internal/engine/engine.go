@@ -140,3 +140,9 @@ func (e *Engine) EstimateIndexed(ctx context.Context, ens *core.Ensemble, ix *co
 
 // CacheLen reports how many workload indexes are currently cached.
 func (e *Engine) CacheLen() int { return e.cache.len() }
+
+// WorkloadKey is the engine's content hash of a sample set — the same
+// key the index LRU uses. The serving tier keys its degraded-mode
+// response cache on it (plus the model ID) so "same workload" means
+// exactly what it means here: identical field values, any provenance.
+func WorkloadKey(samples []core.Sample) string { return workloadKey(samples) }

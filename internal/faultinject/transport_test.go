@@ -1,0 +1,197 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestChaosDeterministicPlans pins reproducibility: the same seed draws
+// the same fault sequence; a different seed draws a different one.
+func TestChaosDeterministicPlans(t *testing.T) {
+	cfg := ChaosConfig{Seed: 7, StallRate: 0.2, ResetRate: 0.2, SlowriteRate: 0.2, TruncateRate: 0.2}
+	seq := func(seed int64) string {
+		c := cfg
+		c.Seed = seed
+		ch := NewChaos(c)
+		var b strings.Builder
+		for i := 0; i < 200; i++ {
+			fmt.Fprintf(&b, "%s,", ch.plan())
+		}
+		return b.String()
+	}
+	if seq(7) != seq(7) {
+		t.Fatal("same seed must draw the same fault plan sequence")
+	}
+	if seq(7) == seq(8) {
+		t.Fatal("different seeds should draw different fault plans")
+	}
+}
+
+func TestChaosZeroConfigInjectsNothing(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if k := c.plan(); k != faultNone {
+			t.Fatalf("zero-rate chaos injected %q", k)
+		}
+	}
+	if c.Total() != 0 {
+		t.Fatalf("Total = %d, want 0", c.Total())
+	}
+}
+
+// TestChaosTransportReset: a reset-fault request fails with a
+// connection-reset error and never reaches the server.
+func TestChaosTransportReset(t *testing.T) {
+	hits := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	chaos := NewChaos(ChaosConfig{Seed: 1, ResetRate: 1})
+	client := &http.Client{Transport: chaos.Transport(nil)}
+	_, err := client.Get(ts.URL)
+	if err == nil {
+		t.Fatal("reset fault should fail the request")
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("err = %v, want ECONNRESET", err)
+	}
+	if hits != 0 {
+		t.Fatalf("server saw %d hits through a 100%% reset transport", hits)
+	}
+	if c := chaos.Counts()[FaultReset]; c != 1 {
+		t.Fatalf("reset count = %d, want 1", c)
+	}
+}
+
+// TestChaosTransportTruncate: a truncate-fault response dies mid-body
+// with ErrUnexpectedEOF after the configured byte budget.
+func TestChaosTransportTruncate(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+
+	chaos := NewChaos(ChaosConfig{Seed: 1, TruncateRate: 1, TruncateAfter: 100})
+	client := &http.Client{Transport: chaos.Transport(nil)}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(body) > 100 {
+		t.Fatalf("read %d bytes through a 100-byte truncation", len(body))
+	}
+}
+
+// TestChaosTransportShortBodySurvivesTruncation: a body smaller than the
+// truncation budget is delivered intact (EOF inside the budget is not a
+// fault).
+func TestChaosTransportShortBodySurvivesTruncation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "tiny")
+	}))
+	defer ts.Close()
+	chaos := NewChaos(ChaosConfig{Seed: 1, TruncateRate: 1, TruncateAfter: 100})
+	client := &http.Client{Transport: chaos.Transport(nil)}
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(body) != "tiny" {
+		t.Fatalf("short body = %q, %v; want \"tiny\", nil", body, err)
+	}
+}
+
+// TestChaosTransportStall: a stall-fault request succeeds after the
+// injected delay, and respects context cancellation during the stall.
+func TestChaosTransportStall(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	chaos := NewChaos(ChaosConfig{Seed: 1, StallRate: 1, Stall: 20 * time.Millisecond})
+	client := &http.Client{Transport: chaos.Transport(nil)}
+	start := time.Now()
+	resp, err := client.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("stalled request finished in %s, want >= 20ms", elapsed)
+	}
+}
+
+// TestChaosListenerReset: a reset-plan connection dies hard; the client
+// observes a transport error, not a clean response.
+func TestChaosListenerReset(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := NewChaos(ChaosConfig{Seed: 1, ResetRate: 1})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(strings.Repeat("y", 8192)))
+	})}
+	go srv.Serve(chaos.Listener(ln))
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + ln.Addr().String())
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("connection through a 100%-reset listener should fail somewhere")
+	}
+}
+
+// TestChaosListenerSlowrite: responses still arrive intact through a
+// slow-loris write plan, just late.
+func TestChaosListenerSlowrite(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := NewChaos(ChaosConfig{Seed: 1, SlowriteRate: 1, ChunkSize: 16, ChunkDelay: 100 * time.Microsecond})
+	const payload = "slow and steady wins the race"
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	})}
+	go srv.Serve(chaos.Listener(ln))
+	defer srv.Close()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(body) != payload {
+		t.Fatalf("slow-loris body = %q, %v; want intact payload", body, err)
+	}
+	if c := chaos.Counts()[FaultSlowrite]; c == 0 {
+		t.Fatal("slowrite fault never recorded")
+	}
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkAdmissionSaturated measures the serving tier under saturated
+// offered load: more concurrent callers than the gate has slots, so
+// every request either runs an estimation or is shed with 429 in
+// admission-path time. ns/op is the caller-observed time per offered
+// request; served_per_sec and shed/op are the useful planning numbers —
+// how much estimation throughput survives saturation and what fraction
+// of offered load pays only the (cheap) rejection path.
+// BENCH_admission.json records the baseline.
+func BenchmarkAdmissionSaturated(b *testing.B) {
+	s, ts := newBenchServer(b, Config{
+		MaxConcurrent:  1,
+		AdmissionQueue: 1,
+		QueueWait:      time.Millisecond,
+		DegradedCache:  -1,
+	})
+	_, model := trainModel(b, 1)
+	if _, err := s.models.Load(bytes.NewReader(model), "bench"); err != nil {
+		b.Fatal(err)
+	}
+
+	// A rotation of distinct pre-marshaled workloads defeats the
+	// workload-index cache just like real mixed traffic. 20000 samples
+	// keeps each admitted estimation on-CPU long enough that competing
+	// handlers actually observe a saturated gate (this matters on
+	// single-CPU runners, where tiny estimates serialize and nothing
+	// ever sheds).
+	const distinct = 8
+	bodies := make([][]byte, distinct)
+	for i := range bodies {
+		raw, err := json.Marshal(EstimateRequest{Samples: bigWorkload(20000, i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = raw
+	}
+
+	var served, shed, other atomic.Int64
+	var seq atomic.Int64
+	b.SetParallelism(32) // 32×GOMAXPROCS callers against 1 slot: saturated
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			resp, err := http.Post(ts.URL+"/v1/estimate", "application/json",
+				bytes.NewReader(bodies[int(i)%distinct]))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				served.Add(1)
+			case http.StatusTooManyRequests:
+				shed.Add(1)
+			default:
+				other.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if other.Load() > 0 {
+		b.Fatalf("%d responses were neither 200 nor 429", other.Load())
+	}
+	total := served.Load() + shed.Load()
+	if total > 0 {
+		b.ReportMetric(float64(shed.Load())/float64(total), "shed/op")
+	}
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(served.Load())/el, "served_per_sec")
+	}
+}
+
+// newBenchServer mirrors newTestServer for benchmarks.
+func newBenchServer(b *testing.B, cfg Config) (*Server, *httptest.Server) {
+	b.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	b.Cleanup(s.Close)
+	return s, ts
+}

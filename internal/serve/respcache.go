@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// respCache is a small bounded LRU of marshaled /v1/estimate response
+// bodies, keyed by (model ID, workload content hash, top). It backs the
+// saturated fast path: when admission sheds a request, a workload whose
+// exact response was computed recently under the *current* model can
+// still be served — byte-identical to the fresh answer, since estimation
+// is deterministic — without touching the estimation path. Including the
+// model ID in the key means a hot-swap naturally invalidates everything;
+// stale-model entries just age out of the LRU.
+type respCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type respEntry struct {
+	key  string
+	body []byte
+}
+
+// newRespCache returns an LRU holding at most capacity response bodies;
+// non-positive capacity disables caching.
+func newRespCache(capacity int) *respCache {
+	return &respCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *respCache) get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*respEntry).body, true
+}
+
+func (c *respCache) put(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*respEntry).body = body
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&respEntry{key: key, body: body})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*respEntry).key)
+	}
+}
+
+func (c *respCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -17,8 +17,18 @@
 //	GET  /v1/models    current model version + swap history
 //	POST /v1/models    upload, validate and atomically install a model
 //	GET  /healthz      liveness + readiness (is a model loaded?)
+//	GET  /readyz       load-balancer readiness; flips 503 when draining
 //	GET  /metrics      Prometheus text exposition
 //	GET  /debug/pprof  optional, Config.EnablePprof
+//
+// Overload safety: the estimation path sits behind internal/admission —
+// a bounded-concurrency gate with a short deadline-aware wait queue,
+// plus optional per-tenant token-bucket quotas (tenant taken from the
+// X-Spire-Tenant header, "default" otherwise). Shed requests get 429
+// with a Retry-After header, never an unbounded queue; when the gate is
+// saturated, a workload whose exact response is in the degraded-mode
+// cache is still served (byte-identical, X-Spire-Degraded: cache)
+// without touching the estimation path.
 //
 // The stream endpoints share one hub: every feeder's intervals advance
 // the same sliding window, each completed interval is re-estimated
@@ -39,8 +49,10 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync/atomic"
 	"time"
 
+	"spire/internal/admission"
 	"spire/internal/core"
 	"spire/internal/engine"
 	"spire/internal/ingest"
@@ -78,6 +90,36 @@ type Config struct {
 	// the oldest is shed (and counted) when it overflows. Default
 	// stream.DefaultSubBuffer.
 	StreamSubBuffer int
+
+	// MaxConcurrent caps concurrently running estimations (the
+	// admission gate). 0 selects the admission default (4×GOMAXPROCS);
+	// negative disables the gate.
+	MaxConcurrent int
+	// AdmissionQueue bounds requests waiting for an estimation slot.
+	// 0 selects 8×MaxConcurrent; negative means no waiting room.
+	AdmissionQueue int
+	// QueueWait caps one request's time in the admission queue.
+	// Default 1s.
+	QueueWait time.Duration
+	// TenantRate enables per-tenant token-bucket quotas at this many
+	// requests/second (tenant = X-Spire-Tenant header, "default"
+	// otherwise). 0 disables quotas.
+	TenantRate float64
+	// TenantBurst is the per-tenant burst capacity. 0 selects
+	// max(1, 2×TenantRate).
+	TenantBurst float64
+	// DegradedCache bounds the saturated-mode response cache (exact
+	// recent /v1/estimate bodies served when admission sheds a
+	// request). Default 64; negative disables the fast path.
+	DegradedCache int
+
+	// IdleTimeout closes idle keep-alive connections. Default 120s;
+	// negative disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing any one response. The SSE stream
+	// route exempts itself per-request via http.ResponseController.
+	// Default RequestTimeout + 30s; negative disables.
+	WriteTimeout time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -90,16 +132,28 @@ func (c *Config) setDefaults() {
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 128
 	}
+	if c.DegradedCache == 0 {
+		c.DegradedCache = 64
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = c.RequestTimeout + 30*time.Second
+	}
 }
 
 // Server is the SPIRE estimation service.
 type Server struct {
-	cfg     Config
-	models  *Registry
-	engine  *engine.Engine
-	metrics *metrics.Registry
-	handler http.Handler
-	hub     *stream.Hub
+	cfg      Config
+	models   *Registry
+	engine   *engine.Engine
+	metrics  *metrics.Registry
+	handler  http.Handler
+	hub      *stream.Hub
+	adm      *admission.Controller
+	resp     *respCache
+	draining atomic.Bool
 
 	mEstimates   *metrics.Counter
 	mQuarantined *metrics.Counter
@@ -107,6 +161,7 @@ type Server struct {
 	mSwaps       *metrics.Counter
 	mModelSize   *metrics.Gauge
 	mInflight    *metrics.Gauge
+	mDegraded    *metrics.Counter
 }
 
 // New builds a server from cfg.
@@ -129,7 +184,17 @@ func New(cfg Config) *Server {
 		mSwaps:       reg.Counter("spire_model_swaps_total", "Successful model installs/hot-swaps."),
 		mModelSize:   reg.Gauge("spire_model_metrics", "Rooflines in the currently served model."),
 		mInflight:    reg.Gauge("spire_http_inflight_requests", "Requests currently being handled."),
+		mDegraded:    reg.Counter("spire_estimates_degraded_total", "Estimations served from the degraded-mode response cache while the gate was saturated."),
 	}
+	s.adm = admission.New(admission.Config{
+		MaxConcurrent: cfg.MaxConcurrent,
+		MaxQueue:      cfg.AdmissionQueue,
+		QueueWait:     cfg.QueueWait,
+		TenantRate:    cfg.TenantRate,
+		TenantBurst:   cfg.TenantBurst,
+		Metrics:       reg,
+	})
+	s.resp = newRespCache(cfg.DegradedCache)
 	s.models.onSwap = func(info ModelInfo) {
 		s.mSwaps.Inc()
 		s.mModelSize.Set(float64(info.Metrics))
@@ -157,6 +222,7 @@ func New(cfg Config) *Server {
 	mux.Handle("GET /v1/models", s.instrument("/v1/models", s.handleModelsGet))
 	mux.Handle("POST /v1/models", s.instrument("/v1/models", s.handleModelsPost))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	if cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -207,6 +273,11 @@ func (w *statusWriter) Flush() {
 		f.Flush()
 	}
 }
+
+// Unwrap exposes the wrapped writer to http.ResponseController, so
+// handlers can reach through the instrumentation to per-request
+// controls (the SSE route clears the server-wide write deadline).
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps a handler with the request counter, latency histogram,
 // in-flight gauge and the body-size cap.
@@ -259,25 +330,77 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeRawJSON writes an already-marshaled JSON body (the degraded fast
+// path and the cached-response producer share exact bytes).
+func writeRawJSON(w http.ResponseWriter, code int, raw []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(raw)
+}
+
+// writeIfTooBig maps the body-cap error to the uniform 413 response.
+// Every route funnels its MaxBytesReader failure through here, so the
+// admission layer has a single body-limit choke point. Reports whether
+// err was the cap.
+func writeIfTooBig(w http.ResponseWriter, err error) bool {
+	var tooBig *http.MaxBytesError
+	if !errors.As(err, &tooBig) {
+		return false
+	}
+	writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+	return true
+}
+
 // decodeBody strictly decodes one JSON value from the (size-capped) body
 // and maps failures to the right status code.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
-	if err := dec.Decode(v); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+	if err := decodeQuiet(r, v); err != nil {
+		if writeIfTooBig(w, err) {
 			return false
 		}
 		writeErr(w, http.StatusBadRequest, "malformed JSON body: %v", err)
 		return false
 	}
+	return true
+}
+
+// decodeQuiet is decodeBody without the response writing, for paths that
+// decide the status themselves (a shed request is answered 429 whether
+// or not its body parses).
+func decodeQuiet(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
 	// Trailing garbage after the value is a malformed request too.
 	if _, err := dec.Token(); err != io.EOF {
-		writeErr(w, http.StatusBadRequest, "trailing data after JSON body")
-		return false
+		return errors.New("trailing data after JSON body")
 	}
-	return true
+	return nil
+}
+
+// defaultTenant is the quota bucket for requests without an explicit
+// X-Spire-Tenant header.
+const defaultTenant = "default"
+
+// tenantOf extracts the quota tenant from a request.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Spire-Tenant"); t != "" {
+		return t
+	}
+	return defaultTenant
+}
+
+// writeRejected answers one admission-shed request: 429 plus the
+// Retry-After the client contract (internal/client) honors.
+func writeRejected(w http.ResponseWriter, err error) {
+	var re *admission.RejectError
+	if !errors.As(err, &re) {
+		writeErr(w, http.StatusInternalServerError, "admission: %v", err)
+		return
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int(re.RetryAfter/time.Second)))
+	writeErr(w, http.StatusTooManyRequests, "overloaded: %v", re)
 }
 
 // EstimateRequest is the /v1/estimate request body. Samples use the
@@ -300,12 +423,33 @@ type EstimateResponse struct {
 	Estimation *core.Estimation `json:"estimation"`
 }
 
+// respKey keys the degraded-mode response cache: same model, same
+// workload content hash, same truncation -> byte-identical response.
+func respKey(modelID, workloadKey string, top int) string {
+	return modelID + "\x00" + workloadKey + "\x00" + strconv.Itoa(top)
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	ens, info := s.models.Current()
 	if ens == nil {
 		writeErr(w, http.StatusServiceUnavailable, "no model loaded; POST one to /v1/models")
 		return
 	}
+	// Admission runs before the body is even read: quota (rate policy,
+	// header-only) first, then the concurrency gate. A shed request may
+	// still be served from the degraded-mode cache — but never burns
+	// estimation compute.
+	if err := s.adm.Quota(tenantOf(r)); err != nil {
+		writeRejected(w, err)
+		return
+	}
+	release, aerr := s.adm.Acquire(r.Context())
+	if aerr != nil {
+		s.degradeOrReject(w, r, info.ID, aerr)
+		return
+	}
+	defer release()
+
 	var req EstimateRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -348,8 +492,36 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if req.Top > 0 && req.Top < len(est.PerMetric) {
 		est.PerMetric = est.PerMetric[:req.Top]
 	}
+	raw, err := json.Marshal(EstimateResponse{Model: info.ID, Estimation: est})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "response encoding failed")
+		return
+	}
+	raw = append(raw, '\n')
+	// Remember the exact bytes for the saturated fast path. Workers
+	// are deliberately not part of the key: results are byte-identical
+	// for any worker budget.
+	s.resp.put(respKey(info.ID, engine.WorkloadKey(req.Samples), req.Top), raw)
 	s.mEstimates.Inc()
-	writeJSON(w, http.StatusOK, EstimateResponse{Model: info.ID, Estimation: est})
+	writeRawJSON(w, http.StatusOK, raw)
+}
+
+// degradeOrReject answers a request the gate shed: a workload whose
+// exact response was recently computed under the current model is served
+// from cache (byte-identical, marked X-Spire-Degraded), anything else is
+// a 429 with Retry-After.
+func (s *Server) degradeOrReject(w http.ResponseWriter, r *http.Request, modelID string, aerr error) {
+	var req EstimateRequest
+	if decodeQuiet(r, &req) == nil && len(req.Samples) > 0 {
+		if raw, ok := s.resp.get(respKey(modelID, engine.WorkloadKey(req.Samples), req.Top)); ok {
+			w.Header().Set("X-Spire-Model", modelID)
+			w.Header().Set("X-Spire-Degraded", "cache")
+			s.mDegraded.Inc()
+			writeRawJSON(w, http.StatusOK, raw)
+			return
+		}
+	}
+	writeRejected(w, aerr)
 }
 
 func cacheStatus(hit bool) string {
@@ -394,9 +566,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		s.mQuarantined.Add(float64(res.Validation.Quarantined))
 	}
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		if writeIfTooBig(w, err) {
 			return
 		}
 		writeErr(w, http.StatusUnprocessableEntity, "ingest failed: %v", err)
@@ -425,11 +595,9 @@ func (s *Server) handleModelsGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleModelsPost(w http.ResponseWriter, r *http.Request) {
 	info, err := s.models.Load(r.Body, "upload")
 	if err != nil {
-		var tooBig *http.MaxBytesError
 		var rejected *modelRejectedError
 		switch {
-		case errors.As(err, &tooBig):
-			writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+		case writeIfTooBig(w, err):
 		case errors.As(err, &rejected):
 			writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		default:
@@ -460,6 +628,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h)
 }
 
+// ReadyResponse is the GET /readyz response body.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Reason explains a not-ready answer ("draining", "no model").
+	Reason string `json:"reason,omitempty"`
+	// Model is the served model ID, when ready.
+	Model string `json:"model,omitempty"`
+}
+
+// handleReadyz is the load-balancer contract: 200 while this instance
+// should receive traffic, 503 the moment a drain begins — before the
+// listener stops accepting — or while no model is loaded. /healthz stays
+// 200 throughout a drain (the process is alive and finishing work).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Reason: "draining"})
+		return
+	}
+	_, info := s.models.Current()
+	if info == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ReadyResponse{Reason: "no model"})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadyResponse{Ready: true, Model: info.ID})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.Render(w)
@@ -469,9 +663,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // in-flight requests for up to drain before returning. A clean drain
 // returns nil.
 func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	idle, write := s.cfg.IdleTimeout, s.cfg.WriteTimeout
+	if idle < 0 {
+		idle = 0
+	}
+	if write < 0 {
+		write = 0
+	}
 	hs := &http.Server{
 		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		// IdleTimeout reclaims abandoned keep-alive connections;
+		// WriteTimeout bounds every response write so a stalled reader
+		// cannot pin a handler forever. The SSE stream route clears its
+		// own write deadline per-request (http.ResponseController) so
+		// long-lived feeds survive.
+		IdleTimeout:  idle,
+		WriteTimeout: write,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -481,7 +689,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration
 		return err
 	case <-ctx.Done():
 	}
-	// Detach SSE clients first: Shutdown waits for in-flight handlers,
+	// Flip /readyz first, before the listener stops accepting, so load
+	// balancers stop routing new work here while in-flight requests
+	// still complete.
+	s.draining.Store(true)
+	// Detach SSE clients next: Shutdown waits for in-flight handlers,
 	// and stream handlers only return once the hub releases them.
 	s.hub.Close()
 	if drain <= 0 {

@@ -481,6 +481,19 @@ func TestMetricsEndpoint(t *testing.T) {
 		`spire_http_requests_total{code="200",route="/v1/estimate"} 1`,
 		`spire_http_request_seconds_count{route="/v1/estimate"} 1`,
 		"spire_estimate_cache_misses_total 1",
+		// The admission instruments render from the first scrape — all
+		// three rejection reasons, the queue-depth gauge, and the
+		// degraded-serve counter — in the exact exposition shape the
+		// dashboards key on.
+		"# TYPE spire_admission_rejected_total counter",
+		`spire_admission_rejected_total{reason="deadline"} 0`,
+		`spire_admission_rejected_total{reason="queue_full"} 0`,
+		`spire_admission_rejected_total{reason="quota"} 0`,
+		"# TYPE spire_admission_queue_depth gauge",
+		"spire_admission_queue_depth 0",
+		"spire_admission_admitted_total 1",
+		"spire_admission_inflight 0",
+		"spire_estimates_degraded_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, body)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"spire/internal/ingest"
 )
@@ -29,6 +30,12 @@ type StreamFeedResponse struct {
 // stays bounded by the chunked reads here and the hub's drop-oldest
 // queue, so the endless case really works.
 func (s *Server) handleStreamPost(w http.ResponseWriter, r *http.Request) {
+	// Feeders are metered per tenant like any other caller; the
+	// concurrency gate is estimation-only, so feeds never wait on it.
+	if err := s.adm.Quota(tenantOf(r)); err != nil {
+		writeRejected(w, err)
+		return
+	}
 	buf := make([]byte, 32<<10)
 	var fed int64
 	for {
@@ -68,6 +75,10 @@ func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
 		return
 	}
+	if err := s.adm.Quota(tenantOf(r)); err != nil {
+		writeRejected(w, err)
+		return
+	}
 	top := 0
 	if v := r.URL.Query().Get("top"); v != "" {
 		n, err := strconv.Atoi(v)
@@ -79,6 +90,13 @@ func (s *Server) handleStreamGet(w http.ResponseWriter, r *http.Request) {
 	}
 	sub := s.hub.Subscribe()
 	defer sub.Close()
+
+	// Exempt this long-lived response from the server-wide WriteTimeout:
+	// an SSE feed is supposed to outlive any per-response bound. The
+	// instrumentation wrapper exposes the real writer via Unwrap; if the
+	// transport can't do per-request deadlines (e.g. some test harness),
+	// the feed just stays subject to the global timeout.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
