@@ -7,7 +7,7 @@ SERVE_COVER_FLOOR ?= 80.0
 # Minimum statement coverage for the streaming pipeline.
 STREAM_COVER_FLOOR ?= 85.0
 
-.PHONY: all build test vet lint race cover cover-serve cover-stream smoke fuzz fuzz-short chaos verify clean
+.PHONY: all build test vet lint race cover cover-serve cover-stream smoke fuzz fuzz-short chaos bench-gate verify clean
 
 # Pinned linter versions, fetched on demand with `go run`. In an offline
 # environment (no module proxy) lint degrades to a warning + skip, so the
@@ -50,26 +50,31 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# Coverage profiles land in the ignored cover/ directory, never the
+# repo root.
+cover/:
+	@mkdir -p cover
+
 # Coverage gate: internal/core must stay at or above CORE_COVER_FLOOR.
-cover:
-	$(GO) test -coverprofile=coverage.out ./internal/core/
-	@pct=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+cover: | cover/
+	$(GO) test -coverprofile=cover/coverage.out ./internal/core/
+	@pct=$$($(GO) tool cover -func=cover/coverage.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
 	echo "internal/core coverage: $$pct% (floor $(CORE_COVER_FLOOR)%)"; \
 	awk -v p="$$pct" -v f="$(CORE_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
 		{ echo "FAIL: internal/core coverage $$pct% is below the $(CORE_COVER_FLOOR)% floor"; exit 1; }
 
 # Coverage gate for the serving tier.
-cover-serve:
-	$(GO) test -coverprofile=coverage-serve.out ./internal/serve/
-	@pct=$$($(GO) tool cover -func=coverage-serve.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+cover-serve: | cover/
+	$(GO) test -coverprofile=cover/coverage-serve.out ./internal/serve/
+	@pct=$$($(GO) tool cover -func=cover/coverage-serve.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
 	echo "internal/serve coverage: $$pct% (floor $(SERVE_COVER_FLOOR)%)"; \
 	awk -v p="$$pct" -v f="$(SERVE_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
 		{ echo "FAIL: internal/serve coverage $$pct% is below the $(SERVE_COVER_FLOOR)% floor"; exit 1; }
 
 # Coverage gate for the streaming tier.
-cover-stream:
-	$(GO) test -coverprofile=coverage-stream.out ./internal/stream/
-	@pct=$$($(GO) tool cover -func=coverage-stream.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+cover-stream: | cover/
+	$(GO) test -coverprofile=cover/coverage-stream.out ./internal/stream/
+	@pct=$$($(GO) tool cover -func=cover/coverage-stream.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
 	echo "internal/stream coverage: $$pct% (floor $(STREAM_COVER_FLOOR)%)"; \
 	awk -v p="$$pct" -v f="$(STREAM_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
 		{ echo "FAIL: internal/stream coverage $$pct% is below the $(STREAM_COVER_FLOOR)% floor"; exit 1; }
@@ -98,6 +103,8 @@ fuzz-short:
 	$(GO) test -fuzz FuzzWindowMerge -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzEstimateHandler -fuzztime 10s ./internal/serve/
 	$(GO) test -fuzz FuzzModelDecode -fuzztime 10s ./internal/serve/
+	$(GO) test -fuzz FuzzBinDecodeEstimate -fuzztime 10s ./internal/wire/
+	$(GO) test -fuzz FuzzBinRoundTrip -fuzztime 10s ./internal/wire/
 
 # Transport-level chaos soak under the race detector: retrying clients
 # against a live server through the faultinject chaos transport and
@@ -107,11 +114,19 @@ fuzz-short:
 chaos:
 	$(GO) test -race -count=1 -timeout 300s -run 'TestChaos' ./internal/client/ ./internal/faultinject/
 
+# Benchmark regression gate: re-measures the columnar steady state
+# (BenchmarkBatchEstimate's timed region, best of 3) against the
+# recording in BENCH_core_columnar.json — fails on >20% ns/op
+# regression or any allocation per op.
+bench-gate:
+	BENCH_GATE=1 $(GO) test -run TestBenchGate -count=1 -timeout 600s .
+
 # The full verification gate: build, static checks, tests, race tests,
-# the coverage floors, the serving smoke, the chaos soak, and a short
-# fuzz smoke.
-verify: build vet lint test race cover cover-serve cover-stream smoke chaos fuzz-short
+# the coverage floors, the serving smoke, the chaos soak, a short fuzz
+# smoke, and the benchmark regression gate.
+verify: build vet lint test race cover cover-serve cover-stream smoke chaos fuzz-short bench-gate
 
 clean:
 	$(GO) clean ./...
+	rm -rf cover
 	rm -f coverage.out coverage-serve.out coverage-stream.out

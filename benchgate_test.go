@@ -1,0 +1,103 @@
+package spire_test
+
+// The benchmark regression gate behind `make bench-gate`: re-measures
+// the columnar steady state (the timed region of BenchmarkBatchEstimate
+// — reused Estimation, caller-held index, Workers=1) and compares it
+// against the recording in BENCH_core_columnar.json. Allocations are
+// compared exactly: the zero-allocation contract is binary, one alloc
+// per op is a regression however fast it runs. Time gets the recorded
+// tolerance, applied to the best of several runs so scheduler noise on
+// a busy runner doesn't fail an honest build.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"spire/internal/core"
+)
+
+type benchRecording struct {
+	Benchmarks map[string]struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+	Gate struct {
+		Benchmark            string  `json:"benchmark"`
+		NsPerOpMaxRegression float64 `json:"ns_per_op_max_regression"`
+		AllocsPerOpMax       float64 `json:"allocs_per_op_max"`
+	} `json:"gate"`
+}
+
+func TestBenchGate(t *testing.T) {
+	if os.Getenv("BENCH_GATE") == "" {
+		t.Skip("set BENCH_GATE=1 (make bench-gate) to run the benchmark regression gate")
+	}
+	raw, err := os.ReadFile("BENCH_core_columnar.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecording
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	base, ok := rec.Benchmarks[rec.Gate.Benchmark]
+	if !ok {
+		t.Fatalf("recording has no entry for gate benchmark %q", rec.Gate.Benchmark)
+	}
+
+	s := benchSession(t)
+	ens, err := s.Ensemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s.TestRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := core.IndexWorkload(runs[0].Data)
+	ctx := context.Background()
+	opts := core.EstimateOptions{Workers: 1}
+	var est core.Estimation
+	if err := ens.BatchEstimateInto(ctx, ix, opts, &est); err != nil {
+		t.Fatal(err)
+	}
+
+	// Best of 3: the minimum over independent runs is the measurement
+	// least polluted by preemption; allocs/op must be at the floor in
+	// every run's best case too.
+	const runsN = 3
+	bestNs, bestAllocs := 0.0, 0.0
+	for i := 0; i < runsN; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for j := 0; j < b.N; j++ {
+				if err := ens.BatchEstimateInto(ctx, ix, opts, &est); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(r.NsPerOp())
+		allocs := float64(r.AllocsPerOp())
+		if i == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if i == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+		t.Logf("run %d: %.0f ns/op, %.0f allocs/op (N=%d)", i+1, ns, allocs, r.N)
+	}
+
+	limit := base.NsPerOp * (1 + rec.Gate.NsPerOpMaxRegression)
+	t.Logf("gate: best %.0f ns/op vs recorded %.0f (limit %.0f), best %.0f allocs/op (max %.0f)",
+		bestNs, base.NsPerOp, limit, bestAllocs, rec.Gate.AllocsPerOpMax)
+	if bestNs > limit {
+		t.Errorf("%s regressed: best-of-%d %.0f ns/op exceeds %.0f (recorded %.0f + %.0f%% tolerance)",
+			rec.Gate.Benchmark, runsN, bestNs, limit, base.NsPerOp, rec.Gate.NsPerOpMaxRegression*100)
+	}
+	if bestAllocs > rec.Gate.AllocsPerOpMax {
+		t.Errorf("%s allocates: best-of-%d %.0f allocs/op, want <= %.0f — the zero-allocation steady state is broken",
+			rec.Gate.Benchmark, runsN, bestAllocs, rec.Gate.AllocsPerOpMax)
+	}
+}

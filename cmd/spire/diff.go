@@ -45,6 +45,7 @@ func cmdDiff(args []string) error {
 	jsonOut := fs.Bool("json", false, "print both estimations and the movement summary as compact JSON")
 	remote := fs.String("remote", "", "estimate via a running `spire serve` at this base URL instead of a local model")
 	tenant := fs.String("tenant", "", "tenant identity sent with -remote requests (X-Spire-Tenant)")
+	wireFmt := fs.String("wire", "json", "transport encoding for -remote requests: json or bin (SPB1 binary)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,12 +76,12 @@ func cmdDiff(args []string) error {
 		if cerr != nil {
 			return cerr
 		}
-		estB, modelID, err = remoteEstimate(ctx, c, before, *workers)
+		estB, modelID, err = remoteEstimate(ctx, c, before, *workers, *wireFmt)
 		if err != nil {
 			return fmt.Errorf("before: %w", err)
 		}
 		var idA string
-		estA, idA, err = remoteEstimate(ctx, c, after, *workers)
+		estA, idA, err = remoteEstimate(ctx, c, after, *workers, *wireFmt)
 		if err != nil {
 			return fmt.Errorf("after: %w", err)
 		}

@@ -92,11 +92,11 @@ commands:
   ingest   [-strict|-lenient] [-format auto|csv|json] [-min-run-pct P] [-o dataset.json] perf.csv...
   train    -o model.json [-min-samples N] [-workers N] [-v] dataset.json...
   analyze  -model model.json [-top K] [-workers N] [-json] [-interpret] [-timeline] [-html out.html]
-           [-remote URL [-tenant T]] dataset.json...
+           [-remote URL [-tenant T] [-wire json|bin]] dataset.json...
   watch    -model model.json [-window N] [-top K] [-json] [-follow] [-poll D] [-strict] [-v] perf.csv|-
   serve    [-addr HOST:PORT] [-model model.json] [-model-dir DIR] [-cache N] [-pprof]
            [-max-inflight N] [-admission-queue N] [-queue-wait D] [-tenant-rate R] [-tenant-burst B] [-degraded-cache N]
-  diff     -model model.json [-top K] [-workers N] [-json] [-remote URL [-tenant T]] before.json after.json
+  diff     -model model.json [-top K] [-workers N] [-json] [-remote URL [-tenant T] [-wire json|bin]] before.json after.json
   info     -model model.json
 
 exit codes: 0 ok, 1 error, 2 usage, 3 partial (lenient ingest lost input)`)
@@ -183,6 +183,7 @@ func cmdAnalyze(args []string) error {
 	workers := fs.Int("workers", 0, "concurrent per-metric estimators (0 = GOMAXPROCS)")
 	remote := fs.String("remote", "", "estimate via a running `spire serve` at this base URL instead of a local model")
 	tenant := fs.String("tenant", "", "tenant identity sent with -remote requests (X-Spire-Tenant)")
+	wireFmt := fs.String("wire", "json", "transport encoding for -remote requests: json or bin (SPB1 binary)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -207,7 +208,7 @@ func cmdAnalyze(args []string) error {
 		if cerr != nil {
 			return cerr
 		}
-		est, modelID, err = remoteEstimate(context.Background(), c, data, *workers)
+		est, modelID, err = remoteEstimate(context.Background(), c, data, *workers, *wireFmt)
 		if err != nil {
 			return err
 		}

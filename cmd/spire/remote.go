@@ -23,9 +23,10 @@ func newRemoteClient(baseURL, tenant string) (*client.Client, error) {
 // remoteEstimate runs one estimation against a spire serve instance and
 // returns the estimation plus the serving model's ID. The result is
 // byte-for-byte what a local analyze with the same model would compute —
-// the service contract the e2e suite pins.
-func remoteEstimate(ctx context.Context, c *client.Client, data core.Dataset, workers int) (*core.Estimation, string, error) {
-	res, err := c.Estimate(ctx, data.Samples, client.EstimateOptions{Workers: workers})
+// the service contract the e2e suite pins. wireFmt selects the transport
+// ("json"/"" or "bin"); the decoded estimation is identical either way.
+func remoteEstimate(ctx context.Context, c *client.Client, data core.Dataset, workers int, wireFmt string) (*core.Estimation, string, error) {
+	res, err := c.Estimate(ctx, data.Samples, client.EstimateOptions{Workers: workers, Wire: wireFmt})
 	if err != nil {
 		return nil, "", err
 	}

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"spire/internal/core"
+	"spire/internal/wire"
 )
 
 // TenantHeader is the header the admission layer reads quotas tenants
@@ -207,7 +208,7 @@ type result struct {
 // the call single-shot: it is never retried after the bytes may have
 // reached the server.
 func (c *Client) do(ctx context.Context, method, path string, query string,
-	getBody func() (io.Reader, error), contentType string, idempotent bool) (*result, error) {
+	getBody func() (io.Reader, error), contentType, accept string, idempotent bool) (*result, error) {
 
 	url := c.cfg.BaseURL + path
 	if query != "" {
@@ -215,7 +216,7 @@ func (c *Client) do(ctx context.Context, method, path string, query string,
 	}
 	replayable := getBody != nil || method == http.MethodGet
 	for attempt := 1; ; attempt++ {
-		res := c.attempt(ctx, method, url, getBody, contentType)
+		res := c.attempt(ctx, method, url, getBody, contentType, accept)
 		if res.err == nil && !retryableStatus(res.status) {
 			return res, nil // success or a definitive (non-retryable) answer
 		}
@@ -250,7 +251,7 @@ func (c *Client) do(ctx context.Context, method, path string, query string,
 
 // attempt runs exactly one HTTP exchange.
 func (c *Client) attempt(ctx context.Context, method, url string,
-	getBody func() (io.Reader, error), contentType string) *result {
+	getBody func() (io.Reader, error), contentType, accept string) *result {
 
 	var body io.Reader
 	if getBody != nil {
@@ -266,6 +267,9 @@ func (c *Client) attempt(ctx context.Context, method, url string,
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
 	}
 	if c.cfg.Tenant != "" {
 		req.Header.Set(TenantHeader, c.cfg.Tenant)
@@ -306,6 +310,15 @@ func decodeAPI(res *result, v any) error {
 	return nil
 }
 
+// Wire formats selectable on calls that support binary transport.
+const (
+	// WireJSON is the default JSON encoding.
+	WireJSON = "json"
+	// WireBin selects the SPB1 binary wire format (internal/wire) for
+	// both the request body and, via Accept, the response.
+	WireBin = "bin"
+)
+
 // EstimateOptions tune one estimation call.
 type EstimateOptions struct {
 	// Top truncates the returned ranking; 0 returns all metrics.
@@ -313,6 +326,12 @@ type EstimateOptions struct {
 	// Workers requests a server-side worker budget; 0 is the server
 	// default. Results are byte-identical for any value.
 	Workers int
+	// Wire selects the transport encoding: "" or WireJSON for JSON,
+	// WireBin for the SPB1 binary format. The decoded Estimation is
+	// byte-identical either way; only the bytes on the wire differ. A
+	// server predating the binary format answers a WireBin request's
+	// Accept with JSON, which this client still decodes.
+	Wire string
 }
 
 // EstimateResult is one successful estimation.
@@ -333,20 +352,52 @@ type EstimateResult struct {
 // (model, samples), so it retries freely on overload and transport
 // faults, honoring Retry-After.
 func (c *Client) Estimate(ctx context.Context, samples []core.Sample, opts EstimateOptions) (*EstimateResult, error) {
-	reqBody, err := json.Marshal(struct {
-		Samples []core.Sample `json:"samples"`
-		Top     int           `json:"top,omitempty"`
-		Workers int           `json:"workers,omitempty"`
-	}{samples, opts.Top, opts.Workers})
-	if err != nil {
-		return nil, err
+	var (
+		reqBody []byte
+		ct      = "application/json"
+		accept  string
+		err     error
+	)
+	switch opts.Wire {
+	case "", WireJSON:
+		reqBody, err = json.Marshal(struct {
+			Samples []core.Sample `json:"samples"`
+			Top     int           `json:"top,omitempty"`
+			Workers int           `json:"workers,omitempty"`
+		}{samples, opts.Top, opts.Workers})
+		if err != nil {
+			return nil, err
+		}
+	case WireBin:
+		reqBody = wire.AppendEstimateRequest(nil, &wire.EstimateRequest{
+			Top: opts.Top, Workers: opts.Workers, Samples: samples,
+		})
+		ct = wire.ContentTypeBin
+		accept = wire.ContentTypeBin
+	default:
+		return nil, fmt.Errorf("client: unknown wire format %q (want %q or %q)", opts.Wire, WireJSON, WireBin)
 	}
 	res, err := c.do(ctx, http.MethodPost, "/v1/estimate", "",
 		func() (io.Reader, error) { return bytes.NewReader(reqBody), nil },
-		"application/json", true)
+		ct, accept, true)
 	if err != nil {
 		return nil, err
 	}
+	degraded := res.header.Get("X-Spire-Degraded") != ""
+	if res.status == http.StatusOK && wire.IsBinMedia(res.header.Get("Content-Type")) {
+		wres, err := wire.DecodeEstimateResponse(res.body)
+		if err != nil {
+			return nil, fmt.Errorf("decoding binary response: %w", err)
+		}
+		return &EstimateResult{
+			Model:      wres.Model,
+			Estimation: wres.Estimation,
+			Degraded:   degraded,
+			Raw:        res.body,
+		}, nil
+	}
+	// JSON response: the default, and also every error body (errors are
+	// JSON regardless of the negotiated wire format).
 	var body struct {
 		Model      string           `json:"model"`
 		Estimation *core.Estimation `json:"estimation"`
@@ -357,7 +408,7 @@ func (c *Client) Estimate(ctx context.Context, samples []core.Sample, opts Estim
 	return &EstimateResult{
 		Model:      body.Model,
 		Estimation: body.Estimation,
-		Degraded:   res.header.Get("X-Spire-Degraded") != "",
+		Degraded:   degraded,
 		Raw:        res.body,
 	}, nil
 }
@@ -395,7 +446,7 @@ func (c *Client) Ingest(ctx context.Context, getBody func() (io.Reader, error), 
 		}
 		q += "min_run_pct=" + strconv.FormatFloat(opts.MinRunPct, 'g', -1, 64)
 	}
-	res, err := c.do(ctx, http.MethodPost, "/v1/ingest", q, getBody, "text/plain", true)
+	res, err := c.do(ctx, http.MethodPost, "/v1/ingest", q, getBody, "text/plain", "", true)
 	if err != nil {
 		return nil, err
 	}
@@ -419,8 +470,21 @@ type FeedResult struct {
 // retried. (A quota 429 is also returned un-retried: re-sending is the
 // caller's dedup decision.)
 func (c *Client) FeedStream(ctx context.Context, body io.Reader) (*FeedResult, error) {
+	return c.feedStream(ctx, body, "text/plain")
+}
+
+// FeedStreamBin pushes pre-encoded SPB1 sample-batch frames
+// (wire.AppendSampleBatch) into the live stream. Same single-shot,
+// never-retried contract as FeedStream: the server's window advances as
+// frames decode, so a failure after bytes may have been consumed is the
+// caller's dedup decision.
+func (c *Client) FeedStreamBin(ctx context.Context, body io.Reader) (*FeedResult, error) {
+	return c.feedStream(ctx, body, wire.ContentTypeBin)
+}
+
+func (c *Client) feedStream(ctx context.Context, body io.Reader, contentType string) (*FeedResult, error) {
 	res, err := c.do(ctx, http.MethodPost, "/v1/stream", "",
-		func() (io.Reader, error) { return body, nil }, "text/plain", false)
+		func() (io.Reader, error) { return body, nil }, contentType, "", false)
 	if err != nil {
 		return nil, err
 	}
@@ -440,7 +504,7 @@ func BytesBody(b []byte) func() (io.Reader, error) {
 // /readyz). Single attempt: readiness probes are themselves the retry
 // loop.
 func (c *Client) Readyz(ctx context.Context) (bool, error) {
-	res := c.attempt(ctx, http.MethodGet, c.cfg.BaseURL+"/readyz", nil, "")
+	res := c.attempt(ctx, http.MethodGet, c.cfg.BaseURL+"/readyz", nil, "", "")
 	if res.err != nil {
 		return false, res.err
 	}

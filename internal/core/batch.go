@@ -7,46 +7,74 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-
-	"spire/internal/geom"
-	"spire/internal/stats"
 )
 
 // WorkloadIndex is a workload dataset pre-indexed for repeated estimation:
-// samples are grouped by metric once and per-sample operational
-// intensities are precomputed, so that BatchEstimate does no re-grouping
-// or re-derivation work per call. An index is immutable and safe for
-// concurrent use by any number of estimators.
+// samples are grouped by metric once, laid out as contiguous per-metric
+// columns (structure-of-arrays), and per-sample operational intensities
+// are precomputed, so that BatchEstimate does no re-grouping or
+// re-derivation work per call and streams each metric's samples as flat
+// []float64 scans. An index is immutable and safe for concurrent use by
+// any number of estimators.
 type WorkloadIndex struct {
 	metrics []string // sorted metric names with >= 1 valid sample
 	groups  map[string]*indexedMetric
+
+	// uniqT/uniqW are the period-deduplication tables: one entry per
+	// distinct measureKey across the whole index, holding that period's
+	// (T, W) contribution to the measured-throughput aggregate. Each
+	// sample's contribID column points into them, so the merge can dedup
+	// with an epoch-stamped array instead of a map. They are nil for
+	// indexes built incrementally (IncrementalIndex snapshots), where the
+	// merge falls back to the map path.
+	uniqT, uniqW []float64
 }
 
-// indexedMetric holds one metric's valid samples plus derived values.
+// indexedMetric holds one metric's valid samples as parallel columns, in
+// dataset arrival order.
 type indexedMetric struct {
-	samples []Sample
-	intens  []float64 // Intensity() per sample, precomputed
+	t, w      []float64 // Sample.T / Sample.W
+	intens    []float64 // Intensity() per sample, precomputed
+	window    []int     // Sample.Window
+	contribID []uint32  // index into WorkloadIndex.uniqT/uniqW; nil on snapshots
 }
 
-// IndexWorkload groups the workload's valid samples by metric and
-// precomputes each sample's operational intensity. Invalid samples are
-// dropped exactly as Dataset.ByMetric drops them.
+// sampleCount returns the number of samples in the group's columns.
+func (im *indexedMetric) sampleCount() int { return len(im.t) }
+
+// IndexWorkload groups the workload's valid samples by metric into
+// columnar storage and precomputes each sample's operational intensity
+// plus the measured-throughput dedup tables. Invalid samples are dropped
+// exactly as Dataset.ByMetric drops them; per-metric order is dataset
+// order.
 func IndexWorkload(d Dataset) *WorkloadIndex {
-	groups := d.ByMetric()
 	ix := &WorkloadIndex{
-		metrics: make([]string, 0, len(groups)),
-		groups:  make(map[string]*indexedMetric, len(groups)),
+		groups: make(map[string]*indexedMetric, 16),
 	}
-	for metric, samples := range groups {
-		im := &indexedMetric{
-			samples: samples,
-			intens:  make([]float64, len(samples)),
+	ids := make(map[measureKey]uint32, len(d.Samples))
+	for _, s := range d.Samples {
+		if !s.Valid() {
+			continue
 		}
-		for i, s := range samples {
-			im.intens[i] = s.Intensity()
+		im, ok := ix.groups[s.Metric]
+		if !ok {
+			im = &indexedMetric{}
+			ix.groups[s.Metric] = im
+			ix.metrics = append(ix.metrics, s.Metric)
 		}
-		ix.metrics = append(ix.metrics, metric)
-		ix.groups[metric] = im
+		im.t = append(im.t, s.T)
+		im.w = append(im.w, s.W)
+		im.intens = append(im.intens, s.Intensity())
+		im.window = append(im.window, s.Window)
+		k := measureKey{t: s.T, w: s.W, window: s.Window}
+		id, ok := ids[k]
+		if !ok {
+			id = uint32(len(ix.uniqT))
+			ids[k] = id
+			ix.uniqT = append(ix.uniqT, s.T)
+			ix.uniqW = append(ix.uniqW, s.W)
+		}
+		im.contribID = append(im.contribID, id)
 	}
 	sort.Strings(ix.metrics)
 	return ix
@@ -61,7 +89,7 @@ func (ix *WorkloadIndex) Metrics() []string {
 func (ix *WorkloadIndex) Len() int {
 	n := 0
 	for _, im := range ix.groups {
-		n += len(im.samples)
+		n += im.sampleCount()
 	}
 	return n
 }
@@ -76,7 +104,8 @@ type EstimateOptions struct {
 	// it must call task(i) exactly once for every i in [0, n) unless ctx
 	// is canceled, and return only when all started tasks have finished.
 	// The engine supplies its process-wide shared worker pool here; nil
-	// spawns up to Workers goroutines for this call.
+	// spawns up to Workers goroutines for this call (or runs inline when
+	// one worker is requested).
 	Runner func(ctx context.Context, workers, n int, task func(int))
 }
 
@@ -107,96 +136,149 @@ func spawnRun(ctx context.Context, workers, n int, task func(int)) {
 	wg.Wait()
 }
 
-// chainEval is a precomputed evaluator for one roofline: breakpoint
-// abscissae are laid out for binary search so segment lookup is O(log n)
-// on the left chain too (Roofline.Eval walks it linearly). Its arithmetic
+// chainEval is a precomputed evaluator for one roofline: the chain is
+// flattened into parallel breakpoint columns plus a per-segment start
+// table, and segment lookup runs by interpolation search over the
+// breakpoint abscissae. The segment table stores endpoints — not a
+// precomputed slope — because evaluating y0 + ((i-x0)/(x1-x0))*(y1-y0)
+// with the division done at eval time reproduces Roofline.Eval's rounding
+// bit for bit, which a premultiplied dy/dx would not. Its arithmetic
 // mirrors Roofline.Eval segment for segment, so the two produce
 // bit-identical values.
 type chainEval struct {
-	left   []geom.Point
-	leftX  []float64
-	peak   geom.Point
-	right  []geom.Point
-	rightX []float64
-	tail   float64
+	// Left chain: breakpoint k ends segment k, which starts at
+	// (lx0[k], ly0[k]) — the origin for k == 0, breakpoint k-1 otherwise.
+	leftX, leftY []float64
+	lx0, ly0     []float64
+	peakX, peakY float64
+	// Right chain breakpoints; segment k spans breakpoints k..k+1.
+	rightX, rightY []float64
+	tail           float64
 }
 
 // newChainEval builds the segment table for r. It tolerates structurally
 // odd chains (it never panics); garbage chains yield the same garbage
 // values Roofline.Eval would.
 func newChainEval(r *Roofline) *chainEval {
+	peak := r.Peak()
 	ce := &chainEval{
-		left:  r.Left,
-		right: r.Right,
-		peak:  r.Peak(),
+		peakX: peak.X,
+		peakY: peak.Y,
 		tail:  r.TailY,
 	}
 	ce.leftX = make([]float64, len(r.Left))
+	ce.leftY = make([]float64, len(r.Left))
+	ce.lx0 = make([]float64, len(r.Left))
+	ce.ly0 = make([]float64, len(r.Left))
 	for i, p := range r.Left {
 		ce.leftX[i] = p.X
+		ce.leftY[i] = p.Y
+		if i > 0 {
+			ce.lx0[i] = r.Left[i-1].X
+			ce.ly0[i] = r.Left[i-1].Y
+		}
 	}
 	ce.rightX = make([]float64, len(r.Right))
+	ce.rightY = make([]float64, len(r.Right))
 	for i, p := range r.Right {
 		ce.rightX[i] = p.X
+		ce.rightY[i] = p.Y
 	}
 	return ce
 }
 
-// eval is the binary-search twin of Roofline.Eval.
+// searchGE returns the smallest k with xs[k] >= x, or len(xs) when every
+// element is smaller — exactly sort.SearchFloat64s's contract. On sorted
+// input it is guaranteed to return the identical index: every probe only
+// narrows [lo, hi] under the same monotone predicate, so the fixpoint is
+// the same boundary regardless of how probes are chosen. Probes alternate
+// between interpolation (which lands near the target in O(log log n) on
+// evenly distributed abscissae — the common shape of fitted breakpoints)
+// and bisection (which bounds the worst case at O(log n) on adversarial
+// ones). Unsorted or NaN-laden input yields some index without panicking,
+// matching binary search's garbage-in behavior.
+func searchGE(xs []float64, x float64) int {
+	lo, hi := 0, len(xs)
+	interpolate := true
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if interpolate && hi-lo > 4 {
+			a, b := xs[lo], xs[hi-1]
+			if b > a && x > a && x < b {
+				k := lo + int((x-a)/(b-a)*float64(hi-1-lo))
+				// Clamp: on garbage input the estimate can land anywhere.
+				if k >= lo && k < hi {
+					mid = k
+				}
+			}
+		}
+		if xs[mid] >= x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+		interpolate = !interpolate
+	}
+	return lo
+}
+
+// eval is the interpolation-search twin of Roofline.Eval.
 func (ce *chainEval) eval(i float64) float64 {
 	if math.IsNaN(i) {
 		return math.NaN()
 	}
-	if len(ce.left) == 0 {
+	nl := len(ce.leftX)
+	if nl == 0 {
 		return math.NaN()
 	}
 	if i < 0 {
 		i = 0
 	}
-	if i <= ce.peak.X {
+	if i <= ce.peakX {
 		// First breakpoint at or beyond i, as evalChainFromOrigin's
 		// linear walk finds it.
-		k := sort.SearchFloat64s(ce.leftX, i)
-		if k >= len(ce.left) {
-			return ce.left[len(ce.left)-1].Y
+		k := searchGE(ce.leftX, i)
+		if k >= nl {
+			return ce.leftY[nl-1]
 		}
-		prev := geom.Point{X: 0, Y: 0}
-		if k > 0 {
-			prev = ce.left[k-1]
+		x0, y0 := ce.lx0[k], ce.ly0[k]
+		x1, y1 := ce.leftX[k], ce.leftY[k]
+		if x1 == x0 {
+			return y1
 		}
-		p := ce.left[k]
-		if p.X == prev.X {
-			return p.Y
-		}
-		t := (i - prev.X) / (p.X - prev.X)
-		return prev.Y + t*(p.Y-prev.Y)
+		t := (i - x0) / (x1 - x0)
+		return y0 + t*(y1-y0)
 	}
-	if len(ce.right) == 0 {
+	nr := len(ce.rightX)
+	if nr == 0 {
 		return ce.tail
 	}
-	if i < ce.right[0].X {
-		return ce.peak.Y
+	if i < ce.rightX[0] {
+		return ce.peakY
 	}
-	last := ce.right[len(ce.right)-1]
-	if i >= last.X {
+	if i >= ce.rightX[nr-1] {
 		return ce.tail
 	}
-	// Rightmost segment start with right[lo].X <= i: SearchFloat64s
-	// returns the first index with rightX[k] >= i, so step back when the
-	// hit is strictly beyond i.
-	k := sort.SearchFloat64s(ce.rightX, i)
-	if k >= len(ce.right) || ce.rightX[k] > i {
-		k--
+	// Rightmost segment start with rightX[k] <= i, the index Eval's
+	// bisection converges to. searchGE returns the FIRST index with
+	// rightX[k] >= i; on an exact hit that may be the head of a
+	// duplicate-X run whose zero-width segment Eval never selects, so
+	// walk the run of equal abscissae to its end before stepping back.
+	k := searchGE(ce.rightX, i)
+	for k < nr && ce.rightX[k] <= i {
+		k++
 	}
+	k--
 	if k < 0 {
-		return ce.peak.Y
+		return ce.peakY
 	}
-	if k+1 >= len(ce.right) {
+	if k+1 >= nr {
 		return ce.tail
 	}
-	a, b := ce.right[k], ce.right[k+1]
-	t := (i - a.X) / (b.X - a.X)
-	return a.Y + t*(b.Y-a.Y)
+	x0, y0 := ce.rightX[k], ce.rightY[k]
+	x1, y1 := ce.rightX[k+1], ce.rightY[k+1]
+	t := (i - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
 }
 
 // evaluators returns the memoized segment tables, building them on first
@@ -205,10 +287,14 @@ func (ce *chainEval) eval(i float64) float64 {
 func (e *Ensemble) evaluators() map[string]*chainEval {
 	e.evalOnce.Do(func() {
 		m := make(map[string]*chainEval, len(e.Rooflines))
+		names := make([]string, 0, len(e.Rooflines))
 		for name, r := range e.Rooflines {
 			m[name] = newChainEval(r)
+			names = append(names, name)
 		}
+		sort.Strings(names)
 		e.evals = m
+		e.sortedNames = names
 	})
 	return e.evals
 }
@@ -217,68 +303,53 @@ func (e *Ensemble) evaluators() map[string]*chainEval {
 type metricBatch struct {
 	ok      bool
 	me      MetricEstimate
-	contrib []measureKey // measured-throughput keys, in sample order
+	contrib []uint32 // contributing sample indices (into the metric's columns)
 }
 
-// weightedScratch pools the per-metric partial-sum buffers handed to
-// stats.WeightedMean, so the hot path stops allocating one slice per
-// metric per estimation. Buffers keep their grown capacity across uses.
-var weightedScratch = sync.Pool{
-	New: func() any {
-		ws := make([]stats.Weighted, 0, 256)
-		return &ws
-	},
-}
-
-// estimateMetric evaluates one metric's samples against its memoized
-// roofline table, writing the result into out (whose contrib slice is
-// reused across calls). This is the single implementation of the paper's
-// Eq. 1 per-metric time-weighted merge.
+// estimateMetric evaluates one metric's sample columns against its
+// memoized roofline table, writing the result into out (whose contrib
+// slice is reused across calls). This is the single implementation of the
+// paper's Eq. 1 per-metric time-weighted merge. The weighted mean is
+// accumulated inline in column order — term for term the same sums
+// stats.WeightedMean computes, whose error paths are unreachable here
+// because every indexed sample has T > 0 (Sample.Valid).
 func estimateMetric(metric string, im *indexedMetric, ce *chainEval, out *metricBatch) {
 	out.ok = false
 	out.me = MetricEstimate{}
 	out.contrib = out.contrib[:0]
 
-	wsp := weightedScratch.Get().(*[]stats.Weighted)
-	ws := (*wsp)[:0]
-	defer func() {
-		*wsp = ws[:0]
-		weightedScratch.Put(wsp)
-	}()
-
+	var num, den float64
 	var intensityNum, intensityDen float64
 	infIntensity := false
-	for i, s := range im.samples {
-		intensity := im.intens[i]
+	for j, intensity := range im.intens {
 		p := ce.eval(intensity)
 		if math.IsNaN(p) {
 			continue
 		}
-		ws = append(ws, stats.Weighted{Value: p, Weight: s.T})
+		t := im.t[j]
+		num += t * p
+		den += t
 		if math.IsInf(intensity, 1) {
 			infIntensity = true
 		} else {
-			intensityNum += s.T * intensity
-			intensityDen += s.T
+			intensityNum += t * intensity
+			intensityDen += t
 		}
 		// When multiple metrics share one period's T and W (the common
 		// collection setup), that period must count once in the
-		// measured-throughput aggregate. Dedupe by window when the
-		// collector tagged one, else by (T, W) value — at merge time.
-		out.contrib = append(out.contrib, measureKey{t: s.T, w: s.W, window: s.Window})
+		// measured-throughput aggregate. Record the contributing sample;
+		// the merge dedupes by window when the collector tagged one, else
+		// by (T, W) value.
+		out.contrib = append(out.contrib, uint32(j))
 	}
-	if len(ws) == 0 {
-		return
-	}
-	mean, err := stats.WeightedMean(ws)
-	if err != nil {
+	if len(out.contrib) == 0 || den == 0 {
 		return
 	}
 	out.ok = true
 	out.me = MetricEstimate{
 		Metric:       metric,
-		MeanEstimate: mean,
-		Samples:      len(ws),
+		MeanEstimate: num / den,
+		Samples:      len(out.contrib),
 	}
 	switch {
 	case intensityDen > 0:
@@ -290,15 +361,36 @@ func estimateMetric(metric string, im *indexedMetric, ce *chainEval, out *metric
 	}
 }
 
+// perMetricSorter orders the ranking ascending by MeanEstimate with the
+// metric name as tiebreak — a total order (names are unique), so every
+// sorting algorithm yields the same permutation. It lives in the pooled
+// scratch so sort.Sort sees an already-heap-allocated interface value and
+// the hot path stays allocation-free.
+type perMetricSorter struct{ ms []MetricEstimate }
+
+func (s *perMetricSorter) Len() int      { return len(s.ms) }
+func (s *perMetricSorter) Swap(i, j int) { s.ms[i], s.ms[j] = s.ms[j], s.ms[i] }
+func (s *perMetricSorter) Less(i, j int) bool {
+	a, b := s.ms[i], s.ms[j]
+	if a.MeanEstimate != b.MeanEstimate {
+		return a.MeanEstimate < b.MeanEstimate
+	}
+	return a.Metric < b.Metric
+}
+
 // batchScratch pools the per-call merge state: the shared-metric list,
 // the per-metric result slots (whose contrib slices keep their capacity),
-// and the measured-throughput dedup set. Repeated estimations — the serve
-// and timeline pattern — reach a steady state with no per-call heap
-// growth beyond the returned Estimation itself.
+// the measured-throughput dedup state — an epoch-stamped array over the
+// index's contribution IDs, plus the map fallback for indexes without ID
+// tables — and the ranking sorter. Repeated estimations — the serve and
+// timeline pattern — reach a steady state with no per-call heap growth.
 type batchScratch struct {
 	shared  []string
 	results []metricBatch
 	seen    map[measureKey]bool
+	stamp   []uint32
+	epoch   uint32
+	sorter  perMetricSorter
 }
 
 var batchScratchPool = sync.Pool{
@@ -316,23 +408,55 @@ func (sc *batchScratch) grab(n int) {
 		sc.results = grown
 	}
 	sc.results = sc.results[:0]
-	clear(sc.seen)
+}
+
+// stampTable readies the epoch-stamp dedup array for n contribution IDs
+// and returns it along with the epoch value that marks "seen this call".
+func (sc *batchScratch) stampTable(n int) ([]uint32, uint32) {
+	if cap(sc.stamp) < n {
+		sc.stamp = make([]uint32, n)
+		sc.epoch = 0
+	}
+	sc.stamp = sc.stamp[:cap(sc.stamp)]
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale stamps could alias, wipe them
+		clear(sc.stamp)
+		sc.epoch = 1
+	}
+	return sc.stamp, sc.epoch
 }
 
 // BatchEstimate runs the Fig. 4 estimation process against a pre-built
-// workload index, evaluating all shared metrics concurrently on a bounded
-// worker pool (opts.Workers goroutines, default GOMAXPROCS). Per-metric
-// results are merged in metric-name order, so the estimation is
-// deterministic for every worker count and agrees with Ensemble.Estimate
-// (exactly, except MeasuredThroughput which can differ in the last bits
-// because Estimate accumulates periods in map order).
+// workload index. It allocates a fresh Estimation; steady-state callers
+// (serving, streaming re-estimation) use BatchEstimateInto to reuse one.
+func (e *Ensemble) BatchEstimate(ctx context.Context, ix *WorkloadIndex, opts EstimateOptions) (*Estimation, error) {
+	est := &Estimation{}
+	if err := e.BatchEstimateInto(ctx, ix, opts, est); err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+// BatchEstimateInto runs the Fig. 4 estimation process against a
+// pre-built workload index, evaluating all shared metrics concurrently on
+// a bounded worker pool (opts.Workers goroutines, default GOMAXPROCS; a
+// single worker runs inline with no goroutines). Per-metric results are
+// merged in metric-name order, so the estimation is deterministic for
+// every worker count and agrees with Ensemble.Estimate.
+//
+// The result is written into est, reusing its slice capacities: a caller
+// that keeps one Estimation per loop reaches zero allocations per call in
+// steady state. On error est's contents are unspecified.
 //
 // Cancelling ctx aborts the remaining metric evaluations and returns
 // ctx.Err(). ErrNoSamples is returned when no indexed metric overlaps the
 // model.
-func (e *Ensemble) BatchEstimate(ctx context.Context, ix *WorkloadIndex, opts EstimateOptions) (*Estimation, error) {
-	est := &Estimation{MaxThroughput: math.Inf(1)}
-	est.Coverage = e.coverageOf(ix.metrics)
+func (e *Ensemble) BatchEstimateInto(ctx context.Context, ix *WorkloadIndex, opts EstimateOptions, est *Estimation) error {
+	evals := e.evaluators()
+	est.PerMetric = est.PerMetric[:0]
+	est.MaxThroughput = math.Inf(1)
+	est.MeasuredThroughput = 0
+	e.coverageInto(ix.metrics, &est.Coverage)
 
 	sc := batchScratchPool.Get().(*batchScratch)
 	defer batchScratchPool.Put(sc)
@@ -344,9 +468,8 @@ func (e *Ensemble) BatchEstimate(ctx context.Context, ix *WorkloadIndex, opts Es
 	}
 	shared := sc.shared
 	if len(shared) == 0 {
-		return nil, ErrNoSamples
+		return ErrNoSamples
 	}
-	evals := e.evaluators()
 	results := sc.results[:len(shared)]
 	sc.results = results
 
@@ -357,54 +480,87 @@ func (e *Ensemble) BatchEstimate(ctx context.Context, ix *WorkloadIndex, opts Es
 	if workers > len(shared) {
 		workers = len(shared)
 	}
-	run := opts.Runner
-	if run == nil {
-		run = spawnRun
+	if run := opts.Runner; run != nil || workers > 1 {
+		if run == nil {
+			run = spawnRun
+		}
+		run(ctx, workers, len(shared), func(i int) {
+			metric := shared[i]
+			estimateMetric(metric, ix.groups[metric], evals[metric], &results[i])
+		})
+	} else {
+		// Inline serial path: no goroutine handoff, no closure.
+		for i := range shared {
+			if ctx.Err() != nil {
+				break
+			}
+			estimateMetric(shared[i], ix.groups[shared[i]], evals[shared[i]], &results[i])
+		}
 	}
-	run(ctx, workers, len(shared), func(i int) {
-		metric := shared[i]
-		estimateMetric(metric, ix.groups[metric], evals[metric], &results[i])
-	})
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return err
 	}
 
 	// Deterministic merge in metric-name order: per-metric estimates,
 	// the ensemble minimum, and the period-deduplicated measured
-	// throughput.
+	// throughput. Indexes built by IndexWorkload carry contribution-ID
+	// tables, so dedup is an epoch-stamped array scan; incremental
+	// snapshots fall back to the key map. Both visit periods in the same
+	// order, so the float accumulation is bit-identical.
 	var totT, totW float64
-	seen := sc.seen
-	for i := range results {
-		res := &results[i]
-		for _, k := range res.contrib {
-			if !seen[k] {
-				seen[k] = true
-				totT += k.t
-				totW += k.w
+	if ix.uniqT != nil {
+		stamp, epoch := sc.stampTable(len(ix.uniqT))
+		for i := range results {
+			res := &results[i]
+			ids := ix.groups[shared[i]].contribID
+			for _, j := range res.contrib {
+				id := ids[j]
+				if stamp[id] != epoch {
+					stamp[id] = epoch
+					totT += ix.uniqT[id]
+					totW += ix.uniqW[id]
+				}
 			}
+			mergeMetric(est, res)
 		}
-		if !res.ok {
-			continue
-		}
-		est.PerMetric = append(est.PerMetric, res.me)
-		if res.me.MeanEstimate < est.MaxThroughput {
-			est.MaxThroughput = res.me.MeanEstimate
+	} else {
+		seen := sc.seen
+		clear(seen)
+		for i := range results {
+			res := &results[i]
+			im := ix.groups[shared[i]]
+			for _, j := range res.contrib {
+				k := measureKey{t: im.t[j], w: im.w[j], window: im.window[j]}
+				if !seen[k] {
+					seen[k] = true
+					totT += k.t
+					totW += k.w
+				}
+			}
+			mergeMetric(est, res)
 		}
 	}
 	if len(est.PerMetric) == 0 {
-		return nil, ErrNoSamples
+		return ErrNoSamples
 	}
-	sort.Slice(est.PerMetric, func(i, j int) bool {
-		a, b := est.PerMetric[i], est.PerMetric[j]
-		if a.MeanEstimate != b.MeanEstimate {
-			return a.MeanEstimate < b.MeanEstimate
-		}
-		return a.Metric < b.Metric
-	})
+	sc.sorter.ms = est.PerMetric
+	sort.Sort(&sc.sorter)
+	sc.sorter.ms = nil
 	if totT > 0 {
 		est.MeasuredThroughput = totW / totT
 	} else {
 		est.MeasuredThroughput = math.NaN()
 	}
-	return est, nil
+	return nil
+}
+
+// mergeMetric folds one metric's result into the estimation.
+func mergeMetric(est *Estimation, res *metricBatch) {
+	if !res.ok {
+		return
+	}
+	est.PerMetric = append(est.PerMetric, res.me)
+	if res.me.MeanEstimate < est.MaxThroughput {
+		est.MaxThroughput = res.me.MeanEstimate
+	}
 }

@@ -20,10 +20,12 @@ type Ensemble struct {
 	WorkUnit string `json:"workUnit"`
 	TimeUnit string `json:"timeUnit"`
 
-	// evalOnce/evals lazily memoize the binary-search segment tables
-	// BatchEstimate evaluates rooflines through (see batch.go).
-	evalOnce sync.Once
-	evals    map[string]*chainEval
+	// evalOnce/evals lazily memoize the flattened segment tables
+	// BatchEstimate evaluates rooflines through (see batch.go), plus the
+	// sorted metric-name list the coverage merge-walk scans.
+	evalOnce    sync.Once
+	evals       map[string]*chainEval
+	sortedNames []string
 }
 
 // Metrics returns the sorted metric names the ensemble models.
@@ -112,27 +114,41 @@ type measureKey struct {
 // coverageOf computes the metric overlap between the model and a
 // workload's measured metric set.
 func (e *Ensemble) coverageOf(metrics []string) CoverageReport {
-	cov := CoverageReport{
-		ModelMetrics: len(e.Rooflines),
-		DataMetrics:  len(metrics),
-	}
-	data := make(map[string]bool, len(metrics))
-	for _, metric := range metrics {
-		data[metric] = true
-		if _, ok := e.Rooflines[metric]; ok {
-			cov.Shared++
-		} else {
-			cov.DataOnly = append(cov.DataOnly, metric)
-		}
-	}
-	for metric := range e.Rooflines {
-		if !data[metric] {
-			cov.ModelOnly = append(cov.ModelOnly, metric)
-		}
-	}
-	sort.Strings(cov.DataOnly)
-	sort.Strings(cov.ModelOnly)
+	e.evaluators() // memoize sortedNames
+	var cov CoverageReport
+	e.coverageInto(metrics, &cov)
 	return cov
+}
+
+// coverageInto writes the metric overlap between the model and a
+// workload's sorted measured metric set into cov, reusing its slice
+// capacities. Both inputs are sorted, so one merge walk produces the
+// sorted DataOnly/ModelOnly lists with no per-call maps. The caller must
+// have run evaluators() (which memoizes e.sortedNames).
+func (e *Ensemble) coverageInto(metrics []string, cov *CoverageReport) {
+	model := e.sortedNames
+	cov.ModelMetrics = len(e.Rooflines)
+	cov.DataMetrics = len(metrics)
+	cov.Shared = 0
+	cov.DataOnly = cov.DataOnly[:0]
+	cov.ModelOnly = cov.ModelOnly[:0]
+	i, j := 0, 0
+	for i < len(model) && j < len(metrics) {
+		switch {
+		case model[i] == metrics[j]:
+			cov.Shared++
+			i++
+			j++
+		case model[i] < metrics[j]:
+			cov.ModelOnly = append(cov.ModelOnly, model[i])
+			i++
+		default:
+			cov.DataOnly = append(cov.DataOnly, metrics[j])
+			j++
+		}
+	}
+	cov.ModelOnly = append(cov.ModelOnly, model[i:]...)
+	cov.DataOnly = append(cov.DataOnly, metrics[j:]...)
 }
 
 // TopMetrics returns the k lowest-estimate metrics — the paper's candidate

@@ -6,10 +6,13 @@ import "sort"
 // streaming consumer can extend its window without re-grouping or
 // re-sorting the whole workload (paper §III collects samples as a
 // continuous `perf stat -I` feed). It maintains exactly the structures
-// IndexWorkload builds — per-metric sample groups in arrival order with
-// precomputed intensities and a sorted metric list — which makes
-// Snapshot()+BatchEstimate bit-identical to IndexWorkload+BatchEstimate
-// over the same samples in the same order.
+// IndexWorkload builds — per-metric columnar sample groups in arrival
+// order with precomputed intensities and a sorted metric list — which
+// makes Snapshot()+BatchEstimate bit-identical to
+// IndexWorkload+BatchEstimate over the same samples in the same order.
+// (Snapshots carry no contribution-ID tables — under eviction those
+// would grow without bound — so the merge dedups measured throughput
+// through its map fallback, which visits periods in the same order.)
 //
 // An IncrementalIndex is not safe for concurrent mutation, but snapshots
 // taken from it remain safe to read while the index keeps growing:
@@ -26,8 +29,8 @@ func NewIncrementalIndex() *IncrementalIndex {
 	return &IncrementalIndex{groups: make(map[string]*indexedMetric)}
 }
 
-// Add appends samples to their metric groups, dropping invalid ones
-// exactly as Dataset.ByMetric drops them, and returns how many were
+// Add appends samples to their metric groups' columns, dropping invalid
+// ones exactly as Dataset.ByMetric drops them, and returns how many were
 // kept. Within one metric, samples must arrive in the order the batch
 // path would see them (the dataset order); the streaming pipeline feeds
 // intervals in window order, which satisfies this by construction.
@@ -46,8 +49,10 @@ func (ix *IncrementalIndex) Add(samples ...Sample) int {
 			copy(ix.metrics[k+1:], ix.metrics[k:])
 			ix.metrics[k] = s.Metric
 		}
-		g.samples = append(g.samples, s)
+		g.t = append(g.t, s.T)
+		g.w = append(g.w, s.W)
 		g.intens = append(g.intens, s.Intensity())
+		g.window = append(g.window, s.Window)
 		ix.n++
 		added++
 	}
@@ -64,17 +69,19 @@ func (ix *IncrementalIndex) Add(samples ...Sample) int {
 func (ix *IncrementalIndex) EvictBefore(window int) int {
 	evicted := 0
 	for metric, g := range ix.groups {
-		k := sort.Search(len(g.samples), func(i int) bool {
-			return g.samples[i].Window >= window
+		k := sort.Search(len(g.window), func(i int) bool {
+			return g.window[i] >= window
 		})
 		if k == 0 {
 			continue
 		}
-		g.samples = g.samples[k:]
+		g.t = g.t[k:]
+		g.w = g.w[k:]
 		g.intens = g.intens[k:]
+		g.window = g.window[k:]
 		evicted += k
 		ix.n -= k
-		if len(g.samples) == 0 {
+		if len(g.window) == 0 {
 			delete(ix.groups, metric)
 		}
 	}
@@ -92,8 +99,8 @@ func (ix *IncrementalIndex) EvictBefore(window int) int {
 
 // Snapshot publishes the current contents as an immutable WorkloadIndex
 // that stays correct while the IncrementalIndex keeps mutating. The
-// snapshot shares sample storage with the live index: full-slice
-// expressions cap each group at its current length, later Adds write
+// snapshot shares column storage with the live index: full-slice
+// expressions cap each column at its current length, later Adds write
 // only beyond that cap, and EvictBefore only advances the live slice
 // headers — so no write ever lands inside a snapshot's visible range.
 func (ix *IncrementalIndex) Snapshot() *WorkloadIndex {
@@ -103,8 +110,10 @@ func (ix *IncrementalIndex) Snapshot() *WorkloadIndex {
 	}
 	for metric, g := range ix.groups {
 		out.groups[metric] = &indexedMetric{
-			samples: g.samples[:len(g.samples):len(g.samples)],
-			intens:  g.intens[:len(g.intens):len(g.intens)],
+			t:      g.t[:len(g.t):len(g.t)],
+			w:      g.w[:len(g.w):len(g.w)],
+			intens: g.intens[:len(g.intens):len(g.intens)],
+			window: g.window[:len(g.window):len(g.window)],
 		}
 	}
 	return out

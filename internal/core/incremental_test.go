@@ -41,8 +41,10 @@ func indexesEqual(t *testing.T, got, want *WorkloadIndex) {
 	}
 	for _, m := range want.Metrics() {
 		g, w := got.groups[m], want.groups[m]
-		if !reflect.DeepEqual(g.samples, w.samples) {
-			t.Fatalf("metric %s samples diverge:\n got %+v\nwant %+v", m, g.samples, w.samples)
+		if !reflect.DeepEqual(g.t, w.t) || !reflect.DeepEqual(g.w, w.w) ||
+			!reflect.DeepEqual(g.window, w.window) {
+			t.Fatalf("metric %s columns diverge:\n got %+v %+v %+v\nwant %+v %+v %+v",
+				m, g.t, g.w, g.window, w.t, w.w, w.window)
 		}
 		for i := range w.intens {
 			if g.intens[i] != w.intens[i] &&

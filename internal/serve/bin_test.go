@@ -1,0 +1,257 @@
+package serve
+
+// Serve-tier tests for the SPB1 binary wire paths: request decoding and
+// Accept negotiation on /v1/estimate, and the pre-parsed frame feed on
+// POST /v1/stream. Transport-level chaos for the same paths lives in
+// internal/client; these pin the handler semantics directly.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"spire/internal/core"
+	"spire/internal/wire"
+)
+
+// postRaw sends body with explicit Content-Type and Accept headers.
+func postRaw(t *testing.T, url, contentType, accept string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func binEstimateBody(samples []core.Sample) []byte {
+	return wire.AppendEstimateRequest(nil, &wire.EstimateRequest{Samples: samples})
+}
+
+// TestEstimateBinParity: a binary request with a binary Accept must
+// produce a decodable SPB1 response whose estimation is byte-identical
+// (as JSON) to the plain JSON route, and repeats must be byte-stable.
+func TestEstimateBinParity(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, model := trainModel(t, 1)
+	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
+		t.Fatal(err)
+	}
+	samples := testSamples()
+
+	resp := postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: samples})
+	var jres EstimateResponse
+	if err := json.Unmarshal(readBody(t, resp), &jres); err != nil {
+		t.Fatal(err)
+	}
+
+	resp = postRaw(t, ts.URL+"/v1/estimate", wire.ContentTypeBin, wire.ContentTypeBin, binEstimateBody(samples))
+	first := readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("bin estimate status = %d: %s", resp.StatusCode, first)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentTypeBin {
+		t.Fatalf("bin-accepting request answered with Content-Type %q", ct)
+	}
+	bres, err := wire.DecodeEstimateResponse(first)
+	if err != nil {
+		t.Fatalf("decoding binary response: %v", err)
+	}
+	if bres.Model != jres.Model {
+		t.Errorf("model ID over bin = %q, over JSON = %q", bres.Model, jres.Model)
+	}
+	wantJSON, _ := json.Marshal(jres.Estimation)
+	gotJSON, _ := json.Marshal(bres.Estimation)
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("binary estimation differs from JSON route:\n%s\nvs\n%s", gotJSON, wantJSON)
+	}
+
+	// Identical binary request: byte-identical frame, index-cache hit.
+	resp = postRaw(t, ts.URL+"/v1/estimate", wire.ContentTypeBin, wire.ContentTypeBin, binEstimateBody(samples))
+	if got := resp.Header.Get("X-Spire-Cache"); got != "hit" {
+		t.Errorf("second bin request cache header = %q, want hit", got)
+	}
+	if second := readBody(t, resp); !bytes.Equal(first, second) {
+		t.Error("identical binary requests produced different frames")
+	}
+}
+
+// TestEstimateBinNegotiation: binary responses are strictly opt-in via
+// Accept — request encoding and response encoding are independent.
+func TestEstimateBinNegotiation(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, model := trainModel(t, 1)
+	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
+		t.Fatal(err)
+	}
+	jsonBody, err := json.Marshal(EstimateRequest{Samples: testSamples()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	binBody := binEstimateBody(testSamples())
+
+	cases := []struct {
+		name, ct, accept string
+		body             []byte
+		wantBin          bool
+	}{
+		{"bin request, no accept", wire.ContentTypeBin, "", binBody, false},
+		{"bin request, accept */*", wire.ContentTypeBin, "*/*", binBody, false},
+		{"json request, accept bin among others", "application/json",
+			"text/html, application/x-spire-bin;q=0.9", jsonBody, true},
+		{"bin request, accept bin", wire.ContentTypeBin, wire.ContentTypeBin, binBody, true},
+	}
+	for _, tc := range cases {
+		resp := postRaw(t, ts.URL+"/v1/estimate", tc.ct, tc.accept, tc.body)
+		raw := readBody(t, resp)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d: %s", tc.name, resp.StatusCode, raw)
+		}
+		gotBin := resp.Header.Get("Content-Type") == wire.ContentTypeBin
+		if gotBin != tc.wantBin {
+			t.Errorf("%s: response Content-Type %q, want bin=%v",
+				tc.name, resp.Header.Get("Content-Type"), tc.wantBin)
+		}
+		if tc.wantBin {
+			if _, err := wire.DecodeEstimateResponse(raw); err != nil {
+				t.Errorf("%s: undecodable binary response: %v", tc.name, err)
+			}
+		} else {
+			var er EstimateResponse
+			if err := json.Unmarshal(raw, &er); err != nil || er.Estimation == nil {
+				t.Errorf("%s: bad JSON response (err=%v): %s", tc.name, err, raw)
+			}
+		}
+	}
+}
+
+// TestEstimateBinMalformed: damaged or mistyped binary bodies fail with
+// a JSON 400/422, never a hang or a misdecoded success.
+func TestEstimateBinMalformed(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, model := trainModel(t, 1)
+	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
+		t.Fatal(err)
+	}
+	valid := binEstimateBody(testSamples())
+	wrongType := wire.AppendSampleBatch(nil, &wire.SampleBatch{TS: 1, Window: 1, Samples: testSamples()})
+
+	cases := []struct {
+		name string
+		body []byte
+		want int
+	}{
+		{"garbage", []byte("not a frame at all"), 400},
+		{"truncated frame", valid[:len(valid)-5], 400},
+		{"wrong frame type", wrongType, 400},
+		{"empty samples", binEstimateBody(nil), 422},
+	}
+	for _, tc := range cases {
+		resp := postRaw(t, ts.URL+"/v1/estimate", wire.ContentTypeBin, "", tc.body)
+		raw := readBody(t, resp)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, raw)
+		}
+		var e errorBody
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body must be JSON, got %s", tc.name, raw)
+		}
+	}
+}
+
+// binInterval renders one complete pre-parsed interval as an SPB1
+// SampleBatch frame, with the two modeled metrics (trainModel's m1/m2).
+func binInterval(dst []byte, window int) []byte {
+	return wire.AppendSampleBatch(dst, &wire.SampleBatch{
+		TS:     float64(window),
+		Window: window,
+		Samples: []core.Sample{
+			{Metric: "m1", T: 100, W: 50, M: 10, Window: window},
+			{Metric: "m2", T: 100, W: 50, M: 7, Window: window},
+		},
+	})
+}
+
+// postStreamBin feeds raw bytes to POST /v1/stream as SPB1.
+func postStreamBin(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	return postRaw(t, url+"/v1/stream", wire.ContentTypeBin, "", body)
+}
+
+// TestStreamFeedBin: multi-frame binary feeds advance the hub exactly
+// like the CSV path; damaged frames fail the request without crediting
+// the broken tail, and frames before the damage still land.
+func TestStreamFeedBin(t *testing.T) {
+	s, ts := newTestServer(t, Config{StreamWindow: 2})
+	_, model := trainModel(t, 1)
+	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
+		t.Fatal(err)
+	}
+
+	feed := binInterval(nil, 1)
+	feed = binInterval(feed, 2)
+	resp := postStreamBin(t, ts.URL, feed)
+	raw := readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("clean bin feed status = %d: %s", resp.StatusCode, raw)
+	}
+	var out StreamFeedResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Bytes != int64(len(feed)) {
+		t.Errorf("fed %d bytes, response reports %d", len(feed), out.Bytes)
+	}
+	if out.Stats.Intervals != 2 || out.Stats.Samples != 4 {
+		t.Errorf("stats after clean feed = %+v, want 2 intervals / 4 samples", out.Stats)
+	}
+
+	wantFeedErr := func(name string, body []byte, frag string) {
+		t.Helper()
+		resp := postStreamBin(t, ts.URL, body)
+		raw := readBody(t, resp)
+		if resp.StatusCode != 400 {
+			t.Fatalf("%s: status = %d, want 400 (%s)", name, resp.StatusCode, raw)
+		}
+		var e errorBody
+		if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error, frag) {
+			t.Errorf("%s: error %s, want JSON containing %q", name, raw, frag)
+		}
+	}
+	good := binInterval(nil, 3)
+	cut := binInterval(nil, 4)
+	wantFeedErr("truncated tail", append(append([]byte(nil), good...), cut[:len(cut)-7]...),
+		"truncated frame")
+	wantFeedErr("garbage", []byte("metric,1,2,3\n"), "bad stream frame")
+	bad := binInterval(nil, 5)
+	bad[4] = 0x7f // corrupt the frame type
+	wantFeedErr("corrupt type", bad, "bad stream frame")
+	wrongType := binEstimateBody(testSamples())
+	wantFeedErr("wrong frame type", wrongType, "bad stream frame")
+
+	// The good frame ahead of the truncated tail landed; the damaged
+	// feeds credited nothing else. 2 clean + 1 pre-damage = 3.
+	resp = postStreamBin(t, ts.URL, binInterval(nil, 6))
+	raw = readBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("follow-up feed status = %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Intervals != 4 || out.Stats.Samples != 8 {
+		t.Errorf("stats after damaged feeds = %+v, want 4 intervals / 8 samples", out.Stats)
+	}
+}

@@ -21,6 +21,12 @@
 //	GET  /metrics      Prometheus text exposition
 //	GET  /debug/pprof  optional, Config.EnablePprof
 //
+// Estimate bodies and stream feeds may use the SPB1 binary wire format
+// (internal/wire) instead of JSON/CSV: Content-Type
+// application/x-spire-bin selects binary request decoding, Accept
+// selects binary estimate responses. Binary is strictly opt-in per
+// message and error responses stay JSON.
+//
 // Overload safety: the estimation path sits behind internal/admission —
 // a bounded-concurrency gate with a short deadline-aware wait queue,
 // plus optional per-tenant token-bucket quotas (tenant taken from the
@@ -49,6 +55,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +65,7 @@ import (
 	"spire/internal/ingest"
 	"spire/internal/metrics"
 	"spire/internal/stream"
+	"spire/internal/wire"
 )
 
 // Config tunes the service. The zero value is production-safe: defaults
@@ -330,12 +338,29 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
-// writeRawJSON writes an already-marshaled JSON body (the degraded fast
-// path and the cached-response producer share exact bytes).
-func writeRawJSON(w http.ResponseWriter, code int, raw []byte) {
-	w.Header().Set("Content-Type", "application/json")
+// writeRaw writes an already-encoded body (the degraded fast path and
+// the cached-response producer share exact bytes) under the negotiated
+// content type.
+func writeRaw(w http.ResponseWriter, code int, raw []byte, contentType string) {
+	w.Header().Set("Content-Type", contentType)
 	w.WriteHeader(code)
 	w.Write(raw)
+}
+
+// isBinMedia reports whether an HTTP media-type header value selects the
+// SPB1 binary wire format; error responses are always JSON regardless.
+func isBinMedia(v string) bool { return wire.IsBinMedia(v) }
+
+// acceptsBin reports whether the Accept header opts the response into
+// SPB1. Absent or anything else (including */*) stays JSON — binary is
+// strictly opt-in.
+func acceptsBin(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		if isBinMedia(part) {
+			return true
+		}
+	}
+	return false
 }
 
 // writeIfTooBig maps the body-cap error to the uniform 413 response.
@@ -351,22 +376,10 @@ func writeIfTooBig(w http.ResponseWriter, err error) bool {
 	return true
 }
 
-// decodeBody strictly decodes one JSON value from the (size-capped) body
-// and maps failures to the right status code.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := decodeQuiet(r, v); err != nil {
-		if writeIfTooBig(w, err) {
-			return false
-		}
-		writeErr(w, http.StatusBadRequest, "malformed JSON body: %v", err)
-		return false
-	}
-	return true
-}
-
-// decodeQuiet is decodeBody without the response writing, for paths that
-// decide the status themselves (a shed request is answered 429 whether
-// or not its body parses).
+// decodeQuiet strictly decodes one JSON value from the (size-capped)
+// body without writing a response, for paths that decide the status
+// themselves (a shed request is answered 429 whether or not its body
+// parses).
 func decodeQuiet(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	if err := dec.Decode(v); err != nil {
@@ -424,9 +437,36 @@ type EstimateResponse struct {
 }
 
 // respKey keys the degraded-mode response cache: same model, same
-// workload content hash, same truncation -> byte-identical response.
-func respKey(modelID, workloadKey string, top int) string {
-	return modelID + "\x00" + workloadKey + "\x00" + strconv.Itoa(top)
+// workload content hash, same truncation, same wire format ->
+// byte-identical response.
+func respKey(modelID, workloadKey string, top int, bin bool) string {
+	k := modelID + "\x00" + workloadKey + "\x00" + strconv.Itoa(top)
+	if bin {
+		k += "\x00bin"
+	}
+	return k
+}
+
+// decodeEstimateRequest decodes the estimate body in whichever wire
+// format the request declares: SPB1 when Content-Type is
+// application/x-spire-bin, strict JSON otherwise.
+func (s *Server) decodeEstimateRequest(r *http.Request) (*EstimateRequest, error) {
+	if isBinMedia(r.Header.Get("Content-Type")) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			return nil, err
+		}
+		wreq, err := wire.DecodeEstimateRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		return &EstimateRequest{Samples: wreq.Samples, Top: wreq.Top, Workers: wreq.Workers}, nil
+	}
+	var req EstimateRequest
+	if err := decodeQuiet(r, &req); err != nil {
+		return nil, err
+	}
+	return &req, nil
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -450,8 +490,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	var req EstimateRequest
-	if !decodeBody(w, r, &req) {
+	req, derr := s.decodeEstimateRequest(r)
+	if derr != nil {
+		if !writeIfTooBig(w, derr) {
+			writeErr(w, http.StatusBadRequest, "malformed request body: %v", derr)
+		}
 		return
 	}
 	if len(req.Samples) == 0 {
@@ -492,18 +535,28 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if req.Top > 0 && req.Top < len(est.PerMetric) {
 		est.PerMetric = est.PerMetric[:req.Top]
 	}
-	raw, err := json.Marshal(EstimateResponse{Model: info.ID, Estimation: est})
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "response encoding failed")
-		return
+	var (
+		raw []byte
+		ct  = "application/json"
+	)
+	wantBin := acceptsBin(r)
+	if wantBin {
+		ct = wire.ContentTypeBin
+		raw = wire.AppendEstimateResponse(nil, &wire.EstimateResponse{Model: info.ID, Estimation: est})
+	} else {
+		raw, err = json.Marshal(EstimateResponse{Model: info.ID, Estimation: est})
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "response encoding failed")
+			return
+		}
+		raw = append(raw, '\n')
 	}
-	raw = append(raw, '\n')
 	// Remember the exact bytes for the saturated fast path. Workers
 	// are deliberately not part of the key: results are byte-identical
 	// for any worker budget.
-	s.resp.put(respKey(info.ID, engine.WorkloadKey(req.Samples), req.Top), raw)
+	s.resp.put(respKey(info.ID, engine.WorkloadKey(req.Samples), req.Top, wantBin), raw)
 	s.mEstimates.Inc()
-	writeRawJSON(w, http.StatusOK, raw)
+	writeRaw(w, http.StatusOK, raw, ct)
 }
 
 // degradeOrReject answers a request the gate shed: a workload whose
@@ -511,13 +564,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 // from cache (byte-identical, marked X-Spire-Degraded), anything else is
 // a 429 with Retry-After.
 func (s *Server) degradeOrReject(w http.ResponseWriter, r *http.Request, modelID string, aerr error) {
-	var req EstimateRequest
-	if decodeQuiet(r, &req) == nil && len(req.Samples) > 0 {
-		if raw, ok := s.resp.get(respKey(modelID, engine.WorkloadKey(req.Samples), req.Top)); ok {
+	if req, err := s.decodeEstimateRequest(r); err == nil && len(req.Samples) > 0 {
+		wantBin := acceptsBin(r)
+		if raw, ok := s.resp.get(respKey(modelID, engine.WorkloadKey(req.Samples), req.Top, wantBin)); ok {
+			ct := "application/json"
+			if wantBin {
+				ct = wire.ContentTypeBin
+			}
 			w.Header().Set("X-Spire-Model", modelID)
 			w.Header().Set("X-Spire-Degraded", "cache")
 			s.mDegraded.Inc()
-			writeRawJSON(w, http.StatusOK, raw)
+			writeRaw(w, http.StatusOK, raw, ct)
 			return
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"spire/internal/ingest"
+	"spire/internal/wire"
 )
 
 // StreamFeedResponse is the POST /v1/stream response body.
@@ -36,6 +37,10 @@ func (s *Server) handleStreamPost(w http.ResponseWriter, r *http.Request) {
 		writeRejected(w, err)
 		return
 	}
+	if isBinMedia(r.Header.Get("Content-Type")) {
+		s.handleStreamPostBin(w, r)
+		return
+	}
 	buf := make([]byte, 32<<10)
 	var fed int64
 	for {
@@ -54,6 +59,70 @@ func (s *Server) handleStreamPost(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "reading body: %v", rerr)
 			return
 		}
+	}
+	writeJSON(w, http.StatusOK, StreamFeedResponse{
+		Bytes: fed,
+		Stats: s.hub.Stats(),
+		Diags: s.hub.Diags(),
+	})
+}
+
+// handleStreamPostBin feeds SPB1 MsgSampleBatch frames into the hub:
+// each frame is one pre-parsed interval, decoded as soon as its bytes
+// are complete (frames may split across reads and requests may carry
+// many frames). A malformed or truncated frame fails the request with a
+// decode error — never a partial-success 200 — though intervals decoded
+// before the bad frame were already fed, exactly as the CSV path feeds
+// whole lines preceding a bad one. Buffering is bounded by one frame
+// (wire.MaxPayload), so the endless-body contract of the route holds.
+func (s *Server) handleStreamPostBin(w http.ResponseWriter, r *http.Request) {
+	var (
+		acc []byte
+		tmp = make([]byte, 32<<10)
+		fed int64
+	)
+	for {
+		n, rerr := r.Body.Read(tmp)
+		if n > 0 {
+			fed += int64(n)
+			acc = append(acc, tmp[:n]...)
+			consumed := 0
+			for {
+				size, err := wire.FrameSize(acc[consumed:])
+				if err != nil {
+					writeErr(w, http.StatusBadRequest, "bad stream frame: %v", err)
+					return
+				}
+				if size == 0 || len(acc)-consumed < size {
+					break
+				}
+				sb, err := wire.DecodeSampleBatch(acc[consumed : consumed+size : consumed+size])
+				if err != nil {
+					writeErr(w, http.StatusBadRequest, "bad stream frame: %v", err)
+					return
+				}
+				consumed += size
+				iv := ingest.Interval{TS: sb.TS, Window: sb.Window, Samples: sb.Samples}
+				if err := s.hub.FeedInterval(iv); err != nil {
+					writeErr(w, http.StatusServiceUnavailable, "stream closed: %v", err)
+					return
+				}
+			}
+			if consumed > 0 {
+				acc = append(acc[:0], acc[consumed:]...)
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			writeErr(w, http.StatusBadRequest, "reading body: %v", rerr)
+			return
+		}
+	}
+	if len(acc) != 0 {
+		writeErr(w, http.StatusBadRequest, "truncated frame at end of feed (%d buffered bytes)", len(acc))
+		return
 	}
 	writeJSON(w, http.StatusOK, StreamFeedResponse{
 		Bytes: fed,

@@ -26,6 +26,11 @@ type Hub struct {
 
 	feedMu sync.Mutex // parser is not concurrent-safe; serializes feeders
 	in     *ingest.Incremental
+	// binIntervals/binSamples account intervals fed pre-parsed through
+	// FeedInterval (the binary wire path), which bypass the CSV parser's
+	// own counters. Guarded by feedMu.
+	binIntervals int
+	binSamples   int
 
 	queue chan ingest.Interval
 
@@ -73,6 +78,24 @@ func (h *Hub) Feed(chunk []byte) error {
 	return err
 }
 
+// FeedInterval enqueues one pre-parsed interval — the binary wire feed
+// path, where frames arrive already decoded and skip the CSV parser
+// (invalid samples are still dropped at indexing time by the windower).
+// Window tags must be nondecreasing across a feeder's intervals, the
+// same contract the parser's numbering satisfies by construction. Safe
+// for concurrent feeders; returns ErrClosed after Close.
+func (h *Hub) FeedInterval(iv ingest.Interval) error {
+	h.feedMu.Lock()
+	defer h.feedMu.Unlock()
+	if h.closed.Load() {
+		return ErrClosed
+	}
+	h.binIntervals++
+	h.binSamples += len(iv.Samples)
+	h.enqueue(iv)
+	return nil
+}
+
 // enqueue inserts one interval, dropping the oldest pending interval
 // while the queue is full. Called with feedMu held, so there is exactly
 // one producer and the retry loop terminates as soon as a slot opens.
@@ -98,11 +121,15 @@ func (h *Hub) Diags() []ingest.Diag {
 	return h.in.TakeDiags()
 }
 
-// Stats reports ingestion accounting so far.
+// Stats reports ingestion accounting so far: the CSV parser's counters
+// plus the pre-parsed intervals fed through FeedInterval.
 func (h *Hub) Stats() ingest.Stats {
 	h.feedMu.Lock()
 	defer h.feedMu.Unlock()
-	return h.in.Stats()
+	st := h.in.Stats()
+	st.Intervals += h.binIntervals
+	st.Samples += h.binSamples
+	return st
 }
 
 // run is the single owner of the windower: it turns queued intervals
