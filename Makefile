@@ -6,8 +6,10 @@ CORE_COVER_FLOOR ?= 85.0
 SERVE_COVER_FLOOR ?= 80.0
 # Minimum statement coverage for the streaming pipeline.
 STREAM_COVER_FLOOR ?= 85.0
+# Minimum statement coverage for the cluster routing tier.
+CLUSTER_COVER_FLOOR ?= 85.0
 
-.PHONY: all build test vet lint race cover cover-serve cover-stream smoke fuzz fuzz-short chaos bench-gate verify clean
+.PHONY: all build test vet lint race cover cover-serve cover-stream cover-cluster smoke fuzz fuzz-short chaos chaos-cluster bench-gate verify clean
 
 # Pinned linter versions, fetched on demand with `go run`. In an offline
 # environment (no module proxy) lint degrades to a warning + skip, so the
@@ -20,8 +22,10 @@ all: build
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test execution order within each package so
+# order-dependent tests fail loudly instead of passing by accident.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -79,6 +83,14 @@ cover-stream: | cover/
 	awk -v p="$$pct" -v f="$(STREAM_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
 		{ echo "FAIL: internal/stream coverage $$pct% is below the $(STREAM_COVER_FLOOR)% floor"; exit 1; }
 
+# Coverage gate for the cluster routing tier.
+cover-cluster: | cover/
+	$(GO) test -coverprofile=cover/coverage-cluster.out ./internal/cluster/
+	@pct=$$($(GO) tool cover -func=cover/coverage-cluster.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "internal/cluster coverage: $$pct% (floor $(CLUSTER_COVER_FLOOR)%)"; \
+	awk -v p="$$pct" -v f="$(CLUSTER_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "FAIL: internal/cluster coverage $$pct% is below the $(CLUSTER_COVER_FLOOR)% floor"; exit 1; }
+
 # Black-box smoke: build the real binary, start `spire serve`, hit
 # /healthz and one estimate over HTTP, and shut down cleanly on SIGTERM.
 smoke:
@@ -105,6 +117,8 @@ fuzz-short:
 	$(GO) test -fuzz FuzzModelDecode -fuzztime 10s ./internal/serve/
 	$(GO) test -fuzz FuzzBinDecodeEstimate -fuzztime 10s ./internal/wire/
 	$(GO) test -fuzz FuzzBinRoundTrip -fuzztime 10s ./internal/wire/
+	$(GO) test -fuzz FuzzParseConfig -fuzztime 10s ./internal/cluster/
+	$(GO) test -fuzz FuzzParseShardList -fuzztime 10s ./internal/cluster/
 
 # Transport-level chaos soak under the race detector: retrying clients
 # against a live server through the faultinject chaos transport and
@@ -113,6 +127,13 @@ fuzz-short:
 # accounting. Bounded -timeout so a hang fails fast instead of wedging CI.
 chaos:
 	$(GO) test -race -count=1 -timeout 300s -run 'TestChaos' ./internal/client/ ./internal/faultinject/
+
+# Cluster soaks under the race detector: the kill/restart soak (abrupt
+# shard deaths, empty-registry restarts, re-convergence) and the chaos
+# soaks on the router<->shard hop (faultinject stalls, resets, truncated
+# frames on relays, health probes, and model pushes).
+chaos-cluster:
+	$(GO) test -race -count=1 -timeout 300s -run 'TestChaosCluster|TestClusterKillRestartSoak' ./internal/cluster/
 
 # Benchmark regression gate: re-measures the columnar steady state
 # (BenchmarkBatchEstimate's timed region, best of 3) against the
@@ -124,7 +145,7 @@ bench-gate:
 # The full verification gate: build, static checks, tests, race tests,
 # the coverage floors, the serving smoke, the chaos soak, a short fuzz
 # smoke, and the benchmark regression gate.
-verify: build vet lint test race cover cover-serve cover-stream smoke chaos fuzz-short bench-gate
+verify: build vet lint test race cover cover-serve cover-stream cover-cluster smoke chaos chaos-cluster fuzz-short bench-gate
 
 clean:
 	$(GO) clean ./...

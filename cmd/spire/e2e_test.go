@@ -7,7 +7,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -18,6 +17,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"spire/internal/testutil"
 )
 
 // update regenerates golden files instead of comparing against them:
@@ -178,47 +179,6 @@ func (s *spireServer) stop(t *testing.T) int {
 	return s.cmd.ProcessState.ExitCode()
 }
 
-func httpPost(t *testing.T, url, contentType string, body []byte) (int, http.Header, []byte) {
-	t.Helper()
-	resp, err := http.Post(url, contentType, bytes.NewReader(body))
-	if err != nil {
-		t.Fatalf("POST %s: %v", url, err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp.StatusCode, resp.Header, raw
-}
-
-func httpGet(t *testing.T, url string) (int, []byte) {
-	t.Helper()
-	resp, err := http.Get(url)
-	if err != nil {
-		t.Fatalf("GET %s: %v", url, err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp.StatusCode, raw
-}
-
-// scrapeMetric extracts one un-labeled sample value from Prometheus text.
-func scrapeMetric(t *testing.T, text, name string) float64 {
-	t.Helper()
-	for _, line := range strings.Split(text, "\n") {
-		var v float64
-		if _, err := fmt.Sscanf(line, name+" %g", &v); err == nil {
-			return v
-		}
-	}
-	t.Fatalf("metric %s not found in exposition:\n%s", name, text)
-	return 0
-}
-
 // TestE2EPipeline drives the full workflow through the real binary:
 // ingest a perf CSV, train a model, serve it, and estimate over HTTP. The
 // estimate response must be byte-stable across requests, match the golden
@@ -250,7 +210,7 @@ func TestE2EPipeline(t *testing.T) {
 
 	srv := startServe(t, "-model", model)
 
-	status, hdr, first := httpPost(t, srv.base+"/v1/estimate", "application/json", body)
+	status, hdr, first := testutil.HTTPPost(t, srv.base+"/v1/estimate", "application/json", body)
 	if status != http.StatusOK {
 		t.Fatalf("estimate status %d: %s", status, first)
 	}
@@ -260,7 +220,7 @@ func TestE2EPipeline(t *testing.T) {
 
 	// Byte-stable: the same request served again (now cached) must return
 	// the identical body.
-	status, hdr, second := httpPost(t, srv.base+"/v1/estimate", "application/json", body)
+	status, hdr, second := testutil.HTTPPost(t, srv.base+"/v1/estimate", "application/json", body)
 	if status != http.StatusOK {
 		t.Fatalf("second estimate status %d", status)
 	}
@@ -280,18 +240,7 @@ func TestE2EPipeline(t *testing.T) {
 		t.Fatalf("estimate response is not JSON: %v\n%s", err, first)
 	}
 	golden := filepath.Join("testdata", "golden_estimate.json")
-	if *update {
-		if err := os.WriteFile(golden, append(resp.Estimation, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("%v (run with -update to create it)", err)
-	}
-	if got := append(resp.Estimation, '\n'); !bytes.Equal(got, want) {
-		t.Errorf("estimation diverges from golden file\ngot:  %s\nwant: %s", got, want)
-	}
+	testutil.Golden(t, golden, append(resp.Estimation, '\n'), *update)
 
 	// Parity: `spire analyze -json` prints the same estimation bytes.
 	cliOut, stderr, code := runSpire(t, "analyze", "-model", model, "-json", dataset)
@@ -303,21 +252,21 @@ func TestE2EPipeline(t *testing.T) {
 	}
 
 	// Non-trivial metrics: two estimates served, one hit, one miss.
-	status, metricsText := httpGet(t, srv.base+"/metrics")
+	status, metricsText := testutil.HTTPGet(t, srv.base+"/metrics")
 	if status != http.StatusOK {
 		t.Fatalf("metrics status %d", status)
 	}
 	text := string(metricsText)
-	if v := scrapeMetric(t, text, "spire_estimates_served_total"); v != 2 {
+	if v := testutil.MustMetric(t, text, "spire_estimates_served_total"); v != 2 {
 		t.Errorf("spire_estimates_served_total = %g, want 2", v)
 	}
-	if v := scrapeMetric(t, text, "spire_estimate_cache_hits_total"); v != 1 {
+	if v := testutil.MustMetric(t, text, "spire_estimate_cache_hits_total"); v != 1 {
 		t.Errorf("spire_estimate_cache_hits_total = %g, want 1", v)
 	}
-	if v := scrapeMetric(t, text, "spire_estimate_cache_misses_total"); v != 1 {
+	if v := testutil.MustMetric(t, text, "spire_estimate_cache_misses_total"); v != 1 {
 		t.Errorf("spire_estimate_cache_misses_total = %g, want 1", v)
 	}
-	if v := scrapeMetric(t, text, "spire_model_metrics"); v != 3 {
+	if v := testutil.MustMetric(t, text, "spire_model_metrics"); v != 3 {
 		t.Errorf("spire_model_metrics = %g, want 3", v)
 	}
 
@@ -493,7 +442,7 @@ func TestSmokeServe(t *testing.T) {
 
 	srv := startServe(t, "-model", model)
 
-	status, raw := httpGet(t, srv.base+"/healthz")
+	status, raw := testutil.HTTPGet(t, srv.base+"/healthz")
 	if status != http.StatusOK {
 		t.Fatalf("healthz status %d", status)
 	}
@@ -512,7 +461,7 @@ func TestSmokeServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	status, _, resp := httpPost(t, srv.base+"/v1/estimate", "application/json", body)
+	status, _, resp := testutil.HTTPPost(t, srv.base+"/v1/estimate", "application/json", body)
 	if status != http.StatusOK {
 		t.Fatalf("estimate status %d: %s", status, resp)
 	}

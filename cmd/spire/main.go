@@ -7,6 +7,7 @@
 //	spire analyze -model model.json -top 10 workload.json
 //	spire watch -model model.json -follow perf-live.csv
 //	spire serve -addr :9090 -model model.json
+//	spire route -addr :9091 -shards a=http://127.0.0.1:9090
 //	spire info -model model.json
 //
 // Exit codes are uniform across subcommands: 0 success, 1 error, 2 usage
@@ -65,6 +66,8 @@ func run(args []string) int {
 		err = cmdInfo(args[1:])
 	case "serve":
 		err = cmdServe(args[1:])
+	case "route":
+		err = cmdRoute(args[1:])
 	case "-h", "--help", "help":
 		usage()
 		return exitOK
@@ -96,6 +99,8 @@ commands:
   watch    -model model.json [-window N] [-top K] [-json] [-follow] [-poll D] [-strict] [-v] perf.csv|-
   serve    [-addr HOST:PORT] [-model model.json] [-model-dir DIR] [-cache N] [-pprof]
            [-max-inflight N] [-admission-queue N] [-queue-wait D] [-tenant-rate R] [-tenant-burst B] [-degraded-cache N]
+  route    [-addr HOST:PORT] (-shards name=URL,... | -config cluster.json) [-model model.json]
+           [-vnodes N] [-load-factor F] [-health-interval D] [-sync-interval D]
   diff     -model model.json [-top K] [-workers N] [-json] [-remote URL [-tenant T] [-wire json|bin]] before.json after.json
   info     -model model.json
 

@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"spire/internal/core"
+
+	"spire/internal/testutil"
 )
 
 // buildE2EModel runs ingest+train through the real binary and returns
@@ -89,7 +91,7 @@ func TestE2EGracefulDrain(t *testing.T) {
 	srv := startServe(t, "-model", model, "-max-body", "67108864")
 
 	// Readiness holds while the server is healthy.
-	if status, body := httpGet(t, srv.base+"/readyz"); status != http.StatusOK {
+	if status, body := testutil.HTTPGet(t, srv.base+"/readyz"); status != http.StatusOK {
 		t.Fatalf("readyz %d: %s", status, body)
 	}
 

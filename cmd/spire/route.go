@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spire/internal/cluster"
+)
+
+// cmdRoute runs the stateless cluster router: consistent-hash placement
+// of estimate traffic across N `spire serve` shards, with health-checked
+// failover and content-addressed model replication. It blocks until
+// SIGINT/SIGTERM, then drains like serve does.
+func cmdRoute(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9091", "listen address (use :0 for an ephemeral port)")
+	shards := fs.String("shards", "", "comma-separated shard list: name=http://host:port,...")
+	configPath := fs.String("config", "", "JSON cluster config file (alternative to -shards)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = 64)")
+	loadFactor := fs.Float64("load-factor", 0, "bounded-load factor over the fair share (0 = 1.25)")
+	healthEvery := fs.Duration("health-interval", 0, "shard /readyz probe period (0 = 1s)")
+	syncEvery := fs.Duration("sync-interval", 0, "model convergence sweep period (0 = 2s)")
+	modelPath := fs.String("model", "", "model file to replicate to all shards at startup")
+	drain := fs.Duration("drain", 10*time.Second, "max time to drain in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("route takes no positional arguments (got %q)", fs.Args())
+	}
+	if (*shards == "") == (*configPath == "") {
+		return fmt.Errorf("route needs exactly one of -shards or -config")
+	}
+
+	var cfg cluster.Config
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			return err
+		}
+		parsed, perr := cluster.ParseConfig(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+		cfg = *parsed
+	} else {
+		list, err := cluster.ParseShardList(*shards)
+		if err != nil {
+			return err
+		}
+		cfg.Shards = list
+	}
+	// Flags override file values when set explicitly; zero means "keep".
+	if *vnodes != 0 {
+		cfg.VNodes = *vnodes
+	}
+	if *loadFactor != 0 {
+		cfg.LoadFactor = *loadFactor
+	}
+	if *healthEvery != 0 {
+		cfg.HealthInterval = cluster.Duration(*healthEvery)
+	}
+	if *syncEvery != 0 {
+		cfg.SyncInterval = cluster.Duration(*syncEvery)
+	}
+
+	rt, err := cluster.NewRouter(cfg, cluster.RouterOptions{})
+	if err != nil {
+		return err
+	}
+	if *modelPath != "" {
+		blob, err := os.ReadFile(*modelPath)
+		if err != nil {
+			return err
+		}
+		id, err := rt.SetModel(blob)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", *modelPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "spire route: replicating model %s from %s\n", id[:12], *modelPath)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The e2e harness scrapes this line for the bound port, so keep the
+	// "listening on" phrasing stable (same contract as serve).
+	fmt.Fprintf(os.Stderr, "spire route: listening on %s (%d shards)\n", ln.Addr(), len(cfg.Shards))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := rt.Serve(ctx, ln, *drain); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "spire route: drained, shutting down")
+	return nil
+}

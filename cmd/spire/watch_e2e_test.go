@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"spire/internal/testutil"
 )
 
 // watchModel ingests the clean e2e fixture and trains a model for the
@@ -84,18 +86,7 @@ func TestE2EWatchGolden(t *testing.T) {
 	// Golden: the full stream is pinned (training is deterministic, so
 	// the model fingerprint embedded in each line is too).
 	golden := filepath.Join("testdata", "golden_watch.jsonl")
-	if *update {
-		if err := os.WriteFile(golden, []byte(stdout), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("%v (run with -update to create it)", err)
-	}
-	if stdout != string(want) {
-		t.Errorf("watch stream diverges from golden file\ngot:\n%s\nwant:\n%s", stdout, want)
-	}
+	testutil.Golden(t, golden, []byte(stdout), *update)
 
 	// Stdin parity: `spire watch ... -` fed the same bytes emits the same
 	// stream.

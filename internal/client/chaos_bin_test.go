@@ -22,6 +22,7 @@ import (
 
 	"spire/internal/client"
 	"spire/internal/faultinject"
+	"spire/internal/testutil"
 	"spire/internal/wire"
 )
 
@@ -47,11 +48,11 @@ func TestChaosBinTransport(t *testing.T) {
 	}
 	binGoldens := make([][]byte, workloads)
 	for k := range binGoldens {
-		jres, err := plain.Estimate(context.Background(), soakWorkload(k), client.EstimateOptions{})
+		jres, err := plain.Estimate(context.Background(), testutil.Workload(k), client.EstimateOptions{})
 		if err != nil {
 			t.Fatalf("json golden %d: %v", k, err)
 		}
-		bres, err := plain.Estimate(context.Background(), soakWorkload(k), client.EstimateOptions{Wire: client.WireBin})
+		bres, err := plain.Estimate(context.Background(), testutil.Workload(k), client.EstimateOptions{Wire: client.WireBin})
 		if err != nil {
 			t.Fatalf("bin golden %d: %v", k, err)
 		}
@@ -119,7 +120,7 @@ func TestChaosBinTransport(t *testing.T) {
 			for i := 0; i < iterations; i++ {
 				k := (g + i) % workloads
 				calls.Add(1)
-				res, err := c.Estimate(ctx, soakWorkload(k), client.EstimateOptions{Wire: client.WireBin})
+				res, err := c.Estimate(ctx, testutil.Workload(k), client.EstimateOptions{Wire: client.WireBin})
 				if err != nil {
 					failures.Add(1)
 					var ae *client.APIError
@@ -147,7 +148,7 @@ func TestChaosBinTransport(t *testing.T) {
 	if failed*10 > total {
 		t.Fatalf("error rate too high: %d/%d calls failed", failed, total)
 	}
-	assertBooksBalance(t, scrape(t, ts.URL))
+	testutil.AssertServeBooksBalance(t, testutil.ScrapeMetrics(t, ts.URL))
 }
 
 // TestChaosBinFeedTruncation pins the feed-side failure contract: a
@@ -169,7 +170,7 @@ func TestChaosBinFeedTruncation(t *testing.T) {
 	defer cancel()
 
 	batch := func(w int) *wire.SampleBatch {
-		return &wire.SampleBatch{TS: float64(w), Window: w, Samples: soakWorkload(w % 4)[:20]}
+		return &wire.SampleBatch{TS: float64(w), Window: w, Samples: testutil.Workload(w % 4)[:20]}
 	}
 
 	// A clean two-frame feed succeeds and accounts both intervals.

@@ -24,8 +24,6 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
-	"regexp"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -33,49 +31,10 @@ import (
 	"time"
 
 	"spire/internal/client"
-	"spire/internal/core"
 	"spire/internal/faultinject"
 	"spire/internal/serve"
+	"spire/internal/testutil"
 )
-
-// soakModel trains the two-metric test model used across the soak.
-func soakModel(t testing.TB) []byte {
-	t.Helper()
-	var d core.Dataset
-	for _, metric := range []string{"m1", "m2"} {
-		for i := 1; i <= 16; i++ {
-			d.Add(core.Sample{Metric: metric, T: 1, W: float64(i), M: float64(17 - i), Window: i})
-		}
-	}
-	ens, err := core.Train(d, core.TrainOptions{WorkUnit: "instructions", TimeUnit: "cycles"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := ens.Save(&buf); err != nil {
-		t.Fatal(err)
-	}
-	return buf.Bytes()
-}
-
-// soakWorkload builds distinct deterministic workloads; k selects one.
-func soakWorkload(k int) []core.Sample {
-	samples := make([]core.Sample, 0, 400)
-	for i := 0; i < 400; i++ {
-		metric := "m1"
-		if i%2 == 1 {
-			metric = "m2"
-		}
-		samples = append(samples, core.Sample{
-			Metric: metric,
-			T:      1,
-			W:      float64(1+i%16) + float64(k)/64,
-			M:      float64(1 + (i*7)%16),
-			Window: i,
-		})
-	}
-	return samples
-}
 
 // newSoakServer builds a serve.Server with a deliberately small gate so
 // the soak exercises admission, loads the model, and returns the server.
@@ -86,94 +45,11 @@ func newSoakServer(t testing.TB) *serve.Server {
 		AdmissionQueue: 16,
 	})
 	t.Cleanup(s.Close)
-	if _, err := s.Models().Load(bytes.NewReader(soakModel(t)), "soak"); err != nil {
+	_, model := testutil.TrainModel(t, 1)
+	if _, err := s.Models().Load(bytes.NewReader(model), "soak"); err != nil {
 		t.Fatal(err)
 	}
 	return s
-}
-
-// scrape fetches /metrics over a clean connection.
-func scrape(t *testing.T, base string) string {
-	t.Helper()
-	resp, err := http.Get(base + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return string(raw)
-}
-
-// metricValue returns the value of the sample line that starts with
-// name (exact series, labels included), or 0 when absent.
-func metricValue(t *testing.T, exposition, name string) float64 {
-	t.Helper()
-	for _, line := range strings.Split(exposition, "\n") {
-		if rest, ok := strings.CutPrefix(line, name+" "); ok {
-			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
-			if err != nil {
-				t.Fatalf("unparsable sample %q: %v", line, err)
-			}
-			return v
-		}
-	}
-	return 0
-}
-
-// sumMetricMatching sums every sample of a metric family whose label set
-// matches all given `k="v"` fragments (label order independent).
-func sumMetricMatching(t *testing.T, exposition, family string, labels ...string) float64 {
-	t.Helper()
-	re := regexp.MustCompile(`^` + regexp.QuoteMeta(family) + `\{([^}]*)\} ([0-9eE.+-]+)$`)
-	var sum float64
-	for _, line := range strings.Split(exposition, "\n") {
-		m := re.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		ok := true
-		for _, l := range labels {
-			if !strings.Contains(m[1], l) {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		v, err := strconv.ParseFloat(m[2], 64)
-		if err != nil {
-			t.Fatalf("unparsable sample %q: %v", line, err)
-		}
-		sum += v
-	}
-	return sum
-}
-
-// assertBooksBalance asserts the exact admission-accounting identity on
-// the estimate route.
-func assertBooksBalance(t *testing.T, exposition string) {
-	t.Helper()
-	requests := sumMetricMatching(t, exposition, "spire_http_requests_total", `route="/v1/estimate"`)
-	admitted := metricValue(t, exposition, "spire_admission_admitted_total")
-	degraded := metricValue(t, exposition, "spire_estimates_degraded_total")
-	var rejected float64
-	for _, reason := range []string{"quota", "queue_full", "deadline"} {
-		rejected += metricValue(t, exposition, fmt.Sprintf(`spire_admission_rejected_total{reason=%q}`, reason))
-	}
-	if requests != admitted+rejected+degraded {
-		t.Errorf("books don't balance: requests %v != admitted %v + rejected %v + degraded %v",
-			requests, admitted, rejected, degraded)
-	}
-	if depth := metricValue(t, exposition, "spire_admission_queue_depth"); depth != 0 {
-		t.Errorf("queue depth %v after soak, want 0", depth)
-	}
-	if inflight := metricValue(t, exposition, "spire_admission_inflight"); inflight != 0 {
-		t.Errorf("admission inflight %v after soak, want 0", inflight)
-	}
 }
 
 // TestChaosSoakTransport drives retrying clients through a chaos
@@ -196,7 +72,7 @@ func TestChaosSoakTransport(t *testing.T) {
 	}
 	goldens := make([][]byte, workloads)
 	for k := range goldens {
-		res, err := plain.Estimate(context.Background(), soakWorkload(k), client.EstimateOptions{})
+		res, err := plain.Estimate(context.Background(), testutil.Workload(k), client.EstimateOptions{})
 		if err != nil {
 			t.Fatalf("golden %d: %v", k, err)
 		}
@@ -243,7 +119,7 @@ func TestChaosSoakTransport(t *testing.T) {
 			for i := 0; i < iterations; i++ {
 				k := (g + i) % workloads
 				calls.Add(1)
-				res, err := c.Estimate(ctx, soakWorkload(k), client.EstimateOptions{})
+				res, err := c.Estimate(ctx, testutil.Workload(k), client.EstimateOptions{})
 				if err != nil {
 					// A surviving failure must be classified chaos damage
 					// (transport fault or an honest 429 after retries) —
@@ -282,7 +158,7 @@ func TestChaosSoakTransport(t *testing.T) {
 	if failed*10 > total {
 		t.Fatalf("error rate too high: %d/%d calls failed", failed, total)
 	}
-	assertBooksBalance(t, scrape(t, ts.URL))
+	testutil.AssertServeBooksBalance(t, testutil.ScrapeMetrics(t, ts.URL))
 }
 
 // TestChaosSoakListener is the server-side mirror: the chaos listener
@@ -297,7 +173,7 @@ func TestChaosSoakListener(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	golden, err := plain.Estimate(context.Background(), soakWorkload(0), client.EstimateOptions{})
+	golden, err := plain.Estimate(context.Background(), testutil.Workload(0), client.EstimateOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +222,7 @@ func TestChaosSoakListener(t *testing.T) {
 			}
 			for i := 0; i < iterations; i++ {
 				calls.Add(1)
-				res, err := c.Estimate(ctx, soakWorkload(0), client.EstimateOptions{})
+				res, err := c.Estimate(ctx, testutil.Workload(0), client.EstimateOptions{})
 				if err != nil {
 					failures.Add(1)
 					continue
@@ -371,7 +247,7 @@ func TestChaosSoakListener(t *testing.T) {
 	}
 	// Books balance even though many requests died on the wire: the
 	// identity only counts exchanges the server actually admitted.
-	assertBooksBalance(t, scrape(t, clean.URL))
+	testutil.AssertServeBooksBalance(t, testutil.ScrapeMetrics(t, clean.URL))
 }
 
 // streamIntervalCSV renders one complete perf-stat interval over the
@@ -390,7 +266,7 @@ func TestChaosSSESubscription(t *testing.T) {
 
 	chaos := faultinject.NewChaos(faultinject.ChaosConfig{
 		Seed:          3,
-		TruncateRate:  1, // every subscriber connection dies mid-frame...
+		TruncateRate:  1,    // every subscriber connection dies mid-frame...
 		TruncateAfter: 2048, // ...after a few whole frames got through
 	})
 	sub, err := client.New(client.Config{

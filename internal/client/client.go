@@ -64,6 +64,10 @@ type Config struct {
 	BaseDelay time.Duration
 	// MaxDelay caps any one backoff sleep. Default 5s.
 	MaxDelay time.Duration
+	// MaxRetryAfter caps how much server-supplied Retry-After is
+	// honored: a huge (buggy or hostile) value delays the retry by at
+	// most this much instead of wedging the caller. Default 60s.
+	MaxRetryAfter time.Duration
 	// Seed drives the jitter PRNG; 0 seeds from the wall clock.
 	Seed int64
 	// OnRetry, when set, observes every backoff decision (tests assert
@@ -125,6 +129,9 @@ func New(cfg Config) (*Client, error) {
 	if cfg.MaxDelay <= 0 {
 		cfg.MaxDelay = 5 * time.Second
 	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 60 * time.Second
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
@@ -156,9 +163,13 @@ func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	}
 	d := c.jitter(ceil)
 	if retryAfter > 0 {
-		// Honor the server's wait exactly, desynchronized by a jittered
-		// slice of BaseDelay so a synchronized shed doesn't re-arrive
-		// synchronized.
+		// Honor the server's wait, desynchronized by a jittered slice of
+		// BaseDelay so a synchronized shed doesn't re-arrive
+		// synchronized — but never beyond MaxRetryAfter, so a huge
+		// Retry-After cannot wedge the caller.
+		if retryAfter > c.cfg.MaxRetryAfter {
+			retryAfter = c.cfg.MaxRetryAfter
+		}
 		d = retryAfter + c.jitter(c.cfg.BaseDelay)
 	}
 	return d

@@ -1,0 +1,264 @@
+package client
+
+// Edge-case coverage for the retry plumbing's two pure pieces:
+// retryAfterOf (header parsing — delta-seconds, HTTP-date, and the long
+// tail of malformed values real servers emit) and backoff (jitter
+// bounds, overflow ceilings, and the Retry-After floor/cap). In-package
+// because both are unexported by design.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// respWithRetryAfter builds a minimal response carrying one header value.
+func respWithRetryAfter(v string) *http.Response {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return &http.Response{StatusCode: http.StatusTooManyRequests, Header: h}
+}
+
+func TestRetryAfterOfEdgeCases(t *testing.T) {
+	httpDate := func(d time.Duration) string {
+		return time.Now().Add(d).UTC().Format(http.TimeFormat)
+	}
+	cases := []struct {
+		name  string
+		value string
+		// exact expected duration, used when tolerance == 0
+		want time.Duration
+		// for HTTP-date forms the parse races the clock: accept
+		// [want-tolerance, want]
+		tolerance time.Duration
+	}{
+		{name: "absent", value: "", want: 0},
+		{name: "zero seconds", value: "0", want: 0},
+		{name: "small delta seconds", value: "7", want: 7 * time.Second},
+		{name: "huge delta seconds", value: "1000000", want: 1000000 * time.Second},
+		{name: "negative delta", value: "-5", want: 0},
+		{name: "float delta", value: "1.5", want: 0},
+		{name: "garbage", value: "soon", want: 0},
+		{name: "delta with whitespace", value: " 7 ", want: 0},
+		{name: "overflow int", value: "99999999999999999999", want: 0},
+		{name: "future http date", value: httpDate(30 * time.Second), want: 30 * time.Second, tolerance: 5 * time.Second},
+		{name: "past http date", value: httpDate(-30 * time.Second), want: 0},
+		{name: "epoch http date", value: "Thu, 01 Jan 1970 00:00:00 GMT", want: 0},
+		{name: "malformed http date", value: "Thu, 32 Jan 2026 00:00:00 GMT", want: 0},
+		{name: "rfc3339 not accepted", value: time.Now().Add(time.Hour).Format(time.RFC3339), want: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := retryAfterOf(respWithRetryAfter(tc.value))
+			if tc.tolerance == 0 {
+				if got != tc.want {
+					t.Fatalf("retryAfterOf(%q) = %v, want %v", tc.value, got, tc.want)
+				}
+				return
+			}
+			if got > tc.want || got < tc.want-tc.tolerance {
+				t.Fatalf("retryAfterOf(%q) = %v, want within (%v-%v, %v]",
+					tc.value, got, tc.want, tc.tolerance, tc.want)
+			}
+		})
+	}
+}
+
+// TestBackoffJitterBounds pins the full-jitter envelope: for attempt k,
+// 0 <= d < min(BaseDelay<<(k-1), MaxDelay), across many draws.
+func TestBackoffJitterBounds(t *testing.T) {
+	c, err := New(Config{
+		BaseURL:   "http://example.invalid",
+		BaseDelay: 10 * time.Millisecond,
+		MaxDelay:  80 * time.Millisecond,
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 1; attempt <= 12; attempt++ {
+		ceil := c.cfg.BaseDelay << uint(attempt-1)
+		if ceil > c.cfg.MaxDelay || ceil <= 0 {
+			ceil = c.cfg.MaxDelay
+		}
+		for draw := 0; draw < 200; draw++ {
+			d := c.backoff(attempt, 0)
+			if d < 0 || d >= ceil {
+				t.Fatalf("attempt %d draw %d: backoff %v outside [0, %v)", attempt, draw, d, ceil)
+			}
+		}
+	}
+}
+
+// TestBackoffOverflowAttempt: a shift big enough to overflow int64 must
+// land on the MaxDelay ceiling, not go negative or explode.
+func TestBackoffOverflowAttempt(t *testing.T) {
+	c, err := New(Config{BaseURL: "http://example.invalid", Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attempt := range []int{40, 63, 64, 100} {
+		for draw := 0; draw < 100; draw++ {
+			d := c.backoff(attempt, 0)
+			if d < 0 || d >= c.cfg.MaxDelay {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v)", attempt, d, c.cfg.MaxDelay)
+			}
+		}
+	}
+}
+
+// TestBackoffRetryAfterFloor: a server-supplied wait floors the sleep at
+// retryAfter and caps the desync slice at BaseDelay.
+func TestBackoffRetryAfterFloor(t *testing.T) {
+	c, err := New(Config{
+		BaseURL:   "http://example.invalid",
+		BaseDelay: 10 * time.Millisecond,
+		MaxDelay:  80 * time.Millisecond,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const retryAfter = 200 * time.Millisecond // beyond MaxDelay on purpose
+	for draw := 0; draw < 200; draw++ {
+		d := c.backoff(1, retryAfter)
+		if d < retryAfter || d >= retryAfter+c.cfg.BaseDelay {
+			t.Fatalf("draw %d: backoff %v outside [%v, %v)", draw, d, retryAfter, retryAfter+c.cfg.BaseDelay)
+		}
+	}
+}
+
+// TestBackoffRetryAfterCap: a huge (buggy/hostile) Retry-After is capped
+// at MaxRetryAfter instead of wedging the caller for days.
+func TestBackoffRetryAfterCap(t *testing.T) {
+	c, err := New(Config{
+		BaseURL:       "http://example.invalid",
+		BaseDelay:     10 * time.Millisecond,
+		MaxRetryAfter: 150 * time.Millisecond,
+		Seed:          13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := 1000000 * time.Second
+	for draw := 0; draw < 200; draw++ {
+		d := c.backoff(1, huge)
+		lo, hi := c.cfg.MaxRetryAfter, c.cfg.MaxRetryAfter+c.cfg.BaseDelay
+		if d < lo || d >= hi {
+			t.Fatalf("draw %d: capped backoff %v outside [%v, %v)", draw, d, lo, hi)
+		}
+	}
+	// The default cap is 60s — sanity-check New's defaulting so a huge
+	// header can never exceed a bounded sleep out of the box.
+	def, err := New(Config{BaseURL: "http://example.invalid", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.cfg.MaxRetryAfter != 60*time.Second {
+		t.Fatalf("default MaxRetryAfter = %v, want 60s", def.cfg.MaxRetryAfter)
+	}
+}
+
+// TestDoRawDefinitiveAndRetry pins DoRaw's contract: any received HTTP
+// response (even a 429) returns with nil error and exact bytes/headers,
+// transport failures retry only when Idempotent, and per-call tenant
+// overrides the configured one.
+func TestDoRawDefinitiveAndRetry(t *testing.T) {
+	var hits atomic.Int64
+	var lastTenant atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lastTenant.Store(r.Header.Get(TenantHeader))
+		switch hits.Add(1) {
+		case 1:
+			// Kill the first exchange at the transport layer.
+			hj, _ := w.(http.Hijacker)
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+		case 2:
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"quota"}`))
+		default:
+			w.Write([]byte("ok-body"))
+		}
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{
+		BaseURL:     srv.URL,
+		Tenant:      "cfg-tenant",
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attempt 1 dies on the wire, attempt 2's 429 is definitive: DoRaw
+	// must return it (status, Retry-After, body) with nil error.
+	res, err := c.DoRaw(context.Background(), RawRequest{
+		Path: "/v1/estimate", Body: []byte("x"), Idempotent: true, Tenant: "override",
+	})
+	if err != nil {
+		t.Fatalf("DoRaw: %v", err)
+	}
+	if res.Status != http.StatusTooManyRequests || res.RetryAfter != 3*time.Second {
+		t.Fatalf("definitive 429 not relayed: status %d retryAfter %v", res.Status, res.RetryAfter)
+	}
+	if string(res.Body) != `{"error":"quota"}` {
+		t.Fatalf("429 body not byte-exact: %q", res.Body)
+	}
+	if got := lastTenant.Load().(string); got != "override" {
+		t.Fatalf("tenant header %q, want per-call override", got)
+	}
+
+	// A success relays exact bytes too.
+	res, err = c.DoRaw(context.Background(), RawRequest{Path: "/v1/estimate", Idempotent: true})
+	if err != nil || string(res.Body) != "ok-body" || res.Status != 200 {
+		t.Fatalf("success relay: %v %d %q", err, res.Status, res.Body)
+	}
+
+	// Non-idempotent exchanges are single-shot: a transport failure
+	// surfaces immediately, with no retries burned.
+	srv.Close()
+	before := hits.Load()
+	_, err = c.DoRaw(context.Background(), RawRequest{Path: "/v1/stream", Idempotent: false})
+	if err == nil {
+		t.Fatal("transport failure on closed server returned nil error")
+	}
+	if hits.Load() != before {
+		t.Fatal("non-idempotent exchange was retried")
+	}
+
+	// Idempotent exchanges give up after MaxAttempts with the last error.
+	_, err = c.DoRaw(context.Background(), RawRequest{Path: "/v1/estimate", Idempotent: true})
+	if err == nil {
+		t.Fatal("exhausted retries returned nil error")
+	}
+
+	// Context cancellation cuts the backoff sleep short.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = c.DoRaw(ctx, RawRequest{Path: "/v1/estimate", Idempotent: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled DoRaw error = %v, want context.Canceled", err)
+	}
+}
+
+// TestRetryableStatusTable pins the retry classification set exactly.
+func TestRetryableStatusTable(t *testing.T) {
+	want := map[int]bool{429: true, 502: true, 503: true, 504: true}
+	for code := 100; code < 600; code++ {
+		if got := retryableStatus(code); got != want[code] {
+			t.Fatalf("retryableStatus(%d) = %v, want %v", code, got, want[code])
+		}
+	}
+}

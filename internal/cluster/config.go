@@ -1,0 +1,232 @@
+// Package cluster implements the spire routing tier: a stateless router
+// that consistent-hashes estimate traffic across N spire serve shards
+// using the engine's workload content-hash as the ring key, fails over
+// on shard death, and converges every shard onto the same
+// content-addressed model.
+//
+// The router holds no estimation state of its own — every response body
+// a client receives was produced byte-for-byte by some shard (the
+// cluster tier's core invariant, pinned by the differential harness in
+// this package's tests). What the router adds is placement (bounded-load
+// consistent hashing, so one workload's degraded-cache and index-cache
+// entries concentrate on one shard), liveness (health-checked membership
+// with ring-walk failover), and convergence (model push-on-mismatch
+// keyed by fingerprint).
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Shard is one backend spire serve instance.
+type Shard struct {
+	// Name is the stable ring identity: hashing is over the name, not
+	// the URL, so a shard can move addresses (restart, re-schedule)
+	// without reshuffling the ring.
+	Name string `json:"name"`
+	// URL is the shard's base URL, e.g. "http://127.0.0.1:9090".
+	URL string `json:"url"`
+}
+
+// Duration is a time.Duration that JSON-decodes from a Go duration
+// string ("250ms", "2s"). Bare numbers are rejected: a config that says
+// "2" is ambiguous between seconds and nanoseconds, and this file is
+// hand-written.
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("duration must be a string like \"250ms\": %w", err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	if v < 0 {
+		return fmt.Errorf("duration %q is negative", s)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// Config describes one router.
+type Config struct {
+	// Shards is the backend membership. At least one required.
+	Shards []Shard `json:"shards"`
+	// VNodes is the number of virtual nodes each shard contributes to
+	// the ring. More vnodes → smoother key distribution, linearly more
+	// ring memory. 0 selects 64; the ceiling is 1024.
+	VNodes int `json:"vnodes,omitempty"`
+	// LoadFactor bounds per-shard load: a shard is skipped (the walk
+	// moves to the next ring successor) while its in-flight count
+	// exceeds LoadFactor times the fair share. 0 selects 1.25; must be
+	// in [1, 8].
+	LoadFactor float64 `json:"loadFactor,omitempty"`
+	// HealthInterval is the /readyz probe period. 0 selects 1s.
+	HealthInterval Duration `json:"healthInterval,omitempty"`
+	// SyncInterval is the model-convergence sweep period. 0 selects 2s.
+	SyncInterval Duration `json:"syncInterval,omitempty"`
+	// ShardTimeout caps one router→shard exchange. 0 selects 30s.
+	ShardTimeout Duration `json:"shardTimeout,omitempty"`
+	// ShardAttempts is the per-shard transport retry budget before the
+	// walk fails over to the next shard. 0 selects 2.
+	ShardAttempts int `json:"shardAttempts,omitempty"`
+	// MaxBodyBytes caps request bodies the router will buffer for
+	// routing. 0 selects 8 MiB.
+	MaxBodyBytes int64 `json:"maxBodyBytes,omitempty"`
+}
+
+// configLimits bound the knobs a config file may set; Validate enforces
+// them so a typo'd exponent cannot allocate a gigabyte of ring.
+const (
+	maxVNodes     = 1024
+	maxLoadFactor = 8.0
+	minInterval   = 10 * time.Millisecond
+)
+
+// shardNameOK reports whether a shard name is ring-safe: nonempty,
+// ≤64 bytes, and drawn from [A-Za-z0-9._-] so names survive metrics
+// labels and log lines unquoted.
+func shardNameOK(name string) bool {
+	if name == "" || len(name) > 64 {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks invariants and fills defaults in place.
+func (c *Config) Validate() error {
+	if len(c.Shards) == 0 {
+		return fmt.Errorf("cluster: no shards configured")
+	}
+	seen := make(map[string]bool, len(c.Shards))
+	for i := range c.Shards {
+		sh := &c.Shards[i]
+		if !shardNameOK(sh.Name) {
+			return fmt.Errorf("cluster: shard %d name %q: must be 1-64 chars of [A-Za-z0-9._-]", i, sh.Name)
+		}
+		if seen[sh.Name] {
+			return fmt.Errorf("cluster: duplicate shard name %q", sh.Name)
+		}
+		seen[sh.Name] = true
+		sh.URL = strings.TrimRight(sh.URL, "/")
+		u, err := url.Parse(sh.URL)
+		if err != nil {
+			return fmt.Errorf("cluster: shard %q url: %w", sh.Name, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("cluster: shard %q url %q: must be http(s)://host[:port]", sh.Name, sh.URL)
+		}
+		if u.RawQuery != "" || u.Fragment != "" {
+			return fmt.Errorf("cluster: shard %q url %q: query/fragment not allowed", sh.Name, sh.URL)
+		}
+	}
+	if c.VNodes == 0 {
+		c.VNodes = 64
+	}
+	if c.VNodes < 1 || c.VNodes > maxVNodes {
+		return fmt.Errorf("cluster: vnodes %d out of range [1, %d]", c.VNodes, maxVNodes)
+	}
+	if c.LoadFactor == 0 {
+		c.LoadFactor = 1.25
+	}
+	if c.LoadFactor < 1 || c.LoadFactor > maxLoadFactor {
+		return fmt.Errorf("cluster: loadFactor %g out of range [1, %g]", c.LoadFactor, maxLoadFactor)
+	}
+	for _, iv := range []struct {
+		name string
+		d    *Duration
+		def  time.Duration
+	}{
+		{"healthInterval", &c.HealthInterval, time.Second},
+		{"syncInterval", &c.SyncInterval, 2 * time.Second},
+		{"shardTimeout", &c.ShardTimeout, 30 * time.Second},
+	} {
+		if *iv.d == 0 {
+			*iv.d = Duration(iv.def)
+			continue
+		}
+		if time.Duration(*iv.d) < minInterval {
+			return fmt.Errorf("cluster: %s %s below minimum %s", iv.name, time.Duration(*iv.d), minInterval)
+		}
+	}
+	if c.ShardAttempts == 0 {
+		c.ShardAttempts = 2
+	}
+	if c.ShardAttempts < 1 || c.ShardAttempts > 10 {
+		return fmt.Errorf("cluster: shardAttempts %d out of range [1, 10]", c.ShardAttempts)
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBodyBytes < 0 {
+		return fmt.Errorf("cluster: maxBodyBytes %d is negative", c.MaxBodyBytes)
+	}
+	return nil
+}
+
+// ParseConfig reads a JSON cluster config, validates it, and fills
+// defaults. Unknown fields are rejected — a typo'd knob silently
+// falling back to its default is the worst failure mode a config
+// format can have.
+func ParseConfig(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(io.LimitReader(r, 1<<20))
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("cluster: parsing config: %w", err)
+	}
+	// Trailing garbage after the object is a malformed file, not data
+	// to ignore.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("cluster: trailing data after config object")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cfg, nil
+}
+
+// ParseShardList parses the compact flag form "name=url,name=url,…"
+// into a shard slice. Whitespace around entries is trimmed; empty
+// entries (doubled commas) are rejected.
+func ParseShardList(s string) ([]Shard, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cluster: empty shard list")
+	}
+	parts := strings.Split(s, ",")
+	shards := make([]Shard, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty shard entry in %q", s)
+		}
+		name, u, ok := strings.Cut(p, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: shard entry %q: want name=url", p)
+		}
+		shards = append(shards, Shard{Name: strings.TrimSpace(name), URL: strings.TrimSpace(u)})
+	}
+	return shards, nil
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfigTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string // substring; "" = success
+		check   func(t *testing.T, c *Config)
+	}{
+		{
+			name: "minimal",
+			in:   `{"shards":[{"name":"a","url":"http://127.0.0.1:9090"}]}`,
+			check: func(t *testing.T, c *Config) {
+				if c.VNodes != 64 || c.LoadFactor != 1.25 {
+					t.Errorf("defaults not applied: vnodes=%d loadFactor=%g", c.VNodes, c.LoadFactor)
+				}
+				if time.Duration(c.HealthInterval) != time.Second || time.Duration(c.SyncInterval) != 2*time.Second {
+					t.Errorf("interval defaults not applied: %+v", c)
+				}
+			},
+		},
+		{
+			name: "full",
+			in: `{"shards":[{"name":"a","url":"http://h:1"},{"name":"b","url":"https://h:2/"}],
+			      "vnodes":128,"loadFactor":2,"healthInterval":"500ms","syncInterval":"3s",
+			      "shardTimeout":"10s","shardAttempts":3,"maxBodyBytes":1024}`,
+			check: func(t *testing.T, c *Config) {
+				if c.Shards[1].URL != "https://h:2" {
+					t.Errorf("trailing slash not trimmed: %q", c.Shards[1].URL)
+				}
+				if c.VNodes != 128 || time.Duration(c.HealthInterval) != 500*time.Millisecond {
+					t.Errorf("explicit values lost: %+v", c)
+				}
+			},
+		},
+		{name: "no shards", in: `{"shards":[]}`, wantErr: "no shards"},
+		{name: "empty object", in: `{}`, wantErr: "no shards"},
+		{name: "empty input", in: ``, wantErr: "parsing config"},
+		{name: "not json", in: `shards: [a]`, wantErr: "parsing config"},
+		{name: "unknown field", in: `{"shards":[{"name":"a","url":"http://h"}],"vnode_count":9}`, wantErr: "parsing config"},
+		{name: "trailing garbage", in: `{"shards":[{"name":"a","url":"http://h"}]} {}`, wantErr: "trailing data"},
+		{name: "dup name", in: `{"shards":[{"name":"a","url":"http://h:1"},{"name":"a","url":"http://h:2"}]}`, wantErr: "duplicate shard name"},
+		{name: "empty name", in: `{"shards":[{"name":"","url":"http://h"}]}`, wantErr: "must be 1-64 chars"},
+		{name: "bad name chars", in: `{"shards":[{"name":"a b","url":"http://h"}]}`, wantErr: "must be 1-64 chars"},
+		{name: "name too long", in: `{"shards":[{"name":"` + strings.Repeat("x", 65) + `","url":"http://h"}]}`, wantErr: "must be 1-64 chars"},
+		{name: "bad scheme", in: `{"shards":[{"name":"a","url":"ftp://h"}]}`, wantErr: "must be http(s)"},
+		{name: "no host", in: `{"shards":[{"name":"a","url":"http://"}]}`, wantErr: "must be http(s)"},
+		{name: "url query", in: `{"shards":[{"name":"a","url":"http://h?x=1"}]}`, wantErr: "query/fragment"},
+		{name: "vnodes too big", in: `{"shards":[{"name":"a","url":"http://h"}],"vnodes":4096}`, wantErr: "vnodes 4096 out of range"},
+		{name: "vnodes negative", in: `{"shards":[{"name":"a","url":"http://h"}],"vnodes":-1}`, wantErr: "out of range"},
+		{name: "load factor below one", in: `{"shards":[{"name":"a","url":"http://h"}],"loadFactor":0.5}`, wantErr: "loadFactor"},
+		{name: "load factor huge", in: `{"shards":[{"name":"a","url":"http://h"}],"loadFactor":100}`, wantErr: "loadFactor"},
+		{name: "interval too small", in: `{"shards":[{"name":"a","url":"http://h"}],"healthInterval":"1ms"}`, wantErr: "below minimum"},
+		{name: "interval negative", in: `{"shards":[{"name":"a","url":"http://h"}],"healthInterval":"-1s"}`, wantErr: "negative"},
+		{name: "interval bare number", in: `{"shards":[{"name":"a","url":"http://h"}],"healthInterval":5}`, wantErr: "must be a string"},
+		{name: "interval garbage", in: `{"shards":[{"name":"a","url":"http://h"}],"healthInterval":"soon"}`, wantErr: "parsing config"},
+		{name: "attempts out of range", in: `{"shards":[{"name":"a","url":"http://h"}],"shardAttempts":99}`, wantErr: "shardAttempts"},
+		{name: "negative body cap", in: `{"shards":[{"name":"a","url":"http://h"}],"maxBodyBytes":-1}`, wantErr: "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := ParseConfig(strings.NewReader(tc.in))
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("ParseConfig succeeded (%+v), want error containing %q", cfg, tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseConfig: %v", err)
+			}
+			if tc.check != nil {
+				tc.check(t, cfg)
+			}
+		})
+	}
+}
+
+func TestParseShardListTable(t *testing.T) {
+	cases := []struct {
+		name, in string
+		wantErr  string
+		want     []Shard
+	}{
+		{
+			name: "two shards",
+			in:   "a=http://h:1, b=http://h:2",
+			want: []Shard{{Name: "a", URL: "http://h:1"}, {Name: "b", URL: "http://h:2"}},
+		},
+		{
+			name: "url with port only",
+			in:   "solo=http://127.0.0.1:9090",
+			want: []Shard{{Name: "solo", URL: "http://127.0.0.1:9090"}},
+		},
+		{name: "empty", in: "", wantErr: "empty shard list"},
+		{name: "blank", in: "   ", wantErr: "empty shard list"},
+		{name: "doubled comma", in: "a=http://h,,b=http://h2", wantErr: "empty shard entry"},
+		{name: "missing equals", in: "a-http://h", wantErr: "want name=url"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseShardList(tc.in)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseShardList(%q) err = %v, want containing %q", tc.in, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseShardList(%q): %v", tc.in, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("entry %d: got %v, want %v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestShardListIntoValidate: the flag path composes with Validate the
+// same way the file path does — a URL with an = in the name position
+// still errors cleanly, never panics.
+func TestShardListIntoValidate(t *testing.T) {
+	shards, err := ParseShardList("a=http://h:1,b=not-a-url")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Shards: shards}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Validate accepted a scheme-less shard URL")
+	}
+}

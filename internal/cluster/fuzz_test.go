@@ -1,0 +1,125 @@
+package cluster
+
+// Fuzzing the membership/config surface: everything a cluster config
+// file or -shards flag can contain must either parse into a config
+// whose invariants hold, or fail with a clean error — never panic,
+// never accept a config Validate would reject, never produce a ring
+// the router cannot build.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func FuzzParseConfig(f *testing.F) {
+	f.Add([]byte(`{"shards":[{"name":"a","url":"http://127.0.0.1:9090"}]}`))
+	f.Add([]byte(`{"shards":[{"name":"a","url":"http://h:1"},{"name":"b","url":"https://h:2/"}],"vnodes":128,"loadFactor":2,"healthInterval":"500ms","syncInterval":"3s","shardTimeout":"10s","shardAttempts":3,"maxBodyBytes":1024}`))
+	f.Add([]byte(`{"shards":[]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"shards":[{"name":"a","url":"http://h"}],"vnodes":-1}`))
+	f.Add([]byte(`{"shards":[{"name":"a","url":"http://h"}],"healthInterval":5}`))
+	f.Add([]byte(`{"shards":[{"name":"a","url":"http://h"}]} {}`))
+	f.Add([]byte(`{"shards":[{"name":"` + strings.Repeat("x", 65) + `","url":"http://h"}]}`))
+	f.Add([]byte("\x00\x01\x02"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := ParseConfig(bytes.NewReader(data))
+		if err != nil {
+			if cfg != nil {
+				t.Fatal("non-nil config returned alongside an error")
+			}
+			return
+		}
+		// A successful parse must uphold every invariant Validate
+		// promises — downstream code builds rings and clients from these
+		// fields without re-checking.
+		if len(cfg.Shards) == 0 {
+			t.Fatal("accepted config with no shards")
+		}
+		names := map[string]bool{}
+		for _, sh := range cfg.Shards {
+			if !shardNameOK(sh.Name) || names[sh.Name] {
+				t.Fatalf("accepted bad/duplicate shard name %q", sh.Name)
+			}
+			names[sh.Name] = true
+			if !strings.HasPrefix(sh.URL, "http://") && !strings.HasPrefix(sh.URL, "https://") {
+				t.Fatalf("accepted non-http url %q", sh.URL)
+			}
+		}
+		if cfg.VNodes < 1 || cfg.VNodes > maxVNodes {
+			t.Fatalf("accepted vnodes %d", cfg.VNodes)
+		}
+		if cfg.LoadFactor < 1 || cfg.LoadFactor > maxLoadFactor {
+			t.Fatalf("accepted loadFactor %g", cfg.LoadFactor)
+		}
+		for _, d := range []Duration{cfg.HealthInterval, cfg.SyncInterval, cfg.ShardTimeout} {
+			if time.Duration(d) < minInterval {
+				t.Fatalf("accepted interval %s below minimum", time.Duration(d))
+			}
+		}
+		// Validate must be idempotent on its own output.
+		before := *cfg
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("re-validation of accepted config failed: %v", err)
+		}
+		if cfg.VNodes != before.VNodes || cfg.LoadFactor != before.LoadFactor {
+			t.Fatal("re-validation changed an already-defaulted config")
+		}
+		// The accepted config must round-trip through its own encoding.
+		enc, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("accepted config does not re-marshal: %v", err)
+		}
+		if _, err := ParseConfig(bytes.NewReader(enc)); err != nil {
+			t.Fatalf("re-marshalled config does not re-parse: %v\n%s", err, enc)
+		}
+		// And the ring it implies must build: every walk a permutation.
+		names2 := make([]string, len(cfg.Shards))
+		for i, sh := range cfg.Shards {
+			names2[i] = sh.Name
+		}
+		// Cap ring size so fuzzing stays fast regardless of vnodes.
+		vn := cfg.VNodes
+		if vn > 16 {
+			vn = 16
+		}
+		rg := buildRing(names2, vn)
+		if got := len(rg.walk("probe")); got != len(cfg.Shards) {
+			t.Fatalf("ring walk visited %d of %d shards", got, len(cfg.Shards))
+		}
+	})
+}
+
+func FuzzParseShardList(f *testing.F) {
+	f.Add("a=http://127.0.0.1:9090")
+	f.Add("a=http://h:1,b=http://h:2")
+	f.Add("a=http://h:1, b = http://h:2 ")
+	f.Add("")
+	f.Add(",")
+	f.Add("a=http://h,,b=http://h")
+	f.Add("no-equals")
+	f.Add("x=")
+	f.Add("=http://h")
+	f.Add("a=http://h?q=1,b=ftp://h")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		shards, err := ParseShardList(s)
+		if err != nil {
+			if shards != nil {
+				t.Fatal("non-nil shards returned alongside an error")
+			}
+			return
+		}
+		if len(shards) == 0 {
+			t.Fatal("accepted empty shard list")
+		}
+		// The flag path feeds straight into Validate; the pair must never
+		// panic regardless of what the list contained.
+		cfg := Config{Shards: shards}
+		_ = cfg.Validate()
+	})
+}

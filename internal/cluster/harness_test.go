@@ -1,0 +1,233 @@
+package cluster_test
+
+// The in-process cluster harness: N real serve.Server shards on
+// loopback listeners plus one Router in front, with shard kill/restart
+// on a *fixed* address — the router must rediscover a reborn shard at
+// the same URL and re-replicate the model into its empty registry.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"spire/internal/cluster"
+	"spire/internal/serve"
+	"spire/internal/testutil"
+)
+
+// testShard is one restartable backend.
+type testShard struct {
+	t    testing.TB
+	name string
+	cfg  serve.Config
+
+	mu   sync.Mutex
+	addr string // fixed after the first start
+	srv  *serve.Server
+	hsrv *http.Server
+}
+
+// start listens (first time on :0, afterwards on the remembered
+// address) and serves a FRESH serve.Server — a restarted shard has an
+// empty model registry, exactly like a re-scheduled process without a
+// model dir.
+func (s *testShard) start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hsrv != nil {
+		s.t.Fatalf("shard %s already running", s.name)
+	}
+	addr := s.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	var err error
+	// The old listener just closed; give the kernel a beat to release
+	// the port on the rare contended restart.
+	for i := 0; i < 50; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		s.t.Fatalf("shard %s listen %s: %v", s.name, addr, err)
+	}
+	s.addr = ln.Addr().String()
+	s.srv = serve.New(s.cfg)
+	s.hsrv = &http.Server{Handler: s.srv.Handler()}
+	go s.hsrv.Serve(ln)
+}
+
+// stop kills the shard abruptly (no drain) — the crash the soak
+// simulates.
+func (s *testShard) stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hsrv == nil {
+		return
+	}
+	s.hsrv.Close()
+	s.srv.Close()
+	s.hsrv, s.srv = nil, nil
+}
+
+func (s *testShard) url() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return "http://" + s.addr
+}
+
+// server returns the live serve.Server, nil while stopped.
+func (s *testShard) server() *serve.Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.srv
+}
+
+// testCluster is a router fronting n shards.
+type testCluster struct {
+	router *cluster.Router
+	rts    *httptest.Server
+	shards []*testShard
+	url    string
+}
+
+// clusterOpts tweak the harness.
+type clusterOpts struct {
+	shards    int
+	shardCfg  serve.Config
+	transport http.RoundTripper
+	tune      func(*cluster.Config)
+}
+
+// startCluster boots shards, then the router with fast probe/sync
+// intervals, and registers teardown.
+func startCluster(t testing.TB, opts clusterOpts) *testCluster {
+	t.Helper()
+	if opts.shards == 0 {
+		opts.shards = 4
+	}
+	tc := &testCluster{}
+	cfg := cluster.Config{
+		HealthInterval: cluster.Duration(25 * time.Millisecond),
+		SyncInterval:   cluster.Duration(25 * time.Millisecond),
+		ShardTimeout:   cluster.Duration(20 * time.Second),
+	}
+	for i := 0; i < opts.shards; i++ {
+		sh := &testShard{t: t, name: fmt.Sprintf("shard-%d", i), cfg: opts.shardCfg}
+		sh.start()
+		tc.shards = append(tc.shards, sh)
+		cfg.Shards = append(cfg.Shards, cluster.Shard{Name: sh.name, URL: sh.url()})
+	}
+	if opts.tune != nil {
+		opts.tune(&cfg)
+	}
+	rt, err := cluster.NewRouter(cfg, cluster.RouterOptions{Transport: opts.transport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rt.Run(ctx)
+	tc.router = rt
+	tc.rts = httptest.NewServer(rt.Handler())
+	tc.url = tc.rts.URL
+	t.Cleanup(func() {
+		tc.rts.Close()
+		cancel()
+		rt.Close()
+		for _, sh := range tc.shards {
+			sh.stop()
+		}
+	})
+	return tc
+}
+
+// pushModel installs a model through the router and returns its id.
+func (tc *testCluster) pushModel(t testing.TB, blob []byte) string {
+	t.Helper()
+	code, _, body := testutil.HTTPPost(t, tc.url+"/v1/models", "application/octet-stream", blob)
+	if code != http.StatusOK && code != http.StatusAccepted {
+		t.Fatalf("model push status %d: %s", code, body)
+	}
+	var res struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("model push response %s: %v", body, err)
+	}
+	return res.ID
+}
+
+// waitConverged polls GET /v1/models until every shard reports the
+// model id, or fails after deadline.
+func (tc *testCluster) waitConverged(t testing.TB, id string, deadline time.Duration) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		code, body := testutil.HTTPGet(t, tc.url+"/v1/models")
+		if code == http.StatusOK {
+			var out struct {
+				Current string `json:"current"`
+				Shards  map[string]struct {
+					Model   string `json:"model"`
+					Healthy bool   `json:"healthy"`
+				} `json:"shards"`
+			}
+			if err := json.Unmarshal(body, &out); err != nil {
+				t.Fatalf("models response %s: %v", body, err)
+			}
+			done := out.Current == id && len(out.Shards) == len(tc.shards)
+			for _, sm := range out.Shards {
+				if sm.Model != id || !sm.Healthy {
+					done = false
+				}
+			}
+			if done {
+				return
+			}
+		}
+		if time.Now().After(stop) {
+			_, body := testutil.HTTPGet(t, tc.url+"/v1/models")
+			t.Fatalf("cluster did not converge on model %s within %s: %s", id, deadline, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitReady polls the router's /readyz until 200.
+func (tc *testCluster) waitReady(t testing.TB, deadline time.Duration) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for {
+		code, _ := testutil.HTTPGet(t, tc.url+"/readyz")
+		if code == http.StatusOK {
+			return
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("router not ready within %s", deadline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// startSingle boots the reference single-node server with the same
+// model — the differential suite's source of truth.
+func startSingle(t testing.TB, cfg serve.Config, model []byte) *httptest.Server {
+	t.Helper()
+	s := serve.New(cfg)
+	t.Cleanup(s.Close)
+	if _, err := s.Models().Load(bytes.NewReader(model), "single"); err != nil {
+		t.Fatal(err)
+	}
+	return testutil.StartHTTP(t, s.Handler())
+}

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingWalkCoversAllShards: every walk is a permutation of all
+// shards with the home shard first, and deterministic.
+func TestRingWalkCoversAllShards(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	r := buildRing(names, 64)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("workload-%d", i)
+		order := r.walk(key)
+		if len(order) != len(names) {
+			t.Fatalf("walk(%q) visited %d shards, want %d", key, len(order), len(names))
+		}
+		seen := map[int]bool{}
+		for _, idx := range order {
+			if idx < 0 || idx >= len(names) || seen[idx] {
+				t.Fatalf("walk(%q) = %v: not a permutation", key, order)
+			}
+			seen[idx] = true
+		}
+		again := r.walk(key)
+		for j := range order {
+			if order[j] != again[j] {
+				t.Fatalf("walk(%q) not deterministic: %v vs %v", key, order, again)
+			}
+		}
+	}
+}
+
+// TestRingDistribution: with 64 vnodes, no shard of five owns a
+// grossly skewed share of 10k keys (fair share 20%; accept 8–40%).
+func TestRingDistribution(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	r := buildRing(names, 64)
+	counts := make([]int, len(names))
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.walk(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for i, c := range counts {
+		share := float64(c) / keys
+		if share < 0.08 || share > 0.40 {
+			t.Errorf("shard %s owns %.1f%% of keys (counts %v); vnode smoothing failed", names[i], 100*share, counts)
+		}
+	}
+}
+
+// TestRingStability: removing one shard must re-home only the keys it
+// owned — every other key keeps its home. This is the property that
+// makes per-shard caches survive membership churn.
+func TestRingStability(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	without := []string{"a", "b", "c", "e"} // "d" (index 3) removed
+	rAll := buildRing(names, 64)
+	rLess := buildRing(without, 64)
+	moved, kept := 0, 0
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		home := names[rAll.walk(key)[0]]
+		newHome := without[rLess.walk(key)[0]]
+		if home == "d" {
+			moved++
+			continue
+		}
+		if home != newHome {
+			t.Fatalf("key %q re-homed %s→%s though its shard survived", key, home, newHome)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRingFailoverOrderIsSuccessor: the second walk entry for a key is
+// exactly the first entry the ring yields once the home shard is gone —
+// failover lands where the key would live after the membership change,
+// so a later permanent removal is a no-op for that key's placement.
+func TestRingFailoverOrderIsSuccessor(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	rAll := buildRing(names, 64)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		order := rAll.walk(key)
+		home, next := names[order[0]], names[order[1]]
+		remaining := make([]string, 0, 3)
+		for _, n := range names {
+			if n != home {
+				remaining = append(remaining, n)
+			}
+		}
+		rLess := buildRing(remaining, 64)
+		if got := remaining[rLess.walk(key)[0]]; got != next {
+			t.Fatalf("key %q: failover target %s but post-removal home %s", key, next, got)
+		}
+	}
+}
+
+func TestFNV64aKnownVectors(t *testing.T) {
+	// Reference values for FNV-1a 64 (RFC draft test vectors).
+	cases := map[string]uint64{
+		"":    0xcbf29ce484222325,
+		"a":   0xaf63dc4c8601ec8c,
+		"foo": 0xdcb27518fed9d577,
+	}
+	for in, want := range cases {
+		if got := fnv64a(in); got != want {
+			t.Errorf("fnv64a(%q) = %#x, want %#x", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package cluster_test
+
+// Endpoint-level router behaviour that the differential and soak suites
+// don't pin directly: tenant-sticky stream proxying, shard quota
+// passthrough, readiness semantics, the aggregated metrics view, and
+// placement stickiness.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"spire/internal/client"
+	"spire/internal/cluster"
+	"spire/internal/serve"
+	"spire/internal/testutil"
+)
+
+// TestRouterStreamStickyProxy: a tenant's feed and subscription land on
+// the same shard through the router, so windows close end to end; SSE
+// frames flush through the proxy as they are produced.
+func TestRouterStreamStickyProxy(t *testing.T) {
+	_, model := testutil.TrainModel(t, 1)
+	tc := startCluster(t, clusterOpts{shards: 3, shardCfg: serve.Config{StreamWindow: 1}})
+	tc.waitConverged(t, tc.pushModel(t, model), 5*time.Second)
+
+	hdr := http.Header{client.TenantHeader: []string{"tenant-a"}}
+	events, stop := testutil.SSESubscribe(t, tc.url+"/v1/stream", hdr)
+	defer stop()
+
+	csv := func(ts int) string {
+		return fmt.Sprintf("%d.0,100,,cycles,1,100.00,,\n%d.0,50,,instructions,1,100.00,,\n"+
+			"%d.0,10,,m1,1,25.00,,\n%d.0,7,,m2,1,25.00,,\n", ts, ts, ts, ts)
+	}
+	feed := func(ts int) {
+		req, err := http.NewRequest(http.MethodPost, tc.url+"/v1/stream", strings.NewReader(csv(ts)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "text/csv")
+		req.Header.Set(client.TenantHeader, "tenant-a")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("feed %d status %d", ts, resp.StatusCode)
+		}
+	}
+	// Interval 1 closes when interval 2 opens — two feeds, one window.
+	feed(1)
+	feed(2)
+	ev := testutil.NextSSE(t, events)
+	if ev.Event != "window" {
+		t.Fatalf("first SSE event %q, want window", ev.Event)
+	}
+	var res struct {
+		Seq   int    `json:"seq"`
+		Model string `json:"model"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(ev.Data, &res); err != nil {
+		t.Fatalf("SSE payload %s: %v", ev.Data, err)
+	}
+	if res.Seq != 1 || res.Error != "" || res.Model == "" {
+		t.Fatalf("window result through proxy: %+v", res)
+	}
+}
+
+// TestRouterQuotaPassthrough: per-tenant quotas live on the shards; the
+// router relays a shard's 429 verbatim — status, Retry-After, body —
+// and books it as a RELAYED outcome, not a router rejection. Admission
+// stays a serving-tier decision; the router never second-guesses it.
+func TestRouterQuotaPassthrough(t *testing.T) {
+	_, model := testutil.TrainModel(t, 1)
+	// One shard so every request hits the same quota bucket.
+	tc := startCluster(t, clusterOpts{
+		shards:   1,
+		shardCfg: serve.Config{TenantRate: 0.0001, TenantBurst: 2},
+	})
+	tc.waitConverged(t, tc.pushModel(t, model), 5*time.Second)
+
+	body, err := json.Marshal(serve.EstimateRequest{Samples: testutil.Workload(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got429 bool
+	for i := 0; i < 6; i++ {
+		req, err := http.NewRequest(http.MethodPost, tc.url+"/v1/estimate", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(client.TenantHeader, "greedy")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := testutil.ReadBody(t, resp)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			got429 = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("relayed 429 lost its Retry-After header")
+			}
+			if !strings.Contains(string(raw), "overloaded") {
+				t.Errorf("relayed 429 body %q is not the shard's admission error", raw)
+			}
+		}
+	}
+	if !got429 {
+		t.Fatal("quota of 2 burst never produced a 429 across 6 requests")
+	}
+	exposition := testutil.ScrapeMetrics(t, tc.url)
+	testutil.AssertRouteBooksBalance(t, exposition, "/v1/estimate")
+	if rej := testutil.SumMetric(t, exposition, "spire_route_rejected_total", `route="/v1/estimate"`); rej != 0 {
+		t.Errorf("shard 429s were booked as router rejections (%v); they are relays", rej)
+	}
+}
+
+// TestRouterReadiness: the router is ready iff ≥1 shard is ready, and
+// flips back as shards come and go. /healthz is liveness only — always
+// 200 while the process serves.
+func TestRouterReadiness(t *testing.T) {
+	_, model := testutil.TrainModel(t, 1)
+	tc := startCluster(t, clusterOpts{shards: 2})
+	tc.waitConverged(t, tc.pushModel(t, model), 5*time.Second)
+
+	if code, _ := testutil.HTTPGet(t, tc.url+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz %d", code)
+	}
+	if code, body := testutil.HTTPGet(t, tc.url+"/readyz"); code != http.StatusOK || !strings.Contains(string(body), "2/2") {
+		t.Fatalf("readyz with all shards up: %d %s", code, body)
+	}
+
+	// Kill both shards: readiness must flip to 503 once probes notice.
+	for _, sh := range tc.shards {
+		sh.stop()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _ := testutil.HTTPGet(t, tc.url+"/readyz")
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router stayed ready with every shard dead")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code, _ := testutil.HTTPGet(t, tc.url+"/healthz"); code != http.StatusOK {
+		t.Fatal("healthz must stay 200 while unready — liveness is not readiness")
+	}
+
+	// Restart: replication + probes must restore readiness without any
+	// operator action.
+	for _, sh := range tc.shards {
+		sh.start()
+	}
+	tc.waitReady(t, 10*time.Second)
+}
+
+// TestRouterMetricsAggregation: one scrape of the router shows the
+// router's own families AND shard-labelled copies of the backend
+// serving counters, summing to the traffic actually served.
+func TestRouterMetricsAggregation(t *testing.T) {
+	_, model := testutil.TrainModel(t, 1)
+	tc := startCluster(t, clusterOpts{shards: 3})
+	tc.waitConverged(t, tc.pushModel(t, model), 5*time.Second)
+
+	c, err := client.New(client.Config{BaseURL: tc.url, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := c.Estimate(context.Background(), testutil.Workload(i%6), client.EstimateOptions{}); err != nil {
+			t.Fatalf("estimate %d: %v", i, err)
+		}
+	}
+	exposition := testutil.ScrapeMetrics(t, tc.url)
+	if served := testutil.SumMetric(t, exposition, "spire_cluster_estimates_served_total"); served != n {
+		t.Errorf("aggregated shard estimates %v, want %d\n%s", served, n, exposition)
+	}
+	// Per-shard labels present, one series per shard that served.
+	var labelled int
+	for _, sh := range tc.shards {
+		if strings.Contains(exposition, fmt.Sprintf("spire_cluster_estimates_served_total{shard=%q", sh.name)) {
+			labelled++
+		}
+	}
+	if labelled == 0 {
+		t.Error("no shard-labelled aggregate series in router exposition")
+	}
+	if testutil.SumMetric(t, exposition, "spire_route_relayed_total", `route="/v1/estimate"`) != n {
+		t.Errorf("router relay count missing from exposition")
+	}
+}
+
+// TestRouterPlacementSticky: the same workload routes to the same shard
+// every time (X-Spire-Shard header), and distinct workloads spread.
+func TestRouterPlacementSticky(t *testing.T) {
+	_, model := testutil.TrainModel(t, 1)
+	tc := startCluster(t, clusterOpts{shards: 4})
+	tc.waitConverged(t, tc.pushModel(t, model), 5*time.Second)
+
+	shardOf := func(k int) string {
+		body, err := json.Marshal(serve.EstimateRequest{Samples: testutil.Workload(k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, hdr, _ := testutil.HTTPPost(t, tc.url+"/v1/estimate", "application/json", body)
+		name := hdr.Get("X-Spire-Shard")
+		if name == "" {
+			t.Fatal("relay response missing X-Spire-Shard")
+		}
+		return name
+	}
+	spread := map[string]bool{}
+	for k := 0; k < 12; k++ {
+		first := shardOf(k)
+		spread[first] = true
+		for rep := 0; rep < 3; rep++ {
+			if again := shardOf(k); again != first {
+				t.Fatalf("workload %d moved %s→%s with stable membership", k, first, again)
+			}
+		}
+	}
+	if len(spread) < 2 {
+		t.Errorf("12 workloads all routed to one shard: %v", spread)
+	}
+}
+
+// TestRouterModelEndpoints: upload validation and the convergence view.
+func TestRouterModelEndpoints(t *testing.T) {
+	_, model := testutil.TrainModel(t, 1)
+	tc := startCluster(t, clusterOpts{shards: 2})
+
+	// Garbage model: 422, nothing replicated.
+	code, _, body := testutil.HTTPPost(t, tc.url+"/v1/models", "application/octet-stream", []byte("not a model"))
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage model: status %d %s", code, body)
+	}
+
+	id := tc.pushModel(t, model)
+	tc.waitConverged(t, id, 5*time.Second)
+
+	code, body = testutil.HTTPGet(t, tc.url+"/v1/models")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/models: %d", code)
+	}
+	var out struct {
+		Current string `json:"current"`
+		Shards  map[string]struct {
+			Model   string `json:"model"`
+			Healthy bool   `json:"healthy"`
+		} `json:"shards"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("models view %s: %v", body, err)
+	}
+	if out.Current != id || len(out.Shards) != 2 {
+		t.Fatalf("models view: %+v, want current %s over 2 shards", out, id)
+	}
+	for name, sm := range out.Shards {
+		if sm.Model != id || !sm.Healthy {
+			t.Errorf("shard %s view %+v, want converged healthy", name, sm)
+		}
+	}
+
+	// Idempotent re-push of the same bytes: same id, zero or more pushes,
+	// still 200.
+	if again := tc.pushModel(t, model); again != id {
+		t.Fatalf("re-push changed id %s→%s", id, again)
+	}
+}
+
+// TestRouterDeadShards: a router whose entire membership is unreachable
+// rejects with 503 and books every request — no hangs, no leaks.
+func TestRouterDeadShards(t *testing.T) {
+	rt, err := cluster.NewRouter(cluster.Config{
+		Shards: []cluster.Shard{
+			{Name: "gone-1", URL: "http://127.0.0.1:1"},
+			{Name: "gone-2", URL: "http://127.0.0.1:1"},
+		},
+		ShardTimeout:   cluster.Duration(2 * time.Second),
+		HealthInterval: cluster.Duration(25 * time.Millisecond),
+		SyncInterval:   cluster.Duration(time.Hour),
+	}, cluster.RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ts := testutil.StartHTTP(t, rt.Handler())
+
+	body, err := json.Marshal(serve.EstimateRequest{Samples: testutil.Workload(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		code, _, raw := testutil.HTTPPost(t, ts.URL+"/v1/estimate", "application/json", body)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("estimate against dead membership: %d %s", code, raw)
+		}
+	}
+	exposition := testutil.ScrapeMetrics(t, ts.URL)
+	testutil.AssertRouteBooksBalance(t, exposition, "/v1/estimate")
+	if rej := testutil.SumMetric(t, exposition, "spire_route_rejected_total", `route="/v1/estimate"`, `reason="no_shard"`); rej != 3 {
+		t.Errorf("no_shard rejections %v, want 3", rej)
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"spire/internal/testutil"
 )
 
 // BenchmarkAdmissionSaturated measures the serving tier under saturated
@@ -25,7 +27,7 @@ func BenchmarkAdmissionSaturated(b *testing.B) {
 		QueueWait:      time.Millisecond,
 		DegradedCache:  -1,
 	})
-	_, model := trainModel(b, 1)
+	_, model := testutil.TrainModel(b, 1)
 	if _, err := s.models.Load(bytes.NewReader(model), "bench"); err != nil {
 		b.Fatal(err)
 	}

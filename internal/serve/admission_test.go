@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"spire/internal/core"
+	"spire/internal/testutil"
 )
 
 // bigWorkload builds a unique (cache-busting) workload of n samples over
@@ -54,13 +55,13 @@ func estimateStatus(t *testing.T, url string, samples []core.Sample, hdr map[str
 	if err != nil {
 		t.Fatal(err)
 	}
-	return resp, readBody(t, resp)
+	return resp, testutil.ReadBody(t, resp)
 }
 
 // loadTestModel installs the standard test model and returns its ID.
 func loadTestModel(t *testing.T, s *Server) string {
 	t.Helper()
-	_, model := trainModel(t, 1)
+	_, model := testutil.TrainModel(t, 1)
 	info, err := s.Models().Load(bytes.NewReader(model), "test")
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +111,7 @@ func TestOverloadShedsWith429(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			body := readBody(t, resp)
+			body := testutil.ReadBody(t, resp)
 			results[i] = result{resp.StatusCode, resp.Header.Get("Retry-After"), string(body)}
 		}(i)
 	}
@@ -162,7 +163,7 @@ func scrapeMetrics(t *testing.T, base string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return string(readBody(t, resp))
+	return string(testutil.ReadBody(t, resp))
 }
 
 // metricValue extracts one sample whose name (regex) matches exactly.
@@ -205,7 +206,7 @@ func TestDegradedCacheFastPath(t *testing.T) {
 		AdmissionQueue: -1, // no waiting room: saturation rejects instantly
 	})
 	loadTestModel(t, s)
-	samples := testSamples()
+	samples := testutil.Samples()
 
 	// Warm: one normal estimate populates the response cache.
 	resp, fresh := estimateStatus(t, ts.URL, samples, nil)
@@ -263,7 +264,7 @@ func TestTenantQuota(t *testing.T) {
 		TenantBurst: 2,
 	})
 	loadTestModel(t, s)
-	samples := testSamples()
+	samples := testutil.Samples()
 	alice := map[string]string{"X-Spire-Tenant": "alice"}
 
 	for i := 0; i < 2; i++ {
@@ -298,7 +299,7 @@ func TestTenantQuota(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	readBody(t, sresp)
+	testutil.ReadBody(t, sresp)
 	if sresp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("alice stream subscribe: status %d, want 429", sresp.StatusCode)
 	}
@@ -308,7 +309,7 @@ func TestTenantQuota(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	readBody(t, fresp)
+	testutil.ReadBody(t, fresp)
 	if fresp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("alice stream feed: status %d, want 429", fresp.StatusCode)
 	}
@@ -328,7 +329,7 @@ func TestReadyz(t *testing.T) {
 		t.Fatal(err)
 	}
 	var ready ReadyResponse
-	if err := json.Unmarshal(readBody(t, resp), &ready); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &ready); err != nil {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != http.StatusServiceUnavailable || ready.Ready || ready.Reason != "no model" {
@@ -340,7 +341,7 @@ func TestReadyz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := json.Unmarshal(readBody(t, resp), &ready); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &ready); err != nil {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != 200 || !ready.Ready || ready.Model != id {
@@ -353,7 +354,7 @@ func TestReadyz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := json.Unmarshal(readBody(t, resp), &ready); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &ready); err != nil {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != http.StatusServiceUnavailable || ready.Reason != "draining" {
@@ -363,7 +364,7 @@ func TestReadyz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	readBody(t, hresp)
+	testutil.ReadBody(t, hresp)
 	if hresp.StatusCode != 200 {
 		t.Errorf("healthz while draining = %d, want 200 (alive)", hresp.StatusCode)
 	}
@@ -413,7 +414,7 @@ func TestEstimateMalformedUnderSaturation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	body := readBody(t, resp)
+	body := testutil.ReadBody(t, resp)
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("garbage body under saturation: status %d (%s), want 429", resp.StatusCode, body)
 	}

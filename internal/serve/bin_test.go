@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"spire/internal/core"
+	"spire/internal/testutil"
 	"spire/internal/wire"
 )
 
@@ -45,20 +46,20 @@ func binEstimateBody(samples []core.Sample) []byte {
 // (as JSON) to the plain JSON route, and repeats must be byte-stable.
 func TestEstimateBinParity(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	_, model := trainModel(t, 1)
+	_, model := testutil.TrainModel(t, 1)
 	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
 		t.Fatal(err)
 	}
-	samples := testSamples()
+	samples := testutil.Samples()
 
-	resp := postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: samples})
+	resp := testutil.PostJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: samples})
 	var jres EstimateResponse
-	if err := json.Unmarshal(readBody(t, resp), &jres); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &jres); err != nil {
 		t.Fatal(err)
 	}
 
 	resp = postRaw(t, ts.URL+"/v1/estimate", wire.ContentTypeBin, wire.ContentTypeBin, binEstimateBody(samples))
-	first := readBody(t, resp)
+	first := testutil.ReadBody(t, resp)
 	if resp.StatusCode != 200 {
 		t.Fatalf("bin estimate status = %d: %s", resp.StatusCode, first)
 	}
@@ -83,7 +84,7 @@ func TestEstimateBinParity(t *testing.T) {
 	if got := resp.Header.Get("X-Spire-Cache"); got != "hit" {
 		t.Errorf("second bin request cache header = %q, want hit", got)
 	}
-	if second := readBody(t, resp); !bytes.Equal(first, second) {
+	if second := testutil.ReadBody(t, resp); !bytes.Equal(first, second) {
 		t.Error("identical binary requests produced different frames")
 	}
 }
@@ -92,15 +93,15 @@ func TestEstimateBinParity(t *testing.T) {
 // Accept — request encoding and response encoding are independent.
 func TestEstimateBinNegotiation(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	_, model := trainModel(t, 1)
+	_, model := testutil.TrainModel(t, 1)
 	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
 		t.Fatal(err)
 	}
-	jsonBody, err := json.Marshal(EstimateRequest{Samples: testSamples()})
+	jsonBody, err := json.Marshal(EstimateRequest{Samples: testutil.Samples()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	binBody := binEstimateBody(testSamples())
+	binBody := binEstimateBody(testutil.Samples())
 
 	cases := []struct {
 		name, ct, accept string
@@ -115,7 +116,7 @@ func TestEstimateBinNegotiation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		resp := postRaw(t, ts.URL+"/v1/estimate", tc.ct, tc.accept, tc.body)
-		raw := readBody(t, resp)
+		raw := testutil.ReadBody(t, resp)
 		if resp.StatusCode != 200 {
 			t.Fatalf("%s: status %d: %s", tc.name, resp.StatusCode, raw)
 		}
@@ -141,12 +142,12 @@ func TestEstimateBinNegotiation(t *testing.T) {
 // a JSON 400/422, never a hang or a misdecoded success.
 func TestEstimateBinMalformed(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	_, model := trainModel(t, 1)
+	_, model := testutil.TrainModel(t, 1)
 	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
 		t.Fatal(err)
 	}
-	valid := binEstimateBody(testSamples())
-	wrongType := wire.AppendSampleBatch(nil, &wire.SampleBatch{TS: 1, Window: 1, Samples: testSamples()})
+	valid := binEstimateBody(testutil.Samples())
+	wrongType := wire.AppendSampleBatch(nil, &wire.SampleBatch{TS: 1, Window: 1, Samples: testutil.Samples()})
 
 	cases := []struct {
 		name string
@@ -160,7 +161,7 @@ func TestEstimateBinMalformed(t *testing.T) {
 	}
 	for _, tc := range cases {
 		resp := postRaw(t, ts.URL+"/v1/estimate", wire.ContentTypeBin, "", tc.body)
-		raw := readBody(t, resp)
+		raw := testutil.ReadBody(t, resp)
 		if resp.StatusCode != tc.want {
 			t.Errorf("%s: status = %d, want %d (%s)", tc.name, resp.StatusCode, tc.want, raw)
 		}
@@ -195,7 +196,7 @@ func postStreamBin(t *testing.T, url string, body []byte) *http.Response {
 // the broken tail, and frames before the damage still land.
 func TestStreamFeedBin(t *testing.T) {
 	s, ts := newTestServer(t, Config{StreamWindow: 2})
-	_, model := trainModel(t, 1)
+	_, model := testutil.TrainModel(t, 1)
 	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestStreamFeedBin(t *testing.T) {
 	feed := binInterval(nil, 1)
 	feed = binInterval(feed, 2)
 	resp := postStreamBin(t, ts.URL, feed)
-	raw := readBody(t, resp)
+	raw := testutil.ReadBody(t, resp)
 	if resp.StatusCode != 200 {
 		t.Fatalf("clean bin feed status = %d: %s", resp.StatusCode, raw)
 	}
@@ -221,7 +222,7 @@ func TestStreamFeedBin(t *testing.T) {
 	wantFeedErr := func(name string, body []byte, frag string) {
 		t.Helper()
 		resp := postStreamBin(t, ts.URL, body)
-		raw := readBody(t, resp)
+		raw := testutil.ReadBody(t, resp)
 		if resp.StatusCode != 400 {
 			t.Fatalf("%s: status = %d, want 400 (%s)", name, resp.StatusCode, raw)
 		}
@@ -238,13 +239,13 @@ func TestStreamFeedBin(t *testing.T) {
 	bad := binInterval(nil, 5)
 	bad[4] = 0x7f // corrupt the frame type
 	wantFeedErr("corrupt type", bad, "bad stream frame")
-	wrongType := binEstimateBody(testSamples())
+	wrongType := binEstimateBody(testutil.Samples())
 	wantFeedErr("wrong frame type", wrongType, "bad stream frame")
 
 	// The good frame ahead of the truncated tail landed; the damaged
 	// feeds credited nothing else. 2 clean + 1 pre-damage = 3.
 	resp = postStreamBin(t, ts.URL, binInterval(nil, 6))
-	raw = readBody(t, resp)
+	raw = testutil.ReadBody(t, resp)
 	if resp.StatusCode != 200 {
 		t.Fatalf("follow-up feed status = %d: %s", resp.StatusCode, raw)
 	}

@@ -5,7 +5,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -16,77 +15,19 @@ import (
 	"time"
 
 	"spire/internal/core"
+	"spire/internal/testutil"
 )
 
-// trainModel builds a small deterministic ensemble; scale perturbs the
-// sample values so different scales give different fingerprints.
-func trainModel(t testing.TB, scale float64) (*core.Ensemble, []byte) {
-	t.Helper()
-	var d core.Dataset
-	for _, metric := range []string{"m1", "m2"} {
-		for i := 1; i <= 16; i++ {
-			d.Add(core.Sample{
-				Metric: metric,
-				T:      1,
-				W:      float64(i) * scale,
-				M:      float64(17 - i),
-				Window: i,
-			})
-		}
-	}
-	ens, err := core.Train(d, core.TrainOptions{WorkUnit: "instructions", TimeUnit: "cycles"})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var buf bytes.Buffer
-	if err := ens.Save(&buf); err != nil {
-		t.Fatal(err)
-	}
-	return ens, buf.Bytes()
-}
-
-// testSamples is a workload overlapping the trainModel metrics.
-func testSamples() []core.Sample {
-	return []core.Sample{
-		{Metric: "m1", T: 1, W: 4, M: 2, Window: 1},
-		{Metric: "m2", T: 1, W: 4, M: 8, Window: 1},
-		{Metric: "m1", T: 2, W: 10, M: 3, Window: 2},
-		{Metric: "unknown.metric", T: 1, W: 1, M: 1, Window: 1},
-		{Metric: "m2", T: -1, W: 1, M: 1}, // invalid: dropped by indexing
-	}
-}
+// Model training, canned workloads and the HTTP helpers live in
+// internal/testutil, shared with the client, cluster and e2e suites.
 
 // newTestServer builds a server plus its httptest frontend.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(cfg)
-	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	ts := testutil.StartHTTP(t, s.Handler())
 	t.Cleanup(s.Close) // detach SSE clients before the listener closes
 	return s, ts
-}
-
-func postJSON(t *testing.T, url string, body any) *http.Response {
-	t.Helper()
-	raw, err := json.Marshal(body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return resp
-}
-
-func readBody(t *testing.T, resp *http.Response) []byte {
-	t.Helper()
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return raw
 }
 
 func TestHealthzReadiness(t *testing.T) {
@@ -96,14 +37,14 @@ func TestHealthzReadiness(t *testing.T) {
 		t.Fatal(err)
 	}
 	var h HealthResponse
-	if err := json.Unmarshal(readBody(t, resp), &h); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &h); err != nil {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != 200 || h.Status != "ok" || h.Ready {
 		t.Errorf("empty server healthz = %d %+v, want 200 ok not-ready", resp.StatusCode, h)
 	}
 
-	_, model := trainModel(t, 1)
+	_, model := testutil.TrainModel(t, 1)
 	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +52,7 @@ func TestHealthzReadiness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := json.Unmarshal(readBody(t, resp), &h); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &h); err != nil {
 		t.Fatal(err)
 	}
 	if !h.Ready || h.Model == "" {
@@ -121,12 +62,12 @@ func TestHealthzReadiness(t *testing.T) {
 
 func TestEstimateNoModel(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	resp := postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: testSamples()})
+	resp := testutil.PostJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: testutil.Samples()})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("status = %d, want 503", resp.StatusCode)
 	}
 	var e errorBody
-	if err := json.Unmarshal(readBody(t, resp), &e); err != nil || e.Error == "" {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &e); err != nil || e.Error == "" {
 		t.Errorf("503 body must be a JSON error, got err=%v body=%+v", err, e)
 	}
 }
@@ -136,26 +77,26 @@ func TestEstimateNoModel(t *testing.T) {
 // and served from the index cache.
 func TestEstimateParityAndCache(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	ens, model := trainModel(t, 1)
+	ens, model := testutil.TrainModel(t, 1)
 	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
 		t.Fatal(err)
 	}
 
-	samples := testSamples()
+	samples := testutil.Samples()
 	want, err := ens.BatchEstimate(context.Background(),
 		core.IndexWorkload(core.Dataset{Samples: samples}), core.EstimateOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	resp := postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: samples})
+	resp := testutil.PostJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: samples})
 	if resp.StatusCode != 200 {
-		t.Fatalf("status = %d: %s", resp.StatusCode, readBody(t, resp))
+		t.Fatalf("status = %d: %s", resp.StatusCode, testutil.ReadBody(t, resp))
 	}
 	if got := resp.Header.Get("X-Spire-Cache"); got != "miss" {
 		t.Errorf("first request cache header = %q, want miss", got)
 	}
-	first := readBody(t, resp)
+	first := testutil.ReadBody(t, resp)
 	var er EstimateResponse
 	if err := json.Unmarshal(first, &er); err != nil {
 		t.Fatal(err)
@@ -170,11 +111,11 @@ func TestEstimateParityAndCache(t *testing.T) {
 	}
 
 	// Identical request: byte-identical response, cache hit.
-	resp = postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: samples})
+	resp = testutil.PostJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: samples})
 	if got := resp.Header.Get("X-Spire-Cache"); got != "hit" {
 		t.Errorf("second request cache header = %q, want hit", got)
 	}
-	second := readBody(t, resp)
+	second := testutil.ReadBody(t, resp)
 	if !bytes.Equal(first, second) {
 		t.Error("identical requests produced different bodies")
 	}
@@ -196,7 +137,7 @@ func TestEstimateParityAndCache(t *testing.T) {
 
 func TestEstimateRequestErrors(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxBodyBytes: 2048})
-	_, model := trainModel(t, 1)
+	_, model := testutil.TrainModel(t, 1)
 	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +161,7 @@ func TestEstimateRequestErrors(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			body := readBody(t, resp)
+			body := testutil.ReadBody(t, resp)
 			if resp.StatusCode != tc.want {
 				t.Errorf("status = %d, want %d (%s)", resp.StatusCode, tc.want, body)
 			}
@@ -241,7 +182,7 @@ func TestEstimateRequestErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized body status = %d, want 413", resp.StatusCode)
 	}
-	readBody(t, resp)
+	testutil.ReadBody(t, resp)
 
 	// GET on a POST route is a 405 from the mux.
 	getResp, err := http.Get(url)
@@ -251,23 +192,23 @@ func TestEstimateRequestErrors(t *testing.T) {
 	if getResp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/estimate = %d, want 405", getResp.StatusCode)
 	}
-	readBody(t, getResp)
+	testutil.ReadBody(t, getResp)
 }
 
 func TestEstimateTopAndWorkers(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxWorkers: 2})
-	_, model := trainModel(t, 1)
+	_, model := testutil.TrainModel(t, 1)
 	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
 		t.Fatal(err)
 	}
-	resp := postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
-		Samples: testSamples(), Top: 1, Workers: 1 << 20, // absurd budget is clamped
+	resp := testutil.PostJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+		Samples: testutil.Samples(), Top: 1, Workers: 1 << 20, // absurd budget is clamped
 	})
 	if resp.StatusCode != 200 {
 		t.Fatalf("status = %d", resp.StatusCode)
 	}
 	var er EstimateResponse
-	if err := json.Unmarshal(readBody(t, resp), &er); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &er); err != nil {
 		t.Fatal(err)
 	}
 	if len(er.Estimation.PerMetric) != 1 {
@@ -294,10 +235,10 @@ func TestIngestEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != 200 {
-		t.Fatalf("lenient ingest status = %d: %s", resp.StatusCode, readBody(t, resp))
+		t.Fatalf("lenient ingest status = %d: %s", resp.StatusCode, testutil.ReadBody(t, resp))
 	}
 	var ir IngestResponse
-	if err := json.Unmarshal(readBody(t, resp), &ir); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &ir); err != nil {
 		t.Fatal(err)
 	}
 	if len(ir.Samples) != 1 {
@@ -321,7 +262,7 @@ func TestIngestEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("strict ingest status = %d, want 422", resp.StatusCode)
 	}
-	readBody(t, resp)
+	testutil.ReadBody(t, resp)
 
 	// Parameter validation.
 	for _, bad := range []string{"?mode=wild", "?min_run_pct=oops", "?min_run_pct=123"} {
@@ -332,7 +273,7 @@ func TestIngestEndpoint(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s status = %d, want 400", bad, resp.StatusCode)
 		}
-		readBody(t, resp)
+		testutil.ReadBody(t, resp)
 	}
 
 	// The ingest response samples feed straight into /v1/estimate once a
@@ -352,11 +293,11 @@ func TestIngestEndpoint(t *testing.T) {
 	if _, err := s.Models().Load(&buf, "test"); err != nil {
 		t.Fatal(err)
 	}
-	resp = postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: ir.Samples})
+	resp = testutil.PostJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: ir.Samples})
 	if resp.StatusCode != 200 {
-		t.Errorf("estimate over ingested samples = %d: %s", resp.StatusCode, readBody(t, resp))
+		t.Errorf("estimate over ingested samples = %d: %s", resp.StatusCode, testutil.ReadBody(t, resp))
 	} else {
-		readBody(t, resp)
+		testutil.ReadBody(t, resp)
 	}
 }
 
@@ -371,15 +312,15 @@ func TestModelRegistryUploadSwapPersist(t *testing.T) {
 		t.Fatal(err)
 	}
 	var mr ModelsResponse
-	if err := json.Unmarshal(readBody(t, resp), &mr); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &mr); err != nil {
 		t.Fatal(err)
 	}
 	if mr.Current != nil || len(mr.History) != 0 {
 		t.Errorf("fresh registry = %+v, want empty", mr)
 	}
 
-	_, modelA := trainModel(t, 1)
-	_, modelB := trainModel(t, 3)
+	_, modelA := testutil.TrainModel(t, 1)
+	_, modelB := testutil.TrainModel(t, 3)
 
 	// Upload A.
 	resp, err = http.Post(url, "application/json", bytes.NewReader(modelA))
@@ -387,7 +328,7 @@ func TestModelRegistryUploadSwapPersist(t *testing.T) {
 		t.Fatal(err)
 	}
 	var infoA ModelInfo
-	if err := json.Unmarshal(readBody(t, resp), &infoA); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &infoA); err != nil {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != 200 || infoA.Sequence != 1 || infoA.Metrics != 2 {
@@ -404,7 +345,7 @@ func TestModelRegistryUploadSwapPersist(t *testing.T) {
 		t.Fatal(err)
 	}
 	var infoB ModelInfo
-	if err := json.Unmarshal(readBody(t, resp), &infoB); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &infoB); err != nil {
 		t.Fatal(err)
 	}
 	if infoB.Sequence != 2 || infoB.ID == infoA.ID {
@@ -414,7 +355,7 @@ func TestModelRegistryUploadSwapPersist(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := json.Unmarshal(readBody(t, resp), &mr); err != nil {
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &mr); err != nil {
 		t.Fatal(err)
 	}
 	if mr.Current == nil || mr.Current.ID != infoB.ID || len(mr.History) != 2 {
@@ -437,7 +378,7 @@ func TestModelRegistryUploadSwapPersist(t *testing.T) {
 		if resp.StatusCode != http.StatusUnprocessableEntity {
 			t.Errorf("%s upload status = %d, want 422", name, resp.StatusCode)
 		}
-		readBody(t, resp)
+		testutil.ReadBody(t, resp)
 	}
 	// Served model untouched by the rejected uploads.
 	if _, info := s.Models().Current(); info.ID != infoB.ID {
@@ -460,11 +401,11 @@ func TestModelRegistryUploadSwapPersist(t *testing.T) {
 
 func TestMetricsEndpoint(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	_, model := trainModel(t, 1)
+	_, model := testutil.TrainModel(t, 1)
 	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
 		t.Fatal(err)
 	}
-	readBody(t, postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: testSamples()}))
+	testutil.ReadBody(t, testutil.PostJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: testutil.Samples()}))
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -473,7 +414,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
 		t.Errorf("content-type = %q", ct)
 	}
-	body := string(readBody(t, resp))
+	body := string(testutil.ReadBody(t, resp))
 	for _, want := range []string{
 		"spire_estimates_served_total 1",
 		"spire_model_swaps_total 1",
@@ -523,7 +464,7 @@ func TestServeGracefulDrain(t *testing.T) {
 	if err != nil {
 		t.Fatalf("server never came up: %v", err)
 	}
-	readBody(t, resp)
+	testutil.ReadBody(t, resp)
 
 	cancel()
 	select {
@@ -545,7 +486,7 @@ func TestPprofGate(t *testing.T) {
 	if resp.StatusCode == 200 {
 		t.Error("pprof must be off by default")
 	}
-	readBody(t, resp)
+	testutil.ReadBody(t, resp)
 
 	_, tsOn := newTestServer(t, Config{EnablePprof: true})
 	resp, err = http.Get(tsOn.URL + "/debug/pprof/")
@@ -555,5 +496,5 @@ func TestPprofGate(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Errorf("pprof index = %d, want 200", resp.StatusCode)
 	}
-	readBody(t, resp)
+	testutil.ReadBody(t, resp)
 }

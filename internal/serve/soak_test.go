@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"spire/internal/core"
+	"spire/internal/testutil"
 )
 
 // scrapeCounter extracts one un-labeled counter value from a Prometheus
@@ -40,8 +41,8 @@ func scrapeCounter(t *testing.T, body, name string) float64 {
 // monotonic.
 func TestSoakConcurrentEstimateHotSwap(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	ensA, modelA := trainModel(t, 1)
-	ensB, modelB := trainModel(t, 3)
+	ensA, modelA := testutil.TrainModel(t, 1)
+	ensB, modelB := testutil.TrainModel(t, 3)
 	idA, err := ensA.Fingerprint()
 	if err != nil {
 		t.Fatal(err)
@@ -58,7 +59,7 @@ func TestSoakConcurrentEstimateHotSwap(t *testing.T) {
 	}
 
 	// The exact estimation each model must produce for the soak workload.
-	samples := testSamples()
+	samples := testutil.Samples()
 	ix := core.IndexWorkload(core.Dataset{Samples: samples})
 	expected := make(map[string][]byte, 2)
 	for id, ens := range map[string]*core.Ensemble{idA: ensA, idB: ensB} {

@@ -1,17 +1,17 @@
 package serve
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"spire/internal/stream"
+
+	"spire/internal/testutil"
 )
 
 // streamIntervalCSV renders one complete interval: fixed counters plus
@@ -42,52 +42,31 @@ func postStream(t *testing.T, url, body string) StreamFeedResponse {
 	return out
 }
 
-// sseClient attaches to GET /v1/stream and delivers parsed frames.
+// sseFrame is testutil's parsed SSE event with the data payload decoded
+// into this suite's stream.Result shape.
 type sseFrame struct {
 	ID     uint64
 	Event  string
 	Result stream.Result
 }
 
+// sseSubscribe adapts testutil.SSESubscribe: the wire parsing is shared,
+// only the payload decoding is suite-specific.
 func sseSubscribe(t *testing.T, url, query string) (<-chan sseFrame, func()) {
 	t.Helper()
-	req, err := http.NewRequest("GET", url+"/v1/stream"+query, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		raw, _ := readAll(resp)
-		t.Fatalf("subscribe status %d: %s", resp.StatusCode, raw)
-	}
-	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
-		t.Fatalf("content type %q", ct)
-	}
+	events, stop := testutil.SSESubscribe(t, url+"/v1/stream"+query, nil)
 	frames := make(chan sseFrame, 256)
 	go func() {
 		defer close(frames)
-		defer resp.Body.Close()
-		sc := bufio.NewScanner(resp.Body)
-		var f sseFrame
-		for sc.Scan() {
-			line := sc.Text()
-			switch {
-			case line == "":
-				frames <- f
-				f = sseFrame{}
-			case strings.HasPrefix(line, "id: "):
-				f.ID, _ = strconv.ParseUint(line[4:], 10, 64)
-			case strings.HasPrefix(line, "event: "):
-				f.Event = line[7:]
-			case strings.HasPrefix(line, "data: "):
-				json.Unmarshal([]byte(line[6:]), &f.Result)
+		for e := range events {
+			f := sseFrame{ID: e.ID, Event: e.Event}
+			if len(e.Data) > 0 {
+				json.Unmarshal(e.Data, &f.Result)
 			}
+			frames <- f
 		}
 	}()
-	return frames, func() { resp.Body.Close() }
+	return frames, stop
 }
 
 func nextFrame(t *testing.T, frames <-chan sseFrame) sseFrame {
@@ -110,8 +89,8 @@ func nextFrame(t *testing.T, frames <-chan sseFrame) sseFrame {
 // the new model.
 func TestStreamEndpointLive(t *testing.T) {
 	s, ts := newTestServer(t, Config{StreamWindow: 2})
-	ensA, modelA := trainModel(t, 1)
-	_, modelB := trainModel(t, 3)
+	ensA, modelA := testutil.TrainModel(t, 1)
+	_, modelB := testutil.TrainModel(t, 3)
 	idA, err := ensA.Fingerprint()
 	if err != nil {
 		t.Fatal(err)
@@ -166,7 +145,7 @@ func TestStreamEndpointLive(t *testing.T) {
 // TestStreamEndpointTop: ?top=N truncates rankings per subscriber.
 func TestStreamEndpointTop(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
-	_, modelA := trainModel(t, 1)
+	_, modelA := testutil.TrainModel(t, 1)
 	if _, err := s.Models().Load(bytes.NewReader(modelA), "test"); err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +236,7 @@ func TestStreamEndpointDiagsSurface(t *testing.T) {
 // batch routes.
 func TestStreamPostUncapped(t *testing.T) {
 	s, ts := newTestServer(t, Config{MaxBodyBytes: 1024, StreamWindow: 2})
-	_, model := trainModel(t, 1)
+	_, model := testutil.TrainModel(t, 1)
 	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
 		t.Fatal(err)
 	}

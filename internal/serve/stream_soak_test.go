@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"spire/internal/core"
+	"spire/internal/testutil"
 )
 
 // soakWindowDataset reproduces the workload a live window of k soak
@@ -52,8 +53,8 @@ func TestSoakStreamHotSwap(t *testing.T) {
 	total := writers * perWriter
 
 	s, ts := newTestServer(t, Config{StreamWindow: windowSpan})
-	ensA, modelA := trainModel(t, 1)
-	ensB, modelB := trainModel(t, 3)
+	ensA, modelA := testutil.TrainModel(t, 1)
+	ensB, modelB := testutil.TrainModel(t, 3)
 	idA, err := ensA.Fingerprint()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,86 @@
+package testutil
+
+import (
+	"bufio"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// SSEEvent is one parsed Server-Sent Event: the `id:`, `event:` and raw
+// `data:` fields. Data stays raw bytes so the helper is agnostic to the
+// payload shape; callers unmarshal into their own types.
+type SSEEvent struct {
+	ID    uint64
+	Event string
+	Data  []byte
+}
+
+// SSESubscribe attaches to a text/event-stream URL and delivers parsed
+// events on the returned channel until the stream closes or the stop
+// function is called. Extra headers (Last-Event-ID, tenants) ride along.
+func SSESubscribe(t testing.TB, url string, header http.Header) (<-chan SSEEvent, func()) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw := ReadBody(t, resp)
+		t.Fatalf("subscribe status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("subscribe content type %q, want text/event-stream", ct)
+	}
+	events := make(chan SSEEvent, 256)
+	go func() {
+		defer close(events)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		var e SSEEvent
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				events <- e
+				e = SSEEvent{}
+			case strings.HasPrefix(line, "id: "):
+				e.ID, _ = strconv.ParseUint(line[4:], 10, 64)
+			case strings.HasPrefix(line, "event: "):
+				e.Event = line[7:]
+			case strings.HasPrefix(line, "data: "):
+				e.Data = append([]byte(nil), line[6:]...)
+			}
+		}
+	}()
+	return events, func() { resp.Body.Close() }
+}
+
+// NextSSE waits for the next event with a generous deadline, failing the
+// test on stream close or timeout.
+func NextSSE(t testing.TB, events <-chan SSEEvent) SSEEvent {
+	t.Helper()
+	select {
+	case e, ok := <-events:
+		if !ok {
+			t.Fatal("SSE stream closed early")
+		}
+		return e
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for SSE event")
+		panic("unreachable")
+	}
+}
