@@ -8,8 +8,11 @@ SERVE_COVER_FLOOR ?= 80.0
 STREAM_COVER_FLOOR ?= 85.0
 # Minimum statement coverage for the cluster routing tier.
 CLUSTER_COVER_FLOOR ?= 85.0
+# Minimum statement coverage for the hierarchical roofline geometry and
+# its kernel roster.
+ROOFLINE_COVER_FLOOR ?= 85.0
 
-.PHONY: all build test vet lint race cover cover-serve cover-stream cover-cluster smoke fuzz fuzz-short chaos chaos-cluster bench-gate verify clean
+.PHONY: all build test vet lint race cover cover-serve cover-stream cover-cluster cover-roofline smoke fuzz fuzz-short chaos chaos-cluster bench-gate verify clean
 
 # Pinned linter versions, fetched on demand with `go run`. In an offline
 # environment (no module proxy) lint degrades to a warning + skip, so the
@@ -91,6 +94,15 @@ cover-cluster: | cover/
 	awk -v p="$$pct" -v f="$(CLUSTER_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
 		{ echo "FAIL: internal/cluster coverage $$pct% is below the $(CLUSTER_COVER_FLOOR)% floor"; exit 1; }
 
+# Coverage gate for the hierarchical roofline geometry and the workload
+# kernel roster that exercises it.
+cover-roofline: | cover/
+	$(GO) test -coverprofile=cover/coverage-roofline.out ./internal/roofline/ ./internal/workloads/
+	@pct=$$($(GO) tool cover -func=cover/coverage-roofline.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "internal/roofline+workloads coverage: $$pct% (floor $(ROOFLINE_COVER_FLOOR)%)"; \
+	awk -v p="$$pct" -v f="$(ROOFLINE_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "FAIL: internal/roofline+workloads coverage $$pct% is below the $(ROOFLINE_COVER_FLOOR)% floor"; exit 1; }
+
 # Black-box smoke: build the real binary, start `spire serve`, hit
 # /healthz and one estimate over HTTP, and shut down cleanly on SIGTERM.
 smoke:
@@ -113,6 +125,8 @@ fuzz-short:
 	$(GO) test -fuzz FuzzTrainParallel -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzLoadEnsemble -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzWindowMerge -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzHierarchyEval -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzSurfaceParams -fuzztime 10s ./internal/core/
 	$(GO) test -fuzz FuzzEstimateHandler -fuzztime 10s ./internal/serve/
 	$(GO) test -fuzz FuzzModelDecode -fuzztime 10s ./internal/serve/
 	$(GO) test -fuzz FuzzBinDecodeEstimate -fuzztime 10s ./internal/wire/
@@ -145,7 +159,7 @@ bench-gate:
 # The full verification gate: build, static checks, tests, race tests,
 # the coverage floors, the serving smoke, the chaos soak, a short fuzz
 # smoke, and the benchmark regression gate.
-verify: build vet lint test race cover cover-serve cover-stream cover-cluster smoke chaos chaos-cluster fuzz-short bench-gate
+verify: build vet lint test race cover cover-serve cover-stream cover-cluster cover-roofline smoke chaos chaos-cluster fuzz-short bench-gate
 
 clean:
 	$(GO) clean ./...

@@ -503,6 +503,64 @@ func BenchmarkBatchEstimateParallel(b *testing.B) {
 	}
 }
 
+// hierarchicalEnsemble attaches the default four-level hierarchy and
+// the two calibration surfaces to the session ensemble, sharing the
+// fitted rooflines (the hierarchy is evaluation-time metadata).
+func hierarchicalEnsemble(ens *core.Ensemble) *core.Ensemble {
+	return &core.Ensemble{
+		Rooflines: ens.Rooflines,
+		WorkUnit:  ens.WorkUnit,
+		TimeUnit:  ens.TimeUnit,
+		Hierarchy: &core.HierarchyModel{
+			Levels: core.DefaultHierarchyLevels(),
+			Surfaces: []core.Surface{
+				{Name: "sparsity", Param: "br_misp_retired.all_branches", Points: []core.SurfacePoint{
+					{Param: 0, Ceiling: 4}, {Param: 0.02, Ceiling: 3.1}, {Param: 0.1, Ceiling: 1.8},
+				}},
+				{Name: "vec-width-mix", Param: "uops_issued.vector_width_mismatch", Points: []core.SurfacePoint{
+					{Param: 0, Ceiling: 4}, {Param: 0.05, Ceiling: 2.6}, {Param: 0.25, Ceiling: 1.2},
+				}},
+			},
+		},
+	}
+}
+
+// BenchmarkHierarchicalEstimate is BenchmarkBatchEstimate's workload
+// through a model carrying the four-level hierarchy and both surfaces:
+// the same columnar steady state (caller-held index, reused Estimation,
+// Workers=1) plus the binding-level and surface evaluation on every op.
+// `make bench-gate` holds it to 0 allocs/op and within 20% of the flat
+// BENCH_core_columnar.json recording (see BENCH_hierarchy.json).
+func BenchmarkHierarchicalEstimate(b *testing.B) {
+	s := benchSession(b)
+	ens, err := s.Ensemble()
+	if err != nil {
+		b.Fatal(err)
+	}
+	hier := hierarchicalEnsemble(ens)
+	runs, err := s.TestRuns()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix := core.IndexWorkload(runs[0].Data)
+	ctx := context.Background()
+	var est core.Estimation
+	opts := core.EstimateOptions{Workers: 1}
+	if err := hier.BatchEstimateInto(ctx, ix, opts, &est); err != nil {
+		b.Fatal(err)
+	}
+	if est.Hierarchy == nil {
+		b.Fatal("session workload did not produce a hierarchical verdict")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := hier.BatchEstimateInto(ctx, ix, opts, &est); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulator measures raw simulation speed in cycles/op on a
 // mixed workload.
 func BenchmarkSimulator(b *testing.B) {

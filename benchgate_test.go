@@ -101,3 +101,82 @@ func TestBenchGate(t *testing.T) {
 			rec.Gate.Benchmark, runsN, bestAllocs, rec.Gate.AllocsPerOpMax)
 	}
 }
+
+// TestBenchGateHierarchy holds the hierarchical estimation steady state
+// (BenchmarkHierarchicalEstimate: same columnar loop plus binding-level
+// resolution and surface evaluation per op) to the flat recording in
+// BENCH_core_columnar.json — the hierarchy must ride the hot path within
+// the recorded tolerance and without allocating. BENCH_hierarchy.json
+// documents the recorded trajectory point.
+func TestBenchGateHierarchy(t *testing.T) {
+	if os.Getenv("BENCH_GATE") == "" {
+		t.Skip("set BENCH_GATE=1 (make bench-gate) to run the benchmark regression gate")
+	}
+	raw, err := os.ReadFile("BENCH_core_columnar.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchRecording
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatal(err)
+	}
+	base, ok := rec.Benchmarks["BenchmarkBatchEstimate"]
+	if !ok {
+		t.Fatal("recording has no BenchmarkBatchEstimate entry")
+	}
+
+	s := benchSession(t)
+	ens, err := s.Ensemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier := hierarchicalEnsemble(ens)
+	runs, err := s.TestRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := core.IndexWorkload(runs[0].Data)
+	ctx := context.Background()
+	opts := core.EstimateOptions{Workers: 1}
+	var est core.Estimation
+	if err := hier.BatchEstimateInto(ctx, ix, opts, &est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Hierarchy == nil {
+		t.Fatal("session workload did not produce a hierarchical verdict")
+	}
+
+	const runsN = 3
+	bestNs, bestAllocs := 0.0, 0.0
+	for i := 0; i < runsN; i++ {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for j := 0; j < b.N; j++ {
+				if err := hier.BatchEstimateInto(ctx, ix, opts, &est); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ns := float64(r.NsPerOp())
+		allocs := float64(r.AllocsPerOp())
+		if i == 0 || ns < bestNs {
+			bestNs = ns
+		}
+		if i == 0 || allocs < bestAllocs {
+			bestAllocs = allocs
+		}
+		t.Logf("run %d: %.0f ns/op, %.0f allocs/op (N=%d)", i+1, ns, allocs, r.N)
+	}
+
+	limit := base.NsPerOp * (1 + rec.Gate.NsPerOpMaxRegression)
+	t.Logf("gate: best %.0f ns/op vs flat recording %.0f (limit %.0f), best %.0f allocs/op (max 0)",
+		bestNs, base.NsPerOp, limit, bestAllocs)
+	if bestNs > limit {
+		t.Errorf("BenchmarkHierarchicalEstimate regressed: best-of-%d %.0f ns/op exceeds %.0f (flat recording %.0f + %.0f%% tolerance)",
+			runsN, bestNs, limit, base.NsPerOp, rec.Gate.NsPerOpMaxRegression*100)
+	}
+	if bestAllocs > 0 {
+		t.Errorf("BenchmarkHierarchicalEstimate allocates: best-of-%d %.0f allocs/op — the hierarchy broke the zero-allocation steady state",
+			runsN, bestAllocs)
+	}
+}

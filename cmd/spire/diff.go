@@ -28,6 +28,11 @@ type diffResult struct {
 	BindingBefore string `json:"bindingBefore,omitempty"`
 	BindingAfter  string `json:"bindingAfter,omitempty"`
 	Relieved      bool   `json:"relieved"`
+	// BindingLevelBefore/After name the binding memory-hierarchy level
+	// when the model carries a hierarchy and the workload measured it
+	// (mirrors each estimation's hierarchy verdict; absent otherwise).
+	BindingLevelBefore string `json:"bindingLevelBefore,omitempty"`
+	BindingLevelAfter  string `json:"bindingLevelAfter,omitempty"`
 }
 
 // cmdDiff compares two analyses of (presumably) the same workload before
@@ -123,6 +128,12 @@ func cmdDiff(args []string) error {
 		}
 		res.Relieved = res.BindingBefore != "" && res.BindingAfter != "" &&
 			res.BindingBefore != res.BindingAfter
+		if estB.Hierarchy != nil {
+			res.BindingLevelBefore = estB.Hierarchy.BindingLevel
+		}
+		if estA.Hierarchy != nil {
+			res.BindingLevelAfter = estA.Hierarchy.BindingLevel
+		}
 		raw, err := json.Marshal(res)
 		if err != nil {
 			return err
@@ -173,6 +184,15 @@ func cmdDiff(args []string) error {
 			fmt.Printf("\nbinding metric unchanged: %s — the change did not relieve the bottleneck\n", b0)
 		} else {
 			fmt.Printf("\nbinding metric moved: %s -> %s — the original bottleneck was relieved\n", b0, a0)
+		}
+	}
+	// And the hierarchy-level movement, when both runs have a verdict.
+	if estB.Hierarchy != nil && estA.Hierarchy != nil {
+		bl, al := estB.Hierarchy.BindingLevel, estA.Hierarchy.BindingLevel
+		if bl == al {
+			fmt.Printf("binding level unchanged: %s\n", bl)
+		} else {
+			fmt.Printf("binding level moved: %s -> %s\n", bl, al)
 		}
 	}
 	return nil

@@ -1,0 +1,233 @@
+package main
+
+// Black-box CLI coverage for the hierarchical rooflines: a calibrated
+// hierarchical model analyzed over each roster kernel's counters must
+// name the engineered binding level through `spire analyze -json`, the
+// human rendering must surface the verdict, `spire train -hierarchy`
+// must produce a model that reports binding levels, and `spire diff
+// -json` must carry the level movement fields.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"spire/internal/calibrate"
+	"spire/internal/core"
+	"spire/internal/pmu"
+	"spire/internal/sim"
+	"spire/internal/uarch"
+	"spire/internal/workloads"
+)
+
+// e2eHierModel calibrates the hierarchical model once per test process.
+var e2eHierModel = struct {
+	once sync.Once
+	ens  *core.Ensemble
+	err  error
+}{}
+
+func e2eHierarchyModel(t *testing.T) *core.Ensemble {
+	t.Helper()
+	e2eHierModel.once.Do(func() {
+		cfg := uarch.Default()
+		hm, err := calibrate.DiscoverHierarchy(cfg, calibrate.Options{})
+		if err != nil {
+			e2eHierModel.err = err
+			return
+		}
+		sp, err := calibrate.SweepSparsity(cfg, calibrate.Options{})
+		if err != nil {
+			e2eHierModel.err = err
+			return
+		}
+		vw, err := calibrate.SweepVecWidthMix(cfg, calibrate.Options{})
+		if err != nil {
+			e2eHierModel.err = err
+			return
+		}
+		e2eHierModel.ens, e2eHierModel.err = hm.Model(sp, vw)
+	})
+	if e2eHierModel.err != nil {
+		t.Fatal(e2eHierModel.err)
+	}
+	return e2eHierModel.ens
+}
+
+var e2eLevelEvents = map[string]pmu.EventID{
+	"mem_load_retired.l1_hit":  pmu.EvLoadL1Hit,
+	"mem_load_retired.l2_hit":  pmu.EvLoadL2Hit,
+	"mem_load_retired.l3_hit":  pmu.EvLoadL3Hit,
+	"mem_load_retired.l3_miss": pmu.EvLoadL3Miss,
+}
+
+var e2eParamEvents = map[string]pmu.EventID{
+	"br_misp_retired.all_branches":      pmu.EvBrMispRetired,
+	"uops_issued.vector_width_mismatch": pmu.EvVecWidthMismatch,
+}
+
+// e2eKernelDataset simulates one roster kernel and writes its counter
+// dataset where the CLI can read it.
+func e2eKernelDataset(t *testing.T, ens *core.Ensemble, hs workloads.HierarchySpec, path string) {
+	t.Helper()
+	s, err := sim.New(uarch.Default(), hs.Build(1), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(1 << 32)
+	if !res.Drained {
+		t.Fatalf("%s did not drain", hs.Name)
+	}
+	cycles, insts := float64(res.Cycles), float64(res.Instructions)
+	var data core.Dataset
+	for _, lv := range ens.Hierarchy.Levels {
+		data.Samples = append(data.Samples, core.Sample{
+			Metric: lv.Metric, T: cycles, W: insts,
+			M: float64(res.Counts.Read(e2eLevelEvents[lv.Metric])),
+		})
+	}
+	for metric, ev := range e2eParamEvents {
+		data.Samples = append(data.Samples, core.Sample{
+			Metric: metric, T: cycles, W: insts,
+			M: float64(res.Counts.Read(ev)),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteDataset(f, data); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestE2EHierarchyAnalyze: `spire analyze -json` on every roster kernel
+// names the kernel's engineered binding level; the human rendering
+// prints the verdict line.
+func TestE2EHierarchyAnalyze(t *testing.T) {
+	ens := e2eHierarchyModel(t)
+	dir := t.TempDir()
+	model := filepath.Join(dir, "hier-model.json")
+	f, err := os.Create(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ens.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, hs := range workloads.Hierarchy() {
+		dataset := filepath.Join(dir, hs.Name+".json")
+		e2eKernelDataset(t, ens, hs, dataset)
+
+		stdout, stderr, code := runSpire(t, "analyze", "-model", model, "-json", dataset)
+		if code != 0 {
+			t.Fatalf("%s: analyze -json exited %d: %s", hs.Name, code, stderr)
+		}
+		var est core.Estimation
+		if err := json.Unmarshal([]byte(stdout), &est); err != nil {
+			t.Fatalf("%s: analyze -json output: %v\n%s", hs.Name, err, stdout)
+		}
+		if est.Hierarchy == nil {
+			t.Fatalf("%s: no hierarchy in analyze -json output", hs.Name)
+		}
+		if got := est.Hierarchy.BindingLevel; got != hs.ExpectedLevel {
+			t.Errorf("%s: analyze -json binding level %s, engineered for %s", hs.Name, got, hs.ExpectedLevel)
+		}
+
+		// Human mode surfaces the same verdict.
+		stdout, stderr, code = runSpire(t, "analyze", "-model", model, dataset)
+		if code != 0 {
+			t.Fatalf("%s: analyze exited %d: %s", hs.Name, code, stderr)
+		}
+		want := "memory hierarchy: bound at " + hs.ExpectedLevel + " "
+		if !strings.Contains(stdout, want) {
+			t.Errorf("%s: human output missing %q:\n%s", hs.Name, want, stdout)
+		}
+	}
+}
+
+// TestE2ETrainHierarchy: a model trained with -hierarchy reports a
+// binding level through analyze, and diff -json carries the movement
+// fields; the same training without -hierarchy stays flat.
+func TestE2ETrainHierarchy(t *testing.T) {
+	dir := t.TempDir()
+	dataset := filepath.Join(dir, "levels.json")
+	var d core.Dataset
+	for i := 1; i <= 8; i++ {
+		for metric, m := range map[string]float64{
+			"mem_load_retired.l1_hit":  1000,
+			"mem_load_retired.l2_hit":  400_000,
+			"mem_load_retired.l3_hit":  100,
+			"mem_load_retired.l3_miss": 10,
+		} {
+			d.Add(core.Sample{Metric: metric, T: 1e6, W: 2e6 * float64(i) / 4, M: m * float64(i)})
+		}
+	}
+	f, err := os.Create(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.WriteDataset(f, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	model := filepath.Join(dir, "model.json")
+	if _, stderr, code := runSpire(t, "train", "-hierarchy", "-o", model, dataset); code != 0 {
+		t.Fatalf("train -hierarchy exited %d: %s", code, stderr)
+	}
+	stdout, stderr, code := runSpire(t, "analyze", "-model", model, "-json", dataset)
+	if code != 0 {
+		t.Fatalf("analyze exited %d: %s", code, stderr)
+	}
+	var est core.Estimation
+	if err := json.Unmarshal([]byte(stdout), &est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Hierarchy == nil || est.Hierarchy.BindingLevel == "" {
+		t.Fatalf("train -hierarchy model produced no binding level: %s", stdout)
+	}
+
+	// diff -json carries the per-side binding levels.
+	stdout, stderr, code = runSpire(t, "diff", "-model", model, "-json", dataset, dataset)
+	if code != 0 {
+		t.Fatalf("diff exited %d: %s", code, stderr)
+	}
+	var res struct {
+		BindingLevelBefore string `json:"bindingLevelBefore"`
+		BindingLevelAfter  string `json:"bindingLevelAfter"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.BindingLevelBefore == "" || res.BindingLevelBefore != res.BindingLevelAfter {
+		t.Fatalf("diff -json binding levels (%q, %q), want identical non-empty", res.BindingLevelBefore, res.BindingLevelAfter)
+	}
+
+	// Without -hierarchy the same training stays flat: no hierarchy in
+	// the analyze output, byte for byte the pre-hierarchy contract.
+	flatModel := filepath.Join(dir, "flat.json")
+	if _, stderr, code := runSpire(t, "train", "-o", flatModel, dataset); code != 0 {
+		t.Fatalf("train exited %d: %s", code, stderr)
+	}
+	stdout, stderr, code = runSpire(t, "analyze", "-model", flatModel, "-json", dataset)
+	if code != 0 {
+		t.Fatalf("flat analyze exited %d: %s", code, stderr)
+	}
+	if strings.Contains(stdout, "hierarchy") {
+		t.Fatalf("flat model output mentions a hierarchy: %s", stdout)
+	}
+}

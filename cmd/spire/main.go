@@ -93,7 +93,7 @@ func usage() {
 
 commands:
   ingest   [-strict|-lenient] [-format auto|csv|json] [-min-run-pct P] [-o dataset.json] perf.csv...
-  train    -o model.json [-min-samples N] [-workers N] [-v] dataset.json...
+  train    -o model.json [-min-samples N] [-workers N] [-hierarchy] [-v] dataset.json...
   analyze  -model model.json [-top K] [-workers N] [-json] [-interpret] [-timeline] [-html out.html]
            [-remote URL [-tenant T] [-wire json|bin]] dataset.json...
   watch    -model model.json [-window N] [-top K] [-json] [-follow] [-poll D] [-strict] [-v] perf.csv|-
@@ -133,6 +133,7 @@ func cmdTrain(args []string) error {
 	minSamples := fs.Int("min-samples", 0, "drop metrics with fewer training samples")
 	workers := fs.Int("workers", 0, "concurrent per-metric fits (0 = GOMAXPROCS; output is identical for any count)")
 	verbose := fs.Bool("v", false, "report metrics that were skipped during training and why")
+	hierarchy := fs.Bool("hierarchy", false, "attach the default L1/L2/L3/DRAM hierarchy so analyze reports the binding memory level")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -155,6 +156,12 @@ func cmdTrain(args []string) error {
 	if *verbose {
 		// The skip report is a diagnostic, not output: stderr.
 		fmt.Fprintln(os.Stderr, "spire train:", rep.Summary())
+	}
+	if *hierarchy {
+		// The level mapping is evaluation-time metadata: levels whose
+		// traffic metric the model (or a workload) never measured simply
+		// don't report, so attaching the default map is always safe.
+		ens.Hierarchy = &core.HierarchyModel{Levels: core.DefaultHierarchyLevels()}
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -231,6 +238,7 @@ func cmdAnalyze(args []string) error {
 		fmt.Printf("measured throughput: %.3f (served by model %s)\n", est.MeasuredThroughput, modelID[:min(12, len(modelID))])
 		fmt.Printf("SPIRE max-throughput estimate: %.3f (min over %d metrics)\n\n",
 			est.MaxThroughput, len(est.PerMetric))
+		printHierarchy(est)
 		return renderRanking(est, *top)
 	}
 
@@ -261,6 +269,7 @@ func cmdAnalyze(args []string) error {
 	fmt.Printf("measured throughput: %.3f %s/%s\n", est.MeasuredThroughput, ens.WorkUnit, ens.TimeUnit)
 	fmt.Printf("SPIRE max-throughput estimate: %.3f (min over %d metrics)\n\n",
 		est.MaxThroughput, len(est.PerMetric))
+	printHierarchy(est)
 	if err := renderRanking(est, *top); err != nil {
 		return err
 	}
@@ -309,6 +318,27 @@ func cmdAnalyze(args []string) error {
 		fmt.Printf("\nwrote HTML report to %s\n", *htmlOut)
 	}
 	return nil
+}
+
+// printHierarchy prints the memory-hierarchy verdict when the model
+// carried one and the workload measured at least two levels.
+func printHierarchy(est *core.Estimation) {
+	h := est.Hierarchy
+	if h == nil {
+		return
+	}
+	fmt.Printf("memory hierarchy: bound at %s (%s, est %.3f across %d measured levels)\n",
+		h.BindingLevel, h.BindingMetric, h.BindingEstimate, len(h.Levels))
+	for _, s := range h.Surfaces {
+		if s.Binding {
+			fmt.Printf("  surface %s binds: ceiling %.3f at %s = %.4g\n",
+				s.Name, s.Ceiling, s.Param, s.ParamValue)
+		}
+	}
+	if h.BoundThroughput < est.MaxThroughput {
+		fmt.Printf("  hierarchy-refined bound: %.3f (flat bound %.3f)\n", h.BoundThroughput, est.MaxThroughput)
+	}
+	fmt.Println()
 }
 
 // renderRanking prints the candidate-bottleneck table shared by local

@@ -1,0 +1,313 @@
+package calibrate
+
+// Hierarchical machine characterization: per-level deliverable bandwidth
+// measured with wrapping line-stride streams sized to each cache level
+// (classic hierarchical-roofline practice), plus parameterized-ceiling
+// sweeps that train roofline surfaces — the achievable IPC ceiling as a
+// function of an observable workload parameter (vector-width mismatch
+// rate, sparse-skip mispredict rate). The sweeps read only counters a
+// real collection would have, so the trained surfaces transfer to any
+// workload whose dataset samples the parameter metric.
+
+import (
+	"fmt"
+	"sort"
+
+	"spire/internal/core"
+	"spire/internal/isa"
+	"spire/internal/pmu"
+	"spire/internal/sim"
+	"spire/internal/uarch"
+)
+
+// LevelBandwidth is one memory level's measured streaming bandwidth.
+type LevelBandwidth struct {
+	// Level names the memory level ("L1".."DRAM").
+	Level string
+	// WorkingSet is the probe footprint that kept the stream resident in
+	// (or past) this level.
+	WorkingSet uint64
+	// BytesPerCycle is the sustained line bandwidth observed.
+	BytesPerCycle float64
+}
+
+// HierarchyMachine is the hierarchical characterization: the compute roof
+// plus one bandwidth ceiling per memory level.
+type HierarchyMachine struct {
+	// PeakIPC is the best sustained IPC on independent single-cycle work.
+	PeakIPC float64
+	// Levels are the measured per-level bandwidths, fastest first.
+	Levels []LevelBandwidth
+	// LineBytes is the line granularity the bandwidths are measured at.
+	LineBytes float64
+}
+
+// levelFootprint sizes each level's probe: small enough to stay resident
+// in the target level, large enough to overflow the previous one.
+var levelFootprint = []struct {
+	level string
+	ws    uint64
+	cold  bool // cold single pass (DRAM) instead of a wrapping stream
+}{
+	{level: "L1", ws: 16 << 10},
+	{level: "L2", ws: 128 << 10},
+	{level: "L3", ws: 2 << 20},
+	{level: "DRAM", ws: 256 << 20, cold: true},
+}
+
+// DiscoverHierarchy measures the stacked per-level bandwidths with
+// line-stride load streams: cache levels use a wrapping stream whose
+// steady state is served by the target level, DRAM a cold never-wrapping
+// one. Only elapsed cycles and load counts are read, as on real hardware.
+func DiscoverHierarchy(cfg *uarch.Config, opts Options) (*HierarchyMachine, error) {
+	opts.setDefaults()
+	hm := &HierarchyMachine{LineBytes: 64}
+
+	run := func(p isa.Program, maxCycles uint64) (sim.Result, error) {
+		s, err := sim.New(cfg, p, opts.Seed)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		res := s.Run(maxCycles)
+		if !res.Drained {
+			return res, fmt.Errorf("calibrate: probe %s did not finish in %d cycles", p.Name(), maxCycles)
+		}
+		return res, nil
+	}
+
+	res, err := run(&aluProbe{n: opts.Insts}, 1<<30)
+	if err != nil {
+		return nil, err
+	}
+	hm.PeakIPC = res.IPC
+
+	for _, lf := range levelFootprint {
+		if lf.ws > opts.MaxWorkingSet && !lf.cold {
+			continue
+		}
+		loads := opts.Insts / 2
+		if !lf.cold {
+			// Wrap the footprint several times so first-pass cold misses
+			// are diluted and the steady state is served by the level.
+			if min := 6 * int(lf.ws/64); loads < min {
+				loads = min
+			}
+		}
+		p := &streamProbe{loads: loads, ws: lf.ws}
+		res, err := run(p, 1<<32)
+		if err != nil {
+			return nil, err
+		}
+		hm.Levels = append(hm.Levels, LevelBandwidth{
+			Level:         lf.level,
+			WorkingSet:    lf.ws,
+			BytesPerCycle: float64(loads) * 64 / float64(res.Cycles),
+		})
+	}
+	return hm, nil
+}
+
+// Model builds a hierarchical SPIRE ensemble from the characterization:
+// one bandwidth roofline per measured level on the standard per-level
+// traffic metrics, the level map, and any trained surfaces.
+func (hm *HierarchyMachine) Model(surfaces ...core.Surface) (*core.Ensemble, error) {
+	if len(hm.Levels) == 0 {
+		return nil, fmt.Errorf("calibrate: hierarchy machine has no levels")
+	}
+	byLevel := make(map[string]LevelBandwidth, len(hm.Levels))
+	for _, l := range hm.Levels {
+		byLevel[l.Level] = l
+	}
+	ens := &core.Ensemble{
+		Rooflines: make(map[string]*core.Roofline, len(hm.Levels)),
+		WorkUnit:  "instructions",
+		TimeUnit:  "cycles",
+		Hierarchy: &core.HierarchyModel{Surfaces: surfaces},
+	}
+	for _, lv := range core.DefaultHierarchyLevels() {
+		l, ok := byLevel[lv.Level]
+		if !ok {
+			continue
+		}
+		r, err := core.BandwidthRoofline(lv.Metric, hm.PeakIPC, l.BytesPerCycle, hm.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		ens.Rooflines[lv.Metric] = r
+		ens.Hierarchy.Levels = append(ens.Hierarchy.Levels, lv)
+	}
+	if err := ens.Hierarchy.Validate(); err != nil {
+		return nil, err
+	}
+	return ens, nil
+}
+
+// Report renders the hierarchical characterization.
+func (hm *HierarchyMachine) Report() string {
+	out := fmt.Sprintf("peak IPC: %.2f\nper-level streaming bandwidth:\n", hm.PeakIPC)
+	for _, l := range hm.Levels {
+		out += fmt.Sprintf("  %-4s (%6d KiB footprint): %6.1f B/cy\n", l.Level, l.WorkingSet>>10, l.BytesPerCycle)
+	}
+	return out
+}
+
+// --- surface sweeps ----------------------------------------------------
+
+// surfaceFromSamples sorts sweep observations by parameter value,
+// collapses duplicate abscissae to the lower ceiling (the conservative
+// envelope), and validates the result.
+func surfaceFromSamples(name, param string, pts []core.SurfacePoint) (core.Surface, error) {
+	if len(pts) == 0 {
+		return core.Surface{}, fmt.Errorf("calibrate: surface %s swept no points", name)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Param < pts[j].Param })
+	out := pts[:0]
+	for _, p := range pts {
+		if n := len(out); n > 0 && out[n-1].Param == p.Param {
+			if p.Ceiling < out[n-1].Ceiling {
+				out[n-1].Ceiling = p.Ceiling
+			}
+			continue
+		}
+		out = append(out, p)
+	}
+	s := core.Surface{Name: name, Param: param, Points: out}
+	probe := core.HierarchyModel{
+		Levels:   core.DefaultHierarchyLevels(),
+		Surfaces: []core.Surface{s},
+	}
+	if err := probe.Validate(); err != nil {
+		return core.Surface{}, err
+	}
+	return s, nil
+}
+
+// SweepVecWidthMix trains the vector-width-mix surface: probes that
+// alternate SIMD widths at different rates, each observed as (width-
+// mismatch events per instruction, achieved IPC). The resulting ceiling
+// falls as the mismatch rate rises.
+func SweepVecWidthMix(cfg *uarch.Config, opts Options) (core.Surface, error) {
+	opts.setDefaults()
+	var pts []core.SurfacePoint
+	for _, switchEvery := range []int{0, 16, 8, 4, 2, 1} {
+		p := &vecMixProbe{n: opts.Insts, switchEvery: switchEvery}
+		s, err := sim.New(cfg, p, opts.Seed)
+		if err != nil {
+			return core.Surface{}, err
+		}
+		res := s.Run(1 << 32)
+		if !res.Drained {
+			return core.Surface{}, fmt.Errorf("calibrate: probe %s did not finish", p.Name())
+		}
+		c := s.PMU().Snapshot()
+		insts := float64(c.Read(pmu.EvInstRetired))
+		if insts == 0 {
+			return core.Surface{}, fmt.Errorf("calibrate: probe %s retired nothing", p.Name())
+		}
+		rate := float64(c.Read(pmu.EvVecWidthMismatch)) / insts
+		pts = append(pts, core.SurfacePoint{Param: rate, Ceiling: res.IPC})
+	}
+	return surfaceFromSamples("vec-width-mix", "uops_issued.vector_width_mismatch", pts)
+}
+
+// SweepSparsity trains the sparsity surface. Density itself is not a
+// counter, so the surface is keyed on its observable signature: the
+// skip-branch mispredict rate. Probes run a zero-skipping vector kernel
+// at densities from fully dense to nearly empty; each is observed as
+// (mispredicts per instruction, achieved IPC).
+func SweepSparsity(cfg *uarch.Config, opts Options) (core.Surface, error) {
+	opts.setDefaults()
+	var pts []core.SurfacePoint
+	for _, density := range []float64{1, 0.9, 0.75, 0.5, 0.25, 0.1} {
+		p := &sparseProbe{n: opts.Insts, density: density}
+		s, err := sim.New(cfg, p, opts.Seed)
+		if err != nil {
+			return core.Surface{}, err
+		}
+		res := s.Run(1 << 32)
+		if !res.Drained {
+			return core.Surface{}, fmt.Errorf("calibrate: probe %s did not finish", p.Name())
+		}
+		c := s.PMU().Snapshot()
+		insts := float64(c.Read(pmu.EvInstRetired))
+		if insts == 0 {
+			return core.Surface{}, fmt.Errorf("calibrate: probe %s retired nothing", p.Name())
+		}
+		rate := float64(c.Read(pmu.EvBrMispRetired)) / insts
+		pts = append(pts, core.SurfacePoint{Param: rate, Ceiling: res.IPC})
+	}
+	return surfaceFromSamples("sparsity", "br_misp_retired.all_branches", pts)
+}
+
+// vecMixProbe issues vector FMAs whose SIMD width flips between 128 and
+// 512 bits every switchEvery instructions (0 = constant width).
+type vecMixProbe struct {
+	n, switchEvery int
+	pos            int
+}
+
+func (p *vecMixProbe) Name() string     { return fmt.Sprintf("cal-vecmix-%d", p.switchEvery) }
+func (p *vecMixProbe) Reset(seed int64) { p.pos = 0 }
+func (p *vecMixProbe) Next() (isa.Inst, bool) {
+	if p.pos >= p.n {
+		return isa.Inst{}, false
+	}
+	i := p.pos
+	p.pos++
+	w := uint16(128)
+	if p.switchEvery > 0 && (i/p.switchEvery)%2 == 1 {
+		w = 512
+	}
+	return isa.Inst{PC: 0x5000 + uint64(i%16)*4, Op: isa.OpVecFMA, VecWidth: w, Dst: isa.Reg(16 + i%8)}, true
+}
+
+// sparseProbe models a zero-skipping sparse vector kernel: per element a
+// load, a data-dependent skip branch (taken = element is zero), and two
+// vector FMAs only when the element is nonzero.
+type sparseProbe struct {
+	n       int
+	density float64
+	pos     int
+	emitted int
+	state   uint64
+	queue   []isa.Inst
+}
+
+func (p *sparseProbe) Name() string { return fmt.Sprintf("cal-sparse-%.2f", p.density) }
+func (p *sparseProbe) Reset(seed int64) {
+	p.pos, p.emitted = 0, 0
+	p.state = uint64(seed)*6364136223846793005 + 1
+	p.queue = p.queue[:0]
+}
+
+func (p *sparseProbe) rand() float64 {
+	p.state ^= p.state << 13
+	p.state ^= p.state >> 7
+	p.state ^= p.state << 17
+	return float64(p.state>>11) / float64(1<<53)
+}
+
+func (p *sparseProbe) Next() (isa.Inst, bool) {
+	if len(p.queue) == 0 {
+		if p.emitted >= p.n {
+			return isa.Inst{}, false
+		}
+		addr := 0x30000000 + uint64(p.pos)*8%(4<<20)
+		p.pos++
+		skip := p.rand() >= p.density
+		p.queue = append(p.queue,
+			isa.Inst{PC: 0x6000, Op: isa.OpLoad, Dst: 1, Size: 8, Addr: addr},
+			isa.Inst{PC: 0x6004, Op: isa.OpBranch, Taken: skip, Target: 0x6010},
+		)
+		if !skip {
+			p.queue = append(p.queue,
+				isa.Inst{PC: 0x6008, Op: isa.OpVecFMA, VecWidth: 256, Dst: 17, Src1: 17},
+				isa.Inst{PC: 0x600c, Op: isa.OpVecFMA, VecWidth: 256, Dst: 18, Src1: 18},
+			)
+		}
+	}
+	in := p.queue[0]
+	p.queue = p.queue[1:]
+	p.emitted++
+	return in, true
+}

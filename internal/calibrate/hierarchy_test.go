@@ -1,0 +1,117 @@
+package calibrate
+
+import (
+	"testing"
+
+	"spire/internal/uarch"
+)
+
+func TestDiscoverHierarchyDefaultCore(t *testing.T) {
+	hm, err := DiscoverHierarchy(uarch.Default(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.PeakIPC < 3 || hm.PeakIPC > 4.1 {
+		t.Errorf("peak IPC %.2f outside [3, 4.1] for a 4-wide core", hm.PeakIPC)
+	}
+	if len(hm.Levels) != 4 {
+		t.Fatalf("got %d levels, want 4: %+v", len(hm.Levels), hm.Levels)
+	}
+	order := []string{"L1", "L2", "L3", "DRAM"}
+	for i, l := range hm.Levels {
+		if l.Level != order[i] {
+			t.Fatalf("level %d is %s, want %s", i, l.Level, order[i])
+		}
+		if l.BytesPerCycle <= 0 {
+			t.Errorf("%s bandwidth %.2f not positive", l.Level, l.BytesPerCycle)
+		}
+		if i > 0 && l.BytesPerCycle >= hm.Levels[i-1].BytesPerCycle {
+			t.Errorf("bandwidths not strictly decreasing: %s %.2f >= %s %.2f",
+				l.Level, l.BytesPerCycle, hm.Levels[i-1].Level, hm.Levels[i-1].BytesPerCycle)
+		}
+	}
+	// DRAM streaming can't beat the configured bus width.
+	dram := hm.Levels[3].BytesPerCycle
+	if bus := float64(uarch.Default().Mem.DRAM.BytesPerCycle); dram > bus {
+		t.Errorf("DRAM bandwidth %.2f above the %.0f B/cy bus", dram, bus)
+	}
+}
+
+func TestHierarchyModel(t *testing.T) {
+	hm, err := DiscoverHierarchy(uarch.Default(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SweepSparsity(uarch.Default(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw, err := SweepVecWidthMix(uarch.Default(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens, err := hm.Model(sp, vw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ens.Hierarchy == nil || len(ens.Hierarchy.Levels) != 4 {
+		t.Fatalf("model hierarchy: %+v", ens.Hierarchy)
+	}
+	if len(ens.Hierarchy.Surfaces) != 2 {
+		t.Fatalf("got %d surfaces, want 2", len(ens.Hierarchy.Surfaces))
+	}
+	for _, lv := range ens.Hierarchy.Levels {
+		if ens.Rooflines[lv.Metric] == nil {
+			t.Errorf("no roofline for level metric %s", lv.Metric)
+		}
+	}
+	if rep := hm.Report(); rep == "" {
+		t.Error("empty report")
+	}
+
+	// An empty characterization refuses to build a model.
+	if _, err := (&HierarchyMachine{}).Model(); err == nil {
+		t.Error("empty machine: want error")
+	}
+}
+
+func TestSweepSurfacesShape(t *testing.T) {
+	cfg := uarch.Default()
+	sp, err := SweepSparsity(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Points) < 3 {
+		t.Fatalf("sparsity surface has %d points", len(sp.Points))
+	}
+	if sp.Param != "br_misp_retired.all_branches" {
+		t.Errorf("sparsity param metric %q", sp.Param)
+	}
+	// Dense kernels (low mispredict rate) must out-run heavily skipping
+	// ones: the first ceiling beats the last.
+	first, last := sp.Points[0], sp.Points[len(sp.Points)-1]
+	if first.Param >= last.Param {
+		t.Errorf("params not ascending: %.4f .. %.4f", first.Param, last.Param)
+	}
+	if first.Ceiling <= last.Ceiling {
+		t.Errorf("sparsity ceiling should fall with mispredict rate: %.2f .. %.2f", first.Ceiling, last.Ceiling)
+	}
+
+	vw, err := SweepVecWidthMix(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vw.Points) < 3 {
+		t.Fatalf("vec-width surface has %d points", len(vw.Points))
+	}
+	if vw.Param != "uops_issued.vector_width_mismatch" {
+		t.Errorf("vec-width param metric %q", vw.Param)
+	}
+	first, last = vw.Points[0], vw.Points[len(vw.Points)-1]
+	if first.Param != 0 {
+		t.Errorf("constant-width probe should have mismatch rate 0, got %.4f", first.Param)
+	}
+	if first.Ceiling <= last.Ceiling {
+		t.Errorf("vec-width ceiling should fall with mismatch rate: %.2f .. %.2f", first.Ceiling, last.Ceiling)
+	}
+}

@@ -1,0 +1,170 @@
+package cluster_test
+
+// Hierarchy extension of the cluster differential: routed estimates for
+// a hierarchical model must be byte-identical to a single node serving
+// the same model (the shard hop re-encodes the hierarchy section too),
+// and the single-level degenerate model routed through a cluster must
+// produce estimation bytes indistinguishable from a flat model's.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"spire/internal/core"
+	"spire/internal/serve"
+	"spire/internal/wire"
+)
+
+// hierClusterModel builds the four-level bandwidth-roofline model used
+// across the hierarchy differentials. levels trims the hierarchy
+// (0 = flat, 1 = degenerate single level).
+func hierClusterModel(t testing.TB, levels int) []byte {
+	t.Helper()
+	betas := map[string]float64{"L1": 64, "L2": 16, "L3": 8, "DRAM": 2}
+	ens := &core.Ensemble{
+		Rooflines: map[string]*core.Roofline{},
+		WorkUnit:  "instructions",
+		TimeUnit:  "cycles",
+	}
+	all := core.DefaultHierarchyLevels()
+	for _, lv := range all {
+		r, err := core.BandwidthRoofline(lv.Metric, 4, betas[lv.Level], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ens.Rooflines[lv.Metric] = r
+	}
+	if levels > 0 {
+		ens.Hierarchy = &core.HierarchyModel{Levels: all[:levels]}
+	}
+	var buf bytes.Buffer
+	if err := ens.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// hierClusterSamples puts dominant traffic on L2 with a trickle on the
+// other levels, so the binding verdict is unambiguous.
+func hierClusterSamples() []core.Sample {
+	const cycles, insts = 1e6, 2e6
+	return []core.Sample{
+		{Metric: "mem_load_retired.l1_hit", T: cycles, W: insts, M: 1000},
+		{Metric: "mem_load_retired.l2_hit", T: cycles, W: insts, M: 4e5},
+		{Metric: "mem_load_retired.l3_hit", T: cycles, W: insts, M: 100},
+		{Metric: "mem_load_retired.l3_miss", T: cycles, W: insts, M: 10},
+	}
+}
+
+// hierParityReqs renders the same workload as a JSON and an SPB1
+// request, each under both Accept encodings.
+func hierParityReqs(t testing.TB) []parityReq {
+	t.Helper()
+	jbody, err := json.Marshal(serve.EstimateRequest{Samples: hierClusterSamples()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbody := wire.AppendEstimateRequest(nil, &wire.EstimateRequest{Samples: hierClusterSamples()})
+	return []parityReq{
+		{kind: "hier-json", body: jbody, contentType: "application/json"},
+		{kind: "hier-json-bin-accept", body: jbody, contentType: "application/json", accept: wire.ContentTypeBin},
+		{kind: "hier-bin", body: bbody, contentType: wire.ContentTypeBin},
+		{kind: "hier-bin-json-accept", body: bbody, contentType: wire.ContentTypeBin, accept: "application/json"},
+	}
+}
+
+// TestClusterHierarchyParity: a routed hierarchical estimate equals the
+// single-node one byte for byte on every encoding pair, and the routed
+// body names the right binding level.
+func TestClusterHierarchyParity(t *testing.T) {
+	model := hierClusterModel(t, 4)
+	single := startSingle(t, serve.Config{}, model)
+	tc := startCluster(t, clusterOpts{shards: 3})
+	tc.waitConverged(t, tc.pushModel(t, model), 5_000_000_000)
+
+	for _, pr := range hierParityReqs(t) {
+		sStatus, sCT, sModel, sBody := doEstimate(t, single.URL, pr)
+		cStatus, cCT, cModel, cBody := doEstimate(t, tc.url, pr)
+		if sStatus != cStatus || sCT != cCT || sModel != cModel || !bytes.Equal(sBody, cBody) {
+			t.Fatalf("%s: single=(%d, %s, model=%q, %d bytes) cluster=(%d, %s, model=%q, %d bytes)\nsingle: %.300s\ncluster: %.300s",
+				pr.kind, sStatus, sCT, sModel, len(sBody), cStatus, cCT, cModel, len(cBody), sBody, cBody)
+		}
+		if cStatus != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", pr.kind, cStatus, cBody)
+		}
+
+		// Independently decode the routed body and check the verdict.
+		var est *core.Estimation
+		if cCT == wire.ContentTypeBin {
+			res, err := wire.DecodeEstimateResponse(cBody)
+			if err != nil {
+				t.Fatalf("%s: decode SPB1: %v", pr.kind, err)
+			}
+			est = res.Estimation
+		} else {
+			var er serve.EstimateResponse
+			if err := json.Unmarshal(cBody, &er); err != nil {
+				t.Fatalf("%s: decode JSON: %v", pr.kind, err)
+			}
+			est = er.Estimation
+		}
+		h := est.Hierarchy
+		if h == nil || h.BindingLevel != "L2" || len(h.Levels) != 4 {
+			t.Fatalf("%s: routed hierarchy %+v, want 4-level verdict binding L2", pr.kind, h)
+		}
+	}
+}
+
+// TestClusterSingleLevelParity: a single-level hierarchy routed through
+// the cluster serves the same estimation bytes as a flat model on a
+// single node — the degenerate freeze holds across the shard hop.
+func TestClusterSingleLevelParity(t *testing.T) {
+	single := startSingle(t, serve.Config{}, hierClusterModel(t, 0))
+	tc := startCluster(t, clusterOpts{shards: 3})
+	tc.waitConverged(t, tc.pushModel(t, hierClusterModel(t, 1)), 5_000_000_000)
+
+	for _, pr := range hierParityReqs(t) {
+		sStatus, sCT, _, sBody := doEstimate(t, single.URL, pr)
+		cStatus, cCT, _, cBody := doEstimate(t, tc.url, pr)
+		if sStatus != http.StatusOK || cStatus != http.StatusOK || sCT != cCT {
+			t.Fatalf("%s: statuses (%d, %d), content types (%s, %s)", pr.kind, sStatus, cStatus, sCT, cCT)
+		}
+
+		// The model ids differ (different blobs), so compare the
+		// estimation region only — it must be byte-identical.
+		var sFrame, cFrame []byte
+		if cCT == wire.ContentTypeBin {
+			sRes, err := wire.DecodeEstimateResponse(sBody)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cRes, err := wire.DecodeEstimateResponse(cBody)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cRes.Estimation.Hierarchy != nil {
+				t.Fatalf("%s: single-level model served a hierarchy over SPB1", pr.kind)
+			}
+			sFrame = wire.AppendEstimateResponse(nil, &wire.EstimateResponse{Estimation: sRes.Estimation})
+			cFrame = wire.AppendEstimateResponse(nil, &wire.EstimateResponse{Estimation: cRes.Estimation})
+		} else {
+			var sER, cER serve.EstimateResponse
+			if err := json.Unmarshal(sBody, &sER); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(cBody, &cER); err != nil {
+				t.Fatal(err)
+			}
+			if cER.Estimation.Hierarchy != nil {
+				t.Fatalf("%s: single-level model served a hierarchy over JSON", pr.kind)
+			}
+			sFrame, _ = json.Marshal(sER.Estimation)
+			cFrame, _ = json.Marshal(cER.Estimation)
+		}
+		if !bytes.Equal(sFrame, cFrame) {
+			t.Fatalf("%s: single-level estimation diverged from flat:\nflat: %.300s\none:  %.300s", pr.kind, sFrame, cFrame)
+		}
+	}
+}

@@ -295,8 +295,21 @@ func (e *Ensemble) evaluators() map[string]*chainEval {
 		sort.Strings(names)
 		e.evals = m
 		e.sortedNames = names
+		if h := e.Hierarchy; h != nil && len(h.Surfaces) > 0 {
+			e.surfEvals = make([]*chainEval, len(h.Surfaces))
+			for i := range h.Surfaces {
+				e.surfEvals[i] = surfaceChain(&h.Surfaces[i])
+			}
+		}
 	})
 	return e.evals
+}
+
+// surfaceEvals returns the memoized surface segment tables, parallel to
+// e.Hierarchy.Surfaces (nil for models without surfaces).
+func (e *Ensemble) surfaceEvals() []*chainEval {
+	e.evaluators()
+	return e.surfEvals
 }
 
 // metricBatch is one metric's contribution to a batch estimation.
@@ -551,6 +564,7 @@ func (e *Ensemble) BatchEstimateInto(ctx context.Context, ix *WorkloadIndex, opt
 	} else {
 		est.MeasuredThroughput = math.NaN()
 	}
+	e.applyHierarchy(ix, est)
 	return nil
 }
 

@@ -136,12 +136,130 @@ func (m *MetricEstimate) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// estimationJSON mirrors Estimation with total float encoding.
+// levelEstimateJSON mirrors LevelEstimate with total float encoding.
+type levelEstimateJSON struct {
+	Level         string  `json:"level"`
+	Metric        string  `json:"metric"`
+	MeanEstimate  jsonNum `json:"meanEstimate"`
+	Samples       int     `json:"samples"`
+	MeanIntensity jsonNum `json:"meanIntensity"`
+}
+
+// MarshalJSON encodes the level estimate with non-finite values spelled
+// as strings so that marshaling never fails.
+func (l LevelEstimate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(levelEstimateJSON{
+		Level:         l.Level,
+		Metric:        l.Metric,
+		MeanEstimate:  jsonNum(l.MeanEstimate),
+		Samples:       l.Samples,
+		MeanIntensity: jsonNum(l.MeanIntensity),
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (l *LevelEstimate) UnmarshalJSON(b []byte) error {
+	var raw levelEstimateJSON
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	*l = LevelEstimate{
+		Level:         raw.Level,
+		Metric:        raw.Metric,
+		MeanEstimate:  float64(raw.MeanEstimate),
+		Samples:       raw.Samples,
+		MeanIntensity: float64(raw.MeanIntensity),
+	}
+	return nil
+}
+
+// surfaceEstimateJSON mirrors SurfaceEstimate with total float encoding.
+type surfaceEstimateJSON struct {
+	Name       string  `json:"name,omitempty"`
+	Param      string  `json:"param"`
+	ParamValue jsonNum `json:"paramValue"`
+	Ceiling    jsonNum `json:"ceiling"`
+	Binding    bool    `json:"binding"`
+}
+
+// MarshalJSON encodes the surface estimate with non-finite values spelled
+// as strings so that marshaling never fails.
+func (s SurfaceEstimate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(surfaceEstimateJSON{
+		Name:       s.Name,
+		Param:      s.Param,
+		ParamValue: jsonNum(s.ParamValue),
+		Ceiling:    jsonNum(s.Ceiling),
+		Binding:    s.Binding,
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (s *SurfaceEstimate) UnmarshalJSON(b []byte) error {
+	var raw surfaceEstimateJSON
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	*s = SurfaceEstimate{
+		Name:       raw.Name,
+		Param:      raw.Param,
+		ParamValue: float64(raw.ParamValue),
+		Ceiling:    float64(raw.Ceiling),
+		Binding:    raw.Binding,
+	}
+	return nil
+}
+
+// hierarchyEstimateJSON mirrors HierarchyEstimate with total float
+// encoding.
+type hierarchyEstimateJSON struct {
+	BindingLevel    string            `json:"bindingLevel"`
+	BindingMetric   string            `json:"bindingMetric"`
+	BindingEstimate jsonNum           `json:"bindingEstimate"`
+	BoundThroughput jsonNum           `json:"boundThroughput"`
+	Levels          []LevelEstimate   `json:"levels"`
+	Surfaces        []SurfaceEstimate `json:"surfaces,omitempty"`
+}
+
+// MarshalJSON encodes the hierarchy estimate with non-finite values
+// spelled as strings so that marshaling never fails.
+func (h HierarchyEstimate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(hierarchyEstimateJSON{
+		BindingLevel:    h.BindingLevel,
+		BindingMetric:   h.BindingMetric,
+		BindingEstimate: jsonNum(h.BindingEstimate),
+		BoundThroughput: jsonNum(h.BoundThroughput),
+		Levels:          h.Levels,
+		Surfaces:        h.Surfaces,
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (h *HierarchyEstimate) UnmarshalJSON(b []byte) error {
+	var raw hierarchyEstimateJSON
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	*h = HierarchyEstimate{
+		BindingLevel:    raw.BindingLevel,
+		BindingMetric:   raw.BindingMetric,
+		BindingEstimate: float64(raw.BindingEstimate),
+		BoundThroughput: float64(raw.BoundThroughput),
+		Levels:          raw.Levels,
+		Surfaces:        raw.Surfaces,
+	}
+	return nil
+}
+
+// estimationJSON mirrors Estimation with total float encoding. Hierarchy
+// is additive and omitted when nil, so flat estimations encode exactly as
+// they did before the field existed.
 type estimationJSON struct {
-	PerMetric          []MetricEstimate `json:"perMetric"`
-	MaxThroughput      jsonNum          `json:"maxThroughput"`
-	MeasuredThroughput jsonNum          `json:"measuredThroughput"`
-	Coverage           CoverageReport   `json:"coverage"`
+	PerMetric          []MetricEstimate   `json:"perMetric"`
+	MaxThroughput      jsonNum            `json:"maxThroughput"`
+	MeasuredThroughput jsonNum            `json:"measuredThroughput"`
+	Coverage           CoverageReport     `json:"coverage"`
+	Hierarchy          *HierarchyEstimate `json:"hierarchy,omitempty"`
 }
 
 // MarshalJSON encodes the estimation with non-finite values spelled as
@@ -152,6 +270,7 @@ func (est Estimation) MarshalJSON() ([]byte, error) {
 		MaxThroughput:      jsonNum(est.MaxThroughput),
 		MeasuredThroughput: jsonNum(est.MeasuredThroughput),
 		Coverage:           est.Coverage,
+		Hierarchy:          est.Hierarchy,
 	})
 }
 
@@ -166,6 +285,7 @@ func (est *Estimation) UnmarshalJSON(b []byte) error {
 		MaxThroughput:      float64(raw.MaxThroughput),
 		MeasuredThroughput: float64(raw.MeasuredThroughput),
 		Coverage:           raw.Coverage,
+		Hierarchy:          raw.Hierarchy,
 	}
 	return nil
 }
@@ -192,6 +312,11 @@ func (e *Ensemble) CheckInvariants() error {
 		}
 		if err := r.CheckInvariants(); err != nil {
 			return fmt.Errorf("core: roofline %q: %w", name, err)
+		}
+	}
+	if e.Hierarchy != nil {
+		if err := e.Hierarchy.Validate(); err != nil {
+			return err
 		}
 	}
 	return nil

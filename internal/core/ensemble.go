@@ -19,13 +19,20 @@ type Ensemble struct {
 	// and estimation agree.
 	WorkUnit string `json:"workUnit"`
 	TimeUnit string `json:"timeUnit"`
+	// Hierarchy optionally maps memory-hierarchy levels onto traffic
+	// metrics and carries parameterized roofline surfaces (hierarchy.go).
+	// Flat models omit it and estimate byte-identically to models that
+	// never had the field.
+	Hierarchy *HierarchyModel `json:"hierarchy,omitempty"`
 
 	// evalOnce/evals lazily memoize the flattened segment tables
 	// BatchEstimate evaluates rooflines through (see batch.go), plus the
-	// sorted metric-name list the coverage merge-walk scans.
+	// sorted metric-name list the coverage merge-walk scans and the
+	// surface segment tables for the hierarchy's parameterized ceilings.
 	evalOnce    sync.Once
 	evals       map[string]*chainEval
 	sortedNames []string
+	surfEvals   []*chainEval
 }
 
 // Metrics returns the sorted metric names the ensemble models.
@@ -89,6 +96,11 @@ type Estimation struct {
 	// Coverage reports how well the model's metric set and the
 	// workload's overlapped.
 	Coverage CoverageReport `json:"coverage"`
+	// Hierarchy reports the binding memory-hierarchy level when the model
+	// carries a hierarchy and at least two levels had measured traffic;
+	// nil otherwise (hierarchy.go). Purely additive: the flat fields
+	// above are identical with and without it.
+	Hierarchy *HierarchyEstimate `json:"hierarchy,omitempty"`
 }
 
 // Estimate runs the ensemble-level estimation process of paper Fig. 4:

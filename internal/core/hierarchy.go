@@ -1,0 +1,335 @@
+package core
+
+// Hierarchical multi-resource estimation: a trained ensemble may carry a
+// HierarchyModel that maps named memory levels (L1/L2/L3/DRAM) onto the
+// per-level traffic metrics the ensemble already models, plus
+// parameterized roofline surfaces whose ceiling is a function of a
+// workload parameter (sparsity, vector-width mix). Estimation then
+// reports the *binding level* — which memory level's roofline admits the
+// least throughput — alongside the flat Eq. 1 ranking, and tightens the
+// overall bound with the surface ceilings. The hierarchy refines an
+// estimation but never mutates the flat fields (PerMetric,
+// MaxThroughput, MeasuredThroughput, Coverage), so a model without a
+// hierarchy — and the degenerate single-level case — produce output
+// byte-identical to the flat rooflines.
+
+import (
+	"fmt"
+	"math"
+
+	"spire/internal/geom"
+)
+
+// HierarchyLevel binds one named memory-hierarchy level to the counter
+// metric that carries its traffic (e.g. "L2" → "mem_load_retired.l2_hit").
+type HierarchyLevel struct {
+	Level  string `json:"level"`
+	Metric string `json:"metric"`
+}
+
+// SurfacePoint is one trained breakpoint of a parameterized roofline
+// surface: the achievable ceiling at one workload-parameter value.
+type SurfacePoint struct {
+	Param   float64 `json:"param"`
+	Ceiling float64 `json:"ceiling"`
+}
+
+// Surface is a parameterized roofline surface: the achievable ceiling as
+// a piecewise-linear function of a workload parameter, trained by
+// calibration sweeps. At estimation time the parameter value is recovered
+// from the workload's own samples of the Param metric — its time-weighted
+// event rate per unit of work — and the ceiling is evaluated through the
+// same flattened segment tables the rooflines use.
+type Surface struct {
+	// Name labels the parameter ("sparsity", "vec-width-mix").
+	Name string `json:"name,omitempty"`
+	// Param is the counter metric whose per-work rate parameterizes the
+	// ceiling.
+	Param string `json:"param"`
+	// Points are the swept breakpoints in ascending Param order.
+	Points []SurfacePoint `json:"points"`
+}
+
+// HierarchyModel is the optional hierarchical extension of a trained
+// ensemble.
+type HierarchyModel struct {
+	// Levels maps hierarchy levels to traffic metrics, fastest first.
+	Levels []HierarchyLevel `json:"levels"`
+	// Surfaces are the parameterized ceilings, if any were trained.
+	Surfaces []Surface `json:"surfaces,omitempty"`
+}
+
+// DefaultHierarchyLevels returns the standard four-level mapping onto the
+// per-level load-retirement events the pmu registry defines: a level's
+// traffic metric is the loads *served by* that level, with DRAM carried
+// by the L3 miss count.
+func DefaultHierarchyLevels() []HierarchyLevel {
+	return []HierarchyLevel{
+		{Level: "L1", Metric: "mem_load_retired.l1_hit"},
+		{Level: "L2", Metric: "mem_load_retired.l2_hit"},
+		{Level: "L3", Metric: "mem_load_retired.l3_hit"},
+		{Level: "DRAM", Metric: "mem_load_retired.l3_miss"},
+	}
+}
+
+// Validate checks the hierarchy's structure: at least one level, unique
+// non-empty level names and metrics, and well-formed surfaces (non-empty
+// param metric, ascending finite breakpoints, finite non-negative
+// ceilings). Estimation itself never panics on a hostile hierarchy; this
+// gate is for model load/upload paths.
+func (h *HierarchyModel) Validate() error {
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("core: hierarchy has no levels")
+	}
+	names := make(map[string]bool, len(h.Levels))
+	metrics := make(map[string]bool, len(h.Levels))
+	for k, lv := range h.Levels {
+		if lv.Level == "" {
+			return fmt.Errorf("core: hierarchy level %d has no name", k)
+		}
+		if lv.Metric == "" {
+			return fmt.Errorf("core: hierarchy level %q has no metric", lv.Level)
+		}
+		if names[lv.Level] {
+			return fmt.Errorf("core: duplicate hierarchy level %q", lv.Level)
+		}
+		if metrics[lv.Metric] {
+			return fmt.Errorf("core: hierarchy metric %q mapped twice", lv.Metric)
+		}
+		names[lv.Level] = true
+		metrics[lv.Metric] = true
+	}
+	params := make(map[string]bool, len(h.Surfaces))
+	for k, s := range h.Surfaces {
+		if s.Param == "" {
+			return fmt.Errorf("core: surface %d has no param metric", k)
+		}
+		if params[s.Param] {
+			return fmt.Errorf("core: surface param %q mapped twice", s.Param)
+		}
+		params[s.Param] = true
+		if len(s.Points) == 0 {
+			return fmt.Errorf("core: surface %q has no points", s.Param)
+		}
+		for j, p := range s.Points {
+			if math.IsNaN(p.Param) || math.IsInf(p.Param, 0) {
+				return fmt.Errorf("core: surface %q point %d has non-finite param", s.Param, j)
+			}
+			if math.IsNaN(p.Ceiling) || math.IsInf(p.Ceiling, 0) || p.Ceiling < 0 {
+				return fmt.Errorf("core: surface %q point %d ceiling must be finite and non-negative", s.Param, j)
+			}
+			if j > 0 && p.Param < s.Points[j-1].Param {
+				return fmt.Errorf("core: surface %q points not ascending at %d", s.Param, j)
+			}
+		}
+	}
+	return nil
+}
+
+// LevelEstimate is one hierarchy level's slice of an estimation: the
+// level's Eq. 1 roofline estimate on its traffic metric.
+type LevelEstimate struct {
+	Level         string  `json:"level"`
+	Metric        string  `json:"metric"`
+	MeanEstimate  float64 `json:"meanEstimate"`
+	Samples       int     `json:"samples"`
+	MeanIntensity float64 `json:"meanIntensity"`
+}
+
+// SurfaceEstimate is one surface's evaluation against a workload: the
+// recovered parameter value and the ceiling there.
+type SurfaceEstimate struct {
+	Name string `json:"name,omitempty"`
+	// Param is the surface's parameter metric.
+	Param string `json:"param"`
+	// ParamValue is the workload's recovered parameter: the time-weighted
+	// average of the metric's event count per unit of work.
+	ParamValue float64 `json:"paramValue"`
+	// Ceiling is the surface's achievable ceiling at ParamValue.
+	Ceiling float64 `json:"ceiling"`
+	// Binding reports whether this ceiling is below the flat Eq. 1
+	// estimate — the surface, not a counter roofline, bounds the workload.
+	Binding bool `json:"binding"`
+}
+
+// HierarchyEstimate reports which memory-hierarchy level binds a workload.
+// It is attached to an Estimation only when the model carries a hierarchy
+// and at least two levels had measured traffic; the single-level
+// degenerate case is indistinguishable from a flat roofline and reports
+// nothing, keeping flat output byte-identical.
+type HierarchyEstimate struct {
+	// BindingLevel is the level whose roofline admits the least
+	// throughput; BindingMetric is its traffic metric.
+	BindingLevel  string `json:"bindingLevel"`
+	BindingMetric string `json:"bindingMetric"`
+	// BindingEstimate is the Eq. 1 estimate at the binding level.
+	BindingEstimate float64 `json:"bindingEstimate"`
+	// BoundThroughput is the hierarchy-refined overall bound:
+	// min(MaxThroughput, every surface ceiling).
+	BoundThroughput float64 `json:"boundThroughput"`
+	// Levels holds one entry per hierarchy level with measured traffic,
+	// in model level order (fastest first).
+	Levels []LevelEstimate `json:"levels"`
+	// Surfaces holds one entry per surface whose param metric the
+	// workload measured.
+	Surfaces []SurfaceEstimate `json:"surfaces,omitempty"`
+}
+
+// BandwidthRoofline builds the roofline of one memory level from its
+// deliverable bandwidth: P(I) = min(peak, (β/lineBytes)·I) where I is
+// work per line-granular traffic event at that level. The chain is the
+// two-segment left hull [origin → ridge → flat tail], which the columnar
+// evaluator reproduces exactly.
+func BandwidthRoofline(metric string, peak, bytesPerCycle, lineBytes float64) (*Roofline, error) {
+	if peak <= 0 || math.IsNaN(peak) || math.IsInf(peak, 0) {
+		return nil, fmt.Errorf("core: bandwidth roofline %q: peak must be positive and finite", metric)
+	}
+	if bytesPerCycle <= 0 || math.IsNaN(bytesPerCycle) || math.IsInf(bytesPerCycle, 0) {
+		return nil, fmt.Errorf("core: bandwidth roofline %q: bandwidth must be positive and finite", metric)
+	}
+	if lineBytes <= 0 || math.IsNaN(lineBytes) || math.IsInf(lineBytes, 0) {
+		return nil, fmt.Errorf("core: bandwidth roofline %q: line size must be positive and finite", metric)
+	}
+	ridge := peak * lineBytes / bytesPerCycle
+	return &Roofline{
+		Metric: metric,
+		Left:   []geom.Point{{X: ridge, Y: peak}},
+		TailY:  peak,
+	}, nil
+}
+
+// surfaceChain builds the flattened segment table that evaluates a
+// surface through the same columnar machinery as a roofline left chain:
+// the ceiling clamps to the first breakpoint below the swept range (a
+// zero-width lead-in segment pins x=0 to the first ceiling) and to the
+// last breakpoint above it (TailY).
+func surfaceChain(s *Surface) *chainEval {
+	pts := make([]geom.Point, 0, len(s.Points)+1)
+	if len(s.Points) > 0 && s.Points[0].Param > 0 {
+		pts = append(pts, geom.Point{X: 0, Y: s.Points[0].Ceiling})
+	}
+	for _, p := range s.Points {
+		pts = append(pts, geom.Point{X: p.Param, Y: p.Ceiling})
+	}
+	r := &Roofline{Metric: s.Param, Left: pts}
+	if len(pts) > 0 {
+		r.TailY = pts[len(pts)-1].Y
+	}
+	return newChainEval(r)
+}
+
+// surfaceParam recovers a surface's workload-parameter value from the
+// param metric's sample columns: the time-weighted average event count
+// per unit of work, Σ t_j·(m_j/w_j) / Σ t_j. The per-sample rate is the
+// reciprocal of the indexed operational intensity, so never-firing
+// samples (intensity +Inf) contribute rate 0.
+func surfaceParam(im *indexedMetric) float64 {
+	var num, den float64
+	for j, intensity := range im.intens {
+		rate := 1 / intensity
+		if math.IsNaN(rate) {
+			continue
+		}
+		t := im.t[j]
+		num += t * rate
+		den += t
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	return num / den
+}
+
+// findPerMetric locates a metric in the (estimate-sorted) ranking.
+func findPerMetric(ms []MetricEstimate, metric string) int {
+	for i := range ms {
+		if ms[i].Metric == metric {
+			return i
+		}
+	}
+	return -1
+}
+
+// applyHierarchy fills est.Hierarchy from the model's hierarchy, reusing
+// est's previous HierarchyEstimate allocation and slice capacities so the
+// steady-state BatchEstimateInto loop stays allocation-free. Models
+// without a hierarchy — and workloads where fewer than two hierarchy
+// levels had measured traffic (the flat-equivalent degenerate case) —
+// reset est.Hierarchy to nil. Flat estimation fields are never touched.
+func (e *Ensemble) applyHierarchy(ix *WorkloadIndex, est *Estimation) {
+	h := e.Hierarchy
+	if h == nil {
+		est.Hierarchy = nil
+		return
+	}
+	found := 0
+	for _, lv := range h.Levels {
+		if findPerMetric(est.PerMetric, lv.Metric) >= 0 {
+			found++
+		}
+	}
+	if found < 2 {
+		est.Hierarchy = nil
+		return
+	}
+
+	he := est.Hierarchy
+	if he == nil {
+		he = &HierarchyEstimate{}
+		est.Hierarchy = he
+	}
+	he.Levels = he.Levels[:0]
+	he.Surfaces = he.Surfaces[:0]
+	he.BindingLevel, he.BindingMetric = "", ""
+	he.BindingEstimate = math.Inf(1)
+	for _, lv := range h.Levels {
+		k := findPerMetric(est.PerMetric, lv.Metric)
+		if k < 0 {
+			continue
+		}
+		me := &est.PerMetric[k]
+		he.Levels = append(he.Levels, LevelEstimate{
+			Level:         lv.Level,
+			Metric:        lv.Metric,
+			MeanEstimate:  me.MeanEstimate,
+			Samples:       me.Samples,
+			MeanIntensity: me.MeanIntensity,
+		})
+		// Strict less-than: ties resolve to the fastest (earliest) level.
+		if me.MeanEstimate < he.BindingEstimate {
+			he.BindingEstimate = me.MeanEstimate
+			he.BindingLevel = lv.Level
+			he.BindingMetric = lv.Metric
+		}
+	}
+	if he.BindingLevel == "" {
+		// Every level estimate was +Inf (or NaN-free comparison failed):
+		// fall back to the fastest measured level.
+		lv := he.Levels[0]
+		he.BindingLevel, he.BindingMetric = lv.Level, lv.Metric
+		he.BindingEstimate = lv.MeanEstimate
+	}
+
+	bound := est.MaxThroughput
+	surfEvals := e.surfaceEvals()
+	for si := range h.Surfaces {
+		s := &h.Surfaces[si]
+		im, ok := ix.groups[s.Param]
+		if !ok {
+			continue
+		}
+		p := surfaceParam(im)
+		ceiling := surfEvals[si].eval(p)
+		he.Surfaces = append(he.Surfaces, SurfaceEstimate{
+			Name:       s.Name,
+			Param:      s.Param,
+			ParamValue: p,
+			Ceiling:    ceiling,
+			Binding:    ceiling < est.MaxThroughput,
+		})
+		if ceiling < bound {
+			bound = ceiling
+		}
+	}
+	he.BoundThroughput = bound
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package core
+
+const raceEnabled = false

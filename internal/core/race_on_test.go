@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count assertions are skipped under it, since instrumentation
+// inflates testing.AllocsPerRun.
+const raceEnabled = true

@@ -1,0 +1,225 @@
+package roofline
+
+// The hierarchical extension of the classic model ("Hierarchical Roofline
+// Analysis", Yang): instead of a single memory roof, one diagonal
+// bandwidth ceiling per memory-hierarchy level (L1/L2/L3/DRAM), each with
+// its own operational intensity measured against that level's traffic.
+// A workload sits on every level's roofline at once; the binding level is
+// the one whose ceiling admits the least throughput. The file also adds
+// parameterized roofline surfaces ("The Sparsity Roofline", Shinn et
+// al.): a ceiling that is a piecewise-linear function of a workload
+// parameter such as density or vector-width mix, instead of a constant.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LevelCeiling is one stacked bandwidth ceiling of a hierarchical
+// roofline: the deliverable bandwidth of one memory level.
+type LevelCeiling struct {
+	// Level names the memory level ("L1", "L2", "L3", "DRAM").
+	Level string
+	// BytesPerCycle is the level's deliverable bandwidth β_ℓ.
+	BytesPerCycle float64
+}
+
+// Hierarchy is a hierarchical roofline: a shared peak compute throughput
+// π and a stack of per-level bandwidth ceilings. Levels are ordered from
+// the closest (fastest) to the farthest (slowest) memory.
+type Hierarchy struct {
+	// PeakThroughput is π in work/time units (IPC here).
+	PeakThroughput float64
+	// Levels are the stacked bandwidth ceilings, fastest first.
+	Levels []LevelCeiling
+}
+
+// NewHierarchy validates and builds a hierarchical roofline.
+func NewHierarchy(peakThroughput float64, levels ...LevelCeiling) (*Hierarchy, error) {
+	if peakThroughput <= 0 || math.IsNaN(peakThroughput) || math.IsInf(peakThroughput, 0) {
+		return nil, errors.New("roofline: peak throughput must be positive and finite")
+	}
+	if len(levels) == 0 {
+		return nil, errors.New("roofline: hierarchy needs at least one level")
+	}
+	seen := make(map[string]bool, len(levels))
+	for _, l := range levels {
+		if l.Level == "" {
+			return nil, errors.New("roofline: hierarchy level without a name")
+		}
+		if seen[l.Level] {
+			return nil, fmt.Errorf("roofline: duplicate hierarchy level %q", l.Level)
+		}
+		seen[l.Level] = true
+		if l.BytesPerCycle <= 0 || math.IsNaN(l.BytesPerCycle) || math.IsInf(l.BytesPerCycle, 0) {
+			return nil, fmt.Errorf("roofline: level %q bandwidth must be positive and finite", l.Level)
+		}
+	}
+	return &Hierarchy{PeakThroughput: peakThroughput, Levels: levels}, nil
+}
+
+// Level returns the ceiling for the named level, or an error.
+func (h *Hierarchy) Level(name string) (LevelCeiling, error) {
+	for _, l := range h.Levels {
+		if l.Level == name {
+			return l, nil
+		}
+	}
+	return LevelCeiling{}, fmt.Errorf("roofline: unknown hierarchy level %q", name)
+}
+
+// Attainable returns min(π, β_ℓ·i) for the named level, where i is the
+// workload's operational intensity against that level's traffic (work per
+// byte moved from that level).
+func (h *Hierarchy) Attainable(level string, i float64) (float64, error) {
+	l, err := h.Level(level)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(i) {
+		return math.NaN(), nil
+	}
+	if i < 0 {
+		i = 0
+	}
+	bw := l.BytesPerCycle * i
+	if math.IsInf(i, 1) {
+		bw = math.Inf(1)
+	}
+	return math.Min(h.PeakThroughput, bw), nil
+}
+
+// RidgePoint returns π/β_ℓ for the named level: below it the workload is
+// bound by that level's bandwidth.
+func (h *Hierarchy) RidgePoint(level string) (float64, error) {
+	l, err := h.Level(level)
+	if err != nil {
+		return 0, err
+	}
+	return h.PeakThroughput / l.BytesPerCycle, nil
+}
+
+// Binding returns the binding level for a workload described by its
+// per-level operational intensities (parallel to h.Levels; work per byte
+// of each level's traffic) and the attainable throughput there — the
+// minimum across the stacked ceilings. NaN intensities are skipped; ties
+// resolve to the fastest (earliest) level, so an entirely compute-bound
+// workload reports the closest memory as vacuously binding.
+func (h *Hierarchy) Binding(intens []float64) (string, float64, error) {
+	if len(intens) != len(h.Levels) {
+		return "", 0, fmt.Errorf("roofline: %d intensities for %d levels", len(intens), len(h.Levels))
+	}
+	best := ""
+	bestAtt := math.Inf(1)
+	for k, l := range h.Levels {
+		att, err := h.Attainable(l.Level, intens[k])
+		if err != nil {
+			return "", 0, err
+		}
+		if math.IsNaN(att) {
+			continue
+		}
+		if att < bestAtt {
+			best, bestAtt = l.Level, att
+		}
+	}
+	if best == "" {
+		return "", 0, errors.New("roofline: no usable level intensity")
+	}
+	return best, bestAtt, nil
+}
+
+// LevelSeries samples one level's attainable curve at n log-spaced
+// intensities in [lo, hi] for plotting the stacked roofs.
+func (h *Hierarchy) LevelSeries(level string, lo, hi float64, n int) ([]SeriesPoint, error) {
+	if _, err := h.Level(level); err != nil {
+		return nil, err
+	}
+	if lo <= 0 || hi <= lo || n < 2 {
+		return nil, errors.New("roofline: need 0 < lo < hi and n >= 2")
+	}
+	out := make([]SeriesPoint, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	x := lo
+	for k := 0; k < n; k++ {
+		att, _ := h.Attainable(level, x)
+		out[k] = SeriesPoint{I: x, P: att}
+		x *= ratio
+	}
+	return out, nil
+}
+
+// SurfacePoint is one breakpoint of a parameterized roofline surface:
+// the achievable ceiling at one workload-parameter value.
+type SurfacePoint struct {
+	// Param is the workload-parameter value (e.g. density, mismatch rate).
+	Param float64
+	// Ceiling is the achievable throughput ceiling at that value.
+	Ceiling float64
+}
+
+// Surface is a parameterized roofline: the ceiling as a piecewise-linear
+// function of a scalar workload parameter, clamped to the end ceilings
+// outside the swept range.
+type Surface struct {
+	// Name labels the parameter ("sparsity", "vec-width-mix").
+	Name string
+	// Points are the swept breakpoints in ascending Param order.
+	Points []SurfacePoint
+}
+
+// NewSurface validates and builds a surface.
+func NewSurface(name string, points ...SurfacePoint) (*Surface, error) {
+	if name == "" {
+		return nil, errors.New("roofline: surface without a name")
+	}
+	if len(points) == 0 {
+		return nil, errors.New("roofline: surface needs at least one point")
+	}
+	for k, p := range points {
+		if math.IsNaN(p.Param) || math.IsInf(p.Param, 0) {
+			return nil, fmt.Errorf("roofline: surface %q point %d has non-finite parameter", name, k)
+		}
+		if math.IsNaN(p.Ceiling) || math.IsInf(p.Ceiling, 0) || p.Ceiling < 0 {
+			return nil, fmt.Errorf("roofline: surface %q point %d ceiling must be finite and non-negative", name, k)
+		}
+		if k > 0 && p.Param < points[k-1].Param {
+			return nil, fmt.Errorf("roofline: surface %q points not ascending at %d", name, k)
+		}
+	}
+	return &Surface{Name: name, Points: points}, nil
+}
+
+// Eval returns the ceiling at parameter value p: linear interpolation
+// between breakpoints, clamped to the first/last ceiling outside the
+// swept range. NaN propagates.
+func (s *Surface) Eval(p float64) float64 {
+	if math.IsNaN(p) {
+		return math.NaN()
+	}
+	pts := s.Points
+	if len(pts) == 0 {
+		return math.NaN()
+	}
+	if p <= pts[0].Param {
+		return pts[0].Ceiling
+	}
+	last := pts[len(pts)-1]
+	if p >= last.Param {
+		return last.Ceiling
+	}
+	for k := 1; k < len(pts); k++ {
+		if p > pts[k].Param {
+			continue
+		}
+		x0, y0 := pts[k-1].Param, pts[k-1].Ceiling
+		x1, y1 := pts[k].Param, pts[k].Ceiling
+		if x1 == x0 {
+			return y1
+		}
+		t := (p - x0) / (x1 - x0)
+		return y0 + t*(y1-y0)
+	}
+	return last.Ceiling
+}

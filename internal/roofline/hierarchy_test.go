@@ -1,0 +1,237 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+)
+
+func testHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(4,
+		LevelCeiling{Level: "L1", BytesPerCycle: 64},
+		LevelCeiling{Level: "L2", BytesPerCycle: 16},
+		LevelCeiling{Level: "L3", BytesPerCycle: 8},
+		LevelCeiling{Level: "DRAM", BytesPerCycle: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewHierarchyValidation(t *testing.T) {
+	l1 := LevelCeiling{Level: "L1", BytesPerCycle: 64}
+	cases := []struct {
+		name   string
+		peak   float64
+		levels []LevelCeiling
+	}{
+		{"zero peak", 0, []LevelCeiling{l1}},
+		{"negative peak", -1, []LevelCeiling{l1}},
+		{"NaN peak", math.NaN(), []LevelCeiling{l1}},
+		{"infinite peak", math.Inf(1), []LevelCeiling{l1}},
+		{"no levels", 4, nil},
+		{"unnamed level", 4, []LevelCeiling{{BytesPerCycle: 1}}},
+		{"duplicate level", 4, []LevelCeiling{l1, l1}},
+		{"zero bandwidth", 4, []LevelCeiling{{Level: "L1"}}},
+		{"NaN bandwidth", 4, []LevelCeiling{{Level: "L1", BytesPerCycle: math.NaN()}}},
+		{"infinite bandwidth", 4, []LevelCeiling{{Level: "L1", BytesPerCycle: math.Inf(1)}}},
+	}
+	for _, c := range cases {
+		if _, err := NewHierarchy(c.peak, c.levels...); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	if _, err := NewHierarchy(4, l1); err != nil {
+		t.Errorf("valid hierarchy rejected: %v", err)
+	}
+}
+
+func TestHierarchyAttainable(t *testing.T) {
+	h := testHierarchy(t)
+	cases := []struct {
+		level string
+		i     float64
+		want  float64
+	}{
+		{"DRAM", 1, 2},           // bandwidth-bound: 2 B/cy * 1
+		{"DRAM", 100, 4},         // past the ridge: compute roof
+		{"L1", 0.01, 0.64},       // L1 diagonal
+		{"L2", 0, 0},             // no work per byte: zero
+		{"L2", -3, 0},            // negative clamps to zero
+		{"L3", math.Inf(1), 4},   // infinite intensity: compute roof
+		{"DRAM", 2, 4},           // exactly at the ridge
+	}
+	for _, c := range cases {
+		got, err := h.Attainable(c.level, c.i)
+		if err != nil {
+			t.Fatalf("%s@%g: %v", c.level, c.i, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s@%g = %g, want %g", c.level, c.i, got, c.want)
+		}
+	}
+	if got, _ := h.Attainable("L1", math.NaN()); !math.IsNaN(got) {
+		t.Errorf("NaN intensity: got %g, want NaN", got)
+	}
+	if _, err := h.Attainable("HBM", 1); err == nil {
+		t.Error("unknown level: want error")
+	}
+}
+
+func TestHierarchyLevelAndRidge(t *testing.T) {
+	h := testHierarchy(t)
+	l, err := h.Level("L3")
+	if err != nil || l.BytesPerCycle != 8 {
+		t.Fatalf("Level(L3) = %+v, %v", l, err)
+	}
+	if _, err := h.Level("HBM"); err == nil {
+		t.Error("unknown level: want error")
+	}
+	r, err := h.RidgePoint("DRAM")
+	if err != nil || r != 2 {
+		t.Fatalf("RidgePoint(DRAM) = %g, %v; want 2", r, err)
+	}
+	if _, err := h.RidgePoint("HBM"); err == nil {
+		t.Error("unknown ridge level: want error")
+	}
+}
+
+func TestHierarchyBinding(t *testing.T) {
+	h := testHierarchy(t)
+
+	// DRAM traffic dominant: low intensity there, high elsewhere.
+	level, att, err := h.Binding([]float64{100, 100, 100, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != "DRAM" || att != 1 {
+		t.Errorf("got %s/%g, want DRAM/1", level, att)
+	}
+
+	// All intensities past every ridge: tie resolves to the fastest.
+	level, att, err = h.Binding([]float64{100, 100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != "L1" || att != 4 {
+		t.Errorf("compute-bound tie: got %s/%g, want L1/4", level, att)
+	}
+
+	// NaN levels are skipped.
+	nan := math.NaN()
+	level, _, err = h.Binding([]float64{nan, nan, 0.5, nan})
+	if err != nil || level != "L3" {
+		t.Errorf("NaN skip: got %s, %v; want L3", level, err)
+	}
+
+	// All NaN: no verdict.
+	if _, _, err := h.Binding([]float64{nan, nan, nan, nan}); err == nil {
+		t.Error("all-NaN intensities: want error")
+	}
+	// Length mismatch.
+	if _, _, err := h.Binding([]float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+}
+
+func TestHierarchyLevelSeries(t *testing.T) {
+	h := testHierarchy(t)
+	pts, err := h.LevelSeries("L2", 0.01, 10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 16 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for k, p := range pts {
+		want := math.Min(4, 16*p.I)
+		if math.Abs(p.P-want) > 1e-9 {
+			t.Errorf("point %d: P(%g) = %g, want %g", k, p.I, p.P, want)
+		}
+		if k > 0 && p.I <= pts[k-1].I {
+			t.Errorf("intensities not increasing at %d", k)
+		}
+	}
+	if _, err := h.LevelSeries("HBM", 0.01, 10, 16); err == nil {
+		t.Error("unknown level: want error")
+	}
+	if _, err := h.LevelSeries("L1", 0, 10, 16); err == nil {
+		t.Error("lo=0: want error")
+	}
+	if _, err := h.LevelSeries("L1", 1, 1, 16); err == nil {
+		t.Error("hi=lo: want error")
+	}
+	if _, err := h.LevelSeries("L1", 0.01, 10, 1); err == nil {
+		t.Error("n=1: want error")
+	}
+}
+
+func TestNewSurfaceValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		sname  string
+		points []SurfacePoint
+	}{
+		{"no name", "", []SurfacePoint{{0, 4}}},
+		{"no points", "sparsity", nil},
+		{"NaN param", "s", []SurfacePoint{{math.NaN(), 4}}},
+		{"infinite param", "s", []SurfacePoint{{math.Inf(1), 4}}},
+		{"NaN ceiling", "s", []SurfacePoint{{0, math.NaN()}}},
+		{"negative ceiling", "s", []SurfacePoint{{0, -1}}},
+		{"descending params", "s", []SurfacePoint{{1, 4}, {0, 2}}},
+	}
+	for _, c := range cases {
+		if _, err := NewSurface(c.sname, c.points...); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	// Duplicate abscissae are allowed (step discontinuity).
+	if _, err := NewSurface("s", SurfacePoint{0, 4}, SurfacePoint{0, 2}); err != nil {
+		t.Errorf("duplicate params rejected: %v", err)
+	}
+}
+
+func TestSurfaceEval(t *testing.T) {
+	s, err := NewSurface("sparsity",
+		SurfacePoint{Param: 0.1, Ceiling: 4},
+		SurfacePoint{Param: 0.5, Ceiling: 2},
+		SurfacePoint{Param: 0.9, Ceiling: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 4},    // below range clamps to the first ceiling
+		{0.1, 4},  // at the first breakpoint
+		{0.3, 3},  // interpolated
+		{0.5, 2},  // at a breakpoint
+		{0.7, 1.5},
+		{0.9, 1},  // at the last breakpoint
+		{5, 1},    // above range clamps to the last ceiling
+	}
+	for _, c := range cases {
+		if got := s.Eval(c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Eval(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(s.Eval(math.NaN())) {
+		t.Error("NaN parameter should propagate")
+	}
+	if got := (&Surface{Name: "empty"}).Eval(1); !math.IsNaN(got) {
+		t.Errorf("empty surface: got %g, want NaN", got)
+	}
+	// A zero-width segment steps to the later ceiling.
+	step, err := NewSurface("step", SurfacePoint{0, 4}, SurfacePoint{0.5, 4}, SurfacePoint{0.5, 1}, SurfacePoint{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly at the discontinuity the left segment wins; past it the
+	// right one does.
+	if got := step.Eval(0.5); got != 4 {
+		t.Errorf("step at duplicate abscissa: got %g, want 4", got)
+	}
+	if got := step.Eval(0.6); got != 1 {
+		t.Errorf("step past duplicate abscissa: got %g, want 1", got)
+	}
+}

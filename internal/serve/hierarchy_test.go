@@ -1,0 +1,204 @@
+package serve
+
+// Serve-tier tests for the hierarchical roofline surface: the binding
+// level rides /v1/estimate additively (JSON and SPB1), shows up in
+// /metrics only when hierarchical verdicts are actually served, and the
+// single-level degenerate case serves estimation bytes identical to a
+// flat model's.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"spire/internal/core"
+	"spire/internal/testutil"
+	"spire/internal/wire"
+)
+
+// hierModelBytes builds a four-level hierarchical model and its JSON
+// encoding. levels trims the hierarchy (1 = degenerate single level).
+func hierModelBytes(t *testing.T, levels int) (*core.Ensemble, []byte) {
+	t.Helper()
+	betas := map[string]float64{"L1": 64, "L2": 16, "L3": 8, "DRAM": 2}
+	ens := &core.Ensemble{
+		Rooflines: map[string]*core.Roofline{},
+		WorkUnit:  "instructions",
+		TimeUnit:  "cycles",
+	}
+	all := core.DefaultHierarchyLevels()
+	for _, lv := range all {
+		r, err := core.BandwidthRoofline(lv.Metric, 4, betas[lv.Level], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ens.Rooflines[lv.Metric] = r
+	}
+	if levels > 0 {
+		ens.Hierarchy = &core.HierarchyModel{Levels: all[:levels]}
+	}
+	var buf bytes.Buffer
+	if err := ens.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return ens, buf.Bytes()
+}
+
+// hierSamples puts dominant traffic on L2 and a trickle elsewhere.
+func hierSamples() []core.Sample {
+	const cycles, insts = 1e6, 2e6
+	return []core.Sample{
+		{Metric: "mem_load_retired.l1_hit", T: cycles, W: insts, M: 1000},
+		{Metric: "mem_load_retired.l2_hit", T: cycles, W: insts, M: 4e5},
+		{Metric: "mem_load_retired.l3_hit", T: cycles, W: insts, M: 100},
+		{Metric: "mem_load_retired.l3_miss", T: cycles, W: insts, M: 10},
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServeHierarchyEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, model := hierModelBytes(t, 4)
+	if _, err := s.Models().Load(bytes.NewReader(model), "hier"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Before any hierarchical estimate, /metrics must not expose the
+	// binding-level counter at all.
+	page := testutil.ReadBody(t, mustGet(t, ts.URL+"/metrics"))
+	if strings.Contains(string(page), "spire_hierarchy_binding_level_total") {
+		t.Error("binding-level counter exposed before any hierarchical estimate")
+	}
+
+	resp := testutil.PostJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: hierSamples()})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, testutil.ReadBody(t, resp))
+	}
+	var er EstimateResponse
+	if err := json.Unmarshal(testutil.ReadBody(t, resp), &er); err != nil {
+		t.Fatal(err)
+	}
+	h := er.Estimation.Hierarchy
+	if h == nil || h.BindingLevel != "L2" || h.BindingMetric != "mem_load_retired.l2_hit" {
+		t.Fatalf("JSON hierarchy %+v, want binding L2", h)
+	}
+	if len(h.Levels) != 4 {
+		t.Fatalf("JSON hierarchy has %d levels", len(h.Levels))
+	}
+
+	// The SPB1 route carries the same verdict.
+	resp = postRaw(t, ts.URL+"/v1/estimate", wire.ContentTypeBin, wire.ContentTypeBin,
+		binEstimateBody(hierSamples()))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bin status %d", resp.StatusCode)
+	}
+	bres, err := wire.DecodeEstimateResponse(testutil.ReadBody(t, resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bh := bres.Estimation.Hierarchy
+	if bh == nil || bh.BindingLevel != "L2" {
+		t.Fatalf("SPB1 hierarchy %+v, want binding L2", bh)
+	}
+	bj, _ := json.Marshal(bres.Estimation)
+	jj, _ := json.Marshal(er.Estimation)
+	if !bytes.Equal(bj, jj) {
+		t.Errorf("SPB1 and JSON estimations diverge:\n%s\nvs\n%s", bj, jj)
+	}
+
+	// Two hierarchical estimates served: the counter exists with the
+	// binding level as its label.
+	page = testutil.ReadBody(t, mustGet(t, ts.URL+"/metrics"))
+	if !strings.Contains(string(page), `spire_hierarchy_binding_level_total{level="L2"} 2`) {
+		t.Errorf("metrics page missing binding-level counter:\n%s", page)
+	}
+}
+
+// TestServeSingleLevelParity: a model whose hierarchy has one level must
+// serve estimation payloads byte-identical to the flat model, on both
+// encodings.
+func TestServeSingleLevelParity(t *testing.T) {
+	sFlat, tsFlat := newTestServer(t, Config{})
+	_, flatModel := hierModelBytes(t, 0)
+	if _, err := sFlat.Models().Load(bytes.NewReader(flatModel), "flat"); err != nil {
+		t.Fatal(err)
+	}
+	sOne, tsOne := newTestServer(t, Config{})
+	_, oneModel := hierModelBytes(t, 1)
+	if _, err := sOne.Models().Load(bytes.NewReader(oneModel), "one"); err != nil {
+		t.Fatal(err)
+	}
+
+	// JSON estimation payloads match byte for byte.
+	var bodies [2]*EstimateResponse
+	for i, url := range []string{tsFlat.URL, tsOne.URL} {
+		resp := testutil.PostJSON(t, url+"/v1/estimate", EstimateRequest{Samples: hierSamples()})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("server %d status %d", i, resp.StatusCode)
+		}
+		var er EstimateResponse
+		if err := json.Unmarshal(testutil.ReadBody(t, resp), &er); err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = &er
+	}
+	fj, _ := json.Marshal(bodies[0].Estimation)
+	oj, _ := json.Marshal(bodies[1].Estimation)
+	if !bytes.Equal(fj, oj) {
+		t.Errorf("single-level JSON estimation diverged from flat:\n%s\nvs\n%s", oj, fj)
+	}
+	if bodies[1].Estimation.Hierarchy != nil {
+		t.Error("single-level model served a hierarchy")
+	}
+
+	// SPB1: the estimation frame regions must be byte-identical, so
+	// re-encoding both estimations into fresh frames matches exactly.
+	var frames [2][]byte
+	for i, url := range []string{tsFlat.URL, tsOne.URL} {
+		resp := postRaw(t, url+"/v1/estimate", wire.ContentTypeBin, wire.ContentTypeBin,
+			binEstimateBody(hierSamples()))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("server %d bin status %d", i, resp.StatusCode)
+		}
+		res, err := wire.DecodeEstimateResponse(testutil.ReadBody(t, resp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = wire.AppendEstimateResponse(nil, &wire.EstimateResponse{Estimation: res.Estimation})
+	}
+	if !bytes.Equal(frames[0], frames[1]) {
+		t.Error("single-level SPB1 estimation bytes diverged from flat")
+	}
+
+	// The single-level server never serves hierarchical verdicts, so its
+	// metrics page stays free of the binding-level counter.
+	page := testutil.ReadBody(t, mustGet(t, tsOne.URL+"/metrics"))
+	if strings.Contains(string(page), "spire_hierarchy_binding_level_total") {
+		t.Error("single-level server exposed the binding-level counter")
+	}
+}
+
+// TestServeHierarchyModelValidation: a model upload with a structurally
+// invalid hierarchy is rejected.
+func TestServeHierarchyModelValidation(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	ens, _ := hierModelBytes(t, 4)
+	ens.Hierarchy.Levels = append(ens.Hierarchy.Levels, ens.Hierarchy.Levels[0])
+	var buf bytes.Buffer
+	if err := ens.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Models().Load(&buf, "dup"); err == nil {
+		t.Error("duplicate hierarchy level accepted by model load")
+	}
+}

@@ -556,6 +556,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// for any worker budget.
 	s.resp.put(respKey(info.ID, engine.WorkloadKey(req.Samples), req.Top, wantBin), raw)
 	s.mEstimates.Inc()
+	if h := est.Hierarchy; h != nil {
+		// Lazily registered so flat deployments expose exactly the
+		// pre-hierarchy /metrics page.
+		s.metrics.Counter("spire_hierarchy_binding_level_total",
+			"Estimations whose hierarchical verdict named this binding level.",
+			metrics.L("level", h.BindingLevel)).Inc()
+	}
 	writeRaw(w, http.StatusOK, raw, ct)
 }
 

@@ -1,0 +1,130 @@
+package tma
+
+// The hierarchical-roofline validation harness: SPIRE's binding-level
+// verdict (core.HierarchyEstimate) is cross-checked against the TMA
+// tree's level-3 memory split computed from the same counter stream —
+// the way the paper validates its rankings against VTune. Both sides see
+// the same workload through independent lenses (per-level traffic
+// rooflines vs. per-level stall attribution), so agreement is evidence
+// the hierarchy verdict reflects the machine, not the model's own
+// assumptions.
+
+import (
+	"errors"
+	"fmt"
+
+	"spire/internal/core"
+	"spire/internal/pmu"
+)
+
+// hierarchyLevels orders the SPIRE level names and their TMA level-3
+// memory-bound node names, fastest first.
+var hierarchyLevels = [...]struct{ spire, tree string }{
+	{"L1", "l1-bound"},
+	{"L2", "l2-bound"},
+	{"L3", "l3-bound"},
+	{"DRAM", "dram-bound"},
+}
+
+// LevelShare is one memory level's absolute share of the slot budget per
+// the TMA tree.
+type LevelShare struct {
+	// Level is the SPIRE hierarchy level name ("L1".."DRAM").
+	Level string
+	// Share is the level's absolute slot fraction (the tree node value).
+	Share float64
+}
+
+// MemoryLevels extracts the TMA tree's level-3 memory-bound split as
+// SPIRE hierarchy levels, fastest first. Levels the tree did not resolve
+// (no memory stalls at all) report share 0. The store-bound child has no
+// SPIRE hierarchy counterpart and is omitted.
+func MemoryLevels(root *Node) []LevelShare {
+	out := make([]LevelShare, len(hierarchyLevels))
+	for i, m := range hierarchyLevels {
+		out[i] = LevelShare{Level: m.spire}
+		if n := root.Find(m.tree); n != nil {
+			out[i].Share = n.Value
+		}
+	}
+	return out
+}
+
+// Verdict is the outcome of cross-checking one hierarchical estimation
+// against the TMA tree.
+type Verdict struct {
+	// SpireLevel is the binding level SPIRE reported.
+	SpireLevel string
+	// TMALevel is the dominant memory level per the TMA tree.
+	TMALevel string
+	// SpireShare and TMAShare are those levels' TMA slot shares,
+	// normalized within the memory-bound split.
+	SpireShare float64
+	TMAShare   float64
+	// MemoryBound is the tree's absolute memory-bound fraction.
+	MemoryBound float64
+	// Vacuous marks workloads TMA considers barely memory-bound at all:
+	// the memory split carries no signal, so the check passes trivially.
+	Vacuous bool
+	// Agree reports whether the two sides name the same level, up to
+	// near-ties within the normalized memory split.
+	Agree bool
+}
+
+// vacuousMemoryBound is the absolute memory-bound fraction below which
+// the TMA memory split is considered noise rather than signal.
+const vacuousMemoryBound = 0.05
+
+// tieMargin is the normalized-share slack within which two levels count
+// as tied: stall attribution and traffic attribution legitimately split
+// near-boundary workloads differently.
+const tieMargin = 0.10
+
+// CrossCheck validates a SPIRE hierarchical verdict against the TMA tree
+// computed from the same run's counter snapshot.
+func CrossCheck(h *core.HierarchyEstimate, c pmu.Counts, issueWidth int) (Verdict, error) {
+	if h == nil {
+		return Verdict{}, errors.New("tma: no hierarchy estimate to cross-check")
+	}
+	root, err := Tree(c, issueWidth)
+	if err != nil {
+		return Verdict{}, err
+	}
+	shares := MemoryLevels(root)
+	v := Verdict{SpireLevel: h.BindingLevel}
+	if mb := root.Find("memory-bound"); mb != nil {
+		v.MemoryBound = mb.Value
+	}
+
+	var total, spireAbs, topAbs float64
+	for _, s := range shares {
+		total += s.Share
+		if s.Level == h.BindingLevel {
+			spireAbs = s.Share
+		}
+		if v.TMALevel == "" || s.Share > topAbs {
+			v.TMALevel, topAbs = s.Level, s.Share
+		}
+	}
+	if spireAbs == 0 {
+		found := false
+		for _, m := range hierarchyLevels {
+			if m.spire == h.BindingLevel {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Verdict{}, fmt.Errorf("tma: binding level %q has no TMA counterpart", h.BindingLevel)
+		}
+	}
+	if v.MemoryBound < vacuousMemoryBound || total == 0 {
+		v.Vacuous = true
+		v.Agree = true
+		return v, nil
+	}
+	v.SpireShare = spireAbs / total
+	v.TMAShare = topAbs / total
+	v.Agree = v.SpireLevel == v.TMALevel || v.SpireShare >= v.TMAShare-tieMargin
+	return v, nil
+}

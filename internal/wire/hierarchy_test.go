@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"spire/internal/core"
+)
+
+// hierEstimation builds an estimation whose hierarchy exercises the value
+// edges the wire must carry losslessly.
+func hierEstimation() *core.Estimation {
+	est := &core.Estimation{
+		PerMetric: []core.MetricEstimate{
+			{Metric: "mem_load_retired.l2_hit", MeanEstimate: 0.5, Samples: 3, MeanIntensity: 2},
+		},
+		MaxThroughput:      4,
+		MeasuredThroughput: 1.5,
+		Hierarchy: &core.HierarchyEstimate{
+			BindingLevel:    "L2",
+			BindingMetric:   "mem_load_retired.l2_hit",
+			BindingEstimate: 0.5,
+			BoundThroughput: math.Inf(1),
+			Levels: []core.LevelEstimate{
+				{Level: "L1", Metric: "mem_load_retired.l1_hit", MeanEstimate: 4, Samples: 2, MeanIntensity: math.Inf(1)},
+				{Level: "L2", Metric: "mem_load_retired.l2_hit", MeanEstimate: 0.5, Samples: -3, MeanIntensity: math.NaN()},
+			},
+			Surfaces: []core.SurfaceEstimate{
+				{Name: "sparsity", Param: "br_misp_retired.all_branches", ParamValue: 0.05, Ceiling: 2.5, Binding: true},
+				{Name: "", Param: "p", ParamValue: math.NaN(), Ceiling: math.Inf(-1), Binding: false},
+			},
+		},
+	}
+	return est
+}
+
+// hierarchiesEqual compares bit patterns so NaN round-trips count.
+func hierarchiesEqual(t *testing.T, got, want *core.HierarchyEstimate) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("hierarchy presence: got %v, want %v", got != nil, want != nil)
+	}
+	if got == nil {
+		return
+	}
+	f := func(x float64) uint64 { return math.Float64bits(x) }
+	if got.BindingLevel != want.BindingLevel || got.BindingMetric != want.BindingMetric ||
+		f(got.BindingEstimate) != f(want.BindingEstimate) || f(got.BoundThroughput) != f(want.BoundThroughput) {
+		t.Fatalf("hierarchy header: got %+v, want %+v", got, want)
+	}
+	if len(got.Levels) != len(want.Levels) || len(got.Surfaces) != len(want.Surfaces) {
+		t.Fatalf("hierarchy shape: got %d/%d, want %d/%d",
+			len(got.Levels), len(got.Surfaces), len(want.Levels), len(want.Surfaces))
+	}
+	for i := range want.Levels {
+		g, w := got.Levels[i], want.Levels[i]
+		if g.Level != w.Level || g.Metric != w.Metric || g.Samples != w.Samples ||
+			f(g.MeanEstimate) != f(w.MeanEstimate) || f(g.MeanIntensity) != f(w.MeanIntensity) {
+			t.Fatalf("level %d: got %+v, want %+v", i, g, w)
+		}
+	}
+	for i := range want.Surfaces {
+		g, w := got.Surfaces[i], want.Surfaces[i]
+		if g.Name != w.Name || g.Param != w.Param || g.Binding != w.Binding ||
+			f(g.ParamValue) != f(w.ParamValue) || f(g.Ceiling) != f(w.Ceiling) {
+			t.Fatalf("surface %d: got %+v, want %+v", i, g, w)
+		}
+	}
+}
+
+func TestEstimateResponseHierarchyRoundTrip(t *testing.T) {
+	cases := []*core.Estimation{
+		hierEstimation(),
+		{Hierarchy: &core.HierarchyEstimate{BindingLevel: "DRAM"}}, // empty level/surface lists
+	}
+	for i, est := range cases {
+		in := EstimateResponse{Model: "sha256:h", Estimation: est}
+		b := AppendEstimateResponse(nil, &in)
+		out, err := DecodeEstimateResponse(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		hierarchiesEqual(t, out.Estimation.Hierarchy, est.Hierarchy)
+		if again := AppendEstimateResponse(nil, out); !bytes.Equal(again, b) {
+			t.Fatalf("case %d: re-encode differs", i)
+		}
+	}
+}
+
+// TestFlatFrameHasNoHierarchySection pins the backward-compat guarantee
+// at the byte level: an estimation without a hierarchy encodes to exactly
+// the bytes of the pre-hierarchy format — the hierarchical frame is a
+// strict extension of the flat one.
+func TestFlatFrameHasNoHierarchySection(t *testing.T) {
+	hier := hierEstimation()
+	flat := *hier
+	flat.Hierarchy = nil
+
+	hb := AppendEstimateResponse(nil, &EstimateResponse{Model: "m", Estimation: hier})
+	fb := AppendEstimateResponse(nil, &EstimateResponse{Model: "m", Estimation: &flat})
+	if len(hb) <= len(fb) {
+		t.Fatalf("hierarchy section added no bytes: %d vs %d", len(hb), len(fb))
+	}
+	// The flat frame is a strict prefix of the hierarchical frame's
+	// payload region (they differ only in the frame length field and the
+	// trailing section).
+	out, err := DecodeEstimateResponse(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Estimation.Hierarchy != nil {
+		t.Fatal("flat frame decoded a hierarchy")
+	}
+	if !reflect.DeepEqual(out.Estimation.PerMetric, flat.PerMetric) {
+		t.Fatal("flat decode perturbed per-metric rows")
+	}
+}
+
+// TestHierarchySectionHostileDecode: corrupt hierarchy sections must fail
+// cleanly, never panic or mis-parse.
+func TestHierarchySectionHostileDecode(t *testing.T) {
+	good := AppendEstimateResponse(nil, &EstimateResponse{Model: "m", Estimation: hierEstimation()})
+
+	// Truncations anywhere inside the hierarchy section fail. The flat
+	// payload ends where the section begins; find it by re-encoding the
+	// flat twin.
+	flatEst := *hierEstimation()
+	flatEst.Hierarchy = nil
+	flatLen := len(AppendEstimateResponse(nil, &EstimateResponse{Model: "m", Estimation: &flatEst}))
+	for cut := flatLen + 1; cut < len(good); cut++ {
+		b := append([]byte(nil), good[:cut]...)
+		if _, err := DecodeEstimateResponse(b); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+
+	// An unknown section tag is rejected.
+	bad := append([]byte(nil), good...)
+	bad[flatLen] = 7
+	if _, err := DecodeEstimateResponse(bad); err == nil {
+		t.Fatal("unknown hierarchy tag decoded")
+	}
+
+	// Trailing garbage after a complete hierarchy section is rejected.
+	if _, err := DecodeEstimateResponse(append(append([]byte(nil), good...), 0xEE)); err == nil {
+		t.Fatal("trailing bytes after hierarchy section decoded")
+	}
+}

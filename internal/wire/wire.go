@@ -214,6 +214,37 @@ func AppendEstimateResponse(dst []byte, res *EstimateResponse) []byte {
 	for _, m := range cov.ModelOnly {
 		dst = appendString(dst, m)
 	}
+	// Hierarchy section: optional and strictly trailing. Flat estimations
+	// append nothing, so their frames are byte-identical to the pre-
+	// hierarchy encoding; decoders treat an exhausted payload here as "no
+	// hierarchy".
+	if h := est.Hierarchy; h != nil {
+		dst = append(dst, 1)
+		dst = appendString(dst, h.BindingLevel)
+		dst = appendString(dst, h.BindingMetric)
+		dst = appendF64(dst, h.BindingEstimate)
+		dst = appendF64(dst, h.BoundThroughput)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(h.Levels)))
+		for _, l := range h.Levels {
+			dst = appendString(dst, l.Level)
+			dst = appendString(dst, l.Metric)
+			dst = appendF64(dst, l.MeanEstimate)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(l.Samples)))
+			dst = appendF64(dst, l.MeanIntensity)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(h.Surfaces)))
+		for _, s := range h.Surfaces {
+			dst = appendString(dst, s.Name)
+			dst = appendString(dst, s.Param)
+			dst = appendF64(dst, s.ParamValue)
+			dst = appendF64(dst, s.Ceiling)
+			if s.Binding {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+	}
 	return finishFrame(dst, start)
 }
 
@@ -432,6 +463,51 @@ func DecodeEstimateResponse(b []byte) (*EstimateResponse, error) {
 		est.Coverage.Shared = int(r.i64())
 		est.Coverage.DataOnly = r.strings()
 		est.Coverage.ModelOnly = r.strings()
+		// Optional trailing hierarchy section; its absence (payload
+		// exhausted) is the flat encoding.
+		if r.err == nil && r.rem() > 0 {
+			switch tag := r.u8(); tag {
+			case 0:
+			case 1:
+				h := &core.HierarchyEstimate{
+					BindingLevel:    r.str(),
+					BindingMetric:   r.str(),
+					BindingEstimate: r.f64(),
+					BoundThroughput: r.f64(),
+				}
+				nl := r.count32(2 + 2 + 8 + 8 + 8)
+				if r.err == nil && nl > 0 {
+					h.Levels = make([]core.LevelEstimate, nl)
+					for i := range h.Levels {
+						h.Levels[i] = core.LevelEstimate{
+							Level:        r.str(),
+							Metric:       r.str(),
+							MeanEstimate: r.f64(),
+							Samples:      int(r.i64()),
+						}
+						h.Levels[i].MeanIntensity = r.f64()
+					}
+				}
+				ns := r.count32(2 + 2 + 8 + 8 + 1)
+				if r.err == nil && ns > 0 {
+					h.Surfaces = make([]core.SurfaceEstimate, ns)
+					for i := range h.Surfaces {
+						h.Surfaces[i] = core.SurfaceEstimate{
+							Name:       r.str(),
+							Param:      r.str(),
+							ParamValue: r.f64(),
+							Ceiling:    r.f64(),
+							Binding:    r.u8() == 1,
+						}
+					}
+				}
+				if r.err == nil {
+					est.Hierarchy = h
+				}
+			default:
+				r.fail("unknown hierarchy tag %d", tag)
+			}
+		}
 		res.Estimation = est
 	}
 	if r.err == nil && r.rem() != 0 {

@@ -1,0 +1,127 @@
+package workloads
+
+// The hierarchy roster: kernels engineered to be bound by one specific
+// memory level (or to exercise one roofline-surface parameter), used to
+// validate the hierarchical estimator end to end. It is deliberately
+// separate from the paper's 27-workload suite so the Table I counts stay
+// pinned.
+
+import (
+	"spire/internal/isa"
+	"spire/internal/pmu"
+)
+
+// HierarchySpec is a Spec plus the hierarchical ground truth the kernel
+// is engineered for.
+type HierarchySpec struct {
+	Spec
+	// ExpectedLevel is the memory level the kernel is bound by.
+	ExpectedLevel string
+	// Param names the roofline-surface parameter the kernel exercises
+	// ("" for pure hierarchy kernels).
+	Param string
+}
+
+// Line-granular streams (one load per 64 B line) sized against the
+// default core's caches: L1D 32 KiB (512 lines), L2 1 MiB (16 Ki lines),
+// L3 8 MiB (128 Ki lines). Each streaming kernel's footprint overflows
+// every level above its target and fits the target, so its steady-state
+// traffic is served there.
+var hierarchy = []HierarchySpec{
+	{
+		ExpectedLevel: "L1",
+		Spec: Spec{
+			Name: "hier-l1-resident", Config: "16 KiB chained stream", Expected: pmu.AreaMemory,
+			kernel: Kernel{
+				TotalInsts: 200_000, BodyInsts: 256,
+				Mix:      Mix{isa.OpIntALU: 6, isa.OpFPAdd: 2},
+				MemEvery: 2, WorkingSet: 16 << 10, Pattern: PatternStrided, Stride: 64,
+				// Chained loads expose the serving level's latency to the
+				// stall counters, so the TMA side sees the same level the
+				// traffic rooflines do.
+				Chained: true,
+			},
+		},
+	},
+	{
+		ExpectedLevel: "L2",
+		Spec: Spec{
+			Name: "hier-l2-stream", Config: "128 KiB chained stream", Expected: pmu.AreaMemory,
+			kernel: Kernel{
+				TotalInsts: 400_000, BodyInsts: 256,
+				Mix:      Mix{isa.OpIntALU: 6, isa.OpFPAdd: 2},
+				MemEvery: 2, WorkingSet: 128 << 10, Pattern: PatternStrided, Stride: 64,
+				Chained: true,
+			},
+		},
+	},
+	{
+		ExpectedLevel: "L3",
+		Spec: Spec{
+			Name: "hier-l3-stream", Config: "1.5 MiB stream", Expected: pmu.AreaMemory,
+			kernel: Kernel{
+				// Long enough that the first cold pass over the footprint is
+				// diluted and steady-state L3 stalls dominate the TMA split.
+				TotalInsts: 1_200_000, BodyInsts: 256,
+				Mix:      Mix{isa.OpIntALU: 6, isa.OpFPAdd: 2},
+				MemEvery: 2, WorkingSet: 1536 << 10, Pattern: PatternStrided, Stride: 64,
+			},
+		},
+	},
+	{
+		ExpectedLevel: "DRAM",
+		Spec: Spec{
+			Name: "hier-dram-stream", Config: "512 MiB cold stream", Expected: pmu.AreaMemory,
+			kernel: Kernel{
+				TotalInsts: 80_000, BodyInsts: 256,
+				Mix:      Mix{isa.OpIntALU: 6, isa.OpFPAdd: 2},
+				MemEvery: 2, WorkingSet: 512 << 20, Pattern: PatternStrided, Stride: 64,
+			},
+		},
+	},
+	{
+		ExpectedLevel: "DRAM",
+		Spec: Spec{
+			Name: "hier-dram-chase", Config: "256 MiB pointer chase", Expected: pmu.AreaMemory,
+			kernel: Kernel{
+				TotalInsts: 40_000, BodyInsts: 128,
+				Mix:      Mix{isa.OpIntALU: 4},
+				MemEvery: 3, WorkingSet: 256 << 20, Pattern: PatternRandom, Chained: true,
+			},
+		},
+	},
+	{
+		ExpectedLevel: "L1", Param: "sparsity",
+		Spec: Spec{
+			Name: "hier-sparse", Config: "zero-skipping SpMV", Expected: pmu.AreaBadSpeculation,
+			kernel: Kernel{
+				TotalInsts: 120_000, BodyInsts: 192,
+				Mix:         Mix{isa.OpVecFMA: 4, isa.OpIntALU: 3},
+				BranchEvery: 3, TakenProb: 0.5,
+				MemEvery: 8, WorkingSet: 16 << 10, Pattern: PatternStrided, Stride: 64,
+				VecWidths: []uint16{256},
+			},
+		},
+	},
+	{
+		ExpectedLevel: "L1", Param: "vec-width-mix",
+		Spec: Spec{
+			Name: "hier-mixed-width", Config: "SSE/AVX-512 interleave", Expected: pmu.AreaCore,
+			kernel: Kernel{
+				TotalInsts: 120_000, BodyInsts: 192,
+				Mix:      Mix{isa.OpVecFMA: 6, isa.OpIntALU: 2},
+				MemEvery: 8, WorkingSet: 16 << 10, Pattern: PatternStrided, Stride: 64,
+				VecWidths: []uint16{128, 512},
+			},
+		},
+	},
+}
+
+// Hierarchy returns the hierarchy validation roster in declaration
+// order: one kernel per memory-level regime plus one per surface
+// parameter.
+func Hierarchy() []HierarchySpec {
+	out := make([]HierarchySpec, len(hierarchy))
+	copy(out, hierarchy)
+	return out
+}
