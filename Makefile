@@ -11,8 +11,11 @@ CLUSTER_COVER_FLOOR ?= 85.0
 # Minimum statement coverage for the hierarchical roofline geometry and
 # its kernel roster.
 ROOFLINE_COVER_FLOOR ?= 85.0
+# Minimum statement coverage for the wait-for graph and the combined
+# on/off-CPU analysis built on it.
+WAITGRAPH_COVER_FLOOR ?= 85.0
 
-.PHONY: all build test vet lint race cover cover-serve cover-stream cover-cluster cover-roofline smoke fuzz fuzz-short chaos chaos-cluster bench-gate verify clean
+.PHONY: all build test vet lint race cover cover-serve cover-stream cover-cluster cover-roofline cover-waitgraph smoke fuzz fuzz-short chaos chaos-cluster bench-gate verify clean
 
 # Pinned linter versions, fetched on demand with `go run`. In an offline
 # environment (no module proxy) lint degrades to a warning + skip, so the
@@ -103,10 +106,20 @@ cover-roofline: | cover/
 	awk -v p="$$pct" -v f="$(ROOFLINE_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
 		{ echo "FAIL: internal/roofline+workloads coverage $$pct% is below the $(ROOFLINE_COVER_FLOOR)% floor"; exit 1; }
 
-# Black-box smoke: build the real binary, start `spire serve`, hit
-# /healthz and one estimate over HTTP, and shut down cleanly on SIGTERM.
+# Coverage gate for the off-CPU analysis stack: the wait-for graph and
+# the combined partition/ranking layer on top of it.
+cover-waitgraph: | cover/
+	$(GO) test -coverprofile=cover/coverage-waitgraph.out ./internal/waitgraph/ ./internal/analysis/
+	@pct=$$($(GO) tool cover -func=cover/coverage-waitgraph.out | awk '/^total:/ {gsub(/%/, "", $$3); print $$3}'); \
+	echo "internal/waitgraph+analysis coverage: $$pct% (floor $(WAITGRAPH_COVER_FLOOR)%)"; \
+	awk -v p="$$pct" -v f="$(WAITGRAPH_COVER_FLOOR)" 'BEGIN { exit (p+0 >= f+0) ? 0 : 1 }' || \
+		{ echo "FAIL: internal/waitgraph+analysis coverage $$pct% is below the $(WAITGRAPH_COVER_FLOOR)% floor"; exit 1; }
+
+# Black-box smoke: build the real binary, start `spire serve` (and a
+# router in front of a shard), hit /healthz and one estimate over HTTP,
+# check the version banner, and shut down cleanly on SIGTERM.
 smoke:
-	$(GO) test -run TestSmokeServe -count=1 ./cmd/spire/
+	$(GO) test -run 'TestSmokeServe|TestSmokeRoute|TestSmokeVersion' -count=1 ./cmd/spire/
 
 # Short fuzz pass over the perf-stat CSV parser; the checked-in seed
 # corpus under internal/ingest/testdata/fuzz runs as part of plain
@@ -133,6 +146,8 @@ fuzz-short:
 	$(GO) test -fuzz FuzzBinRoundTrip -fuzztime 10s ./internal/wire/
 	$(GO) test -fuzz FuzzParseConfig -fuzztime 10s ./internal/cluster/
 	$(GO) test -fuzz FuzzParseShardList -fuzztime 10s ./internal/cluster/
+	$(GO) test -fuzz FuzzSchedEventParse -fuzztime 10s ./internal/ingest/
+	$(GO) test -fuzz FuzzWaitGraphBuild -fuzztime 10s ./internal/waitgraph/
 
 # Transport-level chaos soak under the race detector: retrying clients
 # against a live server through the faultinject chaos transport and
@@ -159,7 +174,7 @@ bench-gate:
 # The full verification gate: build, static checks, tests, race tests,
 # the coverage floors, the serving smoke, the chaos soak, a short fuzz
 # smoke, and the benchmark regression gate.
-verify: build vet lint test race cover cover-serve cover-stream cover-cluster cover-roofline smoke chaos chaos-cluster fuzz-short bench-gate
+verify: build vet lint test race cover cover-serve cover-stream cover-cluster cover-roofline cover-waitgraph smoke chaos chaos-cluster fuzz-short bench-gate
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"spire/internal/analysis"
 	"spire/internal/core"
 	"spire/internal/engine"
 	"spire/internal/pmu"
@@ -111,6 +112,18 @@ func cmdDiff(args []string) error {
 		if err != nil {
 			return fmt.Errorf("after: %w", err)
 		}
+		// Mirror analyze: datasets with scheduler events diff their
+		// combined on/off-CPU views too.
+		if len(before.Sched) > 0 {
+			if estB.Combined, err = analysis.Combine(estB, before.Sched); err != nil {
+				return fmt.Errorf("before: %w", err)
+			}
+		}
+		if len(after.Sched) > 0 {
+			if estA.Combined, err = analysis.Combine(estA, after.Sched); err != nil {
+				return fmt.Errorf("after: %w", err)
+			}
+		}
 	}
 
 	speedup := 0.0
@@ -193,6 +206,19 @@ func cmdDiff(args []string) error {
 			fmt.Printf("binding level unchanged: %s\n", bl)
 		} else {
 			fmt.Printf("binding level moved: %s -> %s\n", bl, al)
+		}
+	}
+	// Off-CPU movement, when both runs carried scheduler events.
+	if cb, ca := estB.Combined, estA.Combined; cb != nil && ca != nil {
+		fmt.Printf("off-CPU share: %.1f%% -> %.1f%%\n",
+			100*cb.Partition.OffShare(), 100*ca.Partition.OffShare())
+		tb, ta := cb.Top(), ca.Top()
+		if tb != nil && ta != nil {
+			if tb.Detail == ta.Detail {
+				fmt.Printf("combined top bottleneck unchanged: %s\n", ta.Detail)
+			} else {
+				fmt.Printf("combined top bottleneck moved: %s -> %s\n", tb.Detail, ta.Detail)
+			}
 		}
 	}
 	return nil

@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"spire/internal/buildinfo"
 	"spire/internal/testutil"
 )
 
@@ -100,7 +101,19 @@ type spireServer struct {
 // scrapes the bound port from the "listening on" stderr line.
 func startServe(t *testing.T, extra ...string) *spireServer {
 	t.Helper()
-	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
+	return startSpire(t, append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)...)
+}
+
+// startRoute launches `spire route -addr 127.0.0.1:0 <extra...>` — the
+// router shares serve's "listening on" stderr contract, so the same
+// scrape works.
+func startRoute(t *testing.T, extra ...string) *spireServer {
+	t.Helper()
+	return startSpire(t, append([]string{"route", "-addr", "127.0.0.1:0"}, extra...)...)
+}
+
+func startSpire(t *testing.T, args ...string) *spireServer {
+	t.Helper()
 	cmd := exec.Command(spireBin, args...)
 	pr, pw, err := os.Pipe()
 	if err != nil {
@@ -138,9 +151,10 @@ func startServe(t *testing.T, extra ...string) *spireServer {
 	case listenLine = <-linec:
 	case <-time.After(30 * time.Second):
 		cmd.Process.Kill()
-		t.Fatalf("serve never reported its listen address; stderr:\n%s", saved.String())
+		t.Fatalf("spire %v never reported its listen address; stderr:\n%s", args, saved.String())
 	}
-	m := regexp.MustCompile(`listening on (\S+)$`).FindStringSubmatch(listenLine)
+	// Route's line carries a trailing "(N shards)", so no end anchor.
+	m := regexp.MustCompile(`listening on (\S+)`).FindStringSubmatch(listenLine)
 	if m == nil {
 		cmd.Process.Kill()
 		t.Fatalf("unparsable listen line %q", listenLine)
@@ -447,14 +461,24 @@ func TestSmokeServe(t *testing.T) {
 		t.Fatalf("healthz status %d", status)
 	}
 	var health struct {
-		Status string `json:"status"`
-		Ready  bool   `json:"ready"`
+		Status    string `json:"status"`
+		Ready     bool   `json:"ready"`
+		Version   string `json:"version"`
+		GoVersion string `json:"goVersion"`
 	}
 	if err := json.Unmarshal(raw, &health); err != nil {
 		t.Fatal(err)
 	}
 	if health.Status != "ok" || !health.Ready {
 		t.Fatalf("healthz = %s", raw)
+	}
+	// Build info rides on every health probe so operators can audit
+	// version skew from probes alone.
+	if health.Version != buildinfo.Version {
+		t.Errorf("healthz version = %q, want %q", health.Version, buildinfo.Version)
+	}
+	if !strings.HasPrefix(health.GoVersion, "go") {
+		t.Errorf("healthz goVersion = %q, want a go toolchain string", health.GoVersion)
 	}
 
 	body, err := os.ReadFile(dataset)
@@ -479,5 +503,85 @@ func TestSmokeServe(t *testing.T) {
 
 	if code := srv.stop(t); code != 0 {
 		t.Errorf("serve exit %d after SIGTERM, want 0\nstderr:\n%s", code, srv.stderr.String())
+	}
+}
+
+// TestSmokeVersion pins the `spire version` contract: exit 0, the
+// one-line build banner on stdout, nothing on stderr. The flag spellings
+// -version/--version answer identically.
+func TestSmokeVersion(t *testing.T) {
+	for _, arg := range []string{"version", "-version", "--version"} {
+		stdout, stderr, code := runSpire(t, arg)
+		if code != 0 {
+			t.Fatalf("spire %s exit %d\nstderr: %s", arg, code, stderr)
+		}
+		want := "spire " + buildinfo.Version + " ("
+		if !strings.HasPrefix(stdout, want) {
+			t.Errorf("spire %s stdout = %q, want prefix %q", arg, stdout, want)
+		}
+		if !strings.Contains(stdout, "go") {
+			t.Errorf("spire %s banner omits the toolchain: %q", arg, stdout)
+		}
+		if stderr != "" {
+			t.Errorf("spire %s wrote stderr: %q", arg, stderr)
+		}
+	}
+}
+
+// TestSmokeRoute starts a real serve shard plus a router in front of it
+// and checks the router's health probe carries the shard count and the
+// same build info the shard reports — the fleet-skew audit contract.
+func TestSmokeRoute(t *testing.T) {
+	dir := t.TempDir()
+	dataset := filepath.Join(dir, "dataset.json")
+	model := filepath.Join(dir, "model.json")
+	if _, stderr, code := runSpire(t, "ingest", "-o", dataset, "testdata/e2e_clean.csv"); code != 0 {
+		t.Fatalf("ingest exit %d: %s", code, stderr)
+	}
+	if _, stderr, code := runSpire(t, "train", "-o", model, dataset); code != 0 {
+		t.Fatalf("train exit %d: %s", code, stderr)
+	}
+
+	shard := startServe(t, "-model", model)
+	router := startRoute(t, "-shards", "s0="+shard.base)
+
+	status, raw := testutil.HTTPGet(t, router.base+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("router healthz status %d", status)
+	}
+	var health struct {
+		Status    string `json:"status"`
+		Shards    int    `json:"shards"`
+		Version   string `json:"version"`
+		GoVersion string `json:"goVersion"`
+	}
+	if err := json.Unmarshal(raw, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Shards != 1 {
+		t.Fatalf("router healthz = %s", raw)
+	}
+	if health.Version != buildinfo.Version {
+		t.Errorf("router healthz version = %q, want %q", health.Version, buildinfo.Version)
+	}
+	if !strings.HasPrefix(health.GoVersion, "go") {
+		t.Errorf("router healthz goVersion = %q, want a go toolchain string", health.GoVersion)
+	}
+
+	// The router relays estimates to the shard it fronts.
+	body, err := os.ReadFile(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, resp := testutil.HTTPPost(t, router.base+"/v1/estimate", "application/json", body)
+	if status != http.StatusOK {
+		t.Fatalf("routed estimate status %d: %s", status, resp)
+	}
+
+	if code := router.stop(t); code != 0 {
+		t.Errorf("route exit %d after SIGTERM, want 0\nstderr:\n%s", code, router.stderr.String())
+	}
+	if code := shard.stop(t); code != 0 {
+		t.Errorf("serve exit %d after SIGTERM, want 0\nstderr:\n%s", code, shard.stderr.String())
 	}
 }

@@ -80,6 +80,17 @@ func cmdIngest(args []string) error {
 			}
 			merged.Add(s)
 		}
+		// Scheduler events ride the same per-file offset so the on/off-CPU
+		// partition stays aligned with this file's counter intervals.
+		for _, ev := range res.Dataset.Sched {
+			if ev.Window > 0 {
+				ev.Window += windowBase
+				if ev.Window > maxW {
+					maxW = ev.Window
+				}
+			}
+			merged.AddSched(ev)
+		}
 		if maxW > windowBase {
 			windowBase = maxW
 		}
@@ -101,7 +112,11 @@ func cmdIngest(args []string) error {
 		return err
 	}
 	if *out != "-" {
-		fmt.Printf("wrote %d samples (%d metrics) -> %s\n", merged.Len(), len(merged.Metrics()), *out)
+		sched := ""
+		if len(merged.Sched) > 0 {
+			sched = fmt.Sprintf(", %d sched events", len(merged.Sched))
+		}
+		fmt.Printf("wrote %d samples (%d metrics%s) -> %s\n", merged.Len(), len(merged.Metrics()), sched, *out)
 	}
 	if severe > 0 {
 		return fmt.Errorf("%w: %d severe anomalies quarantined (details on stderr)", errPartialIngest, severe)

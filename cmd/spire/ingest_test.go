@@ -111,6 +111,46 @@ func TestIngestMergesWindows(t *testing.T) {
 	}
 }
 
+// TestIngestCarriesSchedEvents pins the off-CPU ingestion contract:
+// scheduler-event rows in a perf CSV survive `spire ingest` into the
+// written dataset (with window tags offset per input file, like counter
+// samples), and analyze's combined partition becomes reachable from the
+// CLI alone.
+func TestIngestCarriesSchedEvents(t *testing.T) {
+	dir := t.TempDir()
+	base, err := os.ReadFile("testdata/e2e_clean.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedRows := "23.0,sched.switch_in,100,0,0,,-1\n" +
+		"23.0,sched.block_lock,4100,0,0,hot,-1\n" +
+		"23.1,sched.unblock_lock,9800,0,0,hot,-1\n" +
+		"23.1,sched.switch_in,9800,0,0,,-1\n" +
+		"23.2,sched.switch_out,20000,0,0,,-1\n"
+	src := filepath.Join(dir, "sched.csv")
+	if err := os.WriteFile(src, append(base, schedRows...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "dataset.json")
+	if _, err := captureStderr(t, func() error {
+		return cmdIngest([]string{"-o", out, src, src})
+	}); err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	data, err := readDatasets([]string{out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Sched) != 2*5 {
+		t.Fatalf("dataset carries %d sched events, want 10 (5 per input file)", len(data.Sched))
+	}
+	// The second file's events sit in later windows than the first's.
+	first, last := data.Sched[0].Window, data.Sched[len(data.Sched)-1].Window
+	if first <= 0 || last <= first {
+		t.Errorf("sched windows not offset per file: first %d, last %d", first, last)
+	}
+}
+
 func TestIngestJSONInput(t *testing.T) {
 	dir := t.TempDir()
 	src := writeSamples(t, dir, "fftw")

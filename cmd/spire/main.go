@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"spire/internal/analysis"
+	"spire/internal/buildinfo"
 	"spire/internal/core"
 	"spire/internal/engine"
 	"spire/internal/htmlreport"
@@ -68,6 +69,9 @@ func run(args []string) int {
 		err = cmdServe(args[1:])
 	case "route":
 		err = cmdRoute(args[1:])
+	case "version", "-version", "--version":
+		fmt.Println(buildinfo.String())
+		return exitOK
 	case "-h", "--help", "help":
 		usage()
 		return exitOK
@@ -103,6 +107,7 @@ commands:
            [-vnodes N] [-load-factor F] [-health-interval D] [-sync-interval D]
   diff     -model model.json [-top K] [-workers N] [-json] [-remote URL [-tenant T] [-wire json|bin]] before.json after.json
   info     -model model.json
+  version
 
 exit codes: 0 ok, 1 error, 2 usage, 3 partial (lenient ingest lost input)`)
 }
@@ -239,7 +244,10 @@ func cmdAnalyze(args []string) error {
 		fmt.Printf("SPIRE max-throughput estimate: %.3f (min over %d metrics)\n\n",
 			est.MaxThroughput, len(est.PerMetric))
 		printHierarchy(est)
-		return renderRanking(est, *top)
+		if err := renderRanking(est, *top); err != nil {
+			return err
+		}
+		return printCombined(est)
 	}
 
 	ens, err = loadModel(*modelPath)
@@ -254,6 +262,15 @@ func cmdAnalyze(args []string) error {
 		core.EstimateOptions{Workers: *workers})
 	if err != nil {
 		return err
+	}
+	// Datasets carrying scheduler events get the partitioned on/off-CPU
+	// view merged in — before -json so local and served bytes agree.
+	if len(data.Sched) > 0 {
+		combined, cerr := analysis.Combine(est, data.Sched)
+		if cerr != nil {
+			return cerr
+		}
+		est.Combined = combined
 	}
 	if *jsonOut {
 		// Machine-readable mode: exactly the core.Estimation JSON, byte
@@ -271,6 +288,9 @@ func cmdAnalyze(args []string) error {
 		est.MaxThroughput, len(est.PerMetric))
 	printHierarchy(est)
 	if err := renderRanking(est, *top); err != nil {
+		return err
+	}
+	if err := printCombined(est); err != nil {
 		return err
 	}
 	if *interpret {
@@ -339,6 +359,18 @@ func printHierarchy(est *core.Estimation) {
 		fmt.Printf("  hierarchy-refined bound: %.3f (flat bound %.3f)\n", h.BoundThroughput, est.MaxThroughput)
 	}
 	fmt.Println()
+}
+
+// printCombined prints the on/off-CPU partition and merged bottleneck
+// ranking when the estimation carries one (the dataset had scheduler
+// events). A nil Combined prints nothing, so counter-only analyses keep
+// their exact historical output.
+func printCombined(est *core.Estimation) error {
+	if est.Combined == nil {
+		return nil
+	}
+	fmt.Println()
+	return analysis.RenderCombined(os.Stdout, est.Combined)
 }
 
 // renderRanking prints the candidate-bottleneck table shared by local

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"spire/internal/core"
+	"spire/internal/report"
+	"spire/internal/waitgraph"
+)
+
+// Combined on-CPU/off-CPU analysis. The roofline estimation explains
+// what bounds a workload *while it runs*; the wait-for graph explains
+// why it is *not running*. Combine puts both on one currency — the
+// fraction of total thread wall time each candidate explains — and
+// ranks them together, so "lock convoy on q" and "DRAM bandwidth bound"
+// compete in a single list.
+
+// maxRooflineRanked caps how many roofline metrics enter the combined
+// ranking; deeper entries explain strictly less on-CPU time.
+const maxRooflineRanked = 5
+
+// Combine partitions wall time using the scheduler events and merges
+// wait-graph verdicts with the roofline estimation's metric ranking
+// into one core.CombinedReport. It returns (nil, nil) when events is
+// empty or carries no usable event; est may be nil (no counter samples
+// were collected), in which case the ranking holds wait verdicts only.
+func Combine(est *core.Estimation, events []core.SchedEvent) (*core.CombinedReport, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	g := waitgraph.Build(events)
+	p := g.Partition()
+	if p.Threads == 0 {
+		return nil, nil
+	}
+	rep := &core.CombinedReport{
+		Partition: p,
+		Waits:     g.Verdicts(),
+		Knot:      len(g.Knots) > 0,
+	}
+	for i := range rep.Waits {
+		v := rep.Waits[i]
+		rep.Ranked = append(rep.Ranked, core.CombinedBottleneck{
+			Source: "wait",
+			Score:  v.Share,
+			Detail: waitDetail(v),
+			Wait:   &rep.Waits[i],
+		})
+	}
+	// Roofline side: the binding metric explains the whole on-CPU
+	// share; looser metrics explain proportionally less (their bound is
+	// further from the measured ceiling).
+	if est != nil && len(est.PerMetric) > 0 && p.Wall > 0 {
+		onShare := p.OnCPU / p.Wall
+		for i, m := range est.PerMetric {
+			if i >= maxRooflineRanked {
+				break
+			}
+			score := onShare
+			if m.MeanEstimate > 0 && est.MaxThroughput > 0 {
+				score = onShare * (est.MaxThroughput / m.MeanEstimate)
+			}
+			if math.IsNaN(score) || math.IsInf(score, 0) {
+				continue
+			}
+			rep.Ranked = append(rep.Ranked, core.CombinedBottleneck{
+				Source: "roofline",
+				Score:  score,
+				Detail: fmt.Sprintf("on-CPU: %s bounds throughput at %.3f", m.Metric, m.MeanEstimate),
+				Metric: m.Metric,
+			})
+		}
+	}
+	sort.SliceStable(rep.Ranked, func(i, j int) bool {
+		a, b := rep.Ranked[i], rep.Ranked[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Detail < b.Detail
+	})
+	return rep, nil
+}
+
+// waitDetail renders a one-line description of a wait verdict.
+func waitDetail(v core.WaitVerdict) string {
+	switch v.Kind {
+	case "lock":
+		return fmt.Sprintf("off-CPU: lock %q contended (%d waiters, %.0f cycles waited)", v.Object, v.Waiters, v.Wait)
+	case "io":
+		return fmt.Sprintf("off-CPU: device %q saturated (%d waiters, %.0f cycles waited)", v.Object, v.Waiters, v.Wait)
+	case "runnable":
+		return fmt.Sprintf("off-CPU: run-queue pressure (%d threads runnable but not running, %.0f cycles)", v.Waiters, v.Wait)
+	case "knot":
+		return fmt.Sprintf("off-CPU: knot — %s wait only on each other across locks (%.0f cycles)", v.Object, v.Wait)
+	default:
+		return fmt.Sprintf("off-CPU: %s %s (%.0f cycles)", v.Kind, v.Object, v.Wait)
+	}
+}
+
+// RenderCombined writes the human-readable partition and merged
+// ranking, in the same table style Report.Render uses.
+func RenderCombined(w io.Writer, r *core.CombinedReport) error {
+	if r == nil {
+		return nil
+	}
+	p := r.Partition
+	if _, err := fmt.Fprintf(w,
+		"time partition over %d threads: wall %.0f = on-CPU %.0f (%.1f%%) + off-CPU %.0f (%.1f%%)\n",
+		p.Threads, p.Wall, p.OnCPU, 100*shareOf(p.OnCPU, p.Wall), p.OffCPU, 100*p.OffShare()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"off-CPU breakdown: lock %.0f, io %.0f, runnable %.0f\n",
+		p.LockWait, p.IOWait, p.RunnableWait); err != nil {
+		return err
+	}
+	if r.Knot {
+		if _, err := fmt.Fprintf(w, "wait-for graph contains a knot: a thread group is waiting only on itself\n"); err != nil {
+			return err
+		}
+	}
+	if len(r.Ranked) == 0 {
+		return nil
+	}
+	t := report.Table{
+		Title:   "Combined bottleneck ranking (share of wall time explained)",
+		Headers: []string{"Rank", "Source", "Share", "Detail"},
+	}
+	for i, b := range r.Ranked {
+		t.AddRow(
+			fmt.Sprintf("#%d", i+1),
+			b.Source,
+			fmt.Sprintf("%.1f%%", 100*b.Score),
+			b.Detail,
+		)
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	return t.Render(w)
+}
+
+func shareOf(x, wall float64) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return x / wall
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spire/internal/core"
+)
+
+// contendedLockEvents: thread 0 holds lock "q" while thread 1 waits on
+// it; thread 1 also spends time runnable before switching in.
+func contendedLockEvents() []core.SchedEvent {
+	return []core.SchedEvent{
+		{Time: 0, Class: "sched.switch_in", Thread: 0, Hart: 0, Waker: -1, Window: -1},
+		{Time: 0, Class: "sched.wakeup", Thread: 1, Hart: 1, Waker: 0, Window: -1},
+		{Time: 10, Class: "sched.switch_in", Thread: 1, Hart: 1, Waker: -1, Window: -1},
+		{Time: 20, Class: "sched.block_lock", Thread: 1, Hart: 1, Obj: "q", Waker: 0, Window: -1},
+		{Time: 100, Class: "sched.unblock_lock", Thread: 1, Hart: 1, Obj: "q", Waker: -1, Window: -1},
+		{Time: 100, Class: "sched.switch_in", Thread: 1, Hart: 1, Waker: -1, Window: -1},
+		{Time: 120, Class: "sched.switch_out", Thread: 1, Hart: 1, Waker: -1, Window: -1},
+		{Time: 120, Class: "sched.switch_out", Thread: 0, Hart: 0, Waker: -1, Window: -1},
+	}
+}
+
+func TestCombineEmptyAndUnusable(t *testing.T) {
+	rep, err := Combine(nil, nil)
+	if rep != nil || err != nil {
+		t.Fatalf("Combine(nil, nil) = %v, %v; want nil, nil", rep, err)
+	}
+	// Unknown classes only: the graph sees zero threads and the report
+	// stays absent rather than erroring.
+	rep, err = Combine(nil, []core.SchedEvent{
+		{Time: 1, Class: "sched.not_a_class", Thread: 0, Waker: -1, Window: -1},
+	})
+	if rep != nil || err != nil {
+		t.Fatalf("Combine(unknown-only) = %v, %v; want nil, nil", rep, err)
+	}
+}
+
+func TestCombineWaitOnly(t *testing.T) {
+	rep, err := Combine(nil, contendedLockEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	p := rep.Partition
+	if p.Wall != p.OnCPU+p.OffCPU || p.OffCPU != p.LockWait+p.IOWait+p.RunnableWait {
+		t.Fatalf("partition not exact: %+v", p)
+	}
+	if p.Threads != 2 || p.LockWait != 80 {
+		t.Fatalf("partition = %+v, want 2 threads with 80 cycles of lock wait", p)
+	}
+	top := rep.Top()
+	if top == nil || top.Source != "wait" || top.Wait == nil || top.Wait.Kind != "lock" || top.Wait.Object != "q" {
+		t.Fatalf("top = %+v, want the contended lock q", top)
+	}
+	// Every wait entry in the ranking aliases the Waits slice, so wire
+	// encoders can chase the pointer without copying.
+	for _, b := range rep.Ranked {
+		if b.Source == "wait" && b.Wait == nil {
+			t.Fatalf("wait-sourced entry without verdict: %+v", b)
+		}
+	}
+}
+
+func TestCombineMergesRooflineRanking(t *testing.T) {
+	est := &core.Estimation{
+		PerMetric: []core.MetricEstimate{
+			{Metric: "llc.miss", MeanEstimate: 2, Samples: 5, MeanIntensity: 1},
+			{Metric: "dram.bw", MeanEstimate: 4, Samples: 5, MeanIntensity: 1},
+		},
+		MaxThroughput: 2,
+	}
+	rep, err := Combine(est, contendedLockEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rooflines []core.CombinedBottleneck
+	for _, b := range rep.Ranked {
+		if b.Source == "roofline" {
+			rooflines = append(rooflines, b)
+		}
+	}
+	if len(rooflines) != 2 {
+		t.Fatalf("ranking carries %d roofline entries, want 2: %+v", len(rooflines), rep.Ranked)
+	}
+	// The binding metric explains the whole on-CPU share; the looser
+	// metric proportionally less.
+	onShare := rep.Partition.OnCPU / rep.Partition.Wall
+	if rooflines[0].Metric != "llc.miss" || rooflines[0].Score != onShare {
+		t.Fatalf("binding roofline = %+v, want llc.miss at score %v", rooflines[0], onShare)
+	}
+	if rooflines[1].Metric != "dram.bw" || rooflines[1].Score >= rooflines[0].Score {
+		t.Fatalf("looser roofline not discounted: %+v", rooflines)
+	}
+	// Scores descend overall.
+	for i := 1; i < len(rep.Ranked); i++ {
+		if rep.Ranked[i].Score > rep.Ranked[i-1].Score {
+			t.Fatalf("ranking not descending at %d: %+v", i, rep.Ranked)
+		}
+	}
+}
+
+func TestCombineCapsRooflineEntries(t *testing.T) {
+	est := &core.Estimation{MaxThroughput: 1}
+	for i := 0; i < maxRooflineRanked+3; i++ {
+		est.PerMetric = append(est.PerMetric, core.MetricEstimate{
+			Metric: "m" + strings.Repeat("x", i+1), MeanEstimate: float64(i + 1), Samples: 1,
+		})
+	}
+	rep, err := Combine(est, contendedLockEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, b := range rep.Ranked {
+		if b.Source == "roofline" {
+			n++
+		}
+	}
+	if n != maxRooflineRanked {
+		t.Fatalf("%d roofline entries ranked, want cap %d", n, maxRooflineRanked)
+	}
+}
+
+func TestWaitDetailKinds(t *testing.T) {
+	cases := []struct {
+		v    core.WaitVerdict
+		want string
+	}{
+		{core.WaitVerdict{Kind: "lock", Object: "q", Waiters: 2, Wait: 80}, `lock "q" contended`},
+		{core.WaitVerdict{Kind: "io", Object: "nvme0", Waiters: 4, Wait: 100}, `device "nvme0" saturated`},
+		{core.WaitVerdict{Kind: "runnable", Waiters: 3, Wait: 50}, "run-queue pressure"},
+		{core.WaitVerdict{Kind: "knot", Object: "threads 0,1", Wait: 40}, "knot"},
+		{core.WaitVerdict{Kind: "exotic", Object: "z", Wait: 1}, "exotic z"},
+	}
+	for _, tc := range cases {
+		if got := waitDetail(tc.v); !strings.Contains(got, tc.want) {
+			t.Errorf("waitDetail(%s) = %q, want it to mention %q", tc.v.Kind, got, tc.want)
+		}
+	}
+}
+
+func TestRenderCombined(t *testing.T) {
+	if err := RenderCombined(&bytes.Buffer{}, nil); err != nil {
+		t.Fatalf("nil report render: %v", err)
+	}
+	rep, err := Combine(nil, contendedLockEvents())
+	if err != nil || rep == nil {
+		t.Fatalf("combine: %v", err)
+	}
+	rep.Knot = true
+	var buf bytes.Buffer
+	if err := RenderCombined(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"time partition over 2 threads",
+		"off-CPU breakdown",
+		"contains a knot",
+		"Combined bottleneck ranking",
+		`lock "q" contended`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A report with an empty ranking renders the partition only.
+	buf.Reset()
+	if err := RenderCombined(&buf, &core.CombinedReport{Partition: rep.Partition}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Combined bottleneck ranking") {
+		t.Fatalf("empty ranking still rendered a table:\n%s", buf.String())
+	}
+}
+
+func TestShareOf(t *testing.T) {
+	if got := shareOf(5, 0); got != 0 {
+		t.Fatalf("shareOf(5, 0) = %v, want 0", got)
+	}
+	if got := shareOf(5, 10); got != 0.5 {
+		t.Fatalf("shareOf(5, 10) = %v, want 0.5", got)
+	}
+}

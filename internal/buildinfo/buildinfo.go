@@ -1,0 +1,60 @@
+// Package buildinfo is the single source of the spire release version
+// and build metadata. The CLI `spire version` subcommand and the
+// /healthz endpoints on serve and route all report from here, so an
+// operator can match a running process to a source revision without
+// guessing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the spire release version. Bumped by hand on release; the
+// VCS revision (when the binary was built from a checkout) is reported
+// alongside it, not instead of it.
+const Version = "0.10.0"
+
+// Revision returns the VCS revision the binary was built from,
+// shortened to 12 characters, with a "+dirty" suffix for modified
+// trees. Empty when the build carried no VCS stamp (e.g. `go test`).
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return ""
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// GoVersion returns the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// String renders the one-line form used by `spire version`:
+//
+//	spire 0.10.0 (go1.24.1, rev 0123abcd4567)
+func String() string {
+	if rev := Revision(); rev != "" {
+		return fmt.Sprintf("spire %s (%s, rev %s)", Version, GoVersion(), rev)
+	}
+	return fmt.Sprintf("spire %s (%s)", Version, GoVersion())
+}

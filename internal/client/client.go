@@ -343,6 +343,9 @@ type EstimateOptions struct {
 	// server predating the binary format answers a WireBin request's
 	// Accept with JSON, which this client still decodes.
 	Wire string
+	// Sched optionally ships the workload's scheduler events; the server
+	// then attaches the combined on/off-CPU report to the estimation.
+	Sched []core.SchedEvent
 }
 
 // EstimateResult is one successful estimation.
@@ -372,16 +375,17 @@ func (c *Client) Estimate(ctx context.Context, samples []core.Sample, opts Estim
 	switch opts.Wire {
 	case "", WireJSON:
 		reqBody, err = json.Marshal(struct {
-			Samples []core.Sample `json:"samples"`
-			Top     int           `json:"top,omitempty"`
-			Workers int           `json:"workers,omitempty"`
-		}{samples, opts.Top, opts.Workers})
+			Samples []core.Sample     `json:"samples"`
+			Top     int               `json:"top,omitempty"`
+			Workers int               `json:"workers,omitempty"`
+			Sched   []core.SchedEvent `json:"sched,omitempty"`
+		}{samples, opts.Top, opts.Workers, opts.Sched})
 		if err != nil {
 			return nil, err
 		}
 	case WireBin:
 		reqBody = wire.AppendEstimateRequest(nil, &wire.EstimateRequest{
-			Top: opts.Top, Workers: opts.Workers, Samples: samples,
+			Top: opts.Top, Workers: opts.Workers, Samples: samples, Sched: opts.Sched,
 		})
 		ct = wire.ContentTypeBin
 		accept = wire.ContentTypeBin

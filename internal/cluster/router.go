@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"spire/internal/buildinfo"
 	"spire/internal/client"
 	"spire/internal/core"
 	"spire/internal/engine"
@@ -430,9 +431,10 @@ func decodeEstimate(body []byte, contentType string) (*wire.EstimateRequest, err
 		return wire.DecodeEstimateRequest(body)
 	}
 	var req struct {
-		Samples []core.Sample `json:"samples"`
-		Top     int           `json:"top"`
-		Workers int           `json:"workers"`
+		Samples []core.Sample     `json:"samples"`
+		Top     int               `json:"top"`
+		Workers int               `json:"workers"`
+		Sched   []core.SchedEvent `json:"sched"`
 	}
 	// Mirror serve's decodeQuiet strictness exactly (unknown fields
 	// tolerated, trailing data rejected): a body serve would reject must
@@ -446,7 +448,7 @@ func decodeEstimate(body []byte, contentType string) (*wire.EstimateRequest, err
 	if _, err := dec.Token(); err != io.EOF {
 		return nil, errors.New("trailing data after JSON body")
 	}
-	return &wire.EstimateRequest{Top: req.Top, Workers: req.Workers, Samples: req.Samples}, nil
+	return &wire.EstimateRequest{Top: req.Top, Workers: req.Workers, Samples: req.Samples, Sched: req.Sched}, nil
 }
 
 // handleIngest routes a stateless parse by body content hash.
@@ -703,9 +705,27 @@ func (rt *Router) syncLoop(ctx context.Context) {
 
 // --- health & metrics endpoints -------------------------------------
 
+// RouterHealth is the router's GET /healthz response body. Like the
+// shard endpoint it carries the build info, so a cluster operator can
+// audit version skew across the fleet from health probes alone.
+type RouterHealth struct {
+	Status    string `json:"status"`
+	Shards    int    `json:"shards"`
+	Version   string `json:"version"`
+	Revision  string `json:"revision,omitempty"`
+	GoVersion string `json:"goVersion"`
+}
+
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	raw, _ := json.Marshal(RouterHealth{
+		Status:    "ok",
+		Shards:    len(rt.shards),
+		Version:   buildinfo.Version,
+		Revision:  buildinfo.Revision(),
+		GoVersion: buildinfo.GoVersion(),
+	})
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(raw, '\n'))
 }
 
 // handleReadyz is ready when at least one shard is — a router with no

@@ -246,8 +246,7 @@ func (ce *chainEval) eval(i float64) float64 {
 		if x1 == x0 {
 			return y1
 		}
-		t := (i - x0) / (x1 - x0)
-		return y0 + t*(y1-y0)
+		return lerpSeg(x0, y0, x1, y1, i)
 	}
 	nr := len(ce.rightX)
 	if nr == 0 {
@@ -277,8 +276,7 @@ func (ce *chainEval) eval(i float64) float64 {
 	}
 	x0, y0 := ce.rightX[k], ce.rightY[k]
 	x1, y1 := ce.rightX[k+1], ce.rightY[k+1]
-	t := (i - x0) / (x1 - x0)
-	return y0 + t*(y1-y0)
+	return lerpSeg(x0, y0, x1, y1, i)
 }
 
 // evaluators returns the memoized segment tables, building them on first

@@ -252,14 +252,17 @@ func (h *HierarchyEstimate) UnmarshalJSON(b []byte) error {
 }
 
 // estimationJSON mirrors Estimation with total float encoding. Hierarchy
-// is additive and omitted when nil, so flat estimations encode exactly as
-// they did before the field existed.
+// and Combined are additive and omitted when nil, so flat estimations
+// encode exactly as they did before either field existed. Combined's own
+// floats are cycle counts and shares, finite by construction, so the
+// report nests without a jsonNum mirror of its own.
 type estimationJSON struct {
 	PerMetric          []MetricEstimate   `json:"perMetric"`
 	MaxThroughput      jsonNum            `json:"maxThroughput"`
 	MeasuredThroughput jsonNum            `json:"measuredThroughput"`
 	Coverage           CoverageReport     `json:"coverage"`
 	Hierarchy          *HierarchyEstimate `json:"hierarchy,omitempty"`
+	Combined           *CombinedReport    `json:"combined,omitempty"`
 }
 
 // MarshalJSON encodes the estimation with non-finite values spelled as
@@ -271,6 +274,7 @@ func (est Estimation) MarshalJSON() ([]byte, error) {
 		MeasuredThroughput: jsonNum(est.MeasuredThroughput),
 		Coverage:           est.Coverage,
 		Hierarchy:          est.Hierarchy,
+		Combined:           est.Combined,
 	})
 }
 
@@ -286,6 +290,7 @@ func (est *Estimation) UnmarshalJSON(b []byte) error {
 		MeasuredThroughput: float64(raw.MeasuredThroughput),
 		Coverage:           raw.Coverage,
 		Hierarchy:          raw.Hierarchy,
+		Combined:           raw.Combined,
 	}
 	return nil
 }

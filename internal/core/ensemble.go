@@ -101,6 +101,11 @@ type Estimation struct {
 	// nil otherwise (hierarchy.go). Purely additive: the flat fields
 	// above are identical with and without it.
 	Hierarchy *HierarchyEstimate `json:"hierarchy,omitempty"`
+	// Combined partitions wall time into on-CPU vs off-CPU and merges
+	// roofline verdicts with wait-for-graph verdicts (sched.go). Only
+	// set when the workload carried scheduler events; nil otherwise, so
+	// scheduler-free estimations encode byte-identically to before.
+	Combined *CombinedReport `json:"combined,omitempty"`
 }
 
 // Estimate runs the ensemble-level estimation process of paper Fig. 4:

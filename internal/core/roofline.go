@@ -90,8 +90,32 @@ func (r *Roofline) Eval(i float64) float64 {
 		}
 	}
 	a, b := r.Right[lo], r.Right[hi]
-	t := (i - a.X) / (b.X - a.X)
-	return a.Y + t*(b.Y-a.Y)
+	return lerpSeg(a.X, a.Y, b.X, b.Y, i)
+}
+
+// lerpSeg interpolates one segment at i and clamps the result into the
+// segment's endpoint range. With t in [0,1] the true value always lies
+// between the endpoints, but when |y1-y0| dwarfs the result the final
+// add cancels catastrophically and can escape the range entirely —
+// FuzzSurfaceParams found a surface whose ceiling evaluated to 0
+// against an envelope floor of 48, which would have clipped the
+// reported bound to garbage. The clamp is a no-op whenever the
+// arithmetic stays in range, so normal outputs are bit-unchanged, and
+// NaN results pass through (comparisons with NaN are false).
+func lerpSeg(x0, y0, x1, y1, i float64) float64 {
+	t := (i - x0) / (x1 - x0)
+	y := y0 + t*(y1-y0)
+	lo, hi := y0, y1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if y < lo {
+		return lo
+	}
+	if y > hi {
+		return hi
+	}
+	return y
 }
 
 // evalChainFromOrigin interpolates the left chain with an implicit (0,0)
@@ -103,8 +127,7 @@ func evalChainFromOrigin(chain []geom.Point, i float64) float64 {
 			if p.X == prev.X {
 				return p.Y
 			}
-			t := (i - prev.X) / (p.X - prev.X)
-			return prev.Y + t*(p.Y-prev.Y)
+			return lerpSeg(prev.X, prev.Y, p.X, p.Y, i)
 		}
 		prev = p
 	}

@@ -88,6 +88,11 @@ func (s Sample) String() string {
 // style sampler over one or more workload executions.
 type Dataset struct {
 	Samples []Sample `json:"samples"`
+	// Sched holds scheduler events collected alongside the counter
+	// samples, in time order. Empty for single-threaded CPU-resident
+	// collections, and omitted from encodings so such datasets are
+	// byte-identical to pre-scheduler ones.
+	Sched []SchedEvent `json:"sched,omitempty"`
 }
 
 // Add appends samples to the dataset.
@@ -95,9 +100,15 @@ func (d *Dataset) Add(samples ...Sample) {
 	d.Samples = append(d.Samples, samples...)
 }
 
-// Merge appends all samples from other.
+// AddSched appends scheduler events to the dataset.
+func (d *Dataset) AddSched(events ...SchedEvent) {
+	d.Sched = append(d.Sched, events...)
+}
+
+// Merge appends all samples and scheduler events from other.
 func (d *Dataset) Merge(other Dataset) {
 	d.Samples = append(d.Samples, other.Samples...)
+	d.Sched = append(d.Sched, other.Sched...)
 }
 
 // Len returns the number of samples.

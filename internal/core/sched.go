@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Off-CPU time accounting types. SchedEvent is the serialized form of a
+// scheduler event (internal/pmu holds the compact in-memory form);
+// CombinedReport is the strictly-additive result of merging roofline
+// verdicts (on-CPU) with wait-for-graph verdicts (off-CPU). All fields
+// added to existing types are omitempty so datasets and estimations with
+// zero scheduler events encode byte-identically to before.
+
+// SchedEvent is one scheduler event: a thread switched in or out,
+// blocked on a lock or device, or became runnable. Time is in the same
+// unit as Sample.T (cycles).
+type SchedEvent struct {
+	// Time is the event timestamp in cycles since the run started.
+	Time float64 `json:"time"`
+	// Class is the canonical event class name ("sched.switch_in", ...).
+	Class string `json:"class"`
+	// Thread is the subject thread id (>= 0).
+	Thread int `json:"thread"`
+	// Hart is the hart the event occurred on, for running-state classes.
+	Hart int `json:"hart,omitempty"`
+	// Obj names the lock or device for block/unblock classes.
+	Obj string `json:"obj,omitempty"`
+	// Waker is the thread that made this one runnable (the releasing
+	// lock holder, the waking producer); -1 when not applicable.
+	Waker int `json:"waker"`
+	// Window optionally ties the event to a collection interval, like
+	// Sample.Window. Zero when the collector does not track windows.
+	Window int `json:"window,omitempty"`
+}
+
+// Valid reports whether the event is structurally usable: finite
+// non-negative time, a non-empty class, a non-negative thread, and a
+// waker of -1 or a valid thread id.
+func (e SchedEvent) Valid() bool {
+	if e.Class == "" || e.Thread < 0 || e.Waker < -1 || e.Hart < 0 {
+		return false
+	}
+	if math.IsNaN(e.Time) || math.IsInf(e.Time, 0) || e.Time < 0 {
+		return false
+	}
+	return true
+}
+
+// String renders the event for diagnostics.
+func (e SchedEvent) String() string {
+	return fmt.Sprintf("%s{t=%g thread=%d hart=%d obj=%q waker=%d}",
+		e.Class, e.Time, e.Thread, e.Hart, e.Obj, e.Waker)
+}
+
+// TimePartition splits a workload's wall time (summed across threads)
+// into on-CPU and off-CPU components. By construction OffCPU ==
+// LockWait + IOWait + RunnableWait and Wall == OnCPU + OffCPU, exactly:
+// the sums are built from the same float64 additions.
+type TimePartition struct {
+	// Wall is total thread-time: for each thread, last event time minus
+	// first event time, summed.
+	Wall float64 `json:"wall"`
+	// OnCPU is time threads spent running on a hart.
+	OnCPU float64 `json:"onCPU"`
+	// OffCPU is time threads spent not running: blocked or runnable.
+	OffCPU float64 `json:"offCPU"`
+	// LockWait is time blocked acquiring locks.
+	LockWait float64 `json:"lockWait"`
+	// IOWait is time blocked on device I/O.
+	IOWait float64 `json:"ioWait"`
+	// RunnableWait is time spent runnable but not running (waiting for
+	// a free hart).
+	RunnableWait float64 `json:"runnableWait"`
+	// Threads is the number of distinct threads observed.
+	Threads int `json:"threads"`
+}
+
+// OffShare returns OffCPU / Wall, or 0 when Wall is 0.
+func (p TimePartition) OffShare() float64 {
+	if p.Wall <= 0 {
+		return 0
+	}
+	return p.OffCPU / p.Wall
+}
+
+// WaitVerdict is one off-CPU bottleneck candidate from the wait-for
+// graph: a contended lock, a saturated device, run-queue pressure, or a
+// knot (a group of threads waiting only on each other).
+type WaitVerdict struct {
+	// Kind is "lock", "io", "runnable", or "knot".
+	Kind string `json:"kind"`
+	// Object names the lock or device; for "knot" it lists the member
+	// threads ("threads 1,2,3"); empty for "runnable".
+	Object string `json:"object,omitempty"`
+	// Wait is the total time threads spent waiting on this cause.
+	Wait float64 `json:"wait"`
+	// Share is Wait / Wall.
+	Share float64 `json:"share"`
+	// Waiters is the number of distinct threads that waited.
+	Waiters int `json:"waiters"`
+	// Threads lists the member threads for "knot" verdicts, ascending.
+	Threads []int `json:"threads,omitempty"`
+}
+
+// CombinedBottleneck is one entry of the merged ranking. Exactly one of
+// the two sides is populated: roofline entries carry Metric, wait
+// entries carry Wait.
+type CombinedBottleneck struct {
+	// Source is "roofline" or "wait".
+	Source string `json:"source"`
+	// Score is the fraction of wall time this bottleneck explains;
+	// the ranking sorts descending by Score.
+	Score float64 `json:"score"`
+	// Detail is a one-line human description.
+	Detail string `json:"detail"`
+	// Metric is the roofline metric name (Source == "roofline").
+	Metric string `json:"metric,omitempty"`
+	// Wait is the wait verdict (Source == "wait").
+	Wait *WaitVerdict `json:"wait,omitempty"`
+}
+
+// CombinedReport merges the roofline estimation (on-CPU) with the
+// wait-for-graph analysis (off-CPU) into a single partitioned view and
+// one ranked bottleneck list. It is strictly additive: it only appears
+// when scheduler events were present.
+type CombinedReport struct {
+	// Partition is the exact on-CPU/off-CPU wall-time split.
+	Partition TimePartition `json:"partition"`
+	// Waits are the off-CPU verdicts, sorted descending by Wait.
+	Waits []WaitVerdict `json:"waits,omitempty"`
+	// Knot is true when the wait-for graph contains at least one knot.
+	Knot bool `json:"knot,omitempty"`
+	// Ranked is the merged bottleneck list, descending by Score.
+	Ranked []CombinedBottleneck `json:"ranked"`
+}
+
+// Top returns the highest-scored bottleneck, or nil when empty.
+func (r *CombinedReport) Top() *CombinedBottleneck {
+	if r == nil || len(r.Ranked) == 0 {
+		return nil
+	}
+	return &r.Ranked[0]
+}

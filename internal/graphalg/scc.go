@@ -1,0 +1,147 @@
+package graphalg
+
+// Strongly connected components, cycle detection, and knot
+// identification. These serve internal/waitgraph: a wPerf-style wait-for
+// graph names its "waiting bottleneck" as a knot — a strongly connected
+// component with no edges leaving it — because every thread inside waits
+// only on other members, so nothing outside can make the group progress.
+
+// SCCs returns the strongly connected components of the graph using
+// Tarjan's algorithm (iterative, so deep graphs cannot overflow the
+// goroutine stack). The result is deterministic for a given edge
+// insertion order: components are emitted in reverse topological order
+// of the condensation, and vertices within each component are sorted
+// ascending.
+func (g *Graph) SCCs() [][]int {
+	n := g.Len()
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		comps [][]int
+		stack []int // Tarjan's component stack
+		next  int   // next DFS index
+	)
+	// Explicit DFS frames: v plus the position in its adjacency list.
+	type frame struct {
+		v  int
+		ei int
+	}
+	var dfs []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: root})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			if f.ei < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.ei].to
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				if p := dfs[len(dfs)-1].v; low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sortInts(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}
+
+// HasCycle reports whether the graph contains a directed cycle: either a
+// strongly connected component with more than one vertex, or a self-loop.
+func (g *Graph) HasCycle() bool {
+	for u, es := range g.adj {
+		for _, e := range es {
+			if e.to == u {
+				return true
+			}
+		}
+	}
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Knots returns the knots of the graph: strongly connected components
+// that contain at least one edge (a cycle or self-loop, so the members
+// genuinely wait on each other) and have no edge leaving the component.
+// Components are returned in the same deterministic order SCCs emits
+// them, vertices sorted ascending.
+func (g *Graph) Knots() [][]int {
+	comps := g.SCCs()
+	compOf := make([]int, g.Len())
+	for ci, comp := range comps {
+		for _, v := range comp {
+			compOf[v] = ci
+		}
+	}
+	var knots [][]int
+	for ci, comp := range comps {
+		internal := false
+		escapes := false
+		for _, v := range comp {
+			for _, e := range g.adj[v] {
+				if compOf[e.to] == ci {
+					internal = true
+				} else {
+					escapes = true
+				}
+			}
+		}
+		if internal && !escapes {
+			knots = append(knots, comp)
+		}
+	}
+	return knots
+}
+
+// sortInts is insertion sort: SCC components in wait graphs are tiny
+// (a handful of threads), so this avoids pulling in package sort.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package graphalg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randDAG builds a random DAG over n vertices: edges only go from lower
+// to higher vertex id, so it is acyclic by construction.
+func randDAG(rng *rand.Rand, n int, p float64) *Graph {
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v, rng.Float64())
+			}
+		}
+	}
+	return g
+}
+
+func TestSCCsSingletonsOnDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		g := randDAG(rng, n, 0.2)
+		comps := g.SCCs()
+		if len(comps) != n {
+			t.Fatalf("trial %d: DAG with %d vertices produced %d SCCs", trial, n, len(comps))
+		}
+		for _, c := range comps {
+			if len(c) != 1 {
+				t.Fatalf("trial %d: DAG produced non-singleton SCC %v", trial, c)
+			}
+		}
+		if g.HasCycle() {
+			t.Fatalf("trial %d: HasCycle reported a cycle in a DAG", trial)
+		}
+	}
+}
+
+func TestSCCsPartitionProperty(t *testing.T) {
+	// Every vertex appears in exactly one component, regardless of the
+	// random edge structure (cycles allowed).
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		g := NewGraph(n)
+		for e := 0; e < 3*n; e++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), rng.Float64())
+		}
+		seen := make([]int, n)
+		for _, comp := range g.SCCs() {
+			for i, v := range comp {
+				if v < 0 || v >= n {
+					t.Fatalf("trial %d: vertex %d out of range", trial, v)
+				}
+				seen[v]++
+				if i > 0 && comp[i-1] >= v {
+					t.Fatalf("trial %d: component %v not sorted ascending", trial, comp)
+				}
+			}
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("trial %d: vertex %d appeared in %d components", trial, v, c)
+			}
+		}
+	}
+}
+
+func TestSCCsDeterminism(t *testing.T) {
+	// Building the same graph twice (same edge insertion order) must
+	// yield byte-identical component lists.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(25)
+		type e struct{ u, v int }
+		var edges []e
+		for k := 0; k < 4*n; k++ {
+			edges = append(edges, e{rng.Intn(n), rng.Intn(n)})
+		}
+		build := func() *Graph {
+			g := NewGraph(n)
+			for _, ed := range edges {
+				g.AddEdge(ed.u, ed.v, 1)
+			}
+			return g
+		}
+		a := build().SCCs()
+		b := build().SCCs()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("trial %d: SCCs not deterministic:\n%v\n%v", trial, a, b)
+		}
+	}
+}
+
+func TestSCCsReverseTopologicalOrder(t *testing.T) {
+	// Tarjan emits components in reverse topological order of the
+	// condensation: every cross-component edge must point from a
+	// later-emitted component to an earlier one.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(30)
+		g := NewGraph(n)
+		for k := 0; k < 3*n; k++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), 1)
+		}
+		comps := g.SCCs()
+		compOf := make([]int, n)
+		for ci, comp := range comps {
+			for _, v := range comp {
+				compOf[v] = ci
+			}
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range neighbors(g, u) {
+				if compOf[u] != compOf[v] && compOf[u] < compOf[v] {
+					t.Fatalf("trial %d: edge %d->%d goes from component %d to later component %d",
+						trial, u, v, compOf[u], compOf[v])
+				}
+			}
+		}
+	}
+}
+
+func neighbors(g *Graph, u int) []int {
+	var out []int
+	for _, e := range g.adj[u] {
+		out = append(out, e.to)
+	}
+	return out
+}
+
+func TestCycleDetectionOnDAGPlusBackEdge(t *testing.T) {
+	// A random DAG has no cycle; adding a single back-edge along an
+	// existing path always creates one, and the two endpoints must land
+	// in the same SCC.
+	rng := rand.New(rand.NewSource(5))
+	trials := 0
+	for trials < 150 {
+		n := 3 + rng.Intn(25)
+		g := randDAG(rng, n, 0.3)
+		// Find a pair (u, v) with a path u -> v, u < v.
+		u, v := -1, -1
+		for a := 0; a < n && u < 0; a++ {
+			for b := a + 1; b < n; b++ {
+				if _, _, err := g.ShortestPath(a, b); err == nil {
+					u, v = a, b
+					break
+				}
+			}
+		}
+		if u < 0 {
+			continue // edgeless draw; try another graph
+		}
+		trials++
+		g.AddEdge(v, u, 0.5) // back-edge closes the cycle
+		if !g.HasCycle() {
+			t.Fatalf("trial %d: back-edge %d->%d did not register as a cycle", trials, v, u)
+		}
+		compOf := make(map[int]int)
+		for ci, comp := range g.SCCs() {
+			for _, x := range comp {
+				compOf[x] = ci
+			}
+		}
+		if compOf[u] != compOf[v] {
+			t.Fatalf("trial %d: cycle endpoints %d,%d in different SCCs", trials, u, v)
+		}
+	}
+}
+
+func TestHasCycleSelfLoop(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	if g.HasCycle() {
+		t.Fatal("no cycle expected")
+	}
+	g.AddEdge(2, 2, 1)
+	if !g.HasCycle() {
+		t.Fatal("self-loop must count as a cycle")
+	}
+}
+
+func TestKnots(t *testing.T) {
+	// Component {0,1} cycles and points at {2,3}; {2,3} cycles and has
+	// no outgoing edges, so it is the only knot. Vertex 4 is isolated
+	// (no internal edge, not a knot).
+	g := NewGraph(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 2, 1)
+	knots := g.Knots()
+	if len(knots) != 1 || !reflect.DeepEqual(knots[0], []int{2, 3}) {
+		t.Fatalf("knots = %v, want [[2 3]]", knots)
+	}
+}
+
+func TestKnotsSelfLoopSink(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 1, 1) // sink that waits on itself
+	knots := g.Knots()
+	if len(knots) != 1 || !reflect.DeepEqual(knots[0], []int{1}) {
+		t.Fatalf("knots = %v, want [[1]]", knots)
+	}
+}
+
+func TestKnotsNoneOnDAG(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		g := randDAG(rng, 2+rng.Intn(20), 0.3)
+		if k := g.Knots(); len(k) != 0 {
+			t.Fatalf("trial %d: DAG produced knots %v", trial, k)
+		}
+	}
+}

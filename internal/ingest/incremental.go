@@ -118,6 +118,8 @@ type Interval struct {
 	Window int
 	// Samples holds the surviving samples, tagged with Window.
 	Samples []core.Sample
+	// Sched holds the interval's scheduler events, tagged with Window.
+	Sched []core.SchedEvent
 	// Quarantined counts samples this interval lost to validation.
 	Quarantined int
 }
@@ -225,6 +227,13 @@ func (in *Incremental) Stats() Stats {
 		}
 		st.ByClass = cp
 	}
+	if st.SkippedClasses != nil {
+		cp := make(map[string]int, len(st.SkippedClasses))
+		for k, v := range st.SkippedClasses {
+			cp[k] = v
+		}
+		st.SkippedClasses = cp
+	}
 	return st
 }
 
@@ -252,7 +261,11 @@ func (in *Incremental) processLine(raw string, overran bool) *Interval {
 	if line == "" || strings.HasPrefix(line, "#") {
 		return nil
 	}
-	rw, d := parseRow(line, in.lineNo)
+	fields := splitFields(line)
+	if isSchedRow(fields) {
+		return in.processSchedLine(fields, line)
+	}
+	rw, d := parseRowFields(fields, line, in.lineNo)
 	if d != nil {
 		in.diag(*d)
 		return nil
@@ -295,6 +308,41 @@ func (in *Incremental) processLine(raw string, overran bool) *Interval {
 	return completed
 }
 
+// processSchedLine mirrors ReadCSV's scheduler-row handling for the
+// streaming path, including interval grouping by timestamp.
+func (in *Incremental) processSchedLine(fields []string, line string) *Interval {
+	sr, d := parseSchedFields(fields, line, in.lineNo)
+	if d != nil {
+		if d.Class == DiagUnknownClass {
+			in.res.Stats.skipClass(classOrPlaceholder(sr.ev.Class))
+		}
+		in.diag(*d)
+		return nil
+	}
+	in.res.Stats.DataLines++
+	var completed *Interval
+	if in.cur == nil || sr.ts != in.cur.ts {
+		completed = in.completeCurrent()
+		if in.err != nil {
+			return completed
+		}
+		if in.haveTS && sr.ts < in.lastTS {
+			in.diag(Diag{Line: in.lineNo, Class: DiagOutOfOrder, Raw: line,
+				Msg: fmt.Sprintf("interval %.9f arrived after %.9f; emitting in arrival order", sr.ts, in.lastTS)})
+			if in.err != nil {
+				return completed
+			}
+		}
+		if sr.ts > in.lastTS {
+			in.lastTS = sr.ts
+		}
+		in.haveTS = true
+		in.cur = &interval{ts: sr.ts, seen: make(map[string]bool)}
+	}
+	in.cur.sched = append(in.cur.sched, sr.ev)
+	return completed
+}
+
 // completeCurrent assembles and validates the open interval, exactly as
 // ReadCSV's assembly loop does for one timestamp group.
 func (in *Incremental) completeCurrent() *Interval {
@@ -314,7 +362,8 @@ func (in *Incremental) completeCurrent() *Interval {
 			W, haveW = rw.value, true
 		}
 	}
-	if !haveT || !haveW {
+	haveFixed := haveT && haveW
+	if !haveFixed && len(iv.rows) > 0 {
 		missing := in.cyclesEv
 		if haveT {
 			missing = in.instEv
@@ -325,21 +374,34 @@ func (in *Incremental) completeCurrent() *Interval {
 		}
 		in.diag(Diag{Class: DiagMissingFixed, Line: line,
 			Msg: fmt.Sprintf("interval %.9f has no %s row; dropping its %d rows", iv.ts, missing, len(iv.rows))})
+		if in.err != nil {
+			return nil
+		}
+	}
+	// Same window rule as ReadCSV: a full counter set or scheduler
+	// events make a window; counter rows missing their fixed set drop.
+	if !haveFixed && len(iv.sched) == 0 {
 		return nil
 	}
 	in.window++
 	var assembled core.Dataset
-	for _, rw := range iv.rows {
-		if rw.event == in.cyclesEv || rw.event == in.instEv {
-			continue
+	if haveFixed {
+		for _, rw := range iv.rows {
+			if rw.event == in.cyclesEv || rw.event == in.instEv {
+				continue
+			}
+			assembled.Add(core.Sample{
+				Metric: rw.event,
+				T:      T,
+				W:      W,
+				M:      rw.value,
+				Window: in.window,
+			})
 		}
-		assembled.Add(core.Sample{
-			Metric: rw.event,
-			T:      T,
-			W:      W,
-			M:      rw.value,
-			Window: in.window,
-		})
+	}
+	sched := iv.sched
+	for i := range sched {
+		sched[i].Window = in.window
 	}
 
 	vopts := core.ValidateOptions{}
@@ -366,10 +428,12 @@ func (in *Incremental) completeCurrent() *Interval {
 		}
 	}
 	in.res.Stats.Samples += rep.Clean.Len()
+	in.res.Stats.SchedEvents += len(sched)
 	return &Interval{
 		TS:          iv.ts,
 		Window:      in.window,
 		Samples:     rep.Clean.Samples,
+		Sched:       sched,
 		Quarantined: rep.Quarantined,
 	}
 }

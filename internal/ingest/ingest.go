@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"spire/internal/core"
+	"spire/internal/pmu"
 )
 
 // Mode selects how anomalies are handled.
@@ -69,6 +70,12 @@ const (
 	// DiagQuarantined: the assembled sample was rejected by the core
 	// validation layer (see core.Validate reasons).
 	DiagQuarantined
+	// DiagUnknownClass: a scheduler event row carried a class this build
+	// does not know; the row is skipped and the class is named in
+	// Stats.SkippedClasses. Never severe: newer collectors may emit
+	// classes an older analyzer has not learned, and that must not
+	// abort a strict ingestion.
+	DiagUnknownClass
 
 	numDiagClasses
 )
@@ -92,6 +99,8 @@ func (c DiagClass) String() string {
 		return "low-scaling"
 	case DiagQuarantined:
 		return "quarantined"
+	case DiagUnknownClass:
+		return "unknown-class"
 	}
 	return fmt.Sprintf("diag-%d", uint8(c))
 }
@@ -99,7 +108,7 @@ func (c DiagClass) String() string {
 // Severe reports whether the class aborts a Strict ingestion.
 func (c DiagClass) Severe() bool {
 	switch c {
-	case DiagNotCounted, DiagNotSupported, DiagLowScaling:
+	case DiagNotCounted, DiagNotSupported, DiagLowScaling, DiagUnknownClass:
 		return false
 	}
 	return true
@@ -133,6 +142,12 @@ type Stats struct {
 	// ByClass maps diagnostic class name to occurrence count (complete
 	// even when the Diags list is capped).
 	ByClass map[string]int `json:"byClass,omitempty"`
+	// SchedEvents counts scheduler events emitted into the dataset.
+	SchedEvents int `json:"schedEvents,omitempty"`
+	// SkippedClasses names each event class that was skipped during
+	// ingestion and how many rows it cost — so an operator can see
+	// *which* classes this build dropped, not just that some were.
+	SkippedClasses map[string]int `json:"skippedClasses,omitempty"`
 }
 
 // SevereDiags counts the recorded diagnostics whose class would have
@@ -210,6 +225,14 @@ func (res *Result) diag(opts Options, d Diag) {
 	if opts.MaxDiags > 0 && len(res.Diags) < opts.MaxDiags {
 		res.Diags = append(res.Diags, d)
 	}
+}
+
+// skipClass records one skipped row of a named event class.
+func (s *Stats) skipClass(name string) {
+	if s.SkippedClasses == nil {
+		s.SkippedClasses = make(map[string]int)
+	}
+	s.SkippedClasses[name]++
 }
 
 // strictErr converts a severe diagnostic into the strict-mode error.
@@ -314,5 +337,62 @@ func (res *Result) validate(assembled core.Dataset, opts Options) error {
 	}
 	res.Dataset = res.Validation.Clean
 	res.Stats.Samples = res.Dataset.Len()
+	sched, err := res.screenSched(assembled.Sched, opts)
+	if err != nil {
+		return err
+	}
+	res.Dataset.Sched = sched
+	res.Stats.SchedEvents = len(res.Dataset.Sched)
 	return nil
+}
+
+// screenSched validates scheduler events. Structurally broken events
+// quarantine like broken samples (severe: aborts strict mode); unknown
+// classes are skipped, diagnosed non-severely, and *named* in
+// Stats.SkippedClasses so an operator can see which classes this build
+// dropped — newer collectors may emit classes an older analyzer has not
+// learned, and that must never be fatal.
+func (res *Result) screenSched(events []core.SchedEvent, opts Options) ([]core.SchedEvent, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	kept := make([]core.SchedEvent, 0, len(events))
+	for i, ev := range events {
+		if !ev.Valid() {
+			d := Diag{Class: DiagQuarantined,
+				Msg: fmt.Sprintf("sched event %d malformed: %s", i, ev)}
+			res.diag(opts, d)
+			res.Stats.skipClass(classOrPlaceholder(ev.Class))
+			if opts.Mode == Strict {
+				return nil, strictErr(d)
+			}
+			continue
+		}
+		if !knownSchedClass(ev.Class) {
+			res.diag(opts, Diag{Class: DiagUnknownClass,
+				Msg: fmt.Sprintf("sched event %d has unknown class %q; skipped", i, ev.Class)})
+			res.Stats.skipClass(ev.Class)
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	if len(kept) == 0 {
+		return nil, nil
+	}
+	return kept, nil
+}
+
+// classOrPlaceholder names a class for the skip ledger, substituting a
+// marker for empty strings so the map key is meaningful.
+func classOrPlaceholder(class string) string {
+	if class == "" {
+		return "(empty)"
+	}
+	return class
+}
+
+// knownSchedClass reports whether this build understands the class.
+func knownSchedClass(class string) bool {
+	_, ok := pmu.LookupSchedClass(class)
+	return ok
 }

@@ -78,10 +78,45 @@ type row struct {
 	pct   float64 // percentage of interval the counter ran; 100 if absent
 }
 
+// Scheduler event rows share the interval CSV stream. Layout:
+//
+//	<time>,<class>,<cycle>,<thread>,<hart>,<obj>,<waker>
+//
+// e.g.
+//
+//	1.000107616,sched.block_lock,48123,3,1,queue,0
+//
+// The first column is the interval timestamp like every other row; the
+// second is a "sched."-prefixed class name, which is what marks the row
+// as a scheduler event rather than a counter (counter values are
+// numeric or <not counted>). Unknown "sched.*" classes are skipped and
+// named in Stats.SkippedClasses, never fatal.
+const (
+	schedFieldTime = iota
+	schedFieldClass
+	schedFieldCycle
+	schedFieldThread
+	schedFieldHart
+	schedFieldObj
+	schedFieldWaker
+	schedNumFields
+)
+
+// schedPrefix marks scheduler event rows.
+const schedPrefix = "sched."
+
+// schedRow is one parsed scheduler event line.
+type schedRow struct {
+	line int
+	ts   float64
+	ev   core.SchedEvent
+}
+
 // interval accumulates the rows sharing one timestamp.
 type interval struct {
 	ts    float64
 	rows  []row
+	sched []core.SchedEvent
 	seen  map[string]bool // events already recorded (duplicate detection)
 	lines []int
 }
@@ -102,6 +137,28 @@ func ReadCSV(r io.Reader, opts Options) (*Result, error) {
 	var lastTS float64
 	haveTS := false
 
+	// getInterval finds or opens the interval for ts, diagnosing
+	// out-of-order arrivals; a non-nil Diag aborts strict mode.
+	getInterval := func(ts float64, lineNo int, raw string) (*interval, *Diag) {
+		iv, ok := intervals[ts]
+		if ok {
+			return iv, nil
+		}
+		iv = &interval{ts: ts, seen: make(map[string]bool)}
+		intervals[ts] = iv
+		order = append(order, ts)
+		var d *Diag
+		if haveTS && ts < lastTS {
+			d = &Diag{Line: lineNo, Class: DiagOutOfOrder, Raw: raw,
+				Msg: fmt.Sprintf("interval %.9f arrived after %.9f; re-sorting", ts, lastTS)}
+		}
+		if ts > lastTS {
+			lastTS = ts
+		}
+		haveTS = true
+		return iv, d
+	}
+
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
@@ -113,7 +170,31 @@ func ReadCSV(r io.Reader, opts Options) (*Result, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		rw, diag := parseRow(line, lineNo)
+		fields := splitFields(line)
+		if isSchedRow(fields) {
+			sr, diag := parseSchedFields(fields, line, lineNo)
+			if diag != nil {
+				res.diag(opts, *diag)
+				if diag.Class == DiagUnknownClass {
+					res.Stats.skipClass(classOrPlaceholder(sr.ev.Class))
+				}
+				if opts.Mode == Strict && diag.Class.Severe() {
+					return res, strictErr(*diag)
+				}
+				continue
+			}
+			res.Stats.DataLines++
+			iv, d := getInterval(sr.ts, lineNo, raw)
+			if d != nil {
+				res.diag(opts, *d)
+				if opts.Mode == Strict {
+					return res, strictErr(*d)
+				}
+			}
+			iv.sched = append(iv.sched, sr.ev)
+			continue
+		}
+		rw, diag := parseRowFields(fields, line, lineNo)
 		if diag != nil {
 			res.diag(opts, *diag)
 			if opts.Mode == Strict && diag.Class.Severe() {
@@ -128,23 +209,12 @@ func ReadCSV(r io.Reader, opts Options) (*Result, error) {
 			res.diag(opts, d)
 			continue
 		}
-		iv, ok := intervals[rw.ts]
-		if !ok {
-			iv = &interval{ts: rw.ts, seen: make(map[string]bool)}
-			intervals[rw.ts] = iv
-			order = append(order, rw.ts)
-			if haveTS && rw.ts < lastTS {
-				d := Diag{Line: lineNo, Class: DiagOutOfOrder, Raw: raw,
-					Msg: fmt.Sprintf("interval %.9f arrived after %.9f; re-sorting", rw.ts, lastTS)}
-				res.diag(opts, d)
-				if opts.Mode == Strict {
-					return res, strictErr(d)
-				}
+		iv, d := getInterval(rw.ts, lineNo, raw)
+		if d != nil {
+			res.diag(opts, *d)
+			if opts.Mode == Strict {
+				return res, strictErr(*d)
 			}
-			if rw.ts > lastTS {
-				lastTS = rw.ts
-			}
-			haveTS = true
 		}
 		if iv.seen[rw.event] {
 			d := Diag{Line: lineNo, Class: DiagDuplicate, Raw: raw,
@@ -180,7 +250,8 @@ func ReadCSV(r io.Reader, opts Options) (*Result, error) {
 				W, haveW = rw.value, true
 			}
 		}
-		if !haveT || !haveW {
+		haveFixed := haveT && haveW
+		if !haveFixed && len(iv.rows) > 0 {
 			missing := cyclesEv
 			if haveT {
 				missing = instEv
@@ -191,20 +262,31 @@ func ReadCSV(r io.Reader, opts Options) (*Result, error) {
 			if opts.Mode == Strict {
 				return res, strictErr(d)
 			}
+		}
+		// An interval becomes a window when it carries a full counter
+		// set or scheduler events; counter-only intervals missing their
+		// fixed rows are dropped as before.
+		if !haveFixed && len(iv.sched) == 0 {
 			continue
 		}
 		window++
-		for _, rw := range iv.rows {
-			if rw.event == cyclesEv || rw.event == instEv {
-				continue
+		if haveFixed {
+			for _, rw := range iv.rows {
+				if rw.event == cyclesEv || rw.event == instEv {
+					continue
+				}
+				assembled.Add(core.Sample{
+					Metric: rw.event,
+					T:      T,
+					W:      W,
+					M:      rw.value,
+					Window: window,
+				})
 			}
-			assembled.Add(core.Sample{
-				Metric: rw.event,
-				T:      T,
-				W:      W,
-				M:      rw.value,
-				Window: window,
-			})
+		}
+		for _, ev := range iv.sched {
+			ev.Window = window
+			assembled.AddSched(ev)
 		}
 	}
 
@@ -214,10 +296,9 @@ func ReadCSV(r io.Reader, opts Options) (*Result, error) {
 	return res, nil
 }
 
-// parseRow parses one data line into a row, or classifies it with a Diag.
-// A nil Diag with a zero row never happens: exactly one of the returns is
-// meaningful.
-func parseRow(line string, lineNo int) (row, *Diag) {
+// splitFields splits a data line on its separator (comma, or semicolon
+// when present), trims blanks, and mends decimal-comma splits.
+func splitFields(line string) []string {
 	sep := byte(',')
 	if strings.IndexByte(line, ';') >= 0 {
 		sep = ';'
@@ -229,6 +310,72 @@ func parseRow(line string, lineNo int) (row, *Diag) {
 	if sep == ',' {
 		fields = mendDecimalSplits(fields)
 	}
+	return fields
+}
+
+// isSchedRow reports whether split fields form a scheduler event row.
+func isSchedRow(fields []string) bool {
+	return len(fields) >= 2 && strings.HasPrefix(fields[schedFieldClass], schedPrefix)
+}
+
+// parseSchedFields parses a scheduler event row. The returned Diag, when
+// non-nil, is the whole story (garbled row or unknown class); callers
+// record unknown classes in Stats.SkippedClasses using the class name in
+// schedRow.ev.Class, which is filled even on the unknown-class Diag.
+func parseSchedFields(fields []string, line string, lineNo int) (schedRow, *Diag) {
+	sr := schedRow{line: lineNo}
+	if len(fields) != schedNumFields {
+		return sr, &Diag{Line: lineNo, Class: DiagGarbled, Raw: line,
+			Msg: fmt.Sprintf("sched row has %d fields, want %d", len(fields), schedNumFields)}
+	}
+	ts, err := parseNum(fields[schedFieldTime])
+	if err != nil {
+		return sr, &Diag{Line: lineNo, Class: DiagGarbled, Raw: line,
+			Msg: fmt.Sprintf("bad interval timestamp %q", fields[schedFieldTime])}
+	}
+	sr.ts = ts
+	sr.ev.Class = fields[schedFieldClass]
+	cycle, err := parseNum(fields[schedFieldCycle])
+	if err != nil || cycle < 0 {
+		return sr, &Diag{Line: lineNo, Class: DiagGarbled, Raw: line,
+			Msg: fmt.Sprintf("bad sched event time %q", fields[schedFieldCycle])}
+	}
+	sr.ev.Time = cycle
+	thread, err := strconv.Atoi(fields[schedFieldThread])
+	if err != nil || thread < 0 {
+		return sr, &Diag{Line: lineNo, Class: DiagGarbled, Raw: line,
+			Msg: fmt.Sprintf("bad sched thread id %q", fields[schedFieldThread])}
+	}
+	sr.ev.Thread = thread
+	hart, err := strconv.Atoi(fields[schedFieldHart])
+	if err != nil || hart < 0 {
+		return sr, &Diag{Line: lineNo, Class: DiagGarbled, Raw: line,
+			Msg: fmt.Sprintf("bad sched hart %q", fields[schedFieldHart])}
+	}
+	sr.ev.Hart = hart
+	sr.ev.Obj = fields[schedFieldObj]
+	waker, err := strconv.Atoi(fields[schedFieldWaker])
+	if err != nil || waker < -1 {
+		return sr, &Diag{Line: lineNo, Class: DiagGarbled, Raw: line,
+			Msg: fmt.Sprintf("bad sched waker %q", fields[schedFieldWaker])}
+	}
+	sr.ev.Waker = waker
+	if !knownSchedClass(sr.ev.Class) {
+		return sr, &Diag{Line: lineNo, Class: DiagUnknownClass, Raw: line,
+			Msg: fmt.Sprintf("unknown sched event class %q; skipped", sr.ev.Class)}
+	}
+	return sr, nil
+}
+
+// parseRow parses one data line into a row, or classifies it with a Diag.
+// A nil Diag with a zero row never happens: exactly one of the returns is
+// meaningful.
+func parseRow(line string, lineNo int) (row, *Diag) {
+	return parseRowFields(splitFields(line), line, lineNo)
+}
+
+// parseRowFields is parseRow over pre-split fields.
+func parseRowFields(fields []string, line string, lineNo int) (row, *Diag) {
 	if len(fields) < minFields {
 		return row{}, &Diag{Line: lineNo, Class: DiagGarbled, Raw: line,
 			Msg: fmt.Sprintf("%d fields, want >= %d (truncated line?)", len(fields), minFields)}

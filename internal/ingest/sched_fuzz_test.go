@@ -1,0 +1,69 @@
+package ingest
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSchedEventParse drives scheduler-event row parsing with arbitrary
+// CSV input and asserts the tolerant-ingestion contract: no panic, only
+// structurally valid events of known classes survive into the dataset,
+// the accounting adds up, and SkippedClasses names exactly the unknown
+// "sched.*" classes — in both modes (unknown classes are never fatal,
+// even strict).
+func FuzzSchedEventParse(f *testing.F) {
+	seeds := []string{
+		"1.000000000,sched.switch_in,100,0,1,,-1\n",
+		"1.000107616,sched.block_lock,48123,3,1,queue,0\n1.000107616,sched.unblock_lock,48900,3,1,queue,-1\n1.000107616,sched.switch_in,48900,3,1,,-1\n",
+		"1.0,sched.softirq_entry,10,0,0,,-1\n1.0,sched.softirq_entry,20,0,0,,-1\n1.0,sched.numa_migrate,30,1,0,,-1\n",
+		"1.0,sched.switch_in,not-a-number,0,0,,-1\n",
+		"1.0,sched.switch_in,100,0\n",
+		"2.0,sched.wakeup,10,1,0,,0\n2.0,sched.switch_in,12,1,0,,-1\n2.0,sched.switch_out,40,1,0,,-1\n",
+		"1.0,3200000000,,cycles,1000000000,100.00,,\n1.0,sched.switch_in,5,0,0,,-1\n",
+		"1,0;sched.switch_in;5;0;0;;-1\n",
+		"1.0,sched.,x,y,z,,\n",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, mode := range []Mode{Lenient, Strict} {
+			res, err := ReadCSV(strings.NewReader(input), Options{Mode: mode})
+			if res == nil {
+				t.Fatal("nil result")
+			}
+			if err != nil {
+				// Strict rejection and lenient read failures are legal; the
+				// invariants below only bind on accepted input.
+				continue
+			}
+			if res.Stats.SchedEvents != len(res.Dataset.Sched) {
+				t.Fatalf("mode %s: Stats.SchedEvents %d != %d emitted events",
+					mode, res.Stats.SchedEvents, len(res.Dataset.Sched))
+			}
+			for _, ev := range res.Dataset.Sched {
+				if !ev.Valid() {
+					t.Fatalf("mode %s: invalid sched event survived ingestion: %s", mode, ev)
+				}
+				if !knownSchedClass(ev.Class) {
+					t.Fatalf("mode %s: unknown class %q survived ingestion", mode, ev.Class)
+				}
+				if ev.Window <= 0 {
+					t.Fatalf("mode %s: sched event without window tag: %s", mode, ev)
+				}
+			}
+			for class, n := range res.Stats.SkippedClasses {
+				if !strings.HasPrefix(class, "sched.") {
+					t.Fatalf("mode %s: skipped class %q is not a sched class", mode, class)
+				}
+				if knownSchedClass(class) {
+					t.Fatalf("mode %s: known class %q reported as skipped", mode, class)
+				}
+				if n <= 0 {
+					t.Fatalf("mode %s: skipped class %q with count %d", mode, class, n)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package perfstat
+
+import (
+	"errors"
+
+	"spire/internal/core"
+	"spire/internal/pmu"
+	"spire/internal/sim"
+)
+
+// Scheduler-event collection. Counter samples are multiplexed and
+// scaled (perfstat.go); scheduler events are not — perf records every
+// one — so collection here is a faithful conversion from the
+// simulator's compact log to the serialized core form, with window
+// numbers assigned by the same interval convention Collect uses
+// (1-based, IntervalCycles wide).
+
+// ConvertSched converts a scheduler event log to its serialized form.
+// intervalCycles > 0 assigns 1-based window numbers by timestamp;
+// 0 leaves windows unset.
+func ConvertSched(events []pmu.SchedEvent, intervalCycles uint64) []core.SchedEvent {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]core.SchedEvent, 0, len(events))
+	for _, ev := range events {
+		window := 0
+		if intervalCycles > 0 {
+			window = int(ev.Cycle/intervalCycles) + 1
+		}
+		out = append(out, core.SchedEvent{
+			Time:   float64(ev.Cycle),
+			Class:  ev.Class.Name(),
+			Thread: ev.Thread,
+			Hart:   max(ev.Hart, 0),
+			Obj:    ev.Obj,
+			Waker:  ev.Waker,
+			Window: window,
+		})
+	}
+	return out
+}
+
+// CollectMT runs the multi-hart scheduler simulation to completion (or
+// maxCycles) and returns a dataset carrying its scheduler events plus
+// the run result. The dataset has no counter samples: scheduler-level
+// simulation does not model per-metric counters, and datasets merge, so
+// callers combine it with a counter dataset when they want both halves.
+func CollectMT(m *sim.MTSim, maxCycles, intervalCycles uint64) (core.Dataset, sim.MTResult, error) {
+	res, err := m.Run(maxCycles)
+	if err != nil {
+		return core.Dataset{}, res, err
+	}
+	if len(res.Events) == 0 {
+		return core.Dataset{}, res, errors.New("perfstat: run emitted no scheduler events")
+	}
+	var ds core.Dataset
+	ds.AddSched(ConvertSched(res.Events, intervalCycles)...)
+	return ds, res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

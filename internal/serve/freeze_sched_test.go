@@ -1,0 +1,138 @@
+package serve
+
+// Serve-tier half of the zero-sched freeze: whatever a client does
+// short of sending actual scheduler events — omitting the sched key,
+// sending an empty list, JSON or SPB1 — the response bytes must be
+// identical, and must never contain a combined section. The byte-level
+// bulk differential (2048 randomized frames against frozen reference
+// encoders) lives in internal/wire; this pins the HTTP layer on top.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"spire/internal/core"
+	"spire/internal/testutil"
+	"spire/internal/wire"
+)
+
+// freezeSchedEvents is a minimal valid event stream: one thread runs,
+// blocks on a lock, resumes, and switches out.
+func freezeSchedEvents() []core.SchedEvent {
+	return []core.SchedEvent{
+		{Time: 0, Class: "sched.switch_in", Thread: 0, Hart: 0, Waker: -1, Window: -1},
+		{Time: 5, Class: "sched.block_lock", Thread: 0, Hart: 0, Obj: "m", Waker: -1, Window: -1},
+		{Time: 8, Class: "sched.unblock_lock", Thread: 0, Hart: 0, Obj: "m", Waker: -1, Window: -1},
+		{Time: 8, Class: "sched.switch_in", Thread: 0, Hart: 0, Waker: -1, Window: -1},
+		{Time: 12, Class: "sched.switch_out", Thread: 0, Hart: 0, Waker: -1, Window: -1},
+	}
+}
+
+func TestEstimateZeroSchedFreeze(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, model := testutil.TrainModel(t, 1)
+	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
+		t.Fatal(err)
+	}
+	samples := testutil.Samples()
+
+	// JSON tier: no sched key vs an explicit empty list.
+	resp := testutil.PostJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: samples})
+	noKey := testutil.ReadBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("estimate status = %d: %s", resp.StatusCode, noKey)
+	}
+	body, err := json.Marshal(map[string]any{"samples": samples, "sched": []core.SchedEvent{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = postRaw(t, ts.URL+"/v1/estimate", "application/json", "", body)
+	emptyKey := testutil.ReadBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("empty-sched estimate status = %d: %s", resp.StatusCode, emptyKey)
+	}
+	if !bytes.Equal(noKey, emptyKey) {
+		t.Fatalf("empty sched list changed the JSON response:\n%s\nvs\n%s", noKey, emptyKey)
+	}
+	for _, leak := range []string{`"combined"`, `"sched"`} {
+		if bytes.Contains(noKey, []byte(leak)) {
+			t.Fatalf("sched-free JSON response leaked %s: %s", leak, noKey)
+		}
+	}
+
+	// SPB1 tier: the flat binary request's response frame must decode
+	// with no combined report and be byte-stable across repeats.
+	binReq := wire.AppendEstimateRequest(nil, &wire.EstimateRequest{Samples: samples})
+	resp = postRaw(t, ts.URL+"/v1/estimate", wire.ContentTypeBin, wire.ContentTypeBin, binReq)
+	first := testutil.ReadBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("bin estimate status = %d: %s", resp.StatusCode, first)
+	}
+	dec, err := wire.DecodeEstimateResponse(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Estimation == nil || dec.Estimation.Combined != nil {
+		t.Fatalf("sched-free SPB1 response carried a combined section: %+v", dec.Estimation)
+	}
+	resp = postRaw(t, ts.URL+"/v1/estimate", wire.ContentTypeBin, wire.ContentTypeBin, binReq)
+	if second := testutil.ReadBody(t, resp); !bytes.Equal(first, second) {
+		t.Fatal("identical sched-free binary requests produced different frames")
+	}
+
+	// Control: the same samples WITH sched events must produce a
+	// combined section on both tiers, and must not collide with the
+	// sched-free response in the cache.
+	resp = testutil.PostJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Samples: samples, Sched: freezeSchedEvents()})
+	withSched := testutil.ReadBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("sched estimate status = %d: %s", resp.StatusCode, withSched)
+	}
+	if !bytes.Contains(withSched, []byte(`"combined"`)) {
+		t.Fatalf("sched-bearing request produced no combined report: %s", withSched)
+	}
+	if bytes.Equal(withSched, noKey) {
+		t.Fatal("sched-bearing response identical to sched-free response (cache key collision)")
+	}
+	binSched := wire.AppendEstimateRequest(nil, &wire.EstimateRequest{Samples: samples, Sched: freezeSchedEvents()})
+	resp = postRaw(t, ts.URL+"/v1/estimate", wire.ContentTypeBin, wire.ContentTypeBin, binSched)
+	raw := testutil.ReadBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("bin sched estimate status = %d: %s", resp.StatusCode, raw)
+	}
+	if dec, err = wire.DecodeEstimateResponse(raw); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Estimation == nil || dec.Estimation.Combined == nil {
+		t.Fatal("sched-bearing SPB1 request produced no combined section")
+	}
+	if dec.Estimation.Combined.Partition.Wall != 12 {
+		t.Fatalf("combined wall = %v, want 12", dec.Estimation.Combined.Partition.Wall)
+	}
+}
+
+// TestEstimateBadSchedRejected: an event stream the analysis cannot use
+// (unparseable partition) is a client error, not a silent flat answer.
+func TestEstimateBadSchedRejected(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	_, model := testutil.TrainModel(t, 1)
+	if _, err := s.Models().Load(bytes.NewReader(model), "test"); err != nil {
+		t.Fatal(err)
+	}
+	// Negative time violates SchedEvent.Valid ordering downstream; an
+	// event with an unknown class is simply ignored by the graph, which
+	// then has zero threads — Combine returns (nil, nil) and the
+	// response stays flat rather than erroring.
+	resp := testutil.PostJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+		Samples: testutil.Samples(),
+		Sched:   []core.SchedEvent{{Time: 1, Class: "sched.not_a_class", Thread: 0, Waker: -1, Window: -1}},
+	})
+	body := testutil.ReadBody(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("unknown-class-only sched status = %d: %s", resp.StatusCode, body)
+	}
+	if bytes.Contains(body, []byte(`"combined"`)) {
+		t.Fatalf("unusable sched events still produced a combined report: %s", body)
+	}
+}

@@ -47,10 +47,13 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -60,6 +63,8 @@ import (
 	"time"
 
 	"spire/internal/admission"
+	"spire/internal/analysis"
+	"spire/internal/buildinfo"
 	"spire/internal/core"
 	"spire/internal/engine"
 	"spire/internal/ingest"
@@ -425,6 +430,10 @@ type EstimateRequest struct {
 	// Workers requests an estimation worker budget; clamped to the
 	// server's MaxWorkers. 0 = server default.
 	Workers int `json:"workers,omitempty"`
+	// Sched optionally carries the workload's scheduler events; when
+	// present the response's estimation includes the combined
+	// on-CPU/off-CPU report.
+	Sched []core.SchedEvent `json:"sched,omitempty"`
 }
 
 // EstimateResponse is the /v1/estimate response body.
@@ -437,14 +446,45 @@ type EstimateResponse struct {
 }
 
 // respKey keys the degraded-mode response cache: same model, same
-// workload content hash, same truncation, same wire format ->
-// byte-identical response.
-func respKey(modelID, workloadKey string, top int, bin bool) string {
+// workload content hash, same truncation, same wire format, same
+// scheduler events -> byte-identical response. schedKey is "" for
+// requests without scheduler events, keeping zero-sched keys identical
+// to the pre-sched encoding.
+func respKey(modelID, workloadKey string, top int, bin bool, schedKey string) string {
 	k := modelID + "\x00" + workloadKey + "\x00" + strconv.Itoa(top)
 	if bin {
 		k += "\x00bin"
 	}
+	if schedKey != "" {
+		k += "\x00" + schedKey
+	}
 	return k
+}
+
+// schedKey content-hashes a scheduler-event list for response-cache
+// keying. Empty input returns "".
+func schedKey(events []core.SchedEvent) string {
+	if len(events) == 0 {
+		return ""
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, ev := range events {
+		u64(math.Float64bits(ev.Time))
+		io.WriteString(h, ev.Class)
+		h.Write([]byte{0})
+		u64(uint64(int64(ev.Thread)))
+		u64(uint64(int64(ev.Hart)))
+		io.WriteString(h, ev.Obj)
+		h.Write([]byte{0})
+		u64(uint64(int64(ev.Waker)))
+		u64(uint64(int64(ev.Window)))
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
 }
 
 // decodeEstimateRequest decodes the estimate body in whichever wire
@@ -460,7 +500,7 @@ func (s *Server) decodeEstimateRequest(r *http.Request) (*EstimateRequest, error
 		if err != nil {
 			return nil, err
 		}
-		return &EstimateRequest{Samples: wreq.Samples, Top: wreq.Top, Workers: wreq.Workers}, nil
+		return &EstimateRequest{Samples: wreq.Samples, Top: wreq.Top, Workers: wreq.Workers, Sched: wreq.Sched}, nil
 	}
 	var req EstimateRequest
 	if err := decodeQuiet(r, &req); err != nil {
@@ -535,6 +575,16 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if req.Top > 0 && req.Top < len(est.PerMetric) {
 		est.PerMetric = est.PerMetric[:req.Top]
 	}
+	// Combined on/off-CPU report: strictly additive — requests without
+	// scheduler events get exactly the estimation they always did.
+	if len(req.Sched) > 0 {
+		combined, cerr := analysis.Combine(est, req.Sched)
+		if cerr != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "sched events: %v", cerr)
+			return
+		}
+		est.Combined = combined
+	}
 	var (
 		raw []byte
 		ct  = "application/json"
@@ -554,7 +604,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// Remember the exact bytes for the saturated fast path. Workers
 	// are deliberately not part of the key: results are byte-identical
 	// for any worker budget.
-	s.resp.put(respKey(info.ID, engine.WorkloadKey(req.Samples), req.Top, wantBin), raw)
+	s.resp.put(respKey(info.ID, engine.WorkloadKey(req.Samples), req.Top, wantBin, schedKey(req.Sched)), raw)
 	s.mEstimates.Inc()
 	if h := est.Hierarchy; h != nil {
 		// Lazily registered so flat deployments expose exactly the
@@ -573,7 +623,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) degradeOrReject(w http.ResponseWriter, r *http.Request, modelID string, aerr error) {
 	if req, err := s.decodeEstimateRequest(r); err == nil && len(req.Samples) > 0 {
 		wantBin := acceptsBin(r)
-		if raw, ok := s.resp.get(respKey(modelID, engine.WorkloadKey(req.Samples), req.Top, wantBin)); ok {
+		if raw, ok := s.resp.get(respKey(modelID, engine.WorkloadKey(req.Samples), req.Top, wantBin, schedKey(req.Sched))); ok {
 			ct := "application/json"
 			if wantBin {
 				ct = wire.ContentTypeBin
@@ -681,10 +731,21 @@ type HealthResponse struct {
 	Ready bool `json:"ready"`
 	// Model is the served model ID, when ready.
 	Model string `json:"model,omitempty"`
+	// Version is the spire release version the process was built from.
+	Version string `json:"version"`
+	// Revision is the VCS revision, when the build was stamped.
+	Revision string `json:"revision,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	h := HealthResponse{Status: "ok"}
+	h := HealthResponse{
+		Status:    "ok",
+		Version:   buildinfo.Version,
+		Revision:  buildinfo.Revision(),
+		GoVersion: buildinfo.GoVersion(),
+	}
 	if _, info := s.models.Current(); info != nil {
 		h.Ready = true
 		h.Model = info.ID

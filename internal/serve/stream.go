@@ -102,7 +102,7 @@ func (s *Server) handleStreamPostBin(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				consumed += size
-				iv := ingest.Interval{TS: sb.TS, Window: sb.Window, Samples: sb.Samples}
+				iv := ingest.Interval{TS: sb.TS, Window: sb.Window, Samples: sb.Samples, Sched: sb.Sched}
 				if err := s.hub.FeedInterval(iv); err != nil {
 					writeErr(w, http.StatusServiceUnavailable, "stream closed: %v", err)
 					return

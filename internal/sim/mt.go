@@ -1,0 +1,479 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"spire/internal/pmu"
+)
+
+// Multi-hart scheduler simulation. The single-core model in sim.go
+// answers "where do on-CPU cycles go"; this file answers the other
+// question — where does *wall* time go when a workload has more threads
+// than harts and threads block on locks and devices. It is a
+// scheduler-level discrete-event model, not N copies of the OOO core:
+// wait-for-graph analysis (wPerf) consumes scheduler events, so that is
+// the level simulated. Everything is deterministic: FIFO ready queues,
+// FIFO lock hand-off, serial devices, and fixed tie-break order.
+
+// MTOpKind identifies one thread-program operation.
+type MTOpKind uint8
+
+const (
+	// OpCompute burns Cycles cycles of CPU.
+	OpCompute MTOpKind = iota
+	// OpLock acquires lock Obj, blocking while it is held.
+	OpLock
+	// OpUnlock releases lock Obj, handing it to the oldest waiter.
+	OpUnlock
+	// OpIO issues a request taking Cycles cycles on serial device Obj;
+	// the thread blocks until it completes.
+	OpIO
+)
+
+// MTOp is one operation of a thread program.
+type MTOp struct {
+	Kind   MTOpKind
+	Cycles uint64 // compute burst length or device service time
+	Obj    string // lock or device name for OpLock/OpUnlock/OpIO
+}
+
+// MTThread is one thread: its op list, executed Loop times (Loop <= 0
+// means once).
+type MTThread struct {
+	Ops  []MTOp
+	Loop int
+}
+
+// MTConfig configures the scheduler simulation.
+type MTConfig struct {
+	// Harts is the number of hardware threads (>= 1).
+	Harts int
+	// TimeSlice is the preemption quantum in cycles; 0 disables
+	// preemption.
+	TimeSlice uint64
+}
+
+// MTThreadStat is the simulator's own per-thread time accounting,
+// usable as ground truth against the wait-graph partition.
+type MTThreadStat struct {
+	OnCPU        uint64
+	LockWait     uint64
+	IOWait       uint64
+	RunnableWait uint64
+	Start        uint64 // first event time
+	End          uint64 // last event time
+}
+
+// MTResult is the outcome of a multi-hart run.
+type MTResult struct {
+	// Cycles is the wall-clock length of the run.
+	Cycles uint64
+	// Events is the scheduler event log in time order.
+	Events []pmu.SchedEvent
+	// PerThread holds the simulator's own accounting, indexed by thread.
+	PerThread []MTThreadStat
+	// Counts snapshots the PMU (cycles = on-CPU cycles summed across
+	// threads, instructions = retired across threads).
+	Counts pmu.Counts
+	// Done reports whether every thread ran to completion within the
+	// cycle budget.
+	Done bool
+}
+
+// ErrDeadlock is returned when no thread can make progress.
+var ErrDeadlock = errors.New("sim: deadlock: threads blocked with no pending completion")
+
+// thread run states.
+type mtState uint8
+
+const (
+	mtRunnable mtState = iota
+	mtRunning
+	mtBlockedLock
+	mtBlockedIO
+	mtDone
+)
+
+type mtThread struct {
+	ops      []MTOp
+	loops    int
+	pc       int
+	iter     int
+	state    mtState
+	burstRem uint64 // remaining cycles of the current compute op
+	hart     int
+	stat     MTThreadStat
+	started  bool
+}
+
+type mtLock struct {
+	holder  int // -1 free
+	waiters []int
+}
+
+type ioCompletion struct {
+	at     uint64
+	thread int
+	obj    string
+}
+
+// MTSim is the multi-hart scheduler simulator.
+type MTSim struct {
+	cfg     MTConfig
+	threads []mtThread
+	locks   map[string]*mtLock
+	devFree map[string]uint64 // serial device: busy until
+	ios     []ioCompletion    // pending completions, unordered
+	ready   []int             // FIFO run queue
+	harts   []int             // occupant thread or -1
+	until   []uint64          // current run segment end per hart
+	segAt   []uint64          // current run segment start per hart
+	now     uint64
+	log     pmu.SchedLog
+	pmu     pmu.PMU
+}
+
+// NewMT validates the configuration and thread programs and builds a
+// simulator. All threads start runnable at cycle 0.
+func NewMT(cfg MTConfig, threads []MTThread) (*MTSim, error) {
+	if cfg.Harts < 1 {
+		return nil, errors.New("sim: MTConfig.Harts must be >= 1")
+	}
+	if len(threads) == 0 {
+		return nil, errors.New("sim: no threads")
+	}
+	m := &MTSim{
+		cfg:     cfg,
+		locks:   make(map[string]*mtLock),
+		devFree: make(map[string]uint64),
+		harts:   make([]int, cfg.Harts),
+		until:   make([]uint64, cfg.Harts),
+		segAt:   make([]uint64, cfg.Harts),
+	}
+	for i := range m.harts {
+		m.harts[i] = -1
+	}
+	for ti, th := range threads {
+		if len(th.Ops) == 0 {
+			return nil, fmt.Errorf("sim: thread %d has no ops", ti)
+		}
+		for oi, op := range th.Ops {
+			switch op.Kind {
+			case OpCompute:
+				if op.Cycles == 0 {
+					return nil, fmt.Errorf("sim: thread %d op %d: compute needs cycles > 0", ti, oi)
+				}
+			case OpLock, OpUnlock:
+				if op.Obj == "" {
+					return nil, fmt.Errorf("sim: thread %d op %d: lock op needs an object", ti, oi)
+				}
+			case OpIO:
+				if op.Obj == "" || op.Cycles == 0 {
+					return nil, fmt.Errorf("sim: thread %d op %d: io op needs object and cycles", ti, oi)
+				}
+			default:
+				return nil, fmt.Errorf("sim: thread %d op %d: unknown kind %d", ti, oi, op.Kind)
+			}
+		}
+		loops := th.Loop
+		if loops <= 0 {
+			loops = 1
+		}
+		m.threads = append(m.threads, mtThread{ops: th.Ops, loops: loops, hart: -1})
+		m.ready = append(m.ready, ti)
+	}
+	return m, nil
+}
+
+func (m *MTSim) emit(class pmu.SchedClass, thread, hart int, obj string, waker int) {
+	m.log.Emit(pmu.SchedEvent{
+		Cycle: m.now, Class: class, Thread: thread, Hart: hart, Obj: obj, Waker: waker,
+	})
+	st := &m.threads[thread].stat
+	if !m.threads[thread].started {
+		m.threads[thread].started = true
+		st.Start = m.now
+	}
+	st.End = m.now
+}
+
+// lockOf returns the lock, creating it free.
+func (m *MTSim) lockOf(name string) *mtLock {
+	l, ok := m.locks[name]
+	if !ok {
+		l = &mtLock{holder: -1}
+		m.locks[name] = l
+	}
+	return l
+}
+
+// dispatch fills free harts from the ready queue.
+func (m *MTSim) dispatch() {
+	for h := 0; h < len(m.harts) && len(m.ready) > 0; h++ {
+		if m.harts[h] != -1 {
+			continue
+		}
+		ti := m.ready[0]
+		m.ready = m.ready[1:]
+		t := &m.threads[ti]
+		t.state = mtRunning
+		t.hart = h
+		m.harts[h] = ti
+		m.emit(pmu.SchedSwitchIn, ti, h, "", -1)
+		m.planSegment(h)
+	}
+}
+
+// planSegment sets until[h] for the occupant's next run segment:
+// min(burst end, quantum end). Threads at a non-compute op get a
+// zero-length segment so step() advances them immediately.
+func (m *MTSim) planSegment(h int) {
+	ti := m.harts[h]
+	t := &m.threads[ti]
+	var seg uint64
+	if t.pc < len(t.ops) && t.ops[t.pc].Kind == OpCompute {
+		seg = t.burstRem
+		if seg == 0 {
+			seg = t.ops[t.pc].Cycles
+			t.burstRem = seg
+		}
+	}
+	if m.cfg.TimeSlice > 0 && seg > m.cfg.TimeSlice {
+		seg = m.cfg.TimeSlice
+	}
+	m.segAt[h] = m.now
+	m.until[h] = m.now + seg
+}
+
+// release hands the CPU back: the occupant leaves hart h.
+func (m *MTSim) release(h int) {
+	ti := m.harts[h]
+	m.harts[h] = -1
+	m.threads[ti].hart = -1
+}
+
+// advance runs the occupant of hart h up to m.now (its segment end) and
+// then executes ops until the thread blocks, is preempted, or finishes.
+func (m *MTSim) advance(h int) error {
+	ti := m.harts[h]
+	t := &m.threads[ti]
+	ran := m.now - m.segAt[h]
+	t.stat.OnCPU += ran
+	m.pmu.Add(pmu.EvCycles, ran)
+	if t.pc < len(t.ops) && t.ops[t.pc].Kind == OpCompute {
+		if ran >= t.burstRem {
+			t.burstRem = 0
+		} else {
+			t.burstRem -= ran
+		}
+		if t.burstRem > 0 {
+			// Quantum expired mid-burst: preempt.
+			m.emit(pmu.SchedSwitchOut, ti, h, "", -1)
+			t.state = mtRunnable
+			m.release(h)
+			m.ready = append(m.ready, ti)
+			return nil
+		}
+		m.pmu.Add(pmu.EvInstRetired, t.ops[t.pc].Cycles) // IPC 1 per burst
+		t.pc++
+	}
+	// Execute zero-cost ops until the thread blocks or needs CPU again.
+	for {
+		if t.pc >= len(t.ops) {
+			t.iter++
+			if t.iter >= t.loops {
+				m.emit(pmu.SchedSwitchOut, ti, h, "", -1)
+				t.state = mtDone
+				m.release(h)
+				return nil
+			}
+			t.pc = 0
+		}
+		op := t.ops[t.pc]
+		switch op.Kind {
+		case OpCompute:
+			m.planSegment(h)
+			return nil
+		case OpLock:
+			l := m.lockOf(op.Obj)
+			if l.holder == -1 {
+				l.holder = ti
+				t.pc++
+				continue
+			}
+			m.emit(pmu.SchedBlockLock, ti, h, op.Obj, l.holder)
+			t.state = mtBlockedLock
+			l.waiters = append(l.waiters, ti)
+			m.release(h)
+			return nil
+		case OpUnlock:
+			l := m.lockOf(op.Obj)
+			if l.holder != ti {
+				return fmt.Errorf("sim: thread %d unlocks %q held by %d", ti, op.Obj, l.holder)
+			}
+			t.pc++
+			if len(l.waiters) == 0 {
+				l.holder = -1
+				continue
+			}
+			// FIFO hand-off: ownership transfers directly.
+			w := l.waiters[0]
+			l.waiters = l.waiters[1:]
+			l.holder = w
+			m.emit(pmu.SchedUnblockLock, w, -1, op.Obj, ti)
+			m.threads[w].state = mtRunnable
+			m.threads[w].pc++ // past its OpLock
+			m.ready = append(m.ready, w)
+		case OpIO:
+			start := m.now
+			if m.devFree[op.Obj] > start {
+				start = m.devFree[op.Obj]
+			}
+			done := start + op.Cycles
+			m.devFree[op.Obj] = done
+			m.emit(pmu.SchedBlockIO, ti, h, op.Obj, -1)
+			t.state = mtBlockedIO
+			t.pc++
+			m.ios = append(m.ios, ioCompletion{at: done, thread: ti, obj: op.Obj})
+			m.release(h)
+			return nil
+		}
+	}
+}
+
+// Run executes the simulation for at most maxCycles cycles (0 means
+// unbounded) and returns the event log and accounting.
+func (m *MTSim) Run(maxCycles uint64) (MTResult, error) {
+	// Every thread is born runnable at cycle 0; the explicit wakeup
+	// anchors each thread's wall-time window so runnable wait before the
+	// first switch-in is observable downstream.
+	for ti := range m.threads {
+		m.emit(pmu.SchedWakeup, ti, -1, "", -1)
+	}
+	m.dispatch()
+	for {
+		allDone := true
+		for i := range m.threads {
+			if m.threads[i].state != mtDone {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		// Next event: earliest hart segment end or IO completion.
+		next := uint64(0)
+		have := false
+		for h, ti := range m.harts {
+			if ti == -1 {
+				continue
+			}
+			if !have || m.until[h] < next {
+				next, have = m.until[h], true
+			}
+		}
+		for _, io := range m.ios {
+			if !have || io.at < next {
+				next, have = io.at, true
+			}
+		}
+		if !have {
+			return m.result(false), ErrDeadlock
+		}
+		if maxCycles > 0 && next > maxCycles {
+			m.now = maxCycles
+			return m.result(false), nil
+		}
+		m.now = next
+		// IO completions first (lowest thread id first for determinism).
+		for {
+			best := -1
+			for i, io := range m.ios {
+				if io.at != m.now {
+					continue
+				}
+				if best == -1 || io.thread < m.ios[best].thread {
+					best = i
+				}
+			}
+			if best == -1 {
+				break
+			}
+			io := m.ios[best]
+			m.ios = append(m.ios[:best], m.ios[best+1:]...)
+			m.emit(pmu.SchedUnblockIO, io.thread, -1, io.obj, -1)
+			m.threads[io.thread].state = mtRunnable
+			m.ready = append(m.ready, io.thread)
+		}
+		// Then hart segment ends, in hart order.
+		for h := 0; h < len(m.harts); h++ {
+			ti := m.harts[h]
+			if ti == -1 || m.until[h] != m.now {
+				continue
+			}
+			if err := m.advance(h); err != nil {
+				return m.result(false), err
+			}
+		}
+		m.dispatch()
+	}
+	// Account off-CPU waits from the event log so the simulator's own
+	// numbers and the wait-graph partition are derived identically.
+	m.accountWaits()
+	return m.result(true), nil
+}
+
+// accountWaits derives LockWait/IOWait/RunnableWait per thread by
+// replaying the event log.
+func (m *MTSim) accountWaits() {
+	type pend struct {
+		at    uint64
+		state mtState
+	}
+	last := make([]pend, len(m.threads))
+	for i := range last {
+		last[i] = pend{at: 0, state: mtRunnable}
+	}
+	for _, ev := range m.log.Events() {
+		st := &m.threads[ev.Thread].stat
+		p := &last[ev.Thread]
+		dt := ev.Cycle - p.at
+		switch p.state {
+		case mtBlockedLock:
+			st.LockWait += dt
+		case mtBlockedIO:
+			st.IOWait += dt
+		case mtRunnable:
+			st.RunnableWait += dt
+		}
+		switch ev.Class {
+		case pmu.SchedSwitchIn:
+			p.state = mtRunning
+		case pmu.SchedSwitchOut, pmu.SchedWakeup, pmu.SchedUnblockLock, pmu.SchedUnblockIO:
+			p.state = mtRunnable
+		case pmu.SchedBlockLock:
+			p.state = mtBlockedLock
+		case pmu.SchedBlockIO:
+			p.state = mtBlockedIO
+		}
+		p.at = ev.Cycle
+	}
+}
+
+func (m *MTSim) result(done bool) MTResult {
+	res := MTResult{
+		Cycles: m.now,
+		Events: m.log.Events(),
+		Counts: m.pmu.Snapshot(),
+		Done:   done,
+	}
+	for i := range m.threads {
+		res.PerThread = append(res.PerThread, m.threads[i].stat)
+	}
+	return res
+}
+
+// Events returns the scheduler event log recorded so far.
+func (m *MTSim) Events() []pmu.SchedEvent { return m.log.Events() }

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"spire/internal/pmu"
+)
+
+func convoyThreads(n int) []MTThread {
+	var ts []MTThread
+	for i := 0; i < n; i++ {
+		ts = append(ts, MTThread{
+			Ops: []MTOp{
+				{Kind: OpLock, Obj: "hot"},
+				{Kind: OpCompute, Cycles: 100},
+				{Kind: OpUnlock, Obj: "hot"},
+				{Kind: OpCompute, Cycles: 10},
+			},
+			Loop: 5,
+		})
+	}
+	return ts
+}
+
+func TestMTRunCompletes(t *testing.T) {
+	m, err := NewMT(MTConfig{Harts: 4}, convoyThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("run did not complete")
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no scheduler events emitted")
+	}
+	// The hot lock serializes the 100-cycle critical sections: wall time
+	// is at least 4 threads x 5 iters x 100 cycles.
+	if res.Cycles < 2000 {
+		t.Fatalf("wall = %d, want >= 2000 (serialized critical sections)", res.Cycles)
+	}
+	// Lock wait must dominate for all but the luckiest thread.
+	var lockWait uint64
+	for _, st := range res.PerThread {
+		lockWait += st.LockWait
+	}
+	if lockWait == 0 {
+		t.Fatal("convoy produced no lock wait")
+	}
+}
+
+func TestMTDeterministic(t *testing.T) {
+	run := func() MTResult {
+		m, err := NewMT(MTConfig{Harts: 2, TimeSlice: 50}, convoyThreads(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical runs diverged")
+	}
+}
+
+func TestMTAccountingSumsToWall(t *testing.T) {
+	// Per thread: OnCPU + LockWait + IOWait + RunnableWait == End - Start.
+	threads := []MTThread{
+		{Ops: []MTOp{{Kind: OpCompute, Cycles: 400}}, Loop: 3},
+		{Ops: []MTOp{{Kind: OpCompute, Cycles: 30}, {Kind: OpIO, Obj: "disk", Cycles: 200}}, Loop: 4},
+		{Ops: []MTOp{
+			{Kind: OpLock, Obj: "l"}, {Kind: OpCompute, Cycles: 80},
+			{Kind: OpUnlock, Obj: "l"}}, Loop: 4},
+		{Ops: []MTOp{
+			{Kind: OpLock, Obj: "l"}, {Kind: OpCompute, Cycles: 80},
+			{Kind: OpUnlock, Obj: "l"}}, Loop: 4},
+	}
+	m, err := NewMT(MTConfig{Harts: 2, TimeSlice: 64}, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("not done")
+	}
+	for ti, st := range res.PerThread {
+		sum := st.OnCPU + st.LockWait + st.IOWait + st.RunnableWait
+		wall := st.End - st.Start
+		if sum != wall {
+			t.Fatalf("thread %d: OnCPU %d + lock %d + io %d + runnable %d = %d, wall = %d",
+				ti, st.OnCPU, st.LockWait, st.IOWait, st.RunnableWait, sum, wall)
+		}
+	}
+}
+
+func TestMTIOSerialDevice(t *testing.T) {
+	// Two threads hammering one serial device: total IO wait exceeds the
+	// raw service time because requests queue.
+	threads := []MTThread{
+		{Ops: []MTOp{{Kind: OpCompute, Cycles: 10}, {Kind: OpIO, Obj: "disk", Cycles: 100}}, Loop: 3},
+		{Ops: []MTOp{{Kind: OpCompute, Cycles: 10}, {Kind: OpIO, Obj: "disk", Cycles: 100}}, Loop: 3},
+	}
+	m, err := NewMT(MTConfig{Harts: 2}, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ioWait uint64
+	for _, st := range res.PerThread {
+		ioWait += st.IOWait
+	}
+	if ioWait <= 600 {
+		t.Fatalf("ioWait = %d, want > 600 (queueing on serial device)", ioWait)
+	}
+}
+
+func TestMTDeadlock(t *testing.T) {
+	threads := []MTThread{
+		{Ops: []MTOp{
+			{Kind: OpLock, Obj: "a"}, {Kind: OpCompute, Cycles: 10},
+			{Kind: OpLock, Obj: "b"}, {Kind: OpUnlock, Obj: "b"}, {Kind: OpUnlock, Obj: "a"}}},
+		{Ops: []MTOp{
+			{Kind: OpLock, Obj: "b"}, {Kind: OpCompute, Cycles: 10},
+			{Kind: OpLock, Obj: "a"}, {Kind: OpUnlock, Obj: "a"}, {Kind: OpUnlock, Obj: "b"}}},
+	}
+	m, err := NewMT(MTConfig{Harts: 2}, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err != ErrDeadlock {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestMTMaxCyclesCutoff(t *testing.T) {
+	m, err := NewMT(MTConfig{Harts: 1}, []MTThread{
+		{Ops: []MTOp{{Kind: OpCompute, Cycles: 1000}}, Loop: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Done {
+		t.Fatal("expected incomplete run")
+	}
+	if res.Cycles != 500 {
+		t.Fatalf("cycles = %d, want 500", res.Cycles)
+	}
+}
+
+func TestMTValidation(t *testing.T) {
+	if _, err := NewMT(MTConfig{Harts: 0}, convoyThreads(1)); err == nil {
+		t.Fatal("harts=0 accepted")
+	}
+	if _, err := NewMT(MTConfig{Harts: 1}, nil); err == nil {
+		t.Fatal("no threads accepted")
+	}
+	if _, err := NewMT(MTConfig{Harts: 1}, []MTThread{{Ops: []MTOp{{Kind: OpCompute}}}}); err == nil {
+		t.Fatal("zero-cycle compute accepted")
+	}
+	if _, err := NewMT(MTConfig{Harts: 1}, []MTThread{{Ops: []MTOp{{Kind: OpLock}}}}); err == nil {
+		t.Fatal("lock without object accepted")
+	}
+	// Unlocking a lock you don't hold is a runtime error.
+	m, err := NewMT(MTConfig{Harts: 1}, []MTThread{{Ops: []MTOp{{Kind: OpUnlock, Obj: "x"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(0); err == nil {
+		t.Fatal("foreign unlock accepted")
+	}
+}
+
+func TestMTEventsOrdered(t *testing.T) {
+	m, err := NewMT(MTConfig{Harts: 2, TimeSlice: 32}, convoyThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev uint64
+	for i, ev := range res.Events {
+		if ev.Cycle < prev {
+			t.Fatalf("event %d at cycle %d before previous %d", i, ev.Cycle, prev)
+		}
+		prev = ev.Cycle
+		if ev.Class >= pmu.NumSchedClasses {
+			t.Fatalf("event %d has unknown class %d", i, ev.Class)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"time"
 
+	"spire/internal/analysis"
 	"spire/internal/core"
 	"spire/internal/engine"
 	"spire/internal/ingest"
@@ -168,6 +169,15 @@ func (e *Estimator) Estimate(ctx context.Context, win Window) Result {
 	default:
 		if e.top > 0 && len(est.PerMetric) > e.top {
 			est.PerMetric = est.PerMetric[:e.top:e.top]
+		}
+		// Combined on/off-CPU report for windows whose intervals carried
+		// scheduler events; mirrors the /v1/estimate contract (combined
+		// rides on a successful estimation, zero-sched windows are
+		// untouched).
+		if len(win.Sched) > 0 {
+			if combined, cerr := analysis.Combine(est, win.Sched); cerr == nil {
+				est.Combined = combined
+			}
 		}
 		res.Estimation = est
 	}

@@ -15,12 +15,16 @@ type Window struct {
 	Intervals int     // intervals currently in the window (<= span)
 	Samples   int     // valid samples across the window
 	Index     *core.WorkloadIndex
+	// Sched holds the scheduler events of all in-window intervals, in
+	// arrival order. Nil when no in-window interval carried any.
+	Sched []core.SchedEvent
 }
 
 // ivSpan remembers one in-window interval's identity for eviction.
 type ivSpan struct {
 	ts     float64
 	window int
+	sched  []core.SchedEvent
 }
 
 // Windower maintains the sliding window over incoming intervals: each
@@ -52,12 +56,20 @@ func (w *Windower) Span() int { return w.span }
 // across pushes, which ingestion guarantees.
 func (w *Windower) Push(iv ingest.Interval) Window {
 	w.idx.Add(iv.Samples...)
-	w.spans = append(w.spans, ivSpan{ts: iv.TS, window: iv.Window})
+	w.spans = append(w.spans, ivSpan{ts: iv.TS, window: iv.Window, sched: iv.Sched})
 	if len(w.spans) > w.span {
 		w.spans = w.spans[1:]
 		w.idx.EvictBefore(w.spans[0].window)
 	}
 	w.seq++
+	// Flatten in-window scheduler events into an immutable snapshot.
+	// Zero-sched streams never take this path and keep Sched nil.
+	var sched []core.SchedEvent
+	for _, sp := range w.spans {
+		if len(sp.sched) > 0 {
+			sched = append(sched, sp.sched...)
+		}
+	}
 	return Window{
 		Seq:       w.seq,
 		StartTS:   w.spans[0].ts,
@@ -65,5 +77,6 @@ func (w *Windower) Push(iv ingest.Interval) Window {
 		Intervals: len(w.spans),
 		Samples:   w.idx.Len(),
 		Index:     w.idx.Snapshot(),
+		Sched:     sched,
 	}
 }

@@ -1,0 +1,142 @@
+package waitgraph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"spire/internal/core"
+)
+
+// fuzzClasses mixes every known scheduler class with an unknown one and
+// an empty one, so the replay's skip paths stay exercised.
+var fuzzClasses = []string{
+	"sched.switch_in", "sched.switch_out", "sched.wakeup",
+	"sched.block_lock", "sched.unblock_lock",
+	"sched.block_io", "sched.unblock_io",
+	"sched.mystery", "",
+}
+
+var fuzzObjs = []string{"", "a", "b", "dev0"}
+
+// eventsFromBytes decodes fuzz input into an event stream, four bytes
+// per event: class selector, thread/hart, obj/waker, and a signed time
+// delta. Deltas may be negative, driving the stream out of order and —
+// once the running clock goes below zero — structurally invalid, so
+// every tolerance path in Build sees traffic.
+func eventsFromBytes(data []byte) []core.SchedEvent {
+	var evs []core.SchedEvent
+	var t float64
+	for i := 0; i+4 <= len(data); i += 4 {
+		b := data[i : i+4]
+		dt := float64(b[3] >> 4)
+		if b[3]&8 != 0 {
+			dt = -dt
+		}
+		t += dt
+		evs = append(evs, core.SchedEvent{
+			Time:   t,
+			Class:  fuzzClasses[int(b[0])%len(fuzzClasses)],
+			Thread: int(b[1] & 7),
+			Hart:   int(b[1]>>3) % 4,
+			Obj:    fuzzObjs[int(b[2])%len(fuzzObjs)],
+			Waker:  int(b[2]>>4)%6 - 1,
+			Window: -1,
+		})
+	}
+	return evs
+}
+
+// FuzzWaitGraphBuild drives Build/Partition/Verdicts with arbitrary
+// event streams and asserts the structural contract: total (no panic),
+// deterministic, and an exact wall-time partition no matter how garbled
+// the input ordering is.
+func FuzzWaitGraphBuild(f *testing.F) {
+	seeds := [][]byte{
+		{},
+		// One thread: in, block on lock a, unblock, in, out.
+		{0, 0, 1, 0x50, 3, 0, 1, 0x30, 4, 0, 1, 0x20, 0, 0, 1, 0x10, 1, 0, 1, 0x40},
+		// Two threads ping-ponging one lock with a wakeup edge.
+		{0, 0, 0, 0x10, 0, 1, 0, 0x10, 3, 0, 1, 0x20, 2, 0, 0x11, 0x10, 4, 0, 1, 0x10, 1, 1, 0, 0x30},
+		// Unknown classes and out-of-order deltas.
+		{7, 0, 0, 0x18, 8, 1, 0, 0x28, 0, 2, 0, 0x98, 5, 3, 3, 0x40, 6, 3, 3, 0x20},
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events := eventsFromBytes(data)
+		g := Build(events)
+		if g == nil {
+			t.Fatal("Build returned nil")
+		}
+		if g2 := Build(events); !reflect.DeepEqual(g, g2) {
+			t.Fatal("Build is not deterministic")
+		}
+
+		ids := make(map[int]bool, len(g.Threads))
+		for i, th := range g.Threads {
+			if i > 0 && g.Threads[i-1].Thread >= th.Thread {
+				t.Fatalf("threads not ascending: %d then %d", g.Threads[i-1].Thread, th.Thread)
+			}
+			ids[th.Thread] = true
+			for _, v := range []float64{th.Running, th.LockWait, th.IOWait, th.RunnableWait} {
+				if math.IsNaN(v) || v < 0 {
+					t.Fatalf("thread %d has negative/NaN component: %+v", th.Thread, th)
+				}
+			}
+			// Exact by construction: the same additions, same order.
+			if th.Wall != th.Running+th.LockWait+th.IOWait+th.RunnableWait {
+				t.Fatalf("thread %d wall %v != component sum", th.Thread, th.Wall)
+			}
+		}
+
+		p := g.Partition()
+		if p.OffCPU != p.LockWait+p.IOWait+p.RunnableWait {
+			t.Fatalf("partition off-CPU %v != lock %v + io %v + runnable %v",
+				p.OffCPU, p.LockWait, p.IOWait, p.RunnableWait)
+		}
+		if p.Wall != p.OnCPU+p.OffCPU {
+			t.Fatalf("partition wall %v != on %v + off %v", p.Wall, p.OnCPU, p.OffCPU)
+		}
+		if p.Threads != len(g.Threads) {
+			t.Fatalf("partition thread count %d != %d", p.Threads, len(g.Threads))
+		}
+
+		for _, e := range g.Edges {
+			if e.Wait <= 0 || e.Count <= 0 {
+				t.Fatalf("degenerate edge survived: %+v", e)
+			}
+			if e.From == "" || e.To == "" {
+				t.Fatalf("edge with unnamed endpoint: %+v", e)
+			}
+		}
+
+		for _, knot := range g.Knots {
+			if len(knot) == 0 {
+				t.Fatal("empty knot")
+			}
+			for i, id := range knot {
+				if !ids[id] {
+					t.Fatalf("knot member %d is not a graph thread", id)
+				}
+				if i > 0 && knot[i-1] >= id {
+					t.Fatalf("knot ids not ascending: %v", knot)
+				}
+			}
+		}
+
+		vs := g.Verdicts()
+		for i, v := range vs {
+			if i > 0 && vs[i-1].Wait < v.Wait {
+				t.Fatalf("verdicts not descending by wait: %v then %v", vs[i-1].Wait, v.Wait)
+			}
+			if v.Wait < 0 || math.IsNaN(v.Wait) {
+				t.Fatalf("verdict with negative/NaN wait: %+v", v)
+			}
+			if v.Share < 0 || math.IsNaN(v.Share) {
+				t.Fatalf("verdict with negative/NaN share: %+v", v)
+			}
+		}
+	})
+}

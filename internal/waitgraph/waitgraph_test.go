@@ -1,0 +1,260 @@
+package waitgraph
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"spire/internal/core"
+	"spire/internal/perfstat"
+	"spire/internal/sim"
+)
+
+// runMT runs a thread roster and returns the serialized events plus the
+// simulator's ground-truth accounting.
+func runMT(t *testing.T, harts int, slice uint64, threads []sim.MTThread) ([]core.SchedEvent, sim.MTResult) {
+	t.Helper()
+	m, err := sim.NewMT(sim.MTConfig{Harts: harts, TimeSlice: slice}, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done {
+		t.Fatal("sim did not finish")
+	}
+	return perfstat.ConvertSched(res.Events, 0), res
+}
+
+func convoy(n int) []sim.MTThread {
+	var ts []sim.MTThread
+	for i := 0; i < n; i++ {
+		ts = append(ts, sim.MTThread{
+			Ops: []sim.MTOp{
+				{Kind: sim.OpLock, Obj: "hot"},
+				{Kind: sim.OpCompute, Cycles: 100},
+				{Kind: sim.OpUnlock, Obj: "hot"},
+				{Kind: sim.OpCompute, Cycles: 10},
+			},
+			Loop: 5,
+		})
+	}
+	return ts
+}
+
+func TestBuildMatchesSimulatorAccounting(t *testing.T) {
+	events, res := runMT(t, 2, 64, []sim.MTThread{
+		{Ops: []sim.MTOp{{Kind: sim.OpCompute, Cycles: 400}}, Loop: 3},
+		{Ops: []sim.MTOp{{Kind: sim.OpCompute, Cycles: 30}, {Kind: sim.OpIO, Obj: "disk", Cycles: 200}}, Loop: 4},
+		{Ops: []sim.MTOp{{Kind: sim.OpLock, Obj: "l"}, {Kind: sim.OpCompute, Cycles: 80}, {Kind: sim.OpUnlock, Obj: "l"}}, Loop: 4},
+		{Ops: []sim.MTOp{{Kind: sim.OpLock, Obj: "l"}, {Kind: sim.OpCompute, Cycles: 80}, {Kind: sim.OpUnlock, Obj: "l"}}, Loop: 4},
+	})
+	g := Build(events)
+	if len(g.Threads) != len(res.PerThread) {
+		t.Fatalf("threads = %d, want %d", len(g.Threads), len(res.PerThread))
+	}
+	for _, tt := range g.Threads {
+		want := res.PerThread[tt.Thread]
+		if tt.Running != float64(want.OnCPU) || tt.LockWait != float64(want.LockWait) ||
+			tt.IOWait != float64(want.IOWait) || tt.RunnableWait != float64(want.RunnableWait) {
+			t.Fatalf("thread %d: graph times %+v != sim %+v", tt.Thread, tt, want)
+		}
+	}
+}
+
+func TestPartitionExactSum(t *testing.T) {
+	events, _ := runMT(t, 2, 50, convoy(4))
+	g := Build(events)
+	p := g.Partition()
+	if p.Wall != p.OnCPU+p.OffCPU {
+		t.Fatalf("wall %v != onCPU %v + offCPU %v", p.Wall, p.OnCPU, p.OffCPU)
+	}
+	if p.OffCPU != p.LockWait+p.IOWait+p.RunnableWait {
+		t.Fatalf("offCPU %v != lock %v + io %v + runnable %v", p.OffCPU, p.LockWait, p.IOWait, p.RunnableWait)
+	}
+	if p.Threads != 4 {
+		t.Fatalf("threads = %d", p.Threads)
+	}
+	// Per-thread wall is also exact.
+	for _, tt := range g.Threads {
+		if tt.Wall != tt.Running+tt.LockWait+tt.IOWait+tt.RunnableWait {
+			t.Fatalf("thread %d wall not exact: %+v", tt.Thread, tt)
+		}
+	}
+}
+
+func TestConvoyTopVerdictIsLock(t *testing.T) {
+	events, _ := runMT(t, 4, 0, convoy(4))
+	g := Build(events)
+	vs := g.Verdicts()
+	if len(vs) == 0 {
+		t.Fatal("no verdicts")
+	}
+	if vs[0].Kind != "lock" || vs[0].Object != "hot" {
+		t.Fatalf("top verdict = %+v, want lock hot", vs[0])
+	}
+	if vs[0].Waiters < 3 {
+		t.Fatalf("waiters = %d, want >= 3", vs[0].Waiters)
+	}
+	// Single-lock convoy: the mutual-wait group is named by its lock, so
+	// no knot verdict.
+	for _, v := range vs {
+		if v.Kind == "knot" {
+			t.Fatalf("single-lock convoy produced a knot verdict: %+v", v)
+		}
+	}
+}
+
+func TestIOVerdict(t *testing.T) {
+	events, _ := runMT(t, 2, 0, []sim.MTThread{
+		{Ops: []sim.MTOp{{Kind: sim.OpCompute, Cycles: 10}, {Kind: sim.OpIO, Obj: "disk", Cycles: 300}}, Loop: 4},
+		{Ops: []sim.MTOp{{Kind: sim.OpCompute, Cycles: 10}, {Kind: sim.OpIO, Obj: "disk", Cycles: 300}}, Loop: 4},
+	})
+	g := Build(events)
+	vs := g.Verdicts()
+	if vs[0].Kind != "io" || vs[0].Object != "disk" {
+		t.Fatalf("top verdict = %+v, want io disk", vs[0])
+	}
+	if vs[0].Share <= 0.5 {
+		t.Fatalf("io share = %v, want > 0.5", vs[0].Share)
+	}
+}
+
+func TestRunnableVerdict(t *testing.T) {
+	// 6 pure-compute threads on 1 hart: most time is runnable wait.
+	var threads []sim.MTThread
+	for i := 0; i < 6; i++ {
+		threads = append(threads, sim.MTThread{
+			Ops: []sim.MTOp{{Kind: sim.OpCompute, Cycles: 200}}, Loop: 3,
+		})
+	}
+	events, _ := runMT(t, 1, 100, threads)
+	g := Build(events)
+	vs := g.Verdicts()
+	if vs[0].Kind != "runnable" {
+		t.Fatalf("top verdict = %+v, want runnable", vs[0])
+	}
+	if vs[0].Waiters != 6 {
+		t.Fatalf("waiters = %d, want 6", vs[0].Waiters)
+	}
+}
+
+func TestKnotDetection(t *testing.T) {
+	// False serialization: three threads pass a ring of three locks with
+	// co-prime section lengths, so the phases drift and every thread
+	// eventually waits on every other — a 3-thread knot spanning three
+	// lock objects. (Locks are never held nested, so no deadlock.)
+	locks := []string{"l0", "l1", "l2"}
+	hold := []uint64{97, 71, 113}
+	next := []uint64{41, 67, 29}
+	var threads []sim.MTThread
+	for i := 0; i < 3; i++ {
+		threads = append(threads, sim.MTThread{Ops: []sim.MTOp{
+			{Kind: sim.OpLock, Obj: locks[i]},
+			{Kind: sim.OpCompute, Cycles: hold[i]},
+			{Kind: sim.OpUnlock, Obj: locks[i]},
+			{Kind: sim.OpLock, Obj: locks[(i+1)%3]},
+			{Kind: sim.OpCompute, Cycles: next[i]},
+			{Kind: sim.OpUnlock, Obj: locks[(i+1)%3]},
+		}, Loop: 20})
+	}
+	events, _ := runMT(t, 3, 0, threads)
+	g := Build(events)
+	if len(g.Knots) == 0 {
+		t.Fatal("no knot found")
+	}
+	if !reflect.DeepEqual(g.Knots[0], []int{0, 1, 2}) {
+		t.Fatalf("knot = %v, want [0 1 2]", g.Knots[0])
+	}
+	var knot *core.WaitVerdict
+	for _, v := range g.Verdicts() {
+		if v.Kind == "knot" {
+			vv := v
+			knot = &vv
+			break
+		}
+	}
+	if knot == nil {
+		t.Fatal("no knot verdict despite multi-lock knot")
+	}
+	if !reflect.DeepEqual(knot.Threads, []int{0, 1, 2}) {
+		t.Fatalf("knot threads = %v", knot.Threads)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	events, _ := runMT(t, 2, 64, convoy(3))
+	a, b := Build(events), Build(events)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Build not deterministic")
+	}
+}
+
+func TestBuildTolerance(t *testing.T) {
+	events := []core.SchedEvent{
+		{Time: 0, Class: "sched.wakeup", Thread: 0, Waker: -1},
+		{Time: 10, Class: "sched.switch_in", Thread: 0, Waker: -1},
+		{Time: math.NaN(), Class: "sched.switch_out", Thread: 0, Waker: -1}, // invalid: skipped
+		{Time: 20, Class: "sched.future_class", Thread: 0, Waker: -1},       // unknown: skipped
+		{Time: 5, Class: "sched.switch_out", Thread: 0, Waker: -1},          // out of order: dt clamps to 0
+		{Time: -3, Class: "sched.switch_in", Thread: 1, Waker: -1},          // invalid time
+		{Time: 30, Class: "sched.block_lock", Thread: 2, Obj: "l", Waker: 5},
+	}
+	g := Build(events)
+	p := g.Partition()
+	if p.Threads != 2 { // threads 0 and 2; thread 1's only event was invalid
+		t.Fatalf("threads = %d, want 2", p.Threads)
+	}
+	if p.Wall != p.OnCPU+p.OffCPU {
+		t.Fatal("partition not exact under hostile input")
+	}
+	// Truncated lock wait with a recorded holder still becomes an edge...
+	// here the block is the last event, so no time elapsed and no edge.
+	if len(g.Edges) != 1 { // thread 0's 10-cycle runnable span
+		t.Fatalf("edges = %+v", g.Edges)
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	g := Build(nil)
+	if len(g.Threads) != 0 || len(g.Edges) != 0 || len(g.Knots) != 0 {
+		t.Fatalf("empty build produced %+v", g)
+	}
+	if p := g.Partition(); p.Threads != 0 || p.Wall != 0 {
+		t.Fatalf("partition = %+v", p)
+	}
+	if vs := g.Verdicts(); len(vs) != 0 {
+		t.Fatalf("verdicts = %+v", vs)
+	}
+}
+
+func TestTruncatedLockSpanBlamesHolder(t *testing.T) {
+	events := []core.SchedEvent{
+		{Time: 0, Class: "sched.switch_in", Thread: 1, Waker: -1},
+		{Time: 0, Class: "sched.switch_in", Thread: 0, Waker: -1},
+		{Time: 10, Class: "sched.block_lock", Thread: 0, Obj: "l", Waker: 1},
+		{Time: 110, Class: "sched.switch_out", Thread: 0, Waker: -1}, // trace cut before unblock
+	}
+	g := Build(events)
+	found := false
+	for _, e := range g.Edges {
+		if e.Kind == "lock" && e.From == ThreadNode(0) && e.To == ThreadNode(1) && e.Wait == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no lock edge to recorded holder: %+v", g.Edges)
+	}
+}
+
+func TestOffShareHelper(t *testing.T) {
+	p := core.TimePartition{Wall: 200, OffCPU: 50}
+	if p.OffShare() != 0.25 {
+		t.Fatalf("offShare = %v", p.OffShare())
+	}
+	if (core.TimePartition{}).OffShare() != 0 {
+		t.Fatal("zero wall must give 0 share")
+	}
+}

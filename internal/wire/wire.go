@@ -78,6 +78,7 @@ type EstimateRequest struct {
 	Top     int
 	Workers int
 	Samples []core.Sample
+	Sched   []core.SchedEvent
 }
 
 // EstimateResponse mirrors the JSON estimate response body.
@@ -92,6 +93,7 @@ type SampleBatch struct {
 	TS      float64
 	Window  int
 	Samples []core.Sample
+	Sched   []core.SchedEvent
 }
 
 // FrameSize inspects the start of buf and reports the total byte length
@@ -172,6 +174,57 @@ func appendSamples(dst []byte, samples []core.Sample) []byte {
 	return dst
 }
 
+// appendSchedEvents writes a scheduler-event list. Class names are
+// written per event rather than dictionary-encoded: sched sections are
+// optional extras on otherwise sample-dominated frames, and keeping the
+// row self-contained keeps the section trivially skippable.
+func appendSchedEvents(dst []byte, events []core.SchedEvent) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(events)))
+	for _, ev := range events {
+		dst = appendF64(dst, ev.Time)
+		dst = appendString(dst, ev.Class)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(ev.Thread)))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(ev.Hart)))
+		dst = appendString(dst, ev.Obj)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(ev.Waker)))
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(ev.Window)))
+	}
+	return dst
+}
+
+// schedEventMinSize is the smallest encodable event row: time + two
+// empty strings + thread, hart, waker, window.
+const schedEventMinSize = 8 + 2 + 8 + 8 + 2 + 8 + 8
+
+func (r *reader) schedEvents() []core.SchedEvent {
+	n := r.count32(schedEventMinSize)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]core.SchedEvent, n)
+	for i := range out {
+		out[i] = core.SchedEvent{
+			Time:   r.f64(),
+			Class:  r.str(),
+			Thread: int(r.i64()),
+			Hart:   int(r.i64()),
+			Obj:    r.str(),
+			Waker:  int(r.i64()),
+			Window: int(r.i64()),
+		}
+	}
+	return out
+}
+
+// Trailing-section tags. A frame body may be followed by zero or more
+// tagged sections; a frame with no sections is byte-identical to the
+// encoding before that section existed, which is what pins the
+// zero-sched freeze.
+const (
+	secSched    = 1 // request / sample-batch: scheduler events
+	secCombined = 2 // response: combined on/off-CPU report
+)
+
 // AppendEstimateRequest appends req as one SPB1 frame and returns the
 // extended slice.
 func AppendEstimateRequest(dst []byte, req *EstimateRequest) []byte {
@@ -179,6 +232,12 @@ func AppendEstimateRequest(dst []byte, req *EstimateRequest) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(req.Top)))
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(req.Workers)))
 	dst = appendSamples(dst, req.Samples)
+	// Sched section: optional and strictly trailing, so requests without
+	// scheduler events stay byte-identical to the pre-sched encoding.
+	if len(req.Sched) > 0 {
+		dst = append(dst, secSched)
+		dst = appendSchedEvents(dst, req.Sched)
+	}
 	return finishFrame(dst, start)
 }
 
@@ -245,7 +304,126 @@ func AppendEstimateResponse(dst []byte, res *EstimateResponse) []byte {
 			}
 		}
 	}
+	// Combined section: like hierarchy, optional and strictly trailing.
+	// Sections are self-identifying by tag, so a combined report on a
+	// flat (no-hierarchy) estimation needs no placeholder.
+	if c := est.Combined; c != nil {
+		dst = append(dst, secCombined)
+		dst = appendCombined(dst, c)
+	}
 	return finishFrame(dst, start)
+}
+
+func appendWaitVerdict(dst []byte, v *core.WaitVerdict) []byte {
+	dst = appendString(dst, v.Kind)
+	dst = appendString(dst, v.Object)
+	dst = appendF64(dst, v.Wait)
+	dst = appendF64(dst, v.Share)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(v.Waiters)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(v.Threads)))
+	for _, t := range v.Threads {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(t)))
+	}
+	return dst
+}
+
+// waitVerdictMinSize is the smallest encodable verdict: two empty
+// strings, wait, share, waiters, empty thread list.
+const waitVerdictMinSize = 2 + 2 + 8 + 8 + 8 + 4
+
+func (r *reader) waitVerdict() core.WaitVerdict {
+	v := core.WaitVerdict{
+		Kind:    r.str(),
+		Object:  r.str(),
+		Wait:    r.f64(),
+		Share:   r.f64(),
+		Waiters: int(r.i64()),
+	}
+	n := r.count32(8)
+	if r.err == nil && n > 0 {
+		v.Threads = make([]int, n)
+		for i := range v.Threads {
+			v.Threads[i] = int(r.i64())
+		}
+	}
+	return v
+}
+
+func appendCombined(dst []byte, c *core.CombinedReport) []byte {
+	p := c.Partition
+	dst = appendF64(dst, p.Wall)
+	dst = appendF64(dst, p.OnCPU)
+	dst = appendF64(dst, p.OffCPU)
+	dst = appendF64(dst, p.LockWait)
+	dst = appendF64(dst, p.IOWait)
+	dst = appendF64(dst, p.RunnableWait)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(p.Threads)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(c.Waits)))
+	for i := range c.Waits {
+		dst = appendWaitVerdict(dst, &c.Waits[i])
+	}
+	if c.Knot {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(c.Ranked)))
+	for i := range c.Ranked {
+		b := &c.Ranked[i]
+		dst = appendString(dst, b.Source)
+		dst = appendF64(dst, b.Score)
+		dst = appendString(dst, b.Detail)
+		dst = appendString(dst, b.Metric)
+		if b.Wait != nil {
+			dst = append(dst, 1)
+			dst = appendWaitVerdict(dst, b.Wait)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+func (r *reader) combined() *core.CombinedReport {
+	c := &core.CombinedReport{}
+	c.Partition = core.TimePartition{
+		Wall:         r.f64(),
+		OnCPU:        r.f64(),
+		OffCPU:       r.f64(),
+		LockWait:     r.f64(),
+		IOWait:       r.f64(),
+		RunnableWait: r.f64(),
+		Threads:      int(r.i64()),
+	}
+	nw := r.count32(waitVerdictMinSize)
+	if r.err == nil && nw > 0 {
+		c.Waits = make([]core.WaitVerdict, nw)
+		for i := range c.Waits {
+			c.Waits[i] = r.waitVerdict()
+		}
+	}
+	c.Knot = r.u8() == 1
+	nr := r.count32(2 + 8 + 2 + 2 + 1)
+	if r.err == nil && nr > 0 {
+		c.Ranked = make([]core.CombinedBottleneck, nr)
+		for i := range c.Ranked {
+			b := &c.Ranked[i]
+			b.Source = r.str()
+			b.Score = r.f64()
+			b.Detail = r.str()
+			b.Metric = r.str()
+			if r.u8() == 1 {
+				v := r.waitVerdict()
+				if r.err == nil {
+					b.Wait = &v
+				}
+			}
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return c
 }
 
 // AppendSampleBatch appends sb as one SPB1 frame and returns the
@@ -255,6 +433,10 @@ func AppendSampleBatch(dst []byte, sb *SampleBatch) []byte {
 	dst = appendF64(dst, sb.TS)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(sb.Window)))
 	dst = appendSamples(dst, sb.Samples)
+	if len(sb.Sched) > 0 {
+		dst = append(dst, secSched)
+		dst = appendSchedEvents(dst, sb.Sched)
+	}
 	return finishFrame(dst, start)
 }
 
@@ -425,6 +607,22 @@ func DecodeEstimateRequest(b []byte) (*EstimateRequest, error) {
 		Workers: int(r.i64()),
 	}
 	req.Samples = r.samples()
+	// Optional trailing sections; an exhausted payload is the flat
+	// (zero-sched) encoding.
+	sawSched := false
+	for r.err == nil && r.rem() > 0 {
+		switch tag := r.u8(); tag {
+		case secSched:
+			if sawSched {
+				r.fail("duplicate sched section")
+				break
+			}
+			sawSched = true
+			req.Sched = r.schedEvents()
+		default:
+			r.fail("unknown request section tag %d", tag)
+		}
+	}
 	if r.err == nil && r.rem() != 0 {
 		r.fail("%d trailing payload bytes", r.rem())
 	}
@@ -463,12 +661,19 @@ func DecodeEstimateResponse(b []byte) (*EstimateResponse, error) {
 		est.Coverage.Shared = int(r.i64())
 		est.Coverage.DataOnly = r.strings()
 		est.Coverage.ModelOnly = r.strings()
-		// Optional trailing hierarchy section; its absence (payload
-		// exhausted) is the flat encoding.
-		if r.err == nil && r.rem() > 0 {
+		// Optional trailing sections, each self-identifying by tag; their
+		// absence (payload exhausted) is the flat encoding. Tag 0 is the
+		// legacy explicit "no hierarchy" placeholder.
+		sawHierarchy, sawCombined := false, false
+		for r.err == nil && r.rem() > 0 {
 			switch tag := r.u8(); tag {
 			case 0:
 			case 1:
+				if sawHierarchy {
+					r.fail("duplicate hierarchy section")
+					break
+				}
+				sawHierarchy = true
 				h := &core.HierarchyEstimate{
 					BindingLevel:    r.str(),
 					BindingMetric:   r.str(),
@@ -504,6 +709,13 @@ func DecodeEstimateResponse(b []byte) (*EstimateResponse, error) {
 				if r.err == nil {
 					est.Hierarchy = h
 				}
+			case secCombined:
+				if sawCombined {
+					r.fail("duplicate combined section")
+					break
+				}
+				sawCombined = true
+				est.Combined = r.combined()
 			default:
 				r.fail("unknown hierarchy tag %d", tag)
 			}
@@ -531,6 +743,20 @@ func DecodeSampleBatch(b []byte) (*SampleBatch, error) {
 		Window: int(r.i64()),
 	}
 	sb.Samples = r.samples()
+	sawSched := false
+	for r.err == nil && r.rem() > 0 {
+		switch tag := r.u8(); tag {
+		case secSched:
+			if sawSched {
+				r.fail("duplicate sched section")
+				break
+			}
+			sawSched = true
+			sb.Sched = r.schedEvents()
+		default:
+			r.fail("unknown batch section tag %d", tag)
+		}
+	}
 	if r.err == nil && r.rem() != 0 {
 		r.fail("%d trailing payload bytes", r.rem())
 	}

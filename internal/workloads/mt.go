@@ -1,0 +1,170 @@
+package workloads
+
+import (
+	"fmt"
+
+	"spire/internal/core"
+	"spire/internal/perfstat"
+	"spire/internal/sim"
+)
+
+// Multi-threaded roster. Where the single-thread suite engineers
+// on-CPU bottlenecks (cache misses, branch storms), these kernels
+// engineer *off-CPU* ones: each thread roster injects one dominant wait
+// cause — a convoyed lock, a starved consumer pool, a saturated device,
+// or a false-serialization knot — that the combined on/off-CPU analysis
+// must rank first. The MT golden test pins exactly that.
+
+// MTSpec is one multi-threaded workload: the scheduler-sim roster plus
+// the injected bottleneck the combined ranking must name.
+type MTSpec struct {
+	// Name identifies the workload ("lock-convoy", ...).
+	Name string
+	// Config summarizes the roster for reports.
+	Config string
+	// ExpectedKind is the wait-verdict kind the top-ranked combined
+	// bottleneck must carry ("lock", "io", "runnable", "knot").
+	ExpectedKind string
+	// ExpectedObject is the lock or device the top verdict must name;
+	// empty for kinds without an object ("runnable", "knot").
+	ExpectedObject string
+	// Harts and TimeSlice configure the scheduler sim.
+	Harts     int
+	TimeSlice uint64
+	// Threads is the roster; Build copies it.
+	Threads []sim.MTThread
+}
+
+// Build returns a fresh copy of the thread roster (MTSim mutates
+// per-thread progress state, so specs hand out copies).
+func (s MTSpec) Build() []sim.MTThread {
+	out := make([]sim.MTThread, len(s.Threads))
+	for i, t := range s.Threads {
+		out[i] = sim.MTThread{Ops: append([]sim.MTOp(nil), t.Ops...), Loop: t.Loop}
+	}
+	return out
+}
+
+// Run executes the roster to completion and returns the serialized
+// scheduler events plus the simulator's ground-truth result.
+func (s MTSpec) Run() ([]core.SchedEvent, sim.MTResult, error) {
+	m, err := sim.NewMT(sim.MTConfig{Harts: s.Harts, TimeSlice: s.TimeSlice}, s.Build())
+	if err != nil {
+		return nil, sim.MTResult{}, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	res, err := m.Run(0)
+	if err != nil {
+		return nil, sim.MTResult{}, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	if !res.Done {
+		return nil, sim.MTResult{}, fmt.Errorf("%s: roster did not run to completion", s.Name)
+	}
+	return perfstat.ConvertSched(res.Events, 0), res, nil
+}
+
+// mtSuite is the off-CPU roster.
+var mtSuite = []MTSpec{
+	{
+		// Classic lock convoy: six threads do almost all their work under
+		// one mutex, so at any instant five of them queue on it. The lock
+		// wait dwarfs both compute and run-queue time.
+		Name: "lock-convoy", Config: "6 threads, 4 harts, one hot mutex",
+		ExpectedKind: "lock", ExpectedObject: "hot",
+		Harts: 4,
+		Threads: repeatThread(6, sim.MTThread{Ops: []sim.MTOp{
+			{Kind: sim.OpLock, Obj: "hot"},
+			{Kind: sim.OpCompute, Cycles: 120},
+			{Kind: sim.OpUnlock, Obj: "hot"},
+			{Kind: sim.OpCompute, Cycles: 15},
+		}, Loop: 12}),
+	},
+	{
+		// Producer-consumer starvation: one slow producer holds the queue
+		// lock for long stretches; four consumers need it briefly but
+		// spend their lives blocked behind the producer's hold time.
+		Name: "producer-starved-consumers", Config: "1 producer + 4 consumers, 4 harts",
+		ExpectedKind: "lock", ExpectedObject: "queue",
+		Harts: 4,
+		Threads: append([]sim.MTThread{{Ops: []sim.MTOp{
+			{Kind: sim.OpLock, Obj: "queue"},
+			{Kind: sim.OpCompute, Cycles: 400}, // produce under the lock
+			{Kind: sim.OpUnlock, Obj: "queue"},
+			{Kind: sim.OpCompute, Cycles: 20},
+		}, Loop: 10}}, repeatThread(4, sim.MTThread{Ops: []sim.MTOp{
+			{Kind: sim.OpLock, Obj: "queue"},
+			{Kind: sim.OpCompute, Cycles: 25}, // consume: cheap
+			{Kind: sim.OpUnlock, Obj: "queue"},
+			{Kind: sim.OpCompute, Cycles: 30},
+		}, Loop: 10})...),
+	},
+	{
+		// I/O-bound pipeline: every stage does a sliver of compute then a
+		// long transfer on the same serial device; the device queue is
+		// where the time goes.
+		Name: "io-pipeline", Config: "4 threads, 4 harts, one serial device",
+		ExpectedKind: "io", ExpectedObject: "nvme0",
+		Harts: 4,
+		Threads: repeatThread(4, sim.MTThread{Ops: []sim.MTOp{
+			{Kind: sim.OpCompute, Cycles: 40},
+			{Kind: sim.OpIO, Obj: "nvme0", Cycles: 350},
+		}, Loop: 8}),
+	},
+	{
+		// False serialization: three threads pass a ring of three locks
+		// with co-prime section lengths, so their phases drift until each
+		// waits on the others — a knot spanning three lock objects even
+		// though no single lock is globally hot.
+		Name: "false-serialization-knot", Config: "3 threads, 3 harts, 3-lock ring",
+		ExpectedKind: "knot",
+		Harts:        3,
+		Threads:      ringThreads(),
+	},
+}
+
+// repeatThread clones one thread prototype n times.
+func repeatThread(n int, t sim.MTThread) []sim.MTThread {
+	out := make([]sim.MTThread, n)
+	for i := range out {
+		out[i] = sim.MTThread{Ops: append([]sim.MTOp(nil), t.Ops...), Loop: t.Loop}
+	}
+	return out
+}
+
+// ringThreads builds the knot roster: co-prime hold/next section
+// lengths keep the three threads drifting out of phase, so every
+// pairwise wait edge eventually appears. Locks are never held nested,
+// so the ring cannot deadlock — it only *serializes*.
+func ringThreads() []sim.MTThread {
+	locks := []string{"l0", "l1", "l2"}
+	hold := []uint64{97, 71, 113}
+	next := []uint64{41, 67, 29}
+	var threads []sim.MTThread
+	for i := 0; i < 3; i++ {
+		threads = append(threads, sim.MTThread{Ops: []sim.MTOp{
+			{Kind: sim.OpLock, Obj: locks[i]},
+			{Kind: sim.OpCompute, Cycles: hold[i]},
+			{Kind: sim.OpUnlock, Obj: locks[i]},
+			{Kind: sim.OpLock, Obj: locks[(i+1)%3]},
+			{Kind: sim.OpCompute, Cycles: next[i]},
+			{Kind: sim.OpUnlock, Obj: locks[(i+1)%3]},
+		}, Loop: 20})
+	}
+	return threads
+}
+
+// MTAll returns the multi-threaded roster.
+func MTAll() []MTSpec {
+	out := make([]MTSpec, len(mtSuite))
+	copy(out, mtSuite)
+	return out
+}
+
+// MTByName looks a multi-threaded workload up by name.
+func MTByName(name string) (MTSpec, error) {
+	for _, s := range mtSuite {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return MTSpec{}, fmt.Errorf("unknown multi-threaded workload %q", name)
+}

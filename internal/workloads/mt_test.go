@@ -1,0 +1,211 @@
+package workloads
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"spire/internal/analysis"
+	"spire/internal/core"
+)
+
+// mtVerdict is one MT golden-file row.
+type mtVerdict struct {
+	Name      string  `json:"name"`
+	TopSource string  `json:"top_source"`
+	TopKind   string  `json:"top_kind"`
+	TopObject string  `json:"top_object,omitempty"`
+	OffShare  float64 `json:"off_share"`
+	Knot      bool    `json:"knot"`
+	Threads   int     `json:"threads"`
+}
+
+// TestMTGolden is the off-CPU counterpart of TestHierarchyGolden: every
+// multi-threaded kernel's injected wait bottleneck must come out
+// top-ranked in the combined report, the wall-time partition must be
+// exact, and the full verdict set must match the checked-in golden file
+// (regenerate with -update).
+func TestMTGolden(t *testing.T) {
+	var got []mtVerdict
+	for _, spec := range MTAll() {
+		events, res, err := spec.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := analysis.Combine(nil, events)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if rep == nil {
+			t.Fatalf("%s: no combined report", spec.Name)
+		}
+
+		// The partition is exact by construction: the same float64
+		// additions build both sides.
+		p := rep.Partition
+		if p.Wall != p.OnCPU+p.OffCPU {
+			t.Errorf("%s: wall %v != on %v + off %v", spec.Name, p.Wall, p.OnCPU, p.OffCPU)
+		}
+		if p.OffCPU != p.LockWait+p.IOWait+p.RunnableWait {
+			t.Errorf("%s: off %v != lock %v + io %v + runnable %v",
+				spec.Name, p.OffCPU, p.LockWait, p.IOWait, p.RunnableWait)
+		}
+		if p.Threads != len(res.PerThread) {
+			t.Errorf("%s: partition saw %d threads, sim ran %d", spec.Name, p.Threads, len(res.PerThread))
+		}
+
+		// The injected bottleneck must be ranked first.
+		top := rep.Top()
+		if top == nil {
+			t.Fatalf("%s: empty ranking", spec.Name)
+		}
+		if top.Source != "wait" || top.Wait == nil {
+			t.Fatalf("%s: top bottleneck = %+v, want a wait verdict", spec.Name, top)
+		}
+		if top.Wait.Kind != spec.ExpectedKind {
+			t.Errorf("%s: top verdict kind %q (object %q), engineered for %q",
+				spec.Name, top.Wait.Kind, top.Wait.Object, spec.ExpectedKind)
+		}
+		if spec.ExpectedObject != "" && top.Wait.Object != spec.ExpectedObject {
+			t.Errorf("%s: top verdict object %q, engineered for %q",
+				spec.Name, top.Wait.Object, spec.ExpectedObject)
+		}
+		if spec.ExpectedKind == "knot" && !rep.Knot {
+			t.Errorf("%s: knot kernel did not set the knot flag", spec.Name)
+		}
+
+		got = append(got, mtVerdict{
+			Name:      spec.Name,
+			TopSource: top.Source,
+			TopKind:   top.Wait.Kind,
+			TopObject: top.Wait.Object,
+			OffShare:  p.OffShare(),
+			Knot:      rep.Knot,
+			Threads:   p.Threads,
+		})
+	}
+
+	path := filepath.Join("testdata", "mt_golden.json")
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	var want []mtVerdict
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MT verdicts drifted from golden file (regenerate with -update)\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestMTPartitionMatchesSimGroundTruth cross-checks the wait-graph
+// partition against the simulator's own per-thread accounting: the two
+// are computed by entirely different code paths and must agree exactly
+// (integer cycles represented in float64, no rounding).
+func TestMTPartitionMatchesSimGroundTruth(t *testing.T) {
+	for _, spec := range MTAll() {
+		events, res, err := spec.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := analysis.Combine(nil, events)
+		if err != nil || rep == nil {
+			t.Fatalf("%s: combine: %v", spec.Name, err)
+		}
+		var wantOn, wantLock, wantIO, wantRunnable, wantWall float64
+		for _, pt := range res.PerThread {
+			wantOn += float64(pt.OnCPU)
+			wantLock += float64(pt.LockWait)
+			wantIO += float64(pt.IOWait)
+			wantRunnable += float64(pt.RunnableWait)
+			wantWall += float64(pt.End - pt.Start)
+		}
+		p := rep.Partition
+		if p.OnCPU != wantOn || p.LockWait != wantLock || p.IOWait != wantIO ||
+			p.RunnableWait != wantRunnable || p.Wall != wantWall {
+			t.Errorf("%s: partition %+v != sim ground truth on=%v lock=%v io=%v runnable=%v wall=%v",
+				spec.Name, p, wantOn, wantLock, wantIO, wantRunnable, wantWall)
+		}
+	}
+}
+
+// TestMTRoster pins the roster's shape and determinism.
+func TestMTRoster(t *testing.T) {
+	specs := MTAll()
+	if len(specs) != 4 {
+		t.Fatalf("MT roster has %d kernels, want 4", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate MT workload name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if _, err := MTByName(s.Name); err != nil {
+			t.Fatal(err)
+		}
+		ev1, _, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev2, _, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ev1, ev2) {
+			t.Fatalf("%s: two runs produced different event streams", s.Name)
+		}
+	}
+	if _, err := MTByName("no-such-kernel"); err == nil {
+		t.Fatal("MTByName accepted an unknown name")
+	}
+	// Build must hand out independent copies.
+	a, b := specs[0].Build(), specs[0].Build()
+	a[0].Ops[0].Obj = "mutated"
+	if b[0].Ops[0].Obj == "mutated" {
+		t.Fatal("Build shares op slices between copies")
+	}
+}
+
+// TestMTSchedEventsSerializable: every event the roster emits survives
+// the core JSON round trip (the ingestion contract).
+func TestMTSchedEventsSerializable(t *testing.T) {
+	spec, err := MTByName("lock-convoy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if !ev.Valid() {
+			t.Fatalf("invalid event emitted: %+v", ev)
+		}
+	}
+	raw, err := json.Marshal(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []core.SchedEvent
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, events) {
+		t.Fatal("sched events did not survive the JSON round trip")
+	}
+}
